@@ -1,0 +1,84 @@
+// Ablation (Section III-A, DESIGN.md D4): Elastic Parameter Slicing.
+//  (1) byte balance of default vs EPS placement across chunk sizes;
+//  (2) end-to-end effect of the placement on communication time (overlap
+//      synchronization held fixed so only slicing varies);
+//  (3) rebalancing cost when the server set changes (bytes moved vs optimal).
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/config.h"
+#include "ml/models/resmlp.h"
+#include "ps/slicing.h"
+
+int main(int argc, char** argv) {
+  using namespace fluentps;
+  const auto args = Config::from_args(argc, argv);
+  const auto iters = args.get_int("iters", 80);
+
+  bench::print_banner("Ablation | Elastic Parameter Slicing",
+                      "EPS balances bytes per server (imbalance -> 1.0), cuts communication "
+                      "time under overlap sync, and rebalances with near-minimal movement");
+
+  // (1) Placement balance.
+  const ml::ResMlp model(512, 32, 27, 10);  // stem-heavy: 22% of bytes in one tensor
+  const auto layers = model.layer_sizes();
+  Table balance("Placement imbalance (max shard / mean shard), M=8");
+  balance.add_row({"slicer", "chunk", "imbalance", "num_slices"});
+  {
+    ps::DefaultSlicer dflt;
+    const auto sh = dflt.shard(layers, 8);
+    std::size_t slices = 0;
+    for (const auto& s : sh.shards) slices += s.slices.size();
+    balance.add(std::string("default"), std::string("layer"), bench::fmt(sh.imbalance(), 3),
+                std::to_string(slices));
+  }
+  double eps_imbalance_1k = 0.0;
+  for (const std::size_t chunk : {8192u, 2048u, 1024u, 256u, 64u}) {
+    ps::EpsSlicer eps(chunk);
+    const auto sh = eps.shard(layers, 8);
+    std::size_t slices = 0;
+    for (const auto& s : sh.shards) slices += s.slices.size();
+    balance.add(std::string("eps"), std::to_string(chunk), bench::fmt(sh.imbalance(), 3),
+                std::to_string(slices));
+    if (chunk == 1024u) eps_imbalance_1k = sh.imbalance();
+  }
+  std::printf("%s\n", balance.to_ascii().c_str());
+
+  // (2) End-to-end communication time, overlap sync fixed.
+  Table e2e("Communication time under overlap sync (ResNet-56 comm-heavy, N=32, M=8, BSP)");
+  e2e.add_row({"slicer", "comm_s", "total_s", "max_server_ingress_busy_s"});
+  double comm_default = 0.0, comm_eps = 0.0;
+  for (const char* slicer : {"default", "eps"}) {
+    auto cfg = bench::resnet56_comm_heavy(32, 8, iters);
+    cfg.sync.kind = "bsp";
+    cfg.slicer = slicer;
+    const auto r = core::run_experiment(cfg);
+    e2e.add(std::string(slicer), bench::fmt(r.comm_time, 2), bench::fmt(r.total_time, 2),
+            bench::fmt(r.extra.at("max_server_ingress_busy"), 2));
+    (std::string(slicer) == "default" ? comm_default : comm_eps) = r.comm_time;
+  }
+  std::printf("%s\n", e2e.to_ascii().c_str());
+
+  // (3) Rebalance movement: growing 4 -> 5 servers should move about 1/5 of
+  // the bytes (everything the new server receives), not re-shuffle the world.
+  ps::EpsSlicer eps(1024);
+  const auto old_sh = eps.shard(layers, 4);
+  std::vector<ps::EpsSlicer::Migration> plan;
+  const auto new_sh = eps.rebalance(old_sh, 5, &plan);
+  std::size_t moved = 0;
+  for (const auto& m : plan) moved += m.slice.length;
+  const double moved_frac = static_cast<double>(moved) / static_cast<double>(new_sh.num_params);
+  Table reb("Rebalance 4 -> 5 servers");
+  reb.add_row({"bytes_moved_frac", "ideal_frac", "new_imbalance"});
+  reb.add(bench::fmt(moved_frac, 3), bench::fmt(0.2, 3), bench::fmt(new_sh.imbalance(), 3));
+  std::printf("%s\n", reb.to_ascii().c_str());
+  balance.write_csv(bench::csv_path("ablation_eps_slicing"));
+
+  bench::report("EPS placement balance (chunk=1024)", "near 1.0",
+                bench::fmt(eps_imbalance_1k, 3), eps_imbalance_1k < 1.1);
+  bench::report("EPS cuts comm time vs default", "up to 55%",
+                bench::reduction(comm_default, comm_eps), comm_eps < comm_default);
+  bench::report("rebalance moves bounded bytes", "~new server's share",
+                bench::fmt(100 * moved_frac, 1) + "%", moved_frac < 0.5);
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Ablation for DESIGN.md D8: persistent worker heterogeneity.
+//
+// With iid-only compute noise, worker progress differences random-walk and
+// rarely fill the staleness window, so SSP hardly ever blocks and none of
+// the paper's DPR phenomena exist. Persistent per-worker pace factors
+// (heterogeneous hardware / noisy neighbours) saturate the window: fast
+// workers park at the bound and the soft barrier "appears frequently"
+// (§II-B). This sweep shows DPR volume and the BSP-vs-ASP time gap as
+// functions of the persistent spread.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/config.h"
+
+int main(int argc, char** argv) {
+  using namespace fluentps;
+  const auto args = Config::from_args(argc, argv);
+  const auto iters = args.get_int("iters", 200);
+
+  bench::print_banner("Ablation | Persistent worker heterogeneity (DESIGN.md D8)",
+                      "iid-only noise never saturates the staleness window; persistent pace "
+                      "spread produces the paper's soft-barrier storms");
+
+  Table table("SSP(3) soft barrier, N=64, by persistent spread (worker_sigma)");
+  table.add_row({"worker_sigma", "ssp_dprs/100", "blocked_frac", "bsp_time_s", "asp_time_s",
+                 "bsp/asp"});
+
+  double dprs_iid = 0.0, dprs_hetero = 0.0;
+  for (const double wsigma : {0.0, 0.1, 0.25, 0.5}) {
+    auto cfg = bench::alexnet_like(64, 1, iters);
+    cfg.sync = {.kind = "ssp", .staleness = 3};
+    cfg.dpr_mode = ps::DprMode::kSoftBarrier;
+    cfg.compute.worker_sigma = wsigma;
+    const auto ssp = core::run_experiment(cfg);
+
+    auto bsp_cfg = cfg;
+    bsp_cfg.sync = {.kind = "bsp"};
+    const auto bsp = core::run_experiment(bsp_cfg);
+    auto asp_cfg = cfg;
+    asp_cfg.sync = {.kind = "asp"};
+    const auto asp = core::run_experiment(asp_cfg);
+
+    // Fraction of pulls that became DPRs: N pulls per iteration.
+    const double blocked =
+        static_cast<double>(ssp.dpr_total) / (64.0 * static_cast<double>(iters));
+    table.add(bench::fmt(wsigma, 2), bench::fmt(ssp.dprs_per_100_iters, 0),
+              bench::fmt(blocked, 2), bench::fmt(bsp.total_time, 1),
+              bench::fmt(asp.total_time, 1), bench::fmt(bsp.total_time / asp.total_time, 2));
+    if (wsigma == 0.0) dprs_iid = ssp.dprs_per_100_iters;
+    if (wsigma == 0.5) dprs_hetero = ssp.dprs_per_100_iters;
+  }
+
+  std::printf("%s\n", table.to_ascii().c_str());
+  table.write_csv(bench::csv_path("ablation_heterogeneity"));
+
+  // The blocked fraction rises monotonically toward full saturation with the
+  // persistent spread (the transient spikes in the base model already cause
+  // partial saturation at sigma = 0).
+  bench::report("persistent spread saturates the window", "DPR volume grows with spread",
+                bench::fmt(dprs_iid, 0) + " -> " + bench::fmt(dprs_hetero, 0) + " DPRs/100it",
+                dprs_hetero > dprs_iid * 1.2);
+  return 0;
+}

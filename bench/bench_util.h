@@ -1,0 +1,165 @@
+// Shared helpers for the paper-reproduction bench binaries.
+//
+// Every bench prints (a) the figure/table id and the paper's claim, (b) a
+// table of measured rows, and (c) PAPER-VS-MEASURED lines that EXPERIMENTS.md
+// collects. CSVs land in ./bench_out/ for plotting.
+//
+// Workload calibration (see DESIGN.md §1): the *virtual* compute time models
+// the paper's large-batch GPU/CPU step and shrinks as 1/N (fixed global batch
+// split across N workers); the *real* gradient math runs on a small per-worker
+// batch so a bench finishes in seconds. Virtual network parameters model a
+// contended 1 GbE-class fabric.
+#pragma once
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include "common/table.h"
+#include "core/fluentps.h"
+
+namespace fluentps::bench {
+
+/// "AlexNet on CIFAR-10" stand-in: shallow non-convex MLP on the synthetic
+/// 10-class task with momentum SGD (the regime of Figs 1, 7, 9, 10, 11).
+inline core::ExperimentConfig alexnet_like(std::uint32_t workers, std::uint32_t servers,
+                                           std::int64_t iters) {
+  core::ExperimentConfig cfg;
+  cfg.backend = core::Backend::kSim;
+  cfg.num_workers = workers;
+  cfg.num_servers = servers;
+  cfg.max_iters = iters;
+  // hidden = 256 puts the model at ~44 KB so the single server's link is the
+  // bottleneck at N = 64 — the regime of the paper's 1 GbE CPU cluster, where
+  // synchronization structure (bursts, DPR storms) shows up as time.
+  cfg.model.kind = "mlp";
+  cfg.model.hidden = 256;
+  cfg.data.dim = 32;
+  cfg.data.num_classes = 10;
+  cfg.data.num_train = 4096;
+  cfg.data.num_test = 1024;
+  cfg.opt.kind = "momentum";
+  cfg.opt.momentum = 0.9;
+  // Large-batch regime: scaled-up lr, where stale reads measurably hurt
+  // (ASP's accuracy deficit in Figs 10/11 only exists at this scale).
+  cfg.opt.lr.base = 0.4;
+  cfg.batch_size = 16;
+  cfg.slicer = "eps";
+  // Heterogeneous cluster: persistent per-worker pace factors (saturating the
+  // staleness window, as in the paper's clusters) + per-iteration jitter +
+  // transient spikes.
+  cfg.compute.kind = "heterogeneous";
+  cfg.compute.base_seconds = 3.2 / static_cast<double>(workers);
+  cfg.compute.sigma = 0.25;
+  cfg.compute.worker_sigma = 0.25;
+  cfg.compute.straggler_prob = 0.02;
+  cfg.compute.slowdown = 4.0;
+  cfg.net.latency_seconds = 200e-6;
+  cfg.net.bandwidth_bytes_per_sec = 3e7;
+  cfg.seed = 2019;
+  return cfg;
+}
+
+/// Same task with CIFAR-100-like labels.
+inline core::ExperimentConfig alexnet100_like(std::uint32_t workers, std::uint32_t servers,
+                                              std::int64_t iters) {
+  auto cfg = alexnet_like(workers, servers, iters);
+  cfg.data.num_classes = 100;
+  cfg.data.teacher_hidden = 64;
+  cfg.data.num_train = 8192;
+  cfg.data.num_test = 2048;
+  return cfg;
+}
+
+/// "ResNet-56 on CIFAR-10" stand-in: the 56-weight-layer residual MLP with
+/// LARS for large-batch training (the regime of Figs 6, 8 and the ResNet rows
+/// of Table IV). Model bytes are large enough that communication matters.
+inline core::ExperimentConfig resnet56_like(std::uint32_t workers, std::uint32_t servers,
+                                            std::int64_t iters) {
+  core::ExperimentConfig cfg;
+  cfg.backend = core::Backend::kSim;
+  cfg.num_workers = workers;
+  cfg.num_servers = servers;
+  cfg.max_iters = iters;
+  cfg.model.kind = "resmlp";
+  cfg.model.hidden = 16;
+  cfg.model.blocks = 27;  // 56 weight layers
+  cfg.data.dim = 64;
+  cfg.data.num_classes = 10;
+  cfg.data.num_train = 4096;
+  cfg.data.num_test = 1024;
+  cfg.opt.kind = "lars";
+  cfg.opt.lars_eta = 0.1;
+  cfg.opt.lr.base = 1.0;
+  cfg.opt.lr.kind = "step";
+  cfg.opt.lr.decay_every = iters > 3 ? iters / 3 : 1;
+  cfg.opt.lr.decay_factor = 0.3;
+  cfg.opt.lr.warmup_iters = iters / 20;
+  cfg.batch_size = 8;
+  cfg.slicer = "eps";
+  // GPU-cluster-like step time (batch 4096 split over N K80s) with the same
+  // persistent heterogeneity as the CPU cluster.
+  cfg.compute.kind = "heterogeneous";
+  cfg.compute.base_seconds = 1.6 / static_cast<double>(workers);
+  cfg.compute.sigma = 0.25;
+  cfg.compute.worker_sigma = 0.2;
+  cfg.compute.straggler_prob = 0.02;
+  cfg.compute.slowdown = 4.0;
+  cfg.net.latency_seconds = 200e-6;
+  cfg.net.bandwidth_bytes_per_sec = 3e7;
+  cfg.seed = 2019;
+  return cfg;
+}
+
+/// Widened ResMLP whose stem dominates the byte count — the Fig 6 workload
+/// where PS-Lite's default slicing creates a hot-spot server.
+inline core::ExperimentConfig resnet56_comm_heavy(std::uint32_t workers, std::uint32_t servers,
+                                                  std::int64_t iters) {
+  auto cfg = resnet56_like(workers, servers, iters);
+  cfg.model.hidden = 32;
+  cfg.data.dim = 512;  // stem = 16384 params: 22% of the model in one tensor
+  return cfg;
+}
+
+/// First curve time at which accuracy >= target; +inf if never reached.
+inline double time_to_accuracy(const core::ExperimentResult& r, double target) {
+  for (const auto& pt : r.curve) {
+    if (pt.accuracy >= target) return pt.time;
+  }
+  return std::numeric_limits<double>::infinity();
+}
+
+/// Ensure ./bench_out exists and return the CSV path for `name`.
+inline std::string csv_path(const std::string& name) {
+  std::filesystem::create_directories("bench_out");
+  return "bench_out/" + name + ".csv";
+}
+
+inline void print_banner(const char* id, const char* claim) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", id);
+  std::printf("Paper claim: %s\n", claim);
+  std::printf("================================================================\n");
+}
+
+/// One PAPER-VS-MEASURED line (collected into EXPERIMENTS.md).
+inline void report(const std::string& metric, const std::string& paper,
+                   const std::string& measured, bool shape_holds) {
+  std::printf("PAPER-VS-MEASURED | %-38s | paper: %-22s | measured: %-22s | shape %s\n",
+              metric.c_str(), paper.c_str(), measured.c_str(), shape_holds ? "HOLDS" : "DIFFERS");
+}
+
+inline std::string fmt(double v, int prec = 2) { return Table::num(v, prec); }
+
+/// "A.BCx" speedup string.
+inline std::string speedup(double slow, double fast) {
+  return fast > 0.0 ? Table::num(slow / fast, 2) + "x" : "inf";
+}
+
+/// Percentage-reduction string from `base` down to `value`.
+inline std::string reduction(double base, double value) {
+  if (base <= 0.0) return "n/a";
+  return Table::num(100.0 * (1.0 - value / base), 1) + "%";
+}
+
+}  // namespace fluentps::bench

@@ -1,0 +1,53 @@
+// Figure 7: test accuracy after a fixed iteration budget (paper: 4000 iters
+// of AlexNet on CIFAR-10, SSP s=3) as the cluster grows. PMLS-Caffe collapses
+// to 12.7-19% beyond 8 workers; FluentPS holds 75.9-76.7% even at 64 workers.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/config.h"
+
+int main(int argc, char** argv) {
+  using namespace fluentps;
+  const auto args = Config::from_args(argc, argv);
+  const auto iters = args.get_int("iters", 400);
+
+  bench::print_banner("Fig 7 | Scalability: FluentPS vs PMLS-Caffe (SSP s=3)",
+                      "FluentPS accuracy stays flat to 64 workers; PMLS-Caffe (SSPtable) "
+                      "drops below 20% past 8 workers");
+
+  Table table("Fig 7: final accuracy at fixed iteration budget");
+  table.add_row({"workers", "fluentps", "pmls_caffe(ssptable)"});
+
+  double fluent_min = 1.0, fluent_max = 0.0, pmls_large = 1.0, pmls_small = 0.0;
+  for (const std::uint32_t n : {2u, 4u, 8u, 16u, 32u, 64u}) {
+    auto fluent = bench::alexnet_like(n, 1, iters);
+    fluent.sync.kind = "ssp";
+    fluent.sync.staleness = 3;
+    // Fixed global batch across cluster sizes (see fig01).
+    fluent.batch_size = std::max<std::size_t>(4, 256 / n);
+    const auto rf = core::run_experiment(fluent);
+
+    auto pmls = fluent;
+    pmls.arch = core::Arch::kSspTable;
+    const auto rp = core::run_experiment(pmls);
+
+    table.add(std::to_string(n), bench::fmt(rf.final_accuracy, 3),
+              bench::fmt(rp.final_accuracy, 3));
+    fluent_min = std::min(fluent_min, rf.final_accuracy);
+    fluent_max = std::max(fluent_max, rf.final_accuracy);
+    if (n >= 16) pmls_large = std::min(pmls_large, rp.final_accuracy);
+    if (n <= 4) pmls_small = std::max(pmls_small, rp.final_accuracy);
+  }
+
+  std::printf("%s\n", table.to_ascii().c_str());
+  table.write_csv(bench::csv_path("fig07_scalability"));
+
+  bench::report("FluentPS accuracy flat with N", "75.9-76.7% at N=64",
+                bench::fmt(fluent_min, 3) + "-" + bench::fmt(fluent_max, 3),
+                fluent_max - fluent_min < 0.15 && fluent_min > 0.4);
+  bench::report("PMLS-Caffe collapse at large N", "12.7-19%", bench::fmt(pmls_large, 3),
+                pmls_large < fluent_min - 0.15);
+  bench::report("PMLS-Caffe fine at small N", "close to FluentPS", bench::fmt(pmls_small, 3),
+                pmls_small > fluent_min - 0.15);
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Figure 10: accuracy vs time for AlexNet on CIFAR-10 with 64 workers under
+// BSP / SSP(s=3) / ASP / PSSP(s=3, c in {0.1, 0.3, 0.5}), 4000 iterations.
+// Paper: ASP finishes fastest but ~1% lower accuracy than PSSP(0.5);
+// PSSP matches SSP's accuracy while running 1.38x faster.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/config.h"
+
+int main(int argc, char** argv) {
+  using namespace fluentps;
+  const auto args = Config::from_args(argc, argv);
+  const auto iters = args.get_int("iters", 300);
+  const auto workers = static_cast<std::uint32_t>(args.get_int("workers", 64));
+
+  bench::print_banner("Fig 10 | Accuracy vs time by sync model (N=64)",
+                      "PSSP(0.5) best accuracy; 1.38x faster than SSP at similar accuracy; "
+                      "ASP fastest but lowest accuracy");
+
+  struct ModelRow {
+    std::string name;
+    ps::SyncModelSpec sync;
+  };
+  const ModelRow rows[] = {
+      {"bsp", {.kind = "bsp"}},
+      {"ssp(s=3)", {.kind = "ssp", .staleness = 3}},
+      {"asp", {.kind = "asp"}},
+      {"pssp(0.1)", {.kind = "pssp", .staleness = 3, .prob = 0.1}},
+      {"pssp(0.3)", {.kind = "pssp", .staleness = 3, .prob = 0.3}},
+      {"pssp(0.5)", {.kind = "pssp", .staleness = 3, .prob = 0.5}},
+  };
+
+  Table curve("Fig 10: accuracy vs time");
+  curve.add_row({"model", "time_s", "accuracy"});
+  Table summary("Fig 10 summary");
+  summary.add_row({"model", "total_s", "final_acc", "dprs_per_100it"});
+
+  double asp_time = 0.0, asp_acc = 0.0, ssp_time = 0.0, ssp_acc = 0.0;
+  double pssp5_time = 0.0, pssp5_acc = 0.0;
+  for (const auto& row : rows) {
+    auto cfg = bench::alexnet_like(workers, 1, iters);
+    cfg.sync = row.sync;
+    cfg.eval_every = iters / 10;
+    const auto r = core::run_experiment(cfg);
+    for (const auto& pt : r.curve) {
+      curve.add(row.name, bench::fmt(pt.time, 1), bench::fmt(pt.accuracy, 3));
+    }
+    summary.add(row.name, bench::fmt(r.total_time, 2), bench::fmt(r.final_accuracy, 3),
+                bench::fmt(r.dprs_per_100_iters, 1));
+    if (row.name == "asp") {
+      asp_time = r.total_time;
+      asp_acc = r.final_accuracy;
+    } else if (row.name == "ssp(s=3)") {
+      ssp_time = r.total_time;
+      ssp_acc = r.final_accuracy;
+    } else if (row.name == "pssp(0.5)") {
+      pssp5_time = r.total_time;
+      pssp5_acc = r.final_accuracy;
+    }
+  }
+
+  std::printf("%s\n", summary.to_ascii().c_str());
+  curve.write_csv(bench::csv_path("fig10_models_64w"));
+  std::printf("curve CSV: %s\n", bench::csv_path("fig10_models_64w").c_str());
+
+  bench::report("ASP fastest to finish", "yes", bench::fmt(asp_time, 1) + "s",
+                asp_time <= std::min(ssp_time, pssp5_time));
+  bench::report("PSSP(0.5) accuracy vs ASP", "~1% higher",
+                bench::fmt(pssp5_acc, 3) + " vs " + bench::fmt(asp_acc, 3),
+                pssp5_acc >= asp_acc - 0.015);
+  bench::report("PSSP(0.5) speedup vs SSP", "1.38x", bench::speedup(ssp_time, pssp5_time),
+                pssp5_time < ssp_time);
+  bench::report("PSSP accuracy ~ SSP accuracy", "close",
+                bench::fmt(pssp5_acc, 3) + " vs " + bench::fmt(ssp_acc, 3),
+                std::abs(pssp5_acc - ssp_acc) < 0.05);
+  return 0;
+}

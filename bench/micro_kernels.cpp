@@ -1,0 +1,139 @@
+// Microbenchmarks (google-benchmark) for the hot paths: sync-engine request
+// handling, GEMM kernels, message serialization, network-model updates, and
+// slicing. These guard against performance regressions in the substrate.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "ml/models/resmlp.h"
+#include "ml/ops.h"
+#include "net/message.h"
+#include "ps/slicing.h"
+#include "ps/sync_engine.h"
+#include "sim/network_model.h"
+#include "sim/sim_env.h"
+
+namespace {
+
+using namespace fluentps;
+
+void BM_SyncEnginePushPull(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  ps::SyncEngine::Spec spec;
+  spec.num_workers = n;
+  spec.mode = ps::DprMode::kLazy;
+  spec.model = ps::make_sync_model({.kind = "ssp", .staleness = 3}, n);
+  spec.seed = 1;
+  ps::SyncEngine engine(std::move(spec));
+  std::int64_t iter = 0;
+  std::uint64_t req = 1;
+  for (auto _ : state) {
+    for (std::uint32_t w = 0; w < n; ++w) {
+      benchmark::DoNotOptimize(engine.on_push(w, iter));
+      benchmark::DoNotOptimize(engine.on_pull(w, iter, req++));
+    }
+    ++iter;
+  }
+  state.SetItemsProcessed(state.iterations() * n * 2);
+}
+BENCHMARK(BM_SyncEnginePushPull)->Arg(8)->Arg(64)->Arg(256);
+
+void BM_GemmNn(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  std::vector<float> A(n * n), B(n * n), C(n * n);
+  for (auto& x : A) x = static_cast<float>(rng.normal());
+  for (auto& x : B) x = static_cast<float>(rng.normal());
+  for (auto _ : state) {
+    ml::gemm_nn(n, n, n, 1.0f, A.data(), B.data(), 0.0f, C.data());
+    benchmark::DoNotOptimize(C.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n * 2);
+}
+BENCHMARK(BM_GemmNn)->Arg(16)->Arg(64)->Arg(128);
+
+void BM_ResMlpGrad(benchmark::State& state) {
+  const ml::ResMlp model(64, 16, 27, 10);
+  std::vector<float> w(model.num_params()), g(model.num_params());
+  Rng rng(2);
+  model.init_params(w, rng);
+  std::vector<float> X(16 * 64);
+  std::vector<int> y(16, 1);
+  for (auto& x : X) x = static_cast<float>(rng.normal());
+  const ml::Batch batch{X.data(), y.data(), 16, 64};
+  ml::Workspace ws;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.grad(w, batch, g, ws));
+  }
+}
+BENCHMARK(BM_ResMlpGrad);
+
+void BM_MessageSerialize(benchmark::State& state) {
+  net::Message m;
+  m.type = net::MsgType::kPush;
+  m.values.resize(static_cast<std::size_t>(state.range(0)), 1.5f);
+  for (auto _ : state) {
+    auto frame = m.serialize();
+    benchmark::DoNotOptimize(frame.data());
+    net::Message out;
+    benchmark::DoNotOptimize(net::Message::deserialize(frame, &out));
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(m.values.size() * sizeof(float)));
+}
+BENCHMARK(BM_MessageSerialize)->Arg(1024)->Arg(65536);
+
+void BM_NetworkModelDeliver(benchmark::State& state) {
+  sim::NetworkModel net(sim::NetworkSpec{}, 64);
+  double now = 0.0;
+  std::uint32_t src = 0;
+  for (auto _ : state) {
+    now = std::max(now, net.deliver(src, 63, 4096.0, now));
+    src = (src + 1) % 63;
+  }
+  benchmark::DoNotOptimize(now);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_NetworkModelDeliver);
+
+void BM_SimEnvScheduleRun(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::SimEnv env;
+    for (int i = 0; i < 1000; ++i) {
+      env.schedule(static_cast<double>(i % 13), [] {});
+    }
+    env.run();
+    benchmark::DoNotOptimize(env.events_executed());
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_SimEnvScheduleRun);
+
+void BM_EpsShard(benchmark::State& state) {
+  const ml::ResMlp model(512, 32, 27, 100);
+  const auto layers = model.layer_sizes();
+  ps::EpsSlicer slicer(1024);
+  for (auto _ : state) {
+    auto sh = slicer.shard(layers, 16);
+    benchmark::DoNotOptimize(sh.num_params);
+  }
+}
+BENCHMARK(BM_EpsShard);
+
+void BM_GatherScatter(benchmark::State& state) {
+  ps::EpsSlicer slicer(1024);
+  const auto sh = slicer.shard({262144}, 8);
+  std::vector<float> flat(262144, 1.0f);
+  std::vector<float> buf(sh.shards[0].total);
+  for (auto _ : state) {
+    sh.shards[0].gather(flat, buf);
+    sh.shards[0].scatter(buf, flat);
+    benchmark::DoNotOptimize(flat.data());
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(2 * buf.size() * sizeof(float)));
+}
+BENCHMARK(BM_GatherScatter);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,105 @@
+// Section III-E theory reproduction:
+//  (1) Eq 1 vs Eq 3: the regret bound of constant PSSP(s, c) equals the SSP
+//      bound at effective staleness s' = s + 1/c - 1 (the paper's pairing
+//      rule behind Fig 9's groups A..H).
+//  (2) Theorem 1's distributional claim: constant PSSP behaves like SSP with
+//      staleness s_i >= s with probability c * (1-c)^(s_i - s). We Monte-Carlo
+//      the engine's coin and compare the empirical effective-staleness pmf to
+//      the geometric law.
+//  (3) Theorem 2: dynamic PSSP's minimum pause probability is alpha/2, so its
+//      regret is bounded by constant PSSP with c = alpha/2.
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/rng.h"
+#include "ps/conditions.h"
+
+int main() {
+  using namespace fluentps;
+  using namespace fluentps::ps;
+
+  bench::print_banner("Theory | Regret bounds and the PSSP effective-staleness law",
+                      "PSSP(s,c) and SSP(s+1/c-1) share the bound 4FL*sqrt(2(s+1/c)N/T); "
+                      "effective staleness is geometric: P(s_i) = c(1-c)^(s_i-s)");
+
+  const double F = 1.0, L = 1.0;
+  const std::uint32_t N = 64;
+  const std::int64_t T = 4000 * 64;
+
+  Table bounds("Eq 1 vs Eq 3: paired bounds (Fig 9 groups)");
+  bounds.add_row({"group", "pssp(s,c)", "ssp(s')", "pssp_bound", "ssp_bound", "relative_diff"});
+  struct Group {
+    const char* name;
+    std::int64_t s;
+    double c;
+    std::int64_t s_prime;
+  };
+  bool bounds_match = true;
+  for (const auto& g : {Group{"A/B", 3, 0.5, 4}, Group{"C/D", 3, 1.0 / 3, 5},
+                        Group{"E/F", 3, 0.2, 7}, Group{"G/H", 3, 0.1, 12}}) {
+    const double bp = pssp_regret_bound(F, L, g.s, g.c, N, T);
+    const double bs = ssp_regret_bound(F, L, g.s_prime, N, T);
+    const double rel = std::abs(bp - bs) / bs;
+    bounds_match = bounds_match && rel < 1e-9;
+    bounds.add(std::string(g.name),
+               "s=" + std::to_string(g.s) + ",c=" + Table::num(g.c, 3),
+               "s'=" + std::to_string(g.s_prime), Table::num(bp, 5), Table::num(bs, 5),
+               Table::num(rel, 9));
+  }
+  std::printf("%s\n", bounds.to_ascii().c_str());
+
+  // (2) Monte-Carlo the coin: a worker at gap k >= s is paused w.p. c each
+  // "iteration it tries to run ahead"; the staleness it effectively trains at
+  // is s + G where G ~ Geometric(c) counts the passes before the first block.
+  const std::int64_t s = 3;
+  const double c = 0.3;
+  Rng rng(7);
+  const int trials = 200000;
+  std::vector<int> counts(20, 0);
+  for (int t = 0; t < trials; ++t) {
+    std::int64_t k = s;
+    // Pass the coin (prob 1-c) -> staleness grows; block (prob c) -> stop.
+    while (rng.uniform() >= c && k < s + 15) ++k;
+    const auto idx = static_cast<std::size_t>(k - s);
+    if (idx < counts.size()) ++counts[idx];
+  }
+  Table pmf("Effective-staleness distribution: empirical vs c(1-c)^(k-s), s=3, c=0.3");
+  pmf.add_row({"s_i", "empirical", "theory", "abs_err"});
+  bool law_holds = true;
+  for (std::size_t d = 0; d < 8; ++d) {
+    const double emp = static_cast<double>(counts[d]) / trials;
+    const double theory = c * std::pow(1.0 - c, static_cast<double>(d));
+    const double err = std::abs(emp - theory);
+    law_holds = law_holds && err < 0.01;
+    pmf.add(std::to_string(s + static_cast<std::int64_t>(d)), Table::num(emp, 4),
+            Table::num(theory, 4), Table::num(err, 4));
+  }
+  std::printf("%s\n", pmf.to_ascii().c_str());
+
+  // Expected effective staleness: s - 1 + 1/c (mean of the law above).
+  double mean_staleness = 0.0;
+  for (std::size_t d = 0; d < counts.size(); ++d) {
+    mean_staleness += static_cast<double>(s + static_cast<std::int64_t>(d)) *
+                      static_cast<double>(counts[d]) / trials;
+  }
+  const double expected = static_cast<double>(s) - 1.0 + 1.0 / c;
+
+  // (3) Dynamic PSSP dominance: its pause probability is >= alpha/2
+  // everywhere on [s, inf), so its bound is tighter than constant c=alpha/2.
+  const double alpha = 0.8;
+  bool dyn_dominates = true;
+  for (std::int64_t k = s; k < s + 30; ++k) {
+    if (pssp_dynamic_probability(s, k, alpha) + 1e-12 < alpha / 2.0) dyn_dominates = false;
+  }
+
+  bench::report("Eq1/Eq3 paired bounds equal", "equal by Theorem 1", bounds_match ? "equal" : "differ",
+                bounds_match);
+  bench::report("effective staleness ~ geometric law", "c(1-c)^(k-s)",
+                law_holds ? "matches (err<0.01)" : "mismatch", law_holds);
+  bench::report("mean effective staleness", "s + 1/c - 1 = " + std::to_string(expected),
+                bench::fmt(mean_staleness, 2), std::abs(mean_staleness - expected) < 0.2);
+  bench::report("dynamic PSSP P(k) >= alpha/2 on [s,inf)", "Theorem 2 premise",
+                dyn_dominates ? "holds" : "violated", dyn_dominates);
+  return 0;
+}

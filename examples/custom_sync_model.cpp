@@ -1,0 +1,134 @@
+// Building a custom synchronization model with SetcondPull / SetcondPush.
+//
+// FluentPS's claim (Section III-B): any synchronization scheme is just a
+// (pull condition, push condition) pair over the exposed synchronization
+// state. This example builds a model that is NOT in the paper's Table III —
+// "deadline SSP": behave like SSP(s), but if the progress spread across
+// workers exceeds a hard deadline gap D, drop to BSP until the stragglers
+// catch up (a simple congestion brake) — and runs it against plain SSP on a
+// straggler-heavy cluster, directly on the Server/WorkerClient API.
+#include <atomic>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "common/config.h"
+#include "core/fluentps.h"
+#include "net/inproc_transport.h"
+
+namespace {
+
+using namespace fluentps;
+
+/// The custom pull condition. All state it needs comes from SyncView.
+ps::PullCondition deadline_ssp(std::int64_t s, std::int64_t deadline_gap) {
+  return [s, deadline_gap](const ps::PullCtx& ctx, const ps::SyncView& view, Rng&) {
+    const bool spread_exceeded =
+        view.fastest >= 0 && view.slowest >= 0 && view.fastest - view.slowest > deadline_gap;
+    const std::int64_t effective_s = spread_exceeded ? 0 : s;
+    return ctx.progress < view.v_train + effective_s;
+  };
+}
+
+struct MiniCluster {
+  ps::Sharding sharding;
+  net::InprocTransport transport;
+  std::vector<std::unique_ptr<ps::Server>> servers;
+  std::vector<std::unique_ptr<ps::WorkerClient>> clients;
+
+  MiniCluster(std::uint32_t n_workers, std::uint32_t n_servers, std::size_t num_params) {
+    ps::EpsSlicer slicer(256);
+    sharding = slicer.shard({num_params}, n_servers);
+    for (std::uint32_t m = 0; m < n_servers; ++m) {
+      ps::ServerSpec spec;
+      spec.node_id = 1 + m;
+      spec.server_rank = m;
+      spec.num_workers = n_workers;
+      spec.layout = sharding.shards[m];
+      spec.initial_shard.assign(spec.layout.total, 0.0f);
+      spec.engine.num_workers = n_workers;
+      spec.engine.mode = ps::DprMode::kLazy;
+      spec.engine.model = ps::make_sync_model({.kind = "ssp", .staleness = 4}, n_workers);
+      spec.engine.seed = 7 + m;
+      auto server = std::make_unique<ps::Server>(std::move(spec), transport);
+      auto* raw = server.get();
+      transport.register_node(raw->node_id(),
+                              [raw](net::Message&& msg) { raw->handle(std::move(msg)); });
+      servers.push_back(std::move(server));
+    }
+    for (std::uint32_t n = 0; n < n_workers; ++n) {
+      ps::WorkerSpec spec;
+      spec.node_id = 1 + n_servers + n;
+      spec.worker_rank = n;
+      for (std::uint32_t m = 0; m < n_servers; ++m) spec.server_nodes.push_back(1 + m);
+      spec.sharding = &sharding;
+      auto client = std::make_unique<ps::WorkerClient>(std::move(spec), transport);
+      auto* raw = client.get();
+      transport.register_node(raw->node_id(),
+                              [raw](net::Message&& msg) { raw->handle(std::move(msg)); });
+      clients.push_back(std::move(client));
+    }
+  }
+
+  /// Run N worker threads for `iters` iterations; worker 0 sleeps extra to be
+  /// a straggler. Returns max observed progress spread.
+  std::int64_t run(std::int64_t iters) {
+    std::atomic<std::int64_t> max_spread{0};
+    std::vector<std::jthread> threads;
+    for (std::uint32_t n = 0; n < clients.size(); ++n) {
+      threads.emplace_back([&, n] {
+        std::vector<float> update(sharding.num_params, 0.001f);
+        std::vector<float> params(sharding.num_params);
+        for (std::int64_t i = 0; i < iters; ++i) {
+          if (n == 0 && i % 3 == 0) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(3));  // straggler
+          }
+          clients[n]->push(update, i);
+          const auto t = clients[n]->pull(i);
+          clients[n]->wait_pull(t, params);
+          const auto spread = servers[0]->engine().fastest() - servers[0]->engine().slowest();
+          std::int64_t cur = max_spread.load();
+          while (spread > cur && !max_spread.compare_exchange_weak(cur, spread)) {
+          }
+        }
+      });
+    }
+    threads.clear();  // join
+    return max_spread.load();
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto args = Config::from_args(argc, argv);
+  const auto iters = args.get_int("iters", 60);
+  const std::uint32_t workers = 6, servers = 2;
+
+  std::printf("== custom synchronization model: deadline-SSP via SetcondPull ==\n\n");
+
+  // Run 1: plain SSP(s=4).
+  MiniCluster plain(workers, servers, 2048);
+  const auto spread_plain = plain.run(iters);
+  std::int64_t dprs_plain = 0;
+  for (const auto& s : plain.servers) dprs_plain += s->engine().dpr_total();
+
+  // Run 2: same cluster, but every server gets the custom pull condition
+  // installed at runtime (the SetcondPull API).
+  MiniCluster custom(workers, servers, 2048);
+  for (auto& s : custom.servers) {
+    s->set_pull_condition(deadline_ssp(/*s=*/4, /*deadline_gap=*/2));
+  }
+  const auto spread_custom = custom.run(iters);
+  std::int64_t dprs_custom = 0;
+  for (const auto& s : custom.servers) dprs_custom += s->engine().dpr_total();
+
+  std::printf("%-22s %-18s %s\n", "model", "max spread", "DPRs");
+  std::printf("%-22s %-18lld %lld\n", "ssp(s=4)", static_cast<long long>(spread_plain),
+              static_cast<long long>(dprs_plain));
+  std::printf("%-22s %-18lld %lld\n", "deadline-ssp(4, D=2)",
+              static_cast<long long>(spread_custom), static_cast<long long>(dprs_custom));
+  std::printf("\nThe deadline condition clamps the progress spread near its deadline gap,\n"
+              "trading extra DPRs for tighter staleness — all without touching server code.\n");
+  return 0;
+}

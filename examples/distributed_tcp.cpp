@@ -1,0 +1,179 @@
+// Truly distributed FluentPS: separate OS processes connected over TCP.
+//
+// The parent process reserves a port, forks N worker processes, then runs a
+// parameter server on that port. Each worker process builds the (identical,
+// deterministic) dataset and model, connects over loopback TCP, and trains
+// under SSP — the server learns each worker's return route from the
+// transport's hello frames, so no manual wiring is needed.
+//
+// Usage: distributed_tcp [--workers=2] [--iters=60]
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+
+#include "common/config.h"
+#include "ml/eval.h"
+#include "net/tcp_transport.h"
+#include "core/fluentps.h"
+
+namespace {
+
+using namespace fluentps;
+
+constexpr net::NodeId kServerNode = 1;
+net::NodeId worker_node(std::uint32_t rank) { return 2 + rank; }
+
+/// Reserve an ephemeral port: bind, read it back, close. The tiny window
+/// before the parent re-binds is covered by the workers' connect-retry loop.
+std::uint16_t reserve_port() {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  ::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  socklen_t len = sizeof(addr);
+  ::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len);
+  const auto port = ntohs(addr.sin_port);
+  ::close(fd);
+  return port;
+}
+
+/// Block until something is accepting connections on 127.0.0.1:port.
+void wait_for_listener(std::uint16_t port) {
+  for (;;) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    const bool up = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0;
+    ::close(fd);
+    if (up) return;
+    ::usleep(20000);
+  }
+}
+
+struct Problem {
+  ml::Dataset data;
+  std::unique_ptr<ml::Model> model;
+  ps::Sharding sharding;
+  std::vector<float> w0;
+
+  Problem() : data(ml::Dataset::synthesize(spec())) {
+    model = ml::make_model({.kind = "softmax"}, data.dim(), data.num_classes());
+    ps::EpsSlicer slicer(128);
+    sharding = slicer.shard(model->layer_sizes(), 1);
+    w0.resize(model->num_params());
+    Rng rng(99, 0x1717);
+    model->init_params(w0, rng);
+  }
+
+  static ml::DataSpec spec() {
+    ml::DataSpec s;
+    s.dim = 16;
+    s.num_classes = 5;
+    s.num_train = 1024;
+    s.num_test = 512;
+    s.seed = 7;
+    return s;
+  }
+};
+
+int run_worker(std::uint32_t rank, std::uint32_t num_workers, std::uint16_t server_port,
+               std::int64_t iters) {
+  const Problem p;
+  wait_for_listener(server_port);
+
+  net::TcpTransport transport;
+  ps::WorkerSpec spec;
+  spec.node_id = worker_node(rank);
+  spec.worker_rank = rank;
+  spec.server_nodes = {kServerNode};
+  spec.sharding = &p.sharding;
+  ps::WorkerClient client(std::move(spec), transport);
+  transport.register_node(worker_node(rank),
+                          [&client](net::Message&& m) { client.handle(std::move(m)); });
+  (void)transport.listen();  // advertised to the server via hello frames
+  transport.add_route(kServerNode, "127.0.0.1", server_port);
+
+  std::vector<float> params = p.w0;
+  std::vector<float> grad(p.model->num_params());
+  std::vector<float> update(p.model->num_params());
+  auto opt = ml::make_optimizer({.kind = "sgd", .lr = {.base = 0.4}}, *p.model);
+  ml::BatchSampler sampler(p.data, rank, num_workers, 16, 5);
+  ml::Workspace ws;
+  double loss = 0.0;
+  for (std::int64_t i = 0; i < iters; ++i) {
+    loss = p.model->grad(params, sampler.next(), grad, ws);
+    opt->compute_update(params, grad, i, update);
+    client.push(update, i);
+    const auto t = client.pull(i);
+    client.wait_pull(t, params);
+  }
+  std::printf("[worker %u pid %d] done: %lld iterations, last minibatch loss %.3f\n", rank,
+              getpid(), static_cast<long long>(iters), loss);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto args = Config::from_args(argc, argv);
+  const auto num_workers = static_cast<std::uint32_t>(args.get_int("workers", 2));
+  const auto iters = args.get_int("iters", 60);
+  const std::uint16_t port = reserve_port();
+
+  std::printf("spawning %u worker processes; server on 127.0.0.1:%u\n", num_workers, port);
+  std::fflush(stdout);  // don't duplicate buffered output into the children
+  std::vector<pid_t> children;
+  for (std::uint32_t w = 0; w < num_workers; ++w) {
+    const pid_t pid = fork();
+    if (pid == 0) {
+      return run_worker(w, num_workers, port, iters);  // child
+    }
+    children.push_back(pid);
+  }
+
+  // Parent: the parameter server. (Created after fork so children never
+  // inherit its threads or sockets.)
+  const Problem p;
+  net::TcpTransport transport;
+  ps::ServerSpec spec;
+  spec.node_id = kServerNode;
+  spec.server_rank = 0;
+  spec.num_workers = num_workers;
+  spec.layout = p.sharding.shards[0];
+  spec.initial_shard.resize(spec.layout.total);
+  spec.layout.gather(p.w0, spec.initial_shard);
+  spec.engine.num_workers = num_workers;
+  spec.engine.mode = ps::DprMode::kLazy;
+  spec.engine.model = ps::make_sync_model({.kind = "ssp", .staleness = 2}, num_workers);
+  spec.engine.seed = 1;
+  ps::Server server(std::move(spec), transport);
+  transport.register_node(kServerNode,
+                          [&server](net::Message&& m) { server.handle(std::move(m)); });
+  (void)transport.listen(port);
+
+  for (const pid_t pid : children) {
+    int status = 0;
+    waitpid(pid, &status, 0);
+  }
+
+  // Evaluate the final global model held by the server.
+  std::vector<float> final_params(p.model->num_params());
+  server.snapshot_into(final_params);
+  ml::Workspace ws;
+  const double acc = ml::test_accuracy(*p.model, final_params, p.data, ws);
+  std::printf("[server pid %d] %lld pushes applied, %lld pulls answered, %lld DPRs\n", getpid(),
+              static_cast<long long>(server.pushes_applied()),
+              static_cast<long long>(server.pulls_answered()),
+              static_cast<long long>(server.engine().dpr_total()));
+  std::printf("final test accuracy across %u processes: %.3f (chance %.3f)\n", num_workers, acc,
+              1.0 / static_cast<double>(p.data.num_classes()));
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Elastic Parameter Slicing in action: shard a real model's layers, lose a
+// server, rebalance, and print the migration plan (Section III-A: "when the
+// number of servers changes, EPS can also rebalance the workloads among the
+// alive servers").
+#include <cstdio>
+
+#include "common/config.h"
+#include "core/fluentps.h"
+#include "ml/models/resmlp.h"
+
+int main(int argc, char** argv) {
+  using namespace fluentps;
+  const auto args = Config::from_args(argc, argv);
+  const auto servers = static_cast<std::uint32_t>(args.get_int("servers", 8));
+  const auto chunk = static_cast<std::size_t>(args.get_int("chunk", 1024));
+
+  const ml::ResMlp model(512, 32, 27, 10);
+  const auto layers = model.layer_sizes();
+  std::printf("model: ResMLP-56, %zu parameters in %zu layers (largest layer %zu)\n\n",
+              model.num_params(), layers.size(),
+              *std::max_element(layers.begin(), layers.end()));
+
+  // PS-Lite default slicing vs EPS.
+  ps::DefaultSlicer dflt;
+  ps::EpsSlicer eps(chunk);
+  const auto d = dflt.shard(layers, servers);
+  auto e = eps.shard(layers, servers);
+
+  std::printf("%-10s %-14s %-14s\n", "server", "default bytes", "eps bytes");
+  for (std::uint32_t m = 0; m < servers; ++m) {
+    std::printf("%-10u %-14zu %-14zu\n", m, d.shards[m].total * sizeof(float),
+                e.shards[m].total * sizeof(float));
+  }
+  std::printf("imbalance (max/mean): default %.2f, eps %.2f\n\n", d.imbalance(), e.imbalance());
+
+  // Server failure: rebalance onto M-1 servers and show what moves.
+  std::vector<ps::EpsSlicer::Migration> plan;
+  const auto shrunk = eps.rebalance(e, servers - 1, &plan);
+  std::size_t moved = 0;
+  for (const auto& m : plan) moved += m.slice.length;
+  std::printf("server %u leaves -> rebalanced onto %u servers\n", servers - 1, servers - 1);
+  std::printf("migrations: %zu slices, %zu bytes (%.1f%% of the model), new imbalance %.2f\n",
+              plan.size(), moved * sizeof(float),
+              100.0 * static_cast<double>(moved) / static_cast<double>(shrunk.num_params),
+              shrunk.imbalance());
+  for (std::size_t i = 0; i < std::min<std::size_t>(plan.size(), 5); ++i) {
+    std::printf("  key %llu (%zu params): server %u -> %u\n",
+                static_cast<unsigned long long>(plan[i].slice.key), plan[i].slice.length,
+                plan[i].from_server, plan[i].to_server);
+  }
+  if (plan.size() > 5) std::printf("  ... %zu more\n", plan.size() - 5);
+
+  // Scale out again.
+  plan.clear();
+  const auto grown = eps.rebalance(shrunk, servers + 4, &plan);
+  moved = 0;
+  for (const auto& m : plan) moved += m.slice.length;
+  std::printf("\nscale-out to %u servers: %zu slices move (%.1f%% of the model), imbalance %.2f\n",
+              servers + 4, plan.size(),
+              100.0 * static_cast<double>(moved) / static_cast<double>(grown.num_params),
+              grown.imbalance());
+  return 0;
+}

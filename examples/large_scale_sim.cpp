@@ -1,0 +1,79 @@
+// Large-scale what-if studies on the discrete-event backend.
+//
+// The DES executes real gradient math in virtual time, so a 128-worker
+// cluster with a contended network "runs" on a laptop in seconds and the
+// results are bit-reproducible. This example sweeps the synchronization
+// model zoo at a user-chosen scale and prints a ranked comparison — the
+// workflow a practitioner would use to pick a model before renting the real
+// cluster.
+//
+// Usage: large_scale_sim [--workers=128] [--servers=8] [--iters=300]
+//                        [--stragglers=transient|persistent|lognormal]
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "common/config.h"
+#include "core/fluentps.h"
+
+int main(int argc, char** argv) {
+  using namespace fluentps;
+  const auto args = Config::from_args(argc, argv);
+  const auto workers = static_cast<std::uint32_t>(args.get_int("workers", 128));
+  const auto servers = static_cast<std::uint32_t>(args.get_int("servers", 8));
+  const auto iters = args.get_int("iters", 300);
+  const auto straggler = args.get_string("stragglers", "transient");
+
+  std::printf("Simulating a %u-worker / %u-server cluster, %lld iterations, %s stragglers\n\n",
+              workers, servers, static_cast<long long>(iters), straggler.c_str());
+
+  const ps::SyncModelSpec zoo[] = {
+      {.kind = "bsp"},
+      {.kind = "ssp", .staleness = 3},
+      {.kind = "asp"},
+      {.kind = "dsps", .staleness = 3},
+      {.kind = "drop", .drop_nt = workers - workers / 8},
+      {.kind = "pssp", .staleness = 3, .prob = 0.3},
+      {.kind = "pssp_dynamic", .staleness = 3, .alpha = 0.8, .alpha_significance = true},
+  };
+
+  struct Row {
+    std::string name;
+    double time, acc, dprs;
+  };
+  std::vector<Row> rows;
+  for (const auto& sync : zoo) {
+    core::ExperimentConfig cfg;
+    cfg.backend = core::Backend::kSim;
+    cfg.num_workers = workers;
+    cfg.num_servers = servers;
+    cfg.max_iters = iters;
+    cfg.sync = sync;
+    cfg.dpr_mode = ps::DprMode::kLazy;
+    cfg.model.kind = "mlp";
+    cfg.model.hidden = 32;
+    cfg.data.num_train = 8192;
+    cfg.data.num_test = 1024;
+    cfg.opt.kind = "momentum";
+    cfg.opt.momentum = 0.9;
+    cfg.opt.lr.base = 0.2;
+    cfg.batch_size = 16;
+    cfg.compute.kind = straggler == "lognormal" ? "lognormal" : straggler;
+    cfg.compute.base_seconds = 6.4 / workers;
+    cfg.compute.slowdown = 4.0;
+    cfg.net.bandwidth_bytes_per_sec = 3e7;
+    cfg.seed = 1234;
+    const auto r = core::run_experiment(cfg);
+    rows.push_back({sync.label(), r.total_time, r.final_accuracy, r.dprs_per_100_iters});
+  }
+
+  std::sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) { return a.acc > b.acc; });
+  std::printf("%-28s %-12s %-10s %s\n", "model", "time(s)", "accuracy", "DPRs/100it");
+  for (const auto& row : rows) {
+    std::printf("%-28s %-12.2f %-10.3f %.1f\n", row.name.c_str(), row.time, row.acc, row.dprs);
+  }
+  std::printf("\n(ranked by accuracy; rerun with a different --stragglers profile to see the\n"
+              " ranking shift — drop-stragglers wins under persistent slow nodes, PSSP under\n"
+              " transient noise)\n");
+  return 0;
+}

@@ -1,0 +1,133 @@
+// Full command-line experiment runner: every ExperimentConfig knob as a flag,
+// CSV/trace/checkpoint outputs. The downstream user's workhorse.
+//
+// Examples:
+//   run_experiment_cli --workers=64 --servers=8 --sync=pssp --staleness=3 \
+//       --prob=0.3 --mode=lazy --iters=1000 --model=resmlp --eval_every=100 \
+//       --curve_csv=curve.csv --trace_json=timeline.json --save=model.ckpt
+//   run_experiment_cli --arch=pslite --sync=bsp --workers=32 --slicer=default
+#include <cstdio>
+
+#include "common/config.h"
+#include "common/table.h"
+#include "core/checkpoint.h"
+#include "core/fluentps.h"
+#include "core/trace_export.h"
+
+namespace {
+
+void print_usage() {
+  std::printf(
+      "flags (all key=value, '--' optional):\n"
+      "  cluster:  workers servers iters backend={sim,threads} arch={fluentps,pslite,ssptable}\n"
+      "  sync:     sync={bsp,asp,ssp,dsps,drop,pssp,pssp_dynamic} staleness prob alpha\n"
+      "            alpha_sf={0,1} drop_nt mode={lazy,soft}\n"
+      "  task:     model={softmax,mlp,resmlp} hidden blocks classes dim train_n test_n\n"
+      "            opt={sgd,momentum,lars} lr momentum lars_eta batch noise\n"
+      "  placement: slicer={eps,default} chunk\n"
+      "  timing:   compute={fixed,uniform,lognormal,transient,persistent,heterogeneous}\n"
+      "            base_seconds sigma worker_sigma straggler_prob slowdown\n"
+      "            latency bandwidth\n"
+      "  extras:   seed eval_every significance trace_iters\n"
+      "  outputs:  curve_csv= trace_json= save= load=\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace fluentps;
+  const auto args = Config::from_args(argc, argv);
+  if (args.has("help")) {
+    print_usage();
+    return 0;
+  }
+
+  core::ExperimentConfig cfg;
+  cfg.num_workers = static_cast<std::uint32_t>(args.get_int("workers", 8));
+  cfg.num_servers = static_cast<std::uint32_t>(args.get_int("servers", 2));
+  cfg.max_iters = args.get_int("iters", 400);
+  cfg.backend = core::parse_backend(args.get_string("backend", "sim"));
+  cfg.arch = core::parse_arch(args.get_string("arch", "fluentps"));
+
+  cfg.sync.kind = args.get_string("sync", "ssp");
+  cfg.sync.staleness = args.get_int("staleness", 3);
+  cfg.sync.prob = args.get_double("prob", 0.5);
+  cfg.sync.alpha = args.get_double("alpha", 0.8);
+  cfg.sync.alpha_significance = args.get_bool("alpha_sf", false);
+  cfg.sync.drop_nt = static_cast<std::uint32_t>(args.get_int("drop_nt", 0));
+  cfg.dpr_mode = ps::parse_dpr_mode(args.get_string("mode", "lazy"));
+
+  cfg.model.kind = args.get_string("model", "mlp");
+  cfg.model.hidden = static_cast<std::size_t>(args.get_int("hidden", 32));
+  cfg.model.blocks = static_cast<std::size_t>(args.get_int("blocks", 27));
+  cfg.data.dim = static_cast<std::size_t>(args.get_int("dim", 32));
+  cfg.data.num_classes = static_cast<std::size_t>(args.get_int("classes", 10));
+  cfg.data.num_train = static_cast<std::size_t>(args.get_int("train_n", 4096));
+  cfg.data.num_test = static_cast<std::size_t>(args.get_int("test_n", 1024));
+  cfg.data.label_noise = args.get_double("noise", 0.05);
+
+  cfg.opt.kind = args.get_string("opt", "momentum");
+  cfg.opt.lr.base = args.get_double("lr", 0.2);
+  cfg.opt.momentum = args.get_double("momentum", 0.9);
+  cfg.opt.lars_eta = args.get_double("lars_eta", 0.1);
+  cfg.batch_size = static_cast<std::size_t>(args.get_int("batch", 16));
+
+  cfg.slicer = args.get_string("slicer", "eps");
+  cfg.eps_chunk = static_cast<std::size_t>(args.get_int("chunk", 1024));
+
+  cfg.compute.kind = args.get_string("compute", "heterogeneous");
+  cfg.compute.base_seconds = args.get_double("base_seconds", 0.05);
+  cfg.compute.sigma = args.get_double("sigma", 0.25);
+  cfg.compute.worker_sigma = args.get_double("worker_sigma", 0.2);
+  cfg.compute.straggler_prob = args.get_double("straggler_prob", 0.02);
+  cfg.compute.slowdown = args.get_double("slowdown", 4.0);
+  cfg.net.latency_seconds = args.get_double("latency", 200e-6);
+  cfg.net.bandwidth_bytes_per_sec = args.get_double("bandwidth", 3e7);
+
+  cfg.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  cfg.eval_every = args.get_int("eval_every", 0);
+  cfg.push_significance_threshold = args.get_double("significance", 0.0);
+  cfg.trace_iters = args.get_int("trace_iters", 0);
+
+  if (const auto load = args.get_string("load"); !load.empty()) {
+    if (!core::load_params(load, &cfg.initial_params)) {
+      std::fprintf(stderr, "failed to load checkpoint %s\n", load.c_str());
+      return 1;
+    }
+    std::printf("resumed %zu parameters from %s\n", cfg.initial_params.size(), load.c_str());
+  }
+
+  std::printf("running %s ...\n", cfg.label().c_str());
+  const auto r = core::run_experiment(cfg);
+
+  std::printf("\ntotal time      %.3f s (compute %.3f + comm/sync %.3f per worker)\n",
+              r.total_time, r.compute_time, r.comm_time);
+  std::printf("final accuracy  %.4f   loss %.4f\n", r.final_accuracy, r.final_loss);
+  std::printf("DPRs            %lld total, %.1f per 100 iterations\n",
+              static_cast<long long>(r.dpr_total), r.dprs_per_100_iters);
+  std::printf("staleness       mean %.2f  p95 %lld\n", r.staleness.mean(),
+              static_cast<long long>(r.staleness.quantile(0.95)));
+  std::printf("traffic         %.1f MB in %llu messages\n", r.bytes_total / 1e6,
+              static_cast<unsigned long long>(r.messages));
+  if (r.pushes_filtered > 0) {
+    std::printf("filtered pushes %lld\n", static_cast<long long>(r.pushes_filtered));
+  }
+
+  if (const auto path = args.get_string("curve_csv"); !path.empty()) {
+    Table curve;
+    curve.add_row({"time_s", "iter", "accuracy", "loss"});
+    for (const auto& pt : r.curve) {
+      curve.add(pt.time, static_cast<int>(pt.iter), pt.accuracy, pt.loss);
+    }
+    std::printf("curve  -> %s (%s)\n", path.c_str(), curve.write_csv(path) ? "ok" : "FAILED");
+  }
+  if (const auto path = args.get_string("trace_json"); !path.empty()) {
+    std::printf("trace  -> %s (%s)\n", path.c_str(),
+                core::write_chrome_trace(path, r.trace) ? "ok" : "FAILED");
+  }
+  if (const auto path = args.get_string("save"); !path.empty()) {
+    std::printf("params -> %s (%s)\n", path.c_str(),
+                core::save_params(path, r.final_params) ? "ok" : "FAILED");
+  }
+  return 0;
+}

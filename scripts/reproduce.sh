@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Full reproduction pipeline: build, test, regenerate every table and figure.
+# Outputs land in test_output.txt, bench_output.txt and bench_out/*.csv.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+
+ctest --test-dir build 2>&1 | tee test_output.txt
+
+{
+  for b in build/bench/*; do
+    if [ -x "$b" ] && [ -f "$b" ]; then
+      echo "===== $b ====="
+      "$b"
+    fi
+  done
+} 2>&1 | tee bench_output.txt
+
+echo
+echo "== shape summary =="
+grep "PAPER-VS-MEASURED" bench_output.txt

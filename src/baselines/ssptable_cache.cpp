@@ -1,0 +1,18 @@
+#include "baselines/ssptable_cache.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fluentps::baselines {
+
+SspTableCachePolicy::SspTableCachePolicy(std::uint32_t num_workers, double divisor) noexcept {
+  const double d = divisor > 0.0 ? divisor : 1.0;
+  period_ = std::max<std::int64_t>(
+      1, static_cast<std::int64_t>(std::floor(static_cast<double>(num_workers) / d)));
+}
+
+bool SspTableCachePolicy::apply_fresh(std::int64_t iter) const noexcept {
+  return period_ <= 1 || iter % period_ == 0;
+}
+
+}  // namespace fluentps::baselines

@@ -1,0 +1,82 @@
+#include "common/config.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace fluentps {
+namespace {
+
+void parse_pair(Config& cfg, std::string_view token, std::vector<std::string>* positional) {
+  std::string_view body = token;
+  while (body.starts_with('-')) body.remove_prefix(1);
+  const auto eq = body.find('=');
+  if (eq == std::string_view::npos) {
+    if (positional != nullptr) positional->emplace_back(token);
+    return;
+  }
+  cfg.set(std::string(body.substr(0, eq)), std::string(body.substr(eq + 1)));
+}
+
+}  // namespace
+
+Config Config::from_args(int argc, const char* const* argv) {
+  Config cfg;
+  for (int i = 1; i < argc; ++i) {
+    parse_pair(cfg, argv[i], &cfg.positional_);
+  }
+  return cfg;
+}
+
+Config Config::from_text(std::string_view text) {
+  Config cfg;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    auto end = text.find('\n', pos);
+    if (end == std::string_view::npos) end = text.size();
+    std::string_view line = text.substr(pos, end - pos);
+    pos = end + 1;
+    const auto hash = line.find('#');
+    if (hash != std::string_view::npos) line = line.substr(0, hash);
+    // Trim whitespace.
+    while (!line.empty() && (line.front() == ' ' || line.front() == '\t')) line.remove_prefix(1);
+    while (!line.empty() && (line.back() == ' ' || line.back() == '\t' || line.back() == '\r'))
+      line.remove_suffix(1);
+    if (line.empty()) continue;
+    parse_pair(cfg, line, nullptr);
+  }
+  return cfg;
+}
+
+void Config::set(std::string key, std::string value) { kv_[std::move(key)] = std::move(value); }
+
+bool Config::has(const std::string& key) const { return kv_.contains(key); }
+
+std::string Config::get_string(const std::string& key, std::string fallback) const {
+  const auto it = kv_.find(key);
+  return it != kv_.end() ? it->second : std::move(fallback);
+}
+
+std::int64_t Config::get_int(const std::string& key, std::int64_t fallback) const {
+  const auto it = kv_.find(key);
+  if (it == kv_.end()) return fallback;
+  return std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+double Config::get_double(const std::string& key, double fallback) const {
+  const auto it = kv_.find(key);
+  if (it == kv_.end()) return fallback;
+  return std::strtod(it->second.c_str(), nullptr);
+}
+
+bool Config::get_bool(const std::string& key, bool fallback) const {
+  const auto it = kv_.find(key);
+  if (it == kv_.end()) return fallback;
+  const std::string& v = it->second;
+  return v == "1" || v == "true" || v == "yes" || v == "on";
+}
+
+std::vector<std::pair<std::string, std::string>> Config::entries() const {
+  return {kv_.begin(), kv_.end()};
+}
+
+}  // namespace fluentps

@@ -1,0 +1,44 @@
+// Minimal key=value configuration store with typed getters; parses
+// command-line style "--key=value" arguments and plain "key=value" lines so
+// examples and benches share one flag mechanism.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fluentps {
+
+class Config {
+ public:
+  Config() = default;
+
+  /// Parse argv-style arguments: "--key=value" or "key=value". Unrecognized
+  /// tokens are collected into positional().
+  static Config from_args(int argc, const char* const* argv);
+
+  /// Parse newline-separated "key=value" text; '#' begins a comment.
+  static Config from_text(std::string_view text);
+
+  void set(std::string key, std::string value);
+
+  [[nodiscard]] bool has(const std::string& key) const;
+
+  [[nodiscard]] std::string get_string(const std::string& key, std::string fallback = "") const;
+  [[nodiscard]] std::int64_t get_int(const std::string& key, std::int64_t fallback = 0) const;
+  [[nodiscard]] double get_double(const std::string& key, double fallback = 0.0) const;
+  [[nodiscard]] bool get_bool(const std::string& key, bool fallback = false) const;
+
+  [[nodiscard]] const std::vector<std::string>& positional() const noexcept { return positional_; }
+
+  /// All key/value pairs, sorted.
+  [[nodiscard]] std::vector<std::pair<std::string, std::string>> entries() const;
+
+ private:
+  std::map<std::string, std::string> kv_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace fluentps

@@ -1,0 +1,91 @@
+#include "common/logging.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+
+namespace fluentps::log {
+namespace {
+
+std::atomic<int> g_level{static_cast<int>(Level::kInfo)};
+std::mutex g_sink_mu;
+std::ostream* g_sink = nullptr;  // nullptr means std::cerr
+
+const char* level_name(Level l) {
+  switch (l) {
+    case Level::kDebug: return "DEBUG";
+    case Level::kInfo: return "INFO ";
+    case Level::kWarn: return "WARN ";
+    case Level::kError: return "ERROR";
+    case Level::kOff: return "OFF  ";
+  }
+  return "?????";
+}
+
+const char* basename_of(const char* path) {
+  const char* slash = std::strrchr(path, '/');
+  return slash != nullptr ? slash + 1 : path;
+}
+
+}  // namespace
+
+void set_level(Level level) noexcept { g_level.store(static_cast<int>(level), std::memory_order_relaxed); }
+
+Level level() noexcept { return static_cast<Level>(g_level.load(std::memory_order_relaxed)); }
+
+bool enabled(Level l) noexcept { return static_cast<int>(l) >= g_level.load(std::memory_order_relaxed); }
+
+void set_sink(std::ostream* sink) {
+  std::scoped_lock lock(g_sink_mu);
+  g_sink = sink;
+}
+
+Level parse_level(std::string_view s) noexcept {
+  auto eq = [&s](std::string_view t) {
+    if (s.size() != t.size()) return false;
+    for (size_t i = 0; i < s.size(); ++i) {
+      if (std::tolower(static_cast<unsigned char>(s[i])) != t[i]) return false;
+    }
+    return true;
+  };
+  if (eq("debug")) return Level::kDebug;
+  if (eq("warn")) return Level::kWarn;
+  if (eq("error")) return Level::kError;
+  if (eq("off")) return Level::kOff;
+  return Level::kInfo;
+}
+
+namespace detail {
+
+LineLogger::LineLogger(Level level, const char* file, int line) : level_(level) {
+  const auto now = std::chrono::system_clock::now().time_since_epoch();
+  const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(now).count();
+  stream_ << '[' << level_name(level_) << ' ' << ms % 100000000 << ' ' << basename_of(file) << ':' << line
+          << "] ";
+}
+
+LineLogger::~LineLogger() {
+  stream_ << '\n';
+  std::scoped_lock lock(g_sink_mu);
+  std::ostream& out = g_sink != nullptr ? *g_sink : std::cerr;
+  out << stream_.str();
+  out.flush();
+}
+
+FatalLogger::FatalLogger(const char* cond, const char* file, int line) {
+  stream_ << "CHECK failed: " << cond << " at " << basename_of(file) << ':' << line << ' ';
+}
+
+FatalLogger::~FatalLogger() {
+  {
+    std::scoped_lock lock(g_sink_mu);
+    std::ostream& out = g_sink != nullptr ? *g_sink : std::cerr;
+    out << stream_.str() << std::endl;
+  }
+  std::abort();
+}
+
+}  // namespace detail
+}  // namespace fluentps::log

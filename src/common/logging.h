@@ -1,0 +1,94 @@
+// Thread-safe leveled logging for FluentPS.
+//
+// Usage:
+//   FPS_LOG(INFO) << "server " << id << " started";
+//   fluentps::log::set_level(fluentps::log::Level::kWarn);
+//
+// The logger writes a single formatted line per statement under an internal
+// mutex, so concurrent log statements never interleave mid-line (CP.2: the
+// only shared mutable state is the sink, and it is guarded).
+#pragma once
+
+#include <mutex>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace fluentps::log {
+
+/// Severity levels, ordered. Messages below the configured level are dropped
+/// before formatting cost is paid (the macro checks first).
+enum class Level : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Set the global minimum level. Thread-safe (relaxed atomic).
+void set_level(Level level) noexcept;
+
+/// Current global minimum level.
+Level level() noexcept;
+
+/// True if a message at `l` would be emitted.
+bool enabled(Level l) noexcept;
+
+/// Redirect log output (default: std::cerr). Pass nullptr to restore stderr.
+/// The stream must outlive all logging; intended for tests.
+void set_sink(std::ostream* sink);
+
+/// Parse "debug"/"info"/"warn"/"error"/"off" (case-insensitive). Unknown
+/// strings map to kInfo.
+Level parse_level(std::string_view s) noexcept;
+
+namespace detail {
+
+/// One log statement: accumulates into a local stream, flushes on destruction.
+class LineLogger {
+ public:
+  LineLogger(Level level, const char* file, int line);
+  LineLogger(const LineLogger&) = delete;
+  LineLogger& operator=(const LineLogger&) = delete;
+  ~LineLogger();
+
+  template <typename T>
+  LineLogger& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  Level level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+}  // namespace fluentps::log
+
+#define FPS_LOG(severity)                                               \
+  if (!::fluentps::log::enabled(::fluentps::log::Level::k##severity)) { \
+  } else                                                                \
+    ::fluentps::log::detail::LineLogger(::fluentps::log::Level::k##severity, __FILE__, __LINE__)
+
+/// Fatal check: always evaluated, aborts with message on failure.
+#define FPS_CHECK(cond)                                                       \
+  if (cond) {                                                                 \
+  } else                                                                      \
+    ::fluentps::log::detail::FatalLogger(#cond, __FILE__, __LINE__)
+
+namespace fluentps::log::detail {
+
+/// Helper for FPS_CHECK: streams a diagnostic then aborts in the destructor.
+class FatalLogger {
+ public:
+  FatalLogger(const char* cond, const char* file, int line);
+  [[noreturn]] ~FatalLogger();
+
+  template <typename T>
+  FatalLogger& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace fluentps::log::detail

@@ -1,0 +1,65 @@
+#include "common/metrics.h"
+
+namespace fluentps {
+
+void Metrics::incr(const std::string& name, std::int64_t delta) {
+  std::scoped_lock lock(mu_);
+  counters_[name] += delta;
+}
+
+void Metrics::set_gauge(const std::string& name, double value) {
+  std::scoped_lock lock(mu_);
+  gauges_[name] = value;
+}
+
+void Metrics::observe(const std::string& name, double value) {
+  std::scoped_lock lock(mu_);
+  dists_[name].add(value);
+}
+
+std::int64_t Metrics::counter(const std::string& name) const {
+  std::scoped_lock lock(mu_);
+  const auto it = counters_.find(name);
+  return it != counters_.end() ? it->second : 0;
+}
+
+double Metrics::gauge(const std::string& name) const {
+  std::scoped_lock lock(mu_);
+  const auto it = gauges_.find(name);
+  return it != gauges_.end() ? it->second : 0.0;
+}
+
+StreamingStats Metrics::distribution(const std::string& name) const {
+  std::scoped_lock lock(mu_);
+  const auto it = dists_.find(name);
+  return it != dists_.end() ? it->second : StreamingStats{};
+}
+
+std::int64_t Metrics::counter_sum_prefix(const std::string& prefix) const {
+  std::scoped_lock lock(mu_);
+  std::int64_t sum = 0;
+  for (auto it = counters_.lower_bound(prefix); it != counters_.end(); ++it) {
+    if (it->first.compare(0, prefix.size(), prefix) != 0) break;
+    sum += it->second;
+  }
+  return sum;
+}
+
+std::vector<std::pair<std::string, std::int64_t>> Metrics::counters() const {
+  std::scoped_lock lock(mu_);
+  return {counters_.begin(), counters_.end()};
+}
+
+std::vector<std::pair<std::string, double>> Metrics::gauges() const {
+  std::scoped_lock lock(mu_);
+  return {gauges_.begin(), gauges_.end()};
+}
+
+void Metrics::reset() {
+  std::scoped_lock lock(mu_);
+  counters_.clear();
+  gauges_.clear();
+  dists_.clear();
+}
+
+}  // namespace fluentps

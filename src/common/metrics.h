@@ -1,0 +1,52 @@
+// Named-metric registry: counters, gauges, and timing accumulators keyed by
+// string. One registry per experiment run; thread-safe so server and worker
+// threads can record concurrently in the thread backend.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+
+namespace fluentps {
+
+/// Thread-safe metrics registry. Keys are dotted names, e.g.
+/// "server.0.dpr_total", "worker.comm_seconds".
+class Metrics {
+ public:
+  /// Add `delta` to a monotonically increasing counter.
+  void incr(const std::string& name, std::int64_t delta = 1);
+
+  /// Set a gauge to an absolute value.
+  void set_gauge(const std::string& name, double value);
+
+  /// Record one observation into the named streaming distribution.
+  void observe(const std::string& name, double value);
+
+  [[nodiscard]] std::int64_t counter(const std::string& name) const;
+  [[nodiscard]] double gauge(const std::string& name) const;
+  [[nodiscard]] StreamingStats distribution(const std::string& name) const;
+
+  /// Sum of all counters whose name starts with `prefix` (e.g. aggregate DPRs
+  /// across servers with prefix "server." and suffix filter in caller).
+  [[nodiscard]] std::int64_t counter_sum_prefix(const std::string& prefix) const;
+
+  /// Snapshot all counters (sorted by key) for reporting.
+  [[nodiscard]] std::vector<std::pair<std::string, std::int64_t>> counters() const;
+
+  /// Snapshot all gauges (sorted by key).
+  [[nodiscard]] std::vector<std::pair<std::string, double>> gauges() const;
+
+  void reset();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::int64_t> counters_;
+  std::map<std::string, double> gauges_;
+  std::map<std::string, StreamingStats> dists_;
+};
+
+}  // namespace fluentps

@@ -1,0 +1,76 @@
+// Deterministic random number generation for reproducible experiments.
+//
+// Every stochastic component in FluentPS (dataset synthesis, weight init,
+// straggler injection, PSSP coin flips) draws from its own `Rng` stream,
+// seeded from an experiment-level root seed plus a stream id. Two runs with
+// the same root seed produce bit-identical traces regardless of thread
+// scheduling, because streams are never shared across components (CP.3).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace fluentps {
+
+/// SplitMix64-based generator: tiny state, excellent statistical quality for
+/// simulation purposes, trivially seedable into independent streams.
+class Rng {
+ public:
+  /// Seed from a root seed and a stream id; distinct (seed, stream) pairs
+  /// yield decorrelated sequences.
+  explicit Rng(std::uint64_t seed, std::uint64_t stream = 0) noexcept;
+
+  /// Next raw 64-bit value.
+  std::uint64_t next_u64() noexcept;
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept;
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept;
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  std::uint64_t uniform_u64(std::uint64_t n) noexcept;
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) noexcept;
+
+  /// Standard normal via Box-Muller (cached spare).
+  double normal() noexcept;
+
+  /// Normal with given mean and standard deviation.
+  double normal(double mean, double stddev) noexcept;
+
+  /// Lognormal: exp(Normal(mu, sigma)).
+  double lognormal(double mu, double sigma) noexcept;
+
+  /// Exponential with rate lambda (> 0).
+  double exponential(double lambda) noexcept;
+
+  /// Bernoulli trial with success probability p.
+  bool bernoulli(double p) noexcept;
+
+  /// Fisher-Yates shuffle of an index vector [0, n).
+  std::vector<std::size_t> permutation(std::size_t n);
+
+  /// Fisher-Yates shuffle in place.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const std::size_t j = static_cast<std::size_t>(uniform_u64(i));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+ private:
+  std::uint64_t state_;
+  double spare_ = 0.0;
+  bool has_spare_ = false;
+};
+
+/// Derive a child seed from a parent seed and a label; used to give each
+/// component (worker i, server m, dataset, ...) its own stream.
+std::uint64_t derive_seed(std::uint64_t parent, std::uint64_t label) noexcept;
+
+}  // namespace fluentps

@@ -1,0 +1,3 @@
+// serialization.h is header-only; this TU exists so the target has a home for
+// future non-template helpers and to verify the header is self-contained.
+#include "common/serialization.h"

@@ -1,0 +1,119 @@
+// Byte-level serialization used by the message layer.
+//
+// Wire format: little-endian fixed-width integers, IEEE-754 doubles/floats,
+// length-prefixed containers. The writer/reader pair round-trips all message
+// types in src/net; malformed input is reported via Reader::ok() rather than
+// exceptions so transport code can drop bad frames.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <vector>
+
+namespace fluentps::io {
+
+/// Append-only byte buffer writer.
+class Writer {
+ public:
+  Writer() = default;
+
+  /// Reserve capacity up front when the payload size is known.
+  void reserve(std::size_t bytes) { buf_.reserve(bytes); }
+
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  void put(T value) {
+    const std::size_t off = buf_.size();
+    buf_.resize(off + sizeof(T));
+    std::memcpy(buf_.data() + off, &value, sizeof(T));
+  }
+
+  /// Length-prefixed (u64) string.
+  void put_string(std::string_view s) {
+    put<std::uint64_t>(s.size());
+    const std::size_t off = buf_.size();
+    buf_.resize(off + s.size());
+    std::memcpy(buf_.data() + off, s.data(), s.size());
+  }
+
+  /// Length-prefixed (u64) vector of trivially copyable elements.
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  void put_vector(const std::vector<T>& v) {
+    put<std::uint64_t>(v.size());
+    const std::size_t off = buf_.size();
+    buf_.resize(off + v.size() * sizeof(T));
+    if (!v.empty()) std::memcpy(buf_.data() + off, v.data(), v.size() * sizeof(T));
+  }
+
+  /// Raw bytes without a length prefix.
+  void put_raw(const void* data, std::size_t n) {
+    const std::size_t off = buf_.size();
+    buf_.resize(off + n);
+    if (n > 0) std::memcpy(buf_.data() + off, data, n);
+  }
+
+  [[nodiscard]] const std::vector<std::uint8_t>& bytes() const noexcept { return buf_; }
+  [[nodiscard]] std::vector<std::uint8_t> take() noexcept { return std::move(buf_); }
+  [[nodiscard]] std::size_t size() const noexcept { return buf_.size(); }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+/// Sequential reader over a byte span. All getters return a default value and
+/// latch ok() == false on underflow; callers check ok() once at the end.
+class Reader {
+ public:
+  Reader(const std::uint8_t* data, std::size_t size) noexcept : data_(data), size_(size) {}
+  explicit Reader(const std::vector<std::uint8_t>& buf) noexcept : Reader(buf.data(), buf.size()) {}
+
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  T get() noexcept {
+    T value{};
+    if (!take(sizeof(T))) return value;
+    std::memcpy(&value, data_ + pos_ - sizeof(T), sizeof(T));
+    return value;
+  }
+
+  std::string get_string() {
+    const auto n = get<std::uint64_t>();
+    if (!take(n)) return {};
+    return std::string(reinterpret_cast<const char*>(data_ + pos_ - n), n);
+  }
+
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  std::vector<T> get_vector() {
+    const auto n = get<std::uint64_t>();
+    std::vector<T> v;
+    if (!take(n * sizeof(T))) return v;
+    v.resize(n);
+    if (n > 0) std::memcpy(v.data(), data_ + pos_ - n * sizeof(T), n * sizeof(T));
+    return v;
+  }
+
+  [[nodiscard]] bool ok() const noexcept { return ok_; }
+  [[nodiscard]] std::size_t remaining() const noexcept { return size_ - pos_; }
+
+ private:
+  bool take(std::size_t n) noexcept {
+    if (!ok_ || size_ - pos_ < n) {
+      ok_ = false;
+      return false;
+    }
+    pos_ += n;
+    return true;
+  }
+
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace fluentps::io

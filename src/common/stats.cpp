@@ -1,0 +1,108 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace fluentps {
+
+void StreamingStats::add(double x) noexcept {
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+double StreamingStats::variance() const noexcept {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double StreamingStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+void StreamingStats::merge(const StreamingStats& other) noexcept {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double n = na + nb;
+  mean_ += delta * nb / n;
+  m2_ += other.m2_ + delta * delta * na * nb / n;
+  n_ += other.n_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+IntHistogram::IntHistogram(std::size_t max_value) : buckets_(max_value + 1, 0) {}
+
+void IntHistogram::add(std::int64_t value) noexcept {
+  ++total_;
+  sum_ += static_cast<double>(value);
+  if (value < 0) value = 0;
+  const auto v = static_cast<std::size_t>(value);
+  if (v < buckets_.size()) {
+    ++buckets_[v];
+  } else {
+    ++overflow_;
+  }
+}
+
+std::size_t IntHistogram::bucket(std::size_t v) const noexcept {
+  return v < buckets_.size() ? buckets_[v] : 0;
+}
+
+double IntHistogram::mean() const noexcept {
+  return total_ > 0 ? sum_ / static_cast<double>(total_) : 0.0;
+}
+
+double IntHistogram::pmf(std::size_t v) const noexcept {
+  if (total_ == 0) return 0.0;
+  return static_cast<double>(bucket(v)) / static_cast<double>(total_);
+}
+
+std::int64_t IntHistogram::quantile(double q) const noexcept {
+  if (total_ == 0) return 0;
+  // Clamp so q = 1.0 returns the maximum observed value, not the overflow
+  // sentinel.
+  const auto target = std::min(static_cast<std::size_t>(q * static_cast<double>(total_)),
+                               total_ - 1);
+  std::size_t acc = 0;
+  for (std::size_t v = 0; v < buckets_.size(); ++v) {
+    acc += buckets_[v];
+    if (acc > target) return static_cast<std::int64_t>(v);
+  }
+  return static_cast<std::int64_t>(buckets_.size());
+}
+
+std::string IntHistogram::to_string() const {
+  std::ostringstream os;
+  for (std::size_t v = 0; v < buckets_.size(); ++v) {
+    if (buckets_[v] > 0) os << v << ": " << buckets_[v] << '\n';
+  }
+  if (overflow_ > 0) os << ">" << max_value() << ": " << overflow_ << '\n';
+  return os.str();
+}
+
+void IntHistogram::merge(const IntHistogram& other) {
+  if (other.buckets_.size() > buckets_.size()) buckets_.resize(other.buckets_.size(), 0);
+  for (std::size_t v = 0; v < other.buckets_.size(); ++v) buckets_[v] += other.buckets_[v];
+  overflow_ += other.overflow_;
+  total_ += other.total_;
+  sum_ += other.sum_;
+}
+
+void IntHistogram::reset() noexcept {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  overflow_ = 0;
+  total_ = 0;
+  sum_ = 0.0;
+}
+
+}  // namespace fluentps

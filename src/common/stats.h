@@ -1,0 +1,72 @@
+// Streaming statistics and fixed-bucket histograms used by the experiment
+// harness (staleness distributions, DPR counts, per-iteration times).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace fluentps {
+
+/// Welford streaming mean/variance plus min/max; O(1) memory.
+class StreamingStats {
+ public:
+  void add(double x) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return n_ > 0 ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const noexcept;  ///< sample variance (n-1)
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return n_ > 0 ? min_ : 0.0; }
+  [[nodiscard]] double max() const noexcept { return n_ > 0 ? max_ : 0.0; }
+  [[nodiscard]] double sum() const noexcept { return sum_; }
+
+  /// Merge another stream into this one (parallel reduction).
+  void merge(const StreamingStats& other) noexcept;
+
+  void reset() noexcept { *this = StreamingStats{}; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Integer-valued histogram with dense buckets [0, max_value]; values above
+/// max_value land in an overflow bucket. Used for staleness-gap distributions.
+class IntHistogram {
+ public:
+  explicit IntHistogram(std::size_t max_value = 64);
+
+  void add(std::int64_t value) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return total_; }
+  [[nodiscard]] std::size_t bucket(std::size_t v) const noexcept;
+  [[nodiscard]] std::size_t overflow() const noexcept { return overflow_; }
+  [[nodiscard]] std::size_t max_value() const noexcept { return buckets_.size() - 1; }
+  [[nodiscard]] double mean() const noexcept;
+
+  /// Empirical probability mass at value v (overflow excluded).
+  [[nodiscard]] double pmf(std::size_t v) const noexcept;
+
+  /// Smallest value with CDF >= q (q in [0,1]); overflow maps to max+1.
+  [[nodiscard]] std::int64_t quantile(double q) const noexcept;
+
+  /// Multi-line "value: count" dump for logs.
+  [[nodiscard]] std::string to_string() const;
+
+  void merge(const IntHistogram& other);
+  void reset() noexcept;
+
+ private:
+  std::vector<std::size_t> buckets_;
+  std::size_t overflow_ = 0;
+  std::size_t total_ = 0;
+  double sum_ = 0.0;
+};
+
+}  // namespace fluentps

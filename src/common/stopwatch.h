@@ -1,0 +1,29 @@
+// Wall-clock stopwatch for the thread backend; the DES backend uses the
+// virtual clock in src/sim instead.
+#pragma once
+
+#include <chrono>
+
+namespace fluentps {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Restart from now.
+  void reset() noexcept { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or last reset().
+  [[nodiscard]] double seconds() const noexcept {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed milliseconds.
+  [[nodiscard]] double millis() const noexcept { return seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace fluentps

@@ -1,0 +1,57 @@
+// ASCII table printer used by the bench harness to emit paper-style rows
+// (Fig/Table reproductions print aligned columns to stdout and CSV files).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace fluentps {
+
+/// Collects rows of string cells and renders them as an aligned ASCII table
+/// or as CSV. The first added row is treated as the header.
+class Table {
+ public:
+  explicit Table(std::string title = "");
+
+  /// Add a row. The first row becomes the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: build a row from heterogenous printable values.
+  template <typename... Ts>
+  void add(const Ts&... values) {
+    add_row({to_cell(values)...});
+  }
+
+  /// Render with box-drawing separators.
+  [[nodiscard]] std::string to_ascii() const;
+
+  /// Render as CSV (RFC-ish: cells containing commas are quoted).
+  [[nodiscard]] std::string to_csv() const;
+
+  /// Write CSV to a file path; returns false on I/O error.
+  bool write_csv(const std::string& path) const;
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+  [[nodiscard]] const std::string& title() const noexcept { return title_; }
+
+  /// Format a double with `prec` significant decimals.
+  static std::string num(double v, int prec = 3);
+
+ private:
+  template <typename T>
+  static std::string to_cell(const T& v) {
+    if constexpr (std::is_convertible_v<T, std::string>) {
+      return std::string(v);
+    } else if constexpr (std::is_floating_point_v<T>) {
+      return num(static_cast<double>(v));
+    } else {
+      return std::to_string(v);
+    }
+  }
+
+  std::string title_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace fluentps

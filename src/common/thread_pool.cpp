@@ -1,0 +1,25 @@
+#include "common/thread_pool.h"
+
+namespace fluentps {
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  workers_.reserve(num_threads);
+  for (std::size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] {
+      while (auto task = queue_.pop()) {
+        (*task)();
+      }
+    });
+  }
+}
+
+ThreadPool::~ThreadPool() { shutdown(); }
+
+bool ThreadPool::submit(std::function<void()> task) { return queue_.push(std::move(task)); }
+
+void ThreadPool::shutdown() {
+  queue_.close();
+  workers_.clear();  // jthread dtor joins
+}
+
+}  // namespace fluentps

@@ -1,0 +1,49 @@
+// Fixed-size task pool over std::jthread (CP.25/CP.26: joining threads, never
+// detach). Tasks are type-erased std::move_only_function-like closures.
+#pragma once
+
+#include <functional>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "common/blocking_queue.h"
+
+namespace fluentps {
+
+/// A simple fixed-size thread pool. Destruction closes the queue and joins
+/// all workers (jthread joins automatically), so every submitted task either
+/// runs or is dropped-before-start deterministically at shutdown.
+class ThreadPool {
+ public:
+  explicit ThreadPool(std::size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueue a task; returns false if the pool is already shut down.
+  bool submit(std::function<void()> task);
+
+  /// Enqueue and obtain a future for the callable's result.
+  template <typename F>
+  auto submit_with_result(F&& fn) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    auto fut = task->get_future();
+    submit([task] { (*task)(); });
+    return fut;
+  }
+
+  /// Number of worker threads.
+  [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Stop accepting tasks, drain the queue, and join. Idempotent.
+  void shutdown();
+
+ private:
+  BlockingQueue<std::function<void()>> queue_;
+  std::vector<std::jthread> workers_;
+};
+
+}  // namespace fluentps

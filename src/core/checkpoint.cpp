@@ -1,0 +1,71 @@
+#include "core/checkpoint.h"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+
+#include "common/logging.h"
+
+namespace fluentps::core {
+namespace {
+
+constexpr std::uint64_t kMagic = 0x464C50533031ULL;  // "FLPS01"
+
+}  // namespace
+
+std::uint64_t params_checksum(std::span<const float> params) noexcept {
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  const auto* bytes = reinterpret_cast<const std::uint8_t*>(params.data());
+  const std::size_t n = params.size() * sizeof(float);
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= bytes[i];
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+bool save_params(const std::string& path, std::span<const float> params) {
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  if (!f) {
+    FPS_LOG(Warn) << "checkpoint: cannot open " << path << " for writing";
+    return false;
+  }
+  const std::uint64_t count = params.size();
+  const std::uint64_t checksum = params_checksum(params);
+  f.write(reinterpret_cast<const char*>(&kMagic), sizeof(kMagic));
+  f.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  f.write(reinterpret_cast<const char*>(&checksum), sizeof(checksum));
+  f.write(reinterpret_cast<const char*>(params.data()),
+          static_cast<std::streamsize>(params.size() * sizeof(float)));
+  return static_cast<bool>(f);
+}
+
+bool load_params(const std::string& path, std::vector<float>* out) {
+  FPS_CHECK(out != nullptr) << "null output vector";
+  std::ifstream f(path, std::ios::binary);
+  if (!f) return false;
+  std::uint64_t magic = 0, count = 0, checksum = 0;
+  f.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+  f.read(reinterpret_cast<char*>(&count), sizeof(count));
+  f.read(reinterpret_cast<char*>(&checksum), sizeof(checksum));
+  if (!f || magic != kMagic) {
+    FPS_LOG(Warn) << "checkpoint: bad header in " << path;
+    return false;
+  }
+  // Refuse absurd sizes rather than allocating blindly.
+  if (count > (1ULL << 32)) {
+    FPS_LOG(Warn) << "checkpoint: implausible parameter count " << count;
+    return false;
+  }
+  std::vector<float> params(count);
+  f.read(reinterpret_cast<char*>(params.data()),
+         static_cast<std::streamsize>(count * sizeof(float)));
+  if (!f || params_checksum(params) != checksum) {
+    FPS_LOG(Warn) << "checkpoint: truncated or corrupt payload in " << path;
+    return false;
+  }
+  *out = std::move(params);
+  return true;
+}
+
+}  // namespace fluentps::core

@@ -1,0 +1,23 @@
+// Parameter checkpointing: binary save/load of a flat parameter vector with
+// a magic header and integrity checksum, so long simulated campaigns (or
+// multi-stage runs) can stop and resume across processes.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace fluentps::core {
+
+/// Write `params` to `path`. Returns false on I/O failure.
+bool save_params(const std::string& path, std::span<const float> params);
+
+/// Read a checkpoint into `out`. Returns false if the file is missing,
+/// truncated, of the wrong format, or fails the checksum.
+bool load_params(const std::string& path, std::vector<float>* out);
+
+/// Checksum used by the checkpoint format (FNV-1a over the raw bytes);
+/// exposed for tests.
+std::uint64_t params_checksum(std::span<const float> params) noexcept;
+
+}  // namespace fluentps::core

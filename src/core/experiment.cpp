@@ -1,0 +1,50 @@
+#include "core/experiment.h"
+
+#include <sstream>
+
+#include "common/logging.h"
+#include "core/sim_runtime.h"
+#include "core/thread_runtime.h"
+
+namespace fluentps::core {
+
+Arch parse_arch(const std::string& s) {
+  if (s == "fluentps") return Arch::kFluentPS;
+  if (s == "pslite") return Arch::kPsLite;
+  if (s == "ssptable") return Arch::kSspTable;
+  FPS_CHECK(false) << "unknown arch: " << s;
+  return Arch::kFluentPS;
+}
+
+Backend parse_backend(const std::string& s) {
+  if (s == "sim") return Backend::kSim;
+  if (s == "threads") return Backend::kThreads;
+  FPS_CHECK(false) << "unknown backend: " << s;
+  return Backend::kSim;
+}
+
+const char* to_string(Arch a) noexcept {
+  switch (a) {
+    case Arch::kFluentPS: return "fluentps";
+    case Arch::kPsLite: return "pslite";
+    case Arch::kSspTable: return "ssptable";
+  }
+  return "?";
+}
+
+const char* to_string(Backend b) noexcept {
+  return b == Backend::kSim ? "sim" : "threads";
+}
+
+std::string ExperimentConfig::label() const {
+  std::ostringstream os;
+  os << to_string(arch) << '/' << sync.label() << '/' << ps::to_string(dpr_mode) << "/N="
+     << num_workers << ",M=" << num_servers;
+  return os.str();
+}
+
+ExperimentResult run_experiment(const ExperimentConfig& config) {
+  return config.backend == Backend::kSim ? run_sim(config) : run_threads(config);
+}
+
+}  // namespace fluentps::core

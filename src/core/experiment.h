@@ -1,0 +1,184 @@
+// Experiment configuration and results — the single entry point benches,
+// examples and tests share: fill an ExperimentConfig, call run_experiment(),
+// read the ExperimentResult.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "ml/dataset.h"
+#include "ml/model.h"
+#include "ml/optimizer.h"
+#include "ps/conditions.h"
+#include "ps/sync_engine.h"
+#include "sim/compute_model.h"
+#include "sim/network_model.h"
+
+namespace fluentps::core {
+
+/// Which system architecture to run (DESIGN.md §2 items 9 & 11).
+enum class Arch : std::uint8_t {
+  kFluentPS = 0,   ///< per-server conditions, overlap synchronization
+  kPsLite = 1,     ///< scheduler-gated non-overlap baseline (PS-Lite style)
+  kSspTable = 2,   ///< FluentPS transport + SSPtable worker-cache baseline
+};
+
+enum class Backend : std::uint8_t {
+  kSim = 0,      ///< discrete-event simulation (deterministic, virtual time)
+  kThreads = 1,  ///< real jthreads over the in-process transport (wall time)
+};
+
+Arch parse_arch(const std::string& s);
+Backend parse_backend(const std::string& s);
+const char* to_string(Arch a) noexcept;
+const char* to_string(Backend b) noexcept;
+
+struct ExperimentConfig {
+  // Cluster shape.
+  std::uint32_t num_workers = 8;
+  std::uint32_t num_servers = 1;
+  std::int64_t max_iters = 500;  ///< iterations per worker
+
+  // Synchronization.
+  ps::SyncModelSpec sync;
+  ps::DprMode dpr_mode = ps::DprMode::kLazy;
+
+  /// Per-server synchronization models (Figure 2: "server node 1 uses SSP,
+  /// server node 2 uses PSSP, server node M uses drop stragglers"). When
+  /// non-empty it must have num_servers entries; entry m configures server
+  /// rank m and `sync` is ignored. FluentPS arch only.
+  std::vector<ps::SyncModelSpec> per_server_sync;
+
+  // Placement.
+  std::string slicer = "eps";  ///< "eps" | "default"
+  std::size_t eps_chunk = 1024;
+
+  // Architecture / backend.
+  Arch arch = Arch::kFluentPS;
+  Backend backend = Backend::kSim;
+
+  // Learning task.
+  ml::ModelSpec model;
+  ml::DataSpec data;
+  ml::OptimizerSpec opt;
+  std::size_t batch_size = 16;  ///< per-worker minibatch
+
+  // Timing models (sim backend).
+  sim::ComputeModelSpec compute;
+  sim::NetworkSpec net;
+
+  // Bookkeeping.
+  std::uint64_t seed = 1;
+  std::int64_t eval_every = 0;  ///< evaluate test accuracy every k iterations of
+                                ///< worker 0 (0 = final evaluation only)
+  double ssptable_divisor = 1.0;  ///< SSPtable cache model: period = N/divisor
+
+  /// PS-Lite baseline: per-message serial processing time at the centralized
+  /// scheduler. The paper identifies the single scheduler as the bottleneck
+  /// ("the scheduler of PS-Lite ... can only achieve sub-optimization";
+  /// "the centralized scheduler was a bottleneck because it received the
+  /// notifications from all workers", §II-B/§V-B): every progress report and
+  /// grant is handled serially, so per-iteration overhead grows as O(N).
+  /// The default covers one full report-and-grant transaction (receive,
+  /// deserialize, progress-table update, grant serialize + send) on the
+  /// scheduler's single dispatch thread.
+  double pslite_scheduler_proc_seconds = 8e-3;
+
+  /// Server-side request processing model (sim backend). Each server handles
+  /// messages serially: `server_proc_seconds` per message (deserialize +
+  /// apply/read), plus `dpr_overhead_seconds` for every delayed pull request
+  /// it buffers or releases (buffer management, condition re-evaluation,
+  /// callback execution, response burst). This is exactly the
+  /// synchronization-frequency cost the paper's lazy execution and PSSP
+  /// reduce — with it set to zero, cutting DPRs could never save time.
+  double server_proc_seconds = 5e-5;
+  double dpr_overhead_seconds = 1e-3;
+
+  /// Start from these parameters instead of the model's initializer (must be
+  /// num_params long when non-empty). Used by StageRunner to chain stages.
+  std::vector<float> initial_params;
+
+  /// Runtime synchronization-model switches: when worker 0 completes
+  /// iteration `first`, every server's conditions are replaced with `second`
+  /// (the paper: "FluentPS can adjust parameter synchronization model at
+  /// runtime via controlling the push/pull conditions"). Must be sorted by
+  /// iteration.
+  std::vector<std::pair<std::int64_t, ps::SyncModelSpec>> sync_schedule;
+
+  /// Gaia-style significance filter (cited in §V-B): a worker pushes its
+  /// accumulated update only when SF = |update| / |w| reaches this threshold;
+  /// below it, a metadata-only push reports progress while the update keeps
+  /// aggregating locally. 0 disables the filter.
+  double push_significance_threshold = 0.0;
+
+  /// Record a per-worker timeline (compute/sync intervals) for the first
+  /// `trace_iters` iterations of each worker (sim backend only; 0 = off).
+  std::int64_t trace_iters = 0;
+
+  /// Short human-readable tag for tables.
+  [[nodiscard]] std::string label() const;
+};
+
+/// One traced iteration of one worker: [compute_start, compute_end) is the
+/// gradient computation, [compute_end, sync_end) the push+synchronize+pull
+/// window (the paper's Fig 5 timeline bands).
+struct IterationTrace {
+  std::uint32_t worker = 0;
+  std::int64_t iter = 0;
+  double compute_start = 0.0;
+  double compute_end = 0.0;
+  double sync_end = 0.0;
+};
+
+struct AccuracyPoint {
+  double time = 0.0;     ///< seconds (virtual or wall) when evaluated
+  std::int64_t iter = 0; ///< worker-0 iteration at evaluation
+  double accuracy = 0.0;
+  double loss = 0.0;
+};
+
+struct ExperimentResult {
+  // Timing (seconds; virtual for the sim backend, wall for threads).
+  double total_time = 0.0;    ///< makespan: last worker finishing its iterations
+  double compute_time = 0.0;  ///< mean per-worker total gradient-computation time
+  double comm_time = 0.0;     ///< mean per-worker (total - compute): network + waiting
+
+  // Learning quality.
+  double final_accuracy = 0.0;
+  double final_loss = 0.0;
+  std::vector<AccuracyPoint> curve;
+
+  // Synchronization behaviour.
+  std::int64_t dpr_total = 0;      ///< delayed pull requests, summed over servers
+  double dprs_per_100_iters = 0.0; ///< dpr_total * 100 / max_iters (paper's metric)
+  IntHistogram staleness{128};     ///< staleness gap of served pulls, all servers
+  IntHistogram release_delay{128}; ///< V_train advances DPRs waited
+
+  // Traffic.
+  double bytes_total = 0.0;
+  std::uint64_t messages = 0;
+
+  std::int64_t iterations = 0;  ///< per worker
+  double shard_imbalance = 1.0; ///< max/mean shard size of the placement used
+
+  /// Final global parameters (concatenated server shards) — feed these into
+  /// the next stage's initial_params to continue training elastically.
+  std::vector<float> final_params;
+
+  /// Pushes suppressed by the significance filter (0 when disabled).
+  std::int64_t pushes_filtered = 0;
+
+  /// Per-iteration timelines when config.trace_iters > 0.
+  std::vector<IterationTrace> trace;
+
+  /// Free-form extras (per-bench diagnostics).
+  std::map<std::string, double> extra;
+};
+
+/// Run an experiment on the configured backend. Deterministic for kSim.
+ExperimentResult run_experiment(const ExperimentConfig& config);
+
+}  // namespace fluentps::core

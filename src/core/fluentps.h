@@ -1,0 +1,33 @@
+// FluentPS — public umbrella header.
+//
+// A parameter-server library with condition-aware synchronization control
+// (BSP/ASP/SSP/DSPS/drop-stragglers/PSSP via pluggable pull/push conditions),
+// lazy pull execution, overlap synchronization and elastic parameter slicing,
+// reproducing Yao, Wu & Wang, "FluentPS" (IEEE CLUSTER 2019).
+//
+// Typical use (see examples/quickstart.cpp):
+//
+//   fluentps::core::ExperimentConfig cfg;
+//   cfg.num_workers = 16;  cfg.num_servers = 4;
+//   cfg.sync.kind = "pssp"; cfg.sync.staleness = 3; cfg.sync.prob = 0.5;
+//   cfg.dpr_mode = fluentps::ps::DprMode::kLazy;
+//   auto result = fluentps::core::run_experiment(cfg);
+//
+// Lower layers are exposed for building custom systems: ps::Server,
+// ps::WorkerClient and ps::SyncEngine with user-supplied conditions
+// (SetcondPull/SetcondPush), net::Transport implementations, the sim::
+// discrete-event kernel, and the ml:: training substrate.
+#pragma once
+
+#include "core/experiment.h"      // IWYU pragma: export
+#include "core/stage_runner.h"    // IWYU pragma: export
+#include "ml/dataset.h"           // IWYU pragma: export
+#include "ml/eval.h"              // IWYU pragma: export
+#include "ml/model.h"             // IWYU pragma: export
+#include "ml/optimizer.h"         // IWYU pragma: export
+#include "ps/conditions.h"        // IWYU pragma: export
+#include "ps/scheduler.h"         // IWYU pragma: export
+#include "ps/server.h"            // IWYU pragma: export
+#include "ps/slicing.h"           // IWYU pragma: export
+#include "ps/sync_engine.h"       // IWYU pragma: export
+#include "ps/worker.h"            // IWYU pragma: export

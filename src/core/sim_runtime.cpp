@@ -1,0 +1,446 @@
+#include "core/sim_runtime.h"
+
+#include <algorithm>
+#include <deque>
+#include <memory>
+
+#include "baselines/ssptable_cache.h"
+#include "common/logging.h"
+#include "ml/eval.h"
+#include "ml/ops.h"
+#include "net/sim_transport.h"
+#include "ps/scheduler.h"
+#include "ps/server.h"
+#include "ps/slicing.h"
+#include "sim/sim_env.h"
+
+namespace fluentps::core {
+namespace {
+
+/// Node id layout: scheduler = 0, servers = 1..M, workers = M+1..M+N.
+constexpr net::NodeId kSchedulerNode = 0;
+net::NodeId server_node(std::uint32_t m) { return 1 + m; }
+net::NodeId worker_node(std::uint32_t m_servers, std::uint32_t n) { return 1 + m_servers + n; }
+
+class SimRun {
+ public:
+  explicit SimRun(const ExperimentConfig& cfg)
+      : cfg_(cfg),
+        env_(),
+        network_(cfg.net, 1 + cfg.num_servers + cfg.num_workers),
+        transport_(env_, network_),
+        data_(ml::Dataset::synthesize(cfg.data)),
+        model_(ml::make_model(cfg.model, data_.dim(), data_.num_classes())),
+        compute_(sim::make_compute_model(cfg.compute, cfg.num_workers, cfg.seed)) {
+    FPS_CHECK(cfg.num_workers > 0 && cfg.num_servers > 0) << "empty cluster";
+    FPS_CHECK(cfg.max_iters > 0) << "max_iters must be positive";
+    build_parameters();
+    build_servers();
+    build_scheduler();
+    build_workers();
+  }
+
+  ExperimentResult run() {
+    for (auto& w : workers_) schedule_compute(*w);
+    env_.run();
+    return collect();
+  }
+
+ private:
+  struct WorkerState {
+    std::uint32_t rank = 0;
+    net::NodeId node = 0;
+    std::vector<float> params;
+    std::vector<float> grad;
+    std::vector<float> update;
+    std::vector<float> pending;  ///< significance filter: locally aggregated update
+    std::int64_t pushes_filtered = 0;
+    std::unique_ptr<ml::Optimizer> opt;
+    std::unique_ptr<ml::BatchSampler> sampler;
+    ml::Workspace ws;
+    baselines::SspTableCachePolicy cache{1};
+    Rng rng{0};
+
+    std::int64_t iter = 0;
+    std::uint32_t pending_shards = 0;
+    std::uint32_t pending_acks = 0;
+    std::uint64_t ticket = 0;
+    std::uint64_t next_ticket = 1;
+
+    double compute_seconds = 0.0;
+    double comm_seconds = 0.0;
+    double wait_started = 0.0;
+    double compute_started = 0.0;
+    double finish_time = 0.0;
+    double last_loss = 0.0;
+    bool done = false;
+  };
+
+  void build_parameters() {
+    if (!cfg_.initial_params.empty()) {
+      FPS_CHECK(cfg_.initial_params.size() == model_->num_params())
+          << "initial_params size " << cfg_.initial_params.size() << " != model "
+          << model_->num_params();
+      w0_ = cfg_.initial_params;
+    } else {
+      w0_.resize(model_->num_params());
+      Rng init_rng(cfg_.seed, /*stream=*/0x1717);
+      model_->init_params(w0_, init_rng);
+    }
+    const auto slicer = ps::make_slicer(cfg_.slicer, cfg_.eps_chunk);
+    sharding_ = slicer->shard(model_->layer_sizes(), cfg_.num_servers);
+  }
+
+  void build_servers() {
+    const bool baseline = cfg_.arch == Arch::kPsLite;
+    if (!cfg_.per_server_sync.empty()) {
+      FPS_CHECK(cfg_.per_server_sync.size() == cfg_.num_servers)
+          << "per_server_sync needs one entry per server";
+      FPS_CHECK(cfg_.arch == Arch::kFluentPS)
+          << "per-server sync models require the FluentPS architecture";
+    }
+    servers_.reserve(cfg_.num_servers);
+    for (std::uint32_t m = 0; m < cfg_.num_servers; ++m) {
+      ps::ServerSpec spec;
+      spec.node_id = server_node(m);
+      spec.server_rank = m;
+      spec.num_workers = cfg_.num_workers;
+      spec.layout = sharding_.shards[m];
+      spec.initial_shard.resize(spec.layout.total);
+      spec.layout.gather(w0_, spec.initial_shard);
+      spec.engine.num_workers = cfg_.num_workers;
+      spec.engine.mode = cfg_.dpr_mode;
+      const ps::SyncModelSpec& sync_spec =
+          cfg_.per_server_sync.empty() ? cfg_.sync : cfg_.per_server_sync[m];
+      spec.engine.model = ps::make_sync_model(sync_spec, cfg_.num_workers);
+      spec.engine.seed = derive_seed(cfg_.seed, 0x5E57E8 + m);
+      spec.ack_pushes = baseline;
+      spec.respond_unconditionally = baseline;
+      auto server = std::make_unique<ps::Server>(std::move(spec), transport_);
+      ps::Server* raw = server.get();
+      // Serial request processing: arrivals queue behind the server's single
+      // handler; synchronization machinery (buffering/releasing DPRs) costs
+      // extra, so high synchronization frequency translates into time.
+      server_busy_until_.push_back(0.0);
+      double* busy = &server_busy_until_.back();
+      transport_.register_node(raw->node_id(), [this, raw, busy](net::Message&& msg) {
+        const double start = std::max(env_.now(), *busy);
+        *busy = start + cfg_.server_proc_seconds;
+        env_.schedule_at(start, [this, raw, busy, m = std::move(msg)]() mutable {
+          const bool is_push = m.type == net::MsgType::kPush;
+          const std::int64_t dpr0 = raw->engine().dpr_total();
+          const std::int64_t resp0 = raw->pulls_answered();
+          raw->handle(std::move(m));
+          // DPR machinery events: newly buffered pulls, plus (for a push) the
+          // buffered pulls it released. A pull answered directly is plain
+          // request handling, already covered by server_proc_seconds.
+          std::int64_t dpr_events = raw->engine().dpr_total() - dpr0;
+          if (is_push) dpr_events += raw->pulls_answered() - resp0;
+          *busy = std::max(*busy, env_.now()) +
+                  static_cast<double>(dpr_events) * cfg_.dpr_overhead_seconds;
+        });
+      });
+      servers_.push_back(std::move(server));
+    }
+  }
+
+  void build_scheduler() {
+    if (cfg_.arch != Arch::kPsLite) return;
+    ps::SchedulerSpec spec;
+    spec.node_id = kSchedulerNode;
+    spec.num_workers = cfg_.num_workers;
+    for (std::uint32_t n = 0; n < cfg_.num_workers; ++n) {
+      spec.worker_nodes.push_back(worker_node(cfg_.num_servers, n));
+    }
+    spec.engine.num_workers = cfg_.num_workers;
+    // The scheduler grants pulls as soon as the global condition holds —
+    // soft-barrier semantics, matching PS-Lite's bounded-delay tracker.
+    spec.engine.mode = ps::DprMode::kSoftBarrier;
+    spec.engine.model = ps::make_sync_model(cfg_.sync, cfg_.num_workers);
+    spec.engine.seed = derive_seed(cfg_.seed, 0x5C7ED);
+    scheduler_ = std::make_unique<ps::Scheduler>(std::move(spec), transport_);
+    // The centralized scheduler processes one message at a time: arrivals
+    // queue behind its serial handler (the PS-Lite bottleneck the paper's
+    // overlap synchronization removes).
+    transport_.register_node(kSchedulerNode, [this](net::Message&& msg) {
+      const double start = std::max(env_.now(), scheduler_busy_until_);
+      scheduler_busy_until_ = start + cfg_.pslite_scheduler_proc_seconds;
+      env_.schedule_at(scheduler_busy_until_,
+                       [this, m = std::move(msg)]() mutable { scheduler_->handle(std::move(m)); });
+    });
+  }
+
+  void build_workers() {
+    workers_.reserve(cfg_.num_workers);
+    for (std::uint32_t n = 0; n < cfg_.num_workers; ++n) {
+      auto w = std::make_unique<WorkerState>();
+      w->rank = n;
+      w->node = worker_node(cfg_.num_servers, n);
+      w->params = w0_;
+      w->grad.resize(model_->num_params());
+      w->update.resize(model_->num_params());
+      w->opt = ml::make_optimizer(cfg_.opt, *model_);
+      w->sampler = std::make_unique<ml::BatchSampler>(data_, n, cfg_.num_workers,
+                                                      cfg_.batch_size, cfg_.seed);
+      w->cache = baselines::SspTableCachePolicy(cfg_.num_workers, cfg_.ssptable_divisor);
+      w->rng = Rng(cfg_.seed, 0xF00D + n);
+      // Cluster-unique tickets: servers key pending pulls by request id.
+      w->next_ticket = (static_cast<std::uint64_t>(n) << 40) + 1;
+      WorkerState* raw = w.get();
+      transport_.register_node(raw->node, [this, raw](net::Message&& msg) {
+        on_worker_msg(*raw, std::move(msg));
+      });
+      workers_.push_back(std::move(w));
+    }
+  }
+
+  void schedule_compute(WorkerState& w) {
+    const double dt = compute_->sample(w.rank, w.iter, w.rng);
+    w.compute_seconds += dt;
+    w.compute_started = env_.now();
+    env_.schedule(dt, [this, &w] { on_compute_done(w); });
+  }
+
+  void on_compute_done(WorkerState& w) {
+    // Real gradient math happens here, at the event's virtual timestamp, so
+    // the parameter values a worker trains on reflect exactly the responses
+    // it had received by now.
+    const ml::Batch batch = w.sampler->next();
+    w.last_loss = model_->grad(w.params, batch, w.grad, w.ws);
+    w.opt->compute_update(w.params, w.grad, w.iter, w.update);
+    w.wait_started = env_.now();
+
+    if (cfg_.push_significance_threshold > 0.0) {
+      // Gaia-style filter: aggregate locally; push only significant updates.
+      if (w.pending.empty()) w.pending.assign(model_->num_params(), 0.0f);
+      ml::axpy(1.0f, w.update, w.pending);
+      const double wn = ml::l2_norm(w.params);
+      const double sf = wn > 0.0 ? ml::l2_norm(w.pending) / wn : 1.0;
+      const bool last_iter = w.iter + 1 >= cfg_.max_iters;
+      if (sf >= cfg_.push_significance_threshold || last_iter) {
+        send_pushes(w, w.pending, /*metadata_only=*/false);
+        std::fill(w.pending.begin(), w.pending.end(), 0.0f);
+      } else {
+        ++w.pushes_filtered;
+        send_pushes(w, w.pending, /*metadata_only=*/true);
+      }
+    } else {
+      send_pushes(w, w.update, /*metadata_only=*/false);
+    }
+    if (cfg_.arch == Arch::kPsLite) {
+      // Non-overlap protocol: wait for all push acks, then report progress
+      // to the scheduler and wait for the pull grant.
+      w.pending_acks = cfg_.num_servers;
+    } else {
+      send_pulls(w);
+    }
+  }
+
+  void send_pushes(WorkerState& w, std::span<const float> values, bool metadata_only) {
+    for (std::uint32_t m = 0; m < cfg_.num_servers; ++m) {
+      const ps::ShardLayout& layout = sharding_.shards[m];
+      net::Message msg;
+      msg.type = net::MsgType::kPush;
+      msg.src = w.node;
+      msg.dst = server_node(m);
+      msg.progress = w.iter;
+      msg.worker_rank = w.rank;
+      msg.server_rank = m;
+      if (!metadata_only) {
+        msg.values.resize(layout.total);
+        layout.gather(values, msg.values);
+      }
+      transport_.send(std::move(msg));
+    }
+  }
+
+  void send_pulls(WorkerState& w) {
+    w.ticket = w.next_ticket++;
+    w.pending_shards = cfg_.num_servers;
+    for (std::uint32_t m = 0; m < cfg_.num_servers; ++m) {
+      net::Message msg;
+      msg.type = net::MsgType::kPull;
+      msg.src = w.node;
+      msg.dst = server_node(m);
+      msg.request_id = w.ticket;
+      msg.progress = w.iter;
+      msg.worker_rank = w.rank;
+      msg.server_rank = m;
+      transport_.send(std::move(msg));
+    }
+  }
+
+  void on_worker_msg(WorkerState& w, net::Message&& msg) {
+    switch (msg.type) {
+      case net::MsgType::kPullResp: {
+        if (msg.request_id != w.ticket) return;  // response to a superseded pull
+        const bool apply = cfg_.arch != Arch::kSspTable || w.cache.apply_fresh(w.iter);
+        if (apply) {
+          sharding_.shards[msg.server_rank].scatter(msg.values, w.params);
+        }
+        FPS_CHECK(w.pending_shards > 0) << "unexpected pull response";
+        if (--w.pending_shards == 0) finish_iteration(w);
+        break;
+      }
+      case net::MsgType::kPushAck: {
+        FPS_CHECK(w.pending_acks > 0) << "unexpected push ack";
+        if (--w.pending_acks == 0) {
+          net::Message report;
+          report.type = net::MsgType::kProgress;
+          report.src = w.node;
+          report.dst = kSchedulerNode;
+          report.progress = w.iter;
+          report.worker_rank = w.rank;
+          transport_.send(std::move(report));
+        }
+        break;
+      }
+      case net::MsgType::kPullGrant:
+        send_pulls(w);
+        break;
+      default:
+        FPS_LOG(Warn) << "sim worker " << w.rank << " ignoring " << msg.to_debug_string();
+    }
+  }
+
+  void finish_iteration(WorkerState& w) {
+    // SSPtable baseline: on non-refresh iterations the worker trains against
+    // its frozen, outdated cache (the pull responses were discarded above) —
+    // the behavioural consequence of Bösen's consistency-view maintenance
+    // falling behind at scale (Fig 1/7). No local update is applied: the
+    // invalidation that would patch the cache is exactly what lags.
+    if (cfg_.push_significance_threshold > 0.0 && !w.pending.empty()) {
+      // The worker's unsynchronized contribution stays applied to its local
+      // replica (Gaia keeps local updates visible inside the group).
+      ml::axpy(1.0f, w.pending, w.params);
+    }
+    w.comm_seconds += env_.now() - w.wait_started;
+    if (w.iter < cfg_.trace_iters) {
+      trace_.push_back(IterationTrace{w.rank, w.iter, w.compute_started, w.wait_started,
+                                      env_.now()});
+    }
+    ++w.iter;
+    if (w.rank == 0) {
+      maybe_switch_sync(w.iter);
+      maybe_eval(w);
+    }
+    if (w.iter < cfg_.max_iters) {
+      schedule_compute(w);
+    } else {
+      w.done = true;
+      w.finish_time = env_.now();
+    }
+  }
+
+  void maybe_switch_sync(std::int64_t iter) {
+    while (next_switch_ < cfg_.sync_schedule.size() &&
+           iter >= cfg_.sync_schedule[next_switch_].first) {
+      const auto& spec = cfg_.sync_schedule[next_switch_].second;
+      FPS_CHECK(cfg_.arch == Arch::kFluentPS)
+          << "runtime sync switching requires per-server conditions (FluentPS arch)";
+      for (auto& server : servers_) {
+        // Each server gets its own compiled model (conditions may be stateful,
+        // e.g. DSPS) — exactly the paper's per-shard adaptivity.
+        auto model = ps::make_sync_model(spec, cfg_.num_workers);
+        server->set_pull_condition(std::move(model.pull));
+        server->set_push_condition(std::move(model.push));
+      }
+      FPS_LOG(Info) << "switched sync model to " << spec.label() << " at iteration " << iter;
+      ++next_switch_;
+    }
+  }
+
+  void maybe_eval(const WorkerState& w) {
+    if (cfg_.eval_every <= 0 || w.iter % cfg_.eval_every != 0) return;
+    const auto params = global_params();
+    AccuracyPoint pt;
+    pt.time = env_.now();
+    pt.iter = w.iter;
+    pt.accuracy = ml::test_accuracy(*model_, params, data_, eval_ws_);
+    pt.loss = ml::test_loss(*model_, params, data_, eval_ws_);
+    curve_.push_back(pt);
+  }
+
+  [[nodiscard]] std::vector<float> global_params() const {
+    std::vector<float> flat(model_->num_params(), 0.0f);
+    for (const auto& s : servers_) s->snapshot_into(flat);
+    return flat;
+  }
+
+  ExperimentResult collect() {
+    ExperimentResult r;
+    double compute_sum = 0.0;
+    double comm_sum = 0.0;
+    for (const auto& w : workers_) {
+      FPS_CHECK(w->done) << "worker " << w->rank << " did not finish (deadlock?) at iter "
+                         << w->iter << "/" << cfg_.max_iters;
+      r.total_time = std::max(r.total_time, w->finish_time);
+      compute_sum += w->compute_seconds;
+      comm_sum += w->comm_seconds;
+    }
+    const auto nw = static_cast<double>(cfg_.num_workers);
+    r.compute_time = compute_sum / nw;
+    r.comm_time = comm_sum / nw;
+    for (const auto& s : servers_) {
+      r.dpr_total += s->engine().dpr_total();
+      r.staleness.merge(s->engine().staleness_served());
+      r.release_delay.merge(s->engine().release_delay());
+    }
+    r.dprs_per_100_iters =
+        static_cast<double>(r.dpr_total) * 100.0 / static_cast<double>(cfg_.max_iters);
+    r.bytes_total = network_.total_bytes();
+    r.messages = transport_.delivered();
+    r.iterations = cfg_.max_iters;
+    r.shard_imbalance = sharding_.imbalance();
+    if (scheduler_) {
+      r.extra["scheduler_dprs"] = static_cast<double>(scheduler_->engine().dpr_total());
+      r.extra["scheduler_grants"] = static_cast<double>(scheduler_->grants_issued());
+    }
+    double max_ingress = 0.0;
+    for (std::uint32_t m = 0; m < cfg_.num_servers; ++m) {
+      max_ingress = std::max(max_ingress, network_.ingress_busy_seconds(server_node(m)));
+    }
+    r.extra["max_server_ingress_busy"] = max_ingress;
+    r.extra["events"] = static_cast<double>(env_.events_executed());
+
+    for (const auto& w : workers_) r.pushes_filtered += w->pushes_filtered;
+
+    auto params = global_params();
+    r.final_accuracy = ml::test_accuracy(*model_, params, data_, eval_ws_);
+    r.final_loss = ml::test_loss(*model_, params, data_, eval_ws_);
+    r.final_params = std::move(params);
+    r.trace = std::move(trace_);
+    r.curve = std::move(curve_);
+    AccuracyPoint final_pt{r.total_time, cfg_.max_iters, r.final_accuracy, r.final_loss};
+    r.curve.push_back(final_pt);
+    return r;
+  }
+
+  const ExperimentConfig& cfg_;
+  sim::SimEnv env_;
+  sim::NetworkModel network_;
+  net::SimTransport transport_;
+  ml::Dataset data_;
+  std::unique_ptr<ml::Model> model_;
+  std::unique_ptr<sim::ComputeModel> compute_;
+  std::vector<float> w0_;
+  ps::Sharding sharding_;
+  std::vector<std::unique_ptr<ps::Server>> servers_;
+  std::deque<double> server_busy_until_;  // deque: stable addresses for handlers
+  std::unique_ptr<ps::Scheduler> scheduler_;
+  double scheduler_busy_until_ = 0.0;
+  std::vector<std::unique_ptr<WorkerState>> workers_;
+  std::vector<AccuracyPoint> curve_;
+  std::vector<IterationTrace> trace_;
+  std::size_t next_switch_ = 0;
+  ml::Workspace eval_ws_;
+};
+
+}  // namespace
+
+ExperimentResult run_sim(const ExperimentConfig& config) {
+  SimRun run(config);
+  return run.run();
+}
+
+}  // namespace fluentps::core

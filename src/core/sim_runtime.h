@@ -1,0 +1,15 @@
+// Discrete-event backend: N worker state machines + M Server nodes (and, for
+// the PS-Lite baseline, a Scheduler) over SimTransport/NetworkModel, with
+// real gradient computation executed inside virtual-time events (DESIGN.md
+// D6). Deterministic: a run is a pure function of the config.
+#pragma once
+
+#include "core/experiment.h"
+
+namespace fluentps::core {
+
+/// Run `config` on the simulation backend. Aborts if config.backend != kSim
+/// is requested with thread-only features (none currently).
+ExperimentResult run_sim(const ExperimentConfig& config);
+
+}  // namespace fluentps::core

@@ -1,0 +1,45 @@
+#include "core/stage_runner.h"
+
+#include "common/logging.h"
+
+namespace fluentps::core {
+namespace {
+
+void check_compatible(const ExperimentConfig& a, const ExperimentConfig& b) {
+  FPS_CHECK(a.model.kind == b.model.kind && a.model.hidden == b.model.hidden &&
+            a.model.blocks == b.model.blocks)
+      << "stages must train the same model";
+  FPS_CHECK(a.data.dim == b.data.dim && a.data.num_classes == b.data.num_classes &&
+            a.data.seed == b.data.seed && a.data.num_train == b.data.num_train)
+      << "stages must share the dataset";
+}
+
+}  // namespace
+
+StagedResult run_stages(std::vector<ExperimentConfig> stages) {
+  FPS_CHECK(!stages.empty()) << "need at least one stage";
+  StagedResult out;
+  std::vector<float> carried;
+  double time_offset = 0.0;
+  for (std::size_t k = 0; k < stages.size(); ++k) {
+    if (k > 0) check_compatible(stages[k - 1], stages[k]);
+    ExperimentConfig& cfg = stages[k];
+    if (!carried.empty()) cfg.initial_params = carried;
+    FPS_LOG(Info) << "stage " << k << ": " << cfg.label() << " for " << cfg.max_iters
+                  << " iterations";
+    ExperimentResult r = run_experiment(cfg);
+    carried = r.final_params;
+    for (AccuracyPoint pt : r.curve) {
+      pt.time += time_offset;
+      out.curve.push_back(pt);
+    }
+    time_offset += r.total_time;
+    out.total_time += r.total_time;
+    out.total_iterations += r.iterations;
+    out.final_accuracy = r.final_accuracy;
+    out.stages.push_back(std::move(r));
+  }
+  return out;
+}
+
+}  // namespace fluentps::core

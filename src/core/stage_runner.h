@@ -1,0 +1,37 @@
+// Multi-stage elastic training (FlexPS-style stages + EPS elasticity).
+//
+// A stage is an ExperimentConfig; between stages the cluster shape (worker
+// and server counts), synchronization model, DPR mode, optimizer and compute
+// model may all change, while the global model parameters carry over
+// (Section III-A: "when the number of servers changes, EPS can also
+// rebalance the workloads among the alive servers" — here the next stage's
+// slicer re-places the carried parameters onto the new server set).
+//
+// All stages must train the same model on the same dataset spec (checked).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/experiment.h"
+
+namespace fluentps::core {
+
+struct StagedResult {
+  /// Per-stage results, in order.
+  std::vector<ExperimentResult> stages;
+
+  /// Accuracy curve across all stages, times offset so stage k starts where
+  /// stage k-1 ended.
+  std::vector<AccuracyPoint> curve;
+
+  double total_time = 0.0;        ///< sum of stage makespans
+  double final_accuracy = 0.0;    ///< last stage's final accuracy
+  std::int64_t total_iterations = 0;  ///< sum of per-worker iterations
+};
+
+/// Run the stages sequentially, threading final_params -> initial_params.
+/// Aborts if stages disagree on the model or dataset specification.
+StagedResult run_stages(std::vector<ExperimentConfig> stages);
+
+}  // namespace fluentps::core

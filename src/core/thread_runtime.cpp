@@ -1,0 +1,295 @@
+#include "core/thread_runtime.h"
+
+#include <algorithm>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "baselines/ssptable_cache.h"
+#include "common/logging.h"
+#include "common/stopwatch.h"
+#include "ml/eval.h"
+#include "ml/ops.h"
+#include "net/inproc_transport.h"
+#include "ps/scheduler.h"
+#include "ps/server.h"
+#include "ps/slicing.h"
+#include "ps/worker.h"
+
+namespace fluentps::core {
+namespace {
+
+constexpr net::NodeId kSchedulerNode = 0;
+net::NodeId server_node(std::uint32_t m) { return 1 + m; }
+net::NodeId worker_node(std::uint32_t m_servers, std::uint32_t n) { return 1 + m_servers + n; }
+
+class ThreadRun {
+ public:
+  explicit ThreadRun(const ExperimentConfig& cfg)
+      : cfg_(cfg),
+        data_(ml::Dataset::synthesize(cfg.data)),
+        model_(ml::make_model(cfg.model, data_.dim(), data_.num_classes())) {
+    FPS_CHECK(cfg.num_workers > 0 && cfg.num_servers > 0) << "empty cluster";
+    if (!cfg.initial_params.empty()) {
+      FPS_CHECK(cfg.initial_params.size() == model_->num_params())
+          << "initial_params size mismatch";
+      w0_ = cfg.initial_params;
+    } else {
+      w0_.resize(model_->num_params());
+      Rng init_rng(cfg.seed, /*stream=*/0x1717);
+      model_->init_params(w0_, init_rng);
+    }
+    const auto slicer = ps::make_slicer(cfg.slicer, cfg.eps_chunk);
+    sharding_ = slicer->shard(model_->layer_sizes(), cfg.num_servers);
+    build_servers();
+    build_scheduler();
+    build_clients();
+  }
+
+  ExperimentResult run() {
+    Stopwatch total;
+    {
+      std::vector<std::jthread> threads;
+      threads.reserve(cfg_.num_workers);
+      for (std::uint32_t n = 0; n < cfg_.num_workers; ++n) {
+        threads.emplace_back([this, n] { worker_loop(n); });
+      }
+    }  // join all workers
+    const double makespan = total.seconds();
+    transport_.shutdown();
+    return collect(makespan);
+  }
+
+ private:
+  struct PerWorker {
+    std::unique_ptr<ps::WorkerClient> client;
+    double compute_seconds = 0.0;
+    double comm_seconds = 0.0;
+    double last_loss = 0.0;
+    std::int64_t pushes_filtered = 0;
+  };
+
+  void build_servers() {
+    const bool baseline = cfg_.arch == Arch::kPsLite;
+    if (!cfg_.per_server_sync.empty()) {
+      FPS_CHECK(cfg_.per_server_sync.size() == cfg_.num_servers)
+          << "per_server_sync needs one entry per server";
+      FPS_CHECK(cfg_.arch == Arch::kFluentPS)
+          << "per-server sync models require the FluentPS architecture";
+    }
+    for (std::uint32_t m = 0; m < cfg_.num_servers; ++m) {
+      ps::ServerSpec spec;
+      spec.node_id = server_node(m);
+      spec.server_rank = m;
+      spec.num_workers = cfg_.num_workers;
+      spec.layout = sharding_.shards[m];
+      spec.initial_shard.resize(spec.layout.total);
+      spec.layout.gather(w0_, spec.initial_shard);
+      spec.engine.num_workers = cfg_.num_workers;
+      spec.engine.mode = cfg_.dpr_mode;
+      const ps::SyncModelSpec& sync_spec =
+          cfg_.per_server_sync.empty() ? cfg_.sync : cfg_.per_server_sync[m];
+      spec.engine.model = ps::make_sync_model(sync_spec, cfg_.num_workers);
+      spec.engine.seed = derive_seed(cfg_.seed, 0x5E57E8 + m);
+      spec.ack_pushes = baseline;
+      spec.respond_unconditionally = baseline;
+      auto server = std::make_unique<ps::Server>(std::move(spec), transport_);
+      ps::Server* raw = server.get();
+      transport_.register_node(raw->node_id(),
+                               [raw](net::Message&& msg) { raw->handle(std::move(msg)); });
+      servers_.push_back(std::move(server));
+    }
+  }
+
+  void build_scheduler() {
+    if (cfg_.arch != Arch::kPsLite) return;
+    ps::SchedulerSpec spec;
+    spec.node_id = kSchedulerNode;
+    spec.num_workers = cfg_.num_workers;
+    for (std::uint32_t n = 0; n < cfg_.num_workers; ++n) {
+      spec.worker_nodes.push_back(worker_node(cfg_.num_servers, n));
+    }
+    spec.engine.num_workers = cfg_.num_workers;
+    spec.engine.mode = ps::DprMode::kSoftBarrier;
+    spec.engine.model = ps::make_sync_model(cfg_.sync, cfg_.num_workers);
+    spec.engine.seed = derive_seed(cfg_.seed, 0x5C7ED);
+    scheduler_ = std::make_unique<ps::Scheduler>(std::move(spec), transport_);
+    transport_.register_node(kSchedulerNode,
+                             [this](net::Message&& msg) { scheduler_->handle(std::move(msg)); });
+  }
+
+  void build_clients() {
+    workers_.reserve(cfg_.num_workers);
+    for (std::uint32_t n = 0; n < cfg_.num_workers; ++n) {
+      ps::WorkerSpec spec;
+      spec.node_id = worker_node(cfg_.num_servers, n);
+      spec.worker_rank = n;
+      for (std::uint32_t m = 0; m < cfg_.num_servers; ++m) {
+        spec.server_nodes.push_back(server_node(m));
+      }
+      spec.sharding = &sharding_;
+      spec.scheduler_node = kSchedulerNode;
+      auto pw = std::make_unique<PerWorker>();
+      pw->client = std::make_unique<ps::WorkerClient>(std::move(spec), transport_);
+      ps::WorkerClient* raw = pw->client.get();
+      transport_.register_node(raw->node_id(),
+                               [raw](net::Message&& msg) { raw->handle(std::move(msg)); });
+      workers_.push_back(std::move(pw));
+    }
+  }
+
+  void worker_loop(std::uint32_t rank) {
+    PerWorker& pw = *workers_[rank];
+    ps::WorkerClient& client = *pw.client;
+    const baselines::SspTableCachePolicy cache(cfg_.num_workers, cfg_.ssptable_divisor);
+
+    std::vector<float> params = w0_;
+    std::vector<float> pulled(model_->num_params());
+    std::vector<float> grad(model_->num_params());
+    std::vector<float> update(model_->num_params());
+    std::vector<float> pending;  // significance filter accumulator
+    auto opt = ml::make_optimizer(cfg_.opt, *model_);
+    ml::BatchSampler sampler(data_, rank, cfg_.num_workers, cfg_.batch_size, cfg_.seed);
+    ml::Workspace ws;
+    std::size_t next_switch = 0;
+
+    for (std::int64_t iter = 0; iter < cfg_.max_iters; ++iter) {
+      Stopwatch compute;
+      const ml::Batch batch = sampler.next();
+      pw.last_loss = model_->grad(params, batch, grad, ws);
+      opt->compute_update(params, grad, iter, update);
+      pw.compute_seconds += compute.seconds();
+
+      Stopwatch comm;
+      if (cfg_.push_significance_threshold > 0.0) {
+        if (pending.empty()) pending.assign(model_->num_params(), 0.0f);
+        ml::axpy(1.0f, update, pending);
+        const double wn = ml::l2_norm(params);
+        const double sf = wn > 0.0 ? ml::l2_norm(pending) / wn : 1.0;
+        if (sf >= cfg_.push_significance_threshold || iter + 1 >= cfg_.max_iters) {
+          client.push(pending, iter);
+          std::fill(pending.begin(), pending.end(), 0.0f);
+        } else {
+          ++pw.pushes_filtered;
+          client.push_metadata(iter);
+        }
+      } else {
+        client.push(update, iter);
+      }
+      if (cfg_.arch == Arch::kPsLite) {
+        client.wait_push_acks();
+        client.report_and_wait_grant(iter);
+      }
+      const std::uint64_t ticket = client.pull(iter);
+      client.wait_pull(ticket, pulled);
+      if (cfg_.arch != Arch::kSspTable || cache.apply_fresh(iter)) {
+        params = pulled;
+      }
+      // else: SSPtable baseline keeps the frozen stale cache (see
+      // baselines/ssptable_cache.h).
+      if (cfg_.push_significance_threshold > 0.0 && !pending.empty()) {
+        ml::axpy(1.0f, pending, params);  // keep local contribution visible
+      }
+      pw.comm_seconds += comm.seconds();
+
+      if (rank == 0) {
+        while (next_switch < cfg_.sync_schedule.size() &&
+               iter + 1 >= cfg_.sync_schedule[next_switch].first) {
+          const auto& spec = cfg_.sync_schedule[next_switch].second;
+          for (auto& server : servers_) {
+            auto new_model = ps::make_sync_model(spec, cfg_.num_workers);
+            server->set_pull_condition(std::move(new_model.pull));
+            server->set_push_condition(std::move(new_model.push));
+          }
+          ++next_switch;
+        }
+        if (cfg_.eval_every > 0 && (iter + 1) % cfg_.eval_every == 0) {
+          record_eval(iter + 1);
+        }
+      }
+    }
+  }
+
+  void record_eval(std::int64_t iter) {
+    const auto params = global_params();
+    ml::Workspace ws;
+    AccuracyPoint pt;
+    pt.time = since_start_.seconds();
+    pt.iter = iter;
+    pt.accuracy = ml::test_accuracy(*model_, params, data_, ws);
+    pt.loss = ml::test_loss(*model_, params, data_, ws);
+    std::scoped_lock lock(curve_mu_);
+    curve_.push_back(pt);
+  }
+
+  [[nodiscard]] std::vector<float> global_params() const {
+    std::vector<float> flat(model_->num_params(), 0.0f);
+    for (const auto& s : servers_) s->snapshot_into(flat);
+    return flat;
+  }
+
+  ExperimentResult collect(double makespan) {
+    ExperimentResult r;
+    r.total_time = makespan;
+    double compute_sum = 0.0;
+    double comm_sum = 0.0;
+    for (const auto& w : workers_) {
+      compute_sum += w->compute_seconds;
+      comm_sum += w->comm_seconds;
+    }
+    const auto nw = static_cast<double>(cfg_.num_workers);
+    r.compute_time = compute_sum / nw;
+    r.comm_time = comm_sum / nw;
+    for (const auto& s : servers_) {
+      if (cfg_.arch == Arch::kPsLite) break;  // baseline servers bypass engines
+      r.dpr_total += s->engine().dpr_total();
+      r.staleness.merge(s->engine().staleness_served());
+      r.release_delay.merge(s->engine().release_delay());
+    }
+    r.dprs_per_100_iters =
+        static_cast<double>(r.dpr_total) * 100.0 / static_cast<double>(cfg_.max_iters);
+    r.messages = transport_.delivered();
+    r.iterations = cfg_.max_iters;
+    r.shard_imbalance = sharding_.imbalance();
+    if (scheduler_) {
+      r.extra["scheduler_dprs"] = static_cast<double>(scheduler_->engine().dpr_total());
+      r.extra["scheduler_grants"] = static_cast<double>(scheduler_->grants_issued());
+    }
+
+    for (const auto& w : workers_) r.pushes_filtered += w->pushes_filtered;
+
+    auto params = global_params();
+    ml::Workspace ws;
+    r.final_accuracy = ml::test_accuracy(*model_, params, data_, ws);
+    r.final_loss = ml::test_loss(*model_, params, data_, ws);
+    r.final_params = std::move(params);
+    {
+      std::scoped_lock lock(curve_mu_);
+      r.curve = curve_;
+    }
+    r.curve.push_back(AccuracyPoint{makespan, cfg_.max_iters, r.final_accuracy, r.final_loss});
+    return r;
+  }
+
+  const ExperimentConfig& cfg_;
+  ml::Dataset data_;
+  std::unique_ptr<ml::Model> model_;
+  std::vector<float> w0_;
+  ps::Sharding sharding_;
+  net::InprocTransport transport_;
+  std::vector<std::unique_ptr<ps::Server>> servers_;
+  std::unique_ptr<ps::Scheduler> scheduler_;
+  std::vector<std::unique_ptr<PerWorker>> workers_;
+  Stopwatch since_start_;
+  std::mutex curve_mu_;
+  std::vector<AccuracyPoint> curve_;
+};
+
+}  // namespace
+
+ExperimentResult run_threads(const ExperimentConfig& config) {
+  ThreadRun run(config);
+  return run.run();
+}
+
+}  // namespace fluentps::core

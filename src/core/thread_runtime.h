@@ -1,0 +1,14 @@
+// Thread backend: real std::jthread workers and Server nodes over the
+// in-process transport. Wall-clock timing; used by tests, examples and any
+// experiment that needs genuine concurrency rather than simulated scale.
+#pragma once
+
+#include "core/experiment.h"
+
+namespace fluentps::core {
+
+/// Run `config` with real threads. Worker compute is the actual gradient
+/// computation (no sleep injection); config.compute is ignored.
+ExperimentResult run_threads(const ExperimentConfig& config);
+
+}  // namespace fluentps::core

@@ -1,0 +1,39 @@
+#include "core/trace_export.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace fluentps::core {
+namespace {
+
+void append_event(std::ostringstream& os, bool& first, const char* name, std::uint32_t worker,
+                  double start_s, double end_s, std::int64_t iter) {
+  if (!first) os << ",\n";
+  first = false;
+  os << R"(  {"name": ")" << name << R"(", "cat": "fluentps", "ph": "X", "pid": 0, "tid": )"
+     << worker << R"(, "ts": )" << start_s * 1e6 << R"(, "dur": )" << (end_s - start_s) * 1e6
+     << R"(, "args": {"iter": )" << iter << "}}";
+}
+
+}  // namespace
+
+std::string to_chrome_trace_json(const std::vector<IterationTrace>& trace) {
+  std::ostringstream os;
+  os << "{\"traceEvents\": [\n";
+  bool first = true;
+  for (const auto& t : trace) {
+    append_event(os, first, "compute", t.worker, t.compute_start, t.compute_end, t.iter);
+    append_event(os, first, "sync", t.worker, t.compute_end, t.sync_end, t.iter);
+  }
+  os << "\n], \"displayTimeUnit\": \"ms\"}\n";
+  return os.str();
+}
+
+bool write_chrome_trace(const std::string& path, const std::vector<IterationTrace>& trace) {
+  std::ofstream f(path);
+  if (!f) return false;
+  f << to_chrome_trace_json(trace);
+  return static_cast<bool>(f);
+}
+
+}  // namespace fluentps::core

@@ -1,0 +1,21 @@
+// Export IterationTrace timelines to the Chrome tracing format
+// (chrome://tracing / https://ui.perfetto.dev): each worker is a track with
+// alternating "compute" and "sync" spans, giving the paper's Fig 5 timeline
+// as an interactive visualization.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/experiment.h"
+
+namespace fluentps::core {
+
+/// Render the trace as a Chrome tracing JSON document ("X" complete events;
+/// timestamps in microseconds).
+std::string to_chrome_trace_json(const std::vector<IterationTrace>& trace);
+
+/// Write the JSON to a file; returns false on I/O error.
+bool write_chrome_trace(const std::string& path, const std::vector<IterationTrace>& trace);
+
+}  // namespace fluentps::core

@@ -1,0 +1,121 @@
+#include "ml/dataset.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "ml/ops.h"
+
+namespace fluentps::ml {
+namespace {
+
+/// Frozen random two-layer teacher: logits = W2 * tanh(W1 * x).
+struct Teacher {
+  std::size_t dim, hidden, classes;
+  std::vector<float> w1;  // hidden x dim
+  std::vector<float> w2;  // classes x hidden
+
+  Teacher(const DataSpec& spec, Rng& rng)
+      : dim(spec.dim), hidden(spec.teacher_hidden), classes(spec.num_classes) {
+    w1.resize(hidden * dim);
+    w2.resize(classes * hidden);
+    const double s1 = 1.0 / std::sqrt(static_cast<double>(dim));
+    const double s2 = 1.0 / std::sqrt(static_cast<double>(hidden));
+    for (auto& w : w1) w = static_cast<float>(rng.normal(0.0, s1));
+    for (auto& w : w2) w = static_cast<float>(rng.normal(0.0, s2));
+  }
+
+  int label(const float* x, Rng& rng, double noise) const {
+    std::vector<float> h(hidden);
+    for (std::size_t j = 0; j < hidden; ++j) {
+      float acc = 0.0f;
+      const float* wj = w1.data() + j * dim;
+      for (std::size_t d = 0; d < dim; ++d) acc += wj[d] * x[d];
+      h[j] = std::tanh(acc);
+    }
+    std::size_t best = 0;
+    float best_score = -1e30f;
+    for (std::size_t c = 0; c < classes; ++c) {
+      float acc = 0.0f;
+      const float* wc = w2.data() + c * hidden;
+      for (std::size_t j = 0; j < hidden; ++j) acc += wc[j] * h[j];
+      if (acc > best_score) {
+        best_score = acc;
+        best = c;
+      }
+    }
+    if (noise > 0.0 && rng.bernoulli(noise)) {
+      return static_cast<int>(rng.uniform_u64(classes));
+    }
+    return static_cast<int>(best);
+  }
+};
+
+void fill_split(const Teacher& teacher, const DataSpec& spec, std::size_t n, Rng& rng,
+                std::vector<float>& X, std::vector<int>& y) {
+  X.resize(n * spec.dim);
+  y.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    float* xi = X.data() + i * spec.dim;
+    for (std::size_t d = 0; d < spec.dim; ++d) xi[d] = static_cast<float>(rng.normal());
+    y[i] = teacher.label(xi, rng, spec.label_noise);
+  }
+}
+
+}  // namespace
+
+Dataset Dataset::synthesize(const DataSpec& spec) {
+  FPS_CHECK(spec.num_classes >= 2) << "need at least 2 classes";
+  FPS_CHECK(spec.dim >= 1) << "need at least 1 feature";
+  Dataset d;
+  d.dim_ = spec.dim;
+  d.num_classes_ = spec.num_classes;
+  Rng teacher_rng(spec.seed, /*stream=*/0x7EAC);
+  Teacher teacher(spec, teacher_rng);
+  Rng train_rng(spec.seed, /*stream=*/1);
+  Rng test_rng(spec.seed, /*stream=*/2);
+  fill_split(teacher, spec, spec.num_train, train_rng, d.x_train_, d.y_train_);
+  fill_split(teacher, spec, spec.num_test, test_rng, d.x_test_, d.y_test_);
+  return d;
+}
+
+Batch Dataset::test_batch(std::size_t begin, std::size_t n) const {
+  FPS_CHECK(begin + n <= num_test()) << "test batch out of range";
+  return Batch{x_test_.data() + begin * dim_, y_test_.data() + begin, n, dim_};
+}
+
+BatchSampler::BatchSampler(const Dataset& data, std::uint32_t worker, std::uint32_t num_workers,
+                           std::size_t batch_size, std::uint64_t seed)
+    : data_(data), batch_size_(batch_size), rng_(seed, 0x5A17 + worker) {
+  FPS_CHECK(num_workers > 0) << "num_workers must be positive";
+  FPS_CHECK(batch_size > 0) << "batch_size must be positive";
+  const std::size_t n = data.num_train();
+  // Contiguous shard with remainder spread over the first workers.
+  const std::size_t base = n / num_workers;
+  const std::size_t extra = n % num_workers;
+  const std::size_t begin = static_cast<std::size_t>(worker) * base + std::min<std::size_t>(worker, extra);
+  const std::size_t len = base + (worker < extra ? 1 : 0);
+  FPS_CHECK(len > 0) << "worker " << worker << " got an empty data shard (n=" << n << ")";
+  indices_.resize(len);
+  for (std::size_t i = 0; i < len; ++i) indices_[i] = begin + i;
+  rng_.shuffle(indices_);
+}
+
+Batch BatchSampler::next() {
+  const std::size_t dim = data_.dim();
+  const std::size_t b = std::min(batch_size_, indices_.size());
+  xbuf_.resize(b * dim);
+  ybuf_.resize(b);
+  for (std::size_t i = 0; i < b; ++i) {
+    if (cursor_ >= indices_.size()) {
+      cursor_ = 0;
+      rng_.shuffle(indices_);
+    }
+    const std::size_t row = indices_[cursor_++];
+    const float* src = data_.x_train().data() + row * dim;
+    std::copy(src, src + dim, xbuf_.data() + i * dim);
+    ybuf_[i] = data_.y_train()[row];
+  }
+  return Batch{xbuf_.data(), ybuf_.data(), b, dim};
+}
+
+}  // namespace fluentps::ml

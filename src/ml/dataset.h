@@ -1,0 +1,88 @@
+// Synthetic classification datasets standing in for CIFAR-10 / CIFAR-100.
+//
+// A frozen random "teacher" MLP labels Gaussian inputs; optional label noise
+// controls the Bayes error. The resulting task is nonlinear (so depth helps,
+// like the paper's ResNet-56 vs AlexNet contrast), deterministic given the
+// seed, and sized to train in seconds on a CPU. DESIGN.md §1 records this
+// substitution.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace fluentps::ml {
+
+/// A minibatch view into a dataset partition (non-owning).
+struct Batch {
+  const float* X = nullptr;  ///< row-major (n x dim)
+  const int* y = nullptr;
+  std::size_t n = 0;
+  std::size_t dim = 0;
+};
+
+struct DataSpec {
+  std::size_t dim = 32;           ///< input dimensionality
+  std::size_t num_classes = 10;   ///< 10 = "CIFAR-10 stand-in", 100 = "CIFAR-100"
+  std::size_t teacher_hidden = 48;///< teacher MLP width (task difficulty)
+  std::size_t num_train = 8192;
+  std::size_t num_test = 2048;
+  double label_noise = 0.05;      ///< probability a label is resampled uniformly
+  std::uint64_t seed = 42;
+};
+
+class Dataset {
+ public:
+  /// Generate a dataset from the spec (deterministic).
+  static Dataset synthesize(const DataSpec& spec);
+
+  [[nodiscard]] std::size_t dim() const noexcept { return dim_; }
+  [[nodiscard]] std::size_t num_classes() const noexcept { return num_classes_; }
+  [[nodiscard]] std::size_t num_train() const noexcept { return y_train_.size(); }
+  [[nodiscard]] std::size_t num_test() const noexcept { return y_test_.size(); }
+
+  /// Row-major training features (num_train x dim).
+  [[nodiscard]] const std::vector<float>& x_train() const noexcept { return x_train_; }
+  [[nodiscard]] const std::vector<int>& y_train() const noexcept { return y_train_; }
+  [[nodiscard]] const std::vector<float>& x_test() const noexcept { return x_test_; }
+  [[nodiscard]] const std::vector<int>& y_test() const noexcept { return y_test_; }
+
+  /// A batch view over test data rows [begin, begin+n).
+  [[nodiscard]] Batch test_batch(std::size_t begin, std::size_t n) const;
+
+ private:
+  std::size_t dim_ = 0;
+  std::size_t num_classes_ = 0;
+  std::vector<float> x_train_;
+  std::vector<int> y_train_;
+  std::vector<float> x_test_;
+  std::vector<int> y_test_;
+};
+
+/// Deterministic per-worker sampler over a contiguous shard of the training
+/// set (data parallelism: worker n owns rows [n*S, (n+1)*S)). Produces
+/// shuffled minibatches, reshuffling each epoch.
+class BatchSampler {
+ public:
+  BatchSampler(const Dataset& data, std::uint32_t worker, std::uint32_t num_workers,
+               std::size_t batch_size, std::uint64_t seed);
+
+  /// Next minibatch (wraps around epochs). Views remain valid until the next
+  /// call (rows are gathered into an internal buffer).
+  Batch next();
+
+  [[nodiscard]] std::size_t shard_size() const noexcept { return indices_.size(); }
+  [[nodiscard]] std::size_t batch_size() const noexcept { return batch_size_; }
+
+ private:
+  const Dataset& data_;
+  std::vector<std::size_t> indices_;  // rows of this worker's shard
+  std::size_t cursor_ = 0;
+  std::size_t batch_size_;
+  Rng rng_;
+  std::vector<float> xbuf_;
+  std::vector<int> ybuf_;
+};
+
+}  // namespace fluentps::ml

@@ -1,0 +1,37 @@
+#include "ml/eval.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace fluentps::ml {
+
+double test_accuracy(const Model& model, std::span<const float> params, const Dataset& data,
+                     Workspace& ws, std::size_t eval_batch) {
+  const std::size_t n = data.num_test();
+  if (n == 0) return 0.0;
+  std::vector<int> pred(eval_batch);
+  std::size_t correct = 0;
+  for (std::size_t begin = 0; begin < n; begin += eval_batch) {
+    const std::size_t b = std::min(eval_batch, n - begin);
+    const Batch batch = data.test_batch(begin, b);
+    model.predict(params, batch, {pred.data(), b}, ws);
+    for (std::size_t i = 0; i < b; ++i) {
+      if (pred[i] == batch.y[i]) ++correct;
+    }
+  }
+  return static_cast<double>(correct) / static_cast<double>(n);
+}
+
+double test_loss(const Model& model, std::span<const float> params, const Dataset& data,
+                 Workspace& ws, std::size_t eval_batch) {
+  const std::size_t n = data.num_test();
+  if (n == 0) return 0.0;
+  double weighted = 0.0;
+  for (std::size_t begin = 0; begin < n; begin += eval_batch) {
+    const std::size_t b = std::min(eval_batch, n - begin);
+    weighted += model.loss(params, data.test_batch(begin, b), ws) * static_cast<double>(b);
+  }
+  return weighted / static_cast<double>(n);
+}
+
+}  // namespace fluentps::ml

@@ -1,0 +1,19 @@
+// Test-set evaluation helpers.
+#pragma once
+
+#include <span>
+
+#include "ml/dataset.h"
+#include "ml/model.h"
+
+namespace fluentps::ml {
+
+/// Top-1 accuracy of `model(params)` on the dataset's test split.
+double test_accuracy(const Model& model, std::span<const float> params, const Dataset& data,
+                     Workspace& ws, std::size_t eval_batch = 256);
+
+/// Mean loss on the test split.
+double test_loss(const Model& model, std::span<const float> params, const Dataset& data,
+                 Workspace& ws, std::size_t eval_batch = 256);
+
+}  // namespace fluentps::ml

@@ -1,0 +1,36 @@
+#include "ml/lr_schedule.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace fluentps::ml {
+
+double StepDecayLr::lr(std::int64_t iter) const noexcept {
+  const auto steps = iter / every_;
+  return base_ * std::pow(factor_, static_cast<double>(steps));
+}
+
+double WarmupLr::lr(std::int64_t iter) const noexcept {
+  const double target = inner_->lr(iter);
+  if (iter >= warmup_) return target;
+  return target * static_cast<double>(iter + 1) / static_cast<double>(warmup_);
+}
+
+std::unique_ptr<LrSchedule> make_lr_schedule(const LrSpec& spec) {
+  std::unique_ptr<LrSchedule> inner;
+  if (spec.kind == "constant") {
+    inner = std::make_unique<ConstantLr>(spec.base);
+  } else if (spec.kind == "step") {
+    FPS_CHECK(spec.decay_every > 0) << "step schedule needs decay_every > 0";
+    inner = std::make_unique<StepDecayLr>(spec.base, spec.decay_every, spec.decay_factor);
+  } else {
+    FPS_CHECK(false) << "unknown lr schedule kind: " << spec.kind;
+  }
+  if (spec.warmup_iters > 0) {
+    inner = std::make_unique<WarmupLr>(std::move(inner), spec.warmup_iters);
+  }
+  return inner;
+}
+
+}  // namespace fluentps::ml

@@ -1,0 +1,64 @@
+// Learning-rate schedules. The paper trains with large batches using LARS
+// plus warmup + step decay; these schedules compose (warmup wraps any inner
+// schedule).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+namespace fluentps::ml {
+
+class LrSchedule {
+ public:
+  virtual ~LrSchedule() = default;
+  /// Learning rate to use at iteration `iter` (0-based).
+  [[nodiscard]] virtual double lr(std::int64_t iter) const noexcept = 0;
+};
+
+/// Always `base`.
+class ConstantLr final : public LrSchedule {
+ public:
+  explicit ConstantLr(double base) noexcept : base_(base) {}
+  [[nodiscard]] double lr(std::int64_t) const noexcept override { return base_; }
+
+ private:
+  double base_;
+};
+
+/// base * factor^(iter / every).
+class StepDecayLr final : public LrSchedule {
+ public:
+  StepDecayLr(double base, std::int64_t every, double factor) noexcept
+      : base_(base), every_(every > 0 ? every : 1), factor_(factor) {}
+  [[nodiscard]] double lr(std::int64_t iter) const noexcept override;
+
+ private:
+  double base_;
+  std::int64_t every_;
+  double factor_;
+};
+
+/// Linear warmup from base/warmup_iters to the inner schedule's value.
+class WarmupLr final : public LrSchedule {
+ public:
+  WarmupLr(std::unique_ptr<LrSchedule> inner, std::int64_t warmup_iters)
+      : inner_(std::move(inner)), warmup_(warmup_iters > 0 ? warmup_iters : 1) {}
+  [[nodiscard]] double lr(std::int64_t iter) const noexcept override;
+
+ private:
+  std::unique_ptr<LrSchedule> inner_;
+  std::int64_t warmup_;
+};
+
+struct LrSpec {
+  std::string kind = "constant";  ///< "constant" | "step"
+  double base = 0.1;
+  std::int64_t decay_every = 0;   ///< step: iterations per decay
+  double decay_factor = 0.1;
+  std::int64_t warmup_iters = 0;  ///< >0 wraps the schedule in warmup
+};
+
+std::unique_ptr<LrSchedule> make_lr_schedule(const LrSpec& spec);
+
+}  // namespace fluentps::ml

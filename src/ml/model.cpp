@@ -1,0 +1,24 @@
+#include "ml/model.h"
+
+#include "common/logging.h"
+#include "ml/models/mlp.h"
+#include "ml/models/resmlp.h"
+#include "ml/models/softmax_net.h"
+
+namespace fluentps::ml {
+
+std::unique_ptr<Model> make_model(const ModelSpec& spec, std::size_t dim, std::size_t classes) {
+  if (spec.kind == "softmax") {
+    return std::make_unique<SoftmaxNet>(dim, classes);
+  }
+  if (spec.kind == "mlp") {
+    return std::make_unique<Mlp>(dim, spec.hidden, classes);
+  }
+  if (spec.kind == "resmlp") {
+    return std::make_unique<ResMlp>(dim, spec.hidden, spec.blocks, classes);
+  }
+  FPS_CHECK(false) << "unknown model kind: " << spec.kind;
+  return nullptr;
+}
+
+}  // namespace fluentps::ml

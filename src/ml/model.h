@@ -1,0 +1,59 @@
+// Flat-parameter model interface.
+//
+// Parameters live in one contiguous float vector (the "global model" a
+// parameter server shards by key range); models expose their per-layer
+// segmentation so slicers (src/ps/slicing.h) can map layers to keys exactly
+// the way MXNet maps NDArrays to PS-Lite keys, and so LARS can compute
+// layer-wise trust ratios.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "ml/dataset.h"
+#include "ml/workspace.h"
+
+namespace fluentps::ml {
+
+class Model {
+ public:
+  virtual ~Model() = default;
+
+  /// Total number of parameters.
+  [[nodiscard]] virtual std::size_t num_params() const noexcept = 0;
+
+  /// Sizes of the per-layer segments, in order; sums to num_params().
+  [[nodiscard]] virtual std::vector<std::size_t> layer_sizes() const = 0;
+
+  /// Initialize `params` (size num_params()) in place; deterministic in rng.
+  virtual void init_params(std::span<float> params, Rng& rng) const = 0;
+
+  /// Mean loss on `batch`; writes d(loss)/d(params) into `grad`
+  /// (size num_params()). `ws` supplies scratch buffers.
+  virtual double grad(std::span<const float> params, const Batch& batch, std::span<float> grad,
+                      Workspace& ws) const = 0;
+
+  /// Mean loss only (no gradient); used by evaluation.
+  virtual double loss(std::span<const float> params, const Batch& batch, Workspace& ws) const = 0;
+
+  /// Predicted class per row of batch.X into `out` (size batch.n).
+  virtual void predict(std::span<const float> params, const Batch& batch, std::span<int> out,
+                       Workspace& ws) const = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Model selection for ExperimentConfig.
+struct ModelSpec {
+  std::string kind = "softmax";  ///< "softmax" | "mlp" | "resmlp"
+  std::size_t hidden = 32;       ///< mlp/resmlp width
+  std::size_t blocks = 27;       ///< resmlp residual blocks (27 -> 56 weight layers)
+};
+
+/// Factory: builds a model for `dim` inputs and `classes` outputs.
+std::unique_ptr<Model> make_model(const ModelSpec& spec, std::size_t dim, std::size_t classes);
+
+}  // namespace fluentps::ml

@@ -1,0 +1,77 @@
+#include "ml/models/mlp.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "ml/ops.h"
+
+namespace fluentps::ml {
+
+void Mlp::init_params(std::span<float> params, Rng& rng) const {
+  FPS_CHECK(params.size() == num_params()) << "param buffer size mismatch";
+  const auto off = offsets();
+  // He initialization for the ReLU layer, Xavier-ish for the head.
+  const double s1 = std::sqrt(2.0 / static_cast<double>(dim_));
+  const double s2 = 1.0 / std::sqrt(static_cast<double>(hidden_));
+  for (std::size_t i = 0; i < dim_ * hidden_; ++i)
+    params[off.w1 + i] = static_cast<float>(rng.normal(0.0, s1));
+  for (std::size_t i = 0; i < hidden_; ++i) params[off.b1 + i] = 0.0f;
+  for (std::size_t i = 0; i < hidden_ * classes_; ++i)
+    params[off.w2 + i] = static_cast<float>(rng.normal(0.0, s2));
+  for (std::size_t i = 0; i < classes_; ++i) params[off.b2 + i] = 0.0f;
+}
+
+std::span<float> Mlp::forward(std::span<const float> params, const Batch& batch,
+                              Workspace& ws) const {
+  FPS_CHECK(batch.dim == dim_) << "batch dim " << batch.dim << " != model dim " << dim_;
+  const auto off = offsets();
+  auto h = ws.buf(0, batch.n * hidden_);
+  auto logits = ws.buf(1, batch.n * classes_);
+  gemm_nn(batch.n, hidden_, dim_, 1.0f, batch.X, params.data() + off.w1, 0.0f, h.data());
+  add_bias(batch.n, hidden_, params.data() + off.b1, h.data());
+  relu_forward(h.data(), h.size());
+  gemm_nn(batch.n, classes_, hidden_, 1.0f, h.data(), params.data() + off.w2, 0.0f, logits.data());
+  add_bias(batch.n, classes_, params.data() + off.b2, logits.data());
+  return logits;
+}
+
+double Mlp::grad(std::span<const float> params, const Batch& batch, std::span<float> grad,
+                 Workspace& ws) const {
+  FPS_CHECK(grad.size() == num_params()) << "grad buffer size mismatch";
+  const auto off = offsets();
+  auto logits = forward(params, batch, ws);
+  auto h = ws.buf(0, batch.n * hidden_);  // post-ReLU activations from forward
+  auto probs = ws.buf(2, batch.n * classes_);
+  const double loss_value =
+      softmax_xent_forward(batch.n, classes_, logits.data(), batch.y, probs.data());
+  auto dlogits = ws.buf(3, batch.n * classes_);
+  softmax_xent_backward(batch.n, classes_, probs.data(), batch.y, dlogits.data());
+
+  // Head: dW2 = h^T * dlogits; db2 = colsum(dlogits); dh = dlogits * W2^T.
+  gemm_tn(hidden_, classes_, batch.n, 1.0f, h.data(), dlogits.data(), 0.0f, grad.data() + off.w2);
+  bias_grad(batch.n, classes_, dlogits.data(), grad.data() + off.b2);
+  auto dh = ws.buf(4, batch.n * hidden_);
+  gemm_nt(batch.n, hidden_, classes_, 1.0f, dlogits.data(), params.data() + off.w2, 0.0f,
+          dh.data());
+  relu_backward(dh.data(), h.data(), dh.data(), dh.size());
+
+  // First layer: dW1 = X^T * dh; db1 = colsum(dh).
+  gemm_tn(dim_, hidden_, batch.n, 1.0f, batch.X, dh.data(), 0.0f, grad.data() + off.w1);
+  bias_grad(batch.n, hidden_, dh.data(), grad.data() + off.b1);
+  return loss_value;
+}
+
+double Mlp::loss(std::span<const float> params, const Batch& batch, Workspace& ws) const {
+  auto logits = forward(params, batch, ws);
+  auto probs = ws.buf(2, batch.n * classes_);
+  return softmax_xent_forward(batch.n, classes_, logits.data(), batch.y, probs.data());
+}
+
+void Mlp::predict(std::span<const float> params, const Batch& batch, std::span<int> out,
+                  Workspace& ws) const {
+  FPS_CHECK(out.size() >= batch.n) << "prediction buffer too small";
+  auto logits = forward(params, batch, ws);
+  argmax_rows(batch.n, classes_, logits.data(), out.data());
+}
+
+}  // namespace fluentps::ml

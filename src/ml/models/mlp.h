@@ -1,0 +1,45 @@
+// Two-layer perceptron with ReLU. Layout:
+//   [ W1 (dim x H) | b1 (H) | W2 (H x C) | b2 (C) ].
+#pragma once
+
+#include "ml/model.h"
+
+namespace fluentps::ml {
+
+class Mlp final : public Model {
+ public:
+  Mlp(std::size_t dim, std::size_t hidden, std::size_t classes) noexcept
+      : dim_(dim), hidden_(hidden), classes_(classes) {}
+
+  [[nodiscard]] std::size_t num_params() const noexcept override {
+    return dim_ * hidden_ + hidden_ + hidden_ * classes_ + classes_;
+  }
+  [[nodiscard]] std::vector<std::size_t> layer_sizes() const override {
+    return {dim_ * hidden_, hidden_, hidden_ * classes_, classes_};
+  }
+  void init_params(std::span<float> params, Rng& rng) const override;
+  double grad(std::span<const float> params, const Batch& batch, std::span<float> grad,
+              Workspace& ws) const override;
+  double loss(std::span<const float> params, const Batch& batch, Workspace& ws) const override;
+  void predict(std::span<const float> params, const Batch& batch, std::span<int> out,
+               Workspace& ws) const override;
+  [[nodiscard]] std::string name() const override { return "mlp"; }
+
+ private:
+  struct Offsets {
+    std::size_t w1, b1, w2, b2;
+  };
+  [[nodiscard]] Offsets offsets() const noexcept {
+    return {0, dim_ * hidden_, dim_ * hidden_ + hidden_,
+            dim_ * hidden_ + hidden_ + hidden_ * classes_};
+  }
+
+  /// Forward pass; hidden activations in ws slot 0, logits in slot 1.
+  std::span<float> forward(std::span<const float> params, const Batch& batch, Workspace& ws) const;
+
+  std::size_t dim_;
+  std::size_t hidden_;
+  std::size_t classes_;
+};
+
+}  // namespace fluentps::ml

@@ -1,0 +1,167 @@
+#include "ml/models/resmlp.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "ml/ops.h"
+
+namespace fluentps::ml {
+
+std::size_t ResMlp::num_params() const noexcept {
+  return dim_ * hidden_ + hidden_ + blocks_ * block_params() + hidden_ * classes_ + classes_;
+}
+
+std::vector<std::size_t> ResMlp::layer_sizes() const {
+  std::vector<std::size_t> sizes;
+  sizes.reserve(2 + 4 * blocks_ + 2);
+  sizes.push_back(dim_ * hidden_);
+  sizes.push_back(hidden_);
+  for (std::size_t k = 0; k < blocks_; ++k) {
+    sizes.push_back(hidden_ * hidden_);
+    sizes.push_back(hidden_);
+    sizes.push_back(hidden_ * hidden_);
+    sizes.push_back(hidden_);
+  }
+  sizes.push_back(hidden_ * classes_);
+  sizes.push_back(classes_);
+  return sizes;
+}
+
+void ResMlp::init_params(std::span<float> params, Rng& rng) const {
+  FPS_CHECK(params.size() == num_params()) << "param buffer size mismatch";
+  std::fill(params.begin(), params.end(), 0.0f);
+  const double s_in = std::sqrt(2.0 / static_cast<double>(dim_));
+  const double s1 = std::sqrt(2.0 / static_cast<double>(hidden_));
+  // Scale the residual-branch output layer down by sqrt(blocks) so the sum of
+  // B residual branches keeps unit variance at init (standard deep-resnet
+  // trick; without it 27 blocks blow up the forward pass).
+  const double s2 = 1.0 / (std::sqrt(static_cast<double>(hidden_)) *
+                           std::sqrt(static_cast<double>(std::max<std::size_t>(blocks_, 1))));
+  const double s_out = 1.0 / std::sqrt(static_cast<double>(hidden_));
+
+  for (std::size_t i = 0; i < dim_ * hidden_; ++i)
+    params[off_win() + i] = static_cast<float>(rng.normal(0.0, s_in));
+  for (std::size_t k = 0; k < blocks_; ++k) {
+    const std::size_t base = block_base(k);
+    float* w1 = params.data() + base;
+    float* w2 = params.data() + base + hidden_ * hidden_ + hidden_;
+    for (std::size_t i = 0; i < hidden_ * hidden_; ++i)
+      w1[i] = static_cast<float>(rng.normal(0.0, s1));
+    for (std::size_t i = 0; i < hidden_ * hidden_; ++i)
+      w2[i] = static_cast<float>(rng.normal(0.0, s2));
+  }
+  for (std::size_t i = 0; i < hidden_ * classes_; ++i)
+    params[off_wout() + i] = static_cast<float>(rng.normal(0.0, s_out));
+}
+
+std::span<float> ResMlp::forward(std::span<const float> params, const Batch& batch,
+                                 Workspace& ws) const {
+  FPS_CHECK(batch.dim == dim_) << "batch dim " << batch.dim << " != model dim " << dim_;
+  const std::size_t n = batch.n;
+  const std::size_t hs_stride = n * hidden_;
+  auto hs = ws.buf(0, (blocks_ + 1) * hs_stride);  // h after stem and after each block
+  auto us = ws.buf(1, std::max<std::size_t>(blocks_, 1) * hs_stride);  // inner activations
+  auto logits = ws.buf(2, n * classes_);
+
+  // Stem.
+  float* h0 = hs.data();
+  gemm_nn(n, hidden_, dim_, 1.0f, batch.X, params.data() + off_win(), 0.0f, h0);
+  add_bias(n, hidden_, params.data() + off_bin(), h0);
+  relu_forward(h0, hs_stride);
+
+  // Residual blocks: h_{k+1} = h_k + W2 * ReLU(W1 * h_k + b1) + b2.
+  for (std::size_t k = 0; k < blocks_; ++k) {
+    const std::size_t base = block_base(k);
+    const float* w1 = params.data() + base;
+    const float* b1 = params.data() + base + hidden_ * hidden_;
+    const float* w2 = params.data() + base + hidden_ * hidden_ + hidden_;
+    const float* b2 = params.data() + base + 2 * hidden_ * hidden_ + hidden_;
+    const float* h_in = hs.data() + k * hs_stride;
+    float* u = us.data() + k * hs_stride;
+    float* h_out = hs.data() + (k + 1) * hs_stride;
+
+    gemm_nn(n, hidden_, hidden_, 1.0f, h_in, w1, 0.0f, u);
+    add_bias(n, hidden_, b1, u);
+    relu_forward(u, hs_stride);
+
+    std::copy(h_in, h_in + hs_stride, h_out);  // identity skip
+    gemm_nn(n, hidden_, hidden_, 1.0f, u, w2, 1.0f, h_out);
+    add_bias(n, hidden_, b2, h_out);
+  }
+
+  const float* h_last = hs.data() + blocks_ * hs_stride;
+  gemm_nn(n, classes_, hidden_, 1.0f, h_last, params.data() + off_wout(), 0.0f, logits.data());
+  add_bias(n, classes_, params.data() + off_bout(), logits.data());
+  return logits;
+}
+
+double ResMlp::grad(std::span<const float> params, const Batch& batch, std::span<float> grad,
+                    Workspace& ws) const {
+  FPS_CHECK(grad.size() == num_params()) << "grad buffer size mismatch";
+  const std::size_t n = batch.n;
+  const std::size_t hs_stride = n * hidden_;
+
+  auto logits = forward(params, batch, ws);
+  auto hs = ws.buf(0, (blocks_ + 1) * hs_stride);
+  auto us = ws.buf(1, std::max<std::size_t>(blocks_, 1) * hs_stride);
+  auto probs = ws.buf(3, n * classes_);
+  const double loss_value =
+      softmax_xent_forward(n, classes_, logits.data(), batch.y, probs.data());
+  auto dlogits = ws.buf(4, n * classes_);
+  softmax_xent_backward(n, classes_, probs.data(), batch.y, dlogits.data());
+
+  // Head.
+  const float* h_last = hs.data() + blocks_ * hs_stride;
+  gemm_tn(hidden_, classes_, n, 1.0f, h_last, dlogits.data(), 0.0f, grad.data() + off_wout());
+  bias_grad(n, classes_, dlogits.data(), grad.data() + off_bout());
+  auto dh = ws.buf(5, hs_stride);
+  gemm_nt(n, hidden_, classes_, 1.0f, dlogits.data(), params.data() + off_wout(), 0.0f, dh.data());
+
+  auto du = ws.buf(6, hs_stride);
+  // Blocks in reverse: dh flows through both the skip and the branch.
+  for (std::size_t k = blocks_; k-- > 0;) {
+    const std::size_t base = block_base(k);
+    const float* w1 = params.data() + base;
+    const float* w2 = params.data() + base + hidden_ * hidden_ + hidden_;
+    float* gw1 = grad.data() + base;
+    float* gb1 = grad.data() + base + hidden_ * hidden_;
+    float* gw2 = grad.data() + base + hidden_ * hidden_ + hidden_;
+    float* gb2 = grad.data() + base + 2 * hidden_ * hidden_ + hidden_;
+    const float* h_in = hs.data() + k * hs_stride;
+    const float* u = us.data() + k * hs_stride;
+
+    // Branch output: y = W2 * u + b2, added to skip. dy == dh.
+    gemm_tn(hidden_, hidden_, n, 1.0f, u, dh.data(), 0.0f, gw2);
+    bias_grad(n, hidden_, dh.data(), gb2);
+    gemm_nt(n, hidden_, hidden_, 1.0f, dh.data(), w2, 0.0f, du.data());
+    relu_backward(du.data(), u, du.data(), hs_stride);
+
+    // Inner layer: u_pre = W1 * h_in + b1.
+    gemm_tn(hidden_, hidden_, n, 1.0f, h_in, du.data(), 0.0f, gw1);
+    bias_grad(n, hidden_, du.data(), gb1);
+    // dh_in = dh (skip) + du * W1^T (branch); accumulate in place.
+    gemm_nt(n, hidden_, hidden_, 1.0f, du.data(), w1, 1.0f, dh.data());
+  }
+
+  // Stem: h0 = ReLU(Win * x + bin).
+  relu_backward(dh.data(), hs.data(), dh.data(), hs_stride);
+  gemm_tn(dim_, hidden_, n, 1.0f, batch.X, dh.data(), 0.0f, grad.data() + off_win());
+  bias_grad(n, hidden_, dh.data(), grad.data() + off_bin());
+  return loss_value;
+}
+
+double ResMlp::loss(std::span<const float> params, const Batch& batch, Workspace& ws) const {
+  auto logits = forward(params, batch, ws);
+  auto probs = ws.buf(3, batch.n * classes_);
+  return softmax_xent_forward(batch.n, classes_, logits.data(), batch.y, probs.data());
+}
+
+void ResMlp::predict(std::span<const float> params, const Batch& batch, std::span<int> out,
+                     Workspace& ws) const {
+  FPS_CHECK(out.size() >= batch.n) << "prediction buffer too small";
+  auto logits = forward(params, batch, ws);
+  argmax_rows(batch.n, classes_, logits.data(), out.data());
+}
+
+}  // namespace fluentps::ml

@@ -1,0 +1,62 @@
+// Deep residual MLP — the "ResNet-56" stand-in (DESIGN.md §1).
+//
+// Architecture (all dense):
+//   h0 = ReLU(Win * x + bin)
+//   for k in 1..B:  u = ReLU(W1k * h + b1k);  h = h + (W2k * u + b2k)
+//   logits = Wout * h + bout
+//
+// With B = 27 blocks (2 weight layers each) plus stem and head, the network
+// has 2*27 + 2 = 56 weight layers — matching ResNet-56's depth and its
+// identity-skip structure, at a width that trains on a CPU in seconds.
+// Layout: [Win|bin| {W1k|b1k|W2k|b2k} x B |Wout|bout].
+#pragma once
+
+#include "ml/model.h"
+
+namespace fluentps::ml {
+
+class ResMlp final : public Model {
+ public:
+  ResMlp(std::size_t dim, std::size_t hidden, std::size_t blocks, std::size_t classes) noexcept
+      : dim_(dim), hidden_(hidden), blocks_(blocks), classes_(classes) {}
+
+  [[nodiscard]] std::size_t num_params() const noexcept override;
+  [[nodiscard]] std::vector<std::size_t> layer_sizes() const override;
+  void init_params(std::span<float> params, Rng& rng) const override;
+  double grad(std::span<const float> params, const Batch& batch, std::span<float> grad,
+              Workspace& ws) const override;
+  double loss(std::span<const float> params, const Batch& batch, Workspace& ws) const override;
+  void predict(std::span<const float> params, const Batch& batch, std::span<int> out,
+               Workspace& ws) const override;
+  [[nodiscard]] std::string name() const override { return "resmlp"; }
+
+  [[nodiscard]] std::size_t blocks() const noexcept { return blocks_; }
+  /// Number of weight layers (paper's depth figure): 2*blocks + 2.
+  [[nodiscard]] std::size_t depth() const noexcept { return 2 * blocks_ + 2; }
+
+ private:
+  // Parameter offsets.
+  [[nodiscard]] std::size_t off_win() const noexcept { return 0; }
+  [[nodiscard]] std::size_t off_bin() const noexcept { return dim_ * hidden_; }
+  [[nodiscard]] std::size_t block_base(std::size_t k) const noexcept {
+    return dim_ * hidden_ + hidden_ + k * block_params();
+  }
+  [[nodiscard]] std::size_t block_params() const noexcept {
+    return 2 * hidden_ * hidden_ + 2 * hidden_;
+  }
+  [[nodiscard]] std::size_t off_wout() const noexcept { return block_base(blocks_); }
+  [[nodiscard]] std::size_t off_bout() const noexcept {
+    return off_wout() + hidden_ * classes_;
+  }
+
+  /// Forward pass. Saves all block-boundary activations (ws slot 0) and
+  /// post-ReLU inner activations (slot 1); logits returned from slot 2.
+  std::span<float> forward(std::span<const float> params, const Batch& batch, Workspace& ws) const;
+
+  std::size_t dim_;
+  std::size_t hidden_;
+  std::size_t blocks_;
+  std::size_t classes_;
+};
+
+}  // namespace fluentps::ml

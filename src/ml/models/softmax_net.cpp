@@ -1,0 +1,58 @@
+#include "ml/models/softmax_net.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "ml/ops.h"
+
+namespace fluentps::ml {
+
+void SoftmaxNet::init_params(std::span<float> params, Rng& rng) const {
+  FPS_CHECK(params.size() == num_params()) << "param buffer size mismatch";
+  const double scale = 1.0 / std::sqrt(static_cast<double>(dim_));
+  for (std::size_t i = 0; i < dim_ * classes_; ++i) {
+    params[i] = static_cast<float>(rng.normal(0.0, scale));
+  }
+  for (std::size_t c = 0; c < classes_; ++c) params[dim_ * classes_ + c] = 0.0f;
+}
+
+std::span<float> SoftmaxNet::forward(std::span<const float> params, const Batch& batch,
+                                     Workspace& ws) const {
+  FPS_CHECK(batch.dim == dim_) << "batch dim " << batch.dim << " != model dim " << dim_;
+  auto logits = ws.buf(0, batch.n * classes_);
+  const float* W = params.data();
+  const float* b = params.data() + dim_ * classes_;
+  gemm_nn(batch.n, classes_, dim_, 1.0f, batch.X, W, 0.0f, logits.data());
+  add_bias(batch.n, classes_, b, logits.data());
+  return logits;
+}
+
+double SoftmaxNet::grad(std::span<const float> params, const Batch& batch, std::span<float> grad,
+                        Workspace& ws) const {
+  FPS_CHECK(grad.size() == num_params()) << "grad buffer size mismatch";
+  auto logits = forward(params, batch, ws);
+  auto probs = ws.buf(1, batch.n * classes_);
+  const double loss_value =
+      softmax_xent_forward(batch.n, classes_, logits.data(), batch.y, probs.data());
+  auto dlogits = ws.buf(2, batch.n * classes_);
+  softmax_xent_backward(batch.n, classes_, probs.data(), batch.y, dlogits.data());
+  // dW(dim x C) = X^T(dim x B) * dlogits(B x C); db = column sums of dlogits.
+  gemm_tn(dim_, classes_, batch.n, 1.0f, batch.X, dlogits.data(), 0.0f, grad.data());
+  bias_grad(batch.n, classes_, dlogits.data(), grad.data() + dim_ * classes_);
+  return loss_value;
+}
+
+double SoftmaxNet::loss(std::span<const float> params, const Batch& batch, Workspace& ws) const {
+  auto logits = forward(params, batch, ws);
+  auto probs = ws.buf(1, batch.n * classes_);
+  return softmax_xent_forward(batch.n, classes_, logits.data(), batch.y, probs.data());
+}
+
+void SoftmaxNet::predict(std::span<const float> params, const Batch& batch, std::span<int> out,
+                         Workspace& ws) const {
+  FPS_CHECK(out.size() >= batch.n) << "prediction buffer too small";
+  auto logits = forward(params, batch, ws);
+  argmax_rows(batch.n, classes_, logits.data(), out.data());
+}
+
+}  // namespace fluentps::ml

@@ -1,0 +1,36 @@
+// Linear softmax classifier — the "AlexNet" stand-in (see DESIGN.md §1):
+// the shallow model whose accuracy the staleness experiments stress.
+// Layout: [ W (dim x C) | b (C) ].
+#pragma once
+
+#include "ml/model.h"
+
+namespace fluentps::ml {
+
+class SoftmaxNet final : public Model {
+ public:
+  SoftmaxNet(std::size_t dim, std::size_t classes) noexcept : dim_(dim), classes_(classes) {}
+
+  [[nodiscard]] std::size_t num_params() const noexcept override {
+    return dim_ * classes_ + classes_;
+  }
+  [[nodiscard]] std::vector<std::size_t> layer_sizes() const override {
+    return {dim_ * classes_, classes_};
+  }
+  void init_params(std::span<float> params, Rng& rng) const override;
+  double grad(std::span<const float> params, const Batch& batch, std::span<float> grad,
+              Workspace& ws) const override;
+  double loss(std::span<const float> params, const Batch& batch, Workspace& ws) const override;
+  void predict(std::span<const float> params, const Batch& batch, std::span<int> out,
+               Workspace& ws) const override;
+  [[nodiscard]] std::string name() const override { return "softmax"; }
+
+ private:
+  /// logits(BxC) = X(Bxdim) * W + b, written into ws slot 0.
+  std::span<float> forward(std::span<const float> params, const Batch& batch, Workspace& ws) const;
+
+  std::size_t dim_;
+  std::size_t classes_;
+};
+
+}  // namespace fluentps::ml

@@ -1,0 +1,147 @@
+#include "ml/ops.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace fluentps::ml {
+
+void gemm_nn(std::size_t M, std::size_t N, std::size_t K, float alpha, const float* A,
+             const float* B, float beta, float* C) {
+  // ikj loop order: streams B and C rows, decent cache behaviour without
+  // bringing in a BLAS dependency; model sizes here are small.
+  for (std::size_t i = 0; i < M; ++i) {
+    float* Ci = C + i * N;
+    if (beta == 0.0f) {
+      std::fill(Ci, Ci + N, 0.0f);
+    } else if (beta != 1.0f) {
+      for (std::size_t j = 0; j < N; ++j) Ci[j] *= beta;
+    }
+    const float* Ai = A + i * K;
+    for (std::size_t k = 0; k < K; ++k) {
+      const float a = alpha * Ai[k];
+      if (a == 0.0f) continue;
+      const float* Bk = B + k * N;
+      for (std::size_t j = 0; j < N; ++j) Ci[j] += a * Bk[j];
+    }
+  }
+}
+
+void gemm_tn(std::size_t M, std::size_t N, std::size_t K, float alpha, const float* A,
+             const float* B, float beta, float* C) {
+  // C(MxN) = A^T * B with A stored (KxM): C[i,j] = sum_k A[k,i] * B[k,j].
+  for (std::size_t i = 0; i < M; ++i) {
+    float* Ci = C + i * N;
+    if (beta == 0.0f) {
+      std::fill(Ci, Ci + N, 0.0f);
+    } else if (beta != 1.0f) {
+      for (std::size_t j = 0; j < N; ++j) Ci[j] *= beta;
+    }
+  }
+  for (std::size_t k = 0; k < K; ++k) {
+    const float* Ak = A + k * M;
+    const float* Bk = B + k * N;
+    for (std::size_t i = 0; i < M; ++i) {
+      const float a = alpha * Ak[i];
+      if (a == 0.0f) continue;
+      float* Ci = C + i * N;
+      for (std::size_t j = 0; j < N; ++j) Ci[j] += a * Bk[j];
+    }
+  }
+}
+
+void gemm_nt(std::size_t M, std::size_t N, std::size_t K, float alpha, const float* A,
+             const float* B, float beta, float* C) {
+  // C(MxN) = A(MxK) * B^T with B stored (NxK): C[i,j] = sum_k A[i,k] * B[j,k].
+  for (std::size_t i = 0; i < M; ++i) {
+    const float* Ai = A + i * K;
+    float* Ci = C + i * N;
+    for (std::size_t j = 0; j < N; ++j) {
+      const float* Bj = B + j * K;
+      float acc = 0.0f;
+      for (std::size_t k = 0; k < K; ++k) acc += Ai[k] * Bj[k];
+      Ci[j] = alpha * acc + (beta == 0.0f ? 0.0f : beta * Ci[j]);
+    }
+  }
+}
+
+void add_bias(std::size_t B, std::size_t N, const float* bias, float* y) {
+  for (std::size_t b = 0; b < B; ++b) {
+    float* yb = y + b * N;
+    for (std::size_t j = 0; j < N; ++j) yb[j] += bias[j];
+  }
+}
+
+void bias_grad(std::size_t B, std::size_t N, const float* dy, float* dbias) {
+  std::fill(dbias, dbias + N, 0.0f);
+  for (std::size_t b = 0; b < B; ++b) {
+    const float* dyb = dy + b * N;
+    for (std::size_t j = 0; j < N; ++j) dbias[j] += dyb[j];
+  }
+}
+
+void relu_forward(float* x, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) x[i] = std::max(x[i], 0.0f);
+}
+
+void relu_backward(const float* dy, const float* x_post, float* dx, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) dx[i] = x_post[i] > 0.0f ? dy[i] : 0.0f;
+}
+
+double softmax_xent_forward(std::size_t B, std::size_t C, const float* logits, const int* labels,
+                            float* probs) {
+  double loss = 0.0;
+  for (std::size_t b = 0; b < B; ++b) {
+    const float* lb = logits + b * C;
+    float* pb = probs + b * C;
+    float maxv = lb[0];
+    for (std::size_t c = 1; c < C; ++c) maxv = std::max(maxv, lb[c]);
+    double sum = 0.0;
+    for (std::size_t c = 0; c < C; ++c) {
+      pb[c] = std::exp(lb[c] - maxv);
+      sum += pb[c];
+    }
+    const float inv = static_cast<float>(1.0 / sum);
+    for (std::size_t c = 0; c < C; ++c) pb[c] *= inv;
+    const int y = labels[b];
+    FPS_CHECK(y >= 0 && static_cast<std::size_t>(y) < C) << "label out of range: " << y;
+    loss += -std::log(std::max(static_cast<double>(pb[y]), 1e-12));
+  }
+  return loss / static_cast<double>(B);
+}
+
+void softmax_xent_backward(std::size_t B, std::size_t C, const float* probs, const int* labels,
+                           float* dlogits) {
+  const float inv_b = 1.0f / static_cast<float>(B);
+  for (std::size_t b = 0; b < B; ++b) {
+    const float* pb = probs + b * C;
+    float* db = dlogits + b * C;
+    for (std::size_t c = 0; c < C; ++c) db[c] = pb[c] * inv_b;
+    db[labels[b]] -= inv_b;
+  }
+}
+
+void argmax_rows(std::size_t B, std::size_t C, const float* scores, int* out) {
+  for (std::size_t b = 0; b < B; ++b) {
+    const float* sb = scores + b * C;
+    std::size_t best = 0;
+    for (std::size_t c = 1; c < C; ++c) {
+      if (sb[c] > sb[best]) best = c;
+    }
+    out[b] = static_cast<int>(best);
+  }
+}
+
+double l2_norm(std::span<const float> v) noexcept {
+  double acc = 0.0;
+  for (float x : v) acc += static_cast<double>(x) * x;
+  return std::sqrt(acc);
+}
+
+void axpy(float alpha, std::span<const float> y, std::span<float> x) noexcept {
+  const std::size_t n = std::min(x.size(), y.size());
+  for (std::size_t i = 0; i < n; ++i) x[i] += alpha * y[i];
+}
+
+}  // namespace fluentps::ml

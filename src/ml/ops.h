@@ -1,0 +1,57 @@
+// Dense kernels used by the model zoo: GEMM variants, bias, ReLU, softmax
+// cross-entropy. All operate on caller-owned row-major buffers; no hidden
+// allocation, so the hot training loop is allocation-free once warmed up.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace fluentps::ml {
+
+/// C = alpha * A(MxK) * B(KxN) + beta * C(MxN), row-major.
+void gemm_nn(std::size_t M, std::size_t N, std::size_t K, float alpha, const float* A,
+             const float* B, float beta, float* C);
+
+/// C = alpha * A^T(KxM -> MxK view of A stored KxM? no:) — A is (KxM) stored
+/// row-major; computes C(MxN) = alpha * A^T * B(KxN) + beta * C. Used for
+/// weight gradients: dW = X^T * dY.
+void gemm_tn(std::size_t M, std::size_t N, std::size_t K, float alpha, const float* A,
+             const float* B, float beta, float* C);
+
+/// C(MxN) = alpha * A(MxK) * B^T (B is NxK row-major) + beta * C. Used for
+/// input gradients: dX = dY * W^T.
+void gemm_nt(std::size_t M, std::size_t N, std::size_t K, float alpha, const float* A,
+             const float* B, float beta, float* C);
+
+/// y[b, j] += bias[j] for each row b of y(BxN).
+void add_bias(std::size_t B, std::size_t N, const float* bias, float* y);
+
+/// dbias[j] = sum_b dy[b, j].
+void bias_grad(std::size_t B, std::size_t N, const float* dy, float* dbias);
+
+/// In-place ReLU.
+void relu_forward(float* x, std::size_t n);
+
+/// dx[i] = dy[i] * (x_post[i] > 0), where x_post is the *post-activation*
+/// value (valid because ReLU output is positive exactly where input was).
+void relu_backward(const float* dy, const float* x_post, float* dx, std::size_t n);
+
+/// Softmax + cross-entropy over logits(BxC) with integer labels.
+/// Writes softmax probabilities into probs(BxC); returns mean loss.
+double softmax_xent_forward(std::size_t B, std::size_t C, const float* logits,
+                            const int* labels, float* probs);
+
+/// dlogits = (probs - onehot(labels)) / B, written into dlogits(BxC).
+void softmax_xent_backward(std::size_t B, std::size_t C, const float* probs, const int* labels,
+                           float* dlogits);
+
+/// argmax of each row of scores(BxC) into out[B].
+void argmax_rows(std::size_t B, std::size_t C, const float* scores, int* out);
+
+/// Euclidean norm of a span.
+double l2_norm(std::span<const float> v) noexcept;
+
+/// x += alpha * y (same length).
+void axpy(float alpha, std::span<const float> y, std::span<float> x) noexcept;
+
+}  // namespace fluentps::ml

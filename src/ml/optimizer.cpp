@@ -1,0 +1,71 @@
+#include "ml/optimizer.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "ml/ops.h"
+
+namespace fluentps::ml {
+
+void SgdOptimizer::compute_update(std::span<const float> /*params*/, std::span<const float> grad,
+                                  std::int64_t iter, std::span<float> update) {
+  FPS_CHECK(update.size() == grad.size()) << "update/grad size mismatch";
+  const auto step = static_cast<float>(-lr_->lr(iter));
+  for (std::size_t i = 0; i < grad.size(); ++i) update[i] = step * grad[i];
+}
+
+void MomentumSgd::compute_update(std::span<const float> /*params*/, std::span<const float> grad,
+                                 std::int64_t iter, std::span<float> update) {
+  FPS_CHECK(update.size() == grad.size()) << "update/grad size mismatch";
+  if (velocity_.size() != grad.size()) velocity_.assign(grad.size(), 0.0f);
+  const auto mu = static_cast<float>(mu_);
+  const auto step = static_cast<float>(-lr_->lr(iter));
+  for (std::size_t i = 0; i < grad.size(); ++i) {
+    velocity_[i] = mu * velocity_[i] + grad[i];
+    update[i] = step * velocity_[i];
+  }
+}
+
+LarsOptimizer::LarsOptimizer(std::unique_ptr<LrSchedule> lr, std::vector<std::size_t> layer_sizes,
+                             double eta, double epsilon)
+    : lr_(std::move(lr)), layer_sizes_(std::move(layer_sizes)), eta_(eta), epsilon_(epsilon) {}
+
+void LarsOptimizer::compute_update(std::span<const float> params, std::span<const float> grad,
+                                   std::int64_t iter, std::span<float> update) {
+  FPS_CHECK(update.size() == grad.size() && params.size() == grad.size())
+      << "LARS span size mismatch";
+  const double lr = lr_->lr(iter);
+  std::size_t off = 0;
+  for (const std::size_t len : layer_sizes_) {
+    FPS_CHECK(off + len <= grad.size()) << "layer map exceeds parameter count";
+    const auto w = params.subspan(off, len);
+    const auto g = grad.subspan(off, len);
+    const double wn = l2_norm(w);
+    const double gn = l2_norm(g);
+    // When the weight norm is ~0 (e.g. zero-initialized biases) fall back to
+    // plain SGD scaling so those entries still move.
+    const double trust = wn > 0.0 ? eta_ * wn / (gn + epsilon_) : 1.0;
+    const auto step = static_cast<float>(-lr * trust);
+    for (std::size_t i = 0; i < len; ++i) update[off + i] = step * g[i];
+    off += len;
+  }
+  FPS_CHECK(off == grad.size()) << "layer map does not cover all parameters";
+}
+
+std::unique_ptr<Optimizer> make_optimizer(const OptimizerSpec& spec, const Model& model) {
+  auto lr = make_lr_schedule(spec.lr);
+  if (spec.kind == "sgd") {
+    return std::make_unique<SgdOptimizer>(std::move(lr));
+  }
+  if (spec.kind == "momentum") {
+    return std::make_unique<MomentumSgd>(std::move(lr), spec.momentum);
+  }
+  if (spec.kind == "lars") {
+    return std::make_unique<LarsOptimizer>(std::move(lr), model.layer_sizes(), spec.lars_eta,
+                                           spec.lars_epsilon);
+  }
+  FPS_CHECK(false) << "unknown optimizer kind: " << spec.kind;
+  return nullptr;
+}
+
+}  // namespace fluentps::ml

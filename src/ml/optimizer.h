@@ -1,0 +1,80 @@
+// Worker-side optimizers. In the FluentPS protocol (Algorithm 1) the server
+// is a dumb accumulator: it applies `w += update / N`. All optimizer state
+// (momentum velocity, LARS trust ratios) therefore lives on the worker, which
+// turns its raw gradient into the update it pushes. This matches how MXNet
+// runs SGD over PS-Lite and keeps server shards stateless.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "ml/lr_schedule.h"
+#include "ml/model.h"
+
+namespace fluentps::ml {
+
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+
+  /// Transform the raw gradient into the pushed update (usually -lr * g, with
+  /// optimizer-specific modifications). `params` is the worker's current
+  /// parameter view (needed by LARS). All spans have num_params() length.
+  virtual void compute_update(std::span<const float> params, std::span<const float> grad,
+                              std::int64_t iter, std::span<float> update) = 0;
+};
+
+/// Plain SGD: update = -lr(iter) * grad.
+class SgdOptimizer final : public Optimizer {
+ public:
+  explicit SgdOptimizer(std::unique_ptr<LrSchedule> lr) : lr_(std::move(lr)) {}
+  void compute_update(std::span<const float> params, std::span<const float> grad,
+                      std::int64_t iter, std::span<float> update) override;
+
+ private:
+  std::unique_ptr<LrSchedule> lr_;
+};
+
+/// Heavy-ball momentum: v = mu * v + grad; update = -lr(iter) * v.
+class MomentumSgd final : public Optimizer {
+ public:
+  MomentumSgd(std::unique_ptr<LrSchedule> lr, double mu) : lr_(std::move(lr)), mu_(mu) {}
+  void compute_update(std::span<const float> params, std::span<const float> grad,
+                      std::int64_t iter, std::span<float> update) override;
+
+ private:
+  std::unique_ptr<LrSchedule> lr_;
+  double mu_;
+  std::vector<float> velocity_;
+};
+
+/// Layer-wise Adaptive Rate Scaling (You et al. 2017), the paper's choice for
+/// large-batch training: per layer, trust = eta * ||w|| / (||g|| + eps);
+/// update_layer = -lr * trust * g_layer. Requires the model's layer map.
+class LarsOptimizer final : public Optimizer {
+ public:
+  LarsOptimizer(std::unique_ptr<LrSchedule> lr, std::vector<std::size_t> layer_sizes, double eta,
+                double epsilon);
+  void compute_update(std::span<const float> params, std::span<const float> grad,
+                      std::int64_t iter, std::span<float> update) override;
+
+ private:
+  std::unique_ptr<LrSchedule> lr_;
+  std::vector<std::size_t> layer_sizes_;
+  double eta_;
+  double epsilon_;
+};
+
+struct OptimizerSpec {
+  std::string kind = "sgd";  ///< "sgd" | "momentum" | "lars"
+  double momentum = 0.9;
+  double lars_eta = 0.001;
+  double lars_epsilon = 1e-9;
+  LrSpec lr;
+};
+
+/// Factory; `model` supplies the layer map for LARS.
+std::unique_ptr<Optimizer> make_optimizer(const OptimizerSpec& spec, const Model& model);
+
+}  // namespace fluentps::ml

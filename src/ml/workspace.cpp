@@ -1,0 +1,18 @@
+#include "ml/workspace.h"
+
+namespace fluentps::ml {
+
+std::span<float> Workspace::buf(std::size_t slot, std::size_t n) {
+  if (slot >= slots_.size()) slots_.resize(slot + 1);
+  auto& v = slots_[slot];
+  if (v.size() < n) v.resize(n);
+  return {v.data(), n};
+}
+
+std::size_t Workspace::capacity_floats() const noexcept {
+  std::size_t total = 0;
+  for (const auto& v : slots_) total += v.size();
+  return total;
+}
+
+}  // namespace fluentps::ml

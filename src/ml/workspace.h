@@ -1,0 +1,25 @@
+// Reusable scratch buffers for forward/backward passes. A Workspace belongs
+// to exactly one caller (one worker thread or one simulated worker), so it is
+// not synchronized; models index slots by small integers.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace fluentps::ml {
+
+class Workspace {
+ public:
+  /// Return a span of `n` floats for `slot`, reusing previous storage when it
+  /// is large enough. Contents are unspecified (callers overwrite).
+  std::span<float> buf(std::size_t slot, std::size_t n);
+
+  /// Total floats currently held (for tests / accounting).
+  [[nodiscard]] std::size_t capacity_floats() const noexcept;
+
+ private:
+  std::vector<std::vector<float>> slots_;
+};
+
+}  // namespace fluentps::ml

@@ -1,0 +1,57 @@
+#include "net/inproc_transport.h"
+
+#include "common/logging.h"
+
+namespace fluentps::net {
+
+InprocTransport::~InprocTransport() { shutdown(); }
+
+void InprocTransport::register_node(NodeId node, Handler handler) {
+  auto n = std::make_unique<Node>();
+  n->handler = std::move(handler);
+  Node* raw = n.get();
+  n->dispatcher = std::jthread([this, raw] {
+    while (auto msg = raw->queue.pop()) {
+      raw->handler(std::move(*msg));
+      delivered_.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  std::scoped_lock lock(mu_);
+  FPS_CHECK(!nodes_.contains(node)) << "node " << node << " registered twice";
+  nodes_.emplace(node, std::move(n));
+}
+
+void InprocTransport::send(Message msg) {
+  Node* target = nullptr;
+  {
+    std::scoped_lock lock(mu_);
+    const auto it = nodes_.find(msg.dst);
+    if (it == nodes_.end()) {
+      FPS_LOG(Warn) << "dropping message to unregistered node " << msg.dst << ": "
+                    << msg.to_debug_string();
+      return;
+    }
+    target = it->second.get();
+  }
+  // Queue push outside the map lock: the queue has its own synchronization
+  // and nodes are never erased before shutdown().
+  target->queue.push(std::move(msg));
+}
+
+void InprocTransport::shutdown() {
+  std::unordered_map<NodeId, std::unique_ptr<Node>> nodes;
+  {
+    std::scoped_lock lock(mu_);
+    nodes.swap(nodes_);
+  }
+  for (auto& [id, node] : nodes) {
+    node->queue.close();  // dispatcher drains then exits; jthread joins in dtor
+  }
+  nodes.clear();
+}
+
+std::uint64_t InprocTransport::delivered() const noexcept {
+  return delivered_.load(std::memory_order_relaxed);
+}
+
+}  // namespace fluentps::net

@@ -1,0 +1,48 @@
+// In-process transport: one dispatch thread + queue per registered node.
+//
+// Messages are moved, never serialized. A node's handler is invoked only from
+// that node's dispatch thread, so per-node state touched exclusively from the
+// handler requires no locking (CP.3: sharing is confined to the queues).
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+
+#include "common/blocking_queue.h"
+#include "net/transport.h"
+
+namespace fluentps::net {
+
+class InprocTransport final : public Transport {
+ public:
+  InprocTransport() = default;
+  ~InprocTransport() override;
+
+  InprocTransport(const InprocTransport&) = delete;
+  InprocTransport& operator=(const InprocTransport&) = delete;
+
+  void register_node(NodeId node, Handler handler) override;
+  void send(Message msg) override;
+
+  /// Stop all dispatch threads after draining queued messages. Idempotent;
+  /// also called by the destructor.
+  void shutdown();
+
+  /// Number of messages delivered so far (across all nodes).
+  [[nodiscard]] std::uint64_t delivered() const noexcept;
+
+ private:
+  struct Node {
+    BlockingQueue<Message> queue;
+    Handler handler;
+    std::jthread dispatcher;  // constructed last, joined first
+  };
+
+  mutable std::mutex mu_;  // guards nodes_ map shape (not node internals)
+  std::unordered_map<NodeId, std::unique_ptr<Node>> nodes_;
+  std::atomic<std::uint64_t> delivered_{0};
+};
+
+}  // namespace fluentps::net

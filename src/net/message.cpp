@@ -1,0 +1,65 @@
+#include "net/message.h"
+
+#include <sstream>
+
+namespace fluentps::net {
+
+const char* to_string(MsgType t) noexcept {
+  switch (t) {
+    case MsgType::kPush: return "Push";
+    case MsgType::kPushAck: return "PushAck";
+    case MsgType::kPull: return "Pull";
+    case MsgType::kPullResp: return "PullResp";
+    case MsgType::kProgress: return "Progress";
+    case MsgType::kPullGrant: return "PullGrant";
+    case MsgType::kHeartbeat: return "Heartbeat";
+    case MsgType::kShutdown: return "Shutdown";
+  }
+  return "Unknown";
+}
+
+double Message::wire_bytes() const noexcept {
+  return kHeaderBytes + static_cast<double>(values.size()) * sizeof(float);
+}
+
+std::vector<std::uint8_t> Message::serialize() const {
+  io::Writer w;
+  w.reserve(64 + values.size() * sizeof(float));
+  w.put<std::uint8_t>(static_cast<std::uint8_t>(type));
+  w.put<std::uint32_t>(src);
+  w.put<std::uint32_t>(dst);
+  w.put<std::uint64_t>(request_id);
+  w.put<std::int64_t>(progress);
+  w.put<std::uint32_t>(worker_rank);
+  w.put<std::uint32_t>(server_rank);
+  w.put_vector(values);
+  return w.take();
+}
+
+bool Message::deserialize(const std::vector<std::uint8_t>& frame, Message* out) {
+  io::Reader r(frame);
+  Message m;
+  m.type = static_cast<MsgType>(r.get<std::uint8_t>());
+  m.src = r.get<std::uint32_t>();
+  m.dst = r.get<std::uint32_t>();
+  m.request_id = r.get<std::uint64_t>();
+  m.progress = r.get<std::int64_t>();
+  m.worker_rank = r.get<std::uint32_t>();
+  m.server_rank = r.get<std::uint32_t>();
+  m.values = r.get_vector<float>();
+  if (!r.ok() || static_cast<std::uint8_t>(m.type) > static_cast<std::uint8_t>(MsgType::kShutdown)) {
+    return false;
+  }
+  *out = std::move(m);
+  return true;
+}
+
+std::string Message::to_debug_string() const {
+  std::ostringstream os;
+  os << to_string(type) << " src=" << src << " dst=" << dst << " req=" << request_id
+     << " progress=" << progress << " w=" << worker_rank << " s=" << server_rank
+     << " nvalues=" << values.size();
+  return os.str();
+}
+
+}  // namespace fluentps::net

@@ -1,0 +1,64 @@
+// Wire messages exchanged between workers, servers and the scheduler.
+//
+// One message type covers the whole protocol; `type` selects which fields
+// are meaningful. Messages serialize to a flat byte frame (see message.cpp)
+// so the same structs flow through the in-process transport (moved, zero
+// copy) and can be framed for a real socket transport; `wire_bytes()` is what
+// the simulated network model charges for.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/serialization.h"
+
+namespace fluentps::net {
+
+/// Logical node identifier; workers, servers and the scheduler share one id
+/// space assigned by the runtime (scheduler=0, servers next, workers last).
+using NodeId = std::uint32_t;
+
+enum class MsgType : std::uint8_t {
+  kPush = 0,        ///< worker -> server: gradient/update values for a shard
+  kPushAck = 1,     ///< server -> worker: push applied (control-sized)
+  kPull = 2,        ///< worker -> server: request shard parameters (control-sized)
+  kPullResp = 3,    ///< server -> worker: shard parameter values
+  kProgress = 4,    ///< worker -> scheduler: progress report (baseline mode)
+  kPullGrant = 5,   ///< scheduler -> worker: pull phase permitted (baseline mode)
+  kHeartbeat = 6,   ///< server -> scheduler: liveness
+  kShutdown = 7,    ///< runtime -> node: stop dispatching
+};
+
+/// Returns a printable name for logs.
+const char* to_string(MsgType t) noexcept;
+
+struct Message {
+  MsgType type = MsgType::kPush;
+  NodeId src = 0;
+  NodeId dst = 0;
+  std::uint64_t request_id = 0;  ///< correlates kPull with kPullResp
+  std::int64_t progress = 0;     ///< sender worker's iteration (Algorithm 1)
+  std::uint32_t worker_rank = 0; ///< logical worker index [0, N)
+  std::uint32_t server_rank = 0; ///< logical server index [0, M)
+  std::vector<float> values;     ///< gradients (kPush) or parameters (kPullResp)
+
+  /// Size this message would occupy on the wire: header + payload. Control
+  /// messages (no values) cost the fixed header only.
+  [[nodiscard]] double wire_bytes() const noexcept;
+
+  /// Serialize to a byte frame.
+  [[nodiscard]] std::vector<std::uint8_t> serialize() const;
+
+  /// Parse a frame; returns false (and leaves *out untouched on header
+  /// failure) if the frame is malformed.
+  static bool deserialize(const std::vector<std::uint8_t>& frame, Message* out);
+
+  /// Human-readable one-liner for debugging.
+  [[nodiscard]] std::string to_debug_string() const;
+};
+
+/// Fixed header size charged by wire_bytes() for every message.
+inline constexpr double kHeaderBytes = 48.0;
+
+}  // namespace fluentps::net

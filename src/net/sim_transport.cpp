@@ -1,0 +1,30 @@
+#include "net/sim_transport.h"
+
+#include <utility>
+
+#include "common/logging.h"
+
+namespace fluentps::net {
+
+void SimTransport::register_node(NodeId node, Handler handler) {
+  FPS_CHECK(!handlers_.contains(node)) << "node " << node << " registered twice";
+  handlers_.emplace(node, std::move(handler));
+}
+
+void SimTransport::send(Message msg) {
+  const auto it = handlers_.find(msg.dst);
+  if (it == handlers_.end()) {
+    FPS_LOG(Warn) << "dropping message to unregistered node " << msg.dst << ": "
+                  << msg.to_debug_string();
+    return;
+  }
+  const sim::SimTime arrive =
+      network_.deliver(msg.src, msg.dst, msg.wire_bytes(), env_.now());
+  Handler& handler = it->second;
+  env_.schedule_at(arrive, [this, &handler, m = std::move(msg)]() mutable {
+    ++delivered_;
+    handler(std::move(m));
+  });
+}
+
+}  // namespace fluentps::net

@@ -1,0 +1,32 @@
+// DES-backed transport: send() asks the NetworkModel for the delivery time
+// (accounting for latency, bandwidth and per-endpoint contention) and
+// schedules the receiver's handler at that virtual time.
+#pragma once
+
+#include <unordered_map>
+
+#include "net/transport.h"
+#include "sim/network_model.h"
+#include "sim/sim_env.h"
+
+namespace fluentps::net {
+
+class SimTransport final : public Transport {
+ public:
+  /// Both `env` and `network` must outlive the transport.
+  SimTransport(sim::SimEnv& env, sim::NetworkModel& network) : env_(env), network_(network) {}
+
+  void register_node(NodeId node, Handler handler) override;
+  void send(Message msg) override;
+
+  /// Messages delivered so far.
+  [[nodiscard]] std::uint64_t delivered() const noexcept { return delivered_; }
+
+ private:
+  sim::SimEnv& env_;
+  sim::NetworkModel& network_;
+  std::unordered_map<NodeId, Handler> handlers_;
+  std::uint64_t delivered_ = 0;
+};
+
+}  // namespace fluentps::net

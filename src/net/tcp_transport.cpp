@@ -1,0 +1,281 @@
+#include "net/tcp_transport.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace fluentps::net {
+namespace {
+
+/// Read exactly n bytes; false on EOF/error.
+bool read_exact(int fd, void* buf, std::size_t n) {
+  auto* p = static_cast<std::uint8_t*>(buf);
+  while (n > 0) {
+    const ssize_t got = ::recv(fd, p, n, 0);
+    if (got <= 0) return false;
+    p += got;
+    n -= static_cast<std::size_t>(got);
+  }
+  return true;
+}
+
+/// Write exactly n bytes; false on error.
+bool write_exact(int fd, const void* buf, std::size_t n) {
+  const auto* p = static_cast<const std::uint8_t*>(buf);
+  while (n > 0) {
+    const ssize_t sent = ::send(fd, p, n, MSG_NOSIGNAL);
+    if (sent <= 0) return false;
+    p += sent;
+    n -= static_cast<std::size_t>(sent);
+  }
+  return true;
+}
+
+constexpr std::uint32_t kMaxFrame = 256u << 20;  // 256 MiB sanity bound
+
+/// Frames addressed here are transport-internal hellos: src = advertised
+/// node, progress = advertised listen port.
+constexpr NodeId kControlDst = 0xFFFFFFFFu;
+
+}  // namespace
+
+TcpTransport::TcpTransport(std::string bind_host) : bind_host_(std::move(bind_host)) {}
+
+TcpTransport::~TcpTransport() { shutdown(); }
+
+std::uint16_t TcpTransport::listen(std::uint16_t port) {
+  FPS_CHECK(listen_fd_ < 0) << "listen() called twice";
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  FPS_CHECK(listen_fd_ >= 0) << "socket() failed: " << std::strerror(errno);
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  FPS_CHECK(::inet_pton(AF_INET, bind_host_.c_str(), &addr.sin_addr) == 1)
+      << "bad bind host: " << bind_host_;
+  FPS_CHECK(::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0)
+      << "bind(" << bind_host_ << ":" << port << ") failed: " << std::strerror(errno);
+  FPS_CHECK(::listen(listen_fd_, 64) == 0) << "listen failed: " << std::strerror(errno);
+
+  socklen_t len = sizeof(addr);
+  FPS_CHECK(::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) == 0)
+      << "getsockname failed";
+  port_ = ntohs(addr.sin_port);
+  acceptor_ = std::jthread([this] { accept_loop(); });
+  return port_;
+}
+
+void TcpTransport::accept_loop() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) return;  // listen_fd_ closed during shutdown
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    std::scoped_lock lock(mu_);
+    if (stopping_) {
+      ::close(fd);
+      return;
+    }
+    inbound_fds_.push_back(fd);
+    readers_.emplace_back([this, fd] { reader_loop(fd); });
+  }
+}
+
+void TcpTransport::reader_loop(int fd) {
+  for (;;) {
+    std::uint32_t frame_len = 0;
+    if (!read_exact(fd, &frame_len, sizeof(frame_len))) break;
+    if (frame_len > kMaxFrame) {
+      FPS_LOG(Warn) << "tcp: oversized frame (" << frame_len << " bytes), closing";
+      break;
+    }
+    std::vector<std::uint8_t> frame(frame_len);
+    if (!read_exact(fd, frame.data(), frame.size())) break;
+    Message msg;
+    if (!Message::deserialize(frame, &msg)) {
+      FPS_LOG(Warn) << "tcp: dropping malformed frame of " << frame_len << " bytes";
+      continue;
+    }
+    frames_received_.fetch_add(1, std::memory_order_relaxed);
+    if (msg.dst == kControlDst) {
+      handle_hello(fd, msg);
+      continue;
+    }
+    Handler* handler = nullptr;
+    {
+      std::scoped_lock lock(mu_);
+      const auto it = local_.find(msg.dst);
+      if (it != local_.end()) handler = &it->second;
+    }
+    if (handler == nullptr) {
+      FPS_LOG(Warn) << "tcp: no local handler for node " << msg.dst;
+      continue;
+    }
+    (*handler)(std::move(msg));
+  }
+  ::close(fd);
+}
+
+void TcpTransport::register_node(NodeId node, Handler handler) {
+  std::scoped_lock lock(mu_);
+  FPS_CHECK(!local_.contains(node)) << "node " << node << " registered twice";
+  local_.emplace(node, std::move(handler));
+}
+
+void TcpTransport::add_route(NodeId node, const std::string& host, std::uint16_t port) {
+  std::scoped_lock lock(mu_);
+  routes_[node] = {host, port};
+}
+
+std::shared_ptr<TcpTransport::Peer> TcpTransport::peer_for(const std::string& host,
+                                                           std::uint16_t port) {
+  const std::string key = host + ":" + std::to_string(port);
+  {
+    std::scoped_lock lock(mu_);
+    const auto it = peers_.find(key);
+    if (it != peers_.end()) return it->second;
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return nullptr;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1 ||
+      ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    FPS_LOG(Warn) << "tcp: connect to " << key << " failed: " << std::strerror(errno);
+    ::close(fd);
+    return nullptr;
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  auto peer = std::make_shared<Peer>();
+  peer->fd = fd;
+  {
+    std::scoped_lock lock(mu_);
+    // Another thread may have raced us; keep the first connection.
+    const auto [it, inserted] = peers_.emplace(key, peer);
+    if (!inserted) {
+      ::close(fd);
+      return it->second;
+    }
+  }
+  send_hellos(*peer);
+  return peer;
+}
+
+void TcpTransport::send_hellos(Peer& peer) {
+  if (port_ == 0) return;  // nothing to advertise: we are not listening
+  std::vector<NodeId> nodes;
+  {
+    std::scoped_lock lock(mu_);
+    nodes.reserve(local_.size());
+    for (const auto& [node, handler] : local_) nodes.push_back(node);
+  }
+  for (const NodeId node : nodes) {
+    Message hello;
+    hello.type = MsgType::kHeartbeat;
+    hello.src = node;
+    hello.dst = kControlDst;
+    hello.progress = port_;
+    if (!write_frame(peer, hello.serialize())) return;
+  }
+}
+
+void TcpTransport::handle_hello(int fd, const Message& msg) {
+  sockaddr_in addr{};
+  socklen_t len = sizeof(addr);
+  if (::getpeername(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) return;
+  char ip[INET_ADDRSTRLEN] = {0};
+  if (::inet_ntop(AF_INET, &addr.sin_addr, ip, sizeof(ip)) == nullptr) return;
+  const auto advertised = static_cast<std::uint16_t>(msg.progress);
+  add_route(msg.src, ip, advertised);
+}
+
+bool TcpTransport::write_frame(Peer& peer, const std::vector<std::uint8_t>& frame) {
+  const auto len = static_cast<std::uint32_t>(frame.size());
+  std::scoped_lock lock(peer.write_mu);
+  if (!write_exact(peer.fd, &len, sizeof(len))) return false;
+  if (!write_exact(peer.fd, frame.data(), frame.size())) return false;
+  frames_sent_.fetch_add(1, std::memory_order_relaxed);
+  bytes_sent_.fetch_add(sizeof(len) + frame.size(), std::memory_order_relaxed);
+  return true;
+}
+
+void TcpTransport::send(Message msg) {
+  // Local fast path: no serialization.
+  Handler* handler = nullptr;
+  std::pair<std::string, std::uint16_t> route;
+  {
+    std::scoped_lock lock(mu_);
+    const auto lit = local_.find(msg.dst);
+    if (lit != local_.end()) {
+      handler = &lit->second;
+    } else {
+      const auto rit = routes_.find(msg.dst);
+      if (rit == routes_.end()) {
+        FPS_LOG(Warn) << "tcp: no route to node " << msg.dst << ", dropping "
+                      << msg.to_debug_string();
+        return;
+      }
+      route = rit->second;
+    }
+  }
+  if (handler != nullptr) {
+    (*handler)(std::move(msg));
+    return;
+  }
+  const auto peer = peer_for(route.first, route.second);
+  if (peer == nullptr) return;
+  if (!write_frame(*peer, msg.serialize())) {
+    FPS_LOG(Warn) << "tcp: write to node " << msg.dst << " failed";
+  }
+}
+
+void TcpTransport::shutdown() {
+  std::vector<std::jthread> readers;
+  std::map<std::string, std::shared_ptr<Peer>> peers;
+  std::vector<int> inbound;
+  {
+    std::scoped_lock lock(mu_);
+    if (stopping_) return;
+    stopping_ = true;
+    readers.swap(readers_);
+    peers.swap(peers_);
+    inbound.swap(inbound_fds_);
+  }
+  // Unblock reader threads parked in recv() on inbound connections.
+  for (const int fd : inbound) ::shutdown(fd, SHUT_RDWR);
+  if (listen_fd_ >= 0) {
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  for (auto& [key, peer] : peers) {
+    ::shutdown(peer->fd, SHUT_RDWR);
+    ::close(peer->fd);
+  }
+  // acceptor_ returns once accept() fails; readers return on EOF. jthread
+  // destructors join.
+  acceptor_ = std::jthread{};
+  readers.clear();
+}
+
+std::uint64_t TcpTransport::frames_sent() const noexcept {
+  return frames_sent_.load(std::memory_order_relaxed);
+}
+std::uint64_t TcpTransport::frames_received() const noexcept {
+  return frames_received_.load(std::memory_order_relaxed);
+}
+std::uint64_t TcpTransport::bytes_sent() const noexcept {
+  return bytes_sent_.load(std::memory_order_relaxed);
+}
+
+}  // namespace fluentps::net

@@ -1,0 +1,94 @@
+// TCP transport: real sockets, so workers and servers can run in separate
+// processes/machines (the deployment model of PS-Lite's van). Wire format:
+// 4-byte little-endian length prefix + Message::serialize() frame.
+//
+// Each TcpTransport instance hosts the nodes registered locally and holds a
+// routing table for remote nodes. send() takes the in-memory fast path for
+// local destinations and a (lazily connected, cached) TCP stream otherwise.
+// One acceptor thread plus one reader thread per inbound connection; all are
+// jthreads joined at shutdown (CP.25/26).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/transport.h"
+
+namespace fluentps::net {
+
+class TcpTransport final : public Transport {
+ public:
+  /// `bind_host` is the interface the acceptor binds to.
+  explicit TcpTransport(std::string bind_host = "127.0.0.1");
+  ~TcpTransport() override;
+
+  TcpTransport(const TcpTransport&) = delete;
+  TcpTransport& operator=(const TcpTransport&) = delete;
+
+  /// Start accepting connections; `port` 0 picks an ephemeral port. Returns
+  /// the bound port. Call once, before any remote traffic is expected.
+  std::uint16_t listen(std::uint16_t port = 0);
+
+  /// Declare that `node` is reachable at host:port (some other transport
+  /// instance's listen() address). Local nodes need no route.
+  ///
+  /// Routes are also learned automatically: whenever this transport opens a
+  /// connection it sends one hello frame per local node advertising its own
+  /// listen port, so the remote side can respond without manual
+  /// configuration (PS-Lite's node registration, minus the scheduler).
+  void add_route(NodeId node, const std::string& host, std::uint16_t port);
+
+  /// Register a locally hosted node.
+  void register_node(NodeId node, Handler handler) override;
+
+  /// Deliver to a local handler directly, or frame it over TCP.
+  void send(Message msg) override;
+
+  /// Close the acceptor, all connections, and join all threads. Idempotent.
+  void shutdown();
+
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+  [[nodiscard]] std::uint64_t frames_sent() const noexcept;
+  [[nodiscard]] std::uint64_t frames_received() const noexcept;
+  [[nodiscard]] std::uint64_t bytes_sent() const noexcept;
+
+ private:
+  struct Peer {
+    int fd = -1;
+    std::mutex write_mu;  // frames must not interleave
+  };
+
+  void accept_loop();
+  void reader_loop(int fd);
+  /// Send one hello frame per locally registered node over `peer`.
+  void send_hellos(Peer& peer);
+  /// Register the route a hello frame advertises (peer IP + advertised port).
+  void handle_hello(int fd, const Message& msg);
+  /// Get (or establish) the connection to a remote endpoint.
+  std::shared_ptr<Peer> peer_for(const std::string& host, std::uint16_t port);
+  bool write_frame(Peer& peer, const std::vector<std::uint8_t>& frame);
+
+  std::string bind_host_;
+  std::uint16_t port_ = 0;
+  int listen_fd_ = -1;
+
+  std::mutex mu_;  // guards maps below
+  std::map<NodeId, Handler> local_;
+  std::map<NodeId, std::pair<std::string, std::uint16_t>> routes_;
+  std::map<std::string, std::shared_ptr<Peer>> peers_;  // "host:port" -> conn
+  std::vector<int> inbound_fds_;  // accepted connections (closed at shutdown)
+  std::vector<std::jthread> readers_;
+  std::jthread acceptor_;
+  bool stopping_ = false;
+
+  std::atomic<std::uint64_t> frames_sent_{0};
+  std::atomic<std::uint64_t> frames_received_{0};
+  std::atomic<std::uint64_t> bytes_sent_{0};
+};
+
+}  // namespace fluentps::net

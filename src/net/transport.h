@@ -1,0 +1,35 @@
+// Transport abstraction: delivers Messages between logical nodes.
+//
+// Two implementations:
+//  * InprocTransport — real threads; each node gets a dispatch thread that
+//    drains a queue and invokes the node's handler, so a node's handler runs
+//    single-threaded (actor-style) and node state needs no further locking
+//    for transport-driven events.
+//  * SimTransport — discrete-event backend: send() consults the network
+//    model for a delivery time and schedules handler invocation on the DES.
+#pragma once
+
+#include <functional>
+
+#include "net/message.h"
+
+namespace fluentps::net {
+
+class Transport {
+ public:
+  /// Invoked with each delivered message, on the receiving node's execution
+  /// context (dispatch thread for inproc, DES event for sim).
+  using Handler = std::function<void(Message&&)>;
+
+  virtual ~Transport() = default;
+
+  /// Register the handler for `node`. Must be called for every node before
+  /// any send() targeting it.
+  virtual void register_node(NodeId node, Handler handler) = 0;
+
+  /// Asynchronously deliver `msg` to msg.dst. Never blocks the sender on the
+  /// receiver's processing.
+  virtual void send(Message msg) = 0;
+};
+
+}  // namespace fluentps::net

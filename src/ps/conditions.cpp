@@ -1,0 +1,178 @@
+#include "ps/conditions.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace fluentps::ps {
+
+std::string SyncModelSpec::label() const {
+  std::ostringstream os;
+  if (kind == "bsp" || kind == "asp") {
+    os << kind;
+  } else if (kind == "ssp") {
+    os << "ssp(s=" << staleness << ")";
+  } else if (kind == "dsps") {
+    os << "dsps(s0=" << staleness << ")";
+  } else if (kind == "drop") {
+    os << "drop(Nt=" << drop_nt << ")";
+  } else if (kind == "pssp") {
+    os << "pssp(s=" << staleness << ",P=" << prob << ")";
+  } else if (kind == "pssp_dynamic") {
+    os << "pssp_dyn(s=" << staleness << ",a=" << (alpha_significance ? std::string("SF") : std::to_string(alpha))
+       << ")";
+  } else {
+    os << kind;
+  }
+  return os.str();
+}
+
+double pssp_constant_probability(std::int64_t s, std::int64_t k, double c) noexcept {
+  if (k < s) return 0.0;
+  return std::clamp(c, 0.0, 1.0);
+}
+
+double pssp_dynamic_probability(std::int64_t s, std::int64_t k, double alpha) noexcept {
+  if (k < s) return 0.0;
+  return std::clamp(alpha / (1.0 + std::exp(static_cast<double>(s - k))), 0.0, 1.0);
+}
+
+double ssp_regret_bound(double F, double L, std::int64_t s, std::uint32_t N,
+                        std::int64_t T) noexcept {
+  return 4.0 * F * L *
+         std::sqrt(2.0 * static_cast<double>(s + 1) * static_cast<double>(N) /
+                   static_cast<double>(T));
+}
+
+double pssp_regret_bound(double F, double L, std::int64_t s, double c, std::uint32_t N,
+                         std::int64_t T) noexcept {
+  return 4.0 * F * L *
+         std::sqrt(2.0 * (static_cast<double>(s) + 1.0 / c) * static_cast<double>(N) /
+                   static_cast<double>(T));
+}
+
+namespace {
+
+PushCondition count_push_condition(std::uint32_t needed) {
+  return [needed](const SyncView& view) { return view.count_at_vtrain >= needed; };
+}
+
+/// Deterministic bounded-staleness pull condition: progress < V_train + s.
+bool ssp_pull(std::int64_t progress, std::int64_t v_train, std::int64_t s) noexcept {
+  return progress < v_train + s;
+}
+
+}  // namespace
+
+SyncModel make_sync_model(const SyncModelSpec& spec, std::uint32_t num_workers) {
+  FPS_CHECK(num_workers > 0) << "need at least one worker";
+  SyncModel model;
+  const std::uint32_t n = num_workers;
+
+  if (spec.kind == "bsp") {
+    model.pull = [](const PullCtx& ctx, const SyncView& view, Rng&) {
+      return ssp_pull(ctx.progress, view.v_train, 0);
+    };
+    model.push = count_push_condition(n);
+    return model;
+  }
+
+  if (spec.kind == "asp") {
+    model.pull = [](const PullCtx&, const SyncView&, Rng&) { return true; };
+    // V_train still advances for bookkeeping; it never gates a pull.
+    model.push = count_push_condition(n);
+    return model;
+  }
+
+  if (spec.kind == "ssp") {
+    const std::int64_t s = spec.staleness;
+    model.pull = [s](const PullCtx& ctx, const SyncView& view, Rng&) {
+      return ssp_pull(ctx.progress, view.v_train, s);
+    };
+    model.push = count_push_condition(n);
+    return model;
+  }
+
+  if (spec.kind == "dsps") {
+    // Adaptive staleness: s(t) follows an EMA of the observed progress spread
+    // (fastest - slowest), clamped to [min_s, max_s]. The shared state is
+    // mutated during pull evaluation, which the engine serializes.
+    struct DspsState {
+      double ema_gap;
+      std::int64_t s;
+    };
+    auto state = std::make_shared<DspsState>(
+        DspsState{static_cast<double>(spec.staleness), std::max<std::int64_t>(spec.staleness, 1)});
+    auto s_view = std::make_shared<std::int64_t>(state->s);
+    const double beta = spec.dsps_ema;
+    const std::int64_t lo = spec.dsps_min_s;
+    const std::int64_t hi = spec.dsps_max_s;
+    model.pull = [state, s_view, beta, lo, hi](const PullCtx& ctx, const SyncView& view, Rng&) {
+      if (view.fastest >= 0 && view.slowest >= 0) {
+        const auto gap = static_cast<double>(view.fastest - view.slowest);
+        state->ema_gap = (1.0 - beta) * state->ema_gap + beta * gap;
+        state->s = std::clamp<std::int64_t>(std::llround(state->ema_gap) + 1, lo, hi);
+        *s_view = state->s;
+      }
+      return ssp_pull(ctx.progress, view.v_train, state->s);
+    };
+    model.push = count_push_condition(n);
+    model.adaptive_s = s_view;
+    return model;
+  }
+
+  if (spec.kind == "drop") {
+    const std::uint32_t nt = spec.drop_nt > 0 ? std::min(spec.drop_nt, n)
+                                              : std::max<std::uint32_t>(1, (2 * n + 2) / 3);
+    model.pull = [](const PullCtx& ctx, const SyncView& view, Rng&) {
+      return ssp_pull(ctx.progress, view.v_train, 0);
+    };
+    model.push = count_push_condition(nt);
+    return model;
+  }
+
+  if (spec.kind == "pssp") {
+    const std::int64_t s = spec.staleness;
+    const double c = spec.prob;
+    model.pull = [s, c](const PullCtx& ctx, const SyncView& view, Rng& rng) {
+      if (ssp_pull(ctx.progress, view.v_train, s)) return true;
+      if (!ctx.initial) return false;  // coin was already rolled on arrival
+      const std::int64_t k = ctx.progress - view.v_train;
+      const double p = pssp_constant_probability(s, k, c);
+      return rng.uniform() >= p;  // pass with probability 1-P (Table III: rand > P)
+    };
+    model.push = count_push_condition(n);
+    return model;
+  }
+
+  if (spec.kind == "pssp_dynamic") {
+    const std::int64_t s = spec.staleness;
+    const double alpha = spec.alpha;
+    const bool use_sf = spec.alpha_significance;
+    model.pull = [s, alpha, use_sf](const PullCtx& ctx, const SyncView& view, Rng& rng) {
+      if (ssp_pull(ctx.progress, view.v_train, s)) return true;
+      if (!ctx.initial) return false;
+      double a = alpha;
+      if (use_sf && view.significance_of) {
+        // alpha = SF-scaled: block harder when recent gradients on this shard
+        // are still significant relative to the long-run mean (early/steep
+        // phases of training), relax when updates have become insignificant.
+        const double sf = view.significance_of(ctx.worker);
+        const double ref = view.mean_significance;
+        a = ref > 0.0 ? std::clamp(alpha * sf / ref, 0.0, 1.0) : alpha;
+      }
+      const std::int64_t k = ctx.progress - view.v_train;
+      const double p = pssp_dynamic_probability(s, k, a);
+      return rng.uniform() >= p;
+    };
+    model.push = count_push_condition(n);
+    return model;
+  }
+
+  FPS_CHECK(false) << "unknown sync model kind: " << spec.kind;
+  return model;
+}
+
+}  // namespace fluentps::ps

@@ -1,0 +1,114 @@
+// Condition-aware synchronization (Sections III-B, III-E; Table III).
+//
+// A synchronization model is nothing but a pair (PULL_con, PUSH_con):
+//
+//   Model            Pull condition                        Push condition
+//   BSP              progress <  V_train                   Count[V_train] == N
+//   ASP              progress <  V_train + inf             Count[V_train] == N
+//   SSP              progress <  V_train + s               Count[V_train] == N
+//   DSPS             progress <  V_train + s(t)            Count[V_train] == N
+//   Drop stragglers  progress <  V_train                   Count[V_train] == N_t
+//   PSSP             progress <  V_train + s  OR  coin     Count[V_train] == N
+//
+// Conditions are plain values; users install their own via
+// SyncEngine::set_pull_condition / set_push_condition (the paper's
+// SetcondPull / SetcondPush APIs), with the full synchronization state
+// exposed through SyncView.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "common/rng.h"
+
+namespace fluentps::ps {
+
+/// Read-only view of a shard's synchronization state, handed to conditions.
+/// This is the paper's "interfaces expose details of the synchronization
+/// state, e.g., the progress of fastest/slowest worker, the number of
+/// workers that have pushed gradients in a specified iteration".
+struct SyncView {
+  std::int64_t v_train = 0;        ///< overall training progress of this shard
+  std::uint32_t num_workers = 0;   ///< N
+  std::int64_t fastest = -1;       ///< max progress reported by any worker
+  std::int64_t slowest = -1;       ///< min progress reported by any worker
+  std::uint32_t count_at_vtrain = 0;  ///< Count[V_train]
+
+  /// Count[i] for arbitrary i (0 when absent).
+  std::function<std::uint32_t(std::int64_t)> count_at;
+
+  /// Gradient significance SF(g, w) = |g|/|w| from the named worker's most
+  /// recent push (0 if it has not pushed). Used by dynamic PSSP with a
+  /// significance-function alpha.
+  std::function<double(std::uint32_t)> significance_of;
+
+  /// Running mean significance across recent pushes on this shard.
+  double mean_significance = 0.0;
+};
+
+/// Context of one pull request evaluation.
+struct PullCtx {
+  std::uint32_t worker = 0;
+  std::int64_t progress = 0;
+  /// True on the first evaluation (request just arrived); false when the
+  /// engine re-checks a buffered request. Probabilistic conditions roll their
+  /// coin only when `initial` is true, so a blocked worker stays blocked
+  /// until the deterministic part of the condition holds.
+  bool initial = true;
+};
+
+/// True = respond to the pull now; false = buffer it (it becomes a DPR).
+using PullCondition = std::function<bool(const PullCtx&, const SyncView&, Rng&)>;
+
+/// True = advance V_train and execute the buffered pulls for it.
+using PushCondition = std::function<bool(const SyncView&)>;
+
+/// Declarative description of a synchronization model.
+struct SyncModelSpec {
+  std::string kind = "bsp";  ///< bsp|asp|ssp|dsps|drop|pssp|pssp_dynamic
+  std::int64_t staleness = 0;  ///< s
+  double prob = 0.5;           ///< constant PSSP blocking probability c
+  double alpha = 1.0;          ///< dynamic PSSP alpha (constant variant)
+  bool alpha_significance = false;  ///< dynamic PSSP: alpha = f(gradient significance)
+  std::uint32_t drop_nt = 0;   ///< drop stragglers N_t (0 -> ceil(2N/3))
+
+  // DSPS controller knobs: s adapts inside [min_s, max_s] tracking the
+  // observed progress spread with an EMA.
+  std::int64_t dsps_min_s = 1;
+  std::int64_t dsps_max_s = 16;
+  double dsps_ema = 0.05;
+
+  /// Short label for tables ("ssp(s=3)", "pssp(s=3,c=0.5)", ...).
+  [[nodiscard]] std::string label() const;
+};
+
+/// A compiled synchronization model: the condition pair plus shared mutable
+/// state (DSPS's adaptive s). One instance per shard.
+struct SyncModel {
+  PullCondition pull;
+  PushCondition push;
+  /// For DSPS: the current adaptive staleness (nullptr otherwise); exposed so
+  /// tests and metrics can observe the adaptation. Written only from pull
+  /// evaluation, which the engine serializes.
+  std::shared_ptr<std::int64_t> adaptive_s;
+};
+
+/// Compile a spec into conditions for a shard with N workers.
+SyncModel make_sync_model(const SyncModelSpec& spec, std::uint32_t num_workers);
+
+/// The PSSP pause probability P(s, k): 0 for k < s; for k >= s, `c` in the
+/// constant model or alpha / (1 + e^(s-k)) in the dynamic model.
+double pssp_constant_probability(std::int64_t s, std::int64_t k, double c) noexcept;
+double pssp_dynamic_probability(std::int64_t s, std::int64_t k, double alpha) noexcept;
+
+/// Regret upper bounds from Section III-E (used by the theory bench):
+/// SSP (Eq 1):            4FL * sqrt(2(s+1)N / T)
+/// constant PSSP (Eq 3):  4FL * sqrt(2(s + 1/c)N / T)
+double ssp_regret_bound(double F, double L, std::int64_t s, std::uint32_t N, std::int64_t T) noexcept;
+double pssp_regret_bound(double F, double L, std::int64_t s, double c, std::uint32_t N,
+                         std::int64_t T) noexcept;
+
+}  // namespace fluentps::ps

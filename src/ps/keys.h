@@ -1,0 +1,23 @@
+// Key space shared by slicers, servers and workers.
+//
+// Following PS-Lite/MXNet practice, each model tensor ("layer") gets a key;
+// EPS additionally splits large tensors into chunk keys. A slice maps a key
+// to a contiguous range of the flat parameter vector.
+#pragma once
+
+#include <cstdint>
+
+namespace fluentps::ps {
+
+using Key = std::uint64_t;
+
+/// One key's backing range in the flat parameter vector.
+struct ParamSlice {
+  Key key = 0;
+  std::size_t offset = 0;  ///< start index in the flat parameter vector
+  std::size_t length = 0;  ///< number of float parameters
+
+  friend bool operator==(const ParamSlice&, const ParamSlice&) = default;
+};
+
+}  // namespace fluentps::ps

@@ -1,0 +1,77 @@
+#include "ps/scheduler.h"
+
+#include "common/logging.h"
+
+namespace fluentps::ps {
+
+Scheduler::Scheduler(SchedulerSpec spec, net::Transport& transport)
+    : node_id_(spec.node_id),
+      num_workers_(spec.num_workers),
+      worker_nodes_(std::move(spec.worker_nodes)),
+      engine_(std::move(spec.engine)),
+      transport_(transport),
+      liveness_timeout_(spec.liveness_timeout) {
+  FPS_CHECK(worker_nodes_.size() == num_workers_) << "worker node list size mismatch";
+}
+
+void Scheduler::handle(net::Message&& msg) {
+  switch (msg.type) {
+    case net::MsgType::kProgress: {
+      const std::uint32_t w = msg.worker_rank;
+      const std::int64_t p = msg.progress;
+      // The report is simultaneously this worker's "push" into the global
+      // progress view and its request to enter the pull phase.
+      const auto released = engine_.on_push(w, p);
+      for (const std::uint64_t id : released) grant(id);
+      const std::uint64_t req = next_request_++;
+      if (engine_.on_pull(w, p, req)) {
+        pending_.emplace(req, w);
+        grant(req);
+      } else {
+        pending_.emplace(req, w);
+      }
+      break;
+    }
+    case net::MsgType::kHeartbeat: {
+      std::scoped_lock lock(liveness_mu_);
+      last_heartbeat_[msg.src] = now_;
+      break;
+    }
+    case net::MsgType::kShutdown:
+      break;
+    default:
+      FPS_LOG(Warn) << "scheduler ignoring " << msg.to_debug_string();
+  }
+}
+
+void Scheduler::grant(std::uint64_t request_id) {
+  const auto it = pending_.find(request_id);
+  FPS_CHECK(it != pending_.end()) << "grant for unknown request " << request_id;
+  const std::uint32_t w = it->second;
+  pending_.erase(it);
+  FPS_CHECK(w < worker_nodes_.size()) << "grant for unknown worker " << w;
+  net::Message msg;
+  msg.type = net::MsgType::kPullGrant;
+  msg.src = node_id_;
+  msg.dst = worker_nodes_[w];
+  msg.request_id = request_id;
+  msg.worker_rank = w;
+  ++grants_issued_;
+  transport_.send(std::move(msg));
+}
+
+void Scheduler::tick(double now) {
+  std::scoped_lock lock(liveness_mu_);
+  now_ = now;
+}
+
+std::vector<net::NodeId> Scheduler::alive_servers() const {
+  std::scoped_lock lock(liveness_mu_);
+  std::vector<net::NodeId> alive;
+  for (const auto& [node, t] : last_heartbeat_) {
+    if (now_ - t <= liveness_timeout_) alive.push_back(node);
+  }
+  return alive;
+}
+
+}  // namespace fluentps::ps

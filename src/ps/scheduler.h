@@ -1,0 +1,77 @@
+// Scheduler node.
+//
+// In FluentPS mode the scheduler only partitions the key space (done by the
+// slicer at setup) and monitors server liveness via heartbeats — it is out of
+// the synchronization fast path (Section III-A).
+//
+// In PS-Lite baseline mode it is the synchronization bottleneck the paper
+// measures: workers report progress after their pushes are acked, and the
+// scheduler grants the pull phase per the global sync model. Internally it
+// reuses SyncEngine with the whole model as one virtual shard — a worker's
+// kProgress acts as the push, and its implied pull-permission request as the
+// pull. That one engine implements BSP/SSP/bounded-delay exactly as a server
+// shard would, demonstrating the paper's claim that specifying the pull/push
+// conditions unifies all these models.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "net/message.h"
+#include "net/transport.h"
+#include "ps/sync_engine.h"
+
+namespace fluentps::ps {
+
+struct SchedulerSpec {
+  net::NodeId node_id = 0;
+  std::uint32_t num_workers = 0;
+  std::vector<net::NodeId> worker_nodes;  ///< node id of worker rank n at [n]
+  SyncEngine::Spec engine;                ///< global sync model (baseline mode)
+  double liveness_timeout = 5.0;          ///< seconds without heartbeat = dead
+};
+
+class Scheduler {
+ public:
+  Scheduler(SchedulerSpec spec, net::Transport& transport);
+
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  /// Transport handler.
+  void handle(net::Message&& msg);
+
+  /// Liveness bookkeeping: record `now` against heartbeats (thread backend
+  /// passes wall time, DES passes virtual time).
+  void tick(double now);
+
+  /// Servers considered alive as of the last tick().
+  [[nodiscard]] std::vector<net::NodeId> alive_servers() const;
+
+  [[nodiscard]] const SyncEngine& engine() const noexcept { return engine_; }
+  [[nodiscard]] std::int64_t grants_issued() const noexcept { return grants_issued_; }
+
+ private:
+  void grant(std::uint64_t request_id);
+
+  net::NodeId node_id_;
+  std::uint32_t num_workers_;
+  std::vector<net::NodeId> worker_nodes_;
+  SyncEngine engine_;
+  net::Transport& transport_;
+  double liveness_timeout_;
+
+  // request id -> worker rank, for grants released later.
+  std::unordered_map<std::uint64_t, std::uint32_t> pending_;
+  std::uint64_t next_request_ = 1;
+  std::int64_t grants_issued_ = 0;
+
+  mutable std::mutex liveness_mu_;
+  std::map<net::NodeId, double> last_heartbeat_;
+  double now_ = 0.0;
+};
+
+}  // namespace fluentps::ps

@@ -1,0 +1,146 @@
+#include "ps/server.h"
+
+#include <utility>
+
+#include "common/logging.h"
+#include "ml/ops.h"
+
+namespace fluentps::ps {
+
+Server::Server(ServerSpec spec, net::Transport& transport)
+    : node_id_(spec.node_id),
+      server_rank_(spec.server_rank),
+      num_workers_(spec.num_workers),
+      layout_(std::move(spec.layout)),
+      ack_pushes_(spec.ack_pushes),
+      respond_unconditionally_(spec.respond_unconditionally),
+      shard_(std::move(spec.initial_shard)),
+      engine_(std::move(spec.engine)),
+      transport_(transport) {
+  FPS_CHECK(shard_.size() == layout_.total)
+      << "initial shard size " << shard_.size() << " != layout total " << layout_.total;
+}
+
+void Server::handle(net::Message&& msg) {
+  switch (msg.type) {
+    case net::MsgType::kPush:
+      on_push(std::move(msg));
+      break;
+    case net::MsgType::kPull:
+      on_pull(std::move(msg));
+      break;
+    case net::MsgType::kShutdown:
+      break;  // dispatch loop stops via transport shutdown; nothing to do
+    default:
+      FPS_LOG(Warn) << "server " << server_rank_ << " ignoring " << msg.to_debug_string();
+  }
+}
+
+void Server::on_push(net::Message&& msg) {
+  // An empty payload is a metadata-only push: the worker reports progress
+  // (its update was filtered as insignificant and aggregates locally) and no
+  // values are applied.
+  double sf = 0.0;
+  if (!msg.values.empty()) {
+    FPS_CHECK(msg.values.size() == layout_.total)
+        << "push size " << msg.values.size() << " != shard size " << layout_.total
+        << " (server " << server_rank_ << ")";
+    std::scoped_lock lock(shard_mu_);
+    // Gradient significance for dynamic PSSP: SF(g, w) = |g| / |w| over this
+    // shard (Gaia's significance filter applied at shard granularity).
+    const double wn = ml::l2_norm(shard_);
+    const double gn = ml::l2_norm(msg.values);
+    sf = wn > 0.0 ? gn / wn : 0.0;
+    // Algorithm 1 line 15: w <- w + g / N.
+    const float scale = 1.0f / static_cast<float>(num_workers_);
+    float* w = shard_.data();
+    const float* g = msg.values.data();
+    for (std::size_t i = 0; i < shard_.size(); ++i) w[i] += scale * g[i];
+    ++pushes_applied_;
+  }
+
+  if (ack_pushes_) {
+    net::Message ack;
+    ack.type = net::MsgType::kPushAck;
+    ack.src = node_id_;
+    ack.dst = msg.src;
+    ack.request_id = msg.request_id;
+    ack.progress = msg.progress;
+    ack.server_rank = server_rank_;
+    ack.worker_rank = msg.worker_rank;
+    transport_.send(std::move(ack));
+  }
+
+  if (respond_unconditionally_) return;  // baseline: no server-side sync logic
+
+  std::vector<std::uint64_t> released;
+  {
+    std::scoped_lock lock(engine_mu_);
+    released = engine_.on_push(msg.worker_rank, msg.progress, sf);
+  }
+  for (const std::uint64_t id : released) {
+    const auto it = pending_.find(id);
+    FPS_CHECK(it != pending_.end()) << "released unknown pull request " << id;
+    respond(it->second.src, it->second.worker_rank, id);
+    pending_.erase(it);
+  }
+}
+
+void Server::set_pull_condition(PullCondition cond) {
+  std::scoped_lock lock(engine_mu_);
+  engine_.set_pull_condition(std::move(cond));
+}
+
+void Server::set_push_condition(PushCondition cond) {
+  std::scoped_lock lock(engine_mu_);
+  engine_.set_push_condition(std::move(cond));
+}
+
+void Server::on_pull(net::Message&& msg) {
+  if (respond_unconditionally_) {
+    respond(msg.src, msg.worker_rank, msg.request_id);
+    return;
+  }
+  bool respond_now = false;
+  {
+    std::scoped_lock lock(engine_mu_);
+    respond_now = engine_.on_pull(msg.worker_rank, msg.progress, msg.request_id);
+  }
+  if (respond_now) {
+    respond(msg.src, msg.worker_rank, msg.request_id);
+  } else {
+    // Delayed pull request: park it until the engine releases the id.
+    const auto [it, inserted] =
+        pending_.emplace(msg.request_id, PendingPull{msg.src, msg.worker_rank});
+    FPS_CHECK(inserted) << "duplicate pull request id " << msg.request_id << " from worker "
+                        << msg.worker_rank;
+  }
+}
+
+void Server::respond(net::NodeId dst, std::uint32_t worker_rank, std::uint64_t request_id) {
+  net::Message resp;
+  resp.type = net::MsgType::kPullResp;
+  resp.src = node_id_;
+  resp.dst = dst;
+  resp.request_id = request_id;
+  resp.server_rank = server_rank_;
+  resp.worker_rank = worker_rank;
+  {
+    std::scoped_lock lock(shard_mu_);
+    resp.values = shard_;
+  }
+  ++pulls_answered_;
+  transport_.send(std::move(resp));
+}
+
+std::vector<float> Server::snapshot() const {
+  std::scoped_lock lock(shard_mu_);
+  return shard_;
+}
+
+void Server::snapshot_into(std::span<float> flat) const {
+  std::scoped_lock lock(shard_mu_);
+  layout_.scatter(shard_, flat);
+}
+
+}  // namespace fluentps::ps

@@ -1,0 +1,103 @@
+// Parameter-server node.
+//
+// Owns one shard (the slices a slicer assigned to it), applies pushed
+// updates (w += update / N, Algorithm 1 line 15), and delegates all
+// synchronization decisions to its own SyncEngine — this per-server autonomy
+// is FluentPS's core architectural move (overlap synchronization, Section
+// III-D): no central scheduler gates the pull of shard m on the state of
+// shard m'.
+//
+// The handler is invoked from a single execution context (dispatch thread or
+// DES), so engine and pending-request state need no locks; only the shard
+// values take a mutex because snapshot() may be called from other threads.
+#pragma once
+
+#include <mutex>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "net/message.h"
+#include "net/transport.h"
+#include "ps/slicing.h"
+#include "ps/sync_engine.h"
+
+namespace fluentps::ps {
+
+struct ServerSpec {
+  net::NodeId node_id = 0;
+  std::uint32_t server_rank = 0;
+  std::uint32_t num_workers = 0;
+  ShardLayout layout;                 ///< slices this server owns
+  std::vector<float> initial_shard;   ///< initial values, gathered from w0
+  SyncEngine::Spec engine;            ///< synchronization model for this shard
+  bool ack_pushes = false;            ///< reply kPushAck (baseline protocol)
+  /// Baseline (PS-Lite non-overlap) mode: the scheduler gates pulls, so the
+  /// server answers every pull immediately and skips its sync engine.
+  bool respond_unconditionally = false;
+};
+
+class Server {
+ public:
+  Server(ServerSpec spec, net::Transport& transport);
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Transport handler; register with transport.register_node(node_id, ...).
+  void handle(net::Message&& msg);
+
+  /// Thread-safe copy of the current shard values (concatenated slices).
+  [[nodiscard]] std::vector<float> snapshot() const;
+
+  /// Scatter this server's current values into a flat parameter vector.
+  void snapshot_into(std::span<float> flat) const;
+
+  [[nodiscard]] const SyncEngine& engine() const noexcept { return engine_; }
+  [[nodiscard]] const ShardLayout& layout() const noexcept { return layout_; }
+  [[nodiscard]] std::uint32_t rank() const noexcept { return server_rank_; }
+  [[nodiscard]] net::NodeId node_id() const noexcept { return node_id_; }
+
+  /// Pushes applied / pulls answered so far.
+  [[nodiscard]] std::int64_t pushes_applied() const noexcept { return pushes_applied_; }
+  [[nodiscard]] std::int64_t pulls_answered() const noexcept { return pulls_answered_; }
+
+  /// Install a new condition at runtime (SetcondPull / SetcondPush). Safe to
+  /// call from any thread; takes effect for subsequent requests.
+  void set_pull_condition(PullCondition cond);
+  void set_push_condition(PushCondition cond);
+
+ private:
+  void on_push(net::Message&& msg);
+  void on_pull(net::Message&& msg);
+  void respond(net::NodeId dst, std::uint32_t worker_rank, std::uint64_t request_id);
+
+  struct PendingPull {
+    net::NodeId src;
+    std::uint32_t worker_rank;
+  };
+
+  net::NodeId node_id_;
+  std::uint32_t server_rank_;
+  std::uint32_t num_workers_;
+  ShardLayout layout_;
+  bool ack_pushes_;
+  bool respond_unconditionally_;
+
+  mutable std::mutex shard_mu_;  // guards shard_ only (snapshot from other threads)
+  std::vector<float> shard_;
+
+  // The engine normally runs single-context (dispatch thread or DES), but
+  // runtime condition changes may arrive from other threads; this mutex
+  // serializes them against request handling.
+  std::mutex engine_mu_;
+  SyncEngine engine_;
+  std::unordered_map<std::uint64_t, PendingPull> pending_;
+  net::Transport& transport_;
+
+  std::int64_t pushes_applied_ = 0;
+  std::int64_t pulls_answered_ = 0;
+};
+
+}  // namespace fluentps::ps

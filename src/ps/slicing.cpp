@@ -1,0 +1,232 @@
+#include "ps/slicing.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/logging.h"
+
+namespace fluentps::ps {
+
+void ShardLayout::gather(std::span<const float> flat, std::span<float> out) const {
+  FPS_CHECK(out.size() >= total) << "gather buffer too small";
+  std::size_t pos = 0;
+  for (const auto& s : slices) {
+    FPS_CHECK(s.offset + s.length <= flat.size()) << "slice exceeds parameter vector";
+    std::copy_n(flat.data() + s.offset, s.length, out.data() + pos);
+    pos += s.length;
+  }
+}
+
+void ShardLayout::scatter(std::span<const float> in, std::span<float> flat) const {
+  FPS_CHECK(in.size() >= total) << "scatter buffer too small";
+  std::size_t pos = 0;
+  for (const auto& s : slices) {
+    FPS_CHECK(s.offset + s.length <= flat.size()) << "slice exceeds parameter vector";
+    std::copy_n(in.data() + pos, s.length, flat.data() + s.offset);
+    pos += s.length;
+  }
+}
+
+void ShardLayout::accumulate(std::span<const float> in, float scale, std::span<float> flat) const {
+  FPS_CHECK(in.size() >= total) << "accumulate buffer too small";
+  std::size_t pos = 0;
+  for (const auto& s : slices) {
+    FPS_CHECK(s.offset + s.length <= flat.size()) << "slice exceeds parameter vector";
+    float* dst = flat.data() + s.offset;
+    const float* src = in.data() + pos;
+    for (std::size_t i = 0; i < s.length; ++i) dst[i] += scale * src[i];
+    pos += s.length;
+  }
+}
+
+double Sharding::imbalance() const noexcept {
+  if (shards.empty() || num_params == 0) return 1.0;
+  std::size_t max_total = 0;
+  for (const auto& sh : shards) max_total = std::max(max_total, sh.total);
+  const double mean =
+      static_cast<double>(num_params) / static_cast<double>(shards.size());
+  return mean > 0.0 ? static_cast<double>(max_total) / mean : 1.0;
+}
+
+void Sharding::validate() const {
+  std::vector<std::pair<std::size_t, std::size_t>> ranges;  // (offset, length)
+  for (const auto& sh : shards) {
+    std::size_t sum = 0;
+    for (const auto& s : sh.slices) {
+      ranges.emplace_back(s.offset, s.length);
+      sum += s.length;
+    }
+    FPS_CHECK(sum == sh.total) << "shard total mismatch on server " << sh.server_rank;
+  }
+  std::sort(ranges.begin(), ranges.end());
+  std::size_t cursor = 0;
+  for (const auto& [off, len] : ranges) {
+    FPS_CHECK(off == cursor) << "slices leave a gap or overlap at offset " << off
+                             << " (expected " << cursor << ")";
+    cursor = off + len;
+  }
+  FPS_CHECK(cursor == num_params) << "slices cover " << cursor << " of " << num_params
+                                  << " parameters";
+}
+
+namespace {
+
+/// Layer-granular slices: key = layer index, contiguous offsets.
+std::vector<ParamSlice> layer_slices(const std::vector<std::size_t>& layer_sizes) {
+  std::vector<ParamSlice> slices;
+  slices.reserve(layer_sizes.size());
+  std::size_t off = 0;
+  for (std::size_t i = 0; i < layer_sizes.size(); ++i) {
+    slices.push_back(ParamSlice{static_cast<Key>(i), off, layer_sizes[i]});
+    off += layer_sizes[i];
+  }
+  return slices;
+}
+
+void sort_slices_by_offset(ShardLayout& sh) {
+  std::sort(sh.slices.begin(), sh.slices.end(),
+            [](const ParamSlice& a, const ParamSlice& b) { return a.offset < b.offset; });
+}
+
+}  // namespace
+
+Sharding DefaultSlicer::shard(const std::vector<std::size_t>& layer_sizes,
+                              std::uint32_t num_servers) const {
+  FPS_CHECK(num_servers > 0) << "need at least one server";
+  const auto slices = layer_slices(layer_sizes);
+  const std::size_t num_keys = slices.size();
+  Sharding out;
+  out.num_params = std::accumulate(layer_sizes.begin(), layer_sizes.end(), std::size_t{0});
+  out.shards.resize(num_servers);
+  for (std::uint32_t m = 0; m < num_servers; ++m) {
+    out.shards[m].server_rank = m;
+    // Contiguous key range [m*K/M, (m+1)*K/M) — PS-Lite's even key-space cut,
+    // which is byte-imbalanced whenever layer sizes differ.
+    const std::size_t begin = num_keys * m / num_servers;
+    const std::size_t end = num_keys * (m + 1) / num_servers;
+    for (std::size_t k = begin; k < end; ++k) {
+      out.shards[m].slices.push_back(slices[k]);
+      out.shards[m].total += slices[k].length;
+    }
+  }
+  out.validate();
+  return out;
+}
+
+Sharding EpsSlicer::assign(std::vector<ParamSlice> slices, std::uint32_t num_servers,
+                           std::size_t num_params) {
+  // LPT greedy: biggest slice to the currently least-loaded server. Ties are
+  // broken by key then by server rank, so placement is deterministic.
+  std::sort(slices.begin(), slices.end(), [](const ParamSlice& a, const ParamSlice& b) {
+    if (a.length != b.length) return a.length > b.length;
+    return a.key < b.key;
+  });
+  Sharding out;
+  out.num_params = num_params;
+  out.shards.resize(num_servers);
+  for (std::uint32_t m = 0; m < num_servers; ++m) out.shards[m].server_rank = m;
+  for (const auto& s : slices) {
+    std::uint32_t best = 0;
+    for (std::uint32_t m = 1; m < num_servers; ++m) {
+      if (out.shards[m].total < out.shards[best].total) best = m;
+    }
+    out.shards[best].slices.push_back(s);
+    out.shards[best].total += s.length;
+  }
+  for (auto& sh : out.shards) sort_slices_by_offset(sh);
+  out.validate();
+  return out;
+}
+
+Sharding EpsSlicer::shard(const std::vector<std::size_t>& layer_sizes,
+                          std::uint32_t num_servers) const {
+  FPS_CHECK(num_servers > 0) << "need at least one server";
+  FPS_CHECK(chunk_ > 0) << "chunk size must be positive";
+  // Remap original layer keys to chunk keys: each layer is cut into pieces of
+  // at most `chunk_` parameters ("EPS remaps the original keys of the
+  // parameters to new keys, which divide the model parameters evenly").
+  std::vector<ParamSlice> slices;
+  Key next_key = 0;
+  std::size_t off = 0;
+  for (const std::size_t layer : layer_sizes) {
+    std::size_t remaining = layer;
+    while (remaining > 0) {
+      const std::size_t piece = std::min(remaining, chunk_);
+      slices.push_back(ParamSlice{next_key++, off, piece});
+      off += piece;
+      remaining -= piece;
+    }
+  }
+  return assign(std::move(slices), num_servers, off);
+}
+
+Sharding EpsSlicer::rebalance(const Sharding& old, std::uint32_t new_num_servers,
+                              std::vector<Migration>* plan) const {
+  FPS_CHECK(new_num_servers > 0) << "need at least one server";
+  // Movement-aware rebalance: surviving servers keep slices up to the new
+  // per-server target; only the excess (plus everything owned by departed
+  // servers) enters the migration pool, which is LPT-placed onto the
+  // least-loaded servers. Growing M -> M+1 therefore moves ~1/(M+1) of the
+  // bytes instead of reshuffling the whole model.
+  const double target = static_cast<double>(old.num_params) / new_num_servers;
+
+  Sharding fresh;
+  fresh.num_params = old.num_params;
+  fresh.shards.resize(new_num_servers);
+  for (std::uint32_t m = 0; m < new_num_servers; ++m) fresh.shards[m].server_rank = m;
+
+  struct PoolEntry {
+    ParamSlice slice;
+    std::uint32_t from;
+  };
+  std::vector<PoolEntry> pool;
+  for (const auto& sh : old.shards) {
+    // Largest-first keep order so each survivor lands close to the target.
+    auto slices = sh.slices;
+    std::sort(slices.begin(), slices.end(), [](const ParamSlice& a, const ParamSlice& b) {
+      if (a.length != b.length) return a.length > b.length;
+      return a.key < b.key;
+    });
+    for (const auto& s : slices) {
+      if (sh.server_rank < new_num_servers &&
+          static_cast<double>(fresh.shards[sh.server_rank].total) < target) {
+        fresh.shards[sh.server_rank].slices.push_back(s);
+        fresh.shards[sh.server_rank].total += s.length;
+      } else {
+        pool.push_back(PoolEntry{s, sh.server_rank});
+      }
+    }
+  }
+
+  // LPT the pool onto the least-loaded servers (deterministic tie-breaks).
+  std::sort(pool.begin(), pool.end(), [](const PoolEntry& a, const PoolEntry& b) {
+    if (a.slice.length != b.slice.length) return a.slice.length > b.slice.length;
+    return a.slice.key < b.slice.key;
+  });
+  for (const auto& entry : pool) {
+    std::uint32_t best = 0;
+    for (std::uint32_t m = 1; m < new_num_servers; ++m) {
+      if (fresh.shards[m].total < fresh.shards[best].total) best = m;
+    }
+    fresh.shards[best].slices.push_back(entry.slice);
+    fresh.shards[best].total += entry.slice.length;
+    if (plan != nullptr && entry.from != best) {
+      plan->push_back(Migration{entry.slice, entry.from, best});
+    }
+  }
+  for (auto& sh : fresh.shards) {
+    std::sort(sh.slices.begin(), sh.slices.end(),
+              [](const ParamSlice& a, const ParamSlice& b) { return a.offset < b.offset; });
+  }
+  fresh.validate();
+  return fresh;
+}
+
+std::unique_ptr<Slicer> make_slicer(const std::string& kind, std::size_t eps_chunk) {
+  if (kind == "default") return std::make_unique<DefaultSlicer>();
+  if (kind == "eps") return std::make_unique<EpsSlicer>(eps_chunk);
+  FPS_CHECK(false) << "unknown slicer kind: " << kind;
+  return nullptr;
+}
+
+}  // namespace fluentps::ps

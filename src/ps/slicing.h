@@ -1,0 +1,113 @@
+// Parameter slicing: how the flat parameter vector maps onto servers.
+//
+// DefaultSlicer reproduces PS-Lite/MXNet behaviour: one key per layer, the
+// key space divided into M contiguous ranges by key count. Because a large
+// tensor is a single indivisible key, the server owning it becomes a traffic
+// hot spot ("the default slicing method incurs load imbalance because it puts
+// most parameters on one key range of a server", Section III-A).
+//
+// EpsSlicer implements Elastic Parameter Slicing: large layers are split into
+// chunk keys and chunks are placed with longest-processing-time (LPT) greedy
+// assignment, balancing bytes per server. rebalance() recomputes placement
+// for a changed server count while preserving chunking, and reports which
+// slices move (the migration plan).
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "ps/keys.h"
+
+namespace fluentps::ps {
+
+/// One server's portion of the model: ordered slices; messages between a
+/// worker and this server carry the concatenation of these slices' values in
+/// this exact order.
+struct ShardLayout {
+  std::uint32_t server_rank = 0;
+  std::vector<ParamSlice> slices;
+  std::size_t total = 0;  ///< sum of slice lengths
+
+  /// Gather this shard's values from the flat vector into `out` (size total).
+  void gather(std::span<const float> flat, std::span<float> out) const;
+
+  /// Scatter `in` (size total) back into the flat vector.
+  void scatter(std::span<const float> in, std::span<float> flat) const;
+
+  /// Accumulate: flat[slice] += scale * in[...] for each slice.
+  void accumulate(std::span<const float> in, float scale, std::span<float> flat) const;
+};
+
+/// Full model placement across M servers.
+struct Sharding {
+  std::vector<ShardLayout> shards;
+  std::size_t num_params = 0;
+
+  [[nodiscard]] std::size_t num_servers() const noexcept { return shards.size(); }
+
+  /// Largest shard size / mean shard size; 1.0 is perfectly balanced.
+  [[nodiscard]] double imbalance() const noexcept;
+
+  /// Sanity: slices cover [0, num_params) exactly once. Aborts otherwise.
+  void validate() const;
+};
+
+class Slicer {
+ public:
+  virtual ~Slicer() = default;
+
+  /// Compute placement of a model with the given per-layer sizes onto
+  /// `num_servers` servers.
+  [[nodiscard]] virtual Sharding shard(const std::vector<std::size_t>& layer_sizes,
+                                       std::uint32_t num_servers) const = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// PS-Lite default: layer-granular keys, contiguous key ranges per server.
+class DefaultSlicer final : public Slicer {
+ public:
+  [[nodiscard]] Sharding shard(const std::vector<std::size_t>& layer_sizes,
+                               std::uint32_t num_servers) const override;
+  [[nodiscard]] std::string name() const override { return "default"; }
+};
+
+/// Elastic Parameter Slicing (Section III-A).
+class EpsSlicer final : public Slicer {
+ public:
+  /// `chunk` is the maximum parameters per slice; large layers are split.
+  explicit EpsSlicer(std::size_t chunk = 1024) noexcept : chunk_(chunk) {}
+
+  [[nodiscard]] Sharding shard(const std::vector<std::size_t>& layer_sizes,
+                               std::uint32_t num_servers) const override;
+  [[nodiscard]] std::string name() const override { return "eps"; }
+
+  /// A slice that must move between servers during rebalancing.
+  struct Migration {
+    ParamSlice slice;
+    std::uint32_t from_server;
+    std::uint32_t to_server;
+  };
+
+  /// Re-place an existing sharding onto a new server count (server join or
+  /// leave). Chunk boundaries are preserved; returns the new sharding and
+  /// appends the required movements to `plan` (if non-null).
+  [[nodiscard]] Sharding rebalance(const Sharding& old, std::uint32_t new_num_servers,
+                                   std::vector<Migration>* plan) const;
+
+  [[nodiscard]] std::size_t chunk() const noexcept { return chunk_; }
+
+ private:
+  /// LPT assignment of slices onto servers; slices sorted by length desc.
+  static Sharding assign(std::vector<ParamSlice> slices, std::uint32_t num_servers,
+                         std::size_t num_params);
+
+  std::size_t chunk_;
+};
+
+/// Factory for ExperimentConfig ("default" | "eps").
+std::unique_ptr<Slicer> make_slicer(const std::string& kind, std::size_t eps_chunk = 1024);
+
+}  // namespace fluentps::ps

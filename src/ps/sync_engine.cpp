@@ -1,0 +1,160 @@
+#include "ps/sync_engine.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace fluentps::ps {
+
+DprMode parse_dpr_mode(const std::string& s) {
+  if (s == "soft" || s == "soft_barrier") return DprMode::kSoftBarrier;
+  if (s == "lazy") return DprMode::kLazy;
+  FPS_CHECK(false) << "unknown DPR mode: " << s;
+  return DprMode::kLazy;
+}
+
+const char* to_string(DprMode m) noexcept {
+  return m == DprMode::kLazy ? "lazy" : "soft";
+}
+
+SyncEngine::SyncEngine(Spec spec)
+    : num_workers_(spec.num_workers),
+      mode_(spec.mode),
+      model_(std::move(spec.model)),
+      rng_(spec.seed, /*stream=*/0xC0ED),
+      progress_of_(spec.num_workers, -1),
+      significance_of_(spec.num_workers, 0.0) {
+  FPS_CHECK(num_workers_ > 0) << "SyncEngine needs at least one worker";
+  FPS_CHECK(model_.pull && model_.push) << "SyncEngine needs both conditions";
+}
+
+void SyncEngine::note_progress(std::uint32_t worker, std::int64_t progress) {
+  FPS_CHECK(worker < num_workers_) << "worker rank out of range: " << worker;
+  progress_of_[worker] = std::max(progress_of_[worker], progress);
+  fastest_ = std::max(fastest_, progress);
+}
+
+std::int64_t SyncEngine::slowest() const noexcept {
+  std::int64_t lo = progress_of_.empty() ? -1 : progress_of_[0];
+  for (const std::int64_t p : progress_of_) lo = std::min(lo, p);
+  return lo;
+}
+
+void SyncEngine::fill_view(SyncView& view) const {
+  view.v_train = v_train_;
+  view.num_workers = num_workers_;
+  view.fastest = fastest_;
+  view.slowest = slowest();
+  const auto it = counts_.find(v_train_);
+  view.count_at_vtrain = it != counts_.end() ? it->second : 0;
+  view.count_at = [this](std::int64_t i) -> std::uint32_t {
+    const auto cit = counts_.find(i);
+    return cit != counts_.end() ? cit->second : 0;
+  };
+  view.significance_of = [this](std::uint32_t w) -> double {
+    return w < significance_of_.size() ? significance_of_[w] : 0.0;
+  };
+  view.mean_significance = mean_significance_;
+}
+
+SyncView SyncEngine::view() const {
+  SyncView v;
+  fill_view(v);
+  return v;
+}
+
+std::size_t SyncEngine::buffered() const noexcept {
+  std::size_t n = soft_buffer_.size();
+  for (const auto& [p, dq] : lazy_buffer_) n += dq.size();
+  return n;
+}
+
+bool SyncEngine::on_pull(std::uint32_t worker, std::int64_t progress, std::uint64_t request_id) {
+  note_progress(worker, progress);
+  SyncView view;
+  fill_view(view);
+  const PullCtx ctx{worker, progress, /*initial=*/true};
+  if (model_.pull(ctx, view, rng_)) {
+    staleness_served_.add(std::max<std::int64_t>(progress - v_train_, 0));
+    return true;
+  }
+  ++dpr_total_;
+  const Buffered entry{worker, progress, request_id, v_train_};
+  if (mode_ == DprMode::kLazy) {
+    // Algorithm 1 line 7: index the lazy pull buffer by the *requester's*
+    // progress; released when V_train catches up to it. Requests already at
+    // or behind V_train (possible after a runtime condition change) are
+    // keyed at V_train so the next advance flushes them.
+    lazy_buffer_[std::max(progress, v_train_)].push_back(entry);
+  } else {
+    soft_buffer_.push_back(entry);
+  }
+  return false;
+}
+
+void SyncEngine::release(const Buffered& b, std::vector<std::uint64_t>& out) {
+  staleness_served_.add(std::max<std::int64_t>(b.progress - v_train_, 0));
+  release_delay_.add(std::max<std::int64_t>(v_train_ - b.v_at_arrival, 0));
+  out.push_back(b.request_id);
+}
+
+void SyncEngine::advance(std::vector<std::uint64_t>& released) {
+  SyncView view;
+  fill_view(view);
+  while (model_.push(view)) {
+    if (mode_ == DprMode::kLazy) {
+      // Execute callbacks[V_train] (lines 18-21), then V_train++.
+      const auto it = lazy_buffer_.find(v_train_);
+      if (it != lazy_buffer_.end()) {
+        for (const Buffered& b : it->second) release(b, released);
+        lazy_buffer_.erase(it);
+      }
+      ++v_train_;
+    } else {
+      ++v_train_;
+      // Soft barrier: re-check every buffered request against the pull
+      // condition under the advanced V_train; release as soon as satisfied.
+      fill_view(view);
+      for (auto it = soft_buffer_.begin(); it != soft_buffer_.end();) {
+        const PullCtx ctx{it->worker, it->progress, /*initial=*/false};
+        if (model_.pull(ctx, view, rng_)) {
+          release(*it, released);
+          it = soft_buffer_.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    }
+    fill_view(view);
+  }
+}
+
+std::vector<std::uint64_t> SyncEngine::on_push(std::uint32_t worker, std::int64_t progress,
+                                               double sf) {
+  note_progress(worker, progress);
+  ++counts_[progress];
+  if (sf > 0.0) {
+    significance_of_[worker] = sf;
+    ++significance_samples_;
+    const double beta = 1.0 / static_cast<double>(std::min<std::int64_t>(significance_samples_, 256));
+    mean_significance_ += beta * (sf - mean_significance_);
+  }
+  std::vector<std::uint64_t> released;
+  advance(released);
+  return released;
+}
+
+void SyncEngine::set_pull_condition(PullCondition cond) {
+  FPS_CHECK(static_cast<bool>(cond)) << "null pull condition";
+  model_.pull = std::move(cond);
+}
+
+void SyncEngine::set_push_condition(PushCondition cond) {
+  FPS_CHECK(static_cast<bool>(cond)) << "null push condition";
+  model_.push = std::move(cond);
+  // A relaxed push condition may unblock progress immediately; the caller
+  // observes the release on the next on_push. (We cannot release here: the
+  // released ids must flow back through the server's response path.)
+}
+
+}  // namespace fluentps::ps

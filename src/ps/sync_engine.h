@@ -1,0 +1,121 @@
+// Per-shard synchronization state machine (Algorithm 1, server side).
+//
+// Pure deterministic logic, transport-agnostic: the same engine instance is
+// driven by the thread-backend Server (from its dispatch thread) and by the
+// DES runtime (from simulation events). This is design decision D1 in
+// DESIGN.md — one tested code path for every backend.
+//
+// DPR execution (Section III-C):
+//  * kLazy — a delayed pull request is buffered under the *requester's
+//    progress* and executed only when V_train reaches it, so the fast worker
+//    receives fully updated parameters at the cost of a longer wait
+//    (Figure 3(b)).
+//  * kSoftBarrier — buffered requests are re-checked against the pull
+//    condition every time V_train advances and released as soon as it holds,
+//    returning sooner but with staler parameters (Figure 3(a)).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "ps/conditions.h"
+
+namespace fluentps::ps {
+
+enum class DprMode : std::uint8_t { kSoftBarrier = 0, kLazy = 1 };
+
+/// Parse "soft" / "lazy" (aborts on anything else).
+DprMode parse_dpr_mode(const std::string& s);
+const char* to_string(DprMode m) noexcept;
+
+class SyncEngine {
+ public:
+  struct Spec {
+    std::uint32_t num_workers = 0;
+    DprMode mode = DprMode::kLazy;
+    SyncModel model;
+    std::uint64_t seed = 1;  ///< seeds the condition-evaluation RNG (PSSP coins)
+  };
+
+  explicit SyncEngine(Spec spec);
+
+  /// Handle a pull request from `worker` reporting `progress` (it asks for
+  /// the parameters of iteration progress+1). Returns true if the server
+  /// should respond immediately; false means the request was buffered (it is
+  /// now a DPR) and its id will come back from a later on_push() call.
+  bool on_pull(std::uint32_t worker, std::int64_t progress, std::uint64_t request_id);
+
+  /// Handle a push from `worker` for iteration `progress` with gradient
+  /// significance `sf` (pass 0 when unused). Returns the request ids of
+  /// buffered pulls released by this push, in deterministic order.
+  std::vector<std::uint64_t> on_push(std::uint32_t worker, std::int64_t progress, double sf = 0.0);
+
+  /// Install a new pull/push condition at runtime (the paper's SetcondPull /
+  /// SetcondPush). Buffered requests are re-evaluated on the next push.
+  void set_pull_condition(PullCondition cond);
+  void set_push_condition(PushCondition cond);
+
+  // --- observers ------------------------------------------------------
+
+  [[nodiscard]] std::int64_t v_train() const noexcept { return v_train_; }
+  [[nodiscard]] std::int64_t fastest() const noexcept { return fastest_; }
+  [[nodiscard]] std::int64_t slowest() const noexcept;
+  [[nodiscard]] std::uint32_t num_workers() const noexcept { return num_workers_; }
+  [[nodiscard]] std::size_t buffered() const noexcept;  ///< DPRs currently waiting
+
+  /// Total delayed pull requests so far (the paper's "number of DPRs").
+  [[nodiscard]] std::int64_t dpr_total() const noexcept { return dpr_total_; }
+
+  /// Distribution of (progress - V_train) at the moment a pull was *served*
+  /// — the staleness gap of parameters handed to workers. For SSP this never
+  /// exceeds s (property-tested).
+  [[nodiscard]] const IntHistogram& staleness_served() const noexcept { return staleness_served_; }
+
+  /// Distribution of V_train advances a DPR waited before release.
+  [[nodiscard]] const IntHistogram& release_delay() const noexcept { return release_delay_; }
+
+  /// A snapshot view (for metrics/tests; conditions receive a live one).
+  [[nodiscard]] SyncView view() const;
+
+ private:
+  struct Buffered {
+    std::uint32_t worker;
+    std::int64_t progress;
+    std::uint64_t request_id;
+    std::int64_t v_at_arrival;
+  };
+
+  void note_progress(std::uint32_t worker, std::int64_t progress);
+  void fill_view(SyncView& view) const;
+  void release(const Buffered& b, std::vector<std::uint64_t>& out);
+  /// Advance V_train while the push condition holds; releases buffered pulls.
+  void advance(std::vector<std::uint64_t>& released);
+
+  std::uint32_t num_workers_;
+  DprMode mode_;
+  SyncModel model_;
+  Rng rng_;
+
+  std::int64_t v_train_ = 0;
+  std::int64_t fastest_ = -1;
+  std::vector<std::int64_t> progress_of_;         // per worker, -1 = unknown
+  std::unordered_map<std::int64_t, std::uint32_t> counts_;  // Count[i]
+
+  std::map<std::int64_t, std::deque<Buffered>> lazy_buffer_;  // keyed by progress
+  std::deque<Buffered> soft_buffer_;                          // re-check list
+
+  std::vector<double> significance_of_;  // last push |g|/|w| per worker
+  double mean_significance_ = 0.0;
+  std::int64_t significance_samples_ = 0;
+
+  std::int64_t dpr_total_ = 0;
+  IntHistogram staleness_served_{128};
+  IntHistogram release_delay_{128};
+};
+
+}  // namespace fluentps::ps

@@ -1,0 +1,159 @@
+#include "ps/worker.h"
+
+#include "common/logging.h"
+#include "common/stopwatch.h"
+
+namespace fluentps::ps {
+
+WorkerClient::WorkerClient(WorkerSpec spec, net::Transport& transport)
+    : node_id_(spec.node_id),
+      worker_rank_(spec.worker_rank),
+      server_nodes_(std::move(spec.server_nodes)),
+      sharding_(spec.sharding),
+      scheduler_node_(spec.scheduler_node),
+      transport_(transport),
+      next_ticket_((static_cast<std::uint64_t>(spec.worker_rank) << 40) + 1) {
+  FPS_CHECK(sharding_ != nullptr) << "worker needs a sharding";
+  FPS_CHECK(server_nodes_.size() == sharding_->num_servers())
+      << "server node list does not match sharding";
+  shard_values_.resize(server_nodes_.size());
+}
+
+void WorkerClient::handle(net::Message&& msg) {
+  std::unique_lock lock(mu_);
+  switch (msg.type) {
+    case net::MsgType::kPullResp: {
+      if (msg.request_id != current_ticket_) {
+        FPS_LOG(Warn) << "worker " << worker_rank_ << " dropping stale pull response (ticket "
+                      << msg.request_id << ", current " << current_ticket_ << ")";
+        return;
+      }
+      const std::uint32_t m = msg.server_rank;
+      FPS_CHECK(m < shard_values_.size()) << "bad server rank in response: " << m;
+      shard_values_[m] = std::move(msg.values);
+      ++shards_received_;
+      break;
+    }
+    case net::MsgType::kPushAck:
+      ++acks_received_;
+      break;
+    case net::MsgType::kPullGrant:
+      grant_received_ = true;
+      break;
+    case net::MsgType::kShutdown:
+      return;
+    default:
+      FPS_LOG(Warn) << "worker " << worker_rank_ << " ignoring " << msg.to_debug_string();
+      return;
+  }
+  lock.unlock();
+  cv_.notify_all();
+}
+
+void WorkerClient::push(std::span<const float> update, std::int64_t progress) {
+  FPS_CHECK(update.size() == sharding_->num_params) << "update size mismatch";
+  {
+    std::scoped_lock lock(mu_);
+    acks_received_ = 0;
+    acks_expected_ = static_cast<std::uint32_t>(server_nodes_.size());
+  }
+  for (std::size_t m = 0; m < server_nodes_.size(); ++m) {
+    const ShardLayout& layout = sharding_->shards[m];
+    net::Message msg;
+    msg.type = net::MsgType::kPush;
+    msg.src = node_id_;
+    msg.dst = server_nodes_[m];
+    msg.progress = progress;
+    msg.worker_rank = worker_rank_;
+    msg.server_rank = static_cast<std::uint32_t>(m);
+    msg.values.resize(layout.total);
+    layout.gather(update, msg.values);
+    transport_.send(std::move(msg));
+  }
+}
+
+void WorkerClient::push_metadata(std::int64_t progress) {
+  {
+    std::scoped_lock lock(mu_);
+    acks_received_ = 0;
+    acks_expected_ = static_cast<std::uint32_t>(server_nodes_.size());
+  }
+  for (std::size_t m = 0; m < server_nodes_.size(); ++m) {
+    net::Message msg;
+    msg.type = net::MsgType::kPush;
+    msg.src = node_id_;
+    msg.dst = server_nodes_[m];
+    msg.progress = progress;
+    msg.worker_rank = worker_rank_;
+    msg.server_rank = static_cast<std::uint32_t>(m);
+    transport_.send(std::move(msg));
+  }
+}
+
+std::uint64_t WorkerClient::pull(std::int64_t progress) {
+  std::uint64_t ticket = 0;
+  {
+    std::scoped_lock lock(mu_);
+    ticket = next_ticket_++;
+    current_ticket_ = ticket;
+    shards_received_ = 0;
+    for (auto& v : shard_values_) v.clear();
+  }
+  for (std::size_t m = 0; m < server_nodes_.size(); ++m) {
+    net::Message msg;
+    msg.type = net::MsgType::kPull;
+    msg.src = node_id_;
+    msg.dst = server_nodes_[m];
+    msg.request_id = ticket;
+    msg.progress = progress;
+    msg.worker_rank = worker_rank_;
+    msg.server_rank = static_cast<std::uint32_t>(m);
+    transport_.send(std::move(msg));
+  }
+  return ticket;
+}
+
+void WorkerClient::wait_pull(std::uint64_t ticket, std::span<float> params) {
+  FPS_CHECK(params.size() == sharding_->num_params) << "params size mismatch";
+  Stopwatch timer;
+  std::unique_lock lock(mu_);
+  FPS_CHECK(ticket == current_ticket_) << "waiting on a superseded pull ticket";
+  cv_.wait(lock, [this] { return shards_received_ == shard_values_.size(); });
+  for (std::size_t m = 0; m < shard_values_.size(); ++m) {
+    sharding_->shards[m].scatter(shard_values_[m], params);
+  }
+  blocked_seconds_ += timer.seconds();
+}
+
+void WorkerClient::wait_push_acks() {
+  Stopwatch timer;
+  std::unique_lock lock(mu_);
+  cv_.wait(lock, [this] { return acks_received_ >= acks_expected_; });
+  blocked_seconds_ += timer.seconds();
+}
+
+void WorkerClient::report_and_wait_grant(std::int64_t progress) {
+  {
+    std::scoped_lock lock(mu_);
+    grant_received_ = false;
+  }
+  net::Message msg;
+  msg.type = net::MsgType::kProgress;
+  msg.src = node_id_;
+  msg.dst = scheduler_node_;
+  msg.progress = progress;
+  msg.worker_rank = worker_rank_;
+  transport_.send(std::move(msg));
+
+  Stopwatch timer;
+  std::unique_lock lock(mu_);
+  cv_.wait(lock, [this] { return grant_received_; });
+  blocked_seconds_ += timer.seconds();
+}
+
+double WorkerClient::blocked_seconds() const {
+  std::scoped_lock lock(mu_);
+  return blocked_seconds_;
+}
+
+}  // namespace fluentps::ps

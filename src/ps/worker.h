@@ -1,0 +1,93 @@
+// Worker-side client for the thread backend: the paper's sPush / sPull /
+// wait API (Algorithm 1, worker side). Each call both synchronizes a
+// parameter slice and reports the worker's progress.
+//
+// Threading model: the worker's training thread calls push()/pull()/wait_*();
+// the transport dispatch thread calls handle() with responses. State shared
+// between the two is guarded by one mutex + condition variable (CP.42: every
+// wait has a predicate).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "net/message.h"
+#include "net/transport.h"
+#include "ps/slicing.h"
+
+namespace fluentps::ps {
+
+struct WorkerSpec {
+  net::NodeId node_id = 0;
+  std::uint32_t worker_rank = 0;
+  std::vector<net::NodeId> server_nodes;  ///< node id of server rank m at [m]
+  const Sharding* sharding = nullptr;     ///< owned by the runtime; must outlive
+  net::NodeId scheduler_node = 0;         ///< used only by the baseline protocol
+};
+
+class WorkerClient {
+ public:
+  WorkerClient(WorkerSpec spec, net::Transport& transport);
+
+  WorkerClient(const WorkerClient&) = delete;
+  WorkerClient& operator=(const WorkerClient&) = delete;
+
+  /// Transport handler; register with transport.register_node(node_id, ...).
+  void handle(net::Message&& msg);
+
+  /// sPush: slice `update` per the sharding and send one push per server,
+  /// tagged with this worker's progress (the iteration just computed).
+  void push(std::span<const float> update, std::int64_t progress);
+
+  /// Metadata-only sPush: report progress without values (the significance
+  /// filter suppressed this iteration's update; servers count the progress
+  /// but apply nothing).
+  void push_metadata(std::int64_t progress);
+
+  /// sPull: request every shard for iteration progress+1; returns a ticket.
+  std::uint64_t pull(std::int64_t progress);
+
+  /// wait (Algorithm 1 line 5): block until all shards for `ticket` arrived,
+  /// scattering them into `params` (the full flat vector).
+  void wait_pull(std::uint64_t ticket, std::span<float> params);
+
+  /// Baseline protocol: block until all servers acked the last push().
+  void wait_push_acks();
+
+  /// Baseline protocol: report progress to the scheduler and block until it
+  /// grants the pull phase.
+  void report_and_wait_grant(std::int64_t progress);
+
+  /// Seconds this worker spent blocked inside wait_* calls so far.
+  [[nodiscard]] double blocked_seconds() const;
+
+  [[nodiscard]] std::uint32_t rank() const noexcept { return worker_rank_; }
+  [[nodiscard]] net::NodeId node_id() const noexcept { return node_id_; }
+
+ private:
+  net::NodeId node_id_;
+  std::uint32_t worker_rank_;
+  std::vector<net::NodeId> server_nodes_;
+  const Sharding* sharding_;
+  net::NodeId scheduler_node_;
+  net::Transport& transport_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  // One outstanding pull at a time (the training loop is sequential).
+  std::uint64_t current_ticket_ = 0;
+  std::vector<std::vector<float>> shard_values_;  // per server rank
+  std::uint32_t shards_received_ = 0;
+  std::uint32_t acks_received_ = 0;
+  std::uint32_t acks_expected_ = 0;
+  bool grant_received_ = false;
+  // Tickets embed the worker rank in the high bits so request ids are unique
+  // across the whole cluster (servers key pending pulls by id alone).
+  std::uint64_t next_ticket_;
+  double blocked_seconds_ = 0.0;
+};
+
+}  // namespace fluentps::ps

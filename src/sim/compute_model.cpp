@@ -1,0 +1,78 @@
+#include "sim/compute_model.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace fluentps::sim {
+
+PersistentStraggler::PersistentStraggler(std::unique_ptr<ComputeModel> inner,
+                                         std::vector<std::uint32_t> slow_workers, double slowdown)
+    : inner_(std::move(inner)), slow_workers_(std::move(slow_workers)), slowdown_(slowdown) {
+  std::sort(slow_workers_.begin(), slow_workers_.end());
+}
+
+double PersistentStraggler::sample(std::uint32_t worker, std::int64_t iter, Rng& rng) {
+  const double t = inner_->sample(worker, iter, rng);
+  const bool slow = std::binary_search(slow_workers_.begin(), slow_workers_.end(), worker);
+  return slow ? t * slowdown_ : t;
+}
+
+HeterogeneousCompute::HeterogeneousCompute(double base, double sigma, double worker_sigma,
+                                           double spike_prob, double spike_slowdown,
+                                           std::uint32_t num_workers, std::uint64_t seed)
+    : base_(base), sigma_(sigma), spike_prob_(spike_prob), spike_slowdown_(spike_slowdown) {
+  Rng factor_rng(seed, /*stream=*/0xFAC7);
+  factors_.reserve(num_workers);
+  for (std::uint32_t w = 0; w < num_workers; ++w) {
+    factors_.push_back(factor_rng.lognormal(0.0, worker_sigma));
+  }
+}
+
+double HeterogeneousCompute::sample(std::uint32_t worker, std::int64_t /*iter*/, Rng& rng) {
+  FPS_CHECK(worker < factors_.size()) << "worker rank out of range: " << worker;
+  double t = base_ * factors_[worker] * rng.lognormal(0.0, sigma_);
+  if (spike_prob_ > 0.0 && rng.bernoulli(spike_prob_)) t *= spike_slowdown_;
+  return t;
+}
+
+double HeterogeneousCompute::factor(std::uint32_t worker) const {
+  FPS_CHECK(worker < factors_.size()) << "worker rank out of range: " << worker;
+  return factors_[worker];
+}
+
+std::unique_ptr<ComputeModel> make_compute_model(const ComputeModelSpec& spec,
+                                                 std::uint32_t num_workers, std::uint64_t seed) {
+  if (spec.kind == "fixed") {
+    return std::make_unique<FixedCompute>(spec.base_seconds);
+  }
+  if (spec.kind == "uniform") {
+    return std::make_unique<UniformCompute>(spec.base_seconds, spec.jitter);
+  }
+  if (spec.kind == "lognormal") {
+    return std::make_unique<LogNormalCompute>(spec.base_seconds, spec.sigma);
+  }
+  if (spec.kind == "transient") {
+    return std::make_unique<TransientStraggler>(
+        std::make_unique<LogNormalCompute>(spec.base_seconds, spec.sigma), spec.straggler_prob,
+        spec.slowdown);
+  }
+  if (spec.kind == "heterogeneous") {
+    return std::make_unique<HeterogeneousCompute>(spec.base_seconds, spec.sigma,
+                                                  spec.worker_sigma, spec.straggler_prob,
+                                                  spec.slowdown, num_workers, seed);
+  }
+  if (spec.kind == "persistent") {
+    std::vector<std::uint32_t> slow;
+    const std::uint32_t n = std::min(spec.num_persistent, num_workers);
+    slow.reserve(n);
+    for (std::uint32_t w = 0; w < n; ++w) slow.push_back(w);
+    return std::make_unique<PersistentStraggler>(
+        std::make_unique<LogNormalCompute>(spec.base_seconds, spec.sigma), std::move(slow),
+        spec.slowdown);
+  }
+  FPS_CHECK(false) << "unknown compute model kind: " << spec.kind;
+  return nullptr;
+}
+
+}  // namespace fluentps::sim

@@ -1,0 +1,141 @@
+// Per-worker, per-iteration compute-time models for the cluster simulator.
+//
+// The paper's timing experiments hinge on *randomly slow* workers ("even in a
+// load-balanced cluster, some worker nodes are randomly slower than other
+// nodes" — Section I). These models generate the compute-phase duration of
+// worker n at iteration i; the sync models under test determine how much of
+// that heterogeneity turns into waiting.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace fluentps::sim {
+
+/// Interface: duration (virtual seconds) of one gradient-computation phase.
+class ComputeModel {
+ public:
+  virtual ~ComputeModel() = default;
+
+  /// Sample the compute time of worker `worker` at iteration `iter`.
+  virtual double sample(std::uint32_t worker, std::int64_t iter, Rng& rng) = 0;
+};
+
+/// Every worker, every iteration takes exactly `base` seconds.
+class FixedCompute final : public ComputeModel {
+ public:
+  explicit FixedCompute(double base) noexcept : base_(base) {}
+  double sample(std::uint32_t, std::int64_t, Rng&) override { return base_; }
+
+ private:
+  double base_;
+};
+
+/// Uniform jitter: base * U[1 - jitter, 1 + jitter].
+class UniformCompute final : public ComputeModel {
+ public:
+  UniformCompute(double base, double jitter) noexcept : base_(base), jitter_(jitter) {}
+  double sample(std::uint32_t, std::int64_t, Rng& rng) override {
+    return base_ * rng.uniform(1.0 - jitter_, 1.0 + jitter_);
+  }
+
+ private:
+  double base_;
+  double jitter_;
+};
+
+/// Heavy-tailed per-iteration times: base * LogNormal(0, sigma). The
+/// lognormal's occasional large draws are the "randomly slower" workers.
+class LogNormalCompute final : public ComputeModel {
+ public:
+  LogNormalCompute(double base, double sigma) noexcept : base_(base), sigma_(sigma) {}
+  double sample(std::uint32_t, std::int64_t, Rng& rng) override {
+    return base_ * rng.lognormal(0.0, sigma_);
+  }
+
+ private:
+  double base_;
+  double sigma_;
+};
+
+/// Transient straggler injection: wraps another model; with probability
+/// `prob` per (worker, iteration), the sampled time is multiplied by
+/// `slowdown`. Models GC pauses, noisy neighbours, network hiccups.
+class TransientStraggler final : public ComputeModel {
+ public:
+  TransientStraggler(std::unique_ptr<ComputeModel> inner, double prob, double slowdown)
+      : inner_(std::move(inner)), prob_(prob), slowdown_(slowdown) {}
+  double sample(std::uint32_t worker, std::int64_t iter, Rng& rng) override {
+    const double t = inner_->sample(worker, iter, rng);
+    return rng.bernoulli(prob_) ? t * slowdown_ : t;
+  }
+
+ private:
+  std::unique_ptr<ComputeModel> inner_;
+  double prob_;
+  double slowdown_;
+};
+
+/// Fully heterogeneous cluster: every worker has a persistent speed factor
+/// drawn LogNormal(0, worker_sigma) at construction, multiplied by iid
+/// per-iteration LogNormal(0, sigma) jitter and optional transient spikes.
+/// This is the regime of the paper's evaluation clusters: persistent pace
+/// differences saturate any staleness window, so fast workers keep hitting
+/// the SSP bound ("the soft barrier appeared frequently").
+class HeterogeneousCompute final : public ComputeModel {
+ public:
+  HeterogeneousCompute(double base, double sigma, double worker_sigma, double spike_prob,
+                       double spike_slowdown, std::uint32_t num_workers, std::uint64_t seed);
+  double sample(std::uint32_t worker, std::int64_t iter, Rng& rng) override;
+
+  /// The persistent factor of `worker` (tests / diagnostics).
+  [[nodiscard]] double factor(std::uint32_t worker) const;
+
+ private:
+  double base_;
+  double sigma_;
+  double spike_prob_;
+  double spike_slowdown_;
+  std::vector<double> factors_;
+};
+
+/// Persistent stragglers: a fixed subset of workers is permanently slower by
+/// `slowdown`. Models heterogeneous hardware; this is the regime where
+/// drop-stragglers and DSPS shine.
+class PersistentStraggler final : public ComputeModel {
+ public:
+  PersistentStraggler(std::unique_ptr<ComputeModel> inner, std::vector<std::uint32_t> slow_workers,
+                      double slowdown);
+  double sample(std::uint32_t worker, std::int64_t iter, Rng& rng) override;
+
+ private:
+  std::unique_ptr<ComputeModel> inner_;
+  std::vector<std::uint32_t> slow_workers_;  // sorted
+  double slowdown_;
+};
+
+/// Named factory used by ExperimentConfig: "fixed", "uniform", "lognormal",
+/// "transient", "persistent", "heterogeneous". Parameters not used by a kind
+/// are ignored.
+struct ComputeModelSpec {
+  std::string kind = "lognormal";
+  double base_seconds = 0.1;   ///< mean/typical compute time per iteration
+  double jitter = 0.2;         ///< uniform: half-width fraction
+  double sigma = 0.25;         ///< lognormal: log-space stddev (per iteration)
+  double worker_sigma = 0.2;   ///< heterogeneous: persistent per-worker factor spread
+  double straggler_prob = 0.02;///< transient/heterogeneous: spike probability
+  double slowdown = 5.0;       ///< straggler/spike multiplier
+  std::uint32_t num_persistent = 1;  ///< persistent: how many slow workers
+};
+
+/// Build a model from a spec; `num_workers` selects persistent stragglers
+/// (workers 0..num_persistent-1 by convention) and sizes the heterogeneous
+/// factor table; `seed` makes the factor draw deterministic.
+std::unique_ptr<ComputeModel> make_compute_model(const ComputeModelSpec& spec,
+                                                 std::uint32_t num_workers,
+                                                 std::uint64_t seed = 1);
+
+}  // namespace fluentps::sim

@@ -1,0 +1,45 @@
+#include "sim/network_model.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace fluentps::sim {
+
+NetworkModel::NetworkModel(NetworkSpec spec, std::size_t num_nodes)
+    : spec_(spec),
+      egress_free_(num_nodes, 0.0),
+      ingress_free_(num_nodes, 0.0),
+      ingress_busy_(num_nodes, 0.0),
+      node_bw_(num_nodes, 0.0) {}
+
+SimTime NetworkModel::deliver(NodeId src, NodeId dst, double bytes, SimTime now) {
+  FPS_CHECK(src < egress_free_.size() && dst < ingress_free_.size())
+      << "node id out of range: src=" << src << " dst=" << dst;
+  total_bytes_ += bytes;
+
+  const double tx_out = bytes / bw(src);
+  const double tx_in = bytes / bw(dst);
+
+  const SimTime departure = std::max(now, egress_free_[src]);
+  egress_free_[src] = departure + tx_out;
+
+  const SimTime land = departure + tx_out + spec_.latency_seconds;
+  const SimTime arrival_start = std::max(land, ingress_free_[dst]);
+  const SimTime delivered = arrival_start + tx_in;
+  ingress_free_[dst] = delivered;
+  ingress_busy_[dst] += tx_in;
+  return delivered;
+}
+
+void NetworkModel::set_node_bandwidth(NodeId node, double bytes_per_sec) {
+  FPS_CHECK(node < node_bw_.size()) << "node id out of range: " << node;
+  node_bw_[node] = bytes_per_sec;
+}
+
+double NetworkModel::ingress_busy_seconds(NodeId node) const {
+  FPS_CHECK(node < ingress_busy_.size()) << "node id out of range: " << node;
+  return ingress_busy_[node];
+}
+
+}  // namespace fluentps::sim

@@ -1,0 +1,68 @@
+// Latency/bandwidth network model with per-endpoint FIFO serialization.
+//
+// Each node has an egress link and an ingress link with finite bandwidth.
+// A message of B bytes from src to dst:
+//   departure  = max(now, egress_free[src]); egress_free[src] = departure + B/bw_out(src)
+//   land       = departure + B/bw + latency
+//   arrival    = max(land, ingress_free[dst]); ingress_free[dst] = arrival + B/bw_in(dst)
+//   delivered  = arrival + B/bw_in(dst)
+//
+// The ingress queue is what reproduces Fig 6: with PS-Lite's imbalanced
+// slicing, one server receives most parameter bytes from all N workers, its
+// ingress serializes the pushes, and communication time grows with N until it
+// dominates the iteration (the paper's "communication time costs increased
+// dynamically to dominate the total training time").
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/sim_env.h"
+
+namespace fluentps::sim {
+
+/// Node id in the simulated cluster.
+using NodeId = std::uint32_t;
+
+struct NetworkSpec {
+  double latency_seconds = 200e-6;          ///< one-way propagation latency
+  double bandwidth_bytes_per_sec = 1.25e9;  ///< default per-link bandwidth (10 Gbps)
+  double control_message_bytes = 64;        ///< size of progress/ack frames
+};
+
+/// Tracks link occupancy and computes delivery times. Owned by SimTransport;
+/// single-threaded (driven by the DES).
+class NetworkModel {
+ public:
+  NetworkModel(NetworkSpec spec, std::size_t num_nodes);
+
+  /// Compute the delivery (fully-received) time of a message sent at `now`
+  /// and advance the link state. Deterministic given the call sequence.
+  SimTime deliver(NodeId src, NodeId dst, double bytes, SimTime now);
+
+  /// Override a single node's link bandwidth (both directions).
+  void set_node_bandwidth(NodeId node, double bytes_per_sec);
+
+  /// Total bytes ever sent through the fabric.
+  [[nodiscard]] double total_bytes() const noexcept { return total_bytes_; }
+
+  /// Time the given node's ingress link spent busy so far.
+  [[nodiscard]] double ingress_busy_seconds(NodeId node) const;
+
+  [[nodiscard]] const NetworkSpec& spec() const noexcept { return spec_; }
+
+ private:
+  [[nodiscard]] double bw(NodeId node) const noexcept {
+    const double b = node < node_bw_.size() ? node_bw_[node] : 0.0;
+    return b > 0.0 ? b : spec_.bandwidth_bytes_per_sec;
+  }
+
+  NetworkSpec spec_;
+  std::vector<SimTime> egress_free_;
+  std::vector<SimTime> ingress_free_;
+  std::vector<double> ingress_busy_;
+  std::vector<double> node_bw_;  // 0 = default
+  double total_bytes_ = 0.0;
+};
+
+}  // namespace fluentps::sim

@@ -1,0 +1,46 @@
+#include "sim/sim_env.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace fluentps::sim {
+
+void SimEnv::schedule(SimTime delay, std::function<void()> fn) {
+  schedule_at(now_ + std::max(delay, 0.0), std::move(fn));
+}
+
+void SimEnv::schedule_at(SimTime t, std::function<void()> fn) {
+  queue_.push(Event{std::max(t, now_), next_seq_++, std::move(fn)});
+}
+
+bool SimEnv::step() {
+  if (queue_.empty()) return false;
+  // priority_queue::top() is const; move out via const_cast is UB-adjacent,
+  // so copy the small members and move the closure through a local pop.
+  Event ev = std::move(const_cast<Event&>(queue_.top()));
+  queue_.pop();
+  FPS_CHECK(ev.time >= now_) << "event time went backwards: " << ev.time << " < " << now_;
+  now_ = ev.time;
+  ++executed_;
+  ev.fn();
+  return true;
+}
+
+void SimEnv::run() {
+  while (step()) {
+  }
+}
+
+std::size_t SimEnv::run_until(SimTime t_end) {
+  std::size_t n = 0;
+  while (!queue_.empty() && queue_.top().time <= t_end) {
+    step();
+    ++n;
+  }
+  now_ = std::max(now_, t_end);
+  return n;
+}
+
+}  // namespace fluentps::sim

@@ -1,0 +1,72 @@
+// Discrete-event simulation kernel.
+//
+// The DES backend of FluentPS runs N workers and M servers as event-driven
+// state machines over a single virtual clock. Events with equal timestamps
+// fire in insertion order, so a run is a pure function of (config, seed) —
+// this is design decision D6 in DESIGN.md: real gradient math executes inside
+// a deterministic timing envelope, giving accuracy AND timing in one run.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace fluentps::sim {
+
+/// Virtual time in seconds.
+using SimTime = double;
+
+/// Single-threaded discrete-event scheduler.
+class SimEnv {
+ public:
+  SimEnv() = default;
+  SimEnv(const SimEnv&) = delete;
+  SimEnv& operator=(const SimEnv&) = delete;
+
+  /// Current virtual time.
+  [[nodiscard]] SimTime now() const noexcept { return now_; }
+
+  /// Schedule `fn` to run `delay` seconds from now (delay >= 0; negative
+  /// delays are clamped to 0).
+  void schedule(SimTime delay, std::function<void()> fn);
+
+  /// Schedule `fn` at absolute virtual time `t` (clamped to >= now()).
+  void schedule_at(SimTime t, std::function<void()> fn);
+
+  /// Run one event; returns false if the queue is empty.
+  bool step();
+
+  /// Run until the event queue is empty.
+  void run();
+
+  /// Run until virtual time would exceed `t_end` (events at exactly t_end
+  /// still run). Returns the number of events executed.
+  std::size_t run_until(SimTime t_end);
+
+  /// Events executed so far.
+  [[nodiscard]] std::uint64_t events_executed() const noexcept { return executed_; }
+
+  /// Pending events.
+  [[nodiscard]] std::size_t pending() const noexcept { return queue_.size(); }
+
+ private:
+  struct Event {
+    SimTime time;
+    std::uint64_t seq;  // insertion order: deterministic tiebreak
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  SimTime now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace fluentps::sim

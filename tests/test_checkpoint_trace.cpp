@@ -1,0 +1,117 @@
+// Checkpoint and trace-export tests, including corruption handling.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "core/checkpoint.h"
+#include "core/trace_export.h"
+
+namespace fluentps::core {
+namespace {
+
+class CheckpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() / "fps_ckpt_test";
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string path(const char* name) const { return (dir_ / name).string(); }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(CheckpointTest, RoundTrip) {
+  std::vector<float> params{1.5f, -2.25f, 0.0f, 3.14159f};
+  ASSERT_TRUE(save_params(path("a.ckpt"), params));
+  std::vector<float> loaded;
+  ASSERT_TRUE(load_params(path("a.ckpt"), &loaded));
+  EXPECT_EQ(loaded, params);
+}
+
+TEST_F(CheckpointTest, EmptyParamsRoundTrip) {
+  ASSERT_TRUE(save_params(path("empty.ckpt"), std::vector<float>{}));
+  std::vector<float> loaded{1.0f};
+  ASSERT_TRUE(load_params(path("empty.ckpt"), &loaded));
+  EXPECT_TRUE(loaded.empty());
+}
+
+TEST_F(CheckpointTest, MissingFileFails) {
+  std::vector<float> loaded;
+  EXPECT_FALSE(load_params(path("nope.ckpt"), &loaded));
+}
+
+TEST_F(CheckpointTest, BadMagicRejected) {
+  std::ofstream f(path("bad.ckpt"), std::ios::binary);
+  const char junk[64] = {1, 2, 3};
+  f.write(junk, sizeof(junk));
+  f.close();
+  std::vector<float> loaded;
+  EXPECT_FALSE(load_params(path("bad.ckpt"), &loaded));
+}
+
+TEST_F(CheckpointTest, TruncationDetected) {
+  std::vector<float> params(100, 2.0f);
+  ASSERT_TRUE(save_params(path("t.ckpt"), params));
+  std::filesystem::resize_file(path("t.ckpt"), 64);
+  std::vector<float> loaded;
+  EXPECT_FALSE(load_params(path("t.ckpt"), &loaded));
+}
+
+TEST_F(CheckpointTest, BitFlipDetected) {
+  std::vector<float> params(64, 1.0f);
+  ASSERT_TRUE(save_params(path("c.ckpt"), params));
+  // Flip one payload byte.
+  std::fstream f(path("c.ckpt"), std::ios::binary | std::ios::in | std::ios::out);
+  f.seekp(32);
+  const char flip = 0x7F;
+  f.write(&flip, 1);
+  f.close();
+  std::vector<float> loaded;
+  EXPECT_FALSE(load_params(path("c.ckpt"), &loaded));
+}
+
+TEST_F(CheckpointTest, ChecksumDistinguishesValues) {
+  std::vector<float> a{1.0f, 2.0f};
+  std::vector<float> b{1.0f, 2.00001f};
+  EXPECT_NE(params_checksum(a), params_checksum(b));
+  EXPECT_EQ(params_checksum(a), params_checksum(std::vector<float>{1.0f, 2.0f}));
+}
+
+TEST(TraceExport, ProducesValidEvents) {
+  std::vector<IterationTrace> trace{
+      {0, 0, 0.0, 0.5, 0.8},
+      {1, 0, 0.0, 0.6, 1.0},
+  };
+  const auto json = to_chrome_trace_json(trace);
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  // Two spans (compute + sync) per entry.
+  std::size_t count = 0, pos = 0;
+  while ((pos = json.find("\"ph\": \"X\"", pos)) != std::string::npos) {
+    ++count;
+    pos += 1;
+  }
+  EXPECT_EQ(count, 4u);
+  EXPECT_NE(json.find("\"name\": \"compute\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"sync\""), std::string::npos);
+}
+
+TEST(TraceExport, EmptyTraceIsValidJson) {
+  const auto json = to_chrome_trace_json({});
+  EXPECT_NE(json.find("traceEvents"), std::string::npos);
+}
+
+TEST(TraceExport, WriteToFile) {
+  const auto p = std::filesystem::temp_directory_path() / "fps_trace.json";
+  EXPECT_TRUE(write_chrome_trace(p.string(), {{0, 0, 0.0, 1.0, 2.0}}));
+  std::ifstream f(p);
+  std::string content((std::istreambuf_iterator<char>(f)), std::istreambuf_iterator<char>());
+  EXPECT_NE(content.find("compute"), std::string::npos);
+  std::filesystem::remove(p);
+}
+
+}  // namespace
+}  // namespace fluentps::core

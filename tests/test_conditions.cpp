@@ -1,0 +1,220 @@
+// Condition framework tests (Table III semantics + PSSP probability laws +
+// regret bounds).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ps/conditions.h"
+
+namespace fluentps::ps {
+namespace {
+
+SyncView view_at(std::int64_t v_train, std::uint32_t n, std::uint32_t count_at_v) {
+  SyncView v;
+  v.v_train = v_train;
+  v.num_workers = n;
+  v.count_at_vtrain = count_at_v;
+  v.fastest = v_train + 2;
+  v.slowest = v_train - 1;
+  return v;
+}
+
+TEST(Conditions, BspPullRequiresVtrainAhead) {
+  const auto m = make_sync_model({.kind = "bsp"}, 4);
+  Rng rng(1);
+  EXPECT_FALSE(m.pull(PullCtx{0, 5, true}, view_at(5, 4, 0), rng));
+  EXPECT_TRUE(m.pull(PullCtx{0, 5, true}, view_at(6, 4, 0), rng));
+}
+
+TEST(Conditions, AspPullAlwaysTrue) {
+  const auto m = make_sync_model({.kind = "asp"}, 4);
+  Rng rng(1);
+  EXPECT_TRUE(m.pull(PullCtx{0, 1000000, true}, view_at(0, 4, 0), rng));
+}
+
+TEST(Conditions, SspPullBoundedByStaleness) {
+  const auto m = make_sync_model({.kind = "ssp", .staleness = 3}, 4);
+  Rng rng(1);
+  EXPECT_TRUE(m.pull(PullCtx{0, 2, true}, view_at(0, 4, 0), rng));   // gap 2 < 3
+  EXPECT_FALSE(m.pull(PullCtx{0, 3, true}, view_at(0, 4, 0), rng));  // gap 3 >= 3
+  EXPECT_TRUE(m.pull(PullCtx{0, 3, true}, view_at(1, 4, 0), rng));   // gap 2 again
+}
+
+TEST(Conditions, SspWithZeroStalenessIsBsp) {
+  const auto ssp0 = make_sync_model({.kind = "ssp", .staleness = 0}, 4);
+  const auto bsp = make_sync_model({.kind = "bsp"}, 4);
+  Rng r1(1), r2(1);
+  for (std::int64_t p = 0; p < 5; ++p) {
+    for (std::int64_t v = 0; v < 5; ++v) {
+      EXPECT_EQ(ssp0.pull(PullCtx{0, p, true}, view_at(v, 4, 0), r1),
+                bsp.pull(PullCtx{0, p, true}, view_at(v, 4, 0), r2));
+    }
+  }
+}
+
+TEST(Conditions, PushConditionCountsWorkers) {
+  const auto m = make_sync_model({.kind = "ssp", .staleness = 2}, 4);
+  EXPECT_FALSE(m.push(view_at(0, 4, 3)));
+  EXPECT_TRUE(m.push(view_at(0, 4, 4)));
+}
+
+TEST(Conditions, DropStragglersPushNeedsOnlyNt) {
+  const auto m = make_sync_model({.kind = "drop", .drop_nt = 3}, 4);
+  EXPECT_FALSE(m.push(view_at(0, 4, 2)));
+  EXPECT_TRUE(m.push(view_at(0, 4, 3)));
+}
+
+TEST(Conditions, DropStragglersDefaultNtIsTwoThirds) {
+  const auto m = make_sync_model({.kind = "drop"}, 9);  // ceil(2*9/3) ~ 6
+  EXPECT_FALSE(m.push(view_at(0, 9, 5)));
+  EXPECT_TRUE(m.push(view_at(0, 9, 6)));
+}
+
+TEST(Conditions, PsspP1BehavesLikeSsp) {
+  // P = 1: the coin always blocks; identical decisions to SSP.
+  const auto pssp = make_sync_model({.kind = "pssp", .staleness = 3, .prob = 1.0}, 4);
+  const auto ssp = make_sync_model({.kind = "ssp", .staleness = 3}, 4);
+  Rng r1(2), r2(2);
+  for (std::int64_t p = 0; p < 10; ++p) {
+    for (std::int64_t v = 0; v <= p; ++v) {
+      EXPECT_EQ(pssp.pull(PullCtx{0, p, true}, view_at(v, 4, 0), r1),
+                ssp.pull(PullCtx{0, p, true}, view_at(v, 4, 0), r2))
+          << "p=" << p << " v=" << v;
+    }
+  }
+}
+
+TEST(Conditions, PsspP0BehavesLikeAsp) {
+  const auto pssp = make_sync_model({.kind = "pssp", .staleness = 3, .prob = 0.0}, 4);
+  Rng rng(3);
+  for (std::int64_t gap = 0; gap < 50; ++gap) {
+    EXPECT_TRUE(pssp.pull(PullCtx{0, gap, true}, view_at(0, 4, 0), rng));
+  }
+}
+
+TEST(Conditions, PsspBlocksAtRateC) {
+  const auto pssp = make_sync_model({.kind = "pssp", .staleness = 3, .prob = 0.3}, 4);
+  Rng rng(4);
+  int blocked = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (!pssp.pull(PullCtx{0, 5, true}, view_at(0, 4, 0), rng)) ++blocked;
+  }
+  EXPECT_NEAR(static_cast<double>(blocked) / n, 0.3, 0.02);
+}
+
+TEST(Conditions, PsspRecheckNeverRerollsCoin) {
+  // A buffered (non-initial) request passes only via the deterministic part.
+  const auto pssp = make_sync_model({.kind = "pssp", .staleness = 3, .prob = 0.5}, 4);
+  Rng rng(5);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_FALSE(pssp.pull(PullCtx{0, 5, false}, view_at(0, 4, 0), rng));
+  }
+  EXPECT_TRUE(pssp.pull(PullCtx{0, 5, false}, view_at(3, 4, 0), rng));
+}
+
+TEST(Conditions, PsspConstantProbabilityLaw) {
+  EXPECT_DOUBLE_EQ(pssp_constant_probability(3, 2, 0.7), 0.0);
+  EXPECT_DOUBLE_EQ(pssp_constant_probability(3, 3, 0.7), 0.7);
+  EXPECT_DOUBLE_EQ(pssp_constant_probability(3, 30, 0.7), 0.7);
+  EXPECT_DOUBLE_EQ(pssp_constant_probability(3, 5, 2.0), 1.0);  // clamped
+}
+
+TEST(Conditions, PsspDynamicProbabilityIsSigmoid) {
+  // P(s,k) = alpha / (1 + e^(s-k)) for k >= s; P(s,s) = alpha/2.
+  EXPECT_DOUBLE_EQ(pssp_dynamic_probability(3, 2, 1.0), 0.0);
+  EXPECT_NEAR(pssp_dynamic_probability(3, 3, 1.0), 0.5, 1e-12);
+  EXPECT_NEAR(pssp_dynamic_probability(3, 4, 1.0), 1.0 / (1.0 + std::exp(-1.0)), 1e-12);
+  // Monotonically increasing in the gap.
+  double prev = 0.0;
+  for (std::int64_t k = 3; k < 20; ++k) {
+    const double p = pssp_dynamic_probability(3, k, 0.8);
+    EXPECT_GT(p, prev);
+    prev = p;
+  }
+  EXPECT_LE(prev, 0.8);
+}
+
+TEST(Conditions, DynamicPsspBlocksFasterWorkersMore) {
+  const auto m = make_sync_model({.kind = "pssp_dynamic", .staleness = 2, .alpha = 1.0}, 8);
+  Rng rng(6);
+  const int n = 20000;
+  int blocked_near = 0, blocked_far = 0;
+  for (int i = 0; i < n; ++i) {
+    if (!m.pull(PullCtx{0, 2, true}, view_at(0, 8, 0), rng)) ++blocked_near;
+    if (!m.pull(PullCtx{0, 8, true}, view_at(0, 8, 0), rng)) ++blocked_far;
+  }
+  EXPECT_NEAR(static_cast<double>(blocked_near) / n, 0.5, 0.02);
+  EXPECT_GT(blocked_far, blocked_near * 1.5);
+}
+
+TEST(Conditions, DspsAdaptsStalenessToObservedGap) {
+  SyncModelSpec spec;
+  spec.kind = "dsps";
+  spec.staleness = 2;
+  spec.dsps_min_s = 1;
+  spec.dsps_max_s = 10;
+  spec.dsps_ema = 0.5;
+  const auto m = make_sync_model(spec, 4);
+  ASSERT_NE(m.adaptive_s, nullptr);
+  Rng rng(7);
+  // Feed views with a persistent gap of 6: s should climb toward 7.
+  SyncView v = view_at(0, 4, 0);
+  v.fastest = 6;
+  v.slowest = 0;
+  for (int i = 0; i < 50; ++i) (void)m.pull(PullCtx{0, 3, true}, v, rng);
+  EXPECT_GE(*m.adaptive_s, 6);
+  // Now a tight cluster: s should shrink.
+  v.fastest = 1;
+  for (int i = 0; i < 50; ++i) (void)m.pull(PullCtx{0, 0, true}, v, rng);
+  EXPECT_LE(*m.adaptive_s, 3);
+}
+
+TEST(Conditions, LabelsAreDescriptive) {
+  EXPECT_EQ(SyncModelSpec{.kind = "bsp"}.label(), "bsp");
+  EXPECT_EQ((SyncModelSpec{.kind = "ssp", .staleness = 3}).label(), "ssp(s=3)");
+  EXPECT_NE((SyncModelSpec{.kind = "pssp", .staleness = 3, .prob = 0.5}).label().find("pssp"),
+            std::string::npos);
+}
+
+TEST(Conditions, UnknownKindAborts) {
+  EXPECT_DEATH((void)make_sync_model({.kind = "quantum"}, 4), "unknown sync model");
+}
+
+TEST(RegretBounds, SspFormula) {
+  // Eq 1: 4FL sqrt(2(s+1)N/T).
+  EXPECT_NEAR(ssp_regret_bound(1.0, 1.0, 3, 8, 1000), 4.0 * std::sqrt(2.0 * 4 * 8 / 1000.0),
+              1e-12);
+}
+
+TEST(RegretBounds, PsspEqualsSspAtEffectiveStaleness) {
+  // Section III-E: constant PSSP(s, c) and SSP(s' = s + 1/c - 1) share the
+  // bound 4FL sqrt(2(s + 1/c)N / T).
+  const double F = 1.3, L = 0.7;
+  const std::uint32_t N = 64;
+  const std::int64_t T = 256000;
+  struct Pair {
+    std::int64_t s;
+    double c;
+    std::int64_t s_prime;
+  };
+  // The paper's experiment groups A..H: (3, 1/2)->4, (3, 1/3)->5, (3, 1/5)->7,
+  // (3, 1/10)->12.
+  for (const auto& [s, c, sp] : {Pair{3, 0.5, 4}, Pair{3, 1.0 / 3, 5}, Pair{3, 0.2, 7},
+                                 Pair{3, 0.1, 12}}) {
+    EXPECT_NEAR(pssp_regret_bound(F, L, s, c, N, T), ssp_regret_bound(F, L, sp, N, T), 1e-9)
+        << "s=" << s << " c=" << c;
+  }
+}
+
+TEST(RegretBounds, PsspTightensAsCGrows) {
+  double prev = 1e9;
+  for (const double c : {0.1, 0.3, 0.5, 0.9}) {
+    const double b = pssp_regret_bound(1.0, 1.0, 3, c, 8, 10000);
+    EXPECT_LT(b, prev);
+    prev = b;
+  }
+}
+
+}  // namespace
+}  // namespace fluentps::ps

@@ -1,0 +1,195 @@
+// Dataset synthesis and batch sampling tests.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "ml/dataset.h"
+
+namespace fluentps::ml {
+namespace {
+
+DataSpec small_spec() {
+  DataSpec spec;
+  spec.dim = 8;
+  spec.num_classes = 4;
+  spec.num_train = 400;
+  spec.num_test = 100;
+  spec.seed = 3;
+  return spec;
+}
+
+TEST(Dataset, ShapesMatchSpec) {
+  const auto d = Dataset::synthesize(small_spec());
+  EXPECT_EQ(d.dim(), 8u);
+  EXPECT_EQ(d.num_classes(), 4u);
+  EXPECT_EQ(d.num_train(), 400u);
+  EXPECT_EQ(d.num_test(), 100u);
+  EXPECT_EQ(d.x_train().size(), 400u * 8u);
+  EXPECT_EQ(d.x_test().size(), 100u * 8u);
+}
+
+TEST(Dataset, DeterministicForSeed) {
+  const auto a = Dataset::synthesize(small_spec());
+  const auto b = Dataset::synthesize(small_spec());
+  EXPECT_EQ(a.x_train(), b.x_train());
+  EXPECT_EQ(a.y_train(), b.y_train());
+  EXPECT_EQ(a.y_test(), b.y_test());
+}
+
+TEST(Dataset, DifferentSeedsDiffer) {
+  auto spec = small_spec();
+  const auto a = Dataset::synthesize(spec);
+  spec.seed = 4;
+  const auto b = Dataset::synthesize(spec);
+  EXPECT_NE(a.y_train(), b.y_train());
+}
+
+TEST(Dataset, LabelsInRange) {
+  const auto d = Dataset::synthesize(small_spec());
+  for (const int y : d.y_train()) {
+    EXPECT_GE(y, 0);
+    EXPECT_LT(y, 4);
+  }
+}
+
+TEST(Dataset, AllClassesRepresented) {
+  const auto d = Dataset::synthesize(small_spec());
+  std::set<int> classes(d.y_train().begin(), d.y_train().end());
+  EXPECT_EQ(classes.size(), 4u) << "a random teacher should produce all classes";
+}
+
+TEST(Dataset, TrainTestAreIndependentDraws) {
+  const auto d = Dataset::synthesize(small_spec());
+  // The first test row should not equal the first train row.
+  bool identical = true;
+  for (std::size_t i = 0; i < d.dim(); ++i) {
+    if (d.x_train()[i] != d.x_test()[i]) {
+      identical = false;
+      break;
+    }
+  }
+  EXPECT_FALSE(identical);
+}
+
+TEST(Dataset, TestBatchViews) {
+  const auto d = Dataset::synthesize(small_spec());
+  const Batch b = d.test_batch(10, 5);
+  EXPECT_EQ(b.n, 5u);
+  EXPECT_EQ(b.dim, 8u);
+  EXPECT_EQ(b.X, d.x_test().data() + 10 * 8);
+  EXPECT_EQ(b.y, d.y_test().data() + 10);
+}
+
+TEST(Dataset, HundredClassVariant) {
+  DataSpec spec = small_spec();
+  spec.num_classes = 100;
+  spec.teacher_hidden = 64;
+  spec.num_train = 2000;
+  const auto d = Dataset::synthesize(spec);
+  std::set<int> classes(d.y_train().begin(), d.y_train().end());
+  EXPECT_GT(classes.size(), 60u) << "most of the 100 classes should appear";
+}
+
+TEST(BatchSampler, ShardsPartitionTrainingSet) {
+  const auto d = Dataset::synthesize(small_spec());
+  const std::uint32_t N = 7;  // does not divide 400
+  std::size_t covered = 0;
+  for (std::uint32_t w = 0; w < N; ++w) {
+    BatchSampler s(d, w, N, 16, 1);
+    covered += s.shard_size();
+  }
+  EXPECT_EQ(covered, d.num_train());
+}
+
+TEST(BatchSampler, BatchHasRequestedSize) {
+  const auto d = Dataset::synthesize(small_spec());
+  BatchSampler s(d, 0, 4, 16, 1);
+  const Batch b = s.next();
+  EXPECT_EQ(b.n, 16u);
+  EXPECT_EQ(b.dim, 8u);
+}
+
+TEST(BatchSampler, BatchLargerThanShardClamps) {
+  const auto d = Dataset::synthesize(small_spec());
+  BatchSampler s(d, 0, 100, 64, 1);  // shard of 4 rows
+  const Batch b = s.next();
+  EXPECT_EQ(b.n, 4u);
+}
+
+TEST(BatchSampler, RowsComeFromOwnShard) {
+  const auto d = Dataset::synthesize(small_spec());
+  // Worker 1 of 4 owns rows [100, 200).
+  BatchSampler s(d, 1, 4, 32, 1);
+  for (int round = 0; round < 10; ++round) {
+    const Batch b = s.next();
+    for (std::size_t i = 0; i < b.n; ++i) {
+      // Find the row by matching the label AND features in the shard range.
+      bool found = false;
+      for (std::size_t row = 100; row < 200 && !found; ++row) {
+        if (d.y_train()[row] != b.y[i]) continue;
+        found = std::equal(b.X + i * 8, b.X + (i + 1) * 8, d.x_train().data() + row * 8);
+      }
+      ASSERT_TRUE(found) << "batch row not from worker 1's shard";
+    }
+  }
+}
+
+TEST(BatchSampler, DeterministicForSeed) {
+  const auto d = Dataset::synthesize(small_spec());
+  BatchSampler a(d, 0, 4, 8, 5), b(d, 0, 4, 8, 5);
+  for (int i = 0; i < 20; ++i) {
+    const Batch ba = a.next();
+    const Batch bb = b.next();
+    for (std::size_t j = 0; j < ba.n; ++j) EXPECT_EQ(ba.y[j], bb.y[j]);
+  }
+}
+
+TEST(BatchSampler, DifferentWorkersDifferentStreams) {
+  const auto d = Dataset::synthesize(small_spec());
+  BatchSampler a(d, 0, 4, 8, 5), b(d, 1, 4, 8, 5);
+  const Batch ba = a.next();
+  const Batch bb = b.next();
+  bool same = true;
+  for (std::size_t j = 0; j < ba.n; ++j) {
+    if (ba.y[j] != bb.y[j]) same = false;
+  }
+  // Labels could coincide, features essentially cannot.
+  if (same) {
+    same = std::equal(ba.X, ba.X + ba.n * 8, bb.X);
+  }
+  EXPECT_FALSE(same);
+}
+
+TEST(BatchSampler, EpochWrapReshuffles) {
+  const auto d = Dataset::synthesize(small_spec());
+  BatchSampler s(d, 0, 4, 100, 9);  // shard = 100 rows, one batch per epoch
+  const Batch e1 = s.next();
+  std::vector<int> first(e1.y, e1.y + e1.n);
+  const Batch e2 = s.next();
+  std::vector<int> second(e2.y, e2.y + e2.n);
+  auto sf = first, ss = second;
+  std::sort(sf.begin(), sf.end());
+  std::sort(ss.begin(), ss.end());
+  EXPECT_EQ(sf, ss) << "same multiset of labels each epoch";
+  EXPECT_NE(first, second) << "order should differ after reshuffle";
+}
+
+TEST(Dataset, LabelNoiseIncreasesDisagreement) {
+  auto clean_spec = small_spec();
+  clean_spec.label_noise = 0.0;
+  auto noisy_spec = small_spec();
+  noisy_spec.label_noise = 0.5;
+  const auto clean = Dataset::synthesize(clean_spec);
+  const auto noisy = Dataset::synthesize(noisy_spec);
+  // Same teacher; noise both flips labels and shifts the RNG stream, so a
+  // large fraction of labels should disagree.
+  std::size_t diff = 0;
+  for (std::size_t i = 0; i < clean.num_train(); ++i) {
+    if (clean.y_train()[i] != noisy.y_train()[i]) ++diff;
+  }
+  // 50% noise resamples uniformly over 4 classes -> ~37.5% actual flips.
+  EXPECT_GT(diff, clean.num_train() / 5);
+}
+
+}  // namespace
+}  // namespace fluentps::ml

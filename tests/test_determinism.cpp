@@ -1,0 +1,121 @@
+// Property sweep: the simulation backend is bit-deterministic for every
+// architecture, synchronization model and DPR mode (DESIGN.md D6). Two runs
+// of the same config must agree on every reported number.
+#include <gtest/gtest.h>
+
+#include "core/fluentps.h"
+
+namespace fluentps {
+namespace {
+
+struct DetCase {
+  const char* name;
+  core::Arch arch;
+  const char* sync;
+  std::int64_t s;
+  double prob;
+  ps::DprMode mode;
+  const char* compute;
+};
+
+class SimDeterminism : public ::testing::TestWithParam<DetCase> {};
+
+TEST_P(SimDeterminism, TwoRunsBitIdentical) {
+  const auto& p = GetParam();
+  core::ExperimentConfig cfg;
+  cfg.backend = core::Backend::kSim;
+  cfg.arch = p.arch;
+  cfg.num_workers = 6;
+  cfg.num_servers = 2;
+  cfg.max_iters = 60;
+  cfg.sync.kind = p.sync;
+  cfg.sync.staleness = p.s;
+  cfg.sync.prob = p.prob;
+  cfg.dpr_mode = p.mode;
+  cfg.model.kind = "softmax";
+  cfg.data.num_train = 512;
+  cfg.data.num_test = 128;
+  cfg.opt.kind = "momentum";
+  cfg.opt.lr.base = 0.2;
+  cfg.batch_size = 8;
+  cfg.compute.kind = p.compute;
+  cfg.compute.base_seconds = 0.01;
+  cfg.seed = 2718;
+
+  const auto a = core::run_experiment(cfg);
+  const auto b = core::run_experiment(cfg);
+  EXPECT_DOUBLE_EQ(a.total_time, b.total_time);
+  EXPECT_DOUBLE_EQ(a.compute_time, b.compute_time);
+  EXPECT_DOUBLE_EQ(a.comm_time, b.comm_time);
+  EXPECT_DOUBLE_EQ(a.final_accuracy, b.final_accuracy);
+  EXPECT_DOUBLE_EQ(a.final_loss, b.final_loss);
+  EXPECT_EQ(a.dpr_total, b.dpr_total);
+  EXPECT_DOUBLE_EQ(a.bytes_total, b.bytes_total);
+  EXPECT_EQ(a.messages, b.messages);
+  ASSERT_EQ(a.final_params.size(), b.final_params.size());
+  for (std::size_t i = 0; i < a.final_params.size(); ++i) {
+    ASSERT_EQ(a.final_params[i], b.final_params[i]) << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, SimDeterminism,
+    ::testing::Values(
+        DetCase{"fluent_bsp_lazy", core::Arch::kFluentPS, "bsp", 0, 0, ps::DprMode::kLazy,
+                "lognormal"},
+        DetCase{"fluent_ssp_soft", core::Arch::kFluentPS, "ssp", 2, 0, ps::DprMode::kSoftBarrier,
+                "lognormal"},
+        DetCase{"fluent_asp", core::Arch::kFluentPS, "asp", 0, 0, ps::DprMode::kLazy, "uniform"},
+        DetCase{"fluent_pssp_lazy", core::Arch::kFluentPS, "pssp", 2, 0.5, ps::DprMode::kLazy,
+                "heterogeneous"},
+        DetCase{"fluent_pssp_soft", core::Arch::kFluentPS, "pssp", 2, 0.3,
+                ps::DprMode::kSoftBarrier, "transient"},
+        DetCase{"fluent_dsps", core::Arch::kFluentPS, "dsps", 2, 0, ps::DprMode::kLazy,
+                "persistent"},
+        DetCase{"fluent_drop", core::Arch::kFluentPS, "drop", 0, 0, ps::DprMode::kLazy,
+                "persistent"},
+        DetCase{"pslite_bsp", core::Arch::kPsLite, "bsp", 0, 0, ps::DprMode::kLazy, "lognormal"},
+        DetCase{"pslite_ssp", core::Arch::kPsLite, "ssp", 3, 0, ps::DprMode::kLazy,
+                "heterogeneous"},
+        DetCase{"ssptable", core::Arch::kSspTable, "ssp", 3, 0, ps::DprMode::kLazy, "lognormal"}),
+    [](const ::testing::TestParamInfo<DetCase>& info) { return info.param.name; });
+
+TEST(SimDeterminismExtras, SignificanceFilterDeterministic) {
+  core::ExperimentConfig cfg;
+  cfg.backend = core::Backend::kSim;
+  cfg.num_workers = 4;
+  cfg.num_servers = 2;
+  cfg.max_iters = 80;
+  cfg.model.kind = "softmax";
+  cfg.data.num_train = 512;
+  cfg.data.num_test = 128;
+  cfg.batch_size = 8;
+  cfg.push_significance_threshold = 0.05;
+  cfg.seed = 3;
+  const auto a = core::run_experiment(cfg);
+  const auto b = core::run_experiment(cfg);
+  EXPECT_EQ(a.pushes_filtered, b.pushes_filtered);
+  EXPECT_DOUBLE_EQ(a.bytes_total, b.bytes_total);
+}
+
+TEST(SimDeterminismExtras, StagedRunsDeterministic) {
+  core::ExperimentConfig s1;
+  s1.backend = core::Backend::kSim;
+  s1.num_workers = 3;
+  s1.num_servers = 1;
+  s1.max_iters = 40;
+  s1.model.kind = "softmax";
+  s1.data.num_train = 512;
+  s1.data.num_test = 128;
+  s1.batch_size = 8;
+  s1.seed = 4;
+  auto s2 = s1;
+  s2.num_workers = 6;
+  const auto a = core::run_stages({s1, s2});
+  const auto b = core::run_stages({s1, s2});
+  EXPECT_DOUBLE_EQ(a.total_time, b.total_time);
+  EXPECT_DOUBLE_EQ(a.final_accuracy, b.final_accuracy);
+}
+
+}  // namespace
+}  // namespace fluentps

@@ -1,0 +1,200 @@
+// Assorted edge cases across modules: degenerate cluster shapes, zero-size
+// layers, first-contact protocol states, and boundary configurations.
+#include <gtest/gtest.h>
+
+#include "core/fluentps.h"
+#include "ml/ops.h"
+
+namespace fluentps {
+namespace {
+
+TEST(EdgeCluster, OneWorkerOneServerEverySyncModel) {
+  // N = 1 degenerates every model to serial SGD; all must produce the exact
+  // same final parameters.
+  std::vector<std::vector<float>> finals;
+  for (const char* kind : {"bsp", "asp", "ssp", "pssp", "dsps", "drop"}) {
+    core::ExperimentConfig cfg;
+    cfg.num_workers = 1;
+    cfg.num_servers = 1;
+    cfg.max_iters = 30;
+    cfg.sync.kind = kind;
+    cfg.sync.staleness = 2;
+    cfg.sync.prob = 0.5;
+    cfg.model.kind = "softmax";
+    cfg.data.num_train = 256;
+    cfg.data.num_test = 64;
+    cfg.batch_size = 8;
+    cfg.seed = 17;
+    finals.push_back(core::run_experiment(cfg).final_params);
+  }
+  for (std::size_t i = 1; i < finals.size(); ++i) {
+    EXPECT_EQ(finals[i], finals[0]) << "model " << i << " diverged at N=1";
+  }
+}
+
+TEST(EdgeCluster, MoreServersThanLayerChunks) {
+  // 6 servers for a model whose EPS chunking yields fewer chunks than
+  // servers: some servers own nothing, and training must still work.
+  core::ExperimentConfig cfg;
+  cfg.num_workers = 2;
+  cfg.num_servers = 6;
+  cfg.max_iters = 30;
+  cfg.model.kind = "softmax";
+  cfg.data.dim = 4;
+  cfg.data.num_classes = 2;
+  cfg.data.num_train = 128;
+  cfg.data.num_test = 64;
+  cfg.batch_size = 8;
+  cfg.eps_chunk = 1 << 20;  // everything in 2 chunks (W and b)
+  cfg.seed = 23;
+  const auto r = core::run_experiment(cfg);
+  EXPECT_EQ(r.iterations, 30);
+  EXPECT_GT(r.final_accuracy, 0.4);
+}
+
+TEST(EdgeCluster, SingleIteration) {
+  core::ExperimentConfig cfg;
+  cfg.num_workers = 3;
+  cfg.num_servers = 2;
+  cfg.max_iters = 1;
+  cfg.model.kind = "softmax";
+  cfg.data.num_train = 64;
+  cfg.data.num_test = 32;
+  cfg.batch_size = 4;
+  const auto r = core::run_experiment(cfg);
+  EXPECT_EQ(r.iterations, 1);
+  EXPECT_GT(r.total_time, 0.0);
+}
+
+TEST(EdgeCluster, ManyMoreWorkersThanSamplesPerShard) {
+  // 32 workers on 64 training rows: 2-row shards, batch clamped.
+  core::ExperimentConfig cfg;
+  cfg.num_workers = 32;
+  cfg.num_servers = 1;
+  cfg.max_iters = 10;
+  cfg.model.kind = "softmax";
+  cfg.data.num_train = 64;
+  cfg.data.num_test = 32;
+  cfg.batch_size = 16;
+  const auto r = core::run_experiment(cfg);
+  EXPECT_EQ(r.iterations, 10);
+}
+
+TEST(EdgeSlicing, ZeroLengthLayerHandled) {
+  ps::DefaultSlicer dflt;
+  const auto sh = dflt.shard({10, 0, 6}, 2);
+  sh.validate();
+  EXPECT_EQ(sh.num_params, 16u);
+  ps::EpsSlicer eps(4);
+  const auto se = eps.shard({10, 0, 6}, 2);
+  se.validate();
+  EXPECT_EQ(se.num_params, 16u);
+}
+
+TEST(EdgeSlicing, SingleServerGetsEverything) {
+  ps::EpsSlicer eps(8);
+  const auto sh = eps.shard({100, 50}, 1);
+  EXPECT_EQ(sh.shards[0].total, 150u);
+  EXPECT_DOUBLE_EQ(sh.imbalance(), 1.0);
+}
+
+TEST(EdgeEngine, PullBeforeAnyPush) {
+  ps::SyncEngine::Spec spec;
+  spec.num_workers = 2;
+  spec.mode = ps::DprMode::kLazy;
+  spec.model = ps::make_sync_model({.kind = "ssp", .staleness = 2}, 2);
+  spec.seed = 1;
+  ps::SyncEngine e(std::move(spec));
+  // First contact is a pull (e.g. a worker fetching initial weights).
+  EXPECT_TRUE(e.on_pull(0, 0, 1)) << "gap 0 < s: served";
+  EXPECT_EQ(e.fastest(), 0);
+  EXPECT_EQ(e.slowest(), -1) << "worker 1 still unknown";
+}
+
+TEST(EdgeEngine, NegativeProgressForInitialFetch) {
+  // Convention: a pull at progress -1 asks for w0 before any iteration.
+  ps::SyncEngine::Spec spec;
+  spec.num_workers = 2;
+  spec.mode = ps::DprMode::kSoftBarrier;
+  spec.model = ps::make_sync_model({.kind = "bsp"}, 2);
+  spec.seed = 1;
+  ps::SyncEngine e(std::move(spec));
+  EXPECT_TRUE(e.on_pull(0, -1, 1)) << "-1 < V_train = 0: served immediately";
+}
+
+TEST(EdgeOps, GemmWithZeroDimensions) {
+  std::vector<float> A{1.0f}, B{1.0f}, C{42.0f};
+  ml::gemm_nn(0, 1, 1, 1.0f, A.data(), B.data(), 0.0f, C.data());
+  EXPECT_FLOAT_EQ(C[0], 42.0f) << "M = 0 touches nothing";
+  ml::gemm_nn(1, 1, 0, 1.0f, A.data(), B.data(), 0.0f, C.data());
+  EXPECT_FLOAT_EQ(C[0], 0.0f) << "K = 0 writes beta * C";
+}
+
+TEST(EdgeOps, SoftmaxSingleClassIsDegenerate) {
+  const std::vector<float> logits{3.0f};
+  const std::vector<int> labels{0};
+  std::vector<float> probs(1);
+  const double loss = ml::softmax_xent_forward(1, 1, logits.data(), labels.data(), probs.data());
+  EXPECT_NEAR(loss, 0.0, 1e-6);
+  EXPECT_FLOAT_EQ(probs[0], 1.0f);
+}
+
+TEST(EdgeConfig, LrZeroFreezesModel) {
+  core::ExperimentConfig cfg;
+  cfg.num_workers = 2;
+  cfg.num_servers = 1;
+  cfg.max_iters = 20;
+  cfg.model.kind = "softmax";
+  cfg.data.num_train = 128;
+  cfg.data.num_test = 64;
+  cfg.batch_size = 8;
+  cfg.opt.lr.base = 0.0;
+  cfg.opt.kind = "sgd";
+  const auto r = core::run_experiment(cfg);
+  // Params never move: the final model equals w0 exactly.
+  const auto data = ml::Dataset::synthesize(cfg.data);
+  const auto model = ml::make_model(cfg.model, data.dim(), data.num_classes());
+  std::vector<float> w0(model->num_params());
+  Rng rng(cfg.seed, 0x1717);
+  model->init_params(w0, rng);
+  EXPECT_EQ(r.final_params, w0);
+}
+
+TEST(EdgeStages, SingleStageEqualsPlainRun) {
+  core::ExperimentConfig cfg;
+  cfg.num_workers = 2;
+  cfg.num_servers = 1;
+  cfg.max_iters = 25;
+  cfg.model.kind = "softmax";
+  cfg.data.num_train = 128;
+  cfg.data.num_test = 64;
+  cfg.batch_size = 8;
+  const auto plain = core::run_experiment(cfg);
+  const auto staged = core::run_stages({cfg});
+  EXPECT_DOUBLE_EQ(staged.final_accuracy, plain.final_accuracy);
+  EXPECT_DOUBLE_EQ(staged.total_time, plain.total_time);
+}
+
+TEST(EdgeDrop, StragglerUpdatesStillApplied) {
+  // Drop-stragglers advances without the slow worker, but its late pushes
+  // must still reach the parameters (the paper drops WAITING, not updates).
+  core::ExperimentConfig cfg;
+  cfg.num_workers = 4;
+  cfg.num_servers = 1;
+  cfg.max_iters = 40;
+  cfg.sync.kind = "drop";
+  cfg.sync.drop_nt = 3;
+  cfg.model.kind = "softmax";
+  cfg.data.num_train = 256;
+  cfg.data.num_test = 64;
+  cfg.batch_size = 8;
+  cfg.compute.kind = "persistent";
+  cfg.compute.slowdown = 4.0;
+  const auto r = core::run_experiment(cfg);
+  EXPECT_EQ(r.iterations, 40);
+  // All 4 workers' pushes applied: messages include 4 * 40 pushes.
+  EXPECT_GE(r.messages, 4u * 40u * 2u);
+}
+
+}  // namespace
+}  // namespace fluentps

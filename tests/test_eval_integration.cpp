@@ -1,0 +1,147 @@
+// Evaluation helpers and cross-backend integration checks.
+#include <gtest/gtest.h>
+
+#include "core/fluentps.h"
+#include "ml/eval.h"
+
+namespace fluentps {
+namespace {
+
+TEST(Eval, PerfectClassifierScoresOne) {
+  // Construct a dataset and a softmax whose weights literally encode the
+  // teacher's labels via a one-hot trick on a tiny, separable dataset.
+  ml::DataSpec spec;
+  spec.dim = 4;
+  spec.num_classes = 2;
+  spec.num_train = 64;
+  spec.num_test = 64;
+  spec.label_noise = 0.0;
+  spec.seed = 21;
+  const auto data = ml::Dataset::synthesize(spec);
+  const auto model = ml::make_model({.kind = "mlp", .hidden = 32}, 4, 2);
+  std::vector<float> w(model->num_params());
+  Rng rng(3);
+  model->init_params(w, rng);
+  ml::Workspace ws;
+  // Overfit the test split directly (legitimate here: we only check that
+  // accuracy -> high and loss -> low when the model fits the data).
+  std::vector<float> g(w.size());
+  const ml::Batch all = data.test_batch(0, data.num_test());
+  for (int i = 0; i < 300; ++i) {
+    model->grad(w, all, g, ws);
+    for (std::size_t j = 0; j < w.size(); ++j) w[j] -= 0.5f * g[j];
+  }
+  EXPECT_GT(ml::test_accuracy(*model, w, data, ws), 0.95);
+  EXPECT_LT(ml::test_loss(*model, w, data, ws), 0.2);
+}
+
+TEST(Eval, BatchedEqualsUnbatched) {
+  ml::DataSpec spec;
+  spec.dim = 6;
+  spec.num_classes = 3;
+  spec.num_train = 32;
+  spec.num_test = 100;  // not a multiple of the eval batch
+  const auto data = ml::Dataset::synthesize(spec);
+  const auto model = ml::make_model({.kind = "softmax"}, 6, 3);
+  std::vector<float> w(model->num_params());
+  Rng rng(4);
+  model->init_params(w, rng);
+  ml::Workspace ws;
+  const double a7 = ml::test_accuracy(*model, w, data, ws, 7);
+  const double a100 = ml::test_accuracy(*model, w, data, ws, 100);
+  const double a256 = ml::test_accuracy(*model, w, data, ws, 256);
+  EXPECT_DOUBLE_EQ(a7, a100);
+  EXPECT_DOUBLE_EQ(a100, a256);
+  EXPECT_NEAR(ml::test_loss(*model, w, data, ws, 7), ml::test_loss(*model, w, data, ws, 256),
+              1e-9);
+}
+
+core::ExperimentConfig n1_config() {
+  core::ExperimentConfig cfg;
+  cfg.num_workers = 1;
+  cfg.num_servers = 1;
+  cfg.max_iters = 50;
+  cfg.sync.kind = "bsp";
+  cfg.model.kind = "softmax";
+  cfg.data.num_train = 512;
+  cfg.data.num_test = 256;
+  cfg.opt.kind = "sgd";
+  cfg.opt.lr.base = 0.3;
+  cfg.batch_size = 16;
+  cfg.seed = 9;
+  return cfg;
+}
+
+TEST(CrossBackend, SingleWorkerBspBitIdentical) {
+  // With N = M = 1 under BSP, both backends execute the same arithmetic in
+  // the same order: final parameters must match exactly.
+  auto cfg = n1_config();
+  cfg.backend = core::Backend::kSim;
+  const auto sim = core::run_experiment(cfg);
+  cfg.backend = core::Backend::kThreads;
+  const auto thr = core::run_experiment(cfg);
+  ASSERT_EQ(sim.final_params.size(), thr.final_params.size());
+  for (std::size_t i = 0; i < sim.final_params.size(); ++i) {
+    ASSERT_EQ(sim.final_params[i], thr.final_params[i]) << "param " << i;
+  }
+  EXPECT_DOUBLE_EQ(sim.final_accuracy, thr.final_accuracy);
+}
+
+TEST(CrossBackend, BspMultiWorkerSameAccuracyBallpark) {
+  // Multi-worker BSP applies the same per-iteration mean update in both
+  // backends, but float summation order differs with arrival order; accuracy
+  // must agree closely though bits may not.
+  auto cfg = n1_config();
+  cfg.num_workers = 4;
+  cfg.num_servers = 2;
+  cfg.max_iters = 80;
+  cfg.backend = core::Backend::kSim;
+  const auto sim = core::run_experiment(cfg);
+  cfg.backend = core::Backend::kThreads;
+  const auto thr = core::run_experiment(cfg);
+  EXPECT_NEAR(sim.final_accuracy, thr.final_accuracy, 0.06);
+}
+
+TEST(Trace, RecordsRequestedIterations) {
+  auto cfg = n1_config();
+  cfg.num_workers = 3;
+  cfg.max_iters = 20;
+  cfg.trace_iters = 5;
+  cfg.backend = core::Backend::kSim;
+  const auto r = core::run_experiment(cfg);
+  EXPECT_EQ(r.trace.size(), 3u * 5u);
+  for (const auto& t : r.trace) {
+    EXPECT_LT(t.iter, 5);
+    EXPECT_LE(t.compute_start, t.compute_end);
+    EXPECT_LE(t.compute_end, t.sync_end);
+  }
+}
+
+TEST(Trace, OffByDefault) {
+  auto cfg = n1_config();
+  cfg.backend = core::Backend::kSim;
+  EXPECT_TRUE(core::run_experiment(cfg).trace.empty());
+}
+
+TEST(Trace, IterationsChainInTime) {
+  auto cfg = n1_config();
+  cfg.max_iters = 10;
+  cfg.trace_iters = 10;
+  cfg.backend = core::Backend::kSim;
+  const auto r = core::run_experiment(cfg);
+  // Single worker: iteration k+1's compute starts exactly at iteration k's
+  // sync_end.
+  for (std::size_t i = 1; i < r.trace.size(); ++i) {
+    EXPECT_DOUBLE_EQ(r.trace[i].compute_start, r.trace[i - 1].sync_end);
+  }
+}
+
+TEST(Histogram, QuantileOneReturnsMax) {
+  IntHistogram h(16);
+  h.add(3);
+  h.add(7);
+  EXPECT_EQ(h.quantile(1.0), 7);
+}
+
+}  // namespace
+}  // namespace fluentps

@@ -1,0 +1,188 @@
+// Tests for the extension features: parameter carry-over + multi-stage
+// elastic training, runtime sync-model switching, and the Gaia-style
+// significance filter.
+#include <gtest/gtest.h>
+
+#include "core/fluentps.h"
+#include "ml/eval.h"
+
+namespace fluentps {
+namespace {
+
+core::ExperimentConfig small_config() {
+  core::ExperimentConfig cfg;
+  cfg.backend = core::Backend::kSim;
+  cfg.num_workers = 4;
+  cfg.num_servers = 2;
+  cfg.max_iters = 100;
+  cfg.sync.kind = "ssp";
+  cfg.sync.staleness = 2;
+  cfg.model.kind = "softmax";
+  cfg.data.num_train = 2048;
+  cfg.data.num_test = 512;
+  cfg.opt.kind = "sgd";
+  cfg.opt.lr.base = 0.4;
+  cfg.batch_size = 32;
+  cfg.compute.base_seconds = 0.02;
+  cfg.seed = 13;
+  return cfg;
+}
+
+TEST(InitialParams, CarriedParamsAreUsedVerbatim) {
+  auto cfg = small_config();
+  const auto first = core::run_experiment(cfg);
+  ASSERT_FALSE(first.final_params.empty());
+
+  // A second run starting from the first's parameters must begin at the
+  // first's accuracy (evaluate the carried parameters directly).
+  const auto data = ml::Dataset::synthesize(cfg.data);
+  const auto model = ml::make_model(cfg.model, data.dim(), data.num_classes());
+  ml::Workspace ws;
+  const double carried_acc = ml::test_accuracy(*model, first.final_params, data, ws);
+  EXPECT_DOUBLE_EQ(carried_acc, first.final_accuracy);
+}
+
+TEST(InitialParams, WrongSizeAborts) {
+  auto cfg = small_config();
+  cfg.initial_params.assign(3, 0.0f);
+  EXPECT_DEATH((void)core::run_experiment(cfg), "initial_params size");
+}
+
+TEST(StageRunner, AccuracyImprovesAcrossStages) {
+  auto stage1 = small_config();
+  stage1.max_iters = 60;
+  auto stage2 = stage1;
+  stage2.num_workers = 8;  // scale out
+  stage2.num_servers = 3;  // EPS re-places the carried parameters
+  stage2.sync.kind = "pssp";
+  stage2.sync.prob = 0.5;
+  stage2.max_iters = 60;
+
+  auto single = stage1;  // same budget in one stage for comparison
+  const auto lone = core::run_experiment(single);
+
+  const auto staged = core::run_stages({stage1, stage2});
+  ASSERT_EQ(staged.stages.size(), 2u);
+  EXPECT_EQ(staged.total_iterations, 120);
+  EXPECT_GT(staged.final_accuracy, lone.final_accuracy - 0.05)
+      << "continuing training must not regress materially";
+  EXPECT_GT(staged.stages[1].final_accuracy, 0.3);
+  EXPECT_NEAR(staged.total_time, staged.stages[0].total_time + staged.stages[1].total_time,
+              1e-9);
+}
+
+TEST(StageRunner, CurveTimesAreMonotonicAcrossStages) {
+  auto s1 = small_config();
+  s1.eval_every = 25;
+  auto s2 = s1;
+  s2.num_workers = 2;
+  const auto staged = core::run_stages({s1, s2});
+  for (std::size_t i = 1; i < staged.curve.size(); ++i) {
+    EXPECT_GE(staged.curve[i].time, staged.curve[i - 1].time) << i;
+  }
+}
+
+TEST(StageRunner, IncompatibleModelsAbort) {
+  auto s1 = small_config();
+  auto s2 = small_config();
+  s2.model.kind = "mlp";
+  EXPECT_DEATH((void)core::run_stages({s1, s2}), "same model");
+}
+
+TEST(SyncSchedule, SwitchToAspStopsBuffering) {
+  auto cfg = small_config();
+  cfg.num_workers = 8;
+  cfg.num_servers = 1;
+  cfg.max_iters = 200;
+  cfg.sync.kind = "bsp";  // heavy blocking
+  cfg.compute.kind = "persistent";
+  cfg.compute.slowdown = 3.0;
+  const auto strict = core::run_experiment(cfg);
+
+  cfg.sync_schedule = {{20, ps::SyncModelSpec{.kind = "asp"}}};
+  const auto relaxed = core::run_experiment(cfg);
+  EXPECT_LT(relaxed.dpr_total, strict.dpr_total)
+      << "after switching to ASP no further pulls may buffer";
+  EXPECT_LT(relaxed.total_time, strict.total_time);
+  EXPECT_EQ(relaxed.iterations, cfg.max_iters);
+}
+
+TEST(SyncSchedule, TightenFromAspToBspCompletes) {
+  auto cfg = small_config();
+  cfg.sync.kind = "asp";
+  cfg.sync_schedule = {{30, ps::SyncModelSpec{.kind = "bsp"}}};
+  const auto r = core::run_experiment(cfg);
+  EXPECT_EQ(r.iterations, cfg.max_iters);
+  EXPECT_GT(r.dpr_total, 0) << "BSP phase must block";
+}
+
+TEST(SyncSchedule, MultipleSwitches) {
+  auto cfg = small_config();
+  cfg.sync.kind = "bsp";
+  cfg.sync_schedule = {{25, ps::SyncModelSpec{.kind = "asp"}},
+                       {50, ps::SyncModelSpec{.kind = "ssp", .staleness = 2}},
+                       {75, ps::SyncModelSpec{.kind = "pssp", .staleness = 2, .prob = 0.5}}};
+  const auto r = core::run_experiment(cfg);
+  EXPECT_EQ(r.iterations, cfg.max_iters);
+  EXPECT_GT(r.final_accuracy, 0.3);
+}
+
+TEST(SyncSchedule, WorksOnThreadBackend) {
+  auto cfg = small_config();
+  cfg.backend = core::Backend::kThreads;
+  cfg.sync.kind = "bsp";
+  cfg.sync_schedule = {{20, ps::SyncModelSpec{.kind = "asp"}}};
+  const auto r = core::run_experiment(cfg);
+  EXPECT_EQ(r.iterations, cfg.max_iters);
+}
+
+TEST(SignificanceFilter, DisabledByDefault) {
+  const auto r = core::run_experiment(small_config());
+  EXPECT_EQ(r.pushes_filtered, 0);
+}
+
+TEST(SignificanceFilter, FiltersPushesAndSavesBytes) {
+  auto cfg = small_config();
+  cfg.max_iters = 150;
+  const auto base = core::run_experiment(cfg);
+  cfg.push_significance_threshold = 0.08;
+  const auto filtered = core::run_experiment(cfg);
+  EXPECT_GT(filtered.pushes_filtered, 0);
+  EXPECT_LT(filtered.bytes_total, base.bytes_total)
+      << "metadata-only pushes must cut traffic";
+  EXPECT_GT(filtered.final_accuracy, base.final_accuracy - 0.08)
+      << "a mild threshold must not wreck convergence";
+}
+
+TEST(SignificanceFilter, HigherThresholdFiltersMore) {
+  auto cfg = small_config();
+  cfg.push_significance_threshold = 0.005;
+  const auto low = core::run_experiment(cfg);
+  cfg.push_significance_threshold = 0.05;
+  const auto high = core::run_experiment(cfg);
+  EXPECT_GT(high.pushes_filtered, low.pushes_filtered);
+}
+
+TEST(SignificanceFilter, WorksOnThreadBackend) {
+  auto cfg = small_config();
+  cfg.backend = core::Backend::kThreads;
+  cfg.push_significance_threshold = 0.08;
+  const auto r = core::run_experiment(cfg);
+  EXPECT_EQ(r.iterations, cfg.max_iters);
+  EXPECT_GT(r.pushes_filtered, 0);
+}
+
+TEST(SignificanceFilter, FinalPendingAlwaysPushed) {
+  // Even with an absurd threshold, the last iteration flushes, so the global
+  // model is not frozen at w0.
+  auto cfg = small_config();
+  cfg.push_significance_threshold = 1e9;
+  const auto r = core::run_experiment(cfg);
+  EXPECT_GT(r.pushes_filtered, 0);
+  double drift = 0.0;
+  for (const float v : r.final_params) drift += std::abs(static_cast<double>(v));
+  EXPECT_GT(drift, 0.0);
+}
+
+}  // namespace
+}  // namespace fluentps

@@ -1,0 +1,126 @@
+// Randomized robustness tests: the message parser on fuzzed bytes, the sync
+// engine under adversarial schedules, and merge-consistency properties.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "net/message.h"
+#include "ps/sync_engine.h"
+
+namespace fluentps {
+namespace {
+
+TEST(Fuzz, MessageParserNeverCrashesOnRandomBytes) {
+  Rng rng(404);
+  for (int trial = 0; trial < 2000; ++trial) {
+    const auto n = static_cast<std::size_t>(rng.uniform_u64(128));
+    std::vector<std::uint8_t> junk(n);
+    for (auto& b : junk) b = static_cast<std::uint8_t>(rng.uniform_u64(256));
+    net::Message out;
+    (void)net::Message::deserialize(junk, &out);  // may fail, must not crash
+  }
+}
+
+TEST(Fuzz, MessageParserRejectsBitFlippedFrames) {
+  // Flip one byte of a valid frame; the parser must either reject it or
+  // produce a structurally valid message (never crash / overflow).
+  net::Message m;
+  m.type = net::MsgType::kPush;
+  m.values = {1.0f, 2.0f, 3.0f, 4.0f};
+  const auto frame = m.serialize();
+  Rng rng(405);
+  for (int trial = 0; trial < 500; ++trial) {
+    auto mutated = frame;
+    const auto pos = static_cast<std::size_t>(rng.uniform_u64(mutated.size()));
+    mutated[pos] ^= static_cast<std::uint8_t>(1 + rng.uniform_u64(255));
+    net::Message out;
+    if (net::Message::deserialize(mutated, &out)) {
+      EXPECT_LE(static_cast<std::uint8_t>(out.type),
+                static_cast<std::uint8_t>(net::MsgType::kShutdown));
+    }
+  }
+}
+
+TEST(Fuzz, EngineSurvivesAdversarialSchedules) {
+  // Random models, random worker interleavings with repeats, duplicate
+  // progress values, and out-of-order (monotone-per-worker not enforced):
+  // the engine must never abort, and core invariants must hold.
+  const ps::SyncModelSpec zoo[] = {
+      {.kind = "bsp"},
+      {.kind = "asp"},
+      {.kind = "ssp", .staleness = 1},
+      {.kind = "ssp", .staleness = 7},
+      {.kind = "pssp", .staleness = 2, .prob = 0.5},
+      {.kind = "drop", .drop_nt = 2},
+      {.kind = "dsps", .staleness = 2},
+  };
+  Rng rng(406);
+  for (int trial = 0; trial < 30; ++trial) {
+    const auto& spec = zoo[rng.uniform_u64(std::size(zoo))];
+    const auto n = static_cast<std::uint32_t>(2 + rng.uniform_u64(6));
+    ps::SyncEngine::Spec es;
+    es.num_workers = n;
+    es.mode = rng.bernoulli(0.5) ? ps::DprMode::kLazy : ps::DprMode::kSoftBarrier;
+    es.model = ps::make_sync_model(spec, n);
+    es.seed = 1000 + static_cast<std::uint64_t>(trial);
+    ps::SyncEngine e(std::move(es));
+    std::uint64_t req = 1;
+    std::int64_t released = 0;
+    for (int step = 0; step < 500; ++step) {
+      const auto w = static_cast<std::uint32_t>(rng.uniform_u64(n));
+      const auto p = static_cast<std::int64_t>(rng.uniform_u64(20));
+      if (rng.bernoulli(0.6)) {
+        released += static_cast<std::int64_t>(e.on_push(w, p).size());
+      } else {
+        (void)e.on_pull(w, p, req++);
+      }
+      ASSERT_GE(e.v_train(), 0);
+      ASSERT_LE(e.v_train(), 21);
+      ASSERT_GE(e.fastest(), -1);
+    }
+    // Conservation: everything released was once buffered.
+    ASSERT_LE(released, e.dpr_total());
+    ASSERT_EQ(e.dpr_total() - released, static_cast<std::int64_t>(e.buffered()));
+  }
+}
+
+TEST(Fuzz, HistogramMergeIsOrderIndependent) {
+  Rng rng(407);
+  IntHistogram a(32), b(32), ab(32), ba(32);
+  for (int i = 0; i < 500; ++i) {
+    const auto v = static_cast<std::int64_t>(rng.uniform_u64(48));
+    if (rng.bernoulli(0.5)) {
+      a.add(v);
+    } else {
+      b.add(v);
+    }
+  }
+  ab.merge(a);
+  ab.merge(b);
+  ba.merge(b);
+  ba.merge(a);
+  EXPECT_EQ(ab.count(), ba.count());
+  for (std::size_t v = 0; v <= 32; ++v) EXPECT_EQ(ab.bucket(v), ba.bucket(v)) << v;
+  EXPECT_EQ(ab.overflow(), ba.overflow());
+  EXPECT_DOUBLE_EQ(ab.mean(), ba.mean());
+}
+
+TEST(Fuzz, StreamingStatsMergeMatchesSequential) {
+  Rng rng(408);
+  for (int trial = 0; trial < 20; ++trial) {
+    StreamingStats parts[4], all;
+    for (int i = 0; i < 400; ++i) {
+      const double x = rng.normal(3.0, 7.0);
+      parts[rng.uniform_u64(4)].add(x);
+      all.add(x);
+    }
+    StreamingStats merged;
+    for (auto& p : parts) merged.merge(p);
+    EXPECT_EQ(merged.count(), all.count());
+    EXPECT_NEAR(merged.mean(), all.mean(), 1e-9);
+    EXPECT_NEAR(merged.variance(), all.variance(), 1e-6);
+  }
+}
+
+}  // namespace
+}  // namespace fluentps

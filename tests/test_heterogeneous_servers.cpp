@@ -1,0 +1,82 @@
+// Per-server synchronization models (Figure 2 capability).
+#include <gtest/gtest.h>
+
+#include "core/fluentps.h"
+
+namespace fluentps {
+namespace {
+
+core::ExperimentConfig base() {
+  core::ExperimentConfig cfg;
+  cfg.backend = core::Backend::kSim;
+  cfg.num_workers = 6;
+  cfg.num_servers = 3;
+  cfg.max_iters = 120;
+  cfg.model.kind = "softmax";
+  cfg.data.num_train = 1024;
+  cfg.data.num_test = 256;
+  cfg.opt.kind = "sgd";
+  cfg.opt.lr.base = 0.4;
+  cfg.batch_size = 16;
+  cfg.compute.kind = "persistent";  // a straggler makes sync models matter
+  cfg.compute.slowdown = 3.0;
+  cfg.seed = 31;
+  return cfg;
+}
+
+TEST(PerServerSync, MixedModelsCompleteAndLearn) {
+  auto cfg = base();
+  cfg.per_server_sync = {{.kind = "ssp", .staleness = 2},
+                         {.kind = "pssp", .staleness = 2, .prob = 0.5},
+                         {.kind = "asp"}};
+  const auto r = core::run_experiment(cfg);
+  EXPECT_EQ(r.iterations, cfg.max_iters);
+  EXPECT_GT(r.final_accuracy, 0.3);
+}
+
+TEST(PerServerSync, DprVolumeBetweenUniformExtremes) {
+  auto asp = base();
+  asp.sync.kind = "asp";
+  const auto r_asp = core::run_experiment(asp);
+
+  auto bsp = base();
+  bsp.sync.kind = "bsp";
+  const auto r_bsp = core::run_experiment(bsp);
+
+  auto mixed = base();
+  mixed.per_server_sync = {{.kind = "bsp"}, {.kind = "asp"}, {.kind = "asp"}};
+  const auto r_mixed = core::run_experiment(mixed);
+
+  EXPECT_EQ(r_asp.dpr_total, 0);
+  EXPECT_GT(r_bsp.dpr_total, 0);
+  EXPECT_GT(r_mixed.dpr_total, r_asp.dpr_total);
+  EXPECT_LT(r_mixed.dpr_total, r_bsp.dpr_total)
+      << "only one of three shards blocks in the mixed cluster";
+}
+
+TEST(PerServerSync, WrongSizeAborts) {
+  auto cfg = base();
+  cfg.per_server_sync = {{.kind = "asp"}};  // 1 entry, 3 servers
+  EXPECT_DEATH((void)core::run_experiment(cfg), "one entry per server");
+}
+
+TEST(PerServerSync, RejectedOnBaselineArch) {
+  auto cfg = base();
+  cfg.arch = core::Arch::kPsLite;
+  cfg.per_server_sync = {{.kind = "asp"}, {.kind = "asp"}, {.kind = "asp"}};
+  EXPECT_DEATH((void)core::run_experiment(cfg), "FluentPS architecture");
+}
+
+TEST(PerServerSync, WorksOnThreadBackend) {
+  auto cfg = base();
+  cfg.backend = core::Backend::kThreads;
+  cfg.compute.kind = "lognormal";
+  cfg.per_server_sync = {{.kind = "ssp", .staleness = 2},
+                         {.kind = "asp"},
+                         {.kind = "pssp", .staleness = 2, .prob = 0.5}};
+  const auto r = core::run_experiment(cfg);
+  EXPECT_EQ(r.iterations, cfg.max_iters);
+}
+
+}  // namespace
+}  // namespace fluentps

@@ -1,0 +1,177 @@
+// Unit tests for Metrics, Config, Table and logging.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <thread>
+
+#include "common/config.h"
+#include "common/logging.h"
+#include "common/metrics.h"
+#include "common/table.h"
+
+namespace fluentps {
+namespace {
+
+TEST(Metrics, CountersAccumulate) {
+  Metrics m;
+  m.incr("a");
+  m.incr("a", 4);
+  EXPECT_EQ(m.counter("a"), 5);
+  EXPECT_EQ(m.counter("missing"), 0);
+}
+
+TEST(Metrics, Gauges) {
+  Metrics m;
+  m.set_gauge("x", 1.5);
+  m.set_gauge("x", 2.5);
+  EXPECT_DOUBLE_EQ(m.gauge("x"), 2.5);
+  EXPECT_DOUBLE_EQ(m.gauge("missing"), 0.0);
+}
+
+TEST(Metrics, Distributions) {
+  Metrics m;
+  m.observe("lat", 1.0);
+  m.observe("lat", 3.0);
+  const auto d = m.distribution("lat");
+  EXPECT_EQ(d.count(), 2u);
+  EXPECT_DOUBLE_EQ(d.mean(), 2.0);
+}
+
+TEST(Metrics, PrefixSum) {
+  Metrics m;
+  m.incr("server.0.dpr", 3);
+  m.incr("server.1.dpr", 4);
+  m.incr("worker.0.dpr", 100);
+  EXPECT_EQ(m.counter_sum_prefix("server."), 7);
+}
+
+TEST(Metrics, SnapshotSorted) {
+  Metrics m;
+  m.incr("b");
+  m.incr("a");
+  const auto all = m.counters();
+  ASSERT_EQ(all.size(), 2u);
+  EXPECT_EQ(all[0].first, "a");
+  EXPECT_EQ(all[1].first, "b");
+}
+
+TEST(Metrics, ConcurrentIncrements) {
+  Metrics m;
+  {
+    std::vector<std::jthread> threads;
+    for (int t = 0; t < 4; ++t) {
+      threads.emplace_back([&m] {
+        for (int i = 0; i < 10000; ++i) m.incr("hot");
+      });
+    }
+  }
+  EXPECT_EQ(m.counter("hot"), 40000);
+}
+
+TEST(Metrics, Reset) {
+  Metrics m;
+  m.incr("a");
+  m.reset();
+  EXPECT_EQ(m.counter("a"), 0);
+}
+
+TEST(Config, FromArgsParsesFlags) {
+  const char* argv[] = {"prog", "--workers=8", "servers=2", "--name=test", "positional"};
+  const auto cfg = Config::from_args(5, argv);
+  EXPECT_EQ(cfg.get_int("workers"), 8);
+  EXPECT_EQ(cfg.get_int("servers"), 2);
+  EXPECT_EQ(cfg.get_string("name"), "test");
+  ASSERT_EQ(cfg.positional().size(), 1u);
+  EXPECT_EQ(cfg.positional()[0], "positional");
+}
+
+TEST(Config, TypedGettersWithFallbacks) {
+  Config cfg;
+  cfg.set("f", "2.5");
+  cfg.set("b", "true");
+  cfg.set("i", "-7");
+  EXPECT_DOUBLE_EQ(cfg.get_double("f"), 2.5);
+  EXPECT_TRUE(cfg.get_bool("b"));
+  EXPECT_EQ(cfg.get_int("i"), -7);
+  EXPECT_DOUBLE_EQ(cfg.get_double("missing", 9.5), 9.5);
+  EXPECT_TRUE(cfg.get_bool("missing", true));
+  EXPECT_EQ(cfg.get_string("missing", "dft"), "dft");
+}
+
+TEST(Config, BoolVariants) {
+  Config cfg;
+  for (const char* v : {"1", "true", "yes", "on"}) {
+    cfg.set("k", v);
+    EXPECT_TRUE(cfg.get_bool("k")) << v;
+  }
+  cfg.set("k", "0");
+  EXPECT_FALSE(cfg.get_bool("k"));
+}
+
+TEST(Config, FromTextWithComments) {
+  const auto cfg = Config::from_text("a=1\n# comment line\n  b = skipped? no: b-has-space\nc=3 # trailing\n\n");
+  EXPECT_EQ(cfg.get_int("a"), 1);
+  EXPECT_EQ(cfg.get_string("c"), "3");
+  EXPECT_TRUE(cfg.has("c"));
+}
+
+TEST(Config, OverwriteKeepsLast) {
+  const char* argv[] = {"prog", "--k=1", "--k=2"};
+  const auto cfg = Config::from_args(3, argv);
+  EXPECT_EQ(cfg.get_int("k"), 2);
+}
+
+TEST(Table, AsciiRendering) {
+  Table t("demo");
+  t.add("col1", "col2");
+  t.add(1, 2.5);
+  const auto s = t.to_ascii();
+  EXPECT_NE(s.find("demo"), std::string::npos);
+  EXPECT_NE(s.find("col1"), std::string::npos);
+  EXPECT_NE(s.find("2.500"), std::string::npos);
+}
+
+TEST(Table, CsvEscaping) {
+  Table t;
+  t.add_row({"a,b", "plain", "with\"quote"});
+  const auto csv = t.to_csv();
+  EXPECT_NE(csv.find("\"a,b\""), std::string::npos);
+  EXPECT_NE(csv.find("plain"), std::string::npos);
+  EXPECT_NE(csv.find("\"with\"\"quote\""), std::string::npos);
+}
+
+TEST(Table, NumFormatting) {
+  EXPECT_EQ(Table::num(1.23456, 2), "1.23");
+  EXPECT_EQ(Table::num(2.0, 0), "2");
+}
+
+TEST(Logging, LevelFilter) {
+  std::ostringstream sink;
+  log::set_sink(&sink);
+  log::set_level(log::Level::kWarn);
+  FPS_LOG(Info) << "hidden";
+  FPS_LOG(Warn) << "visible";
+  log::set_sink(nullptr);
+  log::set_level(log::Level::kInfo);
+  EXPECT_EQ(sink.str().find("hidden"), std::string::npos);
+  EXPECT_NE(sink.str().find("visible"), std::string::npos);
+}
+
+TEST(Logging, ParseLevel) {
+  EXPECT_EQ(log::parse_level("debug"), log::Level::kDebug);
+  EXPECT_EQ(log::parse_level("WARN"), log::Level::kWarn);
+  EXPECT_EQ(log::parse_level("Error"), log::Level::kError);
+  EXPECT_EQ(log::parse_level("off"), log::Level::kOff);
+  EXPECT_EQ(log::parse_level("bogus"), log::Level::kInfo);
+}
+
+TEST(Logging, CheckPassesSilently) {
+  FPS_CHECK(1 + 1 == 2) << "never printed";
+}
+
+TEST(Logging, CheckAborts) {
+  EXPECT_DEATH({ FPS_CHECK(false) << "boom"; }, "CHECK failed");
+}
+
+}  // namespace
+}  // namespace fluentps

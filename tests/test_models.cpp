@@ -1,0 +1,197 @@
+// Model zoo tests: layer maps, initialization statistics, numeric gradient
+// checks (parameterized over all three architectures), and training sanity.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "common/rng.h"
+#include "ml/model.h"
+#include "ml/models/resmlp.h"
+#include "ml/ops.h"
+
+namespace fluentps::ml {
+namespace {
+
+struct ModelCase {
+  const char* name;
+  ModelSpec spec;
+  std::size_t dim;
+  std::size_t classes;
+};
+
+class ModelTest : public ::testing::TestWithParam<ModelCase> {
+ protected:
+  std::unique_ptr<Model> make() const {
+    const auto& p = GetParam();
+    return make_model(p.spec, p.dim, p.classes);
+  }
+
+  /// A tiny deterministic batch.
+  struct Data {
+    std::vector<float> X;
+    std::vector<int> y;
+    Batch batch;
+  };
+  Data make_batch(std::size_t n) const {
+    Data d;
+    const auto& p = GetParam();
+    Rng rng(77);
+    d.X.resize(n * p.dim);
+    d.y.resize(n);
+    for (auto& x : d.X) x = static_cast<float>(rng.normal());
+    for (auto& y : d.y) y = static_cast<int>(rng.uniform_u64(p.classes));
+    d.batch = Batch{d.X.data(), d.y.data(), n, p.dim};
+    return d;
+  }
+};
+
+TEST_P(ModelTest, LayerSizesSumToNumParams) {
+  const auto model = make();
+  const auto sizes = model->layer_sizes();
+  EXPECT_FALSE(sizes.empty());
+  EXPECT_EQ(std::accumulate(sizes.begin(), sizes.end(), std::size_t{0}), model->num_params());
+}
+
+TEST_P(ModelTest, InitIsDeterministic) {
+  const auto model = make();
+  std::vector<float> a(model->num_params()), b(model->num_params());
+  Rng r1(5), r2(5);
+  model->init_params(a, r1);
+  model->init_params(b, r2);
+  EXPECT_EQ(a, b);
+}
+
+TEST_P(ModelTest, InitHasFiniteBoundedValues) {
+  const auto model = make();
+  std::vector<float> w(model->num_params());
+  Rng rng(6);
+  model->init_params(w, rng);
+  for (const float x : w) {
+    ASSERT_TRUE(std::isfinite(x));
+    ASSERT_LT(std::abs(x), 10.0f);
+  }
+}
+
+TEST_P(ModelTest, LossMatchesGradReturn) {
+  const auto model = make();
+  std::vector<float> w(model->num_params()), g(model->num_params());
+  Rng rng(7);
+  model->init_params(w, rng);
+  Workspace ws;
+  const auto d = make_batch(5);
+  const double l1 = model->grad(w, d.batch, g, ws);
+  const double l2 = model->loss(w, d.batch, ws);
+  EXPECT_NEAR(l1, l2, 1e-9);
+}
+
+TEST_P(ModelTest, NumericGradientCheck) {
+  const auto model = make();
+  std::vector<float> w(model->num_params()), g(model->num_params());
+  Rng rng(8);
+  model->init_params(w, rng);
+  Workspace ws;
+  const auto d = make_batch(4);
+  model->grad(w, d.batch, g, ws);
+
+  // Check a deterministic sample of coordinates (all for small models).
+  Rng pick(9);
+  const std::size_t n_checks = std::min<std::size_t>(60, w.size());
+  const float eps = 1e-2f;
+  double max_rel = 0.0;
+  for (std::size_t t = 0; t < n_checks; ++t) {
+    const auto i = static_cast<std::size_t>(pick.uniform_u64(w.size()));
+    const float orig = w[i];
+    w[i] = orig + eps;
+    const double fp = model->loss(w, d.batch, ws);
+    w[i] = orig - eps;
+    const double fm = model->loss(w, d.batch, ws);
+    w[i] = orig;
+    const double numeric = (fp - fm) / (2.0 * eps);
+    const double denom = std::max({std::abs(numeric), std::abs(static_cast<double>(g[i])), 1e-3});
+    max_rel = std::max(max_rel, std::abs(numeric - g[i]) / denom);
+  }
+  EXPECT_LT(max_rel, 0.08) << "analytic vs numeric gradient mismatch";
+}
+
+TEST_P(ModelTest, GradientDescentReducesLoss) {
+  const auto model = make();
+  std::vector<float> w(model->num_params()), g(model->num_params());
+  Rng rng(10);
+  model->init_params(w, rng);
+  Workspace ws;
+  const auto d = make_batch(16);
+  const double before = model->loss(w, d.batch, ws);
+  // Step size small enough for the 27-block residual net to stay stable.
+  for (int step = 0; step < 150; ++step) {
+    model->grad(w, d.batch, g, ws);
+    for (std::size_t i = 0; i < w.size(); ++i) w[i] -= 0.05f * g[i];
+  }
+  const double after = model->loss(w, d.batch, ws);
+  EXPECT_TRUE(std::isfinite(after));
+  EXPECT_LT(after, before * 0.7) << "full-batch GD should overfit a tiny batch";
+}
+
+TEST_P(ModelTest, PredictReturnsValidClasses) {
+  const auto model = make();
+  std::vector<float> w(model->num_params());
+  Rng rng(11);
+  model->init_params(w, rng);
+  Workspace ws;
+  const auto d = make_batch(9);
+  std::vector<int> pred(9);
+  model->predict(w, d.batch, pred, ws);
+  for (const int p : pred) {
+    EXPECT_GE(p, 0);
+    EXPECT_LT(p, static_cast<int>(GetParam().classes));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModels, ModelTest,
+    ::testing::Values(ModelCase{"softmax", {.kind = "softmax"}, 12, 5},
+                      ModelCase{"mlp", {.kind = "mlp", .hidden = 16}, 12, 5},
+                      ModelCase{"resmlp_small", {.kind = "resmlp", .hidden = 8, .blocks = 3}, 12, 5},
+                      ModelCase{"resmlp_deep", {.kind = "resmlp", .hidden = 8, .blocks = 27}, 12, 5}),
+    [](const ::testing::TestParamInfo<ModelCase>& info) { return info.param.name; });
+
+TEST(ResMlp, DepthIs56WithPaperBlocks) {
+  ResMlp m(32, 16, 27, 10);
+  EXPECT_EQ(m.depth(), 56u);
+  // Layer map: stem (2) + 27 blocks * 4 segments + head (2).
+  EXPECT_EQ(m.layer_sizes().size(), 2u + 27u * 4u + 2u);
+}
+
+TEST(ResMlp, ForwardStableAtDepth) {
+  // The sqrt(blocks) residual scaling must keep activations bounded at init.
+  ResMlp m(32, 16, 27, 10);
+  std::vector<float> w(m.num_params());
+  Rng rng(12);
+  m.init_params(w, rng);
+  std::vector<float> X(8 * 32);
+  std::vector<int> y(8, 0);
+  for (auto& x : X) x = static_cast<float>(rng.normal());
+  Workspace ws;
+  const Batch batch{X.data(), y.data(), 8, 32};
+  const double loss = m.loss(w, batch, ws);
+  EXPECT_TRUE(std::isfinite(loss));
+  EXPECT_LT(loss, 10.0);
+}
+
+TEST(ModelFactory, RejectsUnknownKind) {
+  EXPECT_DEATH((void)make_model(ModelSpec{.kind = "transformer"}, 8, 2), "unknown model kind");
+}
+
+TEST(Workspace, ReusesStorage) {
+  Workspace ws;
+  auto a = ws.buf(0, 100);
+  EXPECT_EQ(a.size(), 100u);
+  auto b = ws.buf(0, 50);
+  EXPECT_EQ(b.size(), 50u);
+  EXPECT_EQ(ws.capacity_floats(), 100u) << "slot 0 keeps its high-water mark";
+  (void)ws.buf(3, 10);
+  EXPECT_EQ(ws.capacity_floats(), 110u);
+}
+
+}  // namespace
+}  // namespace fluentps::ml

@@ -1,0 +1,227 @@
+// Unit tests for messages and both transports.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <vector>
+
+#include "net/inproc_transport.h"
+#include "net/message.h"
+#include "net/sim_transport.h"
+
+namespace fluentps::net {
+namespace {
+
+Message sample_message() {
+  Message m;
+  m.type = MsgType::kPush;
+  m.src = 3;
+  m.dst = 7;
+  m.request_id = 0xDEADBEEF12345678ULL;
+  m.progress = -5;
+  m.worker_rank = 11;
+  m.server_rank = 2;
+  m.values = {1.5f, -2.0f, 3.25f};
+  return m;
+}
+
+TEST(Message, SerializeRoundTrip) {
+  const Message m = sample_message();
+  Message out;
+  ASSERT_TRUE(Message::deserialize(m.serialize(), &out));
+  EXPECT_EQ(out.type, m.type);
+  EXPECT_EQ(out.src, m.src);
+  EXPECT_EQ(out.dst, m.dst);
+  EXPECT_EQ(out.request_id, m.request_id);
+  EXPECT_EQ(out.progress, m.progress);
+  EXPECT_EQ(out.worker_rank, m.worker_rank);
+  EXPECT_EQ(out.server_rank, m.server_rank);
+  EXPECT_EQ(out.values, m.values);
+}
+
+TEST(Message, RoundTripAllTypes) {
+  for (std::uint8_t t = 0; t <= static_cast<std::uint8_t>(MsgType::kShutdown); ++t) {
+    Message m = sample_message();
+    m.type = static_cast<MsgType>(t);
+    Message out;
+    ASSERT_TRUE(Message::deserialize(m.serialize(), &out)) << static_cast<int>(t);
+    EXPECT_EQ(out.type, m.type);
+  }
+}
+
+TEST(Message, EmptyValuesRoundTrip) {
+  Message m = sample_message();
+  m.values.clear();
+  Message out;
+  ASSERT_TRUE(Message::deserialize(m.serialize(), &out));
+  EXPECT_TRUE(out.values.empty());
+}
+
+TEST(Message, TruncatedFrameRejected) {
+  auto frame = sample_message().serialize();
+  frame.resize(frame.size() - 5);
+  Message out;
+  EXPECT_FALSE(Message::deserialize(frame, &out));
+}
+
+TEST(Message, BadTypeRejected) {
+  auto frame = sample_message().serialize();
+  frame[0] = 250;  // invalid MsgType
+  Message out;
+  EXPECT_FALSE(Message::deserialize(frame, &out));
+}
+
+TEST(Message, WireBytesChargesHeaderPlusPayload) {
+  Message m = sample_message();
+  EXPECT_DOUBLE_EQ(m.wire_bytes(), kHeaderBytes + 3 * sizeof(float));
+  m.values.clear();
+  EXPECT_DOUBLE_EQ(m.wire_bytes(), kHeaderBytes);
+}
+
+TEST(Message, DebugStringMentionsType) {
+  EXPECT_NE(sample_message().to_debug_string().find("Push"), std::string::npos);
+  EXPECT_STREQ(to_string(MsgType::kPullResp), "PullResp");
+}
+
+TEST(InprocTransport, DeliversToHandler) {
+  InprocTransport t;
+  std::mutex mu;
+  std::condition_variable cv;
+  std::vector<std::int64_t> got;
+  t.register_node(1, [&](Message&& m) {
+    std::scoped_lock lock(mu);
+    got.push_back(m.progress);
+    cv.notify_one();
+  });
+  Message m;
+  m.dst = 1;
+  m.progress = 42;
+  t.send(std::move(m));
+  std::unique_lock lock(mu);
+  cv.wait(lock, [&] { return !got.empty(); });
+  EXPECT_EQ(got[0], 42);
+}
+
+TEST(InprocTransport, FifoPerDestination) {
+  InprocTransport t;
+  std::mutex mu;
+  std::condition_variable cv;
+  std::vector<std::int64_t> got;
+  t.register_node(1, [&](Message&& m) {
+    std::scoped_lock lock(mu);
+    got.push_back(m.progress);
+    cv.notify_one();
+  });
+  for (int i = 0; i < 100; ++i) {
+    Message m;
+    m.dst = 1;
+    m.progress = i;
+    t.send(std::move(m));
+  }
+  std::unique_lock lock(mu);
+  cv.wait(lock, [&] { return got.size() == 100; });
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(got[static_cast<std::size_t>(i)], i);
+}
+
+TEST(InprocTransport, UnknownDestinationDropped) {
+  InprocTransport t;
+  Message m;
+  m.dst = 99;
+  t.send(std::move(m));  // must not crash
+  t.shutdown();
+  EXPECT_EQ(t.delivered(), 0u);
+}
+
+TEST(InprocTransport, ShutdownDrainsQueuedMessages) {
+  InprocTransport t;
+  std::atomic<int> count{0};
+  t.register_node(1, [&](Message&&) { ++count; });
+  for (int i = 0; i < 500; ++i) {
+    Message m;
+    m.dst = 1;
+    t.send(std::move(m));
+  }
+  t.shutdown();  // must deliver everything already queued
+  EXPECT_EQ(count.load(), 500);
+  EXPECT_EQ(t.delivered(), 500u);
+}
+
+TEST(InprocTransport, TwoNodesExchange) {
+  InprocTransport t;
+  std::atomic<int> pongs{0};
+  t.register_node(1, [&t](Message&& m) {
+    if (m.type == MsgType::kPull) {
+      Message reply;
+      reply.type = MsgType::kPullResp;
+      reply.dst = m.src;
+      reply.src = m.dst;
+      t.send(std::move(reply));
+    }
+  });
+  t.register_node(2, [&](Message&& m) {
+    if (m.type == MsgType::kPullResp) ++pongs;
+  });
+  for (int i = 0; i < 10; ++i) {
+    Message m;
+    m.type = MsgType::kPull;
+    m.src = 2;
+    m.dst = 1;
+    t.send(std::move(m));
+  }
+  // Poll until delivered (bounded wait).
+  for (int spin = 0; spin < 1000 && pongs.load() < 10; ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(pongs.load(), 10);
+}
+
+TEST(SimTransport, DeliveryAtNetworkTime) {
+  sim::SimEnv env;
+  sim::NetworkSpec spec;
+  spec.latency_seconds = 0.001;
+  spec.bandwidth_bytes_per_sec = 1e6;
+  sim::NetworkModel net(spec, 2);
+  SimTransport t(env, net);
+  double delivered_at = -1.0;
+  t.register_node(1, [&](Message&&) { delivered_at = env.now(); });
+  Message m;
+  m.src = 0;
+  m.dst = 1;
+  m.values.resize(239);  // 956 bytes payload + 48 header = 1004 bytes
+  t.send(std::move(m));
+  env.run();
+  EXPECT_NEAR(delivered_at, 0.001 + 2 * 1004.0 / 1e6, 1e-9);
+  EXPECT_EQ(t.delivered(), 1u);
+}
+
+TEST(SimTransport, PreservesSendOrderSameRoute) {
+  sim::SimEnv env;
+  sim::NetworkModel net(sim::NetworkSpec{}, 2);
+  SimTransport t(env, net);
+  std::vector<std::int64_t> got;
+  t.register_node(1, [&](Message&& m) { got.push_back(m.progress); });
+  for (int i = 0; i < 20; ++i) {
+    Message m;
+    m.src = 0;
+    m.dst = 1;
+    m.progress = i;
+    t.send(std::move(m));
+  }
+  env.run();
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(got[static_cast<std::size_t>(i)], i);
+}
+
+TEST(SimTransport, UnknownDestinationDropped) {
+  sim::SimEnv env;
+  sim::NetworkModel net(sim::NetworkSpec{}, 2);
+  SimTransport t(env, net);
+  Message m;
+  m.dst = 55;
+  t.send(std::move(m));
+  env.run();
+  EXPECT_EQ(t.delivered(), 0u);
+}
+
+}  // namespace
+}  // namespace fluentps::net

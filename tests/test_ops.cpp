@@ -1,0 +1,198 @@
+// Unit tests for the dense kernels, including reference comparisons.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+#include "ml/ops.h"
+
+namespace fluentps::ml {
+namespace {
+
+std::vector<float> random_vec(std::size_t n, Rng& rng) {
+  std::vector<float> v(n);
+  for (auto& x : v) x = static_cast<float>(rng.normal());
+  return v;
+}
+
+/// Reference triple-loop GEMM C = A(MxK) * B(KxN).
+std::vector<float> ref_gemm(std::size_t M, std::size_t N, std::size_t K, const float* A,
+                            const float* B) {
+  std::vector<float> C(M * N, 0.0f);
+  for (std::size_t i = 0; i < M; ++i) {
+    for (std::size_t j = 0; j < N; ++j) {
+      double acc = 0.0;
+      for (std::size_t k = 0; k < K; ++k) acc += static_cast<double>(A[i * K + k]) * B[k * N + j];
+      C[i * N + j] = static_cast<float>(acc);
+    }
+  }
+  return C;
+}
+
+TEST(Ops, GemmNnMatchesReference) {
+  Rng rng(1);
+  const std::size_t M = 7, N = 5, K = 9;
+  const auto A = random_vec(M * K, rng);
+  const auto B = random_vec(K * N, rng);
+  std::vector<float> C(M * N, 99.0f);
+  gemm_nn(M, N, K, 1.0f, A.data(), B.data(), 0.0f, C.data());
+  const auto ref = ref_gemm(M, N, K, A.data(), B.data());
+  for (std::size_t i = 0; i < C.size(); ++i) EXPECT_NEAR(C[i], ref[i], 1e-4f) << i;
+}
+
+TEST(Ops, GemmNnAlphaBeta) {
+  Rng rng(2);
+  const std::size_t M = 3, N = 4, K = 2;
+  const auto A = random_vec(M * K, rng);
+  const auto B = random_vec(K * N, rng);
+  std::vector<float> C(M * N, 1.0f);
+  gemm_nn(M, N, K, 2.0f, A.data(), B.data(), 0.5f, C.data());
+  const auto ref = ref_gemm(M, N, K, A.data(), B.data());
+  for (std::size_t i = 0; i < C.size(); ++i) EXPECT_NEAR(C[i], 2.0f * ref[i] + 0.5f, 1e-4f);
+}
+
+TEST(Ops, GemmTnMatchesTransposedReference) {
+  Rng rng(3);
+  const std::size_t M = 6, N = 4, K = 8;  // A stored KxM
+  const auto A = random_vec(K * M, rng);
+  const auto B = random_vec(K * N, rng);
+  std::vector<float> C(M * N);
+  gemm_tn(M, N, K, 1.0f, A.data(), B.data(), 0.0f, C.data());
+  // Reference: At(MxK) with At[i,k] = A[k,i].
+  std::vector<float> At(M * K);
+  for (std::size_t k = 0; k < K; ++k) {
+    for (std::size_t i = 0; i < M; ++i) At[i * K + k] = A[k * M + i];
+  }
+  const auto ref = ref_gemm(M, N, K, At.data(), B.data());
+  for (std::size_t i = 0; i < C.size(); ++i) EXPECT_NEAR(C[i], ref[i], 1e-4f);
+}
+
+TEST(Ops, GemmNtMatchesTransposedReference) {
+  Rng rng(4);
+  const std::size_t M = 5, N = 7, K = 3;  // B stored NxK
+  const auto A = random_vec(M * K, rng);
+  const auto B = random_vec(N * K, rng);
+  std::vector<float> C(M * N);
+  gemm_nt(M, N, K, 1.0f, A.data(), B.data(), 0.0f, C.data());
+  std::vector<float> Bt(K * N);
+  for (std::size_t j = 0; j < N; ++j) {
+    for (std::size_t k = 0; k < K; ++k) Bt[k * N + j] = B[j * K + k];
+  }
+  const auto ref = ref_gemm(M, N, K, A.data(), Bt.data());
+  for (std::size_t i = 0; i < C.size(); ++i) EXPECT_NEAR(C[i], ref[i], 1e-4f);
+}
+
+TEST(Ops, AddBiasBroadcastsPerRow) {
+  std::vector<float> y{0, 0, 0, 1, 1, 1};
+  const std::vector<float> b{10, 20, 30};
+  add_bias(2, 3, b.data(), y.data());
+  EXPECT_FLOAT_EQ(y[0], 10);
+  EXPECT_FLOAT_EQ(y[4], 21);
+  EXPECT_FLOAT_EQ(y[5], 31);
+}
+
+TEST(Ops, BiasGradSumsRows) {
+  const std::vector<float> dy{1, 2, 3, 4, 5, 6};
+  std::vector<float> db(3, 99.0f);
+  bias_grad(2, 3, dy.data(), db.data());
+  EXPECT_FLOAT_EQ(db[0], 5);
+  EXPECT_FLOAT_EQ(db[1], 7);
+  EXPECT_FLOAT_EQ(db[2], 9);
+}
+
+TEST(Ops, ReluForwardBackward) {
+  std::vector<float> x{-1.0f, 0.0f, 2.0f};
+  relu_forward(x.data(), x.size());
+  EXPECT_FLOAT_EQ(x[0], 0.0f);
+  EXPECT_FLOAT_EQ(x[1], 0.0f);
+  EXPECT_FLOAT_EQ(x[2], 2.0f);
+  const std::vector<float> dy{5.0f, 5.0f, 5.0f};
+  std::vector<float> dx(3);
+  relu_backward(dy.data(), x.data(), dx.data(), 3);
+  EXPECT_FLOAT_EQ(dx[0], 0.0f);
+  EXPECT_FLOAT_EQ(dx[1], 0.0f);
+  EXPECT_FLOAT_EQ(dx[2], 5.0f);
+}
+
+TEST(Ops, SoftmaxProbsSumToOne) {
+  const std::vector<float> logits{1.0f, 2.0f, 3.0f, -1.0f, 0.0f, 1.0f};
+  const std::vector<int> labels{2, 0};
+  std::vector<float> probs(6);
+  softmax_xent_forward(2, 3, logits.data(), labels.data(), probs.data());
+  for (std::size_t b = 0; b < 2; ++b) {
+    double sum = 0.0;
+    for (std::size_t c = 0; c < 3; ++c) sum += probs[b * 3 + c];
+    EXPECT_NEAR(sum, 1.0, 1e-6);
+  }
+}
+
+TEST(Ops, SoftmaxLossForUniformLogits) {
+  const std::vector<float> logits{0.0f, 0.0f, 0.0f, 0.0f};
+  const std::vector<int> labels{1};
+  std::vector<float> probs(4);
+  const double loss = softmax_xent_forward(1, 4, logits.data(), labels.data(), probs.data());
+  EXPECT_NEAR(loss, std::log(4.0), 1e-6);
+}
+
+TEST(Ops, SoftmaxStableForLargeLogits) {
+  const std::vector<float> logits{1000.0f, 999.0f};
+  const std::vector<int> labels{0};
+  std::vector<float> probs(2);
+  const double loss = softmax_xent_forward(1, 2, logits.data(), labels.data(), probs.data());
+  EXPECT_TRUE(std::isfinite(loss));
+  EXPECT_GT(probs[0], probs[1]);
+}
+
+TEST(Ops, SoftmaxGradientNumericCheck) {
+  Rng rng(5);
+  const std::size_t B = 3, C = 4;
+  auto logits = random_vec(B * C, rng);
+  const std::vector<int> labels{1, 3, 0};
+  std::vector<float> probs(B * C), dlogits(B * C);
+  softmax_xent_forward(B, C, logits.data(), labels.data(), probs.data());
+  softmax_xent_backward(B, C, probs.data(), labels.data(), dlogits.data());
+  const float eps = 1e-3f;
+  for (std::size_t i = 0; i < logits.size(); ++i) {
+    auto lp = logits, lm = logits;
+    lp[i] += eps;
+    lm[i] -= eps;
+    std::vector<float> scratch(B * C);
+    const double fp = softmax_xent_forward(B, C, lp.data(), labels.data(), scratch.data());
+    const double fm = softmax_xent_forward(B, C, lm.data(), labels.data(), scratch.data());
+    const double numeric = (fp - fm) / (2.0 * eps);
+    EXPECT_NEAR(dlogits[i], numeric, 2e-3) << "logit " << i;
+  }
+}
+
+TEST(Ops, ArgmaxRows) {
+  const std::vector<float> s{0.1f, 0.9f, 0.0f, 7.0f, -1.0f, 2.0f};
+  std::vector<int> out(2);
+  argmax_rows(2, 3, s.data(), out.data());
+  EXPECT_EQ(out[0], 1);
+  EXPECT_EQ(out[1], 0);
+}
+
+TEST(Ops, ArgmaxTiePicksFirst) {
+  const std::vector<float> s{2.0f, 2.0f, 1.0f};
+  std::vector<int> out(1);
+  argmax_rows(1, 3, s.data(), out.data());
+  EXPECT_EQ(out[0], 0);
+}
+
+TEST(Ops, L2Norm) {
+  const std::vector<float> v{3.0f, 4.0f};
+  EXPECT_NEAR(l2_norm(v), 5.0, 1e-9);
+  EXPECT_DOUBLE_EQ(l2_norm(std::vector<float>{}), 0.0);
+}
+
+TEST(Ops, Axpy) {
+  std::vector<float> x{1.0f, 2.0f};
+  const std::vector<float> y{10.0f, 20.0f};
+  axpy(0.5f, y, x);
+  EXPECT_FLOAT_EQ(x[0], 6.0f);
+  EXPECT_FLOAT_EQ(x[1], 12.0f);
+}
+
+}  // namespace
+}  // namespace fluentps::ml

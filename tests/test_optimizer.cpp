@@ -1,0 +1,144 @@
+// Optimizer and learning-rate schedule tests.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "ml/model.h"
+#include "ml/models/softmax_net.h"
+#include "ml/optimizer.h"
+
+namespace fluentps::ml {
+namespace {
+
+TEST(LrSchedule, ConstantIsConstant) {
+  ConstantLr lr(0.3);
+  EXPECT_DOUBLE_EQ(lr.lr(0), 0.3);
+  EXPECT_DOUBLE_EQ(lr.lr(100000), 0.3);
+}
+
+TEST(LrSchedule, StepDecaySteps) {
+  StepDecayLr lr(1.0, 100, 0.1);
+  EXPECT_DOUBLE_EQ(lr.lr(0), 1.0);
+  EXPECT_DOUBLE_EQ(lr.lr(99), 1.0);
+  EXPECT_DOUBLE_EQ(lr.lr(100), 0.1);
+  EXPECT_NEAR(lr.lr(250), 0.01, 1e-12);
+}
+
+TEST(LrSchedule, WarmupRampsLinearly) {
+  WarmupLr lr(std::make_unique<ConstantLr>(1.0), 10);
+  EXPECT_DOUBLE_EQ(lr.lr(0), 0.1);
+  EXPECT_DOUBLE_EQ(lr.lr(4), 0.5);
+  EXPECT_DOUBLE_EQ(lr.lr(9), 1.0);
+  EXPECT_DOUBLE_EQ(lr.lr(100), 1.0);
+}
+
+TEST(LrSchedule, FactoryComposesWarmupAndStep) {
+  LrSpec spec;
+  spec.kind = "step";
+  spec.base = 1.0;
+  spec.decay_every = 100;
+  spec.decay_factor = 0.5;
+  spec.warmup_iters = 4;
+  const auto lr = make_lr_schedule(spec);
+  EXPECT_DOUBLE_EQ(lr->lr(0), 0.25);
+  EXPECT_DOUBLE_EQ(lr->lr(50), 1.0);
+  EXPECT_DOUBLE_EQ(lr->lr(150), 0.5);
+}
+
+TEST(LrSchedule, FactoryRejectsUnknown) {
+  LrSpec spec;
+  spec.kind = "cosine";
+  EXPECT_DEATH((void)make_lr_schedule(spec), "unknown lr schedule");
+}
+
+TEST(Sgd, UpdateIsNegativeLrTimesGrad) {
+  SgdOptimizer opt(std::make_unique<ConstantLr>(0.5));
+  const std::vector<float> params{1.0f, 1.0f};
+  const std::vector<float> grad{2.0f, -4.0f};
+  std::vector<float> update(2);
+  opt.compute_update(params, grad, 0, update);
+  EXPECT_FLOAT_EQ(update[0], -1.0f);
+  EXPECT_FLOAT_EQ(update[1], 2.0f);
+}
+
+TEST(Momentum, AccumulatesVelocity) {
+  MomentumSgd opt(std::make_unique<ConstantLr>(1.0), 0.5);
+  const std::vector<float> params{0.0f};
+  const std::vector<float> grad{1.0f};
+  std::vector<float> update(1);
+  opt.compute_update(params, grad, 0, update);
+  EXPECT_FLOAT_EQ(update[0], -1.0f);  // v = 1
+  opt.compute_update(params, grad, 1, update);
+  EXPECT_FLOAT_EQ(update[0], -1.5f);  // v = 0.5 + 1
+  opt.compute_update(params, grad, 2, update);
+  EXPECT_FLOAT_EQ(update[0], -1.75f);  // v = 0.75 + 1
+}
+
+TEST(Lars, ScalesPerLayerByTrustRatio) {
+  // Two layers of 2 params each; eta = 0.1.
+  LarsOptimizer opt(std::make_unique<ConstantLr>(1.0), {2, 2}, 0.1, 0.0);
+  const std::vector<float> params{3.0f, 4.0f, 0.6f, 0.8f};  // norms 5 and 1
+  const std::vector<float> grad{1.0f, 0.0f, 0.0f, 2.0f};    // norms 1 and 2
+  std::vector<float> update(4);
+  opt.compute_update(params, grad, 0, update);
+  // Layer 0: trust = 0.1 * 5 / 1 = 0.5 -> update = -0.5 * g.
+  EXPECT_NEAR(update[0], -0.5f, 1e-6f);
+  EXPECT_NEAR(update[1], 0.0f, 1e-6f);
+  // Layer 1: trust = 0.1 * 1 / 2 = 0.05.
+  EXPECT_NEAR(update[2], 0.0f, 1e-6f);
+  EXPECT_NEAR(update[3], -0.1f, 1e-6f);
+}
+
+TEST(Lars, ZeroWeightLayerFallsBackToSgd) {
+  LarsOptimizer opt(std::make_unique<ConstantLr>(0.5), {2}, 0.1, 1e-9);
+  const std::vector<float> params{0.0f, 0.0f};
+  const std::vector<float> grad{1.0f, 1.0f};
+  std::vector<float> update(2);
+  opt.compute_update(params, grad, 0, update);
+  EXPECT_NEAR(update[0], -0.5f, 1e-6f);
+}
+
+TEST(Lars, LayerMapMustCoverParams) {
+  LarsOptimizer opt(std::make_unique<ConstantLr>(1.0), {2, 1}, 0.1, 0.0);
+  const std::vector<float> params{1.0f, 1.0f, 1.0f, 1.0f};  // 4 params, map covers 3
+  const std::vector<float> grad{1.0f, 1.0f, 1.0f, 1.0f};
+  std::vector<float> update(4);
+  EXPECT_DEATH(opt.compute_update(params, grad, 0, update), "layer map");
+}
+
+TEST(OptimizerFactory, BuildsEveryKind) {
+  SoftmaxNet model(4, 3);
+  for (const char* kind : {"sgd", "momentum", "lars"}) {
+    OptimizerSpec spec;
+    spec.kind = kind;
+    const auto opt = make_optimizer(spec, model);
+    ASSERT_NE(opt, nullptr) << kind;
+    std::vector<float> params(model.num_params(), 1.0f);
+    std::vector<float> grad(model.num_params(), 1.0f);
+    std::vector<float> update(model.num_params());
+    opt->compute_update(params, grad, 0, update);
+    EXPECT_LT(update[0], 0.0f) << kind << " must move against the gradient";
+  }
+}
+
+TEST(OptimizerFactory, RejectsUnknownKind) {
+  SoftmaxNet model(4, 3);
+  OptimizerSpec spec;
+  spec.kind = "adamw";
+  EXPECT_DEATH((void)make_optimizer(spec, model), "unknown optimizer");
+}
+
+TEST(Sgd, ScheduleAppliedAtEachIteration) {
+  SgdOptimizer opt(std::make_unique<StepDecayLr>(1.0, 10, 0.1));
+  const std::vector<float> params{0.0f};
+  const std::vector<float> grad{1.0f};
+  std::vector<float> update(1);
+  opt.compute_update(params, grad, 0, update);
+  EXPECT_FLOAT_EQ(update[0], -1.0f);
+  opt.compute_update(params, grad, 10, update);
+  EXPECT_FLOAT_EQ(update[0], -0.1f);
+}
+
+}  // namespace
+}  // namespace fluentps::ml

@@ -1,0 +1,128 @@
+// Protocol edge cases: stale responses, unexpected message types, message
+// routing errors — exercised directly against WorkerClient / Server / the
+// transports.
+#include <gtest/gtest.h>
+
+#include "net/inproc_transport.h"
+#include "ps/server.h"
+#include "ps/slicing.h"
+#include "ps/worker.h"
+
+namespace fluentps::ps {
+namespace {
+
+struct Fixture {
+  Sharding sharding;
+  net::InprocTransport transport;
+  std::unique_ptr<WorkerClient> worker;
+  std::unique_ptr<Server> server;
+
+  Fixture() {
+    EpsSlicer slicer(4);
+    sharding = slicer.shard({8}, 1);
+    ServerSpec sspec;
+    sspec.node_id = 1;
+    sspec.server_rank = 0;
+    sspec.num_workers = 1;
+    sspec.layout = sharding.shards[0];
+    sspec.initial_shard.assign(8, 0.0f);
+    sspec.engine.num_workers = 1;
+    sspec.engine.model = make_sync_model({.kind = "asp"}, 1);
+    sspec.engine.seed = 1;
+    server = std::make_unique<Server>(std::move(sspec), transport);
+    transport.register_node(1, [this](net::Message&& m) { server->handle(std::move(m)); });
+
+    WorkerSpec wspec;
+    wspec.node_id = 2;
+    wspec.worker_rank = 0;
+    wspec.server_nodes = {1};
+    wspec.sharding = &sharding;
+    worker = std::make_unique<WorkerClient>(std::move(wspec), transport);
+    transport.register_node(2, [this](net::Message&& m) { worker->handle(std::move(m)); });
+  }
+};
+
+TEST(ProtocolEdge, StalePullResponseIsDropped) {
+  Fixture fx;
+  const std::vector<float> u(8, 1.0f);
+  std::vector<float> params(8);
+  fx.worker->push(u, 0);
+  const auto t1 = fx.worker->pull(0);
+  fx.worker->wait_pull(t1, params);
+
+  // Forge a response carrying the OLD ticket after a new pull superseded it.
+  fx.worker->push(u, 1);
+  const auto t2 = fx.worker->pull(1);
+  net::Message stale;
+  stale.type = net::MsgType::kPullResp;
+  stale.src = 1;
+  stale.dst = 2;
+  stale.request_id = t1;  // superseded
+  stale.server_rank = 0;
+  stale.values.assign(8, -999.0f);
+  fx.worker->handle(std::move(stale));
+
+  fx.worker->wait_pull(t2, params);
+  for (const float v : params) EXPECT_NE(v, -999.0f) << "stale response must not be applied";
+}
+
+TEST(ProtocolEdge, WorkerIgnoresUnknownMessageTypes) {
+  Fixture fx;
+  net::Message odd;
+  odd.type = net::MsgType::kHeartbeat;
+  odd.dst = 2;
+  fx.worker->handle(std::move(odd));  // must not crash or corrupt state
+  const std::vector<float> u(8, 1.0f);
+  std::vector<float> params(8);
+  fx.worker->push(u, 0);
+  const auto t = fx.worker->pull(0);
+  fx.worker->wait_pull(t, params);
+  EXPECT_FLOAT_EQ(params[0], 1.0f);
+}
+
+TEST(ProtocolEdge, ServerIgnoresUnknownMessageTypes) {
+  Fixture fx;
+  net::Message odd;
+  odd.type = net::MsgType::kPullGrant;
+  odd.dst = 1;
+  fx.transport.send(std::move(odd));
+  // The server keeps functioning.
+  const std::vector<float> u(8, 2.0f);
+  std::vector<float> params(8);
+  fx.worker->push(u, 0);
+  const auto t = fx.worker->pull(0);
+  fx.worker->wait_pull(t, params);
+  EXPECT_FLOAT_EQ(params[3], 2.0f);
+}
+
+TEST(ProtocolEdge, MetadataOnlyPushCountsProgressWithoutApplying) {
+  Fixture fx;
+  std::vector<float> params(8, -1.0f);
+  fx.worker->push_metadata(0);
+  const auto t = fx.worker->pull(0);
+  fx.worker->wait_pull(t, params);
+  for (const float v : params) EXPECT_FLOAT_EQ(v, 0.0f) << "no values applied";
+  EXPECT_EQ(fx.server->pushes_applied(), 0);
+  EXPECT_EQ(fx.server->engine().fastest(), 0) << "progress was still recorded";
+}
+
+TEST(ProtocolEdge, ShutdownMessageIsBenign) {
+  Fixture fx;
+  net::Message bye;
+  bye.type = net::MsgType::kShutdown;
+  bye.dst = 1;
+  fx.transport.send(std::move(bye));
+  net::Message bye2;
+  bye2.type = net::MsgType::kShutdown;
+  bye2.dst = 2;
+  fx.transport.send(std::move(bye2));
+  const std::vector<float> u(8, 1.0f);
+  std::vector<float> params(8);
+  fx.worker->push(u, 0);
+  const auto t = fx.worker->pull(0);
+  fx.worker->wait_pull(t, params);
+  EXPECT_FLOAT_EQ(params[0], 1.0f);
+}
+
+}  // namespace
+}  // namespace fluentps::ps

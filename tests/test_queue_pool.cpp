@@ -1,0 +1,143 @@
+// Unit tests for BlockingQueue and ThreadPool.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "common/blocking_queue.h"
+#include "common/thread_pool.h"
+
+namespace fluentps {
+namespace {
+
+TEST(BlockingQueue, FifoOrder) {
+  BlockingQueue<int> q;
+  for (int i = 0; i < 10; ++i) q.push(i);
+  for (int i = 0; i < 10; ++i) {
+    auto v = q.pop();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, i);
+  }
+}
+
+TEST(BlockingQueue, TryPopEmpty) {
+  BlockingQueue<int> q;
+  EXPECT_FALSE(q.try_pop().has_value());
+}
+
+TEST(BlockingQueue, CloseDrainsThenStops) {
+  BlockingQueue<int> q;
+  q.push(1);
+  q.push(2);
+  q.close();
+  EXPECT_FALSE(q.push(3)) << "push after close must fail";
+  EXPECT_EQ(q.pop().value(), 1);
+  EXPECT_EQ(q.pop().value(), 2);
+  EXPECT_FALSE(q.pop().has_value()) << "closed and drained";
+}
+
+TEST(BlockingQueue, CloseWakesBlockedPopper) {
+  BlockingQueue<int> q;
+  std::atomic<bool> woke{false};
+  std::jthread t([&] {
+    EXPECT_FALSE(q.pop().has_value());
+    woke = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  q.close();
+  t.join();
+  EXPECT_TRUE(woke);
+}
+
+TEST(BlockingQueue, BoundedTryPushFailsWhenFull) {
+  BlockingQueue<int> q(2);
+  EXPECT_TRUE(q.try_push(1));
+  EXPECT_TRUE(q.try_push(2));
+  EXPECT_FALSE(q.try_push(3));
+  q.pop();
+  EXPECT_TRUE(q.try_push(3));
+}
+
+TEST(BlockingQueue, BoundedBlockingPushWaitsForSpace) {
+  BlockingQueue<int> q(1);
+  q.push(1);
+  std::atomic<bool> pushed{false};
+  std::jthread producer([&] {
+    q.push(2);  // blocks until the consumer pops
+    pushed = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(pushed);
+  EXPECT_EQ(q.pop().value(), 1);
+  producer.join();
+  EXPECT_TRUE(pushed);
+  EXPECT_EQ(q.pop().value(), 2);
+}
+
+TEST(BlockingQueue, ManyProducersManyConsumers) {
+  BlockingQueue<int> q;
+  constexpr int kPerProducer = 1000;
+  constexpr int kProducers = 4;
+  constexpr int kConsumers = 3;
+  std::atomic<long> sum{0};
+  std::atomic<int> popped{0};
+  {
+    std::vector<std::jthread> threads;
+    for (int p = 0; p < kProducers; ++p) {
+      threads.emplace_back([&q, p] {
+        for (int i = 0; i < kPerProducer; ++i) q.push(p * kPerProducer + i);
+      });
+    }
+    for (int c = 0; c < kConsumers; ++c) {
+      threads.emplace_back([&] {
+        while (auto v = q.pop()) {
+          sum += *v;
+          ++popped;
+        }
+      });
+    }
+    // Wait for all producers (first kProducers threads), then close.
+    for (int p = 0; p < kProducers; ++p) threads[static_cast<std::size_t>(p)].join();
+    q.close();
+  }
+  EXPECT_EQ(popped.load(), kProducers * kPerProducer);
+  const long n = kProducers * kPerProducer;
+  EXPECT_EQ(sum.load(), n * (n - 1) / 2);
+}
+
+TEST(ThreadPool, ExecutesAllTasks) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(3);
+    for (int i = 0; i < 100; ++i) {
+      EXPECT_TRUE(pool.submit([&count] { ++count; }));
+    }
+  }  // destructor drains and joins
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, SubmitWithResult) {
+  ThreadPool pool(2);
+  auto fut = pool.submit_with_result([] { return 6 * 7; });
+  EXPECT_EQ(fut.get(), 42);
+}
+
+TEST(ThreadPool, SubmitAfterShutdownFails) {
+  ThreadPool pool(1);
+  pool.shutdown();
+  EXPECT_FALSE(pool.submit([] {}));
+}
+
+TEST(ThreadPool, SizeReportsThreads) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+}
+
+TEST(ThreadPool, ShutdownIdempotent) {
+  ThreadPool pool(2);
+  pool.shutdown();
+  pool.shutdown();  // must not crash or hang
+}
+
+}  // namespace
+}  // namespace fluentps

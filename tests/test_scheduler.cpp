@@ -1,0 +1,114 @@
+// Scheduler tests: baseline grant protocol and liveness tracking.
+#include <gtest/gtest.h>
+
+#include <condition_variable>
+#include <mutex>
+
+#include "net/inproc_transport.h"
+#include "ps/scheduler.h"
+
+namespace fluentps::ps {
+namespace {
+
+struct Rig {
+  net::InprocTransport transport;
+  std::unique_ptr<Scheduler> scheduler;
+  std::mutex mu;
+  std::condition_variable cv;
+  std::vector<std::uint32_t> grants;  // worker ranks granted, in order
+
+  explicit Rig(std::uint32_t n_workers, const SyncModelSpec& sync) {
+    SchedulerSpec spec;
+    spec.node_id = 0;
+    spec.num_workers = n_workers;
+    for (std::uint32_t n = 0; n < n_workers; ++n) spec.worker_nodes.push_back(10 + n);
+    spec.engine.num_workers = n_workers;
+    spec.engine.mode = DprMode::kSoftBarrier;
+    spec.engine.model = make_sync_model(sync, n_workers);
+    spec.engine.seed = 3;
+    scheduler = std::make_unique<Scheduler>(std::move(spec), transport);
+    transport.register_node(0, [this](net::Message&& m) { scheduler->handle(std::move(m)); });
+    for (std::uint32_t n = 0; n < n_workers; ++n) {
+      transport.register_node(10 + n, [this](net::Message&& m) {
+        if (m.type == net::MsgType::kPullGrant) {
+          std::scoped_lock lock(mu);
+          grants.push_back(m.worker_rank);
+          cv.notify_all();
+        }
+      });
+    }
+  }
+
+  void report(std::uint32_t worker, std::int64_t progress) {
+    net::Message m;
+    m.type = net::MsgType::kProgress;
+    m.src = 10 + worker;
+    m.dst = 0;
+    m.worker_rank = worker;
+    m.progress = progress;
+    transport.send(std::move(m));
+  }
+
+  std::size_t wait_grants(std::size_t count) {
+    std::unique_lock lock(mu);
+    cv.wait_for(lock, std::chrono::seconds(2), [&] { return grants.size() >= count; });
+    return grants.size();
+  }
+};
+
+TEST(Scheduler, BspGrantsOnlyWhenAllReported) {
+  Rig rig(3, {.kind = "bsp"});
+  rig.report(0, 0);
+  rig.report(1, 0);
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  {
+    std::scoped_lock lock(rig.mu);
+    EXPECT_TRUE(rig.grants.empty()) << "worker 2 has not reported";
+  }
+  rig.report(2, 0);
+  EXPECT_EQ(rig.wait_grants(3), 3u);
+}
+
+TEST(Scheduler, BoundedDelayGrantsFastWorkerImmediately) {
+  Rig rig(2, {.kind = "ssp", .staleness = 3});
+  rig.report(0, 0);  // gap 0 < 3: immediate grant
+  EXPECT_EQ(rig.wait_grants(1), 1u);
+  EXPECT_EQ(rig.grants[0], 0u);
+}
+
+TEST(Scheduler, GrantsIssuedCounter) {
+  Rig rig(2, {.kind = "asp"});
+  rig.report(0, 0);
+  rig.report(1, 0);
+  rig.wait_grants(2);
+  EXPECT_EQ(rig.scheduler->grants_issued(), 2);
+}
+
+TEST(Scheduler, MultiIterationBspSequence) {
+  Rig rig(2, {.kind = "bsp"});
+  for (std::int64_t i = 0; i < 5; ++i) {
+    rig.report(0, i);
+    rig.report(1, i);
+  }
+  EXPECT_EQ(rig.wait_grants(10), 10u);
+}
+
+TEST(Scheduler, LivenessTracksHeartbeats) {
+  Rig rig(1, {.kind = "asp"});
+  net::Message hb;
+  hb.type = net::MsgType::kHeartbeat;
+  hb.src = 77;
+  hb.dst = 0;
+  rig.transport.send(std::move(hb));
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  rig.scheduler->tick(1.0);
+  auto alive = rig.scheduler->alive_servers();
+  ASSERT_EQ(alive.size(), 1u);
+  EXPECT_EQ(alive[0], 77u);
+  // Far in the future the server is considered dead.
+  rig.scheduler->tick(100.0);
+  EXPECT_TRUE(rig.scheduler->alive_servers().empty());
+}
+
+}  // namespace
+}  // namespace fluentps::ps

@@ -1,0 +1,122 @@
+// Unit tests for the byte writer/reader.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/serialization.h"
+
+namespace fluentps::io {
+namespace {
+
+TEST(Serialization, PodRoundTrip) {
+  Writer w;
+  w.put<std::uint8_t>(7);
+  w.put<std::uint32_t>(123456);
+  w.put<std::int64_t>(-42);
+  w.put<double>(3.5);
+  w.put<float>(-1.25f);
+
+  Reader r(w.bytes());
+  EXPECT_EQ(r.get<std::uint8_t>(), 7);
+  EXPECT_EQ(r.get<std::uint32_t>(), 123456u);
+  EXPECT_EQ(r.get<std::int64_t>(), -42);
+  EXPECT_DOUBLE_EQ(r.get<double>(), 3.5);
+  EXPECT_FLOAT_EQ(r.get<float>(), -1.25f);
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(Serialization, StringRoundTrip) {
+  Writer w;
+  w.put_string("hello fluentps");
+  w.put_string("");
+  Reader r(w.bytes());
+  EXPECT_EQ(r.get_string(), "hello fluentps");
+  EXPECT_EQ(r.get_string(), "");
+  EXPECT_TRUE(r.ok());
+}
+
+TEST(Serialization, VectorRoundTrip) {
+  Writer w;
+  const std::vector<float> v{1.0f, -2.5f, 3.25f};
+  const std::vector<std::int32_t> ints{-1, 0, 7};
+  w.put_vector(v);
+  w.put_vector(ints);
+  Reader r(w.bytes());
+  EXPECT_EQ(r.get_vector<float>(), v);
+  EXPECT_EQ(r.get_vector<std::int32_t>(), ints);
+  EXPECT_TRUE(r.ok());
+}
+
+TEST(Serialization, EmptyVectorRoundTrip) {
+  Writer w;
+  w.put_vector(std::vector<double>{});
+  Reader r(w.bytes());
+  EXPECT_TRUE(r.get_vector<double>().empty());
+  EXPECT_TRUE(r.ok());
+}
+
+TEST(Serialization, UnderflowLatchesNotOk) {
+  Writer w;
+  w.put<std::uint32_t>(5);
+  Reader r(w.bytes());
+  (void)r.get<std::uint64_t>();  // asks for 8 bytes, only 4 present
+  EXPECT_FALSE(r.ok());
+  // Subsequent reads stay failed and return defaults.
+  EXPECT_EQ(r.get<std::uint8_t>(), 0);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Serialization, TruncatedVectorFails) {
+  Writer w;
+  w.put<std::uint64_t>(1000);  // claims 1000 elements, provides none
+  Reader r(w.bytes());
+  EXPECT_TRUE(r.get_vector<float>().empty());
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Serialization, TruncatedStringFails) {
+  Writer w;
+  w.put<std::uint64_t>(50);
+  w.put_raw("abc", 3);
+  Reader r(w.bytes());
+  EXPECT_EQ(r.get_string(), "");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Serialization, RawBytes) {
+  Writer w;
+  const char data[4] = {'a', 'b', 'c', 'd'};
+  w.put_raw(data, 4);
+  EXPECT_EQ(w.size(), 4u);
+  Reader r(w.bytes());
+  EXPECT_EQ(r.get<char>(), 'a');
+}
+
+TEST(Serialization, TakeMovesBuffer) {
+  Writer w;
+  w.put<std::uint32_t>(9);
+  auto bytes = w.take();
+  EXPECT_EQ(bytes.size(), 4u);
+  EXPECT_EQ(w.size(), 0u);
+}
+
+TEST(Serialization, InterleavedMixedContent) {
+  Writer w;
+  for (int i = 0; i < 100; ++i) {
+    w.put<std::int32_t>(i);
+    w.put_string(std::string(static_cast<std::size_t>(i % 7), 'x'));
+  }
+  Reader r(w.bytes());
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(r.get<std::int32_t>(), i);
+    EXPECT_EQ(r.get_string().size(), static_cast<std::size_t>(i % 7));
+  }
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+}  // namespace
+}  // namespace fluentps::io

@@ -1,0 +1,222 @@
+// Integration tests: Server + WorkerClient over the in-process transport,
+// and Server driven directly (single-context) to verify Algorithm 1's
+// server-side arithmetic.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "net/inproc_transport.h"
+#include "ps/server.h"
+#include "ps/slicing.h"
+#include "ps/worker.h"
+
+namespace fluentps::ps {
+namespace {
+
+struct Rig {
+  Sharding sharding;
+  net::InprocTransport transport;
+  std::vector<std::unique_ptr<Server>> servers;
+  std::vector<std::unique_ptr<WorkerClient>> workers;
+
+  Rig(std::uint32_t n_workers, std::uint32_t n_servers, std::size_t params,
+      const SyncModelSpec& sync, DprMode mode, std::vector<float> w0 = {}) {
+    EpsSlicer slicer(/*chunk=*/7);  // odd chunk: exercises slice math
+    sharding = slicer.shard({params}, n_servers);
+    if (w0.empty()) w0.assign(params, 0.0f);
+    for (std::uint32_t m = 0; m < n_servers; ++m) {
+      ServerSpec spec;
+      spec.node_id = 1 + m;
+      spec.server_rank = m;
+      spec.num_workers = n_workers;
+      spec.layout = sharding.shards[m];
+      spec.initial_shard.resize(spec.layout.total);
+      spec.layout.gather(w0, spec.initial_shard);
+      spec.engine.num_workers = n_workers;
+      spec.engine.mode = mode;
+      spec.engine.model = make_sync_model(sync, n_workers);
+      spec.engine.seed = 100 + m;
+      auto server = std::make_unique<Server>(std::move(spec), transport);
+      Server* raw = server.get();
+      transport.register_node(raw->node_id(),
+                              [raw](net::Message&& msg) { raw->handle(std::move(msg)); });
+      servers.push_back(std::move(server));
+    }
+    for (std::uint32_t n = 0; n < n_workers; ++n) {
+      WorkerSpec spec;
+      spec.node_id = 1 + n_servers + n;
+      spec.worker_rank = n;
+      for (std::uint32_t m = 0; m < n_servers; ++m) spec.server_nodes.push_back(1 + m);
+      spec.sharding = &sharding;
+      auto w = std::make_unique<WorkerClient>(std::move(spec), transport);
+      WorkerClient* raw = w.get();
+      transport.register_node(raw->node_id(),
+                              [raw](net::Message&& msg) { raw->handle(std::move(msg)); });
+      workers.push_back(std::move(w));
+    }
+  }
+
+  std::vector<float> global() const {
+    std::vector<float> flat(sharding.num_params, 0.0f);
+    for (const auto& s : servers) s->snapshot_into(flat);
+    return flat;
+  }
+};
+
+TEST(ServerWorker, SingleWorkerPushPullRoundTrip) {
+  Rig rig(1, 2, 20, {.kind = "bsp"}, DprMode::kLazy);
+  std::vector<float> update(20);
+  std::iota(update.begin(), update.end(), 1.0f);  // 1..20
+  std::vector<float> params(20, -1.0f);
+  rig.workers[0]->push(update, 0);
+  const auto t = rig.workers[0]->pull(0);
+  rig.workers[0]->wait_pull(t, params);
+  // N = 1: server applies the full update.
+  for (std::size_t i = 0; i < 20; ++i) EXPECT_FLOAT_EQ(params[i], update[i]) << i;
+}
+
+TEST(ServerWorker, UpdatesAveragedOverWorkers) {
+  Rig rig(2, 1, 4, {.kind = "bsp"}, DprMode::kLazy);
+  const std::vector<float> u0{2.0f, 2.0f, 2.0f, 2.0f};
+  const std::vector<float> u1{4.0f, 4.0f, 4.0f, 4.0f};
+  std::vector<float> p0(4), p1(4);
+  // Both workers push and pull concurrently from this test thread; BSP blocks
+  // each pull until both pushes land, so spawn threads for the waits.
+  rig.workers[0]->push(u0, 0);
+  rig.workers[1]->push(u1, 0);
+  const auto t0 = rig.workers[0]->pull(0);
+  const auto t1 = rig.workers[1]->pull(0);
+  rig.workers[0]->wait_pull(t0, p0);
+  rig.workers[1]->wait_pull(t1, p1);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_FLOAT_EQ(p0[i], 3.0f) << "(2 + 4) / 2";
+    EXPECT_FLOAT_EQ(p0[i], p1[i]);
+  }
+}
+
+TEST(ServerWorker, BspBlocksFastWorkerUntilSlowPushes) {
+  Rig rig(2, 1, 4, {.kind = "bsp"}, DprMode::kLazy);
+  const std::vector<float> u(4, 1.0f);
+  std::vector<float> params(4);
+  rig.workers[0]->push(u, 0);
+  const auto t = rig.workers[0]->pull(0);
+  std::atomic<bool> served{false};
+  std::jthread waiter([&] {
+    rig.workers[0]->wait_pull(t, params);
+    served = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_FALSE(served) << "worker 1 has not pushed iteration 0 yet";
+  rig.workers[1]->push(u, 0);
+  waiter.join();
+  EXPECT_TRUE(served);
+  EXPECT_EQ(rig.servers[0]->engine().dpr_total(), 1);
+}
+
+TEST(ServerWorker, MultiIterationTraining) {
+  // 2 workers, 3 servers, BSP for 10 iterations of "add ones": the global
+  // model must end exactly at iterations * 1.0 in every coordinate.
+  constexpr std::size_t kParams = 33;
+  constexpr std::int64_t kIters = 10;
+  Rig rig(2, 3, kParams, {.kind = "bsp"}, DprMode::kLazy);
+  const std::vector<float> ones(kParams, 1.0f);
+  auto loop = [&](std::uint32_t rank) {
+    std::vector<float> params(kParams);
+    for (std::int64_t i = 0; i < kIters; ++i) {
+      rig.workers[rank]->push(ones, i);
+      const auto t = rig.workers[rank]->pull(i);
+      rig.workers[rank]->wait_pull(t, params);
+      // Under BSP the pulled parameters are exact: (i+1) everywhere.
+      for (std::size_t j = 0; j < kParams; ++j) {
+        ASSERT_FLOAT_EQ(params[j], static_cast<float>(i + 1)) << "iter " << i;
+      }
+    }
+  };
+  {
+    std::jthread a([&] { loop(0); });
+    std::jthread b([&] { loop(1); });
+  }
+  const auto g = rig.global();
+  for (const float v : g) EXPECT_FLOAT_EQ(v, static_cast<float>(kIters));
+}
+
+TEST(ServerWorker, SspFastWorkerRunsAhead) {
+  // s = 4: worker 0 can complete several iterations while worker 1 is idle.
+  Rig rig(2, 1, 4, {.kind = "ssp", .staleness = 4}, DprMode::kLazy);
+  const std::vector<float> u(4, 1.0f);
+  std::vector<float> params(4);
+  for (std::int64_t i = 0; i < 3; ++i) {  // gaps 0,1,2 < 4: never blocks
+    rig.workers[0]->push(u, i);
+    const auto t = rig.workers[0]->pull(i);
+    rig.workers[0]->wait_pull(t, params);
+  }
+  EXPECT_EQ(rig.servers[0]->engine().dpr_total(), 0);
+  EXPECT_EQ(rig.servers[0]->engine().fastest(), 2);
+}
+
+TEST(ServerWorker, ServerCountsPushesAndPulls) {
+  Rig rig(1, 1, 4, {.kind = "asp"}, DprMode::kLazy);
+  const std::vector<float> u(4, 1.0f);
+  std::vector<float> params(4);
+  for (std::int64_t i = 0; i < 5; ++i) {
+    rig.workers[0]->push(u, i);
+    const auto t = rig.workers[0]->pull(i);
+    rig.workers[0]->wait_pull(t, params);
+  }
+  EXPECT_EQ(rig.servers[0]->pushes_applied(), 5);
+  EXPECT_EQ(rig.servers[0]->pulls_answered(), 5);
+}
+
+TEST(ServerWorker, RuntimeConditionSwapUnblocksCluster) {
+  // Start BSP; worker 0 alone cannot proceed. Installing an ASP pull
+  // condition on the server releases new pulls immediately.
+  Rig rig(2, 1, 4, {.kind = "bsp"}, DprMode::kSoftBarrier);
+  const std::vector<float> u(4, 1.0f);
+  std::vector<float> params(4);
+  rig.workers[0]->push(u, 0);
+  rig.servers[0]->set_pull_condition([](const PullCtx&, const SyncView&, Rng&) { return true; });
+  const auto t = rig.workers[0]->pull(0);
+  rig.workers[0]->wait_pull(t, params);  // must not hang
+  EXPECT_FLOAT_EQ(params[0], 0.5f);
+}
+
+TEST(ServerWorker, SnapshotIsThreadSafeDuringTraffic) {
+  Rig rig(1, 1, 64, {.kind = "asp"}, DprMode::kLazy);
+  const std::vector<float> u(64, 0.01f);
+  std::atomic<bool> stop{false};
+  std::jthread reader([&] {
+    while (!stop) {
+      const auto snap = rig.servers[0]->snapshot();
+      ASSERT_EQ(snap.size(), 64u);
+    }
+  });
+  std::vector<float> params(64);
+  for (std::int64_t i = 0; i < 200; ++i) {
+    rig.workers[0]->push(u, i);
+    const auto t = rig.workers[0]->pull(i);
+    rig.workers[0]->wait_pull(t, params);
+  }
+  stop = true;
+}
+
+TEST(Server, PushSizeMismatchAborts) {
+  net::InprocTransport transport;
+  EpsSlicer slicer(8);
+  auto sharding = slicer.shard({16}, 1);
+  ServerSpec spec;
+  spec.node_id = 1;
+  spec.server_rank = 0;
+  spec.num_workers = 1;
+  spec.layout = sharding.shards[0];
+  spec.initial_shard.assign(16, 0.0f);
+  spec.engine.num_workers = 1;
+  spec.engine.model = make_sync_model({.kind = "asp"}, 1);
+  Server server(std::move(spec), transport);
+  net::Message bad;
+  bad.type = net::MsgType::kPush;
+  bad.values.resize(3);  // wrong size
+  EXPECT_DEATH(server.handle(std::move(bad)), "push size");
+}
+
+}  // namespace
+}  // namespace fluentps::ps

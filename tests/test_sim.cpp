@@ -1,0 +1,220 @@
+// Unit tests for the DES kernel, compute-time models and network model.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.h"
+#include "sim/compute_model.h"
+#include "sim/network_model.h"
+#include "sim/sim_env.h"
+
+namespace fluentps::sim {
+namespace {
+
+TEST(SimEnv, EventsRunInTimeOrder) {
+  SimEnv env;
+  std::vector<int> order;
+  env.schedule(3.0, [&] { order.push_back(3); });
+  env.schedule(1.0, [&] { order.push_back(1); });
+  env.schedule(2.0, [&] { order.push_back(2); });
+  env.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(env.now(), 3.0);
+}
+
+TEST(SimEnv, EqualTimesRunInInsertionOrder) {
+  SimEnv env;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    env.schedule(1.0, [&order, i] { order.push_back(i); });
+  }
+  env.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(SimEnv, NestedScheduling) {
+  SimEnv env;
+  double inner_time = -1.0;
+  env.schedule(1.0, [&] {
+    env.schedule(0.5, [&] { inner_time = env.now(); });
+  });
+  env.run();
+  EXPECT_DOUBLE_EQ(inner_time, 1.5);
+}
+
+TEST(SimEnv, NegativeDelayClampsToNow) {
+  SimEnv env;
+  double t = -1.0;
+  env.schedule(1.0, [&] {
+    env.schedule(-5.0, [&] { t = env.now(); });
+  });
+  env.run();
+  EXPECT_DOUBLE_EQ(t, 1.0);
+}
+
+TEST(SimEnv, RunUntilStopsAtBoundary) {
+  SimEnv env;
+  int ran = 0;
+  env.schedule(1.0, [&] { ++ran; });
+  env.schedule(2.0, [&] { ++ran; });
+  env.schedule(5.0, [&] { ++ran; });
+  const auto n = env.run_until(2.0);
+  EXPECT_EQ(n, 2u);
+  EXPECT_EQ(ran, 2);
+  EXPECT_DOUBLE_EQ(env.now(), 2.0);
+  EXPECT_EQ(env.pending(), 1u);
+}
+
+TEST(SimEnv, StepReturnsFalseWhenEmpty) {
+  SimEnv env;
+  EXPECT_FALSE(env.step());
+  env.schedule(0.0, [] {});
+  EXPECT_TRUE(env.step());
+  EXPECT_FALSE(env.step());
+  EXPECT_EQ(env.events_executed(), 1u);
+}
+
+TEST(ComputeModel, FixedIsConstant) {
+  FixedCompute m(0.25);
+  Rng rng(1);
+  for (int i = 0; i < 10; ++i) EXPECT_DOUBLE_EQ(m.sample(0, i, rng), 0.25);
+}
+
+TEST(ComputeModel, UniformWithinBounds) {
+  UniformCompute m(1.0, 0.2);
+  Rng rng(2);
+  for (int i = 0; i < 1000; ++i) {
+    const double t = m.sample(0, i, rng);
+    EXPECT_GE(t, 0.8);
+    EXPECT_LE(t, 1.2);
+  }
+}
+
+TEST(ComputeModel, LogNormalMedianNearBase) {
+  LogNormalCompute m(0.5, 0.3);
+  Rng rng(3);
+  std::vector<double> xs(10001);
+  for (auto& x : xs) x = m.sample(0, 0, rng);
+  std::nth_element(xs.begin(), xs.begin() + 5000, xs.end());
+  EXPECT_NEAR(xs[5000], 0.5, 0.03);
+}
+
+TEST(ComputeModel, TransientStragglerFrequency) {
+  TransientStraggler m(std::make_unique<FixedCompute>(1.0), 0.1, 10.0);
+  Rng rng(4);
+  int slow = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (m.sample(0, i, rng) > 5.0) ++slow;
+  }
+  EXPECT_NEAR(static_cast<double>(slow) / n, 0.1, 0.01);
+}
+
+TEST(ComputeModel, PersistentStragglerOnlySlowsListed) {
+  PersistentStraggler m(std::make_unique<FixedCompute>(1.0), {2, 5}, 4.0);
+  Rng rng(5);
+  EXPECT_DOUBLE_EQ(m.sample(0, 0, rng), 1.0);
+  EXPECT_DOUBLE_EQ(m.sample(2, 0, rng), 4.0);
+  EXPECT_DOUBLE_EQ(m.sample(5, 0, rng), 4.0);
+  EXPECT_DOUBLE_EQ(m.sample(6, 0, rng), 1.0);
+}
+
+TEST(ComputeModel, HeterogeneousFactorsArePersistent) {
+  HeterogeneousCompute m(1.0, 0.0, 0.3, 0.0, 1.0, 8, /*seed=*/5);
+  Rng rng(1);
+  // sigma = 0 and no spikes: time = base * factor exactly, every iteration.
+  for (std::uint32_t w = 0; w < 8; ++w) {
+    const double t0 = m.sample(w, 0, rng);
+    EXPECT_DOUBLE_EQ(t0, m.factor(w));
+    EXPECT_DOUBLE_EQ(m.sample(w, 100, rng), t0) << "factor must persist across iterations";
+  }
+}
+
+TEST(ComputeModel, HeterogeneousFactorsDifferAcrossWorkers) {
+  HeterogeneousCompute m(1.0, 0.0, 0.3, 0.0, 1.0, 16, 7);
+  double lo = 1e9, hi = 0.0;
+  for (std::uint32_t w = 0; w < 16; ++w) {
+    lo = std::min(lo, m.factor(w));
+    hi = std::max(hi, m.factor(w));
+  }
+  EXPECT_GT(hi / lo, 1.2) << "persistent pace spread expected";
+}
+
+TEST(ComputeModel, HeterogeneousDeterministicInSeed) {
+  HeterogeneousCompute a(1.0, 0.1, 0.3, 0.0, 1.0, 4, 11);
+  HeterogeneousCompute b(1.0, 0.1, 0.3, 0.0, 1.0, 4, 11);
+  for (std::uint32_t w = 0; w < 4; ++w) EXPECT_DOUBLE_EQ(a.factor(w), b.factor(w));
+}
+
+TEST(ComputeModel, FactoryBuildsEveryKind) {
+  for (const char* kind :
+       {"fixed", "uniform", "lognormal", "transient", "persistent", "heterogeneous"}) {
+    ComputeModelSpec spec;
+    spec.kind = kind;
+    auto m = make_compute_model(spec, 8);
+    ASSERT_NE(m, nullptr) << kind;
+    Rng rng(6);
+    EXPECT_GT(m->sample(0, 0, rng), 0.0) << kind;
+  }
+}
+
+TEST(NetworkModel, SingleMessageDelay) {
+  NetworkSpec spec;
+  spec.latency_seconds = 0.001;
+  spec.bandwidth_bytes_per_sec = 1e6;
+  NetworkModel net(spec, 2);
+  // 1000 bytes: tx = 1ms egress + 1ms ingress + 1ms latency = 3ms.
+  const SimTime t = net.deliver(0, 1, 1000.0, 0.0);
+  EXPECT_NEAR(t, 0.003, 1e-12);
+  EXPECT_DOUBLE_EQ(net.total_bytes(), 1000.0);
+}
+
+TEST(NetworkModel, EgressSerializesBackToBackSends) {
+  NetworkSpec spec;
+  spec.latency_seconds = 0.0;
+  spec.bandwidth_bytes_per_sec = 1e6;
+  NetworkModel net(spec, 3);
+  const SimTime t1 = net.deliver(0, 1, 1000.0, 0.0);
+  const SimTime t2 = net.deliver(0, 2, 1000.0, 0.0);  // waits for egress of first
+  EXPECT_NEAR(t1, 0.002, 1e-12);
+  EXPECT_NEAR(t2, 0.003, 1e-12);
+}
+
+TEST(NetworkModel, IngressContentionCreatesHotspot) {
+  NetworkSpec spec;
+  spec.latency_seconds = 0.0;
+  spec.bandwidth_bytes_per_sec = 1e6;
+  NetworkModel net(spec, 9);
+  // 8 distinct senders hit node 8 simultaneously: deliveries serialize on the
+  // receiver's ingress link.
+  SimTime last = 0.0;
+  for (std::uint32_t src = 0; src < 8; ++src) {
+    last = std::max(last, net.deliver(src, 8, 1000.0, 0.0));
+  }
+  EXPECT_NEAR(last, 0.001 + 8 * 0.001, 1e-9);
+  EXPECT_NEAR(net.ingress_busy_seconds(8), 0.008, 1e-12);
+}
+
+TEST(NetworkModel, PerNodeBandwidthOverride) {
+  NetworkSpec spec;
+  spec.latency_seconds = 0.0;
+  spec.bandwidth_bytes_per_sec = 1e6;
+  NetworkModel net(spec, 2);
+  net.set_node_bandwidth(1, 2e6);  // receiver twice as fast
+  const SimTime t = net.deliver(0, 1, 1000.0, 0.0);
+  EXPECT_NEAR(t, 0.001 + 0.0005, 1e-12);
+}
+
+TEST(NetworkModel, LaterSendUsesFreeLink) {
+  NetworkSpec spec;
+  spec.latency_seconds = 0.0;
+  spec.bandwidth_bytes_per_sec = 1e6;
+  NetworkModel net(spec, 2);
+  (void)net.deliver(0, 1, 1000.0, 0.0);
+  // Sent long after the first completed: no queueing.
+  const SimTime t = net.deliver(0, 1, 1000.0, 1.0);
+  EXPECT_NEAR(t, 1.002, 1e-9);
+}
+
+}  // namespace
+}  // namespace fluentps::sim

@@ -1,0 +1,261 @@
+// SimRuntime behaviour tests: determinism, protocol equivalences against
+// serial SGD, timing orderings between sync models, and baseline behaviours.
+#include <gtest/gtest.h>
+
+#include "core/fluentps.h"
+#include "ml/ops.h"
+
+namespace fluentps {
+namespace {
+
+core::ExperimentConfig base_config() {
+  core::ExperimentConfig cfg;
+  cfg.backend = core::Backend::kSim;
+  cfg.num_workers = 4;
+  cfg.num_servers = 2;
+  cfg.max_iters = 80;
+  cfg.sync.kind = "bsp";
+  cfg.dpr_mode = ps::DprMode::kLazy;
+  cfg.model.kind = "softmax";
+  cfg.data.num_train = 1024;
+  cfg.data.num_test = 256;
+  cfg.opt.kind = "sgd";
+  cfg.opt.lr.base = 0.3;
+  cfg.batch_size = 16;
+  cfg.compute.kind = "lognormal";
+  cfg.compute.base_seconds = 0.05;
+  cfg.compute.sigma = 0.3;
+  cfg.seed = 11;
+  return cfg;
+}
+
+TEST(SimRuntime, SingleWorkerMatchesSerialSgd) {
+  // N = 1, M = 1, BSP: the distributed run must be numerically identical to a
+  // plain sequential SGD loop over the same batches.
+  auto cfg = base_config();
+  cfg.num_workers = 1;
+  cfg.num_servers = 1;
+  cfg.max_iters = 40;
+  const auto result = core::run_experiment(cfg);
+
+  // Serial reference.
+  const auto data = ml::Dataset::synthesize(cfg.data);
+  const auto model = ml::make_model(cfg.model, data.dim(), data.num_classes());
+  std::vector<float> w(model->num_params());
+  Rng init(cfg.seed, 0x1717);
+  model->init_params(w, init);
+  auto opt = ml::make_optimizer(cfg.opt, *model);
+  ml::BatchSampler sampler(data, 0, 1, cfg.batch_size, cfg.seed);
+  ml::Workspace ws;
+  std::vector<float> g(w.size()), u(w.size());
+  for (std::int64_t i = 0; i < cfg.max_iters; ++i) {
+    model->grad(w, sampler.next(), g, ws);
+    opt->compute_update(w, g, i, u);
+    ml::axpy(1.0f, u, w);
+  }
+  const double ref_acc = ml::test_accuracy(*model, w, data, ws);
+  EXPECT_NEAR(result.final_accuracy, ref_acc, 1e-9)
+      << "PS with one worker must equal serial SGD";
+}
+
+TEST(SimRuntime, BspWorkersStayInLockstep) {
+  auto cfg = base_config();
+  const auto result = core::run_experiment(cfg);
+  // Under BSP every pull is gated by the full iteration: the staleness gap of
+  // served parameters is always 0.
+  EXPECT_EQ(result.staleness.overflow(), 0u);
+  for (std::size_t gap = 1; gap <= result.staleness.max_value(); ++gap) {
+    EXPECT_EQ(result.staleness.bucket(gap), 0u) << gap;
+  }
+}
+
+TEST(SimRuntime, AspFinishesFasterThanBsp) {
+  auto bsp = base_config();
+  auto asp = base_config();
+  asp.sync.kind = "asp";
+  const auto rb = core::run_experiment(bsp);
+  const auto ra = core::run_experiment(asp);
+  EXPECT_LT(ra.total_time, rb.total_time) << "no waiting under ASP";
+  EXPECT_EQ(ra.dpr_total, 0);
+  EXPECT_GT(rb.dpr_total, 0);
+}
+
+TEST(SimRuntime, SspBetweenBspAndAsp) {
+  auto cfg = base_config();
+  const auto rb = core::run_experiment(cfg);
+  cfg.sync.kind = "ssp";
+  cfg.sync.staleness = 3;
+  const auto rs = core::run_experiment(cfg);
+  cfg.sync.kind = "asp";
+  const auto ra = core::run_experiment(cfg);
+  EXPECT_LE(rs.total_time, rb.total_time * 1.001);
+  EXPECT_GE(rs.total_time, ra.total_time * 0.999);
+}
+
+TEST(SimRuntime, SspStalenessBounded) {
+  auto cfg = base_config();
+  cfg.sync.kind = "ssp";
+  cfg.sync.staleness = 2;
+  cfg.dpr_mode = ps::DprMode::kSoftBarrier;
+  const auto r = core::run_experiment(cfg);
+  EXPECT_EQ(r.staleness.overflow(), 0u);
+  for (std::size_t gap = 3; gap <= r.staleness.max_value(); ++gap) {
+    EXPECT_EQ(r.staleness.bucket(gap), 0u) << gap;
+  }
+}
+
+TEST(SimRuntime, LazyBuffersFewerDprsThanSoftUnderStragglers) {
+  // With a persistent straggler, the soft barrier re-blocks the fast workers
+  // repeatedly (paper: "the soft barrier will appear frequently") while lazy
+  // execution holds one DPR until full catch-up.
+  auto cfg = base_config();
+  cfg.num_workers = 8;
+  cfg.num_servers = 1;
+  cfg.max_iters = 150;
+  cfg.sync.kind = "ssp";
+  cfg.sync.staleness = 2;
+  cfg.compute.kind = "persistent";
+  cfg.compute.slowdown = 3.0;
+  cfg.dpr_mode = ps::DprMode::kSoftBarrier;
+  const auto soft = core::run_experiment(cfg);
+  cfg.dpr_mode = ps::DprMode::kLazy;
+  const auto lazy = core::run_experiment(cfg);
+  EXPECT_GT(soft.dpr_total, 0);
+  EXPECT_GT(lazy.dpr_total, 0);
+  EXPECT_LT(lazy.dpr_total, soft.dpr_total);
+}
+
+TEST(SimRuntime, PsLiteBaselineSlowerThanFluentPS) {
+  auto cfg = base_config();
+  cfg.num_workers = 8;
+  cfg.num_servers = 4;
+  cfg.model.kind = "mlp";
+  cfg.model.hidden = 64;
+  const auto fluent = core::run_experiment(cfg);
+  cfg.arch = core::Arch::kPsLite;
+  const auto pslite = core::run_experiment(cfg);
+  EXPECT_GT(pslite.total_time, fluent.total_time)
+      << "non-overlap synchronization adds scheduler round trips and phase serialization";
+  EXPECT_GT(pslite.extra.at("scheduler_grants"), 0.0);
+}
+
+TEST(SimRuntime, PsLiteBaselineStillLearns) {
+  auto cfg = base_config();
+  cfg.arch = core::Arch::kPsLite;
+  const auto r = core::run_experiment(cfg);
+  EXPECT_GT(r.final_accuracy, 0.3);
+}
+
+TEST(SimRuntime, SspTableCacheDegradesAtScaleButNotSmall) {
+  // Fig 1/7 shape: the frozen-cache baseline matches FluentPS at 2 workers
+  // and collapses at 16, under the paper's training regime (momentum SGD on
+  // a non-convex model).
+  auto small = base_config();
+  small.sync.kind = "ssp";
+  small.sync.staleness = 3;
+  small.num_workers = 2;
+  small.num_servers = 1;
+  small.max_iters = 300;
+  small.model.kind = "mlp";
+  small.model.hidden = 32;
+  small.data.num_train = 2048;
+  small.opt.kind = "momentum";
+  small.opt.momentum = 0.9;
+  small.opt.lr.base = 0.2;
+  auto small_fluent = small;
+  small.arch = core::Arch::kSspTable;
+  const auto r_small = core::run_experiment(small);
+  const auto r_small_f = core::run_experiment(small_fluent);
+  // With N=2 the cache refreshes (almost) every iteration.
+  EXPECT_NEAR(r_small.final_accuracy, r_small_f.final_accuracy, 0.1);
+
+  auto big = small;
+  big.num_workers = 16;
+  auto big_fluent = small_fluent;
+  big_fluent.num_workers = 16;
+  const auto r_big = core::run_experiment(big);
+  const auto r_big_f = core::run_experiment(big_fluent);
+  EXPECT_LT(r_big.final_accuracy, r_big_f.final_accuracy - 0.1)
+      << "stale cache must hurt at 16 workers (Fig 1/7 shape)";
+}
+
+TEST(SimRuntime, EvalCurveIsSampled) {
+  auto cfg = base_config();
+  cfg.eval_every = 20;
+  const auto r = core::run_experiment(cfg);
+  EXPECT_GE(r.curve.size(), 4u);  // 80/20 points + final
+  for (std::size_t i = 1; i < r.curve.size(); ++i) {
+    EXPECT_GE(r.curve[i].time, r.curve[i - 1].time);
+    EXPECT_GE(r.curve[i].iter, r.curve[i - 1].iter);
+  }
+}
+
+TEST(SimRuntime, BytesScaleWithModelAndIterations) {
+  auto cfg = base_config();
+  const auto small = core::run_experiment(cfg);
+  cfg.max_iters *= 2;
+  const auto big = core::run_experiment(cfg);
+  EXPECT_NEAR(big.bytes_total / small.bytes_total, 2.0, 0.1);
+}
+
+TEST(SimRuntime, ComputePlusCommApproximatesTotal) {
+  auto cfg = base_config();
+  const auto r = core::run_experiment(cfg);
+  // Per-worker: total wall = compute + comm (within the last iteration tail).
+  EXPECT_LE(r.compute_time + r.comm_time, r.total_time * 1.001);
+  EXPECT_GT(r.compute_time, 0.0);
+  EXPECT_GT(r.comm_time, 0.0);
+}
+
+TEST(SimRuntime, DropStragglersBeatsBspUnderPersistentStraggler) {
+  auto cfg = base_config();
+  cfg.num_workers = 8;
+  cfg.num_servers = 1;
+  cfg.compute.kind = "persistent";
+  cfg.compute.slowdown = 5.0;
+  const auto bsp = core::run_experiment(cfg);
+  cfg.sync.kind = "drop";
+  cfg.sync.drop_nt = 7;
+  const auto drop = core::run_experiment(cfg);
+  EXPECT_LT(drop.total_time, bsp.total_time);
+}
+
+TEST(SimRuntime, DspsRunsAndLearns) {
+  auto cfg = base_config();
+  cfg.sync.kind = "dsps";
+  cfg.sync.staleness = 2;
+  const auto r = core::run_experiment(cfg);
+  EXPECT_GT(r.final_accuracy, 0.3);
+}
+
+TEST(SimRuntime, DynamicPsspWithSignificanceRuns) {
+  auto cfg = base_config();
+  cfg.sync.kind = "pssp_dynamic";
+  cfg.sync.staleness = 2;
+  cfg.sync.alpha = 0.8;
+  cfg.sync.alpha_significance = true;
+  const auto r = core::run_experiment(cfg);
+  EXPECT_GT(r.final_accuracy, 0.3);
+}
+
+TEST(SimRuntime, SeedChangesOutcome) {
+  auto cfg = base_config();
+  const auto a = core::run_experiment(cfg);
+  cfg.seed = 12;
+  const auto b = core::run_experiment(cfg);
+  EXPECT_NE(a.total_time, b.total_time);
+}
+
+TEST(SimRuntime, ImbalanceReportedForDefaultSlicer) {
+  auto cfg = base_config();
+  cfg.model.kind = "mlp";
+  cfg.model.hidden = 64;
+  cfg.slicer = "default";
+  const auto d = core::run_experiment(cfg);
+  cfg.slicer = "eps";
+  const auto e = core::run_experiment(cfg);
+  EXPECT_GT(d.shard_imbalance, e.shard_imbalance);
+}
+
+}  // namespace
+}  // namespace fluentps

@@ -1,0 +1,198 @@
+// Slicing tests: PS-Lite default vs EPS balance, chunking, rebalancing.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "ml/models/resmlp.h"
+#include "ml/models/softmax_net.h"
+#include "ps/slicing.h"
+
+namespace fluentps::ps {
+namespace {
+
+TEST(DefaultSlicer, LayerGranularContiguous) {
+  DefaultSlicer slicer;
+  const auto sh = slicer.shard({100, 10, 50, 40}, 2);
+  ASSERT_EQ(sh.shards.size(), 2u);
+  // Keys 0,1 on server 0; keys 2,3 on server 1.
+  EXPECT_EQ(sh.shards[0].slices.size(), 2u);
+  EXPECT_EQ(sh.shards[0].total, 110u);
+  EXPECT_EQ(sh.shards[1].total, 90u);
+  EXPECT_EQ(sh.num_params, 200u);
+}
+
+TEST(DefaultSlicer, BigLayerCreatesImbalance) {
+  // One dominating tensor is indivisible under layer-granular slicing: the
+  // hot-spot the paper attributes to PS-Lite's default slicing.
+  DefaultSlicer slicer;
+  const auto sh = slicer.shard({1000, 10, 10, 10}, 4);
+  EXPECT_GT(sh.imbalance(), 3.5);
+}
+
+TEST(DefaultSlicer, MoreServersThanLayersLeavesSomeEmpty) {
+  DefaultSlicer slicer;
+  const auto sh = slicer.shard({8, 8}, 4);
+  std::size_t nonempty = 0;
+  for (const auto& s : sh.shards) nonempty += s.slices.empty() ? 0 : 1;
+  EXPECT_EQ(nonempty, 2u);
+  sh.validate();
+}
+
+TEST(EpsSlicer, SplitsLargeLayersIntoChunks) {
+  EpsSlicer slicer(/*chunk=*/16);
+  const auto sh = slicer.shard({100}, 1);
+  ASSERT_EQ(sh.shards.size(), 1u);
+  EXPECT_EQ(sh.shards[0].slices.size(), 7u);  // 6x16 + 1x4
+  for (const auto& s : sh.shards[0].slices) EXPECT_LE(s.length, 16u);
+  sh.validate();
+}
+
+TEST(EpsSlicer, BalancesDominatingLayer) {
+  EpsSlicer slicer(/*chunk=*/16);
+  const auto sh = slicer.shard({1000, 10, 10, 10}, 4);
+  EXPECT_LT(sh.imbalance(), 1.1) << "EPS must spread the big tensor";
+}
+
+TEST(EpsSlicer, ChunkKeysAreRemapped) {
+  EpsSlicer slicer(/*chunk=*/8);
+  const auto sh = slicer.shard({20, 20}, 2);
+  // 3 + 3 chunks, new key space 0..5.
+  std::set<Key> keys;
+  for (const auto& shard : sh.shards) {
+    for (const auto& s : shard.slices) keys.insert(s.key);
+  }
+  EXPECT_EQ(keys.size(), 6u);
+  EXPECT_EQ(*keys.begin(), 0u);
+  EXPECT_EQ(*keys.rbegin(), 5u);
+}
+
+TEST(EpsSlicer, DeterministicPlacement) {
+  EpsSlicer slicer(32);
+  const std::vector<std::size_t> layers{100, 7, 999, 32, 61};
+  const auto a = slicer.shard(layers, 3);
+  const auto b = slicer.shard(layers, 3);
+  for (std::size_t m = 0; m < 3; ++m) {
+    EXPECT_EQ(a.shards[m].slices.size(), b.shards[m].slices.size());
+    EXPECT_EQ(a.shards[m].total, b.shards[m].total);
+  }
+}
+
+TEST(EpsSlicer, RebalanceOnServerGrowth) {
+  EpsSlicer slicer(16);
+  const auto old = slicer.shard({400, 30}, 2);
+  std::vector<EpsSlicer::Migration> plan;
+  const auto fresh = slicer.rebalance(old, 4, &plan);
+  fresh.validate();
+  EXPECT_EQ(fresh.num_servers(), 4u);
+  EXPECT_LT(fresh.imbalance(), 1.25);
+  EXPECT_FALSE(plan.empty()) << "growing the cluster must move slices";
+  for (const auto& m : plan) EXPECT_NE(m.from_server, m.to_server);
+}
+
+TEST(EpsSlicer, RebalanceOnServerLoss) {
+  EpsSlicer slicer(16);
+  const auto old = slicer.shard({400, 30}, 4);
+  std::vector<EpsSlicer::Migration> plan;
+  const auto fresh = slicer.rebalance(old, 3, &plan);
+  fresh.validate();
+  EXPECT_EQ(fresh.num_servers(), 3u);
+  // Every slice previously on server 3 must have moved.
+  std::size_t moved_bytes = 0;
+  for (const auto& m : plan) moved_bytes += m.slice.length;
+  EXPECT_GE(moved_bytes, old.shards[3].total);
+}
+
+TEST(EpsSlicer, RebalancePreservesChunking) {
+  EpsSlicer slicer(16);
+  const auto old = slicer.shard({100, 100}, 2);
+  const auto fresh = slicer.rebalance(old, 5, nullptr);
+  std::size_t old_slices = 0, new_slices = 0;
+  for (const auto& s : old.shards) old_slices += s.slices.size();
+  for (const auto& s : fresh.shards) new_slices += s.slices.size();
+  EXPECT_EQ(old_slices, new_slices);
+}
+
+TEST(ShardLayout, GatherScatterRoundTrip) {
+  EpsSlicer slicer(8);
+  const auto sh = slicer.shard({10, 20, 5}, 2);
+  std::vector<float> flat(35);
+  std::iota(flat.begin(), flat.end(), 0.0f);
+  std::vector<float> reconstructed(35, -1.0f);
+  for (const auto& shard : sh.shards) {
+    std::vector<float> buf(shard.total);
+    shard.gather(flat, buf);
+    shard.scatter(buf, reconstructed);
+  }
+  EXPECT_EQ(flat, reconstructed);
+}
+
+TEST(ShardLayout, AccumulateScales) {
+  DefaultSlicer slicer;
+  const auto sh = slicer.shard({4}, 1);
+  std::vector<float> flat{1.0f, 1.0f, 1.0f, 1.0f};
+  const std::vector<float> inc{2.0f, 4.0f, 6.0f, 8.0f};
+  sh.shards[0].accumulate(inc, 0.5f, flat);
+  EXPECT_FLOAT_EQ(flat[0], 2.0f);
+  EXPECT_FLOAT_EQ(flat[3], 5.0f);
+}
+
+TEST(Sharding, ValidateCatchesGap) {
+  Sharding sh;
+  sh.num_params = 10;
+  ShardLayout s0;
+  s0.slices.push_back(ParamSlice{0, 0, 4});
+  s0.slices.push_back(ParamSlice{1, 6, 4});  // gap at [4,6)
+  s0.total = 8;
+  sh.shards.push_back(s0);
+  EXPECT_DEATH(sh.validate(), "gap or overlap");
+}
+
+TEST(SlicerFactory, BuildsBoth) {
+  EXPECT_EQ(make_slicer("default")->name(), "default");
+  EXPECT_EQ(make_slicer("eps", 64)->name(), "eps");
+  EXPECT_DEATH((void)make_slicer("hash"), "unknown slicer");
+}
+
+// Property sweep: both slicers fully cover every model's parameters for any
+// server count, and EPS is always at least as balanced as default.
+struct SliceCase {
+  std::string model;
+  std::uint32_t servers;
+};
+
+class SlicerProperty : public ::testing::TestWithParam<SliceCase> {};
+
+TEST_P(SlicerProperty, CoverageAndBalance) {
+  const auto& p = GetParam();
+  std::vector<std::size_t> layers;
+  if (p.model == "softmax") {
+    layers = ml::SoftmaxNet(512, 10).layer_sizes();
+  } else if (p.model == "resmlp") {
+    layers = ml::ResMlp(64, 16, 27, 10).layer_sizes();
+  } else {
+    layers = {1, 7, 100000, 3, 50, 2048};  // adversarial: one huge tensor
+  }
+  DefaultSlicer dflt;
+  EpsSlicer eps(1024);
+  const auto a = dflt.shard(layers, p.servers);
+  const auto b = eps.shard(layers, p.servers);
+  a.validate();
+  b.validate();
+  EXPECT_LE(b.imbalance(), a.imbalance() + 1e-9);
+  if (p.servers > 1) {
+    EXPECT_LT(b.imbalance(), 1.6) << "EPS with 1k chunks should be well balanced";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SlicerProperty,
+    ::testing::Values(SliceCase{"softmax", 1}, SliceCase{"softmax", 2}, SliceCase{"softmax", 8},
+                      SliceCase{"resmlp", 1}, SliceCase{"resmlp", 4}, SliceCase{"resmlp", 8},
+                      SliceCase{"resmlp", 16}, SliceCase{"adversarial", 2},
+                      SliceCase{"adversarial", 8}, SliceCase{"adversarial", 32}),
+    [](const ::testing::TestParamInfo<SliceCase>& info) {
+      return info.param.model + "_M" + std::to_string(info.param.servers);
+    });
+
+}  // namespace
+}  // namespace fluentps::ps

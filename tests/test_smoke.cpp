@@ -1,0 +1,57 @@
+// End-to-end smoke: a tiny experiment runs on both backends and learns
+// something (accuracy well above chance on a 10-class task).
+#include <gtest/gtest.h>
+
+#include "core/fluentps.h"
+
+namespace fluentps {
+namespace {
+
+core::ExperimentConfig tiny_config() {
+  core::ExperimentConfig cfg;
+  cfg.num_workers = 4;
+  cfg.num_servers = 2;
+  cfg.max_iters = 120;
+  cfg.sync.kind = "ssp";
+  cfg.sync.staleness = 2;
+  cfg.dpr_mode = ps::DprMode::kLazy;
+  cfg.model.kind = "softmax";
+  cfg.data.num_train = 2048;
+  cfg.data.num_test = 512;
+  cfg.opt.kind = "sgd";
+  cfg.opt.lr.base = 0.5;
+  cfg.batch_size = 32;
+  cfg.compute.kind = "lognormal";
+  cfg.compute.base_seconds = 0.01;
+  cfg.seed = 7;
+  return cfg;
+}
+
+TEST(Smoke, SimBackendLearns) {
+  auto cfg = tiny_config();
+  cfg.backend = core::Backend::kSim;
+  const auto result = core::run_experiment(cfg);
+  EXPECT_EQ(result.iterations, cfg.max_iters);
+  EXPECT_GT(result.total_time, 0.0);
+  EXPECT_GT(result.final_accuracy, 0.3) << "10-class chance is 0.1";
+}
+
+TEST(Smoke, ThreadBackendLearns) {
+  auto cfg = tiny_config();
+  cfg.backend = core::Backend::kThreads;
+  const auto result = core::run_experiment(cfg);
+  EXPECT_EQ(result.iterations, cfg.max_iters);
+  EXPECT_GT(result.final_accuracy, 0.3);
+}
+
+TEST(Smoke, SimIsDeterministic) {
+  auto cfg = tiny_config();
+  const auto a = core::run_experiment(cfg);
+  const auto b = core::run_experiment(cfg);
+  EXPECT_DOUBLE_EQ(a.total_time, b.total_time);
+  EXPECT_DOUBLE_EQ(a.final_accuracy, b.final_accuracy);
+  EXPECT_EQ(a.dpr_total, b.dpr_total);
+}
+
+}  // namespace
+}  // namespace fluentps

@@ -1,0 +1,158 @@
+// Unit tests for StreamingStats and IntHistogram.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/stats.h"
+
+namespace fluentps {
+namespace {
+
+TEST(StreamingStats, EmptyDefaults) {
+  StreamingStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 0.0);
+  EXPECT_DOUBLE_EQ(s.max(), 0.0);
+}
+
+TEST(StreamingStats, KnownMoments) {
+  StreamingStats s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(StreamingStats, SingleValue) {
+  StreamingStats s;
+  s.add(3.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(StreamingStats, MergeEqualsCombined) {
+  StreamingStats a, b, all;
+  for (int i = 0; i < 50; ++i) {
+    const double x = std::sin(i) * 10.0;
+    (i % 2 == 0 ? a : b).add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-10);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(StreamingStats, MergeWithEmpty) {
+  StreamingStats a, empty;
+  a.add(1.0);
+  a.add(2.0);
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 2u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 1.5);
+}
+
+TEST(StreamingStats, Reset) {
+  StreamingStats s;
+  s.add(5.0);
+  s.reset();
+  EXPECT_EQ(s.count(), 0u);
+}
+
+TEST(IntHistogram, CountsBuckets) {
+  IntHistogram h(10);
+  h.add(0);
+  h.add(3);
+  h.add(3);
+  h.add(10);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_EQ(h.bucket(0), 1u);
+  EXPECT_EQ(h.bucket(3), 2u);
+  EXPECT_EQ(h.bucket(10), 1u);
+  EXPECT_EQ(h.overflow(), 0u);
+}
+
+TEST(IntHistogram, OverflowBucket) {
+  IntHistogram h(4);
+  h.add(5);
+  h.add(100);
+  EXPECT_EQ(h.overflow(), 2u);
+  EXPECT_EQ(h.count(), 2u);
+}
+
+TEST(IntHistogram, NegativeClampsToZero) {
+  IntHistogram h(4);
+  h.add(-3);
+  EXPECT_EQ(h.bucket(0), 1u);
+}
+
+TEST(IntHistogram, MeanIncludesTrueValues) {
+  IntHistogram h(4);
+  h.add(2);
+  h.add(4);
+  EXPECT_DOUBLE_EQ(h.mean(), 3.0);
+}
+
+TEST(IntHistogram, Pmf) {
+  IntHistogram h(8);
+  for (int i = 0; i < 3; ++i) h.add(1);
+  h.add(2);
+  EXPECT_DOUBLE_EQ(h.pmf(1), 0.75);
+  EXPECT_DOUBLE_EQ(h.pmf(2), 0.25);
+  EXPECT_DOUBLE_EQ(h.pmf(5), 0.0);
+}
+
+TEST(IntHistogram, Quantile) {
+  IntHistogram h(16);
+  for (int v = 0; v < 10; ++v) h.add(v);  // uniform 0..9
+  EXPECT_EQ(h.quantile(0.0), 0);
+  EXPECT_EQ(h.quantile(0.5), 5);
+  EXPECT_EQ(h.quantile(0.95), 9);
+}
+
+TEST(IntHistogram, QuantileEmpty) {
+  IntHistogram h(4);
+  EXPECT_EQ(h.quantile(0.5), 0);
+}
+
+TEST(IntHistogram, MergeGrowsBuckets) {
+  IntHistogram a(4), b(16);
+  a.add(2);
+  b.add(12);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_EQ(a.bucket(2), 1u);
+  EXPECT_EQ(a.bucket(12), 1u);
+  EXPECT_EQ(a.max_value(), 16u);
+}
+
+TEST(IntHistogram, ResetClears) {
+  IntHistogram h(4);
+  h.add(1);
+  h.add(99);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.overflow(), 0u);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+}
+
+TEST(IntHistogram, ToStringListsNonEmpty) {
+  IntHistogram h(4);
+  h.add(1);
+  h.add(1);
+  const auto s = h.to_string();
+  EXPECT_NE(s.find("1: 2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fluentps

@@ -1,0 +1,217 @@
+// TCP transport tests: framing, routing, FIFO, large payloads, and a full
+// parameter-server training loop over real loopback sockets.
+#include <gtest/gtest.h>
+
+#include <condition_variable>
+#include <mutex>
+
+#include "net/tcp_transport.h"
+#include "ps/server.h"
+#include "ps/slicing.h"
+#include "ps/worker.h"
+
+namespace fluentps::net {
+namespace {
+
+/// Collects messages for assertions with a bounded wait.
+struct Sink {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::vector<Message> got;
+
+  Transport::Handler handler() {
+    return [this](Message&& m) {
+      std::scoped_lock lock(mu);
+      got.push_back(std::move(m));
+      cv.notify_all();
+    };
+  }
+
+  bool wait_for(std::size_t count, int ms = 3000) {
+    std::unique_lock lock(mu);
+    return cv.wait_for(lock, std::chrono::milliseconds(ms),
+                       [&] { return got.size() >= count; });
+  }
+};
+
+TEST(TcpTransport, LocalFastPath) {
+  TcpTransport t;
+  Sink sink;
+  t.register_node(1, sink.handler());
+  Message m;
+  m.dst = 1;
+  m.progress = 5;
+  t.send(std::move(m));
+  ASSERT_TRUE(sink.wait_for(1));
+  EXPECT_EQ(sink.got[0].progress, 5);
+  EXPECT_EQ(t.frames_sent(), 0u) << "local delivery must not serialize";
+}
+
+TEST(TcpTransport, CrossInstanceRoundTrip) {
+  TcpTransport a, b;
+  Sink sink;
+  b.register_node(2, sink.handler());
+  const auto port = b.listen();
+  a.add_route(2, "127.0.0.1", port);
+
+  Message m;
+  m.type = MsgType::kPush;
+  m.src = 1;
+  m.dst = 2;
+  m.values = {1.0f, 2.0f, 3.0f};
+  a.send(std::move(m));
+  ASSERT_TRUE(sink.wait_for(1));
+  EXPECT_EQ(sink.got[0].values, (std::vector<float>{1.0f, 2.0f, 3.0f}));
+  EXPECT_EQ(a.frames_sent(), 1u);
+  EXPECT_EQ(b.frames_received(), 1u);
+}
+
+TEST(TcpTransport, FifoOverOneConnection) {
+  TcpTransport a, b;
+  Sink sink;
+  b.register_node(2, sink.handler());
+  a.add_route(2, "127.0.0.1", b.listen());
+  for (int i = 0; i < 200; ++i) {
+    Message m;
+    m.dst = 2;
+    m.progress = i;
+    a.send(std::move(m));
+  }
+  ASSERT_TRUE(sink.wait_for(200));
+  for (int i = 0; i < 200; ++i) EXPECT_EQ(sink.got[static_cast<std::size_t>(i)].progress, i);
+}
+
+TEST(TcpTransport, LargePayload) {
+  TcpTransport a, b;
+  Sink sink;
+  b.register_node(2, sink.handler());
+  a.add_route(2, "127.0.0.1", b.listen());
+  Message m;
+  m.dst = 2;
+  m.values.resize(1 << 20);  // 4 MiB payload
+  for (std::size_t i = 0; i < m.values.size(); ++i) m.values[i] = static_cast<float>(i % 97);
+  a.send(std::move(m));
+  ASSERT_TRUE(sink.wait_for(1, 10000));
+  ASSERT_EQ(sink.got[0].values.size(), std::size_t{1} << 20);
+  EXPECT_FLOAT_EQ(sink.got[0].values[96], 96.0f);
+  EXPECT_FLOAT_EQ(sink.got[0].values[97], 0.0f);
+}
+
+TEST(TcpTransport, BidirectionalTraffic) {
+  TcpTransport a, b;
+  Sink sa, sb;
+  a.register_node(1, sa.handler());
+  b.register_node(2, sb.handler());
+  a.add_route(2, "127.0.0.1", b.listen());
+  b.add_route(1, "127.0.0.1", a.listen());
+  Message to_b;
+  to_b.dst = 2;
+  to_b.progress = 10;
+  a.send(std::move(to_b));
+  Message to_a;
+  to_a.dst = 1;
+  to_a.progress = 20;
+  b.send(std::move(to_a));
+  ASSERT_TRUE(sa.wait_for(1));
+  ASSERT_TRUE(sb.wait_for(1));
+  EXPECT_EQ(sa.got[0].progress, 20);
+  EXPECT_EQ(sb.got[0].progress, 10);
+}
+
+TEST(TcpTransport, AutoRegistrationEnablesReplies) {
+  // B never calls add_route: it learns A's nodes from the hello frames A
+  // sends when it first connects.
+  TcpTransport a, b;
+  Sink sa;
+  a.register_node(1, sa.handler());
+  (void)a.listen();  // A advertises this port in its hellos
+  b.register_node(2, [&b](Message&& m) {
+    // Reply to the sender without any manual route configuration.
+    Message reply;
+    reply.type = MsgType::kPullResp;
+    reply.dst = m.src;
+    reply.src = m.dst;
+    reply.progress = m.progress + 1;
+    b.send(std::move(reply));
+  });
+  a.add_route(2, "127.0.0.1", b.listen());
+
+  Message m;
+  m.type = MsgType::kPull;
+  m.src = 1;
+  m.dst = 2;
+  m.progress = 41;
+  a.send(std::move(m));
+  ASSERT_TRUE(sa.wait_for(1));
+  EXPECT_EQ(sa.got[0].progress, 42);
+}
+
+TEST(TcpTransport, UnroutableIsDropped) {
+  TcpTransport a;
+  Message m;
+  m.dst = 99;
+  a.send(std::move(m));  // no crash, no hang
+  a.shutdown();
+}
+
+TEST(TcpTransport, ShutdownIsIdempotentAndUnblocks) {
+  TcpTransport a, b;
+  Sink sink;
+  b.register_node(2, sink.handler());
+  a.add_route(2, "127.0.0.1", b.listen());
+  Message m;
+  m.dst = 2;
+  a.send(std::move(m));
+  ASSERT_TRUE(sink.wait_for(1));
+  b.shutdown();
+  b.shutdown();
+  a.shutdown();
+}
+
+TEST(TcpTransport, EndToEndTrainingOverSockets) {
+  // The real thing: a Server in transport A, a WorkerClient in transport B,
+  // BSP "add ones" for 5 iterations over loopback TCP.
+  ps::EpsSlicer slicer(8);
+  const auto sharding = slicer.shard({24}, 1);
+
+  TcpTransport server_side, worker_side;
+
+  ps::ServerSpec sspec;
+  sspec.node_id = 1;
+  sspec.server_rank = 0;
+  sspec.num_workers = 1;
+  sspec.layout = sharding.shards[0];
+  sspec.initial_shard.assign(24, 0.0f);
+  sspec.engine.num_workers = 1;
+  sspec.engine.model = ps::make_sync_model({.kind = "bsp"}, 1);
+  sspec.engine.seed = 1;
+  ps::Server server(std::move(sspec), server_side);
+  server_side.register_node(1, [&server](Message&& m) { server.handle(std::move(m)); });
+
+  ps::WorkerSpec wspec;
+  wspec.node_id = 2;
+  wspec.worker_rank = 0;
+  wspec.server_nodes = {1};
+  wspec.sharding = &sharding;
+  ps::WorkerClient worker(std::move(wspec), worker_side);
+  worker_side.register_node(2, [&worker](Message&& m) { worker.handle(std::move(m)); });
+
+  const auto sport = server_side.listen();
+  const auto wport = worker_side.listen();
+  worker_side.add_route(1, "127.0.0.1", sport);
+  server_side.add_route(2, "127.0.0.1", wport);
+
+  const std::vector<float> ones(24, 1.0f);
+  std::vector<float> params(24);
+  for (std::int64_t i = 0; i < 5; ++i) {
+    worker.push(ones, i);
+    const auto t = worker.pull(i);
+    worker.wait_pull(t, params);
+    for (const float v : params) ASSERT_FLOAT_EQ(v, static_cast<float>(i + 1));
+  }
+  EXPECT_EQ(server.pushes_applied(), 5);
+  EXPECT_GE(worker_side.frames_sent(), 10u);  // 5 pushes + 5 pulls
+}
+
+}  // namespace
+}  // namespace fluentps::net

@@ -1,0 +1,114 @@
+// Thread-backend runtime tests: every architecture and sync model completes
+// and learns with real concurrency.
+#include <gtest/gtest.h>
+
+#include "core/fluentps.h"
+
+namespace fluentps {
+namespace {
+
+core::ExperimentConfig tiny() {
+  core::ExperimentConfig cfg;
+  cfg.backend = core::Backend::kThreads;
+  cfg.num_workers = 4;
+  cfg.num_servers = 2;
+  cfg.max_iters = 60;
+  cfg.model.kind = "softmax";
+  cfg.data.num_train = 1024;
+  cfg.data.num_test = 256;
+  cfg.opt.kind = "sgd";
+  cfg.opt.lr.base = 0.4;
+  cfg.batch_size = 16;
+  cfg.seed = 5;
+  return cfg;
+}
+
+struct ThreadCase {
+  const char* name;
+  const char* sync;
+  std::int64_t s;
+  double prob;
+  core::Arch arch;
+  ps::DprMode mode;
+};
+
+class ThreadRuntimeModels : public ::testing::TestWithParam<ThreadCase> {};
+
+TEST_P(ThreadRuntimeModels, CompletesAndLearns) {
+  const auto& p = GetParam();
+  auto cfg = tiny();
+  cfg.sync.kind = p.sync;
+  cfg.sync.staleness = p.s;
+  cfg.sync.prob = p.prob;
+  cfg.arch = p.arch;
+  cfg.dpr_mode = p.mode;
+  const auto r = core::run_experiment(cfg);
+  EXPECT_EQ(r.iterations, cfg.max_iters);
+  EXPECT_GT(r.final_accuracy, 0.25) << "should be well above 10% chance";
+  EXPECT_GT(r.total_time, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, ThreadRuntimeModels,
+    ::testing::Values(
+        ThreadCase{"bsp_lazy", "bsp", 0, 0, core::Arch::kFluentPS, ps::DprMode::kLazy},
+        ThreadCase{"bsp_soft", "bsp", 0, 0, core::Arch::kFluentPS, ps::DprMode::kSoftBarrier},
+        ThreadCase{"asp", "asp", 0, 0, core::Arch::kFluentPS, ps::DprMode::kLazy},
+        ThreadCase{"ssp2_lazy", "ssp", 2, 0, core::Arch::kFluentPS, ps::DprMode::kLazy},
+        ThreadCase{"ssp2_soft", "ssp", 2, 0, core::Arch::kFluentPS, ps::DprMode::kSoftBarrier},
+        ThreadCase{"pssp", "pssp", 2, 0.5, core::Arch::kFluentPS, ps::DprMode::kLazy},
+        ThreadCase{"dsps", "dsps", 2, 0, core::Arch::kFluentPS, ps::DprMode::kLazy},
+        ThreadCase{"drop", "drop", 0, 0, core::Arch::kFluentPS, ps::DprMode::kLazy},
+        ThreadCase{"pslite_bsp", "bsp", 0, 0, core::Arch::kPsLite, ps::DprMode::kLazy},
+        ThreadCase{"pslite_ssp", "ssp", 2, 0, core::Arch::kPsLite, ps::DprMode::kLazy},
+        ThreadCase{"ssptable", "ssp", 3, 0, core::Arch::kSspTable, ps::DprMode::kLazy}),
+    [](const ::testing::TestParamInfo<ThreadCase>& info) { return info.param.name; });
+
+TEST(ThreadRuntime, MlpAndResMlpTrain) {
+  auto cfg = tiny();
+  cfg.max_iters = 40;
+  cfg.model.kind = "mlp";
+  cfg.model.hidden = 24;
+  cfg.opt.lr.base = 0.2;
+  EXPECT_GT(core::run_experiment(cfg).final_accuracy, 0.2);
+  cfg.model.kind = "resmlp";
+  cfg.model.hidden = 8;
+  cfg.model.blocks = 4;
+  cfg.opt.lr.base = 0.1;
+  const auto r = core::run_experiment(cfg);
+  EXPECT_GT(r.final_accuracy, 0.1);
+}
+
+TEST(ThreadRuntime, LarsAndMomentumComplete) {
+  auto cfg = tiny();
+  cfg.max_iters = 30;
+  cfg.opt.kind = "momentum";
+  cfg.opt.lr.base = 0.1;
+  EXPECT_EQ(core::run_experiment(cfg).iterations, 30);
+  cfg.opt.kind = "lars";
+  cfg.opt.lars_eta = 0.1;
+  cfg.opt.lr.base = 1.0;
+  EXPECT_EQ(core::run_experiment(cfg).iterations, 30);
+}
+
+TEST(ThreadRuntime, EvalCurveCollected) {
+  auto cfg = tiny();
+  cfg.eval_every = 20;
+  const auto r = core::run_experiment(cfg);
+  EXPECT_GE(r.curve.size(), 3u);
+}
+
+TEST(ThreadRuntime, ManyWorkersOversubscribed) {
+  // More workers than cores: exercises contention paths.
+  auto cfg = tiny();
+  cfg.num_workers = 12;
+  cfg.num_servers = 3;
+  cfg.max_iters = 25;
+  cfg.sync.kind = "ssp";
+  cfg.sync.staleness = 2;
+  const auto r = core::run_experiment(cfg);
+  EXPECT_EQ(r.iterations, 25);
+}
+
+}  // namespace
+}  // namespace fluentps
