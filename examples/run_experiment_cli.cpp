@@ -29,7 +29,12 @@ void print_usage() {
       "            base_seconds sigma worker_sigma straggler_prob slowdown\n"
       "            latency bandwidth\n"
       "  extras:   seed eval_every significance trace_iters\n"
-      "  outputs:  curve_csv= trace_json= save= load=\n");
+      "  faults:   fault.drop fault.dup fault.delay_prob fault.delay_seconds\n"
+      "            fault.reorder fault.reorder_max fault.partition='w0,w1@0.5:1.5'\n"
+      "            fault.crash='s0@1.0:2.0' fault.checkpoint_every fault.seed\n"
+      "  retries:  retry.initial_timeout retry.max_timeout retry.backoff\n"
+      "            retry.jitter retry.budget force_reliability={0,1}\n"
+      "  outputs:  curve_csv= trace_json= save= load= checkpoint_dir=\n");
 }
 
 }  // namespace
@@ -89,6 +94,11 @@ int main(int argc, char** argv) {
   cfg.push_significance_threshold = args.get_double("significance", 0.0);
   cfg.trace_iters = args.get_int("trace_iters", 0);
 
+  cfg.faults = fault::FaultSpec::from_config(args);
+  cfg.retry = fault::RetryPolicy::from_config(args);
+  cfg.force_reliability = args.get_bool("force_reliability", false);
+  cfg.checkpoint_dir = args.get_string("checkpoint_dir", "");
+
   if (const auto load = args.get_string("load"); !load.empty()) {
     if (!core::load_params(load, &cfg.initial_params)) {
       std::fprintf(stderr, "failed to load checkpoint %s\n", load.c_str());
@@ -112,6 +122,16 @@ int main(int argc, char** argv) {
   if (r.pushes_filtered > 0) {
     std::printf("filtered pushes %lld\n", static_cast<long long>(r.pushes_filtered));
   }
+  if (cfg.reliability_enabled()) {
+    std::printf("faults          dropped %lld  dup %lld  delayed %lld\n",
+                static_cast<long long>(r.dropped), static_cast<long long>(r.duplicated),
+                static_cast<long long>(r.delayed));
+    std::printf("recovery        retries %lld  dedup hits %lld  crashes %lld  restores %lld\n",
+                static_cast<long long>(r.worker_retries),
+                static_cast<long long>(r.server_dedup_hits),
+                static_cast<long long>(r.server_crashes),
+                static_cast<long long>(r.server_recoveries));
+  }
 
   if (const auto path = args.get_string("curve_csv"); !path.empty()) {
     Table curve;
@@ -123,7 +143,7 @@ int main(int argc, char** argv) {
   }
   if (const auto path = args.get_string("trace_json"); !path.empty()) {
     std::printf("trace  -> %s (%s)\n", path.c_str(),
-                core::write_chrome_trace(path, r.trace) ? "ok" : "FAILED");
+                core::write_chrome_trace(path, r.trace, r.fault_events) ? "ok" : "FAILED");
   }
   if (const auto path = args.get_string("save"); !path.empty()) {
     std::printf("params -> %s (%s)\n", path.c_str(),

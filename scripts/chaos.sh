@@ -1,0 +1,72 @@
+#!/usr/bin/env bash
+# Chaos harness: run the experiment CLI across every sync mode under lossy
+# links plus one mid-run server crash-restart, and fail if any run diverges.
+#
+# This is the shell-level counterpart of tests/test_chaos.cpp — useful for
+# soak-testing with bigger clusters / longer runs than the unit suite wants:
+#
+#   scripts/chaos.sh                       # default: 8 workers, 120 iters
+#   WORKERS=32 ITERS=1000 scripts/chaos.sh # bigger soak
+#   DROP=0.2 scripts/chaos.sh              # crank the loss rate
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+WORKERS="${WORKERS:-8}"
+SERVERS="${SERVERS:-2}"
+ITERS="${ITERS:-120}"
+DROP="${DROP:-0.10}"
+SEED="${SEED:-1234}"
+CLI=build/examples/run_experiment_cli
+
+if [ ! -x "$CLI" ]; then
+  cmake -B build -S .
+  cmake --build build -j --target run_experiment_cli
+fi
+
+# sync-kind[:extra flags]
+CASES=(
+  "bsp"
+  "ssp staleness=3"
+  "ssp staleness=3 mode=soft"
+  "pssp staleness=3 prob=0.3"
+  "pssp staleness=3 prob=0.3 mode=soft"
+  "bsp arch=pslite"
+  "ssp staleness=3 arch=ssptable"
+)
+
+fail=0
+for case_spec in "${CASES[@]}"; do
+  read -r sync extra <<<"$case_spec"
+  label="$sync ${extra:-}"
+  echo "== chaos: sync=$label drop=$DROP + crash s0 =="
+  out=$("$CLI" \
+    workers="$WORKERS" servers="$SERVERS" iters="$ITERS" seed="$SEED" \
+    sync="$sync" ${extra:-} \
+    model=softmax dim=64 classes=10 train_n=1024 test_n=256 \
+    compute=lognormal base_seconds=0.01 sigma=0.3 \
+    fault.drop="$DROP" fault.checkpoint_every=0.05 "fault.crash=s0@0.3:0.5" \
+    retry.initial_timeout=0.02 retry.max_timeout=0.3 2>&1) || {
+    echo "$out"
+    echo "!! run failed: $label"
+    fail=1
+    continue
+  }
+  echo "$out" | grep -E "final accuracy|faults|recovery"
+  acc=$(echo "$out" | sed -n 's/^final accuracy *\([0-9.]*\).*/\1/p')
+  restores=$(echo "$out" | sed -n 's/.*restores \([0-9]*\).*/\1/p')
+  if [ -z "$acc" ] || [ "$acc" = "nan" ]; then
+    echo "!! non-finite accuracy: $label"
+    fail=1
+  fi
+  if [ "${restores:-0}" -lt 1 ]; then
+    echo "!! server never recovered from the injected crash: $label"
+    fail=1
+  fi
+  echo
+done
+
+if [ "$fail" -ne 0 ]; then
+  echo "CHAOS: FAILURES (see above)"
+  exit 1
+fi
+echo "CHAOS: all ${#CASES[@]} cases survived ${DROP} loss + crash-restart"

@@ -63,6 +63,22 @@ class Rng {
     }
   }
 
+  /// Trivially copyable snapshot of the generator, so components that
+  /// checkpoint themselves (sync engine under crash-restart recovery) can
+  /// resume their stream exactly where the crash left it.
+  struct State {
+    std::uint64_t state = 0;
+    double spare = 0.0;
+    std::uint8_t has_spare = 0;
+  };
+
+  [[nodiscard]] State save_state() const noexcept { return {state_, spare_, has_spare_}; }
+  void restore_state(const State& s) noexcept {
+    state_ = s.state;
+    spare_ = s.spare;
+    has_spare_ = s.has_spare != 0;
+  }
+
  private:
   std::uint64_t state_;
   double spare_ = 0.0;

@@ -9,19 +9,23 @@
 namespace fluentps::core {
 namespace {
 
-constexpr std::uint64_t kMagic = 0x464C50533031ULL;  // "FLPS01"
+constexpr std::uint64_t kMagic = 0x464C50533031ULL;      // "FLPS01"
+constexpr std::uint64_t kBlobMagic = 0x464C50533032ULL;  // "FLPS02"
 
-}  // namespace
-
-std::uint64_t params_checksum(std::span<const float> params) noexcept {
+std::uint64_t fnv1a(const std::uint8_t* bytes, std::size_t n) noexcept {
   std::uint64_t h = 0xCBF29CE484222325ULL;
-  const auto* bytes = reinterpret_cast<const std::uint8_t*>(params.data());
-  const std::size_t n = params.size() * sizeof(float);
   for (std::size_t i = 0; i < n; ++i) {
     h ^= bytes[i];
     h *= 0x100000001B3ULL;
   }
   return h;
+}
+
+}  // namespace
+
+std::uint64_t params_checksum(std::span<const float> params) noexcept {
+  return fnv1a(reinterpret_cast<const std::uint8_t*>(params.data()),
+               params.size() * sizeof(float));
 }
 
 bool save_params(const std::string& path, std::span<const float> params) {
@@ -65,6 +69,47 @@ bool load_params(const std::string& path, std::vector<float>* out) {
     return false;
   }
   *out = std::move(params);
+  return true;
+}
+
+bool save_blob(const std::string& path, std::span<const std::uint8_t> blob) {
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  if (!f) {
+    FPS_LOG(Warn) << "checkpoint: cannot open " << path << " for writing";
+    return false;
+  }
+  const std::uint64_t count = blob.size();
+  const std::uint64_t checksum = fnv1a(blob.data(), blob.size());
+  f.write(reinterpret_cast<const char*>(&kBlobMagic), sizeof(kBlobMagic));
+  f.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  f.write(reinterpret_cast<const char*>(&checksum), sizeof(checksum));
+  f.write(reinterpret_cast<const char*>(blob.data()), static_cast<std::streamsize>(blob.size()));
+  return static_cast<bool>(f);
+}
+
+bool load_blob(const std::string& path, std::vector<std::uint8_t>* out) {
+  FPS_CHECK(out != nullptr) << "null output vector";
+  std::ifstream f(path, std::ios::binary);
+  if (!f) return false;
+  std::uint64_t magic = 0, count = 0, checksum = 0;
+  f.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+  f.read(reinterpret_cast<char*>(&count), sizeof(count));
+  f.read(reinterpret_cast<char*>(&checksum), sizeof(checksum));
+  if (!f || magic != kBlobMagic) {
+    FPS_LOG(Warn) << "checkpoint: bad blob header in " << path;
+    return false;
+  }
+  if (count > (1ULL << 34)) {
+    FPS_LOG(Warn) << "checkpoint: implausible blob size " << count;
+    return false;
+  }
+  std::vector<std::uint8_t> blob(count);
+  f.read(reinterpret_cast<char*>(blob.data()), static_cast<std::streamsize>(count));
+  if (!f || fnv1a(blob.data(), blob.size()) != checksum) {
+    FPS_LOG(Warn) << "checkpoint: truncated or corrupt blob payload in " << path;
+    return false;
+  }
+  *out = std::move(blob);
   return true;
 }
 

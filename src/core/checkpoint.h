@@ -20,4 +20,14 @@ bool load_params(const std::string& path, std::vector<float>* out);
 /// exposed for tests.
 std::uint64_t params_checksum(std::span<const float> params) noexcept;
 
+/// Write an opaque byte blob (server shard + sync-engine state under
+/// crash-restart recovery) with the same magic/size/checksum header
+/// discipline as save_params. Returns false on I/O failure.
+bool save_blob(const std::string& path, std::span<const std::uint8_t> blob);
+
+/// Read a save_blob file. Returns false on missing/truncated/corrupt input
+/// (torn writes and bit flips fail the checksum, zero-length files fail the
+/// header read) without touching *out.
+bool load_blob(const std::string& path, std::vector<std::uint8_t>* out);
+
 }  // namespace fluentps::core

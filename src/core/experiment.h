@@ -9,6 +9,8 @@
 #include <vector>
 
 #include "common/stats.h"
+#include "fault/fault_plan.h"
+#include "fault/retry_policy.h"
 #include "ml/dataset.h"
 #include "ml/model.h"
 #include "ml/optimizer.h"
@@ -118,6 +120,30 @@ struct ExperimentConfig {
   /// `trace_iters` iterations of each worker (sim backend only; 0 = off).
   std::int64_t trace_iters = 0;
 
+  // --- fault injection & recovery (src/fault) -------------------------
+
+  /// Declarative fault schedule (drop/dup/delay/reorder, partitions, server
+  /// crash+restart). Empty = pristine fabric. Sim runs stay bit-identical
+  /// for a fixed seed even with faults enabled.
+  fault::FaultSpec faults;
+
+  /// Timeout/backoff knobs for the worker retransmit loops (and the sim
+  /// worker state machine) when reliability is on.
+  fault::RetryPolicy retry;
+
+  /// Run the at-least-once protocol (sequence numbers, acks, dedup windows)
+  /// even without any configured faults — for overhead measurements.
+  bool force_reliability = false;
+
+  /// When non-empty, server checkpoints are also written to this directory
+  /// as FLPS02 blobs (crash recovery itself uses the in-memory store).
+  std::string checkpoint_dir;
+
+  /// Reliability layer active? (explicitly forced, or implied by any fault.)
+  [[nodiscard]] bool reliability_enabled() const noexcept {
+    return force_reliability || faults.any();
+  }
+
   /// Short human-readable tag for tables.
   [[nodiscard]] std::string label() const;
 };
@@ -138,6 +164,15 @@ struct AccuracyPoint {
   std::int64_t iter = 0; ///< worker-0 iteration at evaluation
   double accuracy = 0.0;
   double loss = 0.0;
+};
+
+/// A fault-lifecycle event observed during the run (crash, restart,
+/// checkpoint, recovery completion) — exported as instant events on the
+/// Chrome trace timeline.
+struct FaultEvent {
+  double time = 0.0;
+  std::string kind;         ///< "crash" | "restart" | "checkpoint" | "recovered"
+  std::uint32_t node = 0;   ///< node id the event concerns
 };
 
 struct ExperimentResult {
@@ -173,6 +208,19 @@ struct ExperimentResult {
 
   /// Per-iteration timelines when config.trace_iters > 0.
   std::vector<IterationTrace> trace;
+
+  // --- fault injection & recovery outcomes ----------------------------
+  std::int64_t dropped = 0;           ///< messages lost to the fault plan
+  std::int64_t duplicated = 0;        ///< messages duplicated by the fault plan
+  std::int64_t delayed = 0;           ///< messages delayed/reordered
+  std::int64_t worker_retries = 0;    ///< retransmission rounds, all workers
+  std::int64_t server_recoveries = 0; ///< checkpoint restores performed
+  std::int64_t server_dedup_hits = 0; ///< retransmits suppressed server-side
+  std::int64_t server_crashes = 0;    ///< crash events executed
+  /// Snapshot of the run's Metrics counters (fault.*, worker.*, server.*).
+  std::vector<std::pair<std::string, std::int64_t>> counters;
+  /// Crash/restart/checkpoint timeline (trace_export renders these).
+  std::vector<FaultEvent> fault_events;
 
   /// Free-form extras (per-bench diagnostics).
   std::map<std::string, double> extra;

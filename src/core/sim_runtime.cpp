@@ -1,11 +1,16 @@
 #include "core/sim_runtime.h"
 
 #include <algorithm>
+#include <cmath>
 #include <deque>
+#include <filesystem>
 #include <memory>
 
 #include "baselines/ssptable_cache.h"
 #include "common/logging.h"
+#include "common/metrics.h"
+#include "core/checkpoint.h"
+#include "fault/faulty_transport.h"
 #include "ml/eval.h"
 #include "ml/ops.h"
 #include "net/sim_transport.h"
@@ -22,6 +27,11 @@ constexpr net::NodeId kSchedulerNode = 0;
 net::NodeId server_node(std::uint32_t m) { return 1 + m; }
 net::NodeId worker_node(std::uint32_t m_servers, std::uint32_t n) { return 1 + m_servers + n; }
 
+/// Poll cadence for detecting the end of a crash-recovery handshake (the
+/// completion is driven by message arrivals, so this only affects when the
+/// "recovered" trace event is stamped, not the protocol itself).
+constexpr double kRecoveryWatchSeconds = 0.05;
+
 class SimRun {
  public:
   explicit SimRun(const ExperimentConfig& cfg)
@@ -34,6 +44,22 @@ class SimRun {
         compute_(sim::make_compute_model(cfg.compute, cfg.num_workers, cfg.seed)) {
     FPS_CHECK(cfg.num_workers > 0 && cfg.num_servers > 0) << "empty cluster";
     FPS_CHECK(cfg.max_iters > 0) << "max_iters must be positive";
+    reliable_ = cfg.reliability_enabled();
+    checkpointing_ = !cfg.faults.crashes.empty() || !cfg.checkpoint_dir.empty();
+    server_epoch_.assign(cfg.num_servers, 0);
+    ckpt_store_.resize(cfg.num_servers);
+    if (cfg.faults.any()) {
+      fault::FaultPlan plan(cfg.faults, cfg.num_servers, cfg.num_workers);
+      chaos_ = std::make_unique<fault::FaultyTransport>(
+          transport_, std::move(plan), derive_seed(cfg.seed, cfg.faults.seed),
+          /*clock=*/[this] { return env_.now(); },
+          /*defer=*/
+          [this](double delay, std::function<void()> fn) { env_.schedule(delay, std::move(fn)); },
+          &metrics_);
+      bus_ = chaos_.get();
+    } else {
+      bus_ = &transport_;
+    }
     build_parameters();
     build_servers();
     build_scheduler();
@@ -41,6 +67,12 @@ class SimRun {
   }
 
   ExperimentResult run() {
+    if (checkpointing_) {
+      take_checkpoints();  // t = 0: a crash before the first interval must
+                           // still find something to restore
+      schedule_next_checkpoint();
+    }
+    schedule_crashes();
     for (auto& w : workers_) schedule_compute(*w);
     env_.run();
     return collect();
@@ -66,6 +98,27 @@ class SimRun {
     std::uint32_t pending_acks = 0;
     std::uint64_t ticket = 0;
     std::uint64_t next_ticket = 1;
+
+    // --- reliability (at-least-once over a faulty fabric) ---------------
+    // One outstanding push round at a time (mirrors ps::WorkerClient): a new
+    // round starts only after the previous one is fully acked, so each
+    // server's SeqWindow floor always catches up and memory stays bounded.
+    std::int64_t round_progress = -1;
+    bool round_metadata = false;
+    std::vector<float> round_values;        ///< flat copy kept for retransmits
+    std::vector<std::uint64_t> push_seqs;   ///< per server: live round's seq
+    std::vector<char> push_acked;           ///< per server
+    std::uint32_t push_unacked = 0;
+    bool round_blocked = false;  ///< compute finished, waiting for old round's acks
+    std::vector<std::uint64_t> next_seq;            ///< per server, starts at 1
+    std::vector<std::int64_t> last_acked_progress;  ///< per server, -1 = none
+    std::vector<char> pull_received;                ///< per server (dedup mask)
+    bool report_outstanding = false;  ///< kProgress sent, grant not yet seen
+    bool grant_seen = false;
+    std::uint32_t attempt = 0;  ///< retry backoff ladder position (per round)
+    bool retry_armed = false;   ///< one timeout event in flight per worker
+    Rng retry_rng{0};
+    std::int64_t retries = 0;
 
     double compute_seconds = 0.0;
     double comm_seconds = 0.0;
@@ -116,21 +169,31 @@ class SimRun {
       spec.engine.seed = derive_seed(cfg_.seed, 0x5E57E8 + m);
       spec.ack_pushes = baseline;
       spec.respond_unconditionally = baseline;
-      auto server = std::make_unique<ps::Server>(std::move(spec), transport_);
+      spec.reliable = reliable_;
+      if (reliable_) {
+        for (std::uint32_t n = 0; n < cfg_.num_workers; ++n) {
+          spec.worker_nodes.push_back(worker_node(cfg_.num_servers, n));
+        }
+      }
+      auto server = std::make_unique<ps::Server>(std::move(spec), *bus_);
       ps::Server* raw = server.get();
       // Serial request processing: arrivals queue behind the server's single
       // handler; synchronization machinery (buffering/releasing DPRs) costs
       // extra, so high synchronization frequency translates into time.
       server_busy_until_.push_back(0.0);
       double* busy = &server_busy_until_.back();
-      transport_.register_node(raw->node_id(), [this, raw, busy](net::Message&& msg) {
+      bus_->register_node(raw->node_id(), [this, raw, busy, m](net::Message&& msg) {
         const double start = std::max(env_.now(), *busy);
         *busy = start + cfg_.server_proc_seconds;
-        env_.schedule_at(start, [this, raw, busy, m = std::move(msg)]() mutable {
-          const bool is_push = m.type == net::MsgType::kPush;
+        // A message accepted into the processing queue before a crash dies
+        // with the process: the deferred execution checks the node's epoch.
+        const std::uint64_t epoch = server_epoch_[m];
+        env_.schedule_at(start, [this, raw, busy, m, epoch, msg = std::move(msg)]() mutable {
+          if (server_epoch_[m] != epoch) return;  // queued pre-crash; lost
+          const bool is_push = msg.type == net::MsgType::kPush;
           const std::int64_t dpr0 = raw->engine().dpr_total();
           const std::int64_t resp0 = raw->pulls_answered();
-          raw->handle(std::move(m));
+          raw->handle(std::move(msg));
           // DPR machinery events: newly buffered pulls, plus (for a push) the
           // buffered pulls it released. A pull answered directly is plain
           // request handling, already covered by server_proc_seconds.
@@ -158,11 +221,11 @@ class SimRun {
     spec.engine.mode = ps::DprMode::kSoftBarrier;
     spec.engine.model = ps::make_sync_model(cfg_.sync, cfg_.num_workers);
     spec.engine.seed = derive_seed(cfg_.seed, 0x5C7ED);
-    scheduler_ = std::make_unique<ps::Scheduler>(std::move(spec), transport_);
+    scheduler_ = std::make_unique<ps::Scheduler>(std::move(spec), *bus_);
     // The centralized scheduler processes one message at a time: arrivals
     // queue behind its serial handler (the PS-Lite bottleneck the paper's
     // overlap synchronization removes).
-    transport_.register_node(kSchedulerNode, [this](net::Message&& msg) {
+    bus_->register_node(kSchedulerNode, [this](net::Message&& msg) {
       const double start = std::max(env_.now(), scheduler_busy_until_);
       scheduler_busy_until_ = start + cfg_.pslite_scheduler_proc_seconds;
       env_.schedule_at(scheduler_busy_until_,
@@ -186,8 +249,18 @@ class SimRun {
       w->rng = Rng(cfg_.seed, 0xF00D + n);
       // Cluster-unique tickets: servers key pending pulls by request id.
       w->next_ticket = (static_cast<std::uint64_t>(n) << 40) + 1;
+      if (reliable_) {
+        w->push_seqs.assign(cfg_.num_servers, 0);
+        w->push_acked.assign(cfg_.num_servers, 1);
+        w->next_seq.assign(cfg_.num_servers, 1);
+        w->last_acked_progress.assign(cfg_.num_servers, -1);
+        w->pull_received.assign(cfg_.num_servers, 0);
+        // Same stream labels as ps::WorkerClient's jitter rng: the two
+        // backends draw identical backoff ladders for the same seed.
+        w->retry_rng = Rng(derive_seed(cfg_.seed, 0x9E7981 + n), /*stream=*/0x4E7);
+      }
       WorkerState* raw = w.get();
-      transport_.register_node(raw->node, [this, raw](net::Message&& msg) {
+      bus_->register_node(raw->node, [this, raw](net::Message&& msg) {
         on_worker_msg(*raw, std::move(msg));
       });
       workers_.push_back(std::move(w));
@@ -210,6 +283,22 @@ class SimRun {
     w.opt->compute_update(w.params, w.grad, w.iter, w.update);
     w.wait_started = env_.now();
 
+    if (reliable_ && w.push_unacked > 0) {
+      // One outstanding push round at a time: the previous round still has
+      // unacked shards (the retry timer keeps retransmitting them), so this
+      // iteration's sync phase starts when the last ack lands. The stall is
+      // charged to comm time via wait_started, exactly like the thread
+      // backend's await_round_acked().
+      w.round_blocked = true;
+      return;
+    }
+    start_sync_phase(w);
+  }
+
+  void start_sync_phase(WorkerState& w) {
+    w.attempt = 0;
+    w.report_outstanding = false;
+    w.grant_seen = false;
     if (cfg_.push_significance_threshold > 0.0) {
       // Gaia-style filter: aggregate locally; push only significant updates.
       if (w.pending.empty()) w.pending.assign(model_->num_params(), 0.0f);
@@ -237,67 +326,176 @@ class SimRun {
   }
 
   void send_pushes(WorkerState& w, std::span<const float> values, bool metadata_only) {
-    for (std::uint32_t m = 0; m < cfg_.num_servers; ++m) {
-      const ps::ShardLayout& layout = sharding_.shards[m];
-      net::Message msg;
-      msg.type = net::MsgType::kPush;
-      msg.src = w.node;
-      msg.dst = server_node(m);
-      msg.progress = w.iter;
-      msg.worker_rank = w.rank;
-      msg.server_rank = m;
-      if (!metadata_only) {
-        msg.values.resize(layout.total);
-        layout.gather(values, msg.values);
+    if (reliable_) {
+      w.round_progress = w.iter;
+      w.round_metadata = metadata_only;
+      w.round_values.assign(values.begin(), values.end());
+      w.push_unacked = cfg_.num_servers;
+      for (std::uint32_t m = 0; m < cfg_.num_servers; ++m) {
+        w.push_seqs[m] = w.next_seq[m]++;
+        w.push_acked[m] = 0;
       }
-      transport_.send(std::move(msg));
+    } else {
+      w.round_progress = w.iter;
     }
+    for (std::uint32_t m = 0; m < cfg_.num_servers; ++m) send_push_one(w, m, metadata_only);
+    if (reliable_) arm_retry(w);
+  }
+
+  /// (Re)send the live round's push for server m, regathering from the
+  /// retained flat copy so retransmits are bit-identical to the original.
+  void send_push_one(WorkerState& w, std::uint32_t m, bool metadata_only) {
+    const ps::ShardLayout& layout = sharding_.shards[m];
+    net::Message msg;
+    msg.type = net::MsgType::kPush;
+    msg.src = w.node;
+    msg.dst = server_node(m);
+    msg.seq = reliable_ ? w.push_seqs[m] : 0;
+    msg.progress = w.round_progress;
+    msg.worker_rank = w.rank;
+    msg.server_rank = m;
+    if (!metadata_only) {
+      const std::span<const float> flat =
+          reliable_ ? std::span<const float>(w.round_values) : std::span<const float>(w.update);
+      msg.values.resize(layout.total);
+      layout.gather(flat, msg.values);
+    }
+    bus_->send(std::move(msg));
   }
 
   void send_pulls(WorkerState& w) {
     w.ticket = w.next_ticket++;
     w.pending_shards = cfg_.num_servers;
+    if (reliable_) std::fill(w.pull_received.begin(), w.pull_received.end(), 0);
+    for (std::uint32_t m = 0; m < cfg_.num_servers; ++m) send_pull_one(w, m);
+    if (reliable_) arm_retry(w);
+  }
+
+  void send_pull_one(WorkerState& w, std::uint32_t m) {
+    net::Message msg;
+    msg.type = net::MsgType::kPull;
+    msg.src = w.node;
+    msg.dst = server_node(m);
+    msg.request_id = w.ticket;
+    msg.progress = w.iter;
+    msg.worker_rank = w.rank;
+    msg.server_rank = m;
+    bus_->send(std::move(msg));
+  }
+
+  void send_report(WorkerState& w) {
+    net::Message report;
+    report.type = net::MsgType::kProgress;
+    report.src = w.node;
+    report.dst = kSchedulerNode;
+    report.progress = w.iter;
+    report.worker_rank = w.rank;
+    bus_->send(std::move(report));
+  }
+
+  // --- reliability: timeout-driven retransmission -----------------------
+
+  [[nodiscard]] bool outstanding(const WorkerState& w) const {
+    return w.push_unacked > 0 || w.pending_shards > 0 ||
+           (w.report_outstanding && !w.grant_seen);
+  }
+
+  void arm_retry(WorkerState& w) {
+    if (!reliable_ || w.retry_armed) return;
+    w.retry_armed = true;
+    const double timeout = cfg_.retry.timeout_for(w.attempt, w.retry_rng);
+    env_.schedule(timeout, [this, &w] {
+      w.retry_armed = false;
+      if (!outstanding(w)) return;  // round completed while the timer was armed
+      ++w.retries;
+      if (!cfg_.retry.exhausted(w.attempt)) ++w.attempt;
+      resend_outstanding(w);
+      arm_retry(w);
+    });
+  }
+
+  void resend_outstanding(WorkerState& w) {
     for (std::uint32_t m = 0; m < cfg_.num_servers; ++m) {
-      net::Message msg;
-      msg.type = net::MsgType::kPull;
-      msg.src = w.node;
-      msg.dst = server_node(m);
-      msg.request_id = w.ticket;
-      msg.progress = w.iter;
-      msg.worker_rank = w.rank;
-      msg.server_rank = m;
-      transport_.send(std::move(msg));
+      if (w.push_unacked > 0 && !w.push_acked[m]) send_push_one(w, m, w.round_metadata);
     }
+    if (w.pending_shards > 0) {
+      for (std::uint32_t m = 0; m < cfg_.num_servers; ++m) {
+        if (!w.pull_received[m]) send_pull_one(w, m);
+      }
+    }
+    if (w.report_outstanding && !w.grant_seen) send_report(w);
   }
 
   void on_worker_msg(WorkerState& w, net::Message&& msg) {
     switch (msg.type) {
       case net::MsgType::kPullResp: {
         if (msg.request_id != w.ticket) return;  // response to a superseded pull
+        const std::uint32_t m = msg.server_rank;
+        if (reliable_) {
+          FPS_CHECK(m < w.pull_received.size()) << "bad server rank in pull response";
+          if (w.pull_received[m]) return;  // duplicate (retransmit raced the original)
+          w.pull_received[m] = 1;
+        }
         const bool apply = cfg_.arch != Arch::kSspTable || w.cache.apply_fresh(w.iter);
         if (apply) {
-          sharding_.shards[msg.server_rank].scatter(msg.values, w.params);
+          sharding_.shards[m].scatter(msg.values, w.params);
         }
         FPS_CHECK(w.pending_shards > 0) << "unexpected pull response";
         if (--w.pending_shards == 0) finish_iteration(w);
         break;
       }
       case net::MsgType::kPushAck: {
-        FPS_CHECK(w.pending_acks > 0) << "unexpected push ack";
-        if (--w.pending_acks == 0) {
-          net::Message report;
-          report.type = net::MsgType::kProgress;
-          report.src = w.node;
-          report.dst = kSchedulerNode;
-          report.progress = w.iter;
-          report.worker_rank = w.rank;
-          transport_.send(std::move(report));
+        if (reliable_) {
+          const std::uint32_t m = msg.server_rank;
+          FPS_CHECK(m < w.push_acked.size()) << "bad server rank in push ack";
+          // Only the live round's sequence counts; acks from superseded
+          // retransmits of earlier rounds are stale and ignored.
+          if (w.push_unacked == 0 || w.push_acked[m] || msg.seq != w.push_seqs[m]) return;
+          w.push_acked[m] = 1;
+          w.last_acked_progress[m] = std::max(w.last_acked_progress[m], msg.progress);
+          if (--w.push_unacked == 0) {
+            if (w.round_blocked) {
+              // The next iteration's gradient was already computed; start its
+              // sync phase now that the old round is fully acked.
+              w.round_blocked = false;
+              start_sync_phase(w);
+            } else if (cfg_.arch == Arch::kPsLite && !w.done && w.pending_shards == 0 &&
+                       !w.grant_seen) {
+              w.report_outstanding = true;
+              send_report(w);
+              arm_retry(w);
+            }
+          }
+          break;
         }
+        FPS_CHECK(w.pending_acks > 0) << "unexpected push ack";
+        if (--w.pending_acks == 0) send_report(w);
         break;
       }
       case net::MsgType::kPullGrant:
+        if (reliable_) {
+          // The scheduler re-grants on duplicate reports; gate on the grant
+          // matching the iteration we are actually waiting on.
+          if (!w.report_outstanding || w.grant_seen || msg.progress != w.iter) return;
+          w.grant_seen = true;
+          w.report_outstanding = false;
+        }
         send_pulls(w);
         break;
+      case net::MsgType::kRecover: {
+        // A server restarted from a checkpoint and asks what it acked to us.
+        net::Message ack;
+        ack.type = net::MsgType::kRecoverAck;
+        ack.src = w.node;
+        ack.dst = msg.src;
+        ack.worker_rank = w.rank;
+        ack.server_rank = msg.server_rank;
+        ack.progress = (reliable_ && msg.server_rank < w.last_acked_progress.size())
+                           ? w.last_acked_progress[msg.server_rank]
+                           : -1;
+        bus_->send(std::move(ack));
+        break;
+      }
       default:
         FPS_LOG(Warn) << "sim worker " << w.rank << " ignoring " << msg.to_debug_string();
     }
@@ -329,6 +527,8 @@ class SimRun {
     } else {
       w.done = true;
       w.finish_time = env_.now();
+      // The retry timer stays armed while the final round's pushes are
+      // unacked: a done worker still owes its last update to every server.
     }
   }
 
@@ -359,6 +559,90 @@ class SimRun {
     pt.accuracy = ml::test_accuracy(*model_, params, data_, eval_ws_);
     pt.loss = ml::test_loss(*model_, params, data_, eval_ws_);
     curve_.push_back(pt);
+  }
+
+  // --- crash-restart lifecycle ------------------------------------------
+
+  [[nodiscard]] bool all_done() const {
+    return std::all_of(workers_.begin(), workers_.end(),
+                       [](const auto& w) { return w->done; });
+  }
+
+  void take_checkpoints() {
+    if (!cfg_.checkpoint_dir.empty() && !ckpt_dir_ready_) {
+      std::error_code ec;
+      std::filesystem::create_directories(cfg_.checkpoint_dir, ec);
+      ckpt_dir_ready_ = true;
+    }
+    for (std::uint32_t m = 0; m < cfg_.num_servers; ++m) {
+      if (chaos_ && chaos_->is_down(server_node(m))) continue;  // crashed: nothing to save
+      ckpt_store_[m] = servers_[m]->save_state();
+      if (!cfg_.checkpoint_dir.empty()) {
+        const std::string path =
+            cfg_.checkpoint_dir + "/server_" + std::to_string(m) + ".ckpt";
+        if (!save_blob(path, ckpt_store_[m])) {
+          FPS_LOG(Warn) << "failed to write checkpoint blob " << path;
+        }
+      }
+      metrics_.incr("server.checkpoints");
+      fault_events_.push_back(FaultEvent{env_.now(), "checkpoint", server_node(m)});
+    }
+  }
+
+  void schedule_next_checkpoint() {
+    const double every = cfg_.faults.checkpoint_every;
+    if (every <= 0.0) return;
+    env_.schedule(every, [this] {
+      if (all_done()) return;  // let the event queue drain (DES termination)
+      take_checkpoints();
+      schedule_next_checkpoint();
+    });
+  }
+
+  void schedule_crashes() {
+    for (const auto& c : cfg_.faults.crashes) {
+      FPS_CHECK(c.server_rank < cfg_.num_servers)
+          << "crash schedule names server " << c.server_rank << " of " << cfg_.num_servers;
+      FPS_CHECK(chaos_ != nullptr) << "crash schedule without a fault plan";
+      env_.schedule_at(c.crash_time, [this, m = c.server_rank] { do_crash(m); });
+      if (std::isfinite(c.restart_time)) {
+        env_.schedule_at(c.restart_time, [this, m = c.server_rank] { do_restart(m); });
+      }
+    }
+  }
+
+  void do_crash(std::uint32_t m) {
+    chaos_->set_down(server_node(m), true);
+    ++server_epoch_[m];  // messages queued behind the busy model die too
+    ++server_crashes_;
+    metrics_.incr("server.crashes");
+    fault_events_.push_back(FaultEvent{env_.now(), "crash", server_node(m)});
+    FPS_LOG(Info) << "server " << m << " crashed at t=" << env_.now();
+  }
+
+  void do_restart(std::uint32_t m) {
+    FPS_CHECK(!ckpt_store_[m].empty()) << "server " << m << " restarting without a checkpoint";
+    FPS_CHECK(servers_[m]->restore_state(ckpt_store_[m]))
+        << "server " << m << " checkpoint blob failed to restore";
+    server_busy_until_[m] = env_.now();  // fresh process: empty request queue
+    chaos_->set_down(server_node(m), false);
+    metrics_.incr("server.recoveries");
+    fault_events_.push_back(FaultEvent{env_.now(), "restart", server_node(m)});
+    FPS_LOG(Info) << "server " << m << " restarted from checkpoint at t=" << env_.now();
+    servers_[m]->begin_recovery();
+    watch_recovery(m);
+  }
+
+  /// Stamp a "recovered" event once the kRecover/kRecoverAck handshake
+  /// completes (polling only affects the trace timestamp, not the protocol).
+  void watch_recovery(std::uint32_t m) {
+    env_.schedule(kRecoveryWatchSeconds, [this, m] {
+      if (!servers_[m]->recovering()) {
+        fault_events_.push_back(FaultEvent{env_.now(), "recovered", server_node(m)});
+        return;
+      }
+      if (!all_done()) watch_recovery(m);
+    });
   }
 
   [[nodiscard]] std::vector<float> global_params() const {
@@ -395,6 +679,7 @@ class SimRun {
     if (scheduler_) {
       r.extra["scheduler_dprs"] = static_cast<double>(scheduler_->engine().dpr_total());
       r.extra["scheduler_grants"] = static_cast<double>(scheduler_->grants_issued());
+      r.extra["scheduler_dedup_hits"] = static_cast<double>(scheduler_->dedup_hits());
     }
     double max_ingress = 0.0;
     for (std::uint32_t m = 0; m < cfg_.num_servers; ++m) {
@@ -404,6 +689,23 @@ class SimRun {
     r.extra["events"] = static_cast<double>(env_.events_executed());
 
     for (const auto& w : workers_) r.pushes_filtered += w->pushes_filtered;
+
+    // --- fault & reliability outcomes -----------------------------------
+    if (chaos_) {
+      r.dropped = static_cast<std::int64_t>(chaos_->dropped() + chaos_->dropped_down());
+      r.duplicated = static_cast<std::int64_t>(chaos_->duplicated());
+      r.delayed = static_cast<std::int64_t>(chaos_->delayed());
+    }
+    for (const auto& w : workers_) r.worker_retries += w->retries;
+    for (const auto& s : servers_) {
+      r.server_dedup_hits += s->dedup_hits();
+      r.server_recoveries += s->recoveries();
+    }
+    r.server_crashes = server_crashes_;
+    if (r.worker_retries > 0) metrics_.incr("worker.retries", r.worker_retries);
+    if (r.server_dedup_hits > 0) metrics_.incr("server.dedup_hits", r.server_dedup_hits);
+    r.counters = metrics_.counters();
+    r.fault_events = std::move(fault_events_);
 
     auto params = global_params();
     r.final_accuracy = ml::test_accuracy(*model_, params, data_, eval_ws_);
@@ -420,6 +722,12 @@ class SimRun {
   sim::SimEnv env_;
   sim::NetworkModel network_;
   net::SimTransport transport_;
+  Metrics metrics_;
+  std::unique_ptr<fault::FaultyTransport> chaos_;  ///< set iff cfg.faults.any()
+  net::Transport* bus_ = nullptr;  ///< the transport everyone actually talks to
+  bool reliable_ = false;
+  bool checkpointing_ = false;
+  bool ckpt_dir_ready_ = false;
   ml::Dataset data_;
   std::unique_ptr<ml::Model> model_;
   std::unique_ptr<sim::ComputeModel> compute_;
@@ -427,11 +735,15 @@ class SimRun {
   ps::Sharding sharding_;
   std::vector<std::unique_ptr<ps::Server>> servers_;
   std::deque<double> server_busy_until_;  // deque: stable addresses for handlers
+  std::vector<std::uint64_t> server_epoch_;  // bumped on crash: kills queued work
+  std::vector<std::vector<std::uint8_t>> ckpt_store_;  // latest blob per server
   std::unique_ptr<ps::Scheduler> scheduler_;
   double scheduler_busy_until_ = 0.0;
   std::vector<std::unique_ptr<WorkerState>> workers_;
   std::vector<AccuracyPoint> curve_;
   std::vector<IterationTrace> trace_;
+  std::vector<FaultEvent> fault_events_;
+  std::int64_t server_crashes_ = 0;
   std::size_t next_switch_ = 0;
   ml::Workspace eval_ws_;
 };

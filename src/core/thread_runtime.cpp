@@ -1,13 +1,21 @@
 #include "core/thread_runtime.h"
 
 #include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <filesystem>
+#include <limits>
 #include <memory>
 #include <mutex>
 #include <thread>
 
 #include "baselines/ssptable_cache.h"
 #include "common/logging.h"
+#include "common/metrics.h"
 #include "common/stopwatch.h"
+#include "core/checkpoint.h"
+#include "fault/faulty_transport.h"
+#include "fault/timer_queue.h"
 #include "ml/eval.h"
 #include "ml/ops.h"
 #include "net/inproc_transport.h"
@@ -41,6 +49,21 @@ class ThreadRun {
     }
     const auto slicer = ps::make_slicer(cfg.slicer, cfg.eps_chunk);
     sharding_ = slicer->shard(model_->layer_sizes(), cfg.num_servers);
+    reliable_ = cfg.reliability_enabled();
+    checkpointing_ = !cfg.faults.crashes.empty() || !cfg.checkpoint_dir.empty();
+    ckpt_store_.resize(cfg.num_servers);
+    if (cfg.faults.any()) {
+      fault::FaultPlan plan(cfg.faults, cfg.num_servers, cfg.num_workers);
+      chaos_ = std::make_unique<fault::FaultyTransport>(
+          transport_, std::move(plan), derive_seed(cfg.seed, cfg.faults.seed),
+          /*clock=*/[this] { return since_start_.seconds(); },
+          /*defer=*/
+          [this](double delay, std::function<void()> fn) { timers_.after(delay, std::move(fn)); },
+          &metrics_);
+      bus_ = chaos_.get();
+    } else {
+      bus_ = &transport_;
+    }
     build_servers();
     build_scheduler();
     build_clients();
@@ -48,6 +71,12 @@ class ThreadRun {
 
   ExperimentResult run() {
     Stopwatch total;
+    if (checkpointing_) take_checkpoints();  // a crash before the first interval
+                                             // must find something to restore
+    std::jthread chaos_thread;
+    if (checkpointing_ || !cfg_.faults.crashes.empty()) {
+      chaos_thread = std::jthread([this](const std::stop_token& st) { chaos_loop(st); });
+    }
     {
       std::vector<std::jthread> threads;
       threads.reserve(cfg_.num_workers);
@@ -56,6 +85,11 @@ class ThreadRun {
       }
     }  // join all workers
     const double makespan = total.seconds();
+    if (chaos_thread.joinable()) {
+      chaos_thread.request_stop();
+      chaos_thread.join();
+    }
+    timers_.shutdown();  // drop deferred (delayed/reordered) deliveries
     transport_.shutdown();
     return collect(makespan);
   }
@@ -93,10 +127,16 @@ class ThreadRun {
       spec.engine.seed = derive_seed(cfg_.seed, 0x5E57E8 + m);
       spec.ack_pushes = baseline;
       spec.respond_unconditionally = baseline;
-      auto server = std::make_unique<ps::Server>(std::move(spec), transport_);
+      spec.reliable = reliable_;
+      if (reliable_) {
+        for (std::uint32_t n = 0; n < cfg_.num_workers; ++n) {
+          spec.worker_nodes.push_back(worker_node(cfg_.num_servers, n));
+        }
+      }
+      auto server = std::make_unique<ps::Server>(std::move(spec), *bus_);
       ps::Server* raw = server.get();
-      transport_.register_node(raw->node_id(),
-                               [raw](net::Message&& msg) { raw->handle(std::move(msg)); });
+      bus_->register_node(raw->node_id(),
+                          [raw](net::Message&& msg) { raw->handle(std::move(msg)); });
       servers_.push_back(std::move(server));
     }
   }
@@ -113,9 +153,9 @@ class ThreadRun {
     spec.engine.mode = ps::DprMode::kSoftBarrier;
     spec.engine.model = ps::make_sync_model(cfg_.sync, cfg_.num_workers);
     spec.engine.seed = derive_seed(cfg_.seed, 0x5C7ED);
-    scheduler_ = std::make_unique<ps::Scheduler>(std::move(spec), transport_);
-    transport_.register_node(kSchedulerNode,
-                             [this](net::Message&& msg) { scheduler_->handle(std::move(msg)); });
+    scheduler_ = std::make_unique<ps::Scheduler>(std::move(spec), *bus_);
+    bus_->register_node(kSchedulerNode,
+                        [this](net::Message&& msg) { scheduler_->handle(std::move(msg)); });
   }
 
   void build_clients() {
@@ -129,11 +169,14 @@ class ThreadRun {
       }
       spec.sharding = &sharding_;
       spec.scheduler_node = kSchedulerNode;
+      spec.reliable = reliable_;
+      spec.retry = cfg_.retry;
+      spec.seed = cfg_.seed;
       auto pw = std::make_unique<PerWorker>();
-      pw->client = std::make_unique<ps::WorkerClient>(std::move(spec), transport_);
+      pw->client = std::make_unique<ps::WorkerClient>(std::move(spec), *bus_);
       ps::WorkerClient* raw = pw->client.get();
-      transport_.register_node(raw->node_id(),
-                               [raw](net::Message&& msg) { raw->handle(std::move(msg)); });
+      bus_->register_node(raw->node_id(),
+                          [raw](net::Message&& msg) { raw->handle(std::move(msg)); });
       workers_.push_back(std::move(pw));
     }
   }
@@ -208,6 +251,109 @@ class ThreadRun {
         }
       }
     }
+    if (reliable_) client.wait_push_acks();  // the final round is owed to the servers
+  }
+
+  // --- crash-restart lifecycle (wall clock) -----------------------------
+
+  void record_event(const char* kind, net::NodeId node) {
+    std::scoped_lock lock(fault_mu_);
+    fault_events_.push_back(FaultEvent{since_start_.seconds(), kind, node});
+  }
+
+  void take_checkpoints() {
+    if (!cfg_.checkpoint_dir.empty() && !ckpt_dir_ready_) {
+      std::error_code ec;
+      std::filesystem::create_directories(cfg_.checkpoint_dir, ec);
+      ckpt_dir_ready_ = true;
+    }
+    for (std::uint32_t m = 0; m < cfg_.num_servers; ++m) {
+      if (chaos_ && chaos_->is_down(server_node(m))) continue;  // crashed: nothing to save
+      auto blob = servers_[m]->save_state();
+      if (!cfg_.checkpoint_dir.empty()) {
+        const std::string path =
+            cfg_.checkpoint_dir + "/server_" + std::to_string(m) + ".ckpt";
+        if (!save_blob(path, blob)) {
+          FPS_LOG(Warn) << "failed to write checkpoint blob " << path;
+        }
+      }
+      {
+        std::scoped_lock lock(ckpt_mu_);
+        ckpt_store_[m] = std::move(blob);
+      }
+      metrics_.incr("server.checkpoints");
+      record_event("checkpoint", server_node(m));
+    }
+  }
+
+  void do_crash(std::uint32_t m) {
+    chaos_->set_down(server_node(m), true);
+    ++server_crashes_;
+    metrics_.incr("server.crashes");
+    record_event("crash", server_node(m));
+    FPS_LOG(Info) << "server " << m << " crashed at t=" << since_start_.seconds();
+  }
+
+  void do_restart(std::uint32_t m) {
+    std::vector<std::uint8_t> blob;
+    {
+      std::scoped_lock lock(ckpt_mu_);
+      blob = ckpt_store_[m];
+    }
+    FPS_CHECK(!blob.empty()) << "server " << m << " restarting without a checkpoint";
+    FPS_CHECK(servers_[m]->restore_state(blob))
+        << "server " << m << " checkpoint blob failed to restore";
+    chaos_->set_down(server_node(m), false);
+    metrics_.incr("server.recoveries");
+    record_event("restart", server_node(m));
+    FPS_LOG(Info) << "server " << m << " restarted from checkpoint at t="
+                  << since_start_.seconds();
+    servers_[m]->begin_recovery();
+  }
+
+  /// Background chaos driver: fires scheduled crash/restart events and takes
+  /// periodic checkpoints against the wall clock since run start.
+  void chaos_loop(const std::stop_token& st) {
+    struct CrashState {
+      fault::CrashSpec spec;
+      int phase = 0;  // 0 = armed, 1 = down, 2 = done
+    };
+    std::vector<CrashState> crashes;
+    crashes.reserve(cfg_.faults.crashes.size());
+    for (const auto& c : cfg_.faults.crashes) {
+      FPS_CHECK(c.server_rank < cfg_.num_servers)
+          << "crash schedule names server " << c.server_rank << " of " << cfg_.num_servers;
+      FPS_CHECK(chaos_ != nullptr) << "crash schedule without a fault plan";
+      crashes.push_back(CrashState{c, 0});
+    }
+    std::vector<char> await_recovered(cfg_.num_servers, 0);
+    const double every = cfg_.faults.checkpoint_every;
+    double next_ckpt = every > 0.0 ? since_start_.seconds() + every
+                                   : std::numeric_limits<double>::infinity();
+    while (!st.stop_requested()) {
+      const double now = since_start_.seconds();
+      for (auto& c : crashes) {
+        if (c.phase == 0 && now >= c.spec.crash_time) {
+          do_crash(c.spec.server_rank);
+          c.phase = 1;
+        } else if (c.phase == 1 && now >= c.spec.restart_time) {
+          do_restart(c.spec.server_rank);
+          await_recovered[c.spec.server_rank] = 1;
+          c.phase = 2;
+        }
+      }
+      for (std::uint32_t m = 0; m < cfg_.num_servers; ++m) {
+        if (await_recovered[m] && !servers_[m]->recovering()) {
+          await_recovered[m] = 0;
+          record_event("recovered", server_node(m));
+        }
+      }
+      if (checkpointing_ && now >= next_ckpt) {
+        take_checkpoints();
+        next_ckpt = since_start_.seconds() + every;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
   }
 
   void record_eval(std::int64_t iter) {
@@ -254,9 +400,30 @@ class ThreadRun {
     if (scheduler_) {
       r.extra["scheduler_dprs"] = static_cast<double>(scheduler_->engine().dpr_total());
       r.extra["scheduler_grants"] = static_cast<double>(scheduler_->grants_issued());
+      r.extra["scheduler_dedup_hits"] = static_cast<double>(scheduler_->dedup_hits());
     }
 
     for (const auto& w : workers_) r.pushes_filtered += w->pushes_filtered;
+
+    // --- fault & reliability outcomes -----------------------------------
+    if (chaos_) {
+      r.dropped = static_cast<std::int64_t>(chaos_->dropped() + chaos_->dropped_down());
+      r.duplicated = static_cast<std::int64_t>(chaos_->duplicated());
+      r.delayed = static_cast<std::int64_t>(chaos_->delayed());
+    }
+    for (const auto& w : workers_) r.worker_retries += w->client->retries();
+    for (const auto& s : servers_) {
+      r.server_dedup_hits += s->dedup_hits();
+      r.server_recoveries += s->recoveries();
+    }
+    r.server_crashes = server_crashes_;
+    if (r.worker_retries > 0) metrics_.incr("worker.retries", r.worker_retries);
+    if (r.server_dedup_hits > 0) metrics_.incr("server.dedup_hits", r.server_dedup_hits);
+    r.counters = metrics_.counters();
+    {
+      std::scoped_lock lock(fault_mu_);
+      r.fault_events = std::move(fault_events_);
+    }
 
     auto params = global_params();
     ml::Workspace ws;
@@ -276,13 +443,28 @@ class ThreadRun {
   std::unique_ptr<ml::Model> model_;
   std::vector<float> w0_;
   ps::Sharding sharding_;
+  // Destruction order matters: chaos_ (wraps transport_, defers via timers_)
+  // dies first, then timers_ (joins its thread, dropping deferred sends),
+  // then the inner transport.
   net::InprocTransport transport_;
+  fault::TimerQueue timers_;
+  std::unique_ptr<fault::FaultyTransport> chaos_;  ///< set iff cfg.faults.any()
+  net::Transport* bus_ = nullptr;  ///< the transport everyone actually talks to
+  Metrics metrics_;
+  bool reliable_ = false;
+  bool checkpointing_ = false;
+  bool ckpt_dir_ready_ = false;
   std::vector<std::unique_ptr<ps::Server>> servers_;
   std::unique_ptr<ps::Scheduler> scheduler_;
   std::vector<std::unique_ptr<PerWorker>> workers_;
   Stopwatch since_start_;
   std::mutex curve_mu_;
   std::vector<AccuracyPoint> curve_;
+  std::mutex ckpt_mu_;
+  std::vector<std::vector<std::uint8_t>> ckpt_store_;  // latest blob per server
+  std::mutex fault_mu_;
+  std::vector<FaultEvent> fault_events_;
+  std::int64_t server_crashes_ = 0;
 };
 
 }  // namespace

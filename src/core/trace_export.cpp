@@ -15,9 +15,21 @@ void append_event(std::ostringstream& os, bool& first, const char* name, std::ui
      << R"(, "args": {"iter": )" << iter << "}}";
 }
 
+// Fault-lifecycle markers render as process-scoped instant events ("ph": "i",
+// "s": "p") so a crash draws a vertical tick across the affected node's
+// timeline in the viewer.
+void append_instant(std::ostringstream& os, bool& first, const FaultEvent& e) {
+  if (!first) os << ",\n";
+  first = false;
+  os << R"(  {"name": ")" << e.kind << R"(", "cat": "fault", "ph": "i", "s": "p", "pid": 0, )"
+     << R"("tid": )" << e.node << R"(, "ts": )" << e.time * 1e6 << R"(, "args": {"node": )"
+     << e.node << "}}";
+}
+
 }  // namespace
 
-std::string to_chrome_trace_json(const std::vector<IterationTrace>& trace) {
+std::string to_chrome_trace_json(const std::vector<IterationTrace>& trace,
+                                 const std::vector<FaultEvent>& fault_events) {
   std::ostringstream os;
   os << "{\"traceEvents\": [\n";
   bool first = true;
@@ -25,14 +37,16 @@ std::string to_chrome_trace_json(const std::vector<IterationTrace>& trace) {
     append_event(os, first, "compute", t.worker, t.compute_start, t.compute_end, t.iter);
     append_event(os, first, "sync", t.worker, t.compute_end, t.sync_end, t.iter);
   }
+  for (const auto& e : fault_events) append_instant(os, first, e);
   os << "\n], \"displayTimeUnit\": \"ms\"}\n";
   return os.str();
 }
 
-bool write_chrome_trace(const std::string& path, const std::vector<IterationTrace>& trace) {
+bool write_chrome_trace(const std::string& path, const std::vector<IterationTrace>& trace,
+                        const std::vector<FaultEvent>& fault_events) {
   std::ofstream f(path);
   if (!f) return false;
-  f << to_chrome_trace_json(trace);
+  f << to_chrome_trace_json(trace, fault_events);
   return static_cast<bool>(f);
 }
 

@@ -1,7 +1,8 @@
 // Export IterationTrace timelines to the Chrome tracing format
 // (chrome://tracing / https://ui.perfetto.dev): each worker is a track with
 // alternating "compute" and "sync" spans, giving the paper's Fig 5 timeline
-// as an interactive visualization.
+// as an interactive visualization. Fault-lifecycle events (crash, restart,
+// checkpoint, recovered) overlay the timeline as global instant events.
 #pragma once
 
 #include <string>
@@ -11,11 +12,14 @@
 
 namespace fluentps::core {
 
-/// Render the trace as a Chrome tracing JSON document ("X" complete events;
-/// timestamps in microseconds).
-std::string to_chrome_trace_json(const std::vector<IterationTrace>& trace);
+/// Render the trace as a Chrome tracing JSON document ("X" complete events
+/// for compute/sync spans, "i" instant events for faults; timestamps in
+/// microseconds).
+std::string to_chrome_trace_json(const std::vector<IterationTrace>& trace,
+                                 const std::vector<FaultEvent>& fault_events = {});
 
 /// Write the JSON to a file; returns false on I/O error.
-bool write_chrome_trace(const std::string& path, const std::vector<IterationTrace>& trace);
+bool write_chrome_trace(const std::string& path, const std::vector<IterationTrace>& trace,
+                        const std::vector<FaultEvent>& fault_events = {});
 
 }  // namespace fluentps::core

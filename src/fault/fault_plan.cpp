@@ -1,0 +1,162 @@
+#include "fault/fault_plan.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace fluentps::fault {
+namespace {
+
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::string cur;
+  std::istringstream is(s);
+  while (std::getline(is, cur, sep)) {
+    // trim spaces
+    const auto b = cur.find_first_not_of(" \t");
+    const auto e = cur.find_last_not_of(" \t");
+    if (b == std::string::npos) continue;
+    out.push_back(cur.substr(b, e - b + 1));
+  }
+  return out;
+}
+
+double parse_time(const std::string& s) {
+  if (s == "inf" || s == "+inf") return std::numeric_limits<double>::infinity();
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  FPS_CHECK(end != s.c_str()) << "bad time token '" << s << "' in fault schedule";
+  return v;
+}
+
+/// Parse "members@start:end" -> (members, start, end). A missing "@window"
+/// means the whole run.
+void parse_window(const std::string& group, std::string* members, double* start, double* end) {
+  const auto at = group.find('@');
+  *start = 0.0;
+  *end = std::numeric_limits<double>::infinity();
+  if (at == std::string::npos) {
+    *members = group;
+    return;
+  }
+  *members = group.substr(0, at);
+  const std::string window = group.substr(at + 1);
+  const auto colon = window.find(':');
+  FPS_CHECK(colon != std::string::npos)
+      << "fault schedule window '" << window << "' must be start:end";
+  *start = parse_time(window.substr(0, colon));
+  *end = parse_time(window.substr(colon + 1));
+  FPS_CHECK(*end > *start) << "fault schedule window [" << *start << ", " << *end
+                           << ") is empty";
+}
+
+}  // namespace
+
+FaultSpec FaultSpec::from_config(const Config& cfg, const std::string& prefix) {
+  FaultSpec s;
+  s.link.drop_prob = cfg.get_double(prefix + "drop", 0.0);
+  s.link.dup_prob = cfg.get_double(prefix + "dup", 0.0);
+  s.link.delay_prob = cfg.get_double(prefix + "delay_prob", 0.0);
+  s.link.delay_seconds = cfg.get_double(prefix + "delay_seconds", 0.0);
+  s.link.reorder_prob = cfg.get_double(prefix + "reorder", 0.0);
+  s.link.reorder_max_seconds = cfg.get_double(prefix + "reorder_max", 0.0);
+  s.seed = static_cast<std::uint64_t>(cfg.get_int(prefix + "seed", 0xFA17));
+  s.checkpoint_every = cfg.get_double(prefix + "checkpoint_every", 0.25);
+
+  for (const auto& group : split(cfg.get_string(prefix + "partition", ""), ';')) {
+    PartitionSpec p;
+    std::string members;
+    parse_window(group, &members, &p.start, &p.end);
+    p.members = split(members, ',');
+    FPS_CHECK(!p.members.empty()) << "fault partition group '" << group << "' has no members";
+    s.partitions.push_back(std::move(p));
+  }
+
+  for (const auto& group : split(cfg.get_string(prefix + "crash", ""), ';')) {
+    CrashSpec c;
+    std::string member;
+    parse_window(group, &member, &c.crash_time, &c.restart_time);
+    FPS_CHECK(member.size() >= 2 && member[0] == 's')
+        << "fault crash target '" << member << "' must be a server token sN";
+    c.server_rank = static_cast<std::uint32_t>(std::strtoul(member.c_str() + 1, nullptr, 10));
+    s.crashes.push_back(c);
+  }
+  return s;
+}
+
+net::NodeId FaultPlan::resolve(const std::string& token, std::uint32_t num_servers,
+                               std::uint32_t num_workers) {
+  if (token == "sched" || token == "scheduler") return 0;
+  FPS_CHECK(token.size() >= 2 && (token[0] == 's' || token[0] == 'w'))
+      << "bad node token '" << token << "' (want sched, sN or wN)";
+  const auto rank = static_cast<std::uint32_t>(std::strtoul(token.c_str() + 1, nullptr, 10));
+  if (token[0] == 's') {
+    FPS_CHECK(rank < num_servers) << "server token '" << token << "' out of range (M="
+                                  << num_servers << ")";
+    return 1 + rank;
+  }
+  FPS_CHECK(rank < num_workers) << "worker token '" << token << "' out of range (N="
+                                << num_workers << ")";
+  return 1 + num_servers + rank;
+}
+
+bool FaultPlan::CompiledPartition::contains(net::NodeId n) const {
+  return std::binary_search(members.begin(), members.end(), n);
+}
+
+FaultPlan::FaultPlan(FaultSpec spec, std::uint32_t num_servers, std::uint32_t num_workers)
+    : spec_(std::move(spec)) {
+  partitions_.reserve(spec_.partitions.size());
+  for (const auto& p : spec_.partitions) {
+    CompiledPartition cp;
+    cp.start = p.start;
+    cp.end = p.end;
+    for (const auto& tok : p.members) cp.members.push_back(resolve(tok, num_servers, num_workers));
+    std::sort(cp.members.begin(), cp.members.end());
+    partitions_.push_back(std::move(cp));
+  }
+  for (const auto& c : spec_.crashes) {
+    FPS_CHECK(c.server_rank < num_servers)
+        << "crash spec server rank " << c.server_rank << " out of range (M=" << num_servers << ")";
+    FPS_CHECK(c.restart_time > c.crash_time)
+        << "crash spec for s" << c.server_rank << " must restart after crashing";
+  }
+}
+
+bool FaultPlan::partitioned(net::NodeId a, net::NodeId b, double now) const {
+  for (const auto& p : partitions_) {
+    if (now < p.start || now >= p.end) continue;
+    if (p.contains(a) != p.contains(b)) return true;
+  }
+  return false;
+}
+
+FaultPlan::Verdict FaultPlan::decide(net::NodeId src, net::NodeId dst, double now,
+                                     Rng& rng) const {
+  Verdict v;
+  if (partitioned(src, dst, now)) {
+    v.drop = true;
+    return v;  // partition drops are rng-free: no stream consumption
+  }
+  const LinkFaults& lf = spec_.link;
+  if (!lf.any()) return v;
+  // Fixed draw pattern: one uniform per enabled fault class, consumed in a
+  // stable order so the stream stays aligned whatever the outcome.
+  if (lf.drop_prob > 0.0 && rng.uniform() < lf.drop_prob) v.drop = true;
+  if (lf.dup_prob > 0.0 && rng.uniform() < lf.dup_prob) v.duplicate = true;
+  if (lf.delay_prob > 0.0 && lf.delay_seconds > 0.0 && rng.uniform() < lf.delay_prob) {
+    v.extra_delay += lf.delay_seconds;
+  }
+  if (lf.reorder_prob > 0.0 && lf.reorder_max_seconds > 0.0 && rng.uniform() < lf.reorder_prob) {
+    v.extra_delay += rng.uniform(0.0, lf.reorder_max_seconds);
+  }
+  if (v.drop) {
+    v.duplicate = false;
+    v.extra_delay = 0.0;
+  }
+  return v;
+}
+
+}  // namespace fluentps::fault

@@ -1,0 +1,121 @@
+// Declarative, seeded fault schedules.
+//
+// A FaultSpec is the user-facing description (parsed from Config keys under
+// "fault."): per-link drop/dup/delay/reorder probabilities, network
+// partitions over time windows, and server crash+restart events. A FaultPlan
+// compiles the spec against a concrete cluster layout (scheduler=0, servers
+// 1..M, workers M+1..M+N) and answers per-message verdicts.
+//
+// Determinism: all stochastic choices are drawn from an Rng stream owned by
+// the caller (FaultyTransport), seeded from the experiment seed, so two runs
+// of the same faulty config are bit-identical in the sim backend.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/config.h"
+#include "common/rng.h"
+#include "net/message.h"
+
+namespace fluentps::fault {
+
+/// Stochastic per-message faults applied uniformly to every link.
+struct LinkFaults {
+  double drop_prob = 0.0;     ///< P(message silently lost)
+  double dup_prob = 0.0;      ///< P(message delivered twice)
+  double delay_prob = 0.0;    ///< P(message delayed by delay_seconds)
+  double delay_seconds = 0.0; ///< fixed extra delay for delayed messages
+  double reorder_prob = 0.0;  ///< P(message gets a random extra delay)
+  double reorder_max_seconds = 0.0;  ///< max random extra delay (uniform)
+
+  [[nodiscard]] bool any() const noexcept {
+    return drop_prob > 0.0 || dup_prob > 0.0 || (delay_prob > 0.0 && delay_seconds > 0.0) ||
+           (reorder_prob > 0.0 && reorder_max_seconds > 0.0);
+  }
+};
+
+/// A partition isolates `members` from all non-members during [start, end):
+/// traffic crossing the cut is dropped; traffic inside either side flows.
+/// Members are node tokens: "sched", "sN" (server rank N), "wN" (worker rank N).
+struct PartitionSpec {
+  std::vector<std::string> members;
+  double start = 0.0;
+  double end = std::numeric_limits<double>::infinity();
+};
+
+/// Server crash at `crash_time`, restart (from latest checkpoint) at
+/// `restart_time`. restart_time > crash_time required; an infinite
+/// restart_time means the server never comes back.
+struct CrashSpec {
+  std::uint32_t server_rank = 0;
+  double crash_time = 0.0;
+  double restart_time = std::numeric_limits<double>::infinity();
+};
+
+struct FaultSpec {
+  LinkFaults link;
+  std::vector<PartitionSpec> partitions;
+  std::vector<CrashSpec> crashes;
+  /// Fault stream label, combined with the experiment seed.
+  std::uint64_t seed = 0xFA17;
+  /// Seconds (virtual in sim, wall in threads) between server snapshots when
+  /// crash-restart is in play.
+  double checkpoint_every = 0.25;
+
+  /// True if this spec perturbs anything at all.
+  [[nodiscard]] bool any() const noexcept {
+    return link.any() || !partitions.empty() || !crashes.empty();
+  }
+
+  /// Parse `prefix`{drop,dup,delay_prob,delay_seconds,reorder,reorder_max,
+  /// partition,crash,seed,checkpoint_every}. Schedules use compact strings:
+  ///   fault.partition = "w0,w1@0.5:1.5;s0@2:3"
+  ///   fault.crash     = "s0@1.0:2.0;s1@4.0:inf"
+  static FaultSpec from_config(const Config& cfg, const std::string& prefix = "fault.");
+};
+
+/// Spec compiled against a concrete cluster layout.
+class FaultPlan {
+ public:
+  FaultPlan() = default;  ///< empty plan: no faults
+  FaultPlan(FaultSpec spec, std::uint32_t num_servers, std::uint32_t num_workers);
+
+  struct Verdict {
+    bool drop = false;
+    bool duplicate = false;
+    double extra_delay = 0.0;
+  };
+
+  /// Per-message verdict. Partition checks are rng-free; stochastic link
+  /// faults draw from `rng` (a fixed number of draws per call, so the stream
+  /// stays aligned across identical runs).
+  [[nodiscard]] Verdict decide(net::NodeId src, net::NodeId dst, double now, Rng& rng) const;
+
+  /// True if a partition window currently separates `a` from `b`.
+  [[nodiscard]] bool partitioned(net::NodeId a, net::NodeId b, double now) const;
+
+  [[nodiscard]] const FaultSpec& spec() const noexcept { return spec_; }
+  [[nodiscard]] bool active() const noexcept { return spec_.any(); }
+
+  /// Resolve a node token ("sched", "s2", "w7") to a NodeId under the
+  /// standard layout. FPS_CHECK-fails on malformed tokens or out-of-range
+  /// ranks.
+  static net::NodeId resolve(const std::string& token, std::uint32_t num_servers,
+                             std::uint32_t num_workers);
+
+ private:
+  struct CompiledPartition {
+    std::vector<net::NodeId> members;  // sorted
+    double start = 0.0;
+    double end = 0.0;
+    [[nodiscard]] bool contains(net::NodeId n) const;
+  };
+
+  FaultSpec spec_;
+  std::vector<CompiledPartition> partitions_;
+};
+
+}  // namespace fluentps::fault

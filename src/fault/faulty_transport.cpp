@@ -1,0 +1,83 @@
+#include "fault/faulty_transport.h"
+
+#include <utility>
+
+namespace fluentps::fault {
+
+FaultyTransport::FaultyTransport(net::Transport& inner, FaultPlan plan, std::uint64_t seed,
+                                 ClockFn clock, Defer defer, Metrics* metrics)
+    : inner_(inner),
+      plan_(std::move(plan)),
+      clock_(std::move(clock)),
+      defer_(std::move(defer)),
+      metrics_(metrics),
+      rng_(seed, /*stream=*/0xFA011) {}
+
+void FaultyTransport::register_node(net::NodeId node, Handler handler) {
+  inner_.register_node(node, [this, node, h = std::move(handler)](net::Message&& m) mutable {
+    // Receive-side guard: messages in flight when the node went down die here.
+    if (m.type != net::MsgType::kShutdown && is_down(node)) {
+      count_down_drop();
+      return;
+    }
+    h(std::move(m));
+  });
+}
+
+void FaultyTransport::send(net::Message msg) {
+  if (msg.type == net::MsgType::kShutdown) {  // runtime plumbing, never faulted
+    inner_.send(std::move(msg));
+    return;
+  }
+  if (is_down(msg.src) || is_down(msg.dst)) {
+    count_down_drop();
+    return;
+  }
+  FaultPlan::Verdict v;
+  {
+    std::scoped_lock lock(mu_);
+    v = plan_.decide(msg.src, msg.dst, clock_(), rng_);
+  }
+  if (v.drop) {
+    count_drop();
+    return;
+  }
+  if (v.duplicate) {
+    duplicated_.fetch_add(1, std::memory_order_relaxed);
+    if (metrics_ != nullptr) metrics_->incr("fault.duplicated");
+    inner_.send(msg);  // copy goes out first; original follows below
+  }
+  if (v.extra_delay > 0.0) {
+    delayed_.fetch_add(1, std::memory_order_relaxed);
+    if (metrics_ != nullptr) metrics_->incr("fault.delayed");
+    defer_(v.extra_delay, [this, m = std::move(msg)]() mutable { inner_.send(std::move(m)); });
+    return;
+  }
+  inner_.send(std::move(msg));
+}
+
+void FaultyTransport::set_down(net::NodeId node, bool down) {
+  std::scoped_lock lock(mu_);
+  if (down) {
+    down_.insert(node);
+  } else {
+    down_.erase(node);
+  }
+}
+
+bool FaultyTransport::is_down(net::NodeId node) const {
+  std::scoped_lock lock(mu_);
+  return down_.contains(node);
+}
+
+void FaultyTransport::count_drop() {
+  dropped_.fetch_add(1, std::memory_order_relaxed);
+  if (metrics_ != nullptr) metrics_->incr("fault.dropped");
+}
+
+void FaultyTransport::count_down_drop() {
+  dropped_down_.fetch_add(1, std::memory_order_relaxed);
+  if (metrics_ != nullptr) metrics_->incr("fault.dropped_down");
+}
+
+}  // namespace fluentps::fault

@@ -1,0 +1,79 @@
+// Transport decorator that applies a FaultPlan to every message.
+//
+// Wraps any net::Transport backend:
+//  * sim      — defer = SimEnv::schedule, clock = SimEnv::now; faults become
+//               DES events, so virtual-clock timing stays exact and runs are
+//               bit-identical under a fixed seed.
+//  * inproc   — defer = TimerQueue::after, clock = wall stopwatch.
+//  * tcp      — same as inproc (chaos-testing a real deployment).
+//
+// Crash windows: set_down(node) makes the node unreachable in both
+// directions — sends from/to it are dropped at send time, and messages
+// already in flight are dropped at delivery time by the wrapped handler, so
+// a crashing server's queued responses die with it.
+//
+// MsgType::kShutdown is never faulted: it is runtime plumbing, not protocol.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <unordered_set>
+
+#include "common/metrics.h"
+#include "common/rng.h"
+#include "fault/fault_plan.h"
+#include "net/transport.h"
+
+namespace fluentps::fault {
+
+class FaultyTransport final : public net::Transport {
+ public:
+  /// Defer `fn` by `delay_seconds` on the backend's notion of time.
+  using Defer = std::function<void(double, std::function<void()>)>;
+  /// Current time on the backend's clock (virtual for sim, wall otherwise).
+  using ClockFn = std::function<double()>;
+
+  /// `inner` must outlive this transport. `seed` feeds the fault rng stream
+  /// (combine the experiment seed with FaultSpec::seed via derive_seed).
+  /// `metrics` is optional; when set, fault.* counters are emitted.
+  FaultyTransport(net::Transport& inner, FaultPlan plan, std::uint64_t seed, ClockFn clock,
+                  Defer defer, Metrics* metrics = nullptr);
+
+  void register_node(net::NodeId node, Handler handler) override;
+  void send(net::Message msg) override;
+
+  /// Mark a node crashed (true) or recovered (false).
+  void set_down(net::NodeId node, bool down);
+  [[nodiscard]] bool is_down(net::NodeId node) const;
+
+  [[nodiscard]] std::uint64_t dropped() const noexcept { return dropped_.load(); }
+  [[nodiscard]] std::uint64_t duplicated() const noexcept { return duplicated_.load(); }
+  [[nodiscard]] std::uint64_t delayed() const noexcept { return delayed_.load(); }
+  /// Drops caused by a down endpoint (subset of overall message loss,
+  /// counted separately from plan-induced drops).
+  [[nodiscard]] std::uint64_t dropped_down() const noexcept { return dropped_down_.load(); }
+
+  [[nodiscard]] const FaultPlan& plan() const noexcept { return plan_; }
+
+ private:
+  void count_drop();
+  void count_down_drop();
+
+  net::Transport& inner_;
+  FaultPlan plan_;
+  ClockFn clock_;
+  Defer defer_;
+  Metrics* metrics_;
+
+  mutable std::mutex mu_;  // guards rng_ + down_ (thread backend)
+  Rng rng_;
+  std::unordered_set<net::NodeId> down_;
+
+  std::atomic<std::uint64_t> dropped_{0};
+  std::atomic<std::uint64_t> duplicated_{0};
+  std::atomic<std::uint64_t> delayed_{0};
+  std::atomic<std::uint64_t> dropped_down_{0};
+};
+
+}  // namespace fluentps::fault

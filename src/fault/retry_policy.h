@@ -1,0 +1,61 @@
+// Retry/timeout/backoff policy shared by the worker reliability layer and the
+// TCP transport's connect path.
+//
+// Header-only on purpose: `net` (TcpTransport) and `ps` (WorkerClient) both
+// consume it, while `fault`'s compiled objects link against `net`
+// (FaultyTransport wraps a Transport). Keeping the policy free of link-time
+// symbols avoids a fluentps_fault <-> fluentps_net cycle.
+//
+// Semantics: attempt k (0-based) times out after
+//   min(initial_timeout * backoff^k, max_timeout) * (1 + U(-jitter, +jitter))
+// with the jitter drawn from the caller's deterministic Rng stream, so the
+// sim backend stays bit-identical across runs. `budget` caps how many
+// attempts are *escalating*; callers that must stay live (the worker pull
+// path under a partition that later heals) keep retransmitting at
+// max_timeout after the budget is spent rather than aborting the run.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <string>
+
+#include "common/config.h"
+#include "common/rng.h"
+
+namespace fluentps::fault {
+
+struct RetryPolicy {
+  double initial_timeout = 0.05;  ///< seconds before the first retransmit
+  double max_timeout = 1.6;       ///< backoff ceiling, seconds
+  double backoff = 2.0;           ///< multiplier per attempt
+  double jitter = 0.1;            ///< +/- fraction applied to each timeout
+  std::uint32_t budget = 24;      ///< escalating attempts before we warn
+
+  /// Timeout for 0-based `attempt`, jittered from `rng`. Deterministic for a
+  /// deterministic rng stream.
+  [[nodiscard]] double timeout_for(std::uint32_t attempt, Rng& rng) const {
+    const double capped_attempt = std::min<double>(attempt, 63);  // avoid pow overflow
+    double t = initial_timeout * std::pow(backoff, capped_attempt);
+    t = std::min(t, max_timeout);
+    if (jitter > 0.0) t *= 1.0 + rng.uniform(-jitter, jitter);
+    return std::max(t, 1e-6);
+  }
+
+  /// True once `attempt` has exceeded the escalation budget.
+  [[nodiscard]] bool exhausted(std::uint32_t attempt) const noexcept { return attempt >= budget; }
+
+  /// Parse `prefix`{initial_timeout,max_timeout,backoff,jitter,budget} keys,
+  /// e.g. retry.initial_timeout=0.02.
+  static RetryPolicy from_config(const Config& cfg, const std::string& prefix = "retry.") {
+    RetryPolicy p;
+    p.initial_timeout = cfg.get_double(prefix + "initial_timeout", p.initial_timeout);
+    p.max_timeout = cfg.get_double(prefix + "max_timeout", p.max_timeout);
+    p.backoff = cfg.get_double(prefix + "backoff", p.backoff);
+    p.jitter = cfg.get_double(prefix + "jitter", p.jitter);
+    p.budget = static_cast<std::uint32_t>(cfg.get_int(prefix + "budget", p.budget));
+    return p;
+  }
+};
+
+}  // namespace fluentps::fault

@@ -1,0 +1,57 @@
+#include "fault/timer_queue.h"
+
+namespace fluentps::fault {
+
+TimerQueue::TimerQueue() : thread_([this](std::stop_token st) { loop(st); }) {}
+
+TimerQueue::~TimerQueue() { shutdown(); }
+
+void TimerQueue::after(double delay_seconds, std::function<void()> fn) {
+  const auto deadline =
+      Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                         std::chrono::duration<double>(std::max(delay_seconds, 0.0)));
+  {
+    std::scoped_lock lock(mu_);
+    if (stopped_) return;
+    heap_.push(Entry{deadline, next_seq_++, std::move(fn)});
+  }
+  cv_.notify_all();
+}
+
+void TimerQueue::shutdown() {
+  {
+    std::scoped_lock lock(mu_);
+    if (stopped_) return;
+    stopped_ = true;
+    // Drop pending work: deferred messages that never fire are just drops.
+    while (!heap_.empty()) heap_.pop();
+  }
+  cv_.notify_all();
+  thread_.request_stop();
+  if (thread_.joinable()) thread_.join();
+}
+
+void TimerQueue::loop(const std::stop_token& st) {
+  std::unique_lock lock(mu_);
+  while (!st.stop_requested() && !stopped_) {
+    if (heap_.empty()) {
+      cv_.wait(lock, st, [this] { return stopped_ || !heap_.empty(); });
+      continue;
+    }
+    const auto deadline = heap_.top().deadline;
+    if (Clock::now() < deadline) {
+      cv_.wait_until(lock, st, deadline, [this, deadline] {
+        return stopped_ || (!heap_.empty() && heap_.top().deadline < deadline);
+      });
+      continue;
+    }
+    auto fn = std::move(const_cast<Entry&>(heap_.top()).fn);
+    heap_.pop();
+    lock.unlock();
+    fn();
+    fired_.fetch_add(1, std::memory_order_relaxed);
+    lock.lock();
+  }
+}
+
+}  // namespace fluentps::fault

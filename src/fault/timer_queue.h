@@ -1,0 +1,65 @@
+// Wall-clock deferred execution for the thread backend.
+//
+// The sim backend defers faulty deliveries by scheduling DES events; the
+// thread backend needs a real timer. One background thread sleeps on a
+// condition variable until the earliest deadline and runs callbacks in
+// deadline order. shutdown() (or destruction) drops pending callbacks —
+// a deferred message that never arrives is indistinguishable from a drop,
+// which the reliability layer already tolerates.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace fluentps::fault {
+
+class TimerQueue {
+ public:
+  TimerQueue();
+  ~TimerQueue();
+
+  TimerQueue(const TimerQueue&) = delete;
+  TimerQueue& operator=(const TimerQueue&) = delete;
+
+  /// Run `fn` on the timer thread after `delay_seconds`. Thread-safe.
+  void after(double delay_seconds, std::function<void()> fn);
+
+  /// Stop the timer thread; pending callbacks are discarded. Idempotent.
+  void shutdown();
+
+  /// Callbacks executed so far.
+  [[nodiscard]] std::uint64_t fired() const noexcept { return fired_.load(); }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  struct Entry {
+    Clock::time_point deadline;
+    std::uint64_t seq;  // FIFO tiebreak for equal deadlines
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.deadline != b.deadline) return a.deadline > b.deadline;
+      return a.seq > b.seq;
+    }
+  };
+
+  void loop(const std::stop_token& st);
+
+  std::mutex mu_;
+  std::condition_variable_any cv_;
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::uint64_t next_seq_ = 0;
+  bool stopped_ = false;
+  std::atomic<std::uint64_t> fired_{0};
+  std::jthread thread_;  // constructed last, joined first
+};
+
+}  // namespace fluentps::fault

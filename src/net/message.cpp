@@ -14,6 +14,8 @@ const char* to_string(MsgType t) noexcept {
     case MsgType::kPullGrant: return "PullGrant";
     case MsgType::kHeartbeat: return "Heartbeat";
     case MsgType::kShutdown: return "Shutdown";
+    case MsgType::kRecover: return "Recover";
+    case MsgType::kRecoverAck: return "RecoverAck";
   }
   return "Unknown";
 }
@@ -29,6 +31,7 @@ std::vector<std::uint8_t> Message::serialize() const {
   w.put<std::uint32_t>(src);
   w.put<std::uint32_t>(dst);
   w.put<std::uint64_t>(request_id);
+  w.put<std::uint64_t>(seq);
   w.put<std::int64_t>(progress);
   w.put<std::uint32_t>(worker_rank);
   w.put<std::uint32_t>(server_rank);
@@ -43,11 +46,13 @@ bool Message::deserialize(const std::vector<std::uint8_t>& frame, Message* out) 
   m.src = r.get<std::uint32_t>();
   m.dst = r.get<std::uint32_t>();
   m.request_id = r.get<std::uint64_t>();
+  m.seq = r.get<std::uint64_t>();
   m.progress = r.get<std::int64_t>();
   m.worker_rank = r.get<std::uint32_t>();
   m.server_rank = r.get<std::uint32_t>();
   m.values = r.get_vector<float>();
-  if (!r.ok() || static_cast<std::uint8_t>(m.type) > static_cast<std::uint8_t>(MsgType::kShutdown)) {
+  if (!r.ok() ||
+      static_cast<std::uint8_t>(m.type) > static_cast<std::uint8_t>(MsgType::kRecoverAck)) {
     return false;
   }
   *out = std::move(m);
@@ -57,7 +62,7 @@ bool Message::deserialize(const std::vector<std::uint8_t>& frame, Message* out) 
 std::string Message::to_debug_string() const {
   std::ostringstream os;
   os << to_string(type) << " src=" << src << " dst=" << dst << " req=" << request_id
-     << " progress=" << progress << " w=" << worker_rank << " s=" << server_rank
+     << " seq=" << seq << " progress=" << progress << " w=" << worker_rank << " s=" << server_rank
      << " nvalues=" << values.size();
   return os.str();
 }

@@ -28,6 +28,8 @@ enum class MsgType : std::uint8_t {
   kPullGrant = 5,   ///< scheduler -> worker: pull phase permitted (baseline mode)
   kHeartbeat = 6,   ///< server -> scheduler: liveness
   kShutdown = 7,    ///< runtime -> node: stop dispatching
+  kRecover = 8,     ///< server -> worker: I restarted from a checkpoint; ack me
+  kRecoverAck = 9,  ///< worker -> server: progress = my last fully-acked push
 };
 
 /// Returns a printable name for logs.
@@ -38,6 +40,8 @@ struct Message {
   NodeId src = 0;
   NodeId dst = 0;
   std::uint64_t request_id = 0;  ///< correlates kPull with kPullResp
+  std::uint64_t seq = 0;         ///< per-sender sequence number (reliability layer);
+                                 ///< echoed by acks so retransmits dedup server-side
   std::int64_t progress = 0;     ///< sender worker's iteration (Algorithm 1)
   std::uint32_t worker_rank = 0; ///< logical worker index [0, N)
   std::uint32_t server_rank = 0; ///< logical server index [0, M)
@@ -58,7 +62,8 @@ struct Message {
   [[nodiscard]] std::string to_debug_string() const;
 };
 
-/// Fixed header size charged by wire_bytes() for every message.
-inline constexpr double kHeaderBytes = 48.0;
+/// Fixed header size charged by wire_bytes() for every message (grew from 48
+/// when the reliability layer added the 8-byte `seq` field).
+inline constexpr double kHeaderBytes = 56.0;
 
 }  // namespace fluentps::net

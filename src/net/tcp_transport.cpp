@@ -1,11 +1,17 @@
 #include "net/tcp_transport.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
+#include <algorithm>
+#include <chrono>
+#include <cmath>
 #include <cstring>
 
 #include "common/logging.h"
@@ -42,6 +48,32 @@ constexpr std::uint32_t kMaxFrame = 256u << 20;  // 256 MiB sanity bound
 /// Frames addressed here are transport-internal hellos: src = advertised
 /// node, progress = advertised listen port.
 constexpr NodeId kControlDst = 0xFFFFFFFFu;
+
+/// Non-blocking connect bounded by `seconds`. Leaves the socket blocking on
+/// success; false on refusal, timeout, or any socket error.
+bool connect_with_timeout(int fd, const sockaddr_in& addr, double seconds) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) return false;
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    if (errno != EINPROGRESS) return false;
+    pollfd pfd{fd, POLLOUT, 0};
+    const int timeout_ms = std::max(1, static_cast<int>(std::lround(seconds * 1000.0)));
+    if (::poll(&pfd, 1, timeout_ms) <= 0) return false;  // timeout or poll error
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) != 0 || err != 0) return false;
+  }
+  return ::fcntl(fd, F_SETFL, flags) >= 0;  // back to blocking for the writers
+}
+
+/// Bound every later send() on this socket: a wedged peer must surface as a
+/// write failure (-> cache invalidation + re-dial), never as a hung sender.
+void set_send_timeout(int fd, double seconds) {
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(seconds);
+  tv.tv_usec = static_cast<suseconds_t>((seconds - std::floor(seconds)) * 1e6);
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
 
 }  // namespace
 
@@ -143,19 +175,47 @@ std::shared_ptr<TcpTransport::Peer> TcpTransport::peer_for(const std::string& ho
     const auto it = peers_.find(key);
     if (it != peers_.end()) return it->second;
   }
-  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) return nullptr;
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_port = htons(port);
-  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1 ||
-      ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-    FPS_LOG(Warn) << "tcp: connect to " << key << " failed: " << std::strerror(errno);
-    ::close(fd);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    FPS_LOG(Warn) << "tcp: bad peer host " << host;
     return nullptr;
+  }
+
+  // Dial through the retry ladder: each attempt gets a bounded non-blocking
+  // connect; failures back off before re-dialing (an instant ECONNREFUSED
+  // must not hot-loop) until the escalation budget is spent.
+  int fd = -1;
+  double send_timeout = 1.0;
+  for (std::uint32_t attempt = 0;; ++attempt) {
+    double timeout = 0.0;
+    {
+      std::scoped_lock lock(mu_);
+      timeout = retry_.timeout_for(attempt, dial_rng_);
+      send_timeout = retry_.max_timeout;
+    }
+    fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) return nullptr;
+    if (connect_with_timeout(fd, addr, timeout)) break;
+    ::close(fd);
+    fd = -1;
+    bool give_up = false;
+    {
+      std::scoped_lock lock(mu_);
+      give_up = retry_.exhausted(attempt + 1) || stopping_;
+    }
+    if (give_up) {
+      FPS_LOG(Warn) << "tcp: connect to " << key << " failed after " << (attempt + 1)
+                    << " attempts: " << std::strerror(errno);
+      return nullptr;
+    }
+    connect_retries_.fetch_add(1, std::memory_order_relaxed);
+    std::this_thread::sleep_for(std::chrono::duration<double>(timeout));
   }
   const int one = 1;
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  set_send_timeout(fd, send_timeout);
   auto peer = std::make_shared<Peer>();
   peer->fd = fd;
   {
@@ -169,6 +229,29 @@ std::shared_ptr<TcpTransport::Peer> TcpTransport::peer_for(const std::string& ho
   }
   send_hellos(*peer);
   return peer;
+}
+
+void TcpTransport::drop_peer(const std::string& key, const std::shared_ptr<Peer>& peer) {
+  bool owned = false;
+  {
+    std::scoped_lock lock(mu_);
+    const auto it = peers_.find(key);
+    if (it != peers_.end() && it->second == peer) {
+      peers_.erase(it);
+      owned = true;
+    }
+  }
+  // Only the thread that evicted the entry closes the fd; shutdown() (or a
+  // racing drop) owns it otherwise.
+  if (owned) {
+    ::shutdown(peer->fd, SHUT_RDWR);
+    ::close(peer->fd);
+  }
+}
+
+void TcpTransport::set_retry_policy(const fault::RetryPolicy& policy) {
+  std::scoped_lock lock(mu_);
+  retry_ = policy;
 }
 
 void TcpTransport::send_hellos(Peer& peer) {
@@ -235,7 +318,9 @@ void TcpTransport::send(Message msg) {
   const auto peer = peer_for(route.first, route.second);
   if (peer == nullptr) return;
   if (!write_frame(*peer, msg.serialize())) {
-    FPS_LOG(Warn) << "tcp: write to node " << msg.dst << " failed";
+    FPS_LOG(Warn) << "tcp: write to node " << msg.dst
+                  << " failed; dropping cached connection (next send re-dials)";
+    drop_peer(route.first + ":" + std::to_string(route.second), peer);
   }
 }
 
@@ -276,6 +361,9 @@ std::uint64_t TcpTransport::frames_received() const noexcept {
 }
 std::uint64_t TcpTransport::bytes_sent() const noexcept {
   return bytes_sent_.load(std::memory_order_relaxed);
+}
+std::uint64_t TcpTransport::connect_retries() const noexcept {
+  return connect_retries_.load(std::memory_order_relaxed);
 }
 
 }  // namespace fluentps::net

@@ -7,8 +7,17 @@
 // local destinations and a (lazily connected, cached) TCP stream otherwise.
 // One acceptor thread plus one reader thread per inbound connection; all are
 // jthreads joined at shutdown (CP.25/26).
+//
+// Timeouts & reconnect (fault subsystem): dialing a peer uses a RetryPolicy
+// ladder — each attempt is a non-blocking connect bounded by the attempt's
+// timeout, retried with backoff until the budget is spent. Established
+// connections carry SO_SNDTIMEO = max_timeout so a wedged peer can never
+// park a sender forever; a failed write invalidates the cached connection,
+// and the next send() to that route re-dials (so a restarted peer on the
+// same address is picked up transparently).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -17,6 +26,8 @@
 #include <thread>
 #include <vector>
 
+#include "common/rng.h"
+#include "fault/retry_policy.h"
 #include "net/transport.h"
 
 namespace fluentps::net {
@@ -52,10 +63,17 @@ class TcpTransport final : public Transport {
   /// Close the acceptor, all connections, and join all threads. Idempotent.
   void shutdown();
 
+  /// Replace the dial/write timeout policy (defaults to 3 escalating connect
+  /// attempts, 0.25 s → 1 s). max_timeout doubles as SO_SNDTIMEO on
+  /// established connections. Set before the first remote send.
+  void set_retry_policy(const fault::RetryPolicy& policy);
+
   [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
   [[nodiscard]] std::uint64_t frames_sent() const noexcept;
   [[nodiscard]] std::uint64_t frames_received() const noexcept;
   [[nodiscard]] std::uint64_t bytes_sent() const noexcept;
+  /// Re-dial attempts after a failed connect (observability + tests).
+  [[nodiscard]] std::uint64_t connect_retries() const noexcept;
 
  private:
   struct Peer {
@@ -69,8 +87,11 @@ class TcpTransport final : public Transport {
   void send_hellos(Peer& peer);
   /// Register the route a hello frame advertises (peer IP + advertised port).
   void handle_hello(int fd, const Message& msg);
-  /// Get (or establish) the connection to a remote endpoint.
+  /// Get (or establish) the connection to a remote endpoint, dialing through
+  /// the retry ladder. nullptr once the budget is exhausted.
   std::shared_ptr<Peer> peer_for(const std::string& host, std::uint16_t port);
+  /// Evict a cached connection whose write failed, so the next send re-dials.
+  void drop_peer(const std::string& key, const std::shared_ptr<Peer>& peer);
   bool write_frame(Peer& peer, const std::vector<std::uint8_t>& frame);
 
   std::string bind_host_;
@@ -86,9 +107,15 @@ class TcpTransport final : public Transport {
   std::jthread acceptor_;
   bool stopping_ = false;
 
+  // Dial policy + jitter stream (guarded by mu_: peer_for races are real).
+  fault::RetryPolicy retry_{
+      .initial_timeout = 0.25, .max_timeout = 1.0, .backoff = 2.0, .jitter = 0.1, .budget = 3};
+  Rng dial_rng_{0x7C9D, 0xD1A1};
+
   std::atomic<std::uint64_t> frames_sent_{0};
   std::atomic<std::uint64_t> frames_received_{0};
   std::atomic<std::uint64_t> bytes_sent_{0};
+  std::atomic<std::uint64_t> connect_retries_{0};
 };
 
 }  // namespace fluentps::net

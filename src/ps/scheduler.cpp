@@ -10,7 +10,9 @@ Scheduler::Scheduler(SchedulerSpec spec, net::Transport& transport)
       worker_nodes_(std::move(spec.worker_nodes)),
       engine_(std::move(spec.engine)),
       transport_(transport),
-      liveness_timeout_(spec.liveness_timeout) {
+      liveness_timeout_(spec.liveness_timeout),
+      last_report_(spec.num_workers, -1),
+      granted_up_to_(spec.num_workers, -1) {
   FPS_CHECK(worker_nodes_.size() == num_workers_) << "worker node list size mismatch";
 }
 
@@ -19,16 +21,27 @@ void Scheduler::handle(net::Message&& msg) {
     case net::MsgType::kProgress: {
       const std::uint32_t w = msg.worker_rank;
       const std::int64_t p = msg.progress;
+      FPS_CHECK(w < num_workers_) << "progress report from unknown worker " << w;
+      if (p <= last_report_[w]) {
+        // Retransmitted report (lossy fabric): the engine already counted
+        // it. If the grant was issued, the grant itself was probably lost —
+        // re-send it; otherwise the original request is still queued and
+        // will be granted when released.
+        ++dedup_hits_;
+        if (p <= granted_up_to_[w]) send_grant(w, p, /*request_id=*/0);
+        break;
+      }
+      last_report_[w] = p;
       // The report is simultaneously this worker's "push" into the global
       // progress view and its request to enter the pull phase.
       const auto released = engine_.on_push(w, p);
       for (const std::uint64_t id : released) grant(id);
       const std::uint64_t req = next_request_++;
       if (engine_.on_pull(w, p, req)) {
-        pending_.emplace(req, w);
+        pending_.emplace(req, PendingGrant{w, p});
         grant(req);
       } else {
-        pending_.emplace(req, w);
+        pending_.emplace(req, PendingGrant{w, p});
       }
       break;
     }
@@ -47,15 +60,22 @@ void Scheduler::handle(net::Message&& msg) {
 void Scheduler::grant(std::uint64_t request_id) {
   const auto it = pending_.find(request_id);
   FPS_CHECK(it != pending_.end()) << "grant for unknown request " << request_id;
-  const std::uint32_t w = it->second;
+  const PendingGrant pg = it->second;
   pending_.erase(it);
-  FPS_CHECK(w < worker_nodes_.size()) << "grant for unknown worker " << w;
+  granted_up_to_[pg.worker] = std::max(granted_up_to_[pg.worker], pg.progress);
+  send_grant(pg.worker, pg.progress, request_id);
+}
+
+void Scheduler::send_grant(std::uint32_t worker, std::int64_t progress,
+                           std::uint64_t request_id) {
+  FPS_CHECK(worker < worker_nodes_.size()) << "grant for unknown worker " << worker;
   net::Message msg;
   msg.type = net::MsgType::kPullGrant;
   msg.src = node_id_;
-  msg.dst = worker_nodes_[w];
+  msg.dst = worker_nodes_[worker];
   msg.request_id = request_id;
-  msg.worker_rank = w;
+  msg.progress = progress;
+  msg.worker_rank = worker;
   ++grants_issued_;
   transport_.send(std::move(msg));
 }

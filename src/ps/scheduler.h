@@ -54,8 +54,17 @@ class Scheduler {
   [[nodiscard]] const SyncEngine& engine() const noexcept { return engine_; }
   [[nodiscard]] std::int64_t grants_issued() const noexcept { return grants_issued_; }
 
+  /// Duplicate progress reports suppressed (worker retransmits under faults).
+  [[nodiscard]] std::int64_t dedup_hits() const noexcept { return dedup_hits_; }
+
  private:
+  struct PendingGrant {
+    std::uint32_t worker;
+    std::int64_t progress;
+  };
+
   void grant(std::uint64_t request_id);
+  void send_grant(std::uint32_t worker, std::int64_t progress, std::uint64_t request_id);
 
   net::NodeId node_id_;
   std::uint32_t num_workers_;
@@ -64,10 +73,16 @@ class Scheduler {
   net::Transport& transport_;
   double liveness_timeout_;
 
-  // request id -> worker rank, for grants released later.
-  std::unordered_map<std::uint64_t, std::uint32_t> pending_;
+  // request id -> (worker rank, progress), for grants released later.
+  std::unordered_map<std::uint64_t, PendingGrant> pending_;
   std::uint64_t next_request_ = 1;
   std::int64_t grants_issued_ = 0;
+  std::int64_t dedup_hits_ = 0;
+  // Reliability: retransmitted kProgress must neither double-push the engine
+  // nor double-enter the pull queue; re-send the grant instead if one was
+  // already issued for that progress.
+  std::vector<std::int64_t> last_report_;    // per worker, -1 = none
+  std::vector<std::int64_t> granted_up_to_;  // per worker, -1 = none
 
   mutable std::mutex liveness_mu_;
   std::map<net::NodeId, double> last_heartbeat_;

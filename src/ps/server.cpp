@@ -1,24 +1,67 @@
 #include "ps/server.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "common/logging.h"
 #include "ml/ops.h"
 
 namespace fluentps::ps {
+namespace {
+
+constexpr std::uint32_t kServerBlobMagic = 0x53525632;  // "SRV2"
+constexpr std::size_t kAnsweredWindow = 4096;           // recently answered pulls kept
+
+}  // namespace
+
+bool SeqWindow::accept(std::uint64_t seq) {
+  if (seq == 0) return true;  // unsequenced senders bypass dedup
+  if (seq <= floor || seen.contains(seq)) return false;
+  seen.insert(seq);
+  // Advance the floor over any now-contiguous prefix.
+  auto it = seen.begin();
+  while (it != seen.end() && *it == floor + 1) {
+    ++floor;
+    it = seen.erase(it);
+  }
+  return true;
+}
+
+void SeqWindow::save(io::Writer& w) const {
+  w.put<std::uint64_t>(floor);
+  w.put<std::uint64_t>(seen.size());
+  for (const std::uint64_t s : seen) w.put<std::uint64_t>(s);
+}
+
+bool SeqWindow::load(io::Reader& r) {
+  floor = r.get<std::uint64_t>();
+  seen.clear();
+  const auto n = r.get<std::uint64_t>();
+  for (std::uint64_t i = 0; i < n && r.ok(); ++i) seen.insert(r.get<std::uint64_t>());
+  return r.ok();
+}
 
 Server::Server(ServerSpec spec, net::Transport& transport)
     : node_id_(spec.node_id),
       server_rank_(spec.server_rank),
       num_workers_(spec.num_workers),
       layout_(std::move(spec.layout)),
-      ack_pushes_(spec.ack_pushes),
+      ack_pushes_(spec.ack_pushes || spec.reliable),
       respond_unconditionally_(spec.respond_unconditionally),
+      reliable_(spec.reliable),
+      worker_nodes_(std::move(spec.worker_nodes)),
       shard_(std::move(spec.initial_shard)),
       engine_(std::move(spec.engine)),
+      push_seen_(spec.num_workers),
+      recover_base_(spec.num_workers, -1),
+      synth_floor_(spec.num_workers, -1),
       transport_(transport) {
   FPS_CHECK(shard_.size() == layout_.total)
       << "initial shard size " << shard_.size() << " != layout total " << layout_.total;
+  if (reliable_) {
+    FPS_CHECK(worker_nodes_.size() == num_workers_)
+        << "reliable server needs the worker node list for recovery";
+  }
 }
 
 void Server::handle(net::Message&& msg) {
@@ -29,6 +72,9 @@ void Server::handle(net::Message&& msg) {
     case net::MsgType::kPull:
       on_pull(std::move(msg));
       break;
+    case net::MsgType::kRecoverAck:
+      on_recover_ack(std::move(msg));
+      break;
     case net::MsgType::kShutdown:
       break;  // dispatch loop stops via transport shutdown; nothing to do
     default:
@@ -37,6 +83,51 @@ void Server::handle(net::Message&& msg) {
 }
 
 void Server::on_push(net::Message&& msg) {
+  if (reliable_) {
+    bool fresh = false;
+    {
+      std::scoped_lock lock(engine_mu_);
+      FPS_CHECK(msg.worker_rank < push_seen_.size()) << "push from unknown worker";
+      if (!awaiting_recover_.empty()) {
+        // Nag EVERY worker still missing from the handshake, not only the
+        // sender: a worker that already finished training never sends again,
+        // so a lost kRecover to it can only be re-driven by other traffic.
+        nag_recovery_locked();
+        if (awaiting_recover_.contains(msg.worker_rank)) {
+          // Quiesce this worker until its kRecoverAck arrives: accepting the
+          // push now could race the recovery synthesis into double-counting.
+          // No ack is sent, so the worker's retry loop re-offers it later.
+          return;
+        }
+      }
+      if (msg.progress <= synth_floor_[msg.worker_rank]) {
+        // A stale duplicate from before the crash, whose count was restored
+        // via recovery synthesis: ack (the sender may still be waiting) but
+        // apply nothing.
+        fresh = false;
+        ++dedup_hits_;
+      } else {
+        fresh = push_seen_[msg.worker_rank].accept(msg.seq);
+        if (!fresh) ++dedup_hits_;
+      }
+    }
+    if (!fresh) {
+      // Retransmit of an already-applied push: ack again (the original ack
+      // was evidently lost) but touch neither the shard nor the engine.
+      net::Message ack;
+      ack.type = net::MsgType::kPushAck;
+      ack.src = node_id_;
+      ack.dst = msg.src;
+      ack.request_id = msg.request_id;
+      ack.seq = msg.seq;
+      ack.progress = msg.progress;
+      ack.server_rank = server_rank_;
+      ack.worker_rank = msg.worker_rank;
+      transport_.send(std::move(ack));
+      return;
+    }
+  }
+
   // An empty payload is a metadata-only push: the worker reports progress
   // (its update was filtered as insignificant and aggregates locally) and no
   // values are applied.
@@ -65,6 +156,7 @@ void Server::on_push(net::Message&& msg) {
     ack.src = node_id_;
     ack.dst = msg.src;
     ack.request_id = msg.request_id;
+    ack.seq = msg.seq;
     ack.progress = msg.progress;
     ack.server_rank = server_rank_;
     ack.worker_rank = msg.worker_rank;
@@ -74,16 +166,19 @@ void Server::on_push(net::Message&& msg) {
   if (respond_unconditionally_) return;  // baseline: no server-side sync logic
 
   std::vector<std::uint64_t> released;
+  std::vector<std::pair<PendingPull, std::uint64_t>> to_respond;
   {
     std::scoped_lock lock(engine_mu_);
     released = engine_.on_push(msg.worker_rank, msg.progress, sf);
+    for (const std::uint64_t id : released) {
+      const auto it = pending_.find(id);
+      FPS_CHECK(it != pending_.end()) << "released unknown pull request " << id;
+      to_respond.emplace_back(it->second, id);
+      pending_.erase(it);
+      note_answered(id);
+    }
   }
-  for (const std::uint64_t id : released) {
-    const auto it = pending_.find(id);
-    FPS_CHECK(it != pending_.end()) << "released unknown pull request " << id;
-    respond(it->second.src, it->second.worker_rank, id);
-    pending_.erase(it);
-  }
+  for (const auto& [pp, id] : to_respond) respond(pp.src, pp.worker_rank, id);
 }
 
 void Server::set_pull_condition(PullCondition cond) {
@@ -96,25 +191,69 @@ void Server::set_push_condition(PushCondition cond) {
   engine_.set_push_condition(std::move(cond));
 }
 
+void Server::note_answered(std::uint64_t request_id) {
+  // Caller holds engine_mu_. Bounded memory: evict oldest entries.
+  if (!reliable_) return;
+  if (answered_.insert(request_id).second) {
+    answered_fifo_.push_back(request_id);
+    while (answered_fifo_.size() > kAnsweredWindow) {
+      answered_.erase(answered_fifo_.front());
+      answered_fifo_.pop_front();
+    }
+  }
+}
+
 void Server::on_pull(net::Message&& msg) {
   if (respond_unconditionally_) {
+    // Idempotent by construction: parameters are monotone-fresh, so a
+    // retransmitted pull just gets the current shard again.
+    if (reliable_) {
+      std::scoped_lock lock(engine_mu_);
+      note_answered(msg.request_id);
+    }
     respond(msg.src, msg.worker_rank, msg.request_id);
     return;
   }
   bool respond_now = false;
   {
     std::scoped_lock lock(engine_mu_);
-    respond_now = engine_.on_pull(msg.worker_rank, msg.progress, msg.request_id);
+    if (reliable_) {
+      if (!awaiting_recover_.empty()) {
+        nag_recovery_locked();  // see on_push: keeps done workers' handshakes alive
+        if (awaiting_recover_.contains(msg.worker_rank)) {
+          // Quiesce until this worker's kRecoverAck arrives; the worker's
+          // pull retry loop will re-request once recovery completes.
+          return;
+        }
+      }
+      if (pending_.contains(msg.request_id)) {
+        // Retransmit of a pull that is still buffered as a DPR: the engine
+        // already owns the id; answering now would violate the condition.
+        ++dedup_hits_;
+        return;
+      }
+      if (answered_.contains(msg.request_id)) {
+        // Retransmit of a pull whose response was lost: re-answer with the
+        // current (>= as fresh) shard, without re-entering the engine.
+        ++dedup_hits_;
+        respond_now = true;
+      }
+    }
+    if (!respond_now) {
+      respond_now = engine_.on_pull(msg.worker_rank, msg.progress, msg.request_id);
+      if (respond_now) {
+        note_answered(msg.request_id);
+      } else {
+        // Delayed pull request: park it until the engine releases the id.
+        const auto [it, inserted] =
+            pending_.emplace(msg.request_id, PendingPull{msg.src, msg.worker_rank});
+        FPS_CHECK(inserted) << "duplicate pull request id " << msg.request_id << " from worker "
+                            << msg.worker_rank;
+        return;
+      }
+    }
   }
-  if (respond_now) {
-    respond(msg.src, msg.worker_rank, msg.request_id);
-  } else {
-    // Delayed pull request: park it until the engine releases the id.
-    const auto [it, inserted] =
-        pending_.emplace(msg.request_id, PendingPull{msg.src, msg.worker_rank});
-    FPS_CHECK(inserted) << "duplicate pull request id " << msg.request_id << " from worker "
-                        << msg.worker_rank;
-  }
+  respond(msg.src, msg.worker_rank, msg.request_id);
 }
 
 void Server::respond(net::NodeId dst, std::uint32_t worker_rank, std::uint64_t request_id) {
@@ -141,6 +280,111 @@ std::vector<float> Server::snapshot() const {
 void Server::snapshot_into(std::span<float> flat) const {
   std::scoped_lock lock(shard_mu_);
   layout_.scatter(shard_, flat);
+}
+
+// --- crash-restart lifecycle ----------------------------------------------
+
+std::vector<std::uint8_t> Server::save_state() const {
+  io::Writer w;
+  std::scoped_lock lock(engine_mu_, shard_mu_);
+  w.put<std::uint32_t>(kServerBlobMagic);
+  w.put<std::uint32_t>(server_rank_);
+  w.put_vector(shard_);
+  engine_.save(w);
+  w.put<std::uint64_t>(push_seen_.size());
+  for (const auto& win : push_seen_) win.save(w);
+  return w.take();
+}
+
+bool Server::restore_state(const std::vector<std::uint8_t>& blob) {
+  io::Reader r(blob);
+  std::vector<float> shard;
+  {
+    std::scoped_lock lock(engine_mu_, shard_mu_);
+    if (r.get<std::uint32_t>() != kServerBlobMagic) return false;
+    if (r.get<std::uint32_t>() != server_rank_) return false;
+    shard = r.get_vector<float>();
+    if (!r.ok() || shard.size() != layout_.total) return false;
+    if (!engine_.load(r)) return false;
+    const auto n = r.get<std::uint64_t>();
+    if (n != push_seen_.size()) return false;
+    for (auto& win : push_seen_) {
+      if (!win.load(r)) return false;
+    }
+    if (!r.ok()) return false;
+    shard_ = std::move(shard);
+    // In-flight bookkeeping dies with the process: buffered pulls were
+    // cleared by engine_.load, lost responses come back via retransmits.
+    pending_.clear();
+    answered_.clear();
+    answered_fifo_.clear();
+    // Remember the last *counted* push per worker; kRecoverAck replays the
+    // counts between here and each worker's last-acked push. (progress_of
+    // would be wrong: a pull can advance it past the last counted push.)
+    for (std::uint32_t w = 0; w < num_workers_; ++w) recover_base_[w] = engine_.last_push_of(w);
+    ++recoveries_;
+  }
+  return true;
+}
+
+void Server::begin_recovery() {
+  if (!reliable_) return;
+  {
+    std::scoped_lock lock(engine_mu_);
+    awaiting_recover_.clear();
+    if (!respond_unconditionally_) {  // baseline servers hold no sync counts
+      for (std::uint32_t w = 0; w < num_workers_; ++w) awaiting_recover_.insert(w);
+    }
+  }
+  for (std::uint32_t w = 0; w < num_workers_; ++w) send_recover(worker_nodes_[w], w);
+}
+
+void Server::nag_recovery_locked() {
+  for (const std::uint32_t w : awaiting_recover_) send_recover(worker_nodes_[w], w);
+}
+
+void Server::send_recover(net::NodeId dst, std::uint32_t worker_rank) {
+  net::Message m;
+  m.type = net::MsgType::kRecover;
+  m.src = node_id_;
+  m.dst = dst;
+  m.server_rank = server_rank_;
+  m.worker_rank = worker_rank;
+  transport_.send(std::move(m));
+}
+
+bool Server::recovering() const {
+  std::scoped_lock lock(engine_mu_);
+  return !awaiting_recover_.empty();
+}
+
+void Server::on_recover_ack(net::Message&& msg) {
+  if (!reliable_) return;
+  const std::uint32_t w = msg.worker_rank;
+  std::vector<std::pair<PendingPull, std::uint64_t>> to_respond;
+  {
+    std::scoped_lock lock(engine_mu_);
+    if (!awaiting_recover_.erase(w)) return;  // duplicate ack: already replayed
+    // The worker reports the last push it saw acked (p_acked). Every push in
+    // (recover_base_[w], p_acked] was applied-and-acked before the crash but
+    // rolled back by the checkpoint restore; the worker will NOT retransmit
+    // those (it holds acks), so re-count them here or Count[i] never
+    // completes and BSP-like modes deadlock. Pushes beyond p_acked arrive as
+    // retransmits and are counted normally.
+    const std::int64_t p_acked = msg.progress;
+    synth_floor_[w] = std::max(synth_floor_[w], p_acked);
+    for (std::int64_t p = recover_base_[w] + 1; p <= p_acked; ++p) {
+      const auto released = engine_.on_push(w, p, 0.0);
+      for (const std::uint64_t id : released) {
+        const auto it = pending_.find(id);
+        if (it == pending_.end()) continue;  // released id belonged to a pre-crash pull
+        to_respond.emplace_back(it->second, id);
+        pending_.erase(it);
+        note_answered(id);
+      }
+    }
+  }
+  for (const auto& [pp, id] : to_respond) respond(pp.src, pp.worker_rank, id);
 }
 
 }  // namespace fluentps::ps

@@ -7,23 +7,54 @@
 // III-D): no central scheduler gates the pull of shard m on the state of
 // shard m'.
 //
+// Reliability (fault subsystem): with ServerSpec::reliable the server speaks
+// an at-least-once protocol. Pushes carry per-worker sequence numbers and are
+// deduplicated through a SeqWindow (floor + sparse set), so retransmits never
+// double-apply gradients or double-count Count[i] in the sync engine;
+// duplicate pulls are answered idempotently (parameters are monotone-fresh,
+// so re-answering with the current shard is safe). save_state()/
+// restore_state() serialize shard + engine + dedup windows for crash-restart;
+// begin_recovery() runs the kRecover/kRecoverAck handshake that re-learns
+// each worker's last fully-acked push and synthesizes the Count[i] increments
+// the checkpoint rolled back — without this, BSP-like modes deadlock after a
+// restart because workers already hold acks for pushes the restore undid.
+//
 // The handler is invoked from a single execution context (dispatch thread or
-// DES), so engine and pending-request state need no locks; only the shard
-// values take a mutex because snapshot() may be called from other threads.
+// DES); the shard takes a mutex because snapshot() may be called from other
+// threads, and engine + reliability state take a second mutex because
+// condition changes and crash-restart arrive from outside the handler.
 #pragma once
 
+#include <deque>
 #include <mutex>
+#include <set>
 #include <span>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "common/rng.h"
+#include "common/serialization.h"
 #include "net/message.h"
 #include "net/transport.h"
 #include "ps/slicing.h"
 #include "ps/sync_engine.h"
 
 namespace fluentps::ps {
+
+/// Per-sender duplicate-suppression window: all sequence numbers <= floor
+/// have been seen; numbers above it live in a sparse set until the floor
+/// catches up. Memory stays O(gap), not O(stream).
+struct SeqWindow {
+  std::uint64_t floor = 0;
+  std::set<std::uint64_t> seen;
+
+  /// True if `seq` is new (and records it). seq 0 bypasses dedup.
+  bool accept(std::uint64_t seq);
+
+  void save(io::Writer& w) const;
+  [[nodiscard]] bool load(io::Reader& r);
+};
 
 struct ServerSpec {
   net::NodeId node_id = 0;
@@ -36,6 +67,12 @@ struct ServerSpec {
   /// Baseline (PS-Lite non-overlap) mode: the scheduler gates pulls, so the
   /// server answers every pull immediately and skips its sync engine.
   bool respond_unconditionally = false;
+  /// At-least-once mode: dedup retransmitted pushes/pulls, always ack pushes,
+  /// answer the crash-recovery handshake.
+  bool reliable = false;
+  /// Worker node ids (index = rank); required when reliable for the
+  /// kRecover broadcast after a restart.
+  std::vector<net::NodeId> worker_nodes;
 };
 
 class Server {
@@ -63,15 +100,46 @@ class Server {
   [[nodiscard]] std::int64_t pushes_applied() const noexcept { return pushes_applied_; }
   [[nodiscard]] std::int64_t pulls_answered() const noexcept { return pulls_answered_; }
 
+  /// Retransmits suppressed by the dedup windows (reliable mode).
+  [[nodiscard]] std::int64_t dedup_hits() const noexcept { return dedup_hits_; }
+  /// Checkpoint restores performed (crash-restart lifecycle).
+  [[nodiscard]] std::int64_t recoveries() const noexcept { return recoveries_; }
+  /// True while the post-restart handshake still awaits worker acks.
+  [[nodiscard]] bool recovering() const;
+
   /// Install a new condition at runtime (SetcondPull / SetcondPush). Safe to
   /// call from any thread; takes effect for subsequent requests.
   void set_pull_condition(PullCondition cond);
   void set_push_condition(PushCondition cond);
 
+  // --- crash-restart lifecycle (fault subsystem) ----------------------
+
+  /// Serialize shard + sync engine + dedup windows into a checkpoint blob.
+  /// Thread-safe; call periodically from the runtime.
+  [[nodiscard]] std::vector<std::uint8_t> save_state() const;
+
+  /// Restore from a save_state() blob (simulating a process restart from the
+  /// latest checkpoint). Pending/answered pull bookkeeping is cleared — lost
+  /// responses are re-requested by worker retransmits. Returns false on a
+  /// corrupt or mismatched blob.
+  [[nodiscard]] bool restore_state(const std::vector<std::uint8_t>& blob);
+
+  /// Broadcast kRecover to every worker; their kRecoverAck replies report the
+  /// last push each one saw acked, letting the engine re-count pushes that
+  /// the checkpoint rolled back. Call after restore_state() once the node is
+  /// reachable again.
+  void begin_recovery();
+
  private:
   void on_push(net::Message&& msg);
   void on_pull(net::Message&& msg);
+  void on_recover_ack(net::Message&& msg);
   void respond(net::NodeId dst, std::uint32_t worker_rank, std::uint64_t request_id);
+  void note_answered(std::uint64_t request_id);
+  void send_recover(net::NodeId dst, std::uint32_t worker_rank);
+  /// Requires engine_mu_ held: re-send kRecover to every worker still missing
+  /// from the post-restart handshake.
+  void nag_recovery_locked();
 
   struct PendingPull {
     net::NodeId src;
@@ -84,20 +152,30 @@ class Server {
   ShardLayout layout_;
   bool ack_pushes_;
   bool respond_unconditionally_;
+  bool reliable_;
+  std::vector<net::NodeId> worker_nodes_;
 
   mutable std::mutex shard_mu_;  // guards shard_ only (snapshot from other threads)
   std::vector<float> shard_;
 
-  // The engine normally runs single-context (dispatch thread or DES), but
-  // runtime condition changes may arrive from other threads; this mutex
-  // serializes them against request handling.
-  std::mutex engine_mu_;
+  // Guards the engine plus all reliability bookkeeping: request handling runs
+  // single-context, but condition changes and the crash-restart lifecycle
+  // arrive from other threads (chaos thread in the thread backend).
+  mutable std::mutex engine_mu_;
   SyncEngine engine_;
   std::unordered_map<std::uint64_t, PendingPull> pending_;
+  std::vector<SeqWindow> push_seen_;           // per worker (reliable mode)
+  std::unordered_set<std::uint64_t> answered_; // recently answered pull ids
+  std::deque<std::uint64_t> answered_fifo_;    // eviction order for answered_
+  std::vector<std::int64_t> recover_base_;     // per worker: last counted push at restore
+  std::vector<std::int64_t> synth_floor_;      // per worker: progress covered by synthesis
+  std::unordered_set<std::uint32_t> awaiting_recover_;
   net::Transport& transport_;
 
   std::int64_t pushes_applied_ = 0;
   std::int64_t pulls_answered_ = 0;
+  std::int64_t dedup_hits_ = 0;
+  std::int64_t recoveries_ = 0;
 };
 
 }  // namespace fluentps::ps

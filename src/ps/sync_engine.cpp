@@ -23,6 +23,7 @@ SyncEngine::SyncEngine(Spec spec)
       model_(std::move(spec.model)),
       rng_(spec.seed, /*stream=*/0xC0ED),
       progress_of_(spec.num_workers, -1),
+      last_push_of_(spec.num_workers, -1),
       significance_of_(spec.num_workers, 0.0) {
   FPS_CHECK(num_workers_ > 0) << "SyncEngine needs at least one worker";
   FPS_CHECK(model_.pull && model_.push) << "SyncEngine needs both conditions";
@@ -132,6 +133,7 @@ void SyncEngine::advance(std::vector<std::uint64_t>& released) {
 std::vector<std::uint64_t> SyncEngine::on_push(std::uint32_t worker, std::int64_t progress,
                                                double sf) {
   note_progress(worker, progress);
+  last_push_of_[worker] = std::max(last_push_of_[worker], progress);
   ++counts_[progress];
   if (sf > 0.0) {
     significance_of_[worker] = sf;
@@ -142,6 +144,60 @@ std::vector<std::uint64_t> SyncEngine::on_push(std::uint32_t worker, std::int64_
   std::vector<std::uint64_t> released;
   advance(released);
   return released;
+}
+
+void SyncEngine::save(io::Writer& w) const {
+  w.put<std::uint32_t>(0x53594E43);  // "SYNC"
+  w.put<std::uint32_t>(num_workers_);
+  w.put<std::int64_t>(v_train_);
+  w.put<std::int64_t>(fastest_);
+  w.put_vector(progress_of_);
+  w.put_vector(last_push_of_);
+  // counts_ serialized sorted so the blob is deterministic.
+  std::vector<std::pair<std::int64_t, std::uint32_t>> counts(counts_.begin(), counts_.end());
+  std::sort(counts.begin(), counts.end());
+  w.put<std::uint64_t>(counts.size());
+  for (const auto& [p, c] : counts) {
+    w.put<std::int64_t>(p);
+    w.put<std::uint32_t>(c);
+  }
+  w.put_vector(significance_of_);
+  w.put<double>(mean_significance_);
+  w.put<std::int64_t>(significance_samples_);
+  w.put<std::int64_t>(dpr_total_);
+  const Rng::State rs = rng_.save_state();
+  w.put<std::uint64_t>(rs.state);
+  w.put<double>(rs.spare);
+  w.put<std::uint8_t>(rs.has_spare);
+}
+
+bool SyncEngine::load(io::Reader& r) {
+  if (r.get<std::uint32_t>() != 0x53594E43) return false;
+  if (r.get<std::uint32_t>() != num_workers_) return false;
+  v_train_ = r.get<std::int64_t>();
+  fastest_ = r.get<std::int64_t>();
+  progress_of_ = r.get_vector<std::int64_t>();
+  last_push_of_ = r.get_vector<std::int64_t>();
+  counts_.clear();
+  const auto n = r.get<std::uint64_t>();
+  for (std::uint64_t i = 0; i < n && r.ok(); ++i) {
+    const auto p = r.get<std::int64_t>();
+    counts_[p] = r.get<std::uint32_t>();
+  }
+  significance_of_ = r.get_vector<double>();
+  mean_significance_ = r.get<double>();
+  significance_samples_ = r.get<std::int64_t>();
+  dpr_total_ = r.get<std::int64_t>();
+  Rng::State rs;
+  rs.state = r.get<std::uint64_t>();
+  rs.spare = r.get<double>();
+  rs.has_spare = r.get<std::uint8_t>();
+  rng_.restore_state(rs);
+  // Buffered pulls die with the crash; the retransmit path reissues them.
+  lazy_buffer_.clear();
+  soft_buffer_.clear();
+  return r.ok() && progress_of_.size() == num_workers_ &&
+         last_push_of_.size() == num_workers_ && significance_of_.size() == num_workers_;
 }
 
 void SyncEngine::set_pull_condition(PullCondition cond) {

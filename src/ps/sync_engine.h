@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "common/serialization.h"
 #include "common/stats.h"
 #include "ps/conditions.h"
 
@@ -65,6 +66,17 @@ class SyncEngine {
   [[nodiscard]] std::int64_t v_train() const noexcept { return v_train_; }
   [[nodiscard]] std::int64_t fastest() const noexcept { return fastest_; }
   [[nodiscard]] std::int64_t slowest() const noexcept;
+  /// Last known progress of `worker` (-1 = unknown), from pushes or pulls.
+  [[nodiscard]] std::int64_t progress_of(std::uint32_t worker) const noexcept {
+    return worker < progress_of_.size() ? progress_of_[worker] : -1;
+  }
+  /// Progress of the last *push* counted for `worker` (-1 = none). Pulls do
+  /// not move this. Crash-restart recovery keys on it: pushes are sequential
+  /// per worker, so (last_push_of, p_acked] is exactly the set of counts a
+  /// checkpoint restore rolled back.
+  [[nodiscard]] std::int64_t last_push_of(std::uint32_t worker) const noexcept {
+    return worker < last_push_of_.size() ? last_push_of_[worker] : -1;
+  }
   [[nodiscard]] std::uint32_t num_workers() const noexcept { return num_workers_; }
   [[nodiscard]] std::size_t buffered() const noexcept;  ///< DPRs currently waiting
 
@@ -81,6 +93,20 @@ class SyncEngine {
 
   /// A snapshot view (for metrics/tests; conditions receive a live one).
   [[nodiscard]] SyncView view() const;
+
+  // --- crash-restart persistence (fault subsystem) --------------------
+
+  /// Serialize synchronization state (V_train, progress vector, counts,
+  /// significance state, rng stream position). Buffered DPRs are *not*
+  /// persisted: a crash loses them and the reliability layer's retransmitted
+  /// pulls re-enter on_pull after recovery. Monitoring histograms are not
+  /// persisted either.
+  void save(io::Writer& w) const;
+
+  /// Restore from a save() blob. Returns false (leaving the engine in an
+  /// unspecified but valid state) on a format mismatch. Conditions/mode come
+  /// from the constructor spec, which must match the saved num_workers.
+  [[nodiscard]] bool load(io::Reader& r);
 
  private:
   struct Buffered {
@@ -104,6 +130,7 @@ class SyncEngine {
   std::int64_t v_train_ = 0;
   std::int64_t fastest_ = -1;
   std::vector<std::int64_t> progress_of_;         // per worker, -1 = unknown
+  std::vector<std::int64_t> last_push_of_;        // per worker, -1 = no push yet
   std::unordered_map<std::int64_t, std::uint32_t> counts_;  // Count[i]
 
   std::map<std::int64_t, std::deque<Buffered>> lazy_buffer_;  // keyed by progress

@@ -1,9 +1,16 @@
 #include "ps/worker.h"
 
+#include <chrono>
+
 #include "common/logging.h"
 #include "common/stopwatch.h"
 
 namespace fluentps::ps {
+namespace {
+
+std::chrono::duration<double> secs(double s) { return std::chrono::duration<double>(s); }
+
+}  // namespace
 
 WorkerClient::WorkerClient(WorkerSpec spec, net::Transport& transport)
     : node_id_(spec.node_id),
@@ -11,12 +18,21 @@ WorkerClient::WorkerClient(WorkerSpec spec, net::Transport& transport)
       server_nodes_(std::move(spec.server_nodes)),
       sharding_(spec.sharding),
       scheduler_node_(spec.scheduler_node),
+      reliable_(spec.reliable),
+      retry_(spec.retry),
       transport_(transport),
+      retry_rng_(derive_seed(spec.seed, 0x9E7981 + spec.worker_rank), /*stream=*/0x4E7),
       next_ticket_((static_cast<std::uint64_t>(spec.worker_rank) << 40) + 1) {
   FPS_CHECK(sharding_ != nullptr) << "worker needs a sharding";
   FPS_CHECK(server_nodes_.size() == sharding_->num_servers())
       << "server node list does not match sharding";
-  shard_values_.resize(server_nodes_.size());
+  const std::size_t m = server_nodes_.size();
+  shard_values_.resize(m);
+  pull_received_.assign(m, 0);
+  round_seqs_.assign(m, 0);
+  round_acked_.assign(m, 1);
+  next_seq_.assign(m, 1);
+  last_acked_progress_.assign(m, -1);
 }
 
 void WorkerClient::handle(net::Message&& msg) {
@@ -30,85 +46,160 @@ void WorkerClient::handle(net::Message&& msg) {
       }
       const std::uint32_t m = msg.server_rank;
       FPS_CHECK(m < shard_values_.size()) << "bad server rank in response: " << m;
+      if (pull_received_[m]) return;  // duplicate response (retransmit raced the original)
       shard_values_[m] = std::move(msg.values);
+      pull_received_[m] = 1;
       ++shards_received_;
       break;
     }
     case net::MsgType::kPushAck:
-      ++acks_received_;
+      if (reliable_) {
+        const std::uint32_t m = msg.server_rank;
+        FPS_CHECK(m < round_acked_.size()) << "bad server rank in ack: " << m;
+        // Only the live round's sequence number counts; stale acks (from a
+        // superseded retransmit of an earlier round) are ignored.
+        if (round_unacked_ > 0 && !round_acked_[m] && msg.seq == round_seqs_[m]) {
+          round_acked_[m] = 1;
+          --round_unacked_;
+          last_acked_progress_[m] = std::max(last_acked_progress_[m], round_progress_);
+          ++acks_received_;
+        }
+      } else {
+        ++acks_received_;
+      }
       break;
     case net::MsgType::kPullGrant:
-      grant_received_ = true;
+      if (reliable_) {
+        if (msg.progress == awaited_grant_progress_) grant_received_ = true;
+      } else {
+        grant_received_ = true;
+      }
       break;
+    case net::MsgType::kRecover: {
+      // A server restarted from a checkpoint and asks what it acked to us:
+      // reply with the last push progress we saw acked by that server rank.
+      // Idempotent on the server side, so answering every kRecover is safe.
+      const std::uint32_t m = msg.server_rank;
+      net::Message ack;
+      ack.type = net::MsgType::kRecoverAck;
+      ack.src = node_id_;
+      ack.dst = msg.src;
+      ack.worker_rank = worker_rank_;
+      ack.server_rank = m;
+      ack.progress = m < last_acked_progress_.size() ? last_acked_progress_[m] : -1;
+      transport_.send(std::move(ack));
+      break;
+    }
     case net::MsgType::kShutdown:
       return;
     default:
       FPS_LOG(Warn) << "worker " << worker_rank_ << " ignoring " << msg.to_debug_string();
       return;
   }
-  lock.unlock();
+  // Notify while holding the lock: a waiter returning from wait() cannot
+  // destroy the cv under us before notify_all completes.
   cv_.notify_all();
+}
+
+void WorkerClient::send_push_locked(std::size_t m) {
+  net::Message msg;
+  msg.type = net::MsgType::kPush;
+  msg.src = node_id_;
+  msg.dst = server_nodes_[m];
+  msg.seq = round_seqs_[m];
+  msg.progress = round_progress_;
+  msg.worker_rank = worker_rank_;
+  msg.server_rank = static_cast<std::uint32_t>(m);
+  if (!round_metadata_) {
+    const ShardLayout& layout = sharding_->shards[m];
+    msg.values.resize(layout.total);
+    layout.gather(round_update_, msg.values);
+  }
+  transport_.send(std::move(msg));
+}
+
+void WorkerClient::send_pull_locked(std::size_t m) {
+  net::Message msg;
+  msg.type = net::MsgType::kPull;
+  msg.src = node_id_;
+  msg.dst = server_nodes_[m];
+  msg.request_id = current_ticket_;
+  msg.progress = pull_progress_;
+  msg.worker_rank = worker_rank_;
+  msg.server_rank = static_cast<std::uint32_t>(m);
+  transport_.send(std::move(msg));
+}
+
+void WorkerClient::await_round_acked() {
+  Stopwatch timer;
+  std::unique_lock lock(mu_);
+  std::uint32_t attempt = 0;
+  while (round_unacked_ > 0) {
+    const double timeout = retry_.timeout_for(attempt, retry_rng_);
+    if (cv_.wait_for(lock, secs(timeout), [this] { return round_unacked_ == 0; })) break;
+    ++retries_;
+    if (retry_.exhausted(attempt) && !budget_warned_) {
+      budget_warned_ = true;
+      FPS_LOG(Warn) << "worker " << worker_rank_ << " retry budget (" << retry_.budget
+                    << ") exhausted waiting for push acks; retransmitting at max timeout";
+    } else {
+      ++attempt;
+    }
+    for (std::size_t m = 0; m < round_acked_.size(); ++m) {
+      if (!round_acked_[m]) send_push_locked(m);
+    }
+  }
+  blocked_seconds_ += timer.seconds();
 }
 
 void WorkerClient::push(std::span<const float> update, std::int64_t progress) {
   FPS_CHECK(update.size() == sharding_->num_params) << "update size mismatch";
+  if (reliable_) await_round_acked();  // one outstanding round at a time
   {
     std::scoped_lock lock(mu_);
     acks_received_ = 0;
     acks_expected_ = static_cast<std::uint32_t>(server_nodes_.size());
-  }
-  for (std::size_t m = 0; m < server_nodes_.size(); ++m) {
-    const ShardLayout& layout = sharding_->shards[m];
-    net::Message msg;
-    msg.type = net::MsgType::kPush;
-    msg.src = node_id_;
-    msg.dst = server_nodes_[m];
-    msg.progress = progress;
-    msg.worker_rank = worker_rank_;
-    msg.server_rank = static_cast<std::uint32_t>(m);
-    msg.values.resize(layout.total);
-    layout.gather(update, msg.values);
-    transport_.send(std::move(msg));
+    round_progress_ = progress;
+    round_metadata_ = false;
+    round_update_.assign(update.begin(), update.end());
+    round_unacked_ = static_cast<std::uint32_t>(server_nodes_.size());
+    for (std::size_t m = 0; m < server_nodes_.size(); ++m) {
+      round_seqs_[m] = reliable_ ? next_seq_[m]++ : 0;
+      round_acked_[m] = 0;
+      send_push_locked(m);
+    }
   }
 }
 
 void WorkerClient::push_metadata(std::int64_t progress) {
+  if (reliable_) await_round_acked();
   {
     std::scoped_lock lock(mu_);
     acks_received_ = 0;
     acks_expected_ = static_cast<std::uint32_t>(server_nodes_.size());
-  }
-  for (std::size_t m = 0; m < server_nodes_.size(); ++m) {
-    net::Message msg;
-    msg.type = net::MsgType::kPush;
-    msg.src = node_id_;
-    msg.dst = server_nodes_[m];
-    msg.progress = progress;
-    msg.worker_rank = worker_rank_;
-    msg.server_rank = static_cast<std::uint32_t>(m);
-    transport_.send(std::move(msg));
+    round_progress_ = progress;
+    round_metadata_ = true;
+    round_update_.clear();
+    round_unacked_ = static_cast<std::uint32_t>(server_nodes_.size());
+    for (std::size_t m = 0; m < server_nodes_.size(); ++m) {
+      round_seqs_[m] = reliable_ ? next_seq_[m]++ : 0;
+      round_acked_[m] = 0;
+      send_push_locked(m);
+    }
   }
 }
 
 std::uint64_t WorkerClient::pull(std::int64_t progress) {
   std::uint64_t ticket = 0;
-  {
-    std::scoped_lock lock(mu_);
-    ticket = next_ticket_++;
-    current_ticket_ = ticket;
-    shards_received_ = 0;
-    for (auto& v : shard_values_) v.clear();
-  }
+  std::scoped_lock lock(mu_);
+  ticket = next_ticket_++;
+  current_ticket_ = ticket;
+  pull_progress_ = progress;
+  shards_received_ = 0;
   for (std::size_t m = 0; m < server_nodes_.size(); ++m) {
-    net::Message msg;
-    msg.type = net::MsgType::kPull;
-    msg.src = node_id_;
-    msg.dst = server_nodes_[m];
-    msg.request_id = ticket;
-    msg.progress = progress;
-    msg.worker_rank = worker_rank_;
-    msg.server_rank = static_cast<std::uint32_t>(m);
-    transport_.send(std::move(msg));
+    shard_values_[m].clear();
+    pull_received_[m] = 0;
+    send_pull_locked(m);
   }
   return ticket;
 }
@@ -118,7 +209,32 @@ void WorkerClient::wait_pull(std::uint64_t ticket, std::span<float> params) {
   Stopwatch timer;
   std::unique_lock lock(mu_);
   FPS_CHECK(ticket == current_ticket_) << "waiting on a superseded pull ticket";
-  cv_.wait(lock, [this] { return shards_received_ == shard_values_.size(); });
+  const auto done = [this] { return shards_received_ == shard_values_.size(); };
+  if (!reliable_) {
+    cv_.wait(lock, done);
+  } else {
+    std::uint32_t attempt = 0;
+    while (!done()) {
+      const double timeout = retry_.timeout_for(attempt, retry_rng_);
+      if (cv_.wait_for(lock, secs(timeout), done)) break;
+      ++retries_;
+      if (retry_.exhausted(attempt) && !budget_warned_) {
+        budget_warned_ = true;
+        FPS_LOG(Warn) << "worker " << worker_rank_ << " retry budget (" << retry_.budget
+                      << ") exhausted waiting for pulls; retransmitting at max timeout";
+      } else {
+        ++attempt;
+      }
+      // The pull may be starved because our *push* was lost (a DPR release
+      // waits on it), so retransmit both sides of the protocol.
+      for (std::size_t m = 0; m < round_acked_.size(); ++m) {
+        if (round_unacked_ > 0 && !round_acked_[m]) send_push_locked(m);
+      }
+      for (std::size_t m = 0; m < pull_received_.size(); ++m) {
+        if (!pull_received_[m]) send_pull_locked(m);
+      }
+    }
+  }
   for (std::size_t m = 0; m < shard_values_.size(); ++m) {
     sharding_->shards[m].scatter(shard_values_[m], params);
   }
@@ -126,17 +242,17 @@ void WorkerClient::wait_pull(std::uint64_t ticket, std::span<float> params) {
 }
 
 void WorkerClient::wait_push_acks() {
+  if (reliable_) {
+    await_round_acked();
+    return;
+  }
   Stopwatch timer;
   std::unique_lock lock(mu_);
   cv_.wait(lock, [this] { return acks_received_ >= acks_expected_; });
   blocked_seconds_ += timer.seconds();
 }
 
-void WorkerClient::report_and_wait_grant(std::int64_t progress) {
-  {
-    std::scoped_lock lock(mu_);
-    grant_received_ = false;
-  }
+void WorkerClient::send_progress_report(std::int64_t progress) {
   net::Message msg;
   msg.type = net::MsgType::kProgress;
   msg.src = node_id_;
@@ -144,16 +260,50 @@ void WorkerClient::report_and_wait_grant(std::int64_t progress) {
   msg.progress = progress;
   msg.worker_rank = worker_rank_;
   transport_.send(std::move(msg));
+}
+
+void WorkerClient::report_and_wait_grant(std::int64_t progress) {
+  {
+    std::scoped_lock lock(mu_);
+    grant_received_ = false;
+    awaited_grant_progress_ = progress;
+  }
+  send_progress_report(progress);
 
   Stopwatch timer;
   std::unique_lock lock(mu_);
-  cv_.wait(lock, [this] { return grant_received_; });
+  const auto granted = [this] { return grant_received_; };
+  if (!reliable_) {
+    cv_.wait(lock, granted);
+  } else {
+    std::uint32_t attempt = 0;
+    while (!granted()) {
+      const double timeout = retry_.timeout_for(attempt, retry_rng_);
+      if (cv_.wait_for(lock, secs(timeout), granted)) break;
+      ++retries_;
+      if (retry_.exhausted(attempt) && !budget_warned_) {
+        budget_warned_ = true;
+        FPS_LOG(Warn) << "worker " << worker_rank_ << " retry budget (" << retry_.budget
+                      << ") exhausted waiting for grant; retransmitting at max timeout";
+      } else {
+        ++attempt;
+      }
+      lock.unlock();
+      send_progress_report(progress);
+      lock.lock();
+    }
+  }
   blocked_seconds_ += timer.seconds();
 }
 
 double WorkerClient::blocked_seconds() const {
   std::scoped_lock lock(mu_);
   return blocked_seconds_;
+}
+
+std::int64_t WorkerClient::retries() const {
+  std::scoped_lock lock(mu_);
+  return retries_;
 }
 
 }  // namespace fluentps::ps

@@ -2,6 +2,16 @@
 // wait API (Algorithm 1, worker side). Each call both synchronizes a
 // parameter slice and reports the worker's progress.
 //
+// Reliability (fault subsystem): with WorkerSpec::reliable every push carries
+// a per-(worker, server) sequence number, and each wait_* call becomes a
+// timed loop driven by a RetryPolicy — on timeout the worker retransmits
+// whatever is still outstanding (unacked pushes, unanswered pull shards, an
+// ungranted progress report) with exponential backoff + jitter. Combined with
+// the server/scheduler dedup windows this yields at-least-once delivery with
+// exactly-once application over a lossy transport. The worker also answers
+// the kRecover handshake after a server crash-restart by reporting the last
+// push that server acked.
+//
 // Threading model: the worker's training thread calls push()/pull()/wait_*();
 // the transport dispatch thread calls handle() with responses. State shared
 // between the two is guarded by one mutex + condition variable (CP.42: every
@@ -14,6 +24,8 @@
 #include <span>
 #include <vector>
 
+#include "common/rng.h"
+#include "fault/retry_policy.h"
 #include "net/message.h"
 #include "net/transport.h"
 #include "ps/slicing.h"
@@ -26,6 +38,9 @@ struct WorkerSpec {
   std::vector<net::NodeId> server_nodes;  ///< node id of server rank m at [m]
   const Sharding* sharding = nullptr;     ///< owned by the runtime; must outlive
   net::NodeId scheduler_node = 0;         ///< used only by the baseline protocol
+  bool reliable = false;                  ///< sequence numbers + retransmit loops
+  fault::RetryPolicy retry;               ///< timeout/backoff knobs (reliable mode)
+  std::uint64_t seed = 1;                 ///< jitter stream seed (reliable mode)
 };
 
 class WorkerClient {
@@ -39,7 +54,9 @@ class WorkerClient {
   void handle(net::Message&& msg);
 
   /// sPush: slice `update` per the sharding and send one push per server,
-  /// tagged with this worker's progress (the iteration just computed).
+  /// tagged with this worker's progress (the iteration just computed). In
+  /// reliable mode this first blocks until the previous push round is fully
+  /// acked (one outstanding round keeps the retransmit state simple).
   void push(std::span<const float> update, std::int64_t progress);
 
   /// Metadata-only sPush: report progress without values (the significance
@@ -51,43 +68,79 @@ class WorkerClient {
   std::uint64_t pull(std::int64_t progress);
 
   /// wait (Algorithm 1 line 5): block until all shards for `ticket` arrived,
-  /// scattering them into `params` (the full flat vector).
+  /// scattering them into `params` (the full flat vector). Reliable mode
+  /// retransmits missing pulls (same ticket) and unacked pushes on timeout.
   void wait_pull(std::uint64_t ticket, std::span<float> params);
 
   /// Baseline protocol: block until all servers acked the last push().
   void wait_push_acks();
 
   /// Baseline protocol: report progress to the scheduler and block until it
-  /// grants the pull phase.
+  /// grants the pull phase. Reliable mode retransmits the report on timeout.
   void report_and_wait_grant(std::int64_t progress);
 
   /// Seconds this worker spent blocked inside wait_* calls so far.
   [[nodiscard]] double blocked_seconds() const;
 
+  /// Retransmission rounds triggered by timeouts (reliable mode).
+  [[nodiscard]] std::int64_t retries() const;
+
   [[nodiscard]] std::uint32_t rank() const noexcept { return worker_rank_; }
   [[nodiscard]] net::NodeId node_id() const noexcept { return node_id_; }
 
  private:
+  /// Requires mu_ held. (Re)send the round's push for server m.
+  void send_push_locked(std::size_t m);
+  /// Requires mu_ held. (Re)send the pull for server m with the live ticket.
+  void send_pull_locked(std::size_t m);
+  void send_progress_report(std::int64_t progress);
+  /// Reliable mode: block until the outstanding push round is fully acked,
+  /// retransmitting unacked shards per the retry policy.
+  void await_round_acked();
+
   net::NodeId node_id_;
   std::uint32_t worker_rank_;
   std::vector<net::NodeId> server_nodes_;
   const Sharding* sharding_;
   net::NodeId scheduler_node_;
+  bool reliable_;
+  fault::RetryPolicy retry_;
   net::Transport& transport_;
 
   mutable std::mutex mu_;
   std::condition_variable cv_;
-  // One outstanding pull at a time (the training loop is sequential).
+  Rng retry_rng_;
+
+  // --- outstanding push round (one at a time; training loop is sequential)
+  std::int64_t round_progress_ = -1;
+  bool round_metadata_ = false;
+  std::vector<float> round_update_;        // flat copy kept for retransmits
+  std::vector<std::uint64_t> round_seqs_;  // per server
+  std::vector<char> round_acked_;          // per server
+  std::uint32_t round_unacked_ = 0;
+
+  std::vector<std::uint64_t> next_seq_;            // per server, starts at 1
+  std::vector<std::int64_t> last_acked_progress_;  // per server, -1 = none
+
+  // --- outstanding pull
   std::uint64_t current_ticket_ = 0;
+  std::int64_t pull_progress_ = 0;
   std::vector<std::vector<float>> shard_values_;  // per server rank
+  std::vector<char> pull_received_;               // per server rank
   std::uint32_t shards_received_ = 0;
+
+  // --- baseline protocol state
   std::uint32_t acks_received_ = 0;
   std::uint32_t acks_expected_ = 0;
   bool grant_received_ = false;
+  std::int64_t awaited_grant_progress_ = -1;
+
   // Tickets embed the worker rank in the high bits so request ids are unique
   // across the whole cluster (servers key pending pulls by id alone).
   std::uint64_t next_ticket_;
   double blocked_seconds_ = 0.0;
+  std::int64_t retries_ = 0;
+  bool budget_warned_ = false;
 };
 
 }  // namespace fluentps::ps

@@ -1,0 +1,189 @@
+// Chaos matrix (acceptance test for the fault subsystem): every architecture
+// and sync mode must complete training under 10% message loss plus one
+// mid-run server crash-restart, with bounded retransmits and the dedup layer
+// visibly engaged. Also covers lossy-link-only and partition-heal scenarios,
+// and the thread backend under chaos.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/fluentps.h"
+
+namespace fluentps {
+namespace {
+
+struct ChaosCase {
+  const char* name;
+  core::Arch arch;
+  const char* sync;
+  std::int64_t s;
+  double prob;
+  ps::DprMode mode;
+};
+
+core::ExperimentConfig base_config(const ChaosCase& p) {
+  core::ExperimentConfig cfg;
+  cfg.backend = core::Backend::kSim;
+  cfg.arch = p.arch;
+  cfg.num_workers = 4;
+  cfg.num_servers = 2;
+  cfg.max_iters = 40;
+  cfg.sync.kind = p.sync;
+  cfg.sync.staleness = p.s;
+  cfg.sync.prob = p.prob;
+  cfg.dpr_mode = p.mode;
+  cfg.model.kind = "softmax";
+  cfg.data.num_train = 256;
+  cfg.data.num_test = 64;
+  cfg.batch_size = 8;
+  cfg.compute.kind = "lognormal";
+  cfg.compute.base_seconds = 0.01;
+  cfg.seed = 1234;
+  cfg.retry.initial_timeout = 0.02;
+  cfg.retry.max_timeout = 0.3;
+  return cfg;
+}
+
+void check_sane(const core::ExperimentResult& r, const core::ExperimentConfig& cfg) {
+  EXPECT_EQ(r.iterations, cfg.max_iters);
+  ASSERT_FALSE(r.final_params.empty());
+  for (const float v : r.final_params) ASSERT_TRUE(std::isfinite(v));
+  EXPECT_TRUE(std::isfinite(r.final_loss));
+  EXPECT_GT(r.total_time, 0.0);
+}
+
+class ChaosMatrix : public ::testing::TestWithParam<ChaosCase> {};
+
+TEST_P(ChaosMatrix, SurvivesLossAndCrashRestart) {
+  auto cfg = base_config(GetParam());
+  cfg.faults.link.drop_prob = 0.10;
+  cfg.faults.checkpoint_every = 0.05;
+  cfg.faults.crashes.push_back({/*server_rank=*/0, /*crash=*/0.12, /*restart=*/0.3});
+
+  const auto r = core::run_experiment(cfg);
+  check_sane(r, cfg);
+  EXPECT_EQ(r.server_crashes, 1);
+  EXPECT_EQ(r.server_recoveries, 1);
+  EXPECT_GT(r.dropped, 0);
+  EXPECT_GT(r.worker_retries, 0) << "lost messages must be retransmitted";
+  EXPECT_GT(r.server_dedup_hits, 0) << "retransmits of applied pushes must dedup";
+  // Bounded retries: far fewer than one full escalation ladder per request.
+  const auto requests = cfg.max_iters * cfg.num_workers * cfg.num_servers;
+  EXPECT_LT(r.worker_retries, requests * static_cast<std::int64_t>(cfg.retry.budget));
+}
+
+TEST_P(ChaosMatrix, LossyLinksAloneConvergeCleanly) {
+  auto cfg = base_config(GetParam());
+  cfg.faults.link.drop_prob = 0.10;
+  cfg.faults.link.dup_prob = 0.05;
+  cfg.faults.link.delay_prob = 0.10;
+  cfg.faults.link.delay_seconds = 0.004;
+
+  const auto r = core::run_experiment(cfg);
+  check_sane(r, cfg);
+  EXPECT_EQ(r.server_crashes, 0);
+  EXPECT_GT(r.dropped, 0);
+  EXPECT_GT(r.duplicated, 0);
+  EXPECT_GT(r.delayed, 0);
+  EXPECT_GT(r.worker_retries, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, ChaosMatrix,
+    ::testing::Values(
+        ChaosCase{"fluent_bsp_lazy", core::Arch::kFluentPS, "bsp", 0, 0, ps::DprMode::kLazy},
+        ChaosCase{"fluent_ssp_soft", core::Arch::kFluentPS, "ssp", 2, 0,
+                  ps::DprMode::kSoftBarrier},
+        ChaosCase{"fluent_pssp_lazy", core::Arch::kFluentPS, "pssp", 2, 0.5, ps::DprMode::kLazy},
+        ChaosCase{"fluent_pssp_soft", core::Arch::kFluentPS, "pssp", 2, 0.3,
+                  ps::DprMode::kSoftBarrier},
+        ChaosCase{"pslite_bsp", core::Arch::kPsLite, "bsp", 0, 0, ps::DprMode::kLazy},
+        ChaosCase{"pslite_ssp", core::Arch::kPsLite, "ssp", 3, 0, ps::DprMode::kLazy},
+        ChaosCase{"ssptable", core::Arch::kSspTable, "ssp", 3, 0, ps::DprMode::kLazy}),
+    [](const ::testing::TestParamInfo<ChaosCase>& info) { return info.param.name; });
+
+TEST(Chaos, PartitionHealsAndTrainingResumes) {
+  // Workers 0-1 are cut off from the servers for a window; their pulls keep
+  // retrying at the backoff ceiling and complete once the partition heals.
+  auto cfg = base_config({"", core::Arch::kFluentPS, "ssp", 2, 0, ps::DprMode::kLazy});
+  cfg.faults.partitions.push_back({{"w0", "w1"}, 0.1, 0.4});
+  const auto r = core::run_experiment(cfg);
+  check_sane(r, cfg);
+  EXPECT_GT(r.dropped, 0) << "partition drops count as drops";
+  EXPECT_GT(r.worker_retries, 0);
+}
+
+TEST(Chaos, ForcedReliabilityWithoutFaultsIsOverheadOnly) {
+  // The at-least-once protocol on a pristine fabric: no drops, no retries,
+  // no dedup hits — only the ack traffic differs from the baseline run.
+  // Timeouts must comfortably exceed the longest legitimate DPR wait, or the
+  // retry loop (correctly) retransmits pulls that are merely blocked.
+  auto cfg = base_config({"", core::Arch::kFluentPS, "ssp", 2, 0, ps::DprMode::kLazy});
+  cfg.force_reliability = true;
+  cfg.retry.initial_timeout = 5.0;
+  cfg.retry.max_timeout = 5.0;
+  const auto r = core::run_experiment(cfg);
+  check_sane(r, cfg);
+  EXPECT_EQ(r.dropped, 0);
+  EXPECT_EQ(r.worker_retries, 0);
+  EXPECT_EQ(r.server_dedup_hits, 0);
+  EXPECT_EQ(r.server_crashes, 0);
+}
+
+TEST(Chaos, FaultEventsAndCountersAreReported) {
+  auto cfg = base_config({"", core::Arch::kFluentPS, "ssp", 2, 0, ps::DprMode::kLazy});
+  cfg.faults.link.drop_prob = 0.05;
+  cfg.faults.checkpoint_every = 0.05;
+  cfg.faults.crashes.push_back({0, 0.12, 0.3});
+  const auto r = core::run_experiment(cfg);
+  bool saw_crash = false, saw_restart = false, saw_checkpoint = false, saw_recovered = false;
+  for (const auto& e : r.fault_events) {
+    saw_crash |= e.kind == "crash";
+    saw_restart |= e.kind == "restart";
+    saw_checkpoint |= e.kind == "checkpoint";
+    saw_recovered |= e.kind == "recovered";
+  }
+  EXPECT_TRUE(saw_crash);
+  EXPECT_TRUE(saw_restart);
+  EXPECT_TRUE(saw_checkpoint);
+  EXPECT_TRUE(saw_recovered);
+  // r.dropped aggregates plan drops and down-endpoint drops, which Metrics
+  // tracks under two separate keys.
+  std::int64_t dropped_counter = 0, down_counter = 0;
+  for (const auto& [k, v] : r.counters) {
+    if (k == "fault.dropped") dropped_counter = v;
+    if (k == "fault.dropped_down") down_counter = v;
+  }
+  EXPECT_GT(dropped_counter, 0);
+  EXPECT_EQ(dropped_counter + down_counter, r.dropped)
+      << "Metrics snapshot mirrors the result fields";
+}
+
+TEST(Chaos, ThreadBackendSurvivesChaos) {
+  // Wall-clock chaos on real threads: lossy links + one crash-restart.
+  core::ExperimentConfig cfg;
+  cfg.backend = core::Backend::kThreads;
+  cfg.arch = core::Arch::kFluentPS;
+  cfg.num_workers = 3;
+  cfg.num_servers = 2;
+  cfg.max_iters = 30;
+  cfg.sync.kind = "ssp";
+  cfg.sync.staleness = 2;
+  cfg.model.kind = "softmax";
+  cfg.data.num_train = 256;
+  cfg.data.num_test = 64;
+  cfg.batch_size = 8;
+  cfg.seed = 9;
+  cfg.retry.initial_timeout = 0.02;
+  cfg.retry.max_timeout = 0.2;
+  cfg.faults.link.drop_prob = 0.05;
+  cfg.faults.checkpoint_every = 0.05;
+  cfg.faults.crashes.push_back({0, 0.15, 0.4});
+  const auto r = core::run_experiment(cfg);
+  check_sane(r, cfg);
+  EXPECT_EQ(r.server_crashes, 1);
+  EXPECT_EQ(r.server_recoveries, 1);
+}
+
+}  // namespace
+}  // namespace fluentps

@@ -81,6 +81,66 @@ TEST_F(CheckpointTest, ChecksumDistinguishesValues) {
   EXPECT_EQ(params_checksum(a), params_checksum(std::vector<float>{1.0f, 2.0f}));
 }
 
+// --- opaque blob checkpoints (server crash-restart state) ------------------
+
+TEST_F(CheckpointTest, BlobRoundTrip) {
+  std::vector<std::uint8_t> blob(257);
+  for (std::size_t i = 0; i < blob.size(); ++i) blob[i] = static_cast<std::uint8_t>(i * 7);
+  ASSERT_TRUE(save_blob(path("s.blob"), blob));
+  std::vector<std::uint8_t> loaded;
+  ASSERT_TRUE(load_blob(path("s.blob"), &loaded));
+  EXPECT_EQ(loaded, blob);
+}
+
+TEST_F(CheckpointTest, EmptyBlobRoundTrip) {
+  ASSERT_TRUE(save_blob(path("e.blob"), std::vector<std::uint8_t>{}));
+  std::vector<std::uint8_t> loaded{9};
+  ASSERT_TRUE(load_blob(path("e.blob"), &loaded));
+  EXPECT_TRUE(loaded.empty());
+}
+
+TEST_F(CheckpointTest, ZeroLengthBlobFileRejected) {
+  // A crash during the very first write can leave a zero-length file: the
+  // loader must fail cleanly (header read fails), leaving *out untouched.
+  { std::ofstream f(path("z.blob"), std::ios::binary); }
+  std::vector<std::uint8_t> loaded{1, 2, 3};
+  EXPECT_FALSE(load_blob(path("z.blob"), &loaded));
+  EXPECT_EQ(loaded, (std::vector<std::uint8_t>{1, 2, 3})) << "output untouched on failure";
+}
+
+TEST_F(CheckpointTest, TornBlobWriteRejected) {
+  std::vector<std::uint8_t> blob(512, 0xAB);
+  ASSERT_TRUE(save_blob(path("torn.blob"), blob));
+  const auto full = std::filesystem::file_size(path("torn.blob"));
+  // Simulate a crash mid-write at every interesting cut point.
+  for (const std::uintmax_t keep : {full / 2, full - 1, std::uintmax_t{8}}) {
+    std::filesystem::resize_file(path("torn.blob"), keep);
+    std::vector<std::uint8_t> loaded;
+    EXPECT_FALSE(load_blob(path("torn.blob"), &loaded)) << "kept " << keep << " bytes";
+  }
+}
+
+TEST_F(CheckpointTest, BlobBitFlipRejected) {
+  std::vector<std::uint8_t> blob(256, 0x11);
+  ASSERT_TRUE(save_blob(path("flip.blob"), blob));
+  std::fstream f(path("flip.blob"), std::ios::binary | std::ios::in | std::ios::out);
+  f.seekp(40);  // inside the payload
+  const char corrupted = 0x42;
+  f.write(&corrupted, 1);
+  f.close();
+  std::vector<std::uint8_t> loaded;
+  EXPECT_FALSE(load_blob(path("flip.blob"), &loaded)) << "checksum must catch the flip";
+}
+
+TEST_F(CheckpointTest, BlobAndParamsFormatsAreNotInterchangeable) {
+  ASSERT_TRUE(save_params(path("p.ckpt"), std::vector<float>{1.0f, 2.0f}));
+  std::vector<std::uint8_t> blob;
+  EXPECT_FALSE(load_blob(path("p.ckpt"), &blob)) << "magic must differ";
+  ASSERT_TRUE(save_blob(path("b.blob"), std::vector<std::uint8_t>{1, 2, 3}));
+  std::vector<float> params;
+  EXPECT_FALSE(load_params(path("b.blob"), &params));
+}
+
 TEST(TraceExport, ProducesValidEvents) {
   std::vector<IterationTrace> trace{
       {0, 0, 0.0, 0.5, 0.8},
@@ -102,6 +162,36 @@ TEST(TraceExport, ProducesValidEvents) {
 TEST(TraceExport, EmptyTraceIsValidJson) {
   const auto json = to_chrome_trace_json({});
   EXPECT_NE(json.find("traceEvents"), std::string::npos);
+}
+
+TEST(TraceExport, FaultEventsRenderAsInstantEvents) {
+  std::vector<IterationTrace> trace{{0, 0, 0.0, 0.5, 0.8}};
+  std::vector<FaultEvent> faults{
+      {0.30, "checkpoint", 1},
+      {0.45, "crash", 1},
+      {0.65, "restart", 1},
+      {0.70, "recovered", 1},
+  };
+  const auto json = to_chrome_trace_json(trace, faults);
+  // One "i" instant event per fault, alongside the two "X" spans.
+  std::size_t instants = 0, pos = 0;
+  while ((pos = json.find("\"ph\": \"i\"", pos)) != std::string::npos) {
+    ++instants;
+    pos += 1;
+  }
+  EXPECT_EQ(instants, 4u);
+  for (const char* kind : {"checkpoint", "crash", "restart", "recovered"}) {
+    EXPECT_NE(json.find(std::string("\"name\": \"") + kind + "\""), std::string::npos) << kind;
+  }
+  EXPECT_NE(json.find("\"cat\": \"fault\""), std::string::npos);
+  // Crash timestamp is exported in microseconds on the crashed node's track.
+  EXPECT_NE(json.find("\"ts\": 450000"), std::string::npos);
+}
+
+TEST(TraceExport, FaultEventsAloneStillValid) {
+  const auto json = to_chrome_trace_json({}, {{0.1, "crash", 2}});
+  EXPECT_NE(json.find("\"ph\": \"i\""), std::string::npos);
+  EXPECT_EQ(json.find("\"ph\": \"X\""), std::string::npos);
 }
 
 TEST(TraceExport, WriteToFile) {

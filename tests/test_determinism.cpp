@@ -16,6 +16,10 @@ struct DetCase {
   double prob;
   ps::DprMode mode;
   const char* compute;
+  // Fault injection (zero-initialized for pristine cases): determinism must
+  // hold with the reliability layer and chaos in the loop too.
+  double drop = 0.0;
+  bool crash = false;
 };
 
 class SimDeterminism : public ::testing::TestWithParam<DetCase> {};
@@ -41,6 +45,16 @@ TEST_P(SimDeterminism, TwoRunsBitIdentical) {
   cfg.compute.kind = p.compute;
   cfg.compute.base_seconds = 0.01;
   cfg.seed = 2718;
+  if (p.drop > 0.0 || p.crash) {
+    cfg.faults.link.drop_prob = p.drop;
+    cfg.faults.link.dup_prob = 0.05;
+    cfg.faults.link.delay_prob = 0.1;
+    cfg.faults.link.delay_seconds = 0.004;
+    cfg.faults.checkpoint_every = 0.05;
+    cfg.retry.initial_timeout = 0.02;
+    cfg.retry.max_timeout = 0.3;
+    if (p.crash) cfg.faults.crashes.push_back({/*server_rank=*/0, 0.12, 0.3});
+  }
 
   const auto a = core::run_experiment(cfg);
   const auto b = core::run_experiment(cfg);
@@ -52,6 +66,13 @@ TEST_P(SimDeterminism, TwoRunsBitIdentical) {
   EXPECT_EQ(a.dpr_total, b.dpr_total);
   EXPECT_DOUBLE_EQ(a.bytes_total, b.bytes_total);
   EXPECT_EQ(a.messages, b.messages);
+  // Fault-side numbers must agree too (trivially 0 == 0 for pristine cases).
+  EXPECT_EQ(a.dropped, b.dropped);
+  EXPECT_EQ(a.duplicated, b.duplicated);
+  EXPECT_EQ(a.delayed, b.delayed);
+  EXPECT_EQ(a.worker_retries, b.worker_retries);
+  EXPECT_EQ(a.server_dedup_hits, b.server_dedup_hits);
+  EXPECT_EQ(a.server_recoveries, b.server_recoveries);
   ASSERT_EQ(a.final_params.size(), b.final_params.size());
   for (std::size_t i = 0; i < a.final_params.size(); ++i) {
     ASSERT_EQ(a.final_params[i], b.final_params[i]) << i;
@@ -77,7 +98,15 @@ INSTANTIATE_TEST_SUITE_P(
         DetCase{"pslite_bsp", core::Arch::kPsLite, "bsp", 0, 0, ps::DprMode::kLazy, "lognormal"},
         DetCase{"pslite_ssp", core::Arch::kPsLite, "ssp", 3, 0, ps::DprMode::kLazy,
                 "heterogeneous"},
-        DetCase{"ssptable", core::Arch::kSspTable, "ssp", 3, 0, ps::DprMode::kLazy, "lognormal"}),
+        DetCase{"ssptable", core::Arch::kSspTable, "ssp", 3, 0, ps::DprMode::kLazy, "lognormal"},
+        DetCase{"faulty_fluent_ssp", core::Arch::kFluentPS, "ssp", 2, 0, ps::DprMode::kLazy,
+                "lognormal", 0.1, true},
+        DetCase{"faulty_fluent_pssp_soft", core::Arch::kFluentPS, "pssp", 2, 0.4,
+                ps::DprMode::kSoftBarrier, "heterogeneous", 0.1, true},
+        DetCase{"faulty_pslite_bsp", core::Arch::kPsLite, "bsp", 0, 0, ps::DprMode::kLazy,
+                "lognormal", 0.1, true},
+        DetCase{"faulty_ssptable_lossy", core::Arch::kSspTable, "ssp", 3, 0, ps::DprMode::kLazy,
+                "lognormal", 0.1, false}),
     [](const ::testing::TestParamInfo<DetCase>& info) { return info.param.name; });
 
 TEST(SimDeterminismExtras, SignificanceFilterDeterministic) {

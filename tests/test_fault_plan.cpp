@@ -1,0 +1,182 @@
+// Fault subsystem unit tests: FaultSpec parsing (Config DSL), node token
+// resolution, partition windows, per-message verdicts and their determinism,
+// and the RetryPolicy backoff ladder.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "common/config.h"
+#include "common/rng.h"
+#include "fault/fault_plan.h"
+#include "fault/retry_policy.h"
+
+namespace fluentps::fault {
+namespace {
+
+// Layout under test: scheduler=0, servers 1..2 (M=2), workers 3..6 (N=4).
+constexpr std::uint32_t kServers = 2;
+constexpr std::uint32_t kWorkers = 4;
+
+TEST(FaultSpec, DefaultIsInert) {
+  FaultSpec spec;
+  EXPECT_FALSE(spec.any());
+  FaultPlan plan(spec, kServers, kWorkers);
+  EXPECT_FALSE(plan.active());
+  Rng rng(1);
+  const auto v = plan.decide(3, 1, 0.0, rng);
+  EXPECT_FALSE(v.drop);
+  EXPECT_FALSE(v.duplicate);
+  EXPECT_DOUBLE_EQ(v.extra_delay, 0.0);
+}
+
+TEST(FaultSpec, FromConfigParsesLinkFaults) {
+  Config cfg;
+  cfg.set("fault.drop", "0.1");
+  cfg.set("fault.dup", "0.05");
+  cfg.set("fault.delay_prob", "0.2");
+  cfg.set("fault.delay_seconds", "0.01");
+  cfg.set("fault.reorder", "0.3");
+  cfg.set("fault.reorder_max", "0.02");
+  cfg.set("fault.seed", "99");
+  cfg.set("fault.checkpoint_every", "0.5");
+  const auto spec = FaultSpec::from_config(cfg);
+  EXPECT_DOUBLE_EQ(spec.link.drop_prob, 0.1);
+  EXPECT_DOUBLE_EQ(spec.link.dup_prob, 0.05);
+  EXPECT_DOUBLE_EQ(spec.link.delay_prob, 0.2);
+  EXPECT_DOUBLE_EQ(spec.link.delay_seconds, 0.01);
+  EXPECT_DOUBLE_EQ(spec.link.reorder_prob, 0.3);
+  EXPECT_DOUBLE_EQ(spec.link.reorder_max_seconds, 0.02);
+  EXPECT_EQ(spec.seed, 99u);
+  EXPECT_DOUBLE_EQ(spec.checkpoint_every, 0.5);
+  EXPECT_TRUE(spec.any());
+}
+
+TEST(FaultSpec, FromConfigParsesSchedules) {
+  Config cfg;
+  cfg.set("fault.partition", "w0,w1@0.5:1.5;s0@2:3");
+  cfg.set("fault.crash", "s0@1.0:2.0;s1@4.0:inf");
+  const auto spec = FaultSpec::from_config(cfg);
+  ASSERT_EQ(spec.partitions.size(), 2u);
+  EXPECT_EQ(spec.partitions[0].members, (std::vector<std::string>{"w0", "w1"}));
+  EXPECT_DOUBLE_EQ(spec.partitions[0].start, 0.5);
+  EXPECT_DOUBLE_EQ(spec.partitions[0].end, 1.5);
+  EXPECT_EQ(spec.partitions[1].members, (std::vector<std::string>{"s0"}));
+  ASSERT_EQ(spec.crashes.size(), 2u);
+  EXPECT_EQ(spec.crashes[0].server_rank, 0u);
+  EXPECT_DOUBLE_EQ(spec.crashes[0].crash_time, 1.0);
+  EXPECT_DOUBLE_EQ(spec.crashes[0].restart_time, 2.0);
+  EXPECT_EQ(spec.crashes[1].server_rank, 1u);
+  EXPECT_TRUE(std::isinf(spec.crashes[1].restart_time));
+}
+
+TEST(FaultPlan, ResolvesNodeTokens) {
+  EXPECT_EQ(FaultPlan::resolve("sched", kServers, kWorkers), 0u);
+  EXPECT_EQ(FaultPlan::resolve("s0", kServers, kWorkers), 1u);
+  EXPECT_EQ(FaultPlan::resolve("s1", kServers, kWorkers), 2u);
+  EXPECT_EQ(FaultPlan::resolve("w0", kServers, kWorkers), 3u);
+  EXPECT_EQ(FaultPlan::resolve("w3", kServers, kWorkers), 6u);
+}
+
+TEST(FaultPlanDeath, RejectsOutOfRangeTokens) {
+  EXPECT_DEATH((void)FaultPlan::resolve("s2", kServers, kWorkers), "");
+  EXPECT_DEATH((void)FaultPlan::resolve("w4", kServers, kWorkers), "");
+  EXPECT_DEATH((void)FaultPlan::resolve("bogus", kServers, kWorkers), "");
+}
+
+TEST(FaultPlan, PartitionCutsCrossTrafficDuringWindow) {
+  FaultSpec spec;
+  spec.partitions.push_back(PartitionSpec{{"w0", "w1"}, 1.0, 2.0});
+  FaultPlan plan(spec, kServers, kWorkers);
+  const net::NodeId w0 = 3, w1 = 4, s0 = 1;
+  // Before and after the window: connected.
+  EXPECT_FALSE(plan.partitioned(w0, s0, 0.5));
+  EXPECT_FALSE(plan.partitioned(w0, s0, 2.0));  // end-exclusive
+  // Inside: traffic crossing the cut is severed, same-side traffic flows.
+  EXPECT_TRUE(plan.partitioned(w0, s0, 1.5));
+  EXPECT_TRUE(plan.partitioned(s0, w0, 1.5));  // symmetric
+  EXPECT_FALSE(plan.partitioned(w0, w1, 1.5)); // both members
+  EXPECT_FALSE(plan.partitioned(s0, 0, 1.5));  // both non-members
+  // Partitioned traffic is dropped without consuming randomness.
+  Rng a(7), b(7);
+  const auto v = plan.decide(w0, s0, 1.5, a);
+  EXPECT_TRUE(v.drop);
+  EXPECT_EQ(a.next_u64(), b.next_u64()) << "partition drop must be rng-free";
+}
+
+TEST(FaultPlan, VerdictsAreDeterministicPerSeed) {
+  FaultSpec spec;
+  spec.link.drop_prob = 0.2;
+  spec.link.dup_prob = 0.2;
+  spec.link.reorder_prob = 0.3;
+  spec.link.reorder_max_seconds = 0.05;
+  FaultPlan plan(spec, kServers, kWorkers);
+  Rng a(42), b(42);
+  for (int i = 0; i < 500; ++i) {
+    const auto va = plan.decide(3, 1, 0.0, a);
+    const auto vb = plan.decide(3, 1, 0.0, b);
+    EXPECT_EQ(va.drop, vb.drop);
+    EXPECT_EQ(va.duplicate, vb.duplicate);
+    EXPECT_DOUBLE_EQ(va.extra_delay, vb.extra_delay);
+    if (va.drop) {
+      // A dropped message cannot also be duplicated or delayed.
+      EXPECT_FALSE(va.duplicate);
+      EXPECT_DOUBLE_EQ(va.extra_delay, 0.0);
+    }
+  }
+}
+
+TEST(FaultPlan, DropRateApproximatesProbability) {
+  FaultSpec spec;
+  spec.link.drop_prob = 0.25;
+  FaultPlan plan(spec, kServers, kWorkers);
+  Rng rng(3);
+  int drops = 0;
+  constexpr int kTrials = 20000;
+  for (int i = 0; i < kTrials; ++i) {
+    if (plan.decide(3, 1, 0.0, rng).drop) ++drops;
+  }
+  const double rate = static_cast<double>(drops) / kTrials;
+  EXPECT_NEAR(rate, 0.25, 0.02);
+}
+
+TEST(RetryPolicy, BackoffLadderIsBoundedAndJittered) {
+  RetryPolicy p;
+  p.initial_timeout = 0.1;
+  p.max_timeout = 0.8;
+  p.backoff = 2.0;
+  p.jitter = 0.1;
+  Rng rng(11);
+  double prev = 0.0;
+  for (std::uint32_t attempt = 0; attempt < 12; ++attempt) {
+    const double t = p.timeout_for(attempt, rng);
+    const double nominal = std::min(0.1 * std::pow(2.0, attempt), 0.8);
+    EXPECT_GE(t, nominal * 0.9 - 1e-12);
+    EXPECT_LE(t, nominal * 1.1 + 1e-12);
+    if (attempt >= 4) {
+      EXPECT_LE(t, 0.8 * 1.1 + 1e-12) << "capped at max_timeout";
+    }
+    prev = t;
+  }
+  (void)prev;
+  EXPECT_FALSE(p.exhausted(p.budget - 1));
+  EXPECT_TRUE(p.exhausted(p.budget));
+}
+
+TEST(RetryPolicy, FromConfigReadsPrefixedKeys) {
+  Config cfg;
+  cfg.set("retry.initial_timeout", "0.02");
+  cfg.set("retry.max_timeout", "0.4");
+  cfg.set("retry.backoff", "3.0");
+  cfg.set("retry.jitter", "0.05");
+  cfg.set("retry.budget", "7");
+  const auto p = RetryPolicy::from_config(cfg);
+  EXPECT_DOUBLE_EQ(p.initial_timeout, 0.02);
+  EXPECT_DOUBLE_EQ(p.max_timeout, 0.4);
+  EXPECT_DOUBLE_EQ(p.backoff, 3.0);
+  EXPECT_DOUBLE_EQ(p.jitter, 0.05);
+  EXPECT_EQ(p.budget, 7u);
+}
+
+}  // namespace
+}  // namespace fluentps::fault

@@ -188,10 +188,11 @@ TEST(SimTransport, DeliveryAtNetworkTime) {
   Message m;
   m.src = 0;
   m.dst = 1;
-  m.values.resize(239);  // 956 bytes payload + 48 header = 1004 bytes
+  m.values.resize(239);  // 956 bytes payload + header
+  const double bytes = kHeaderBytes + 239 * sizeof(float);
   t.send(std::move(m));
   env.run();
-  EXPECT_NEAR(delivered_at, 0.001 + 2 * 1004.0 / 1e6, 1e-9);
+  EXPECT_NEAR(delivered_at, 0.001 + 2 * bytes / 1e6, 1e-9);
   EXPECT_EQ(t.delivered(), 1u);
 }
 

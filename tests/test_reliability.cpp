@@ -1,0 +1,268 @@
+// Reliability-layer unit tests, driving ps::Server directly (single context)
+// through a scripted transport: SeqWindow dedup semantics, the exactly-once
+// application oracle (duplicated pushes leave the shard bit-identical),
+// idempotent pull re-answers, checkpoint save/restore, and the
+// kRecover/kRecoverAck handshake that re-counts rolled-back pushes.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "net/transport.h"
+#include "ps/server.h"
+#include "ps/slicing.h"
+
+namespace fluentps::ps {
+namespace {
+
+constexpr std::size_t kParams = 8;
+
+struct StubTransport final : net::Transport {
+  std::vector<net::Message> sent;
+  void register_node(net::NodeId, Handler) override {}
+  void send(net::Message msg) override { sent.push_back(std::move(msg)); }
+
+  [[nodiscard]] std::size_t count(net::MsgType t) const {
+    return static_cast<std::size_t>(
+        std::count_if(sent.begin(), sent.end(), [t](const auto& m) { return m.type == t; }));
+  }
+  [[nodiscard]] const net::Message& last() const { return sent.back(); }
+};
+
+/// One reliable server owning all kParams parameters, driven directly.
+struct ServerRig {
+  StubTransport transport;
+  std::unique_ptr<Server> server;
+
+  explicit ServerRig(std::uint32_t n_workers, const SyncModelSpec& sync = {.kind = "asp"}) {
+    EpsSlicer slicer(kParams);
+    auto sharding = slicer.shard({kParams}, 1);
+    ServerSpec spec;
+    spec.node_id = 1;
+    spec.server_rank = 0;
+    spec.num_workers = n_workers;
+    spec.layout = sharding.shards[0];
+    spec.initial_shard.assign(kParams, 0.0f);
+    spec.engine.num_workers = n_workers;
+    spec.engine.model = make_sync_model(sync, n_workers);
+    spec.engine.seed = 5;
+    spec.reliable = true;
+    for (std::uint32_t n = 0; n < n_workers; ++n) spec.worker_nodes.push_back(2 + n);
+    server = std::make_unique<Server>(std::move(spec), transport);
+  }
+
+  void push(std::uint32_t worker, std::uint64_t seq, std::int64_t progress, float value) {
+    net::Message m;
+    m.type = net::MsgType::kPush;
+    m.src = 2 + worker;
+    m.dst = 1;
+    m.worker_rank = worker;
+    m.seq = seq;
+    m.progress = progress;
+    m.values.assign(kParams, value);
+    server->handle(std::move(m));
+  }
+
+  void pull(std::uint32_t worker, std::uint64_t request_id, std::int64_t progress) {
+    net::Message m;
+    m.type = net::MsgType::kPull;
+    m.src = 2 + worker;
+    m.dst = 1;
+    m.worker_rank = worker;
+    m.request_id = request_id;
+    m.progress = progress;
+    server->handle(std::move(m));
+  }
+
+  void recover_ack(std::uint32_t worker, std::int64_t last_acked) {
+    net::Message m;
+    m.type = net::MsgType::kRecoverAck;
+    m.src = 2 + worker;
+    m.dst = 1;
+    m.worker_rank = worker;
+    m.progress = last_acked;
+    server->handle(std::move(m));
+  }
+};
+
+TEST(SeqWindow, AcceptsInOrderRejectsDuplicates) {
+  SeqWindow w;
+  EXPECT_TRUE(w.accept(1));
+  EXPECT_TRUE(w.accept(2));
+  EXPECT_FALSE(w.accept(1)) << "below the floor";
+  EXPECT_FALSE(w.accept(2));
+  EXPECT_EQ(w.floor, 2u);
+  EXPECT_TRUE(w.seen.empty()) << "contiguous prefix collapses into the floor";
+}
+
+TEST(SeqWindow, GapsStaySparseUntilFilled) {
+  SeqWindow w;
+  EXPECT_TRUE(w.accept(1));
+  EXPECT_TRUE(w.accept(3));
+  EXPECT_TRUE(w.accept(5));
+  EXPECT_EQ(w.floor, 1u);
+  EXPECT_EQ(w.seen.size(), 2u);
+  EXPECT_FALSE(w.accept(3)) << "in-set duplicate";
+  EXPECT_TRUE(w.accept(2));  // fills the gap: floor jumps over 3
+  EXPECT_EQ(w.floor, 3u);
+  EXPECT_TRUE(w.accept(4));
+  EXPECT_EQ(w.floor, 5u);
+  EXPECT_TRUE(w.seen.empty());
+}
+
+TEST(SeqWindow, SeqZeroBypassesDedup) {
+  SeqWindow w;
+  EXPECT_TRUE(w.accept(0));
+  EXPECT_TRUE(w.accept(0)) << "unsequenced senders are never deduplicated";
+  EXPECT_EQ(w.floor, 0u);
+}
+
+TEST(ReliableServer, DuplicatePushAppliedExactlyOnce) {
+  // Oracle: a run where every push is delivered twice must produce a shard
+  // bit-identical to the run where each is delivered once.
+  ServerRig once(1), twice(1);
+  for (std::int64_t i = 0; i < 4; ++i) {
+    const auto seq = static_cast<std::uint64_t>(i + 1);
+    const float g = 0.125f * static_cast<float>(i + 1);
+    once.push(0, seq, i, g);
+    twice.push(0, seq, i, g);
+    twice.push(0, seq, i, g);  // network duplicate
+  }
+  EXPECT_EQ(once.server->pushes_applied(), 4);
+  EXPECT_EQ(twice.server->pushes_applied(), 4);
+  EXPECT_EQ(twice.server->dedup_hits(), 4);
+  const auto a = once.server->snapshot();
+  const auto b = twice.server->snapshot();
+  for (std::size_t i = 0; i < kParams; ++i) EXPECT_EQ(a[i], b[i]) << "bitwise at " << i;
+  // Every duplicate still gets an ack (the first ack was presumed lost).
+  EXPECT_EQ(twice.transport.count(net::MsgType::kPushAck), 8u);
+}
+
+TEST(ReliableServer, OutOfOrderRetransmitsDedupAcrossGaps) {
+  ServerRig rig(1);
+  rig.push(0, 1, 0, 1.0f);
+  rig.push(0, 3, 2, 1.0f);  // seq 2 still in flight
+  rig.push(0, 3, 2, 1.0f);  // dup of the sparse entry
+  rig.push(0, 2, 1, 1.0f);  // the straggler arrives
+  rig.push(0, 1, 0, 1.0f);  // ancient retransmit, below the floor
+  EXPECT_EQ(rig.server->pushes_applied(), 3);
+  EXPECT_EQ(rig.server->dedup_hits(), 2);
+}
+
+TEST(ReliableServer, AnsweredPullIsReAnsweredWithoutEngineReentry) {
+  ServerRig rig(1);
+  rig.push(0, 1, 0, 1.0f);
+  rig.pull(0, /*request_id=*/77, 0);
+  ASSERT_EQ(rig.transport.count(net::MsgType::kPullResp), 1u);
+  rig.pull(0, 77, 0);  // response was lost; worker retries
+  EXPECT_EQ(rig.transport.count(net::MsgType::kPullResp), 2u);
+  EXPECT_EQ(rig.server->dedup_hits(), 1);
+  EXPECT_EQ(rig.transport.last().request_id, 77u);
+}
+
+TEST(ReliableServer, BufferedPullRetransmitIsSwallowed) {
+  // BSP, 2 workers: worker 0's pull parks as a DPR. A retransmit of the same
+  // request id must not be parked twice or answered early.
+  ServerRig rig(2, {.kind = "bsp"});
+  rig.push(0, 1, 0, 1.0f);
+  rig.pull(0, 9, 0);
+  rig.pull(0, 9, 0);  // timeout-driven retransmit while still buffered
+  EXPECT_EQ(rig.transport.count(net::MsgType::kPullResp), 0u);
+  EXPECT_EQ(rig.server->dedup_hits(), 1);
+  rig.push(1, 1, 0, 1.0f);  // completes the barrier
+  EXPECT_EQ(rig.transport.count(net::MsgType::kPullResp), 1u);
+}
+
+TEST(ReliableServer, SaveRestoreRoundTripsShardEngineAndWindows) {
+  ServerRig rig(1);
+  rig.push(0, 1, 0, 1.0f);
+  rig.push(0, 2, 1, 1.0f);
+  const auto blob = rig.server->save_state();
+  const auto saved = rig.server->snapshot();
+  rig.push(0, 3, 2, 1.0f);  // applied after the checkpoint: will be rolled back
+  ASSERT_TRUE(rig.server->restore_state(blob));
+  EXPECT_EQ(rig.server->recoveries(), 1);
+  const auto restored = rig.server->snapshot();
+  for (std::size_t i = 0; i < kParams; ++i) EXPECT_EQ(restored[i], saved[i]);
+  // The dedup window was restored too: seqs 1..2 are dups, 3 is fresh again.
+  rig.push(0, 1, 0, 9.0f);
+  rig.push(0, 2, 1, 9.0f);
+  EXPECT_EQ(rig.server->dedup_hits(), 2);
+  rig.push(0, 3, 2, 1.0f);
+  EXPECT_EQ(rig.server->snapshot()[0], saved[0] + 1.0f);
+}
+
+TEST(ReliableServer, RestoreRejectsCorruptBlobs) {
+  ServerRig rig(1);
+  auto blob = rig.server->save_state();
+  EXPECT_FALSE(rig.server->restore_state({})) << "zero-length";
+  auto truncated = blob;
+  truncated.resize(truncated.size() / 2);
+  EXPECT_FALSE(rig.server->restore_state(truncated)) << "torn write";
+  auto flipped = blob;
+  flipped[0] ^= 0xFF;  // corrupt the magic
+  EXPECT_FALSE(rig.server->restore_state(flipped)) << "bad magic";
+  EXPECT_EQ(rig.server->recoveries(), 0);
+  ASSERT_TRUE(rig.server->restore_state(blob)) << "pristine blob still loads";
+}
+
+TEST(ReliableServer, RecoveryHandshakeReplaysRolledBackCounts) {
+  // BSP, 2 workers. Checkpoint after iteration 0; worker 0 then completes
+  // iteration 1 (applied + acked) before the crash. After restore, worker 0
+  // holds the ack and will never retransmit — only the kRecoverAck synthesis
+  // can repair Count[1], or worker 1's barrier would hang forever.
+  ServerRig rig(2, {.kind = "bsp"});
+  rig.push(0, 1, 0, 1.0f);
+  rig.push(1, 1, 0, 1.0f);
+  const auto blob = rig.server->save_state();
+  rig.push(0, 2, 1, 1.0f);  // acked, then the server dies
+  ASSERT_TRUE(rig.server->restore_state(blob));
+  rig.server->begin_recovery();
+  EXPECT_TRUE(rig.server->recovering());
+  EXPECT_EQ(rig.transport.count(net::MsgType::kRecover), 2u);
+
+  // While recovering, traffic from an un-acked worker is quiesced (no ack,
+  // no application) and the handshake is nagged. pushes_applied is a lifetime
+  // counter (not rolled back by restore): it must simply not advance.
+  const auto recovers_before = rig.transport.count(net::MsgType::kRecover);
+  const auto applied_before = rig.server->pushes_applied();
+  rig.push(1, 2, 1, 1.0f);
+  EXPECT_EQ(rig.server->pushes_applied(), applied_before) << "quiesced during recovery";
+  EXPECT_GT(rig.transport.count(net::MsgType::kRecover), recovers_before) << "nag broadcast";
+
+  rig.recover_ack(0, /*last_acked=*/1);  // worker 0: "I saw iteration 1 acked"
+  rig.recover_ack(1, /*last_acked=*/0);
+  EXPECT_FALSE(rig.server->recovering());
+
+  // Worker 1 retransmits its lost push and pulls: the barrier for iteration 1
+  // completes because worker 0's count was synthesized.
+  rig.push(1, 2, 1, 1.0f);
+  rig.pull(1, 55, 1);
+  EXPECT_EQ(rig.transport.count(net::MsgType::kPullResp), 1u) << "Count[1] complete";
+
+  // A stale pre-crash duplicate of worker 0's push 1 (synth_floor) is acked
+  // but not applied: the synthesis already counted it.
+  const auto applied = rig.server->pushes_applied();
+  rig.push(0, 2, 1, 1.0f);
+  EXPECT_EQ(rig.server->pushes_applied(), applied);
+  EXPECT_EQ(rig.transport.last().type, net::MsgType::kPushAck);
+}
+
+TEST(ReliableServer, DuplicateRecoverAckIsIgnored) {
+  ServerRig rig(1, {.kind = "bsp"});
+  rig.push(0, 1, 0, 1.0f);
+  const auto blob = rig.server->save_state();
+  rig.push(0, 2, 1, 1.0f);
+  ASSERT_TRUE(rig.server->restore_state(blob));
+  rig.server->begin_recovery();
+  rig.recover_ack(0, 1);
+  const auto applied = rig.server->pushes_applied();
+  rig.recover_ack(0, 1);  // duplicated by the network
+  EXPECT_EQ(rig.server->pushes_applied(), applied) << "no double synthesis";
+  EXPECT_FALSE(rig.server->recovering());
+}
+
+}  // namespace
+}  // namespace fluentps::ps

@@ -1,11 +1,14 @@
-// Unit tests for the byte writer/reader.
+// Unit tests for the byte writer/reader, plus wire round-trips of the
+// Message struct (including the reliability layer's seq / request_id fields).
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <limits>
 #include <string>
 #include <vector>
 
 #include "common/serialization.h"
+#include "net/message.h"
 
 namespace fluentps::io {
 namespace {
@@ -101,6 +104,61 @@ TEST(Serialization, TakeMovesBuffer) {
   auto bytes = w.take();
   EXPECT_EQ(bytes.size(), 4u);
   EXPECT_EQ(w.size(), 0u);
+}
+
+TEST(MessageWire, SeqAndRequestIdRoundTrip) {
+  net::Message m;
+  m.type = net::MsgType::kPush;
+  m.src = 7;
+  m.dst = 3;
+  m.request_id = 0xDEADBEEFCAFEull;
+  m.seq = std::numeric_limits<std::uint64_t>::max() - 1;
+  m.progress = -5;
+  m.worker_rank = 11;
+  m.server_rank = 2;
+  m.values = {1.0f, -2.5f, 0.0f};
+  const auto frame = m.serialize();
+  net::Message out;
+  ASSERT_TRUE(net::Message::deserialize(frame, &out));
+  EXPECT_EQ(out.type, m.type);
+  EXPECT_EQ(out.src, m.src);
+  EXPECT_EQ(out.dst, m.dst);
+  EXPECT_EQ(out.request_id, m.request_id);
+  EXPECT_EQ(out.seq, m.seq) << "reliability sequence number must survive the wire";
+  EXPECT_EQ(out.progress, m.progress);
+  EXPECT_EQ(out.worker_rank, m.worker_rank);
+  EXPECT_EQ(out.server_rank, m.server_rank);
+  EXPECT_EQ(out.values, m.values);
+}
+
+TEST(MessageWire, ControlMessagesRoundTripEveryType) {
+  for (const auto t :
+       {net::MsgType::kPushAck, net::MsgType::kPull, net::MsgType::kPullGrant,
+        net::MsgType::kHeartbeat, net::MsgType::kShutdown, net::MsgType::kRecover,
+        net::MsgType::kRecoverAck}) {
+    net::Message m;
+    m.type = t;
+    m.seq = 42;
+    m.request_id = 99;
+    m.progress = 17;
+    const auto frame = m.serialize();
+    net::Message out;
+    ASSERT_TRUE(net::Message::deserialize(frame, &out)) << to_string(t);
+    EXPECT_EQ(out.type, t);
+    EXPECT_EQ(out.seq, 42u) << to_string(t);
+    EXPECT_EQ(out.request_id, 99u) << to_string(t);
+    EXPECT_EQ(out.progress, 17) << to_string(t);
+  }
+}
+
+TEST(MessageWire, TruncatedFrameRejected) {
+  net::Message m;
+  m.seq = 1;
+  m.values.assign(16, 2.0f);
+  auto frame = m.serialize();
+  frame.resize(frame.size() - 5);
+  net::Message out;
+  EXPECT_FALSE(net::Message::deserialize(frame, &out));
 }
 
 TEST(Serialization, InterleavedMixedContent) {

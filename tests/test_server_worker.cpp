@@ -56,6 +56,13 @@ struct Rig {
     }
   }
 
+  ~Rig() {
+    // Join the dispatch threads before servers/workers are destroyed: member
+    // destruction runs workers → servers → transport, so without an explicit
+    // shutdown a late dispatch could invoke a handler on a dead node.
+    transport.shutdown();
+  }
+
   std::vector<float> global() const {
     std::vector<float> flat(sharding.num_params, 0.0f);
     for (const auto& s : servers) s->snapshot_into(flat);

@@ -2,9 +2,11 @@
 // parameter-server training loop over real loopback sockets.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 
+#include "fault/retry_policy.h"
 #include "net/tcp_transport.h"
 #include "ps/server.h"
 #include "ps/slicing.h"
@@ -152,6 +154,75 @@ TEST(TcpTransport, UnroutableIsDropped) {
   m.dst = 99;
   a.send(std::move(m));  // no crash, no hang
   a.shutdown();
+}
+
+TEST(TcpTransport, DeadPeerConnectExhaustsRetryBudget) {
+  // Route to a port nobody listens on: the dial ladder retries with backoff
+  // and gives up after `budget` attempts instead of hanging or aborting.
+  TcpTransport dead;
+  const auto ghost_port = dead.listen();
+  dead.shutdown();  // port is now closed; connects get refused
+
+  TcpTransport a;
+  fault::RetryPolicy p;
+  p.initial_timeout = 0.02;
+  p.max_timeout = 0.05;
+  p.budget = 3;
+  a.set_retry_policy(p);
+  a.add_route(7, "127.0.0.1", ghost_port);
+  Message m;
+  m.dst = 7;
+  const auto t0 = std::chrono::steady_clock::now();
+  a.send(std::move(m));  // returns after the ladder, message dropped
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  EXPECT_EQ(a.connect_retries(), 2u) << "budget 3 = 1 try + 2 retries";
+  EXPECT_LT(elapsed, std::chrono::seconds(5)) << "bounded, not hung";
+  a.shutdown();
+}
+
+TEST(TcpTransport, ReconnectsAfterPeerRestart) {
+  // A learns a route, talks to B, B's process "dies" and a new instance
+  // binds the same port. A's first write to the dead connection fails,
+  // invalidates the cache, and the next send re-dials to the new B.
+  TcpTransport a;
+  fault::RetryPolicy p;
+  p.initial_timeout = 0.05;
+  p.max_timeout = 0.1;
+  p.budget = 2;
+  a.set_retry_policy(p);
+
+  std::uint16_t port = 0;
+  {
+    TcpTransport b1;
+    Sink sink1;
+    b1.register_node(2, sink1.handler());
+    port = b1.listen();
+    a.add_route(2, "127.0.0.1", port);
+    Message m;
+    m.dst = 2;
+    a.send(std::move(m));
+    ASSERT_TRUE(sink1.wait_for(1));
+    b1.shutdown();
+  }
+
+  TcpTransport b2;  // the restarted peer, same address
+  Sink sink2;
+  b2.register_node(2, sink2.handler());
+  ASSERT_EQ(b2.listen(port), port);
+
+  // Writes into the dead connection may drain into the OS buffer before the
+  // RST surfaces, so send until the new instance hears us.
+  bool delivered = false;
+  for (int i = 0; i < 100 && !delivered; ++i) {
+    Message m;
+    m.dst = 2;
+    m.progress = i;
+    a.send(std::move(m));
+    delivered = sink2.wait_for(1, 50);
+  }
+  EXPECT_TRUE(delivered) << "cache invalidation must allow re-dialing a restarted peer";
+  a.shutdown();
+  b2.shutdown();
 }
 
 TEST(TcpTransport, ShutdownIsIdempotentAndUnblocks) {
