@@ -6,8 +6,10 @@
 #include "common/rng.h"
 #include "ml/models/resmlp.h"
 #include "ml/ops.h"
+#include "net/frame_buffer.h"
 #include "net/message.h"
 #include "ps/slicing.h"
+#include "ps/striped_shard.h"
 #include "ps/sync_engine.h"
 #include "sim/network_model.h"
 #include "sim/sim_env.h"
@@ -80,7 +82,94 @@ void BM_MessageSerialize(benchmark::State& state) {
   state.SetBytesProcessed(state.iterations() *
                           static_cast<std::int64_t>(m.values.size() * sizeof(float)));
 }
-BENCHMARK(BM_MessageSerialize)->Arg(1024)->Arg(65536);
+BENCHMARK(BM_MessageSerialize)->Arg(1024)->Arg(8192)->Arg(65536);
+
+void BM_MessageSerializeZeroCopy(benchmark::State& state) {
+  // The TCP fast path: header into a reusable FrameBuffer (gather-write pairs
+  // it with the payload span — no payload copy on send), then a borrowed-view
+  // deserialize on the receive side (no payload copy on receive either).
+  net::Message m;
+  m.type = net::MsgType::kPush;
+  m.values.resize(static_cast<std::size_t>(state.range(0)), 1.5f);
+  net::FrameBuffer frame;
+  for (auto _ : state) {
+    auto bytes = m.serialize_into(frame);
+    benchmark::DoNotOptimize(bytes.data());
+    net::Message out;
+    benchmark::DoNotOptimize(net::Message::deserialize_view(bytes, &out));
+    benchmark::DoNotOptimize(out.values.data());
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(m.values.size() * sizeof(float)));
+}
+BENCHMARK(BM_MessageSerializeZeroCopy)->Arg(1024)->Arg(8192)->Arg(65536);
+
+void BM_ServerBatchedApply(benchmark::State& state) {
+  // Flat-combining payoff: `n` concurrent pushes coalesced into one striped
+  // sweep (batch path) vs applied one message at a time (per-message path).
+  // range(0) = pushes coalesced per sweep, range(1) = 1 to batch, 0 to not.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const bool batched = state.range(1) != 0;
+  // 4 MiB of parameters — larger than L2, so the per-message path re-streams
+  // the whole shard through the cache hierarchy once per push, while the
+  // batch sweep touches each stripe once and keeps it cache-resident across
+  // the entire batch.
+  constexpr std::size_t kParams = std::size_t{1} << 20;
+  constexpr std::size_t kSliceLen = 4096;
+  std::vector<std::size_t> slices(kParams / kSliceLen, kSliceLen);
+  Rng rng(7);
+  std::vector<float> init(kParams);
+  for (auto& x : init) x = static_cast<float>(rng.normal());
+  ps::StripedShard shard(std::move(init), 8, slices);
+  std::vector<std::vector<float>> grads(n, std::vector<float>(kParams, 0.001f));
+  std::vector<std::span<const float>> spans;
+  spans.reserve(n);
+  for (const auto& g : grads) spans.emplace_back(g);
+  const float scale = 1.0f / 64.0f;  // w += g / N at 64 workers
+  for (auto _ : state) {
+    if (batched) {
+      shard.apply_batch(spans, scale);
+    } else {
+      for (const auto& s : spans) {
+        shard.apply_batch(std::span<const std::span<const float>>(&s, 1), scale);
+      }
+    }
+    benchmark::DoNotOptimize(shard);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(n * kParams * sizeof(float)));
+}
+BENCHMARK(BM_ServerBatchedApply)
+    ->Args({8, 0})
+    ->Args({8, 1})
+    ->Args({64, 0})
+    ->Args({64, 1});
+
+void BM_Axpy(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<float> x(n, 1.0f), y(n, 0.5f);
+  for (auto _ : state) {
+    ml::axpy(0.01f, y, x);
+    benchmark::DoNotOptimize(x.data());
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(2 * n * sizeof(float)));
+}
+BENCHMARK(BM_Axpy)->Arg(1024)->Arg(65536);
+
+void BM_BiasGrad(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  constexpr std::size_t kBatch = 64;
+  std::vector<float> dy(kBatch * n, 0.25f), db(n);
+  for (auto _ : state) {
+    ml::bias_grad(kBatch, n, dy.data(), db.data());
+    benchmark::DoNotOptimize(db.data());
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(kBatch * n * sizeof(float)));
+}
+BENCHMARK(BM_BiasGrad)->Arg(256)->Arg(4096);
 
 void BM_NetworkModelDeliver(benchmark::State& state) {
   sim::NetworkModel net(sim::NetworkSpec{}, 64);

@@ -1,0 +1,76 @@
+#!/usr/bin/env bash
+# Perf-trajectory snapshot: run the hot-path microbenchmarks and emit
+# BENCH_micro.json at the repo root so ns/op numbers are tracked across PRs.
+#
+#   scripts/bench_snapshot.sh                 # default: 0.5s/bench, 3 reps
+#   MIN_TIME=0.05 REPS=1 scripts/bench_snapshot.sh   # CI smoke settings
+#   FILTER='BM_MessageSerialize' scripts/bench_snapshot.sh
+#
+# The snapshot keeps only the per-benchmark mean ns/op (plus context) so the
+# checked-in file stays small and diffs stay readable. Raw google-benchmark
+# JSON is left in bench_out/micro_raw.json for deeper digging.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+MIN_TIME="${MIN_TIME:-0.5}"
+REPS="${REPS:-3}"
+FILTER="${FILTER:-BM_MessageSerialize|BM_MessageSerializeZeroCopy|BM_ServerBatchedApply|BM_Axpy|BM_BiasGrad|BM_GemmNn|BM_GatherScatter|BM_SyncEnginePushPull}"
+BENCH=build/bench/micro_kernels
+OUT="${OUT:-BENCH_micro.json}"
+
+if [ ! -x "$BENCH" ]; then
+  cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
+  cmake --build build -j --target micro_kernels
+fi
+
+mkdir -p bench_out
+"$BENCH" \
+  --benchmark_filter="$FILTER" \
+  --benchmark_min_time="$MIN_TIME" \
+  --benchmark_repetitions="$REPS" \
+  --benchmark_report_aggregates_only=true \
+  --benchmark_out=bench_out/micro_raw.json \
+  --benchmark_out_format=json
+
+python3 - "$OUT" <<'PY'
+import json, sys
+
+raw = json.load(open("bench_out/micro_raw.json"))
+ctx = raw.get("context", {})
+
+# Preserve the checked-in baseline block (the pre-optimization numbers this
+# PR's speedups are measured against) across reruns.
+baseline = None
+try:
+    baseline = json.load(open(sys.argv[1])).get("baseline")
+except (OSError, ValueError):
+    pass
+rows = {}
+for b in raw.get("benchmarks", []):
+    name = b.get("name", "")
+    # With repetitions + aggregates-only we keep the mean; a plain run
+    # (REPS=1) reports each benchmark once with aggregate_name absent.
+    if b.get("aggregate_name", "") not in ("", "mean"):
+        continue
+    rows[name.removesuffix("_mean")] = {
+        "real_ns": round(b["real_time"], 1),
+        "cpu_ns": round(b["cpu_time"], 1),
+    }
+
+snapshot = {
+    "schema": 1,
+    "date": ctx.get("date", ""),
+    "host": {
+        "num_cpus": ctx.get("num_cpus"),
+        "mhz_per_cpu": ctx.get("mhz_per_cpu"),
+        "build_type": ctx.get("library_build_type"),
+    },
+    "benchmarks": rows,
+}
+if baseline is not None:
+    snapshot["baseline"] = baseline
+with open(sys.argv[1], "w") as f:
+    json.dump(snapshot, f, indent=2, sort_keys=True)
+    f.write("\n")
+print(f"wrote {sys.argv[1]} ({len(rows)} benchmarks)")
+PY

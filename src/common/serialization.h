@@ -23,20 +23,23 @@ class Writer {
   /// Reserve capacity up front when the payload size is known.
   void reserve(std::size_t bytes) { buf_.reserve(bytes); }
 
+  // All appends use insert(end, first, last) rather than resize() + memcpy:
+  // vector::resize value-initializes (zero-fills) the new tail, which the
+  // memcpy then overwrites — a measurable double-touch on payload-sized
+  // appends. insert copies each byte exactly once.
+
   template <typename T>
     requires std::is_trivially_copyable_v<T>
   void put(T value) {
-    const std::size_t off = buf_.size();
-    buf_.resize(off + sizeof(T));
-    std::memcpy(buf_.data() + off, &value, sizeof(T));
+    const auto* p = reinterpret_cast<const std::uint8_t*>(&value);
+    buf_.insert(buf_.end(), p, p + sizeof(T));
   }
 
   /// Length-prefixed (u64) string.
   void put_string(std::string_view s) {
     put<std::uint64_t>(s.size());
-    const std::size_t off = buf_.size();
-    buf_.resize(off + s.size());
-    std::memcpy(buf_.data() + off, s.data(), s.size());
+    const auto* p = reinterpret_cast<const std::uint8_t*>(s.data());
+    buf_.insert(buf_.end(), p, p + s.size());
   }
 
   /// Length-prefixed (u64) vector of trivially copyable elements.
@@ -44,16 +47,14 @@ class Writer {
     requires std::is_trivially_copyable_v<T>
   void put_vector(const std::vector<T>& v) {
     put<std::uint64_t>(v.size());
-    const std::size_t off = buf_.size();
-    buf_.resize(off + v.size() * sizeof(T));
-    if (!v.empty()) std::memcpy(buf_.data() + off, v.data(), v.size() * sizeof(T));
+    const auto* p = reinterpret_cast<const std::uint8_t*>(v.data());
+    if (!v.empty()) buf_.insert(buf_.end(), p, p + v.size() * sizeof(T));
   }
 
   /// Raw bytes without a length prefix.
   void put_raw(const void* data, std::size_t n) {
-    const std::size_t off = buf_.size();
-    buf_.resize(off + n);
-    if (n > 0) std::memcpy(buf_.data() + off, data, n);
+    const auto* p = static_cast<const std::uint8_t*>(data);
+    if (n > 0) buf_.insert(buf_.end(), p, p + n);
   }
 
   [[nodiscard]] const std::vector<std::uint8_t>& bytes() const noexcept { return buf_; }
@@ -92,8 +93,16 @@ class Reader {
     const auto n = get<std::uint64_t>();
     std::vector<T> v;
     if (!take(n * sizeof(T))) return v;
-    v.resize(n);
-    if (n > 0) std::memcpy(v.data(), data_ + pos_ - n * sizeof(T), n * sizeof(T));
+    if (n == 0) return v;
+    const std::uint8_t* raw = data_ + pos_ - n * sizeof(T);
+    if (reinterpret_cast<std::uintptr_t>(raw) % alignof(T) == 0) {
+      // assign() copies each element exactly once (vs resize() zero-fill + memcpy).
+      const auto* first = reinterpret_cast<const T*>(raw);
+      v.assign(first, first + n);
+    } else {  // misaligned source: byte-wise copy (resize zero-fill is the price)
+      v.resize(n);
+      std::memcpy(v.data(), raw, n * sizeof(T));
+    }
     return v;
   }
 

@@ -120,6 +120,17 @@ struct ExperimentConfig {
   /// `trace_iters` iterations of each worker (sim backend only; 0 = off).
   std::int64_t trace_iters = 0;
 
+  // --- server apply hot path (DESIGN.md §8) ---------------------------
+
+  /// Coalesce concurrent gradient pushes into one striped axpy sweep per
+  /// server (flat combining). Off = per-message applies; results are
+  /// bit-identical either way (property-tested), so this is purely a
+  /// throughput knob / A-B switch.
+  bool batch_pushes = true;
+
+  /// Lock stripes per server shard (boundaries aligned to slice boundaries).
+  std::uint32_t apply_stripes = 8;
+
   // --- fault injection & recovery (src/fault) -------------------------
 
   /// Declarative fault schedule (drop/dup/delay/reorder, partitions, server

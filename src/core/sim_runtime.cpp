@@ -170,6 +170,8 @@ class SimRun {
       spec.ack_pushes = baseline;
       spec.respond_unconditionally = baseline;
       spec.reliable = reliable_;
+      spec.batch_pushes = cfg_.batch_pushes;
+      spec.apply_stripes = cfg_.apply_stripes;
       if (reliable_) {
         for (std::uint32_t n = 0; n < cfg_.num_workers; ++n) {
           spec.worker_nodes.push_back(worker_node(cfg_.num_servers, n));
@@ -357,8 +359,7 @@ class SimRun {
     if (!metadata_only) {
       const std::span<const float> flat =
           reliable_ ? std::span<const float>(w.round_values) : std::span<const float>(w.update);
-      msg.values.resize(layout.total);
-      layout.gather(flat, msg.values);
+      layout.gather(flat, msg.values.mutable_span_resized(layout.total));
     }
     bus_->send(std::move(msg));
   }

@@ -128,6 +128,8 @@ class ThreadRun {
       spec.ack_pushes = baseline;
       spec.respond_unconditionally = baseline;
       spec.reliable = reliable_;
+      spec.batch_pushes = cfg_.batch_pushes;
+      spec.apply_stripes = cfg_.apply_stripes;
       if (reliable_) {
         for (std::uint32_t n = 0; n < cfg_.num_workers; ++n) {
           spec.worker_nodes.push_back(worker_node(cfg_.num_servers, n));

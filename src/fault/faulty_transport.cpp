@@ -50,6 +50,11 @@ void FaultyTransport::send(net::Message msg) {
   if (v.extra_delay > 0.0) {
     delayed_.fetch_add(1, std::memory_order_relaxed);
     if (metrics_ != nullptr) metrics_->incr("fault.delayed");
+    // The deferred closure outlives send(): a borrowed payload must be
+    // materialized before capture. (This decorator reports
+    // inline_delivery() == false, so callers shouldn't hand it borrowed
+    // payloads in the first place — this is the defensive copy.)
+    msg.values.ensure_owned();
     defer_(v.extra_delay, [this, m = std::move(msg)]() mutable { inner_.send(std::move(m)); });
     return;
   }

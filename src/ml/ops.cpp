@@ -7,17 +7,59 @@
 
 namespace fluentps::ml {
 
+namespace {
+
+/// Scale one C row by beta (0 means overwrite-with-zero, skipping the read).
+inline void scale_row(float* Ci, std::size_t N, float beta) {
+  if (beta == 0.0f) {
+    std::fill(Ci, Ci + N, 0.0f);
+  } else if (beta != 1.0f) {
+    for (std::size_t j = 0; j < N; ++j) Ci[j] *= beta;
+  }
+}
+
+}  // namespace
+
 void gemm_nn(std::size_t M, std::size_t N, std::size_t K, float alpha, const float* A,
              const float* B, float beta, float* C) {
-  // ikj loop order: streams B and C rows, decent cache behaviour without
-  // bringing in a BLAS dependency; model sizes here are small.
-  for (std::size_t i = 0; i < M; ++i) {
-    float* Ci = C + i * N;
-    if (beta == 0.0f) {
-      std::fill(Ci, Ci + N, 0.0f);
-    } else if (beta != 1.0f) {
-      for (std::size_t j = 0; j < N; ++j) Ci[j] *= beta;
+  // Row-blocked ikj: four C rows advance together so each B row streamed from
+  // memory is reused 4x (the old one-row-at-a-time loop re-read B for every
+  // row of C). Per-element accumulation stays in k order, so results match
+  // the scalar tail bit-for-bit. The all-zero skip keeps the sparsity win on
+  // ReLU-sparse activations without a per-row branch in the inner loop.
+  std::size_t i = 0;
+  for (; i + 4 <= M; i += 4) {
+    float* C0 = C + (i + 0) * N;
+    float* C1 = C + (i + 1) * N;
+    float* C2 = C + (i + 2) * N;
+    float* C3 = C + (i + 3) * N;
+    scale_row(C0, N, beta);
+    scale_row(C1, N, beta);
+    scale_row(C2, N, beta);
+    scale_row(C3, N, beta);
+    const float* A0 = A + (i + 0) * K;
+    const float* A1 = A + (i + 1) * K;
+    const float* A2 = A + (i + 2) * K;
+    const float* A3 = A + (i + 3) * K;
+    for (std::size_t k = 0; k < K; ++k) {
+      const float a0 = alpha * A0[k];
+      const float a1 = alpha * A1[k];
+      const float a2 = alpha * A2[k];
+      const float a3 = alpha * A3[k];
+      if (a0 == 0.0f && a1 == 0.0f && a2 == 0.0f && a3 == 0.0f) continue;
+      const float* __restrict Bk = B + k * N;
+      for (std::size_t j = 0; j < N; ++j) {
+        const float b = Bk[j];
+        C0[j] += a0 * b;
+        C1[j] += a1 * b;
+        C2[j] += a2 * b;
+        C3[j] += a3 * b;
+      }
     }
+  }
+  for (; i < M; ++i) {
+    float* Ci = C + i * N;
+    scale_row(Ci, N, beta);
     const float* Ai = A + i * K;
     for (std::size_t k = 0; k < K; ++k) {
       const float a = alpha * Ai[k];
@@ -31,21 +73,42 @@ void gemm_nn(std::size_t M, std::size_t N, std::size_t K, float alpha, const flo
 void gemm_tn(std::size_t M, std::size_t N, std::size_t K, float alpha, const float* A,
              const float* B, float beta, float* C) {
   // C(MxN) = A^T * B with A stored (KxM): C[i,j] = sum_k A[k,i] * B[k,j].
-  for (std::size_t i = 0; i < M; ++i) {
-    float* Ci = C + i * N;
-    if (beta == 0.0f) {
-      std::fill(Ci, Ci + N, 0.0f);
-    } else if (beta != 1.0f) {
-      for (std::size_t j = 0; j < N; ++j) Ci[j] *= beta;
+  // Same 4-row blocking as gemm_nn; the four a-multipliers are consecutive
+  // loads A[k*M + i .. i+3], and each streamed B row feeds four C rows.
+  std::size_t i = 0;
+  for (; i + 4 <= M; i += 4) {
+    float* C0 = C + (i + 0) * N;
+    float* C1 = C + (i + 1) * N;
+    float* C2 = C + (i + 2) * N;
+    float* C3 = C + (i + 3) * N;
+    scale_row(C0, N, beta);
+    scale_row(C1, N, beta);
+    scale_row(C2, N, beta);
+    scale_row(C3, N, beta);
+    for (std::size_t k = 0; k < K; ++k) {
+      const float* Ak = A + k * M + i;
+      const float a0 = alpha * Ak[0];
+      const float a1 = alpha * Ak[1];
+      const float a2 = alpha * Ak[2];
+      const float a3 = alpha * Ak[3];
+      if (a0 == 0.0f && a1 == 0.0f && a2 == 0.0f && a3 == 0.0f) continue;
+      const float* __restrict Bk = B + k * N;
+      for (std::size_t j = 0; j < N; ++j) {
+        const float b = Bk[j];
+        C0[j] += a0 * b;
+        C1[j] += a1 * b;
+        C2[j] += a2 * b;
+        C3[j] += a3 * b;
+      }
     }
   }
-  for (std::size_t k = 0; k < K; ++k) {
-    const float* Ak = A + k * M;
-    const float* Bk = B + k * N;
-    for (std::size_t i = 0; i < M; ++i) {
-      const float a = alpha * Ak[i];
+  for (; i < M; ++i) {
+    float* Ci = C + i * N;
+    scale_row(Ci, N, beta);
+    for (std::size_t k = 0; k < K; ++k) {
+      const float a = alpha * A[k * M + i];
       if (a == 0.0f) continue;
-      float* Ci = C + i * N;
+      const float* Bk = B + k * N;
       for (std::size_t j = 0; j < N; ++j) Ci[j] += a * Bk[j];
     }
   }
@@ -54,10 +117,42 @@ void gemm_tn(std::size_t M, std::size_t N, std::size_t K, float alpha, const flo
 void gemm_nt(std::size_t M, std::size_t N, std::size_t K, float alpha, const float* A,
              const float* B, float beta, float* C) {
   // C(MxN) = A(MxK) * B^T with B stored (NxK): C[i,j] = sum_k A[i,k] * B[j,k].
+  // Four output columns share each A element (loaded once per k instead of
+  // once per (j,k)) and carry independent accumulators for ILP; each
+  // element's k-order sum is unchanged vs the scalar tail.
   for (std::size_t i = 0; i < M; ++i) {
     const float* Ai = A + i * K;
     float* Ci = C + i * N;
-    for (std::size_t j = 0; j < N; ++j) {
+    std::size_t j = 0;
+    for (; j + 4 <= N; j += 4) {
+      const float* __restrict B0 = B + (j + 0) * K;
+      const float* __restrict B1 = B + (j + 1) * K;
+      const float* __restrict B2 = B + (j + 2) * K;
+      const float* __restrict B3 = B + (j + 3) * K;
+      float acc0 = 0.0f;
+      float acc1 = 0.0f;
+      float acc2 = 0.0f;
+      float acc3 = 0.0f;
+      for (std::size_t k = 0; k < K; ++k) {
+        const float a = Ai[k];
+        acc0 += a * B0[k];
+        acc1 += a * B1[k];
+        acc2 += a * B2[k];
+        acc3 += a * B3[k];
+      }
+      if (beta == 0.0f) {
+        Ci[j + 0] = alpha * acc0;
+        Ci[j + 1] = alpha * acc1;
+        Ci[j + 2] = alpha * acc2;
+        Ci[j + 3] = alpha * acc3;
+      } else {
+        Ci[j + 0] = alpha * acc0 + beta * Ci[j + 0];
+        Ci[j + 1] = alpha * acc1 + beta * Ci[j + 1];
+        Ci[j + 2] = alpha * acc2 + beta * Ci[j + 2];
+        Ci[j + 3] = alpha * acc3 + beta * Ci[j + 3];
+      }
+    }
+    for (; j < N; ++j) {
       const float* Bj = B + j * K;
       float acc = 0.0f;
       for (std::size_t k = 0; k < K; ++k) acc += Ai[k] * Bj[k];
@@ -74,8 +169,21 @@ void add_bias(std::size_t B, std::size_t N, const float* bias, float* y) {
 }
 
 void bias_grad(std::size_t B, std::size_t N, const float* dy, float* dbias) {
+  // Four dy rows per sweep: dbias is read/written once per group of four rows
+  // instead of once per row. Within each element the four adds stay in row
+  // order (b, b+1, b+2, b+3), matching the scalar accumulation order.
   std::fill(dbias, dbias + N, 0.0f);
-  for (std::size_t b = 0; b < B; ++b) {
+  std::size_t b = 0;
+  for (; b + 4 <= B; b += 4) {
+    const float* __restrict d0 = dy + (b + 0) * N;
+    const float* __restrict d1 = dy + (b + 1) * N;
+    const float* __restrict d2 = dy + (b + 2) * N;
+    const float* __restrict d3 = dy + (b + 3) * N;
+    for (std::size_t j = 0; j < N; ++j) {
+      dbias[j] = (((dbias[j] + d0[j]) + d1[j]) + d2[j]) + d3[j];
+    }
+  }
+  for (; b < B; ++b) {
     const float* dyb = dy + b * N;
     for (std::size_t j = 0; j < N; ++j) dbias[j] += dyb[j];
   }
@@ -140,8 +248,26 @@ double l2_norm(std::span<const float> v) noexcept {
 }
 
 void axpy(float alpha, std::span<const float> y, std::span<float> x) noexcept {
+  // 8-wide unroll with restrict-qualified pointers: the spans may not alias
+  // (callers pass distinct gradient/weight buffers), and telling the compiler
+  // so lets it keep eight independent fma chains in flight. Each element is
+  // still exactly one `x[i] += alpha * y[i]`, so results are bit-identical to
+  // the scalar loop regardless of unrolling.
   const std::size_t n = std::min(x.size(), y.size());
-  for (std::size_t i = 0; i < n; ++i) x[i] += alpha * y[i];
+  float* __restrict xp = x.data();
+  const float* __restrict yp = y.data();
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    xp[i + 0] += alpha * yp[i + 0];
+    xp[i + 1] += alpha * yp[i + 1];
+    xp[i + 2] += alpha * yp[i + 2];
+    xp[i + 3] += alpha * yp[i + 3];
+    xp[i + 4] += alpha * yp[i + 4];
+    xp[i + 5] += alpha * yp[i + 5];
+    xp[i + 6] += alpha * yp[i + 6];
+    xp[i + 7] += alpha * yp[i + 7];
+  }
+  for (; i < n; ++i) xp[i] += alpha * yp[i];
 }
 
 }  // namespace fluentps::ml

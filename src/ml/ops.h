@@ -12,9 +12,12 @@ namespace fluentps::ml {
 void gemm_nn(std::size_t M, std::size_t N, std::size_t K, float alpha, const float* A,
              const float* B, float beta, float* C);
 
-/// C = alpha * A^T(KxM -> MxK view of A stored KxM? no:) — A is (KxM) stored
-/// row-major; computes C(MxN) = alpha * A^T * B(KxN) + beta * C. Used for
-/// weight gradients: dW = X^T * dY.
+/// C(MxN) = alpha * A^T * B + beta * C, where A is stored row-major with
+/// shape (KxM) — i.e. A[k*M + i] holds A[k,i], and the product contracts the
+/// leading (row) dimension of both inputs: C[i,j] = sum_k A[k,i] * B[k,j]
+/// with B row-major (KxN). No data is transposed in memory; "T" refers only
+/// to the indexing. Used for weight gradients: dW(in x out) = X^T * dY with
+/// X(batch x in), dY(batch x out).
 void gemm_tn(std::size_t M, std::size_t N, std::size_t K, float alpha, const float* A,
              const float* B, float beta, float* C);
 

@@ -1,0 +1,62 @@
+// Grow-only, reusable byte buffer for frame (de)serialization.
+//
+// Unlike std::vector<uint8_t>, ensure() never zero-fills: fresh capacity is
+// allocated uninitialized and the caller overwrites it. A per-connection
+// FrameBuffer amortizes allocation across messages — after the first few
+// frames the hot path does no heap work at all (DESIGN.md §8).
+//
+// Storage is 64-byte aligned: with the 64-byte frame header the payload then
+// starts on a cache-line boundary, so a deserialize_view() borrow hands the
+// server a cache-line-aligned float span to run axpy over, and the bulk
+// memcpy in serialize_into() stays on glibc's mutually-aligned fast path.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <memory>
+#include <new>
+#include <span>
+
+namespace fluentps::net {
+
+class FrameBuffer {
+ public:
+  FrameBuffer() = default;
+
+  static constexpr std::size_t kAlignment = 64;  ///< one cache line
+
+  /// Make at least `n` bytes addressable; existing contents are NOT preserved
+  /// (this is a scratch buffer, not a stream). Never shrinks.
+  std::uint8_t* ensure(std::size_t n) {
+    if (n > cap_) {
+      std::size_t want = cap_ == 0 ? kAlignment : cap_;
+      while (want < n) want *= 2;  // power of two ≥ 64: a valid aligned_alloc size
+      auto* p = static_cast<std::uint8_t*>(std::aligned_alloc(kAlignment, want));
+      if (p == nullptr) throw std::bad_alloc();
+      buf_.reset(p);
+      cap_ = want;
+    }
+    size_ = n;
+    return buf_.get();
+  }
+
+  [[nodiscard]] std::uint8_t* data() noexcept { return buf_.get(); }
+  [[nodiscard]] const std::uint8_t* data() const noexcept { return buf_.get(); }
+  /// Bytes of the most recent frame written via ensure().
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] std::size_t capacity() const noexcept { return cap_; }
+  [[nodiscard]] std::span<const std::uint8_t> span() const noexcept {
+    return {buf_.get(), size_};
+  }
+
+ private:
+  struct FreeDeleter {
+    void operator()(std::uint8_t* p) const noexcept { std::free(p); }
+  };
+  std::unique_ptr<std::uint8_t[], FreeDeleter> buf_;
+  std::size_t cap_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace fluentps::net

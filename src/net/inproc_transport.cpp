@@ -22,6 +22,9 @@ void InprocTransport::register_node(NodeId node, Handler handler) {
 }
 
 void InprocTransport::send(Message msg) {
+  // Queueing transport: the message outlives send(), so a borrowed payload
+  // (legal only for inline_delivery transports) is materialized defensively.
+  msg.values.ensure_owned();
   Node* target = nullptr;
   {
     std::scoped_lock lock(mu_);

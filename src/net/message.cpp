@@ -1,6 +1,9 @@
 #include "net/message.h"
 
+#include <cstring>
 #include <sstream>
+
+#include "common/logging.h"
 
 namespace fluentps::net {
 
@@ -24,36 +27,131 @@ double Message::wire_bytes() const noexcept {
   return kHeaderBytes + static_cast<double>(values.size()) * sizeof(float);
 }
 
-std::vector<std::uint8_t> Message::serialize() const {
-  io::Writer w;
-  w.reserve(64 + values.size() * sizeof(float));
-  w.put<std::uint8_t>(static_cast<std::uint8_t>(type));
-  w.put<std::uint32_t>(src);
-  w.put<std::uint32_t>(dst);
-  w.put<std::uint64_t>(request_id);
-  w.put<std::uint64_t>(seq);
-  w.put<std::int64_t>(progress);
-  w.put<std::uint32_t>(worker_rank);
-  w.put<std::uint32_t>(server_rank);
-  w.put_vector(values);
-  return w.take();
+namespace {
+
+inline void store_bytes(std::uint8_t* dst, const void* src, std::size_t n) noexcept {
+  std::memcpy(dst, src, n);
 }
 
-bool Message::deserialize(const std::vector<std::uint8_t>& frame, Message* out) {
-  io::Reader r(frame);
+template <typename T>
+inline T load(const std::uint8_t* src) noexcept {
+  T v;
+  std::memcpy(&v, src, sizeof(T));
+  return v;
+}
+
+}  // namespace
+
+void Message::serialize_header(std::uint8_t* dst) const noexcept {
+  const std::uint8_t t = static_cast<std::uint8_t>(type);
+  const std::uint32_t zero32 = 0;
+  const std::uint64_t zero64 = 0;
+  const std::uint64_t count = values.size();
+  dst[0] = t;
+  dst[1] = dst[2] = dst[3] = 0;  // padding — keep frames byte-deterministic
+  store_bytes(dst + 4, &src, 4);
+  store_bytes(dst + 8, &this->dst, 4);
+  store_bytes(dst + 12, &request_id, 8);
+  store_bytes(dst + 20, &seq, 8);
+  store_bytes(dst + 28, &progress, 8);
+  store_bytes(dst + 36, &worker_rank, 4);
+  store_bytes(dst + 40, &server_rank, 4);
+  store_bytes(dst + 44, &zero32, 4);
+  store_bytes(dst + 48, &count, 8);
+  store_bytes(dst + 56, &zero64, 8);  // pad to a 64-byte (cache-line) header
+}
+
+std::vector<std::uint8_t> Message::serialize() const {
+  const std::size_t total = frame_bytes();
+  // Header on the stack, then exactly one allocation and two appends — no
+  // zero-initialization pass over the payload bytes and no growth reallocs.
+  std::uint8_t hdr[kFrameHeaderBytes];
+  serialize_header(hdr);
+  std::vector<std::uint8_t> out;
+  out.reserve(total);
+  out.insert(out.end(), hdr, hdr + kFrameHeaderBytes);
+  if (!values.empty()) {
+    const auto* p = reinterpret_cast<const std::uint8_t*>(values.data());
+    out.insert(out.end(), p, p + values.size() * sizeof(float));
+  }
+  // The frame is the cost model: serialize() must produce exactly the bytes
+  // wire_bytes()/frame_bytes() predict (ISSUE 2 satellite; DESIGN.md §8).
+  FPS_CHECK(out.size() == total);
+  return out;
+}
+
+std::span<const std::uint8_t> Message::serialize_into(FrameBuffer& buf) const {
+  const std::size_t total = frame_bytes();
+  std::uint8_t* dst = buf.ensure(total);
+  serialize_header(dst);
+  if (!values.empty()) {
+    std::memcpy(dst + kFrameHeaderBytes, values.data(), values.size() * sizeof(float));
+  }
+  return {dst, total};
+}
+
+namespace {
+
+/// Shared header parse + frame validation. Returns the value count on
+/// success, or false. Strict: the frame must be exactly header + payload.
+bool parse_header(const std::uint8_t* data, std::size_t size, Message* m,
+                  std::size_t* value_count) noexcept {
+  if (data == nullptr || size < kFrameHeaderBytes) return false;
+  const std::uint8_t t = data[0];
+  if (t > static_cast<std::uint8_t>(MsgType::kRecoverAck)) return false;
+  const std::uint64_t count = load<std::uint64_t>(data + 48);
+  // Reject count values whose payload cannot possibly fit (also guards the
+  // multiplication below against overflow) and frames with trailing slack.
+  if (count > (size - kFrameHeaderBytes) / sizeof(float)) return false;
+  if (size != kFrameHeaderBytes + count * sizeof(float)) return false;
+  m->type = static_cast<MsgType>(t);
+  m->src = load<std::uint32_t>(data + 4);
+  m->dst = load<std::uint32_t>(data + 8);
+  m->request_id = load<std::uint64_t>(data + 12);
+  m->seq = load<std::uint64_t>(data + 20);
+  m->progress = load<std::int64_t>(data + 28);
+  m->worker_rank = load<std::uint32_t>(data + 36);
+  m->server_rank = load<std::uint32_t>(data + 40);
+  *value_count = static_cast<std::size_t>(count);
+  return true;
+}
+
+}  // namespace
+
+bool Message::deserialize(const std::uint8_t* data, std::size_t size, Message* out) {
   Message m;
-  m.type = static_cast<MsgType>(r.get<std::uint8_t>());
-  m.src = r.get<std::uint32_t>();
-  m.dst = r.get<std::uint32_t>();
-  m.request_id = r.get<std::uint64_t>();
-  m.seq = r.get<std::uint64_t>();
-  m.progress = r.get<std::int64_t>();
-  m.worker_rank = r.get<std::uint32_t>();
-  m.server_rank = r.get<std::uint32_t>();
-  m.values = r.get_vector<float>();
-  if (!r.ok() ||
-      static_cast<std::uint8_t>(m.type) > static_cast<std::uint8_t>(MsgType::kRecoverAck)) {
-    return false;
+  std::size_t count = 0;
+  if (!parse_header(data, size, &m, &count)) return false;
+  if (count > 0) {
+    const std::uint8_t* raw = data + kFrameHeaderBytes;
+    if (reinterpret_cast<std::uintptr_t>(raw) % alignof(float) == 0) {
+      const auto* first = reinterpret_cast<const float*>(raw);
+      m.values.assign(first, first + count);
+    } else {
+      auto span = m.values.mutable_span_resized(count);
+      std::memcpy(span.data(), raw, count * sizeof(float));
+    }
+  } else {
+    m.values.clear();
+  }
+  *out = std::move(m);
+  return true;
+}
+
+bool Message::deserialize_view(std::span<const std::uint8_t> frame, Message* out) {
+  Message m;
+  std::size_t count = 0;
+  if (!parse_header(frame.data(), frame.size(), &m, &count)) return false;
+  const std::uint8_t* raw = frame.data() + kFrameHeaderBytes;
+  if (count == 0) {
+    m.values.clear();
+  } else if (reinterpret_cast<std::uintptr_t>(raw) % alignof(float) == 0) {
+    // Zero-copy: the payload borrows the frame's bytes. Valid only while the
+    // frame buffer lives (handler invocation — see payload.h ownership rules).
+    m.values = Payload::borrow({reinterpret_cast<const float*>(raw), count});
+  } else {  // misaligned frame (shouldn't happen with our buffers): copy
+    auto span = m.values.mutable_span_resized(count);
+    std::memcpy(span.data(), raw, count * sizeof(float));
   }
   *out = std::move(m);
   return true;

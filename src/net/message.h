@@ -1,17 +1,49 @@
 // Wire messages exchanged between workers, servers and the scheduler.
 //
 // One message type covers the whole protocol; `type` selects which fields
-// are meaningful. Messages serialize to a flat byte frame (see message.cpp)
-// so the same structs flow through the in-process transport (moved, zero
-// copy) and can be framed for a real socket transport; `wire_bytes()` is what
-// the simulated network model charges for.
+// are meaningful. Messages serialize to a flat byte frame with a fixed-layout
+// 64-byte header followed by the raw float payload, so the same structs flow
+// through the in-process transport (moved, zero copy), can be scatter-gathered
+// onto a real socket (header from the stack, payload straight from the
+// caller's buffer — see TcpTransport::send), and are charged exactly
+// `wire_bytes()` by the simulated network model. The payload is a `Payload`
+// (src/net/payload.h): either owned float storage or a zero-copy borrowed view
+// over caller-owned memory.
+//
+// Fixed frame layout (little-endian, offsets in bytes):
+//   [ 0] type        u8      (+3 bytes zero padding)
+//   [ 4] src         u32
+//   [ 8] dst         u32
+//   [12] request_id  u64
+//   [20] seq         u64
+//   [28] progress    i64
+//   [36] worker_rank u32
+//   [40] server_rank u32
+//   [44] (reserved)  u32     zero
+//   [48] value_count u64
+//   [56] (reserved)  u64     zero — pads the header to one cache line
+//   [64] values      f32 × value_count
+//
+// The header is exactly 64 bytes on purpose: the payload then starts on a
+// cache-line boundary whenever the frame buffer is cache-line aligned, and —
+// more importantly — the payload's *relative* alignment against any 16-byte
+// aligned source or destination buffer is 0, which keeps the bulk memcpy in
+// serialize()/deserialize() on glibc's mutually-aligned fast path (a 56-byte
+// header forces an 8-byte relative misalignment that costs ~9% per copy on
+// 32 KiB payloads; see DESIGN.md §8).
+//
+// The frame size is exactly kFrameHeaderBytes + 4·value_count — identical to
+// wire_bytes(), which serialize() asserts.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
-#include "common/serialization.h"
+#include "net/frame_buffer.h"
+#include "net/payload.h"
 
 namespace fluentps::net {
 
@@ -35,6 +67,10 @@ enum class MsgType : std::uint8_t {
 /// Returns a printable name for logs.
 const char* to_string(MsgType t) noexcept;
 
+/// Fixed header size in bytes — the exact number of bytes every frame spends
+/// before the payload, and what wire_bytes() charges for control messages.
+inline constexpr std::size_t kFrameHeaderBytes = 64;
+
 struct Message {
   MsgType type = MsgType::kPush;
   NodeId src = 0;
@@ -45,25 +81,54 @@ struct Message {
   std::int64_t progress = 0;     ///< sender worker's iteration (Algorithm 1)
   std::uint32_t worker_rank = 0; ///< logical worker index [0, N)
   std::uint32_t server_rank = 0; ///< logical server index [0, M)
-  std::vector<float> values;     ///< gradients (kPush) or parameters (kPullResp)
+  Payload values;                ///< gradients (kPush) or parameters (kPullResp)
 
   /// Size this message would occupy on the wire: header + payload. Control
-  /// messages (no values) cost the fixed header only.
+  /// messages (no values) cost the fixed header only. Equals frame_bytes().
   [[nodiscard]] double wire_bytes() const noexcept;
 
-  /// Serialize to a byte frame.
+  /// Exact serialized frame size: kFrameHeaderBytes + 4·values.size().
+  [[nodiscard]] std::size_t frame_bytes() const noexcept {
+    return kFrameHeaderBytes + values.size() * sizeof(float);
+  }
+
+  /// Write the fixed 64-byte header into `dst` (which must have room for
+  /// kFrameHeaderBytes). Used by the gather-write socket path, which sends the
+  /// payload directly from values.data() without assembling a full frame.
+  void serialize_header(std::uint8_t* dst) const noexcept;
+
+  /// Serialize to a freshly allocated byte frame (exact-size reserve; asserts
+  /// the result is frame_bytes() long).
   [[nodiscard]] std::vector<std::uint8_t> serialize() const;
 
-  /// Parse a frame; returns false (and leaves *out untouched on header
-  /// failure) if the frame is malformed.
-  static bool deserialize(const std::vector<std::uint8_t>& frame, Message* out);
+  /// Serialize into a reusable buffer (no allocation once the buffer has
+  /// grown to the connection's high-water frame size). Returns the frame.
+  std::span<const std::uint8_t> serialize_into(FrameBuffer& buf) const;
+
+  /// Parse a frame into an *owning* message (payload copied out of `frame`).
+  /// Returns false on malformed input: short header, bad type byte, or a
+  /// frame whose size disagrees with its value_count.
+  static bool deserialize(const std::uint8_t* data, std::size_t size, Message* out);
+  static bool deserialize(const std::vector<std::uint8_t>& frame, Message* out) {
+    return deserialize(frame.data(), frame.size(), out);
+  }
+  static bool deserialize(std::span<const std::uint8_t> frame, Message* out) {
+    return deserialize(frame.data(), frame.size(), out);
+  }
+
+  /// Parse a frame into a message whose payload *borrows* the frame's bytes
+  /// (zero copy) when they are suitably aligned for float access, falling
+  /// back to an owned copy otherwise. The caller must keep `frame` alive for
+  /// the message's useful lifetime (handler invocation — see payload.h).
+  static bool deserialize_view(std::span<const std::uint8_t> frame, Message* out);
 
   /// Human-readable one-liner for debugging.
   [[nodiscard]] std::string to_debug_string() const;
 };
 
 /// Fixed header size charged by wire_bytes() for every message (grew from 48
-/// when the reliability layer added the 8-byte `seq` field).
-inline constexpr double kHeaderBytes = 56.0;
+/// when the reliability layer added the 8-byte `seq` field). Kept as a double
+/// for the simulated network cost model; equals kFrameHeaderBytes.
+inline constexpr double kHeaderBytes = static_cast<double>(kFrameHeaderBytes);
 
 }  // namespace fluentps::net

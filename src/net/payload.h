@@ -1,0 +1,158 @@
+// Message payload with explicit ownership: either *owned* float storage or a
+// borrowed *view* (std::span) over caller-owned memory.
+//
+// The view form is the zero-copy path: a sender can point a Message at an
+// arena/staging buffer it already owns, and a transport that consumes the
+// message inline (Transport::inline_delivery()) writes those floats straight
+// to the wire — no intermediate vector, no copy. Likewise the TCP receive
+// path hands handlers Messages whose payload borrows the connection's
+// reusable frame buffer.
+//
+// Ownership rules (DESIGN.md §8):
+//  * Attach a borrowed payload to an *outgoing* message only when the
+//    transport consumes messages inline (see Transport::inline_delivery());
+//    queueing transports own messages beyond send(), so they require owned
+//    payloads (they call ensure_owned() defensively).
+//  * A *received* message's payload may borrow the transport's frame buffer,
+//    which is valid only for the duration of the handler invocation. A
+//    handler that keeps values past its own return must take()/ensure_owned()
+//    them first. (The server's batched-apply queue is safe without copying
+//    because the enqueuing thread blocks inside the handler until its entry
+//    is applied.)
+//  * Copying a borrowed Payload copies the view (it aliases the same
+//    memory); copying an owned Payload deep-copies.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <initializer_list>
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace fluentps::net {
+
+class Payload {
+ public:
+  Payload() = default;
+  Payload(std::vector<float> v) noexcept : owned_(std::move(v)) {}  // NOLINT(google-explicit-constructor)
+  Payload(std::initializer_list<float> init) : owned_(init) {}
+
+  Payload& operator=(std::vector<float> v) noexcept {
+    owned_ = std::move(v);
+    borrowed_ = false;
+    return *this;
+  }
+  Payload& operator=(std::initializer_list<float> init) {
+    owned_.assign(init);
+    borrowed_ = false;
+    return *this;
+  }
+
+  /// A non-owning view over caller-owned storage. The caller must keep the
+  /// memory alive until the message is consumed (see ownership rules above).
+  [[nodiscard]] static Payload borrow(std::span<const float> s) noexcept {
+    Payload p;
+    p.view_ = s;
+    p.borrowed_ = true;
+    return p;
+  }
+
+  [[nodiscard]] bool borrowed() const noexcept { return borrowed_; }
+  [[nodiscard]] std::size_t size() const noexcept {
+    return borrowed_ ? view_.size() : owned_.size();
+  }
+  [[nodiscard]] bool empty() const noexcept { return size() == 0; }
+  [[nodiscard]] const float* data() const noexcept {
+    return borrowed_ ? view_.data() : owned_.data();
+  }
+  [[nodiscard]] std::span<const float> span() const noexcept { return {data(), size()}; }
+  operator std::span<const float>() const noexcept { return span(); }  // NOLINT
+
+  [[nodiscard]] float operator[](std::size_t i) const noexcept { return data()[i]; }
+  [[nodiscard]] float& operator[](std::size_t i) {
+    ensure_owned();
+    return owned_[i];
+  }
+
+  [[nodiscard]] const float* begin() const noexcept { return data(); }
+  [[nodiscard]] const float* end() const noexcept { return data() + size(); }
+
+  // --- mutation (materializes ownership) -------------------------------
+
+  void resize(std::size_t n) {
+    ensure_owned();
+    owned_.resize(n);
+  }
+  void resize(std::size_t n, float v) {
+    ensure_owned();
+    owned_.resize(n, v);
+  }
+  void assign(std::size_t n, float v) {
+    owned_.assign(n, v);
+    borrowed_ = false;
+  }
+  template <typename It>
+  void assign(It first, It last) {
+    owned_.assign(first, last);
+    borrowed_ = false;
+  }
+  void clear() noexcept {
+    owned_.clear();
+    view_ = {};
+    borrowed_ = false;
+  }
+
+  /// Writable span over owned storage (materializes a borrowed view first).
+  [[nodiscard]] std::span<float> mutable_span() {
+    ensure_owned();
+    return {owned_.data(), owned_.size()};
+  }
+
+  /// Discard current contents and expose `n` writable owned floats (the
+  /// caller overwrites them; prior values are not preserved).
+  [[nodiscard]] std::span<float> mutable_span_resized(std::size_t n) {
+    view_ = {};
+    borrowed_ = false;
+    owned_.resize(n);
+    return {owned_.data(), owned_.size()};
+  }
+
+  /// Copy a borrowed view into owned storage; no-op when already owned.
+  void ensure_owned() {
+    if (!borrowed_) return;
+    owned_.assign(view_.begin(), view_.end());
+    view_ = {};
+    borrowed_ = false;
+  }
+
+  /// Extract the values as an owning vector (moves when owned, copies when
+  /// borrowed). Leaves this payload empty.
+  [[nodiscard]] std::vector<float> take() {
+    std::vector<float> out;
+    if (borrowed_) {
+      out.assign(view_.begin(), view_.end());
+    } else {
+      out = std::move(owned_);
+    }
+    clear();
+    return out;
+  }
+
+  friend bool operator==(const Payload& a, const Payload& b) noexcept {
+    const auto sa = a.span();
+    const auto sb = b.span();
+    return sa.size() == sb.size() && std::equal(sa.begin(), sa.end(), sb.begin());
+  }
+  friend bool operator==(const Payload& a, const std::vector<float>& b) noexcept {
+    const auto sa = a.span();
+    return sa.size() == b.size() && std::equal(sa.begin(), sa.end(), b.begin());
+  }
+
+ private:
+  std::vector<float> owned_;
+  std::span<const float> view_;  ///< meaningful only when borrowed_
+  bool borrowed_ = false;
+};
+
+}  // namespace fluentps::net

@@ -12,6 +12,10 @@ void SimTransport::register_node(NodeId node, Handler handler) {
 }
 
 void SimTransport::send(Message msg) {
+  // The DES keeps the message queued until its delivery event fires, so a
+  // borrowed payload (legal only for inline_delivery transports) is
+  // materialized defensively.
+  msg.values.ensure_owned();
   const auto it = handlers_.find(msg.dst);
   if (it == handlers_.end()) {
     FPS_LOG(Warn) << "dropping message to unregistered node " << msg.dst << ": "

@@ -7,6 +7,7 @@
 #include <poll.h>
 #include <sys/socket.h>
 #include <sys/time.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -31,14 +32,31 @@ bool read_exact(int fd, void* buf, std::size_t n) {
   return true;
 }
 
-/// Write exactly n bytes; false on error.
-bool write_exact(int fd, const void* buf, std::size_t n) {
-  const auto* p = static_cast<const std::uint8_t*>(buf);
-  while (n > 0) {
-    const ssize_t sent = ::send(fd, p, n, MSG_NOSIGNAL);
+/// Gather-write every byte described by `iov` (sendmsg with MSG_NOSIGNAL so a
+/// dead peer surfaces as an error, not SIGPIPE). Advances the iovec array in
+/// place across partial sends; false on error.
+bool write_iov_exact(int fd, iovec* iov, std::size_t iovcnt) {
+  msghdr mh{};
+  mh.msg_iov = iov;
+  mh.msg_iovlen = iovcnt;
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < iovcnt; ++i) total += iov[i].iov_len;
+  while (total > 0) {
+    ssize_t sent = ::sendmsg(fd, &mh, MSG_NOSIGNAL);
     if (sent <= 0) return false;
-    p += sent;
-    n -= static_cast<std::size_t>(sent);
+    total -= static_cast<std::size_t>(sent);
+    while (sent > 0 && mh.msg_iovlen > 0) {
+      auto& front = mh.msg_iov[0];
+      if (static_cast<std::size_t>(sent) >= front.iov_len) {
+        sent -= static_cast<ssize_t>(front.iov_len);
+        ++mh.msg_iov;
+        --mh.msg_iovlen;
+      } else {
+        front.iov_base = static_cast<std::uint8_t*>(front.iov_base) + sent;
+        front.iov_len -= static_cast<std::size_t>(sent);
+        sent = 0;
+      }
+    }
   }
   return true;
 }
@@ -122,6 +140,9 @@ void TcpTransport::accept_loop() {
 }
 
 void TcpTransport::reader_loop(int fd) {
+  // One reusable frame buffer per connection: after it reaches the
+  // connection's high-water frame size, the receive path allocates nothing.
+  FrameBuffer frame;
   for (;;) {
     std::uint32_t frame_len = 0;
     if (!read_exact(fd, &frame_len, sizeof(frame_len))) break;
@@ -129,10 +150,14 @@ void TcpTransport::reader_loop(int fd) {
       FPS_LOG(Warn) << "tcp: oversized frame (" << frame_len << " bytes), closing";
       break;
     }
-    std::vector<std::uint8_t> frame(frame_len);
-    if (!read_exact(fd, frame.data(), frame.size())) break;
+    std::uint8_t* buf = frame.ensure(frame_len);
+    if (!read_exact(fd, buf, frame_len)) break;
+    // Zero-copy parse: the message's payload borrows the frame buffer. That
+    // borrow is valid only until the next loop iteration reuses the buffer,
+    // i.e. exactly for the handler invocation below (payload.h ownership
+    // rules) — handlers that retain values call take()/ensure_owned().
     Message msg;
-    if (!Message::deserialize(frame, &msg)) {
+    if (!Message::deserialize_view(frame.span(), &msg)) {
       FPS_LOG(Warn) << "tcp: dropping malformed frame of " << frame_len << " bytes";
       continue;
     }
@@ -268,7 +293,7 @@ void TcpTransport::send_hellos(Peer& peer) {
     hello.src = node;
     hello.dst = kControlDst;
     hello.progress = port_;
-    if (!write_frame(peer, hello.serialize())) return;
+    if (!write_message(peer, hello)) return;
   }
 }
 
@@ -282,13 +307,24 @@ void TcpTransport::handle_hello(int fd, const Message& msg) {
   add_route(msg.src, ip, advertised);
 }
 
-bool TcpTransport::write_frame(Peer& peer, const std::vector<std::uint8_t>& frame) {
-  const auto len = static_cast<std::uint32_t>(frame.size());
+bool TcpTransport::write_message(Peer& peer, const Message& msg) {
+  // Scatter-gather send: [u32 length | 64-byte header] assembled on the
+  // stack, payload streamed directly from msg.values.data(). No frame
+  // allocation, no payload copy — this is what makes Payload::borrow a true
+  // zero-copy path end to end.
+  const std::size_t frame_len = msg.frame_bytes();
+  const auto len = static_cast<std::uint32_t>(frame_len);
+  std::uint8_t prefix[sizeof(len) + kFrameHeaderBytes];
+  std::memcpy(prefix, &len, sizeof(len));
+  msg.serialize_header(prefix + sizeof(len));
+  iovec iov[2];
+  iov[0] = {prefix, sizeof(prefix)};
+  iov[1] = {const_cast<float*>(msg.values.data()), msg.values.size() * sizeof(float)};
+  const std::size_t iovcnt = msg.values.empty() ? 1 : 2;
   std::scoped_lock lock(peer.write_mu);
-  if (!write_exact(peer.fd, &len, sizeof(len))) return false;
-  if (!write_exact(peer.fd, frame.data(), frame.size())) return false;
+  if (!write_iov_exact(peer.fd, iov, iovcnt)) return false;
   frames_sent_.fetch_add(1, std::memory_order_relaxed);
-  bytes_sent_.fetch_add(sizeof(len) + frame.size(), std::memory_order_relaxed);
+  bytes_sent_.fetch_add(sizeof(len) + frame_len, std::memory_order_relaxed);
   return true;
 }
 
@@ -317,7 +353,7 @@ void TcpTransport::send(Message msg) {
   }
   const auto peer = peer_for(route.first, route.second);
   if (peer == nullptr) return;
-  if (!write_frame(*peer, msg.serialize())) {
+  if (!write_message(*peer, msg)) {
     FPS_LOG(Warn) << "tcp: write to node " << msg.dst
                   << " failed; dropping cached connection (next send re-dials)";
     drop_peer(route.first + ":" + std::to_string(route.second), peer);

@@ -57,8 +57,14 @@ class TcpTransport final : public Transport {
   /// Register a locally hosted node.
   void register_node(NodeId node, Handler handler) override;
 
-  /// Deliver to a local handler directly, or frame it over TCP.
+  /// Deliver to a local handler directly, or frame it over TCP. The frame is
+  /// gather-written (sendmsg): length prefix + header from the stack, payload
+  /// straight from msg.values.data() — no intermediate frame allocation.
   void send(Message msg) override;
+
+  /// TCP consumes the payload bytes inside send() (gather-write), so callers
+  /// may hand it messages with borrowed payloads (zero-copy send path).
+  [[nodiscard]] bool inline_delivery() const noexcept override { return true; }
 
   /// Close the acceptor, all connections, and join all threads. Idempotent.
   void shutdown();
@@ -92,7 +98,9 @@ class TcpTransport final : public Transport {
   std::shared_ptr<Peer> peer_for(const std::string& host, std::uint16_t port);
   /// Evict a cached connection whose write failed, so the next send re-dials.
   void drop_peer(const std::string& key, const std::shared_ptr<Peer>& peer);
-  bool write_frame(Peer& peer, const std::vector<std::uint8_t>& frame);
+  /// Gather-write one message: [u32 length | 56-byte header | payload floats]
+  /// via sendmsg, the payload iovec pointing at msg.values.data().
+  bool write_message(Peer& peer, const Message& msg);
 
   std::string bind_host_;
   std::uint16_t port_ = 0;

@@ -30,6 +30,15 @@ class Transport {
   /// Asynchronously deliver `msg` to msg.dst. Never blocks the sender on the
   /// receiver's processing.
   virtual void send(Message msg) = 0;
+
+  /// True when send() consumes the message's payload bytes *inside* the
+  /// send() call (e.g. writes them to a socket) and retains no reference
+  /// afterwards. Only such transports may be handed messages with *borrowed*
+  /// payloads (Payload::borrow over caller-owned staging buffers) — the
+  /// zero-copy send path. Queueing transports keep messages alive beyond
+  /// send() and therefore require owned payloads; they call
+  /// Payload::ensure_owned() defensively (see payload.h ownership rules).
+  [[nodiscard]] virtual bool inline_delivery() const noexcept { return false; }
 };
 
 }  // namespace fluentps::net

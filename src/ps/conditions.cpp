@@ -151,6 +151,7 @@ SyncModel make_sync_model(const SyncModelSpec& spec, std::uint32_t num_workers) 
     const std::int64_t s = spec.staleness;
     const double alpha = spec.alpha;
     const bool use_sf = spec.alpha_significance;
+    model.uses_significance = use_sf;
     model.pull = [s, alpha, use_sf](const PullCtx& ctx, const SyncView& view, Rng& rng) {
       if (ssp_pull(ctx.progress, view.v_train, s)) return true;
       if (!ctx.initial) return false;

@@ -94,6 +94,12 @@ struct SyncModel {
   /// tests and metrics can observe the adaptation. Written only from pull
   /// evaluation, which the engine serializes.
   std::shared_ptr<std::int64_t> adaptive_s;
+  /// True when the conditions consume gradient significance SF = |g|/|w|
+  /// (dynamic PSSP with alpha_significance). Servers use this to skip the two
+  /// whole-shard norm passes on the apply hot path when no condition will
+  /// ever read them (DESIGN.md §8); installing a custom condition via
+  /// SetcondPull/SetcondPush conservatively re-enables them.
+  bool uses_significance = false;
 };
 
 /// Compile a spec into conditions for a shard with N workers.

@@ -12,6 +12,13 @@ namespace {
 constexpr std::uint32_t kServerBlobMagic = 0x53525632;  // "SRV2"
 constexpr std::size_t kAnsweredWindow = 4096;           // recently answered pulls kept
 
+std::vector<std::size_t> slice_lengths_of(const ShardLayout& layout) {
+  std::vector<std::size_t> lens;
+  lens.reserve(layout.slices.size());
+  for (const auto& s : layout.slices) lens.push_back(s.length);
+  return lens;
+}
+
 }  // namespace
 
 bool SeqWindow::accept(std::uint64_t seq) {
@@ -49,8 +56,12 @@ Server::Server(ServerSpec spec, net::Transport& transport)
       ack_pushes_(spec.ack_pushes || spec.reliable),
       respond_unconditionally_(spec.respond_unconditionally),
       reliable_(spec.reliable),
+      batch_pushes_(spec.batch_pushes),
       worker_nodes_(std::move(spec.worker_nodes)),
-      shard_(std::move(spec.initial_shard)),
+      // layout_ (declared earlier) is already initialized here; spec.layout
+      // was moved from, so derive stripe boundaries from the member.
+      shard_(std::move(spec.initial_shard), std::max<std::uint32_t>(spec.apply_stripes, 1),
+             slice_lengths_of(layout_)),
       engine_(std::move(spec.engine)),
       push_seen_(spec.num_workers),
       recover_base_(spec.num_workers, -1),
@@ -58,6 +69,9 @@ Server::Server(ServerSpec spec, net::Transport& transport)
       transport_(transport) {
   FPS_CHECK(shard_.size() == layout_.total)
       << "initial shard size " << shard_.size() << " != layout total " << layout_.total;
+  // Skip the two whole-shard norm passes per push unless some condition will
+  // actually read SF (DESIGN.md §8).
+  need_significance_.store(engine_.uses_significance(), std::memory_order_relaxed);
   if (reliable_) {
     FPS_CHECK(worker_nodes_.size() == num_workers_)
         << "reliable server needs the worker node list for recovery";
@@ -136,18 +150,11 @@ void Server::on_push(net::Message&& msg) {
     FPS_CHECK(msg.values.size() == layout_.total)
         << "push size " << msg.values.size() << " != shard size " << layout_.total
         << " (server " << server_rank_ << ")";
-    std::scoped_lock lock(shard_mu_);
-    // Gradient significance for dynamic PSSP: SF(g, w) = |g| / |w| over this
-    // shard (Gaia's significance filter applied at shard granularity).
-    const double wn = ml::l2_norm(shard_);
-    const double gn = ml::l2_norm(msg.values);
-    sf = wn > 0.0 ? gn / wn : 0.0;
-    // Algorithm 1 line 15: w <- w + g / N.
-    const float scale = 1.0f / static_cast<float>(num_workers_);
-    float* w = shard_.data();
-    const float* g = msg.values.data();
-    for (std::size_t i = 0; i < shard_.size(); ++i) w[i] += scale * g[i];
-    ++pushes_applied_;
+    // Algorithm 1 line 15: w <- w + g / N. The payload may borrow the
+    // transport's frame buffer — safe because apply_push() returns only
+    // after the values were applied (we block inside the handler).
+    sf = apply_push(msg.values);
+    pushes_applied_.fetch_add(1, std::memory_order_relaxed);
   }
 
   if (ack_pushes_) {
@@ -181,13 +188,68 @@ void Server::on_push(net::Message&& msg) {
   for (const auto& [pp, id] : to_respond) respond(pp.src, pp.worker_rank, id);
 }
 
+double Server::apply_push(std::span<const float> g) {
+  const float scale = 1.0f / static_cast<float>(num_workers_);
+  if (need_significance_.load(std::memory_order_relaxed)) {
+    // Exact legacy path: SF must be computed against the pre-apply shard of
+    // *this* push, so applies serialize (exclusive whole-shard sweep).
+    return shard_.apply_exclusive_with_significance(g, scale);
+  }
+  if (!batch_pushes_) {
+    const std::span<const float> one[] = {g};
+    shard_.apply_batch(one, scale);
+    apply_sweeps_.fetch_add(1, std::memory_order_relaxed);
+    std::size_t prev = max_batch_.load(std::memory_order_relaxed);
+    while (prev < 1 && !max_batch_.compare_exchange_weak(prev, 1, std::memory_order_relaxed)) {
+    }
+    return 0.0;
+  }
+  // Flat combining: enqueue, and either wait for a combiner to apply our
+  // entry or become the combiner and drain the queue in arrival order.
+  ApplyTicket ticket{g};
+  std::unique_lock lock(batch_mu_);
+  batch_queue_.push_back(&ticket);
+  if (batch_combining_) {
+    batch_cv_.wait(lock, [&] { return ticket.applied; });
+    return 0.0;
+  }
+  batch_combining_ = true;
+  std::vector<ApplyTicket*> batch;
+  std::vector<std::span<const float>> grads;
+  while (!batch_queue_.empty()) {
+    batch.assign(batch_queue_.begin(), batch_queue_.end());
+    batch_queue_.clear();
+    lock.unlock();
+    grads.clear();
+    grads.reserve(batch.size());
+    for (const ApplyTicket* t : batch) grads.push_back(t->g);
+    // One striped sweep applies every coalesced push, in arrival order per
+    // element — bit-identical to applying them one by one.
+    shard_.apply_batch(grads, scale);
+    apply_sweeps_.fetch_add(1, std::memory_order_relaxed);
+    std::size_t prev = max_batch_.load(std::memory_order_relaxed);
+    while (prev < batch.size() &&
+           !max_batch_.compare_exchange_weak(prev, batch.size(), std::memory_order_relaxed)) {
+    }
+    lock.lock();
+    for (ApplyTicket* t : batch) t->applied = true;
+    batch_cv_.notify_all();
+  }
+  batch_combining_ = false;
+  return 0.0;
+}
+
 void Server::set_pull_condition(PullCondition cond) {
   std::scoped_lock lock(engine_mu_);
+  // A user-installed condition may consult significance: conservatively
+  // switch the apply path back to exact per-push SF computation.
+  need_significance_.store(true, std::memory_order_relaxed);
   engine_.set_pull_condition(std::move(cond));
 }
 
 void Server::set_push_condition(PushCondition cond) {
   std::scoped_lock lock(engine_mu_);
+  need_significance_.store(true, std::memory_order_relaxed);
   engine_.set_push_condition(std::move(cond));
 }
 
@@ -264,32 +326,37 @@ void Server::respond(net::NodeId dst, std::uint32_t worker_rank, std::uint64_t r
   resp.request_id = request_id;
   resp.server_rank = server_rank_;
   resp.worker_rank = worker_rank;
-  {
-    std::scoped_lock lock(shard_mu_);
-    resp.values = shard_;
-  }
-  ++pulls_answered_;
+  // Striped copy-out: slice-atomic, not push-atomic — a response may contain
+  // stripe k with a concurrent push applied and stripe k+1 without it
+  // (PS-Lite's per-key consistency; DESIGN.md §8). Parameters are monotone-
+  // fresh either way.
+  shard_.copy_out(resp.values.mutable_span_resized(shard_.size()));
+  pulls_answered_.fetch_add(1, std::memory_order_relaxed);
   transport_.send(std::move(resp));
 }
 
 std::vector<float> Server::snapshot() const {
-  std::scoped_lock lock(shard_mu_);
-  return shard_;
+  return shard_.snapshot();
 }
 
 void Server::snapshot_into(std::span<float> flat) const {
-  std::scoped_lock lock(shard_mu_);
-  layout_.scatter(shard_, flat);
+  const std::vector<float> values = shard_.snapshot();
+  layout_.scatter(values, flat);
 }
 
 // --- crash-restart lifecycle ----------------------------------------------
 
 std::vector<std::uint8_t> Server::save_state() const {
   io::Writer w;
-  std::scoped_lock lock(engine_mu_, shard_mu_);
+  std::scoped_lock lock(engine_mu_);
   w.put<std::uint32_t>(kServerBlobMagic);
   w.put<std::uint32_t>(server_rank_);
-  w.put_vector(shard_);
+  // Push-atomic view: with_exclusive holds every stripe while the values are
+  // serialized (lock order engine_mu_ -> stripes, same as everywhere).
+  shard_.with_exclusive([&w](std::span<const float> values) {
+    w.put<std::uint64_t>(values.size());
+    w.put_raw(values.data(), values.size() * sizeof(float));
+  });
   engine_.save(w);
   w.put<std::uint64_t>(push_seen_.size());
   for (const auto& win : push_seen_) win.save(w);
@@ -300,7 +367,7 @@ bool Server::restore_state(const std::vector<std::uint8_t>& blob) {
   io::Reader r(blob);
   std::vector<float> shard;
   {
-    std::scoped_lock lock(engine_mu_, shard_mu_);
+    std::scoped_lock lock(engine_mu_);
     if (r.get<std::uint32_t>() != kServerBlobMagic) return false;
     if (r.get<std::uint32_t>() != server_rank_) return false;
     shard = r.get_vector<float>();
@@ -312,7 +379,9 @@ bool Server::restore_state(const std::vector<std::uint8_t>& blob) {
       if (!win.load(r)) return false;
     }
     if (!r.ok()) return false;
-    shard_ = std::move(shard);
+    shard_.with_exclusive([&shard](std::span<float> values) {
+      std::copy(shard.begin(), shard.end(), values.begin());
+    });
     // In-flight bookkeeping dies with the process: buffered pulls were
     // cleared by engine_.load, lost responses come back via retransmits.
     pending_.clear();

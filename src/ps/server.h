@@ -19,12 +19,23 @@
 // the checkpoint rolled back — without this, BSP-like modes deadlock after a
 // restart because workers already hold acks for pushes the restore undid.
 //
-// The handler is invoked from a single execution context (dispatch thread or
-// DES); the shard takes a mutex because snapshot() may be called from other
-// threads, and engine + reliability state take a second mutex because
-// condition changes and crash-restart arrive from outside the handler.
+// Hot path (DESIGN.md §8): gradient applies go through a flat-combining
+// PushBatch — concurrent pushes (real on the TCP backend, where each inbound
+// connection has its own reader thread) coalesce into one striped axpy sweep
+// over a StripedShard whose lock stripes align to slice boundaries (replacing
+// the old whole-shard mutex). The enqueuing thread blocks until its entry is
+// applied, which keeps zero-copy (frame-borrowing) payloads safe to queue and
+// preserves apply-before-count ordering per message. Whole-shard norms for
+// gradient significance are computed only when the sync model consumes them.
+//
+// The handler may be invoked concurrently (TCP reader threads); engine +
+// reliability state take engine_mu_ because condition changes and
+// crash-restart also arrive from outside the handler. Lock order:
+// engine_mu_ -> batch_mu_ -> stripes.
 #pragma once
 
+#include <atomic>
+#include <condition_variable>
 #include <deque>
 #include <mutex>
 #include <set>
@@ -38,6 +49,7 @@
 #include "net/message.h"
 #include "net/transport.h"
 #include "ps/slicing.h"
+#include "ps/striped_shard.h"
 #include "ps/sync_engine.h"
 
 namespace fluentps::ps {
@@ -73,6 +85,13 @@ struct ServerSpec {
   /// Worker node ids (index = rank); required when reliable for the
   /// kRecover broadcast after a restart.
   std::vector<net::NodeId> worker_nodes;
+  /// Coalesce concurrent pushes into one striped axpy sweep (flat combining;
+  /// DESIGN.md §8). Off = apply each push individually (A/B baseline). Both
+  /// paths are bit-identical per message order.
+  bool batch_pushes = true;
+  /// Lock stripes over the shard, boundaries aligned to slice boundaries
+  /// (replaces the old whole-shard mutex).
+  std::uint32_t apply_stripes = 8;
 };
 
 class Server {
@@ -97,8 +116,22 @@ class Server {
   [[nodiscard]] net::NodeId node_id() const noexcept { return node_id_; }
 
   /// Pushes applied / pulls answered so far.
-  [[nodiscard]] std::int64_t pushes_applied() const noexcept { return pushes_applied_; }
-  [[nodiscard]] std::int64_t pulls_answered() const noexcept { return pulls_answered_; }
+  [[nodiscard]] std::int64_t pushes_applied() const noexcept {
+    return pushes_applied_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::int64_t pulls_answered() const noexcept {
+    return pulls_answered_.load(std::memory_order_relaxed);
+  }
+
+  /// Batched-apply observability: combiner sweeps performed and the largest
+  /// number of pushes coalesced into one sweep (1 when batching is off or no
+  /// pushes ever overlapped).
+  [[nodiscard]] std::int64_t apply_sweeps() const noexcept {
+    return apply_sweeps_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::size_t max_batch() const noexcept {
+    return max_batch_.load(std::memory_order_relaxed);
+  }
 
   /// Retransmits suppressed by the dedup windows (reliable mode).
   [[nodiscard]] std::int64_t dedup_hits() const noexcept { return dedup_hits_; }
@@ -134,6 +167,17 @@ class Server {
   void on_push(net::Message&& msg);
   void on_pull(net::Message&& msg);
   void on_recover_ack(net::Message&& msg);
+  /// Apply one push's gradient (size layout_.total) with w += g / N,
+  /// returning the significance SF = |g|/|w| when the sync model consumes it
+  /// (0.0 otherwise — the engine ignores it then).
+  ///
+  /// Fast path (flat combining): the gradient is queued and the enqueuing
+  /// thread blocks until a combiner sweep applied it — at most one thread
+  /// sweeps at a time, coalescing every queued push into a single striped
+  /// axpy pass. Blocking inside the call is what makes borrowed payloads
+  /// (TCP frame buffers) safe to queue without copying, and preserves the
+  /// apply-before-engine-count ordering per message.
+  double apply_push(std::span<const float> g);
   void respond(net::NodeId dst, std::uint32_t worker_rank, std::uint64_t request_id);
   void note_answered(std::uint64_t request_id);
   void send_recover(net::NodeId dst, std::uint32_t worker_rank);
@@ -153,10 +197,31 @@ class Server {
   bool ack_pushes_;
   bool respond_unconditionally_;
   bool reliable_;
+  bool batch_pushes_;
   std::vector<net::NodeId> worker_nodes_;
 
-  mutable std::mutex shard_mu_;  // guards shard_ only (snapshot from other threads)
-  std::vector<float> shard_;
+  // Striped value storage (replaces the old shard_mu_ + vector): pulls and
+  // snapshots read stripe-by-stripe while applies sweep, checkpoints take
+  // every stripe. Lock order: engine_mu_ -> batch_mu_ -> stripes (never the
+  // reverse).
+  StripedShard shard_;
+
+  // Flat-combining push batch: handler threads enqueue their gradient span
+  // and block until applied; whichever thread finds the queue un-combined
+  // becomes the combiner and drains it in arrival order.
+  struct ApplyTicket {
+    std::span<const float> g;
+    bool applied = false;
+  };
+  std::mutex batch_mu_;
+  std::condition_variable batch_cv_;
+  std::deque<ApplyTicket*> batch_queue_;
+  bool batch_combining_ = false;
+
+  // True when the apply path must compute SF = |g|/|w| per push (the model's
+  // conditions read it). Conservatively set by set_pull/push_condition since
+  // a user-installed condition may consult significance.
+  std::atomic<bool> need_significance_{false};
 
   // Guards the engine plus all reliability bookkeeping: request handling runs
   // single-context, but condition changes and the crash-restart lifecycle
@@ -172,10 +237,13 @@ class Server {
   std::unordered_set<std::uint32_t> awaiting_recover_;
   net::Transport& transport_;
 
-  std::int64_t pushes_applied_ = 0;
-  std::int64_t pulls_answered_ = 0;
-  std::int64_t dedup_hits_ = 0;
-  std::int64_t recoveries_ = 0;
+  // Counters mutated outside any single lock (TCP handlers run concurrently).
+  std::atomic<std::int64_t> pushes_applied_{0};
+  std::atomic<std::int64_t> pulls_answered_{0};
+  std::atomic<std::int64_t> apply_sweeps_{0};
+  std::atomic<std::size_t> max_batch_{0};
+  std::int64_t dedup_hits_ = 0;   // under engine_mu_
+  std::int64_t recoveries_ = 0;   // under engine_mu_
 };
 
 }  // namespace fluentps::ps

@@ -1,0 +1,119 @@
+#include "ps/striped_shard.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "ml/ops.h"
+
+namespace fluentps::ps {
+
+StripedShard::StripedShard(std::vector<float> values, std::uint32_t num_stripes,
+                           const std::vector<std::size_t>& slice_lengths)
+    : data_(std::move(values)) {
+  const std::size_t n = data_.size();
+  // Candidate boundaries: slice boundaries when given, else every element.
+  std::vector<std::size_t> bounds;  // cumulative prefix ends
+  if (!slice_lengths.empty()) {
+    std::size_t acc = 0;
+    bounds.reserve(slice_lengths.size());
+    for (const std::size_t len : slice_lengths) {
+      acc += len;
+      bounds.push_back(acc);
+    }
+    FPS_CHECK(acc == n) << "slice lengths sum " << acc << " != shard size " << n;
+  }
+  const std::size_t max_stripes =
+      slice_lengths.empty() ? std::max<std::size_t>(n, 1) : slice_lengths.size();
+  const std::size_t s =
+      std::clamp<std::size_t>(num_stripes, 1, std::max<std::size_t>(max_stripes, 1));
+  stripes_ = std::vector<Stripe>(s);
+  if (slice_lengths.empty()) {
+    // Near-equal contiguous element ranges.
+    for (std::size_t i = 0; i < s; ++i) {
+      stripes_[i].begin = n * i / s;
+      stripes_[i].end = n * (i + 1) / s;
+    }
+  } else {
+    // Greedy contiguous grouping of slices: advance the stripe cut once the
+    // running total passes the proportional target, keeping every slice
+    // wholly inside one stripe.
+    std::size_t stripe = 0;
+    std::size_t begin = 0;
+    for (std::size_t b = 0; b < bounds.size(); ++b) {
+      const std::size_t remaining_slices = bounds.size() - b - 1;
+      const bool must_cut = remaining_slices < (s - stripe - 1);  // unreachable by clamp
+      const std::size_t target = n * (stripe + 1) / s;
+      if (stripe + 1 < s && (must_cut || bounds[b] >= target)) {
+        stripes_[stripe].begin = begin;
+        stripes_[stripe].end = bounds[b];
+        begin = bounds[b];
+        ++stripe;
+      }
+    }
+    stripes_[stripe].begin = begin;
+    stripes_[stripe].end = n;
+    for (std::size_t i = stripe + 1; i < s; ++i) {  // degenerate: empty tail stripes
+      stripes_[i].begin = stripes_[i].end = n;
+    }
+  }
+}
+
+void StripedShard::apply_batch(std::span<const std::span<const float>> grads, float scale) {
+  for (const auto& g : grads) {
+    FPS_CHECK(g.size() == data_.size())
+        << "gradient size " << g.size() << " != shard size " << data_.size();
+  }
+  // Stripe-outer, entry-inner: one lock acquisition per stripe per *batch*,
+  // and per-element application order equals batch (arrival) order.
+  for (const Stripe& st : stripes_) {
+    if (st.begin == st.end) continue;
+    std::scoped_lock lock(st.mu);
+    const std::size_t len = st.end - st.begin;
+    std::span<float> w(data_.data() + st.begin, len);
+    for (const auto& g : grads) {
+      ml::axpy(scale, g.subspan(st.begin, len), w);
+    }
+  }
+}
+
+double StripedShard::apply_exclusive_with_significance(std::span<const float> g, float scale) {
+  FPS_CHECK(g.size() == data_.size())
+      << "gradient size " << g.size() << " != shard size " << data_.size();
+  lock_all();
+  // Gradient significance for dynamic PSSP: SF(g, w) = |g| / |w| over this
+  // shard (Gaia's significance filter applied at shard granularity), against
+  // the pre-apply parameter values.
+  const double wn = ml::l2_norm(data_);
+  const double gn = ml::l2_norm(g);
+  const double sf = wn > 0.0 ? gn / wn : 0.0;
+  ml::axpy(scale, g, data_);
+  unlock_all();
+  return sf;
+}
+
+void StripedShard::copy_out(std::span<float> out) const {
+  FPS_CHECK(out.size() == data_.size())
+      << "copy_out size " << out.size() << " != shard size " << data_.size();
+  for (const Stripe& st : stripes_) {
+    if (st.begin == st.end) continue;
+    std::scoped_lock lock(st.mu);
+    std::copy(data_.begin() + static_cast<std::ptrdiff_t>(st.begin),
+              data_.begin() + static_cast<std::ptrdiff_t>(st.end), out.begin() + static_cast<std::ptrdiff_t>(st.begin));
+  }
+}
+
+std::vector<float> StripedShard::snapshot() const {
+  std::vector<float> out(data_.size());
+  copy_out(out);
+  return out;
+}
+
+void StripedShard::lock_all() const {
+  for (const Stripe& st : stripes_) st.mu.lock();  // fixed order: no deadlock
+}
+
+void StripedShard::unlock_all() const {
+  for (auto it = stripes_.rbegin(); it != stripes_.rend(); ++it) it->mu.unlock();
+}
+
+}  // namespace fluentps::ps

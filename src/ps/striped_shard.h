@@ -1,0 +1,92 @@
+// Striped parameter-shard storage: the server's value buffer partitioned into
+// S contiguous stripes, each guarded by its own mutex, replacing the old
+// whole-shard `shard_mu_`.
+//
+// Stripe boundaries align to slice boundaries when slice lengths are given
+// (stripes are "keyed by slice id": every ParamSlice lives entirely inside
+// one stripe), so readers and writers of disjoint slice groups never contend.
+//
+// Consistency contract (DESIGN.md §8): writes are applied stripe-by-stripe,
+// so a concurrent reader (pull response, snapshot) observes each *stripe*
+// atomically but may see a state where stripe k already includes a push that
+// stripe k+1 does not — slice-atomic, not push-atomic, matching PS-Lite's
+// per-key consistency. Checkpointing uses with_exclusive(), which holds every
+// stripe and is therefore push-atomic.
+//
+// Bit-identity: apply_batch() sweeps stripe-outer / entry-inner, applying the
+// batch's gradients to each element in entry order — every element receives
+// exactly the same sequence of fused multiply-free `w += scale * g` additions
+// as a sequential per-message loop, so batched results are bit-identical to
+// unbatched ones.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <span>
+#include <vector>
+
+namespace fluentps::ps {
+
+class StripedShard {
+ public:
+  /// `slice_lengths` (optional) aligns stripe boundaries to slice boundaries;
+  /// when empty the buffer is split into near-equal element ranges. The
+  /// effective stripe count is min(num_stripes, max(1, #slices or size)).
+  StripedShard(std::vector<float> values, std::uint32_t num_stripes,
+               const std::vector<std::size_t>& slice_lengths = {});
+
+  StripedShard(const StripedShard&) = delete;
+  StripedShard& operator=(const StripedShard&) = delete;
+
+  [[nodiscard]] std::size_t size() const noexcept { return data_.size(); }
+  [[nodiscard]] std::uint32_t num_stripes() const noexcept {
+    return static_cast<std::uint32_t>(stripes_.size());
+  }
+
+  /// Apply `grads` (each of size()) in order: w += scale * g for each g, one
+  /// striped sweep. Entry order is preserved per element (see bit-identity
+  /// note above). Every gradient span must stay valid for the call.
+  void apply_batch(std::span<const std::span<const float>> grads, float scale);
+
+  /// Exclusive single-push apply that also computes the paper's gradient
+  /// significance SF(g, w) = |g| / |w| against the *pre-apply* values —
+  /// the exact legacy path, used when the sync model consumes significance.
+  double apply_exclusive_with_significance(std::span<const float> g, float scale);
+
+  /// Copy the current values into `out` (size()) under per-stripe locks.
+  /// Slice-atomic, not push-atomic (see consistency contract).
+  void copy_out(std::span<float> out) const;
+
+  [[nodiscard]] std::vector<float> snapshot() const;
+
+  /// Run `f(std::span<float>)` with every stripe locked (push-atomic view);
+  /// for checkpointing and tests.
+  template <typename F>
+  void with_exclusive(F&& f) {
+    lock_all();
+    f(std::span<float>(data_.data(), data_.size()));
+    unlock_all();
+  }
+  template <typename F>
+  void with_exclusive(F&& f) const {
+    lock_all();
+    f(std::span<const float>(data_.data(), data_.size()));
+    unlock_all();
+  }
+
+ private:
+  void lock_all() const;
+  void unlock_all() const;
+
+  struct Stripe {
+    mutable std::mutex mu;
+    std::size_t begin = 0;
+    std::size_t end = 0;
+  };
+
+  std::vector<float> data_;
+  std::vector<Stripe> stripes_;
+};
+
+}  // namespace fluentps::ps

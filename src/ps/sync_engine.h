@@ -78,6 +78,9 @@ class SyncEngine {
     return worker < last_push_of_.size() ? last_push_of_[worker] : -1;
   }
   [[nodiscard]] std::uint32_t num_workers() const noexcept { return num_workers_; }
+  /// True when the installed model's conditions read gradient significance
+  /// (servers then compute SF = |g|/|w| per push; otherwise they skip it).
+  [[nodiscard]] bool uses_significance() const noexcept { return model_.uses_significance; }
   [[nodiscard]] std::size_t buffered() const noexcept;  ///< DPRs currently waiting
 
   /// Total delayed pull requests so far (the paper's "number of DPRs").

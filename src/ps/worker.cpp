@@ -28,6 +28,7 @@ WorkerClient::WorkerClient(WorkerSpec spec, net::Transport& transport)
       << "server node list does not match sharding";
   const std::size_t m = server_nodes_.size();
   shard_values_.resize(m);
+  push_staging_.resize(m);
   pull_received_.assign(m, 0);
   round_seqs_.assign(m, 0);
   round_acked_.assign(m, 1);
@@ -47,7 +48,9 @@ void WorkerClient::handle(net::Message&& msg) {
       const std::uint32_t m = msg.server_rank;
       FPS_CHECK(m < shard_values_.size()) << "bad server rank in response: " << m;
       if (pull_received_[m]) return;  // duplicate response (retransmit raced the original)
-      shard_values_[m] = std::move(msg.values);
+      // take() moves when the payload is owned and copies exactly once when
+      // it borrows the transport's frame buffer (zero-copy receive path).
+      shard_values_[m] = msg.values.take();
       pull_received_[m] = 1;
       ++shards_received_;
       break;
@@ -112,8 +115,17 @@ void WorkerClient::send_push_locked(std::size_t m) {
   msg.server_rank = static_cast<std::uint32_t>(m);
   if (!round_metadata_) {
     const ShardLayout& layout = sharding_->shards[m];
-    msg.values.resize(layout.total);
-    layout.gather(round_update_, msg.values);
+    if (transport_.inline_delivery()) {
+      // Zero-copy send: gather into the per-server staging buffer and point
+      // the message at it. Legal because the transport consumes the bytes
+      // inside send() (which runs under mu_, and retransmits re-gather).
+      auto& staging = push_staging_[m];
+      staging.resize(layout.total);
+      layout.gather(round_update_, staging);
+      msg.values = net::Payload::borrow(staging);
+    } else {
+      layout.gather(round_update_, msg.values.mutable_span_resized(layout.total));
+    }
   }
   transport_.send(std::move(msg));
 }

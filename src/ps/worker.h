@@ -115,6 +115,11 @@ class WorkerClient {
   std::int64_t round_progress_ = -1;
   bool round_metadata_ = false;
   std::vector<float> round_update_;        // flat copy kept for retransmits
+  // Per-server gather staging for the zero-copy send path: when the transport
+  // delivers inline (TCP), push messages *borrow* these buffers instead of
+  // owning a copy. Stable for the duration of send() because mu_ is held and
+  // retransmits re-gather before each send.
+  std::vector<std::vector<float>> push_staging_;
   std::vector<std::uint64_t> round_seqs_;  // per server
   std::vector<char> round_acked_;          // per server
   std::uint32_t round_unacked_ = 0;

@@ -130,6 +130,36 @@ TEST(Chaos, ForcedReliabilityWithoutFaultsIsOverheadOnly) {
   EXPECT_EQ(r.server_crashes, 0);
 }
 
+TEST(Chaos, BatchedApplyChangesNothingUnderFaults) {
+  // DESIGN.md §8: flat-combining happens AFTER SeqWindow dedup, so the
+  // exactly-once story under duplication, loss and crash-restart must be
+  // byte-for-byte the same whether pushes are batched or applied one at a
+  // time — including every fault counter and the final parameters.
+  auto cfg = base_config({"", core::Arch::kFluentPS, "ssp", 2, 0, ps::DprMode::kLazy});
+  cfg.faults.link.drop_prob = 0.10;
+  cfg.faults.link.dup_prob = 0.05;
+  cfg.faults.checkpoint_every = 0.05;
+  cfg.faults.crashes.push_back({/*server_rank=*/0, /*crash=*/0.12, /*restart=*/0.3});
+
+  cfg.batch_pushes = true;
+  const auto a = core::run_experiment(cfg);
+  cfg.batch_pushes = false;
+  const auto b = core::run_experiment(cfg);
+
+  check_sane(a, cfg);
+  EXPECT_EQ(a.server_crashes, b.server_crashes);
+  EXPECT_EQ(a.server_recoveries, b.server_recoveries);
+  EXPECT_EQ(a.dropped, b.dropped);
+  EXPECT_EQ(a.duplicated, b.duplicated);
+  EXPECT_EQ(a.worker_retries, b.worker_retries);
+  EXPECT_EQ(a.server_dedup_hits, b.server_dedup_hits);
+  EXPECT_DOUBLE_EQ(a.final_loss, b.final_loss);
+  ASSERT_EQ(a.final_params.size(), b.final_params.size());
+  for (std::size_t i = 0; i < a.final_params.size(); ++i) {
+    ASSERT_EQ(a.final_params[i], b.final_params[i]) << i;
+  }
+}
+
 TEST(Chaos, FaultEventsAndCountersAreReported) {
   auto cfg = base_config({"", core::Arch::kFluentPS, "ssp", 2, 0, ps::DprMode::kLazy});
   cfg.faults.link.drop_prob = 0.05;

@@ -1,0 +1,321 @@
+// Hot-path acceptance tests (DESIGN.md §8): zero-copy payload semantics,
+// fixed-layout frame invariants, striped-shard bit-identity, and the
+// batched-vs-per-message apply A/B across every synchronization model.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <numeric>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/fluentps.h"
+#include "net/frame_buffer.h"
+#include "net/message.h"
+#include "ps/striped_shard.h"
+
+namespace fluentps {
+namespace {
+
+// ---------------------------------------------------------------- Payload --
+
+TEST(Payload, OwnedLifecycle) {
+  net::Payload p;
+  EXPECT_TRUE(p.empty());
+  p = {1.0f, 2.0f, 3.0f};
+  EXPECT_EQ(p.size(), 3u);
+  EXPECT_FALSE(p.borrowed());
+  EXPECT_EQ(p, (std::vector<float>{1.0f, 2.0f, 3.0f}));
+  p[1] = 5.0f;
+  EXPECT_FLOAT_EQ(p[1], 5.0f);
+  p.resize(5, 9.0f);
+  EXPECT_EQ(p.size(), 5u);
+  EXPECT_FLOAT_EQ(p[4], 9.0f);
+  auto v = p.take();  // moves owned storage out
+  EXPECT_EQ(v.size(), 5u);
+}
+
+TEST(Payload, BorrowViewsCallerMemoryWithoutCopy) {
+  std::vector<float> storage{1.0f, 2.0f, 3.0f, 4.0f};
+  auto p = net::Payload::borrow(storage);
+  EXPECT_TRUE(p.borrowed());
+  EXPECT_EQ(p.data(), storage.data()) << "borrow must not copy";
+  EXPECT_EQ(p.size(), 4u);
+  // A borrowed take() copies (cannot steal caller memory).
+  auto v = p.take();
+  EXPECT_NE(v.data(), storage.data());
+  EXPECT_EQ(v, storage);
+}
+
+TEST(Payload, EnsureOwnedMaterializesBorrowedViews) {
+  std::vector<float> storage{7.0f, 8.0f};
+  auto p = net::Payload::borrow(storage);
+  p.ensure_owned();
+  EXPECT_FALSE(p.borrowed());
+  EXPECT_NE(p.data(), storage.data());
+  storage.assign({0.0f, 0.0f});  // clobber the original; p must be unaffected
+  EXPECT_EQ(p, (std::vector<float>{7.0f, 8.0f}));
+}
+
+TEST(Payload, MutableSpanResizedDropsBorrowAndOldContents) {
+  std::vector<float> storage{1.0f, 2.0f};
+  auto p = net::Payload::borrow(storage);
+  auto span = p.mutable_span_resized(3);
+  ASSERT_EQ(span.size(), 3u);
+  EXPECT_FALSE(p.borrowed());
+  span[0] = 4.0f;
+  span[1] = 5.0f;
+  span[2] = 6.0f;
+  EXPECT_EQ(p, (std::vector<float>{4.0f, 5.0f, 6.0f}));
+  EXPECT_EQ(storage[0], 1.0f) << "original storage untouched";
+}
+
+// ----------------------------------------------------------------- Frames --
+
+net::Message sample_message(std::size_t n) {
+  net::Message m;
+  m.type = net::MsgType::kPush;
+  m.src = 3;
+  m.dst = 9;
+  m.request_id = 0xABCDEF0123456789ull;
+  m.seq = 42;
+  m.progress = -7;
+  m.worker_rank = 11;
+  m.server_rank = 2;
+  std::vector<float> vals(n);
+  std::iota(vals.begin(), vals.end(), 0.5f);
+  m.values = net::Payload(std::move(vals));
+  return m;
+}
+
+TEST(Frame, SerializedSizeMatchesPredictionExactly) {
+  for (const std::size_t n : {std::size_t{0}, std::size_t{1}, std::size_t{1024}}) {
+    const auto m = sample_message(n);
+    const auto frame = m.serialize();
+    EXPECT_EQ(frame.size(), m.frame_bytes());
+    EXPECT_EQ(static_cast<double>(frame.size()), m.wire_bytes())
+        << "sim network cost model must charge the true frame size";
+    EXPECT_EQ(frame.size(), net::kFrameHeaderBytes + 4 * n);
+  }
+}
+
+TEST(Frame, SerializeIntoProducesIdenticalBytes) {
+  const auto m = sample_message(257);
+  const auto heap = m.serialize();
+  net::FrameBuffer buf;
+  const auto reused = m.serialize_into(buf);
+  ASSERT_EQ(reused.size(), heap.size());
+  EXPECT_EQ(std::memcmp(reused.data(), heap.data(), heap.size()), 0);
+  // Second serialize reuses the same buffer (no growth needed).
+  const auto* before = buf.data();
+  (void)m.serialize_into(buf);
+  EXPECT_EQ(buf.data(), before) << "FrameBuffer must not reallocate at steady state";
+}
+
+TEST(Frame, RoundTripPreservesEveryField) {
+  const auto m = sample_message(33);
+  const auto frame = m.serialize();
+  net::Message out;
+  ASSERT_TRUE(net::Message::deserialize(frame, &out));
+  EXPECT_EQ(out.type, m.type);
+  EXPECT_EQ(out.src, m.src);
+  EXPECT_EQ(out.dst, m.dst);
+  EXPECT_EQ(out.request_id, m.request_id);
+  EXPECT_EQ(out.seq, m.seq);
+  EXPECT_EQ(out.progress, m.progress);
+  EXPECT_EQ(out.worker_rank, m.worker_rank);
+  EXPECT_EQ(out.server_rank, m.server_rank);
+  EXPECT_EQ(out.values, m.values);
+  EXPECT_FALSE(out.values.borrowed()) << "deserialize() must own its payload";
+}
+
+TEST(Frame, DeserializeViewBorrowsAlignedPayloads) {
+  const auto m = sample_message(64);
+  const auto frame = m.serialize();  // 64-byte header: floats aligned whenever the frame is
+  net::Message out;
+  ASSERT_TRUE(net::Message::deserialize_view(frame, &out));
+  EXPECT_EQ(out.values, m.values);
+  ASSERT_EQ(reinterpret_cast<std::uintptr_t>(frame.data() + net::kFrameHeaderBytes) %
+                alignof(float),
+            0u);
+  EXPECT_TRUE(out.values.borrowed());
+  EXPECT_EQ(reinterpret_cast<const std::uint8_t*>(out.values.data()),
+            frame.data() + net::kFrameHeaderBytes)
+      << "aligned view deserialization must not copy the payload";
+}
+
+TEST(Frame, DeserializeViewCopiesWhenMisaligned) {
+  const auto m = sample_message(8);
+  const auto frame = m.serialize();
+  std::vector<std::uint8_t> shifted(frame.size() + 1);
+  std::memcpy(shifted.data() + 1, frame.data(), frame.size());
+  const std::span<const std::uint8_t> view(shifted.data() + 1, frame.size());
+  if (reinterpret_cast<std::uintptr_t>(view.data() + net::kFrameHeaderBytes) % alignof(float) ==
+      0) {
+    GTEST_SKIP() << "allocator produced an aligned offset; nothing to test";
+  }
+  net::Message out;
+  ASSERT_TRUE(net::Message::deserialize_view(view, &out));
+  EXPECT_FALSE(out.values.borrowed()) << "misaligned payloads must be copied, not viewed";
+  EXPECT_EQ(out.values, m.values);
+}
+
+TEST(Frame, RejectsMalformedFrames) {
+  const auto m = sample_message(4);
+  auto frame = m.serialize();
+  net::Message out;
+  EXPECT_FALSE(net::Message::deserialize(frame.data(), net::kFrameHeaderBytes - 1, &out));
+  EXPECT_FALSE(net::Message::deserialize(frame.data(), frame.size() - 1, &out))
+      << "size must equal header + 4*count exactly";
+  auto bad_type = frame;
+  bad_type[0] = 0xEE;
+  EXPECT_FALSE(net::Message::deserialize(bad_type, &out));
+  auto bad_count = frame;
+  const std::uint64_t huge = ~std::uint64_t{0} / 2;
+  std::memcpy(bad_count.data() + 48, &huge, sizeof(huge));
+  EXPECT_FALSE(net::Message::deserialize(bad_count, &out)) << "count overflow must be rejected";
+}
+
+// ----------------------------------------------------------- StripedShard --
+
+std::vector<std::vector<float>> random_grads(std::size_t count, std::size_t n,
+                                             std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<float>> grads(count, std::vector<float>(n));
+  for (auto& g : grads) {
+    for (auto& x : g) x = static_cast<float>(rng.normal());
+  }
+  return grads;
+}
+
+TEST(StripedShard, BatchedApplyBitIdenticalToSequential) {
+  constexpr std::size_t kN = 1537;  // not a multiple of anything convenient
+  const std::vector<std::size_t> slices{512, 512, 257, 256};
+  Rng rng(11);
+  std::vector<float> init(kN);
+  for (auto& x : init) x = static_cast<float>(rng.normal());
+  const auto grads = random_grads(9, kN, 13);
+
+  // Reference: plain sequential per-message loop over a flat vector.
+  std::vector<float> ref = init;
+  for (const auto& g : grads) {
+    for (std::size_t i = 0; i < kN; ++i) ref[i] += 0.125f * g[i];
+  }
+
+  for (const std::uint32_t stripes : {1u, 2u, 8u, 64u}) {
+    ps::StripedShard shard(init, stripes, slices);
+    std::vector<std::span<const float>> spans(grads.begin(), grads.end());
+    shard.apply_batch(spans, 0.125f);
+    const auto got = shard.snapshot();
+    ASSERT_EQ(got.size(), ref.size());
+    for (std::size_t i = 0; i < kN; ++i) {
+      ASSERT_EQ(got[i], ref[i]) << "stripes=" << stripes << " i=" << i;
+    }
+  }
+}
+
+TEST(StripedShard, SignificancePathMatchesLegacyFormula) {
+  std::vector<float> init{3.0f, 4.0f};  // |w| = 5
+  ps::StripedShard shard(init, 4);
+  std::vector<float> g{0.0f, 10.0f};  // |g| = 10
+  const double sf = shard.apply_exclusive_with_significance(g, 0.5f);
+  EXPECT_DOUBLE_EQ(sf, 2.0);  // |g|/|w| against PRE-apply values
+  const auto got = shard.snapshot();
+  EXPECT_FLOAT_EQ(got[0], 3.0f);
+  EXPECT_FLOAT_EQ(got[1], 9.0f);
+}
+
+TEST(StripedShard, CopyOutAndExclusiveAgree) {
+  Rng rng(5);
+  std::vector<float> init(777);
+  for (auto& x : init) x = static_cast<float>(rng.normal());
+  const ps::StripedShard shard(std::vector<float>(init), 8, {259, 259, 259});
+  std::vector<float> out(init.size());
+  shard.copy_out(out);
+  EXPECT_EQ(out, init);
+  shard.with_exclusive([&](std::span<const float> values) {
+    ASSERT_EQ(values.size(), init.size());
+    for (std::size_t i = 0; i < init.size(); ++i) ASSERT_EQ(values[i], init[i]);
+  });
+  EXPECT_LE(shard.num_stripes(), 3u) << "stripes never outnumber slices";
+}
+
+// ------------------------------------------------ batched == per-message --
+
+core::ExperimentConfig ab_config(const char* sync, std::int64_t s, double prob) {
+  core::ExperimentConfig cfg;
+  cfg.backend = core::Backend::kSim;
+  cfg.num_workers = 6;
+  cfg.num_servers = 2;
+  cfg.max_iters = 50;
+  cfg.sync.kind = sync;
+  cfg.sync.staleness = s;
+  cfg.sync.prob = prob;
+  cfg.model.kind = "softmax";
+  cfg.data.num_train = 384;
+  cfg.data.num_test = 96;
+  cfg.batch_size = 8;
+  cfg.compute.kind = "lognormal";
+  cfg.compute.base_seconds = 0.01;
+  cfg.seed = 4242;
+  return cfg;
+}
+
+struct AbCase {
+  const char* name;
+  const char* sync;
+  std::int64_t s;
+  double prob;
+};
+
+class BatchedApplyAb : public ::testing::TestWithParam<AbCase> {};
+
+/// The ISSUE's acceptance criterion: with a fixed seed, batched and
+/// per-message applies produce bit-identical training for every sync model.
+TEST_P(BatchedApplyAb, BitIdenticalAcrossSyncModes) {
+  const auto& p = GetParam();
+  auto cfg = ab_config(p.sync, p.s, p.prob);
+  cfg.batch_pushes = true;
+  cfg.apply_stripes = 8;
+  const auto a = core::run_experiment(cfg);
+  cfg.batch_pushes = false;
+  cfg.apply_stripes = 1;
+  const auto b = core::run_experiment(cfg);
+
+  EXPECT_DOUBLE_EQ(a.final_accuracy, b.final_accuracy);
+  EXPECT_DOUBLE_EQ(a.final_loss, b.final_loss);
+  EXPECT_EQ(a.dpr_total, b.dpr_total);
+  EXPECT_DOUBLE_EQ(a.bytes_total, b.bytes_total);
+  EXPECT_EQ(a.messages, b.messages);
+  ASSERT_EQ(a.final_params.size(), b.final_params.size());
+  for (std::size_t i = 0; i < a.final_params.size(); ++i) {
+    ASSERT_EQ(a.final_params[i], b.final_params[i]) << p.name << " param " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SyncModes, BatchedApplyAb,
+    ::testing::Values(AbCase{"bsp", "bsp", 0, 0}, AbCase{"asp", "asp", 0, 0},
+                      AbCase{"ssp", "ssp", 2, 0}, AbCase{"dsps", "dsps", 2, 0},
+                      AbCase{"drop", "drop", 2, 0.25}, AbCase{"pssp", "pssp", 2, 0.5},
+                      AbCase{"pssp_dynamic", "pssp_dynamic", 2, 0.5}),
+    [](const ::testing::TestParamInfo<AbCase>& info) { return info.param.name; });
+
+/// Thread backend (real concurrency, real flat combining): batching must not
+/// change protocol outcomes — every push applied, training completes, and the
+/// combiner's observability counters are coherent.
+TEST(BatchedApply, ThreadBackendCompletesWithBatchingOnAndOff) {
+  for (const bool batch : {true, false}) {
+    auto cfg = ab_config("ssp", 2, 0);
+    cfg.backend = core::Backend::kThreads;
+    cfg.max_iters = 20;
+    cfg.batch_pushes = batch;
+    const auto r = core::run_experiment(cfg);
+    EXPECT_EQ(r.iterations, cfg.max_iters);
+    EXPECT_TRUE(std::isfinite(r.final_loss));
+    ASSERT_FALSE(r.final_params.empty());
+  }
+}
+
+}  // namespace
+}  // namespace fluentps

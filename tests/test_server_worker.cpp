@@ -133,9 +133,17 @@ TEST(ServerWorker, MultiIterationTraining) {
       rig.workers[rank]->push(ones, i);
       const auto t = rig.workers[rank]->pull(i);
       rig.workers[rank]->wait_pull(t, params);
-      // Under BSP the pulled parameters are exact: (i+1) everywhere.
+      // A BSP pull at iteration i is answered only after every worker's
+      // iteration-i push was applied, so each coordinate is at least i+1.
+      // It is NOT exactly i+1: the other worker may already have pushed
+      // iteration i+1 by the time the response is copied (parameters are
+      // monotone-fresh — the pull condition bounds V_train, not the shard
+      // contents), adding at most (N-1)/N = 0.5. EXPECT (not ASSERT): an
+      // ASSERT here would exit this helper thread mid-protocol and deadlock
+      // the peer worker, turning a value mismatch into a test timeout.
       for (std::size_t j = 0; j < kParams; ++j) {
-        ASSERT_FLOAT_EQ(params[j], static_cast<float>(i + 1)) << "iter " << i;
+        EXPECT_GE(params[j], static_cast<float>(i + 1)) << "iter " << i;
+        EXPECT_LE(params[j], static_cast<float>(i + 1) + 0.5f) << "iter " << i;
       }
     }
   };

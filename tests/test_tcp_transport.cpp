@@ -23,6 +23,10 @@ struct Sink {
 
   Transport::Handler handler() {
     return [this](Message&& m) {
+      // TCP delivery lends the payload a view of the reader's frame buffer;
+      // a handler that retains the Message past its own return must take
+      // ownership first (see Transport::inline_delivery()).
+      m.values.ensure_owned();
       std::scoped_lock lock(mu);
       got.push_back(std::move(m));
       cv.notify_all();
