@@ -11,6 +11,7 @@
 #include "ps/slicing.h"
 #include "ps/striped_shard.h"
 #include "ps/sync_engine.h"
+#include "replica/replication_log.h"
 #include "sim/network_model.h"
 #include "sim/sim_env.h"
 
@@ -170,6 +171,47 @@ void BM_BiasGrad(benchmark::State& state) {
                           static_cast<std::int64_t>(kBatch * n * sizeof(float)));
 }
 BENCHMARK(BM_BiasGrad)->Arg(256)->Arg(4096);
+
+void BM_ReplicationLogAppendTrim(benchmark::State& state) {
+  // One chain round at the head: append a push per worker (the log copies the
+  // payload — that copy IS the r>1 steady-state overhead on the apply path),
+  // then the tail ack trims the whole window. range(0) = workers in flight,
+  // range(1) = floats per push.
+  const auto workers = static_cast<std::uint32_t>(state.range(0));
+  const auto n = static_cast<std::size_t>(state.range(1));
+  const std::vector<float> grad(n, 0.001f);
+  replica::ReplicationLog log;
+  std::uint64_t seq = 1;
+  for (auto _ : state) {
+    for (std::uint32_t w = 0; w < workers; ++w) {
+      benchmark::DoNotOptimize(log.append(w, seq, 0, grad));
+    }
+    ++seq;
+    log.trim_to(log.next_lsn() - 1, [](replica::LogEntry& e) { benchmark::DoNotOptimize(e); });
+  }
+  state.SetItemsProcessed(state.iterations() * workers);
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(workers * n * sizeof(float)));
+}
+BENCHMARK(BM_ReplicationLogAppendTrim)->Args({8, 1024})->Args({64, 1024})->Args({8, 65536});
+
+void BM_ReplicationLogRetransmitLookup(benchmark::State& state) {
+  // Chain-repair path: a worker retransmit probes the pending window by
+  // (worker, seq). The window is bounded by the ack horizon (one outstanding
+  // push per worker), so the linear scan stays short; range(0) = window size.
+  const auto workers = static_cast<std::uint32_t>(state.range(0));
+  const std::vector<float> grad(256, 0.001f);
+  replica::ReplicationLog log;
+  for (std::uint32_t w = 0; w < workers; ++w) log.append(w, 7, 0, grad);
+  std::uint32_t probe = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(log.find(probe, 7));
+    benchmark::DoNotOptimize(log.find_lsn(probe + 1));
+    probe = (probe + 1) % workers;
+  }
+  state.SetItemsProcessed(state.iterations() * 2);
+}
+BENCHMARK(BM_ReplicationLogRetransmitLookup)->Arg(8)->Arg(64)->Arg(256);
 
 void BM_NetworkModelDeliver(benchmark::State& state) {
   sim::NetworkModel net(sim::NetworkSpec{}, 64);

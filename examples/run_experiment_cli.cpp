@@ -34,6 +34,9 @@ void print_usage() {
       "            fault.crash='s0@1.0:2.0' fault.checkpoint_every fault.seed\n"
       "  retries:  retry.initial_timeout retry.max_timeout retry.backoff\n"
       "            retry.jitter retry.budget force_reliability={0,1}\n"
+      "  replication: replication={1,2,3,...} failover_detect (crash a chain\n"
+      "            head with fault.crash='s0@0.3:inf' — no restart — to\n"
+      "            exercise promotion instead of checkpoint restore)\n"
       "  outputs:  curve_csv= trace_json= save= load= checkpoint_dir=\n");
 }
 
@@ -98,6 +101,8 @@ int main(int argc, char** argv) {
   cfg.retry = fault::RetryPolicy::from_config(args);
   cfg.force_reliability = args.get_bool("force_reliability", false);
   cfg.checkpoint_dir = args.get_string("checkpoint_dir", "");
+  cfg.replication_factor = static_cast<std::uint32_t>(args.get_int("replication", 1));
+  cfg.failover_detect_seconds = args.get_double("failover_detect", cfg.failover_detect_seconds);
 
   if (const auto load = args.get_string("load"); !load.empty()) {
     if (!core::load_params(load, &cfg.initial_params)) {
@@ -131,6 +136,12 @@ int main(int argc, char** argv) {
                 static_cast<long long>(r.server_dedup_hits),
                 static_cast<long long>(r.server_crashes),
                 static_cast<long long>(r.server_recoveries));
+  }
+  if (cfg.replication_factor > 1) {
+    std::printf("replication     forwards %lld  failovers %lld (worst %.3f s)  rolled back %lld\n",
+                static_cast<long long>(r.replicated_updates),
+                static_cast<long long>(r.failovers), r.failover_seconds,
+                static_cast<long long>(r.rolled_back_updates));
   }
 
   if (const auto path = args.get_string("curve_csv"); !path.empty()) {

@@ -14,13 +14,18 @@ cd "$(dirname "$0")/.."
 
 MIN_TIME="${MIN_TIME:-0.5}"
 REPS="${REPS:-3}"
-FILTER="${FILTER:-BM_MessageSerialize|BM_MessageSerializeZeroCopy|BM_ServerBatchedApply|BM_Axpy|BM_BiasGrad|BM_GemmNn|BM_GatherScatter|BM_SyncEnginePushPull}"
+FILTER="${FILTER:-BM_MessageSerialize|BM_MessageSerializeZeroCopy|BM_ServerBatchedApply|BM_Axpy|BM_BiasGrad|BM_GemmNn|BM_GatherScatter|BM_SyncEnginePushPull|BM_ReplicationLogAppendTrim|BM_ReplicationLogRetransmitLookup}"
 BENCH=build/bench/micro_kernels
 OUT="${OUT:-BENCH_micro.json}"
 
 if [ ! -x "$BENCH" ]; then
   cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
   cmake --build build -j --target micro_kernels
+fi
+if [ ! -x "$BENCH" ]; then
+  echo "error: bench binary '$BENCH' is missing after the build — check that" >&2
+  echo "FPS_BUILD_BENCH is ON and the micro_kernels target compiled." >&2
+  exit 1
 fi
 
 mkdir -p bench_out

@@ -65,8 +65,42 @@ for case_spec in "${CASES[@]}"; do
   echo
 done
 
+# Replicated chain case: kill the head of shard 0 with NO restart — recovery
+# must come from chain promotion (failovers >= 1, zero rolled-back updates),
+# not from a checkpoint restore.
+echo "== chaos: sync=ssp(3) replication=2 drop=$DROP + head kill (no restart) =="
+if out=$("$CLI" \
+  workers="$WORKERS" servers="$SERVERS" iters="$ITERS" seed="$SEED" \
+  sync=ssp staleness=3 replication=2 \
+  model=softmax dim=64 classes=10 train_n=1024 test_n=256 \
+  compute=lognormal base_seconds=0.01 sigma=0.3 \
+  fault.drop="$DROP" "fault.crash=s0@0.3:inf" \
+  retry.initial_timeout=0.02 retry.max_timeout=0.3 2>&1); then
+  echo "$out" | grep -E "final accuracy|faults|recovery|replication"
+  acc=$(echo "$out" | sed -n 's/^final accuracy *\([0-9.]*\).*/\1/p')
+  failovers=$(echo "$out" | sed -n 's/.*failovers \([0-9]*\).*/\1/p')
+  rolled=$(echo "$out" | sed -n 's/.*rolled back \([0-9]*\).*/\1/p')
+  if [ -z "$acc" ] || [ "$acc" = "nan" ]; then
+    echo "!! non-finite accuracy: replicated chain"
+    fail=1
+  fi
+  if [ "${failovers:-0}" -lt 1 ]; then
+    echo "!! head kill never promoted a successor"
+    fail=1
+  fi
+  if [ "${rolled:-1}" -ne 0 ]; then
+    echo "!! chain failover rolled back updates (must be zero-loss)"
+    fail=1
+  fi
+else
+  echo "$out"
+  echo "!! run failed: replicated chain"
+  fail=1
+fi
+echo
+
 if [ "$fail" -ne 0 ]; then
   echo "CHAOS: FAILURES (see above)"
   exit 1
 fi
-echo "CHAOS: all ${#CASES[@]} cases survived ${DROP} loss + crash-restart"
+echo "CHAOS: all ${#CASES[@]} crash-restart cases + the replicated head-kill case survived ${DROP} loss"

@@ -12,6 +12,12 @@ void Metrics::set_gauge(const std::string& name, double value) {
   gauges_[name] = value;
 }
 
+void Metrics::set_gauge_max(const std::string& name, double value) {
+  std::scoped_lock lock(mu_);
+  const auto [it, inserted] = gauges_.try_emplace(name, value);
+  if (!inserted && value > it->second) it->second = value;
+}
+
 void Metrics::observe(const std::string& name, double value) {
   std::scoped_lock lock(mu_);
   dists_[name].add(value);

@@ -23,6 +23,11 @@ class Metrics {
   /// Set a gauge to an absolute value.
   void set_gauge(const std::string& name, double value);
 
+  /// Raise a gauge to `value` if it is higher than the current reading (or
+  /// the gauge is unset) — high-water marks like replication lag or the
+  /// slowest failover, recorded from per-shard observations.
+  void set_gauge_max(const std::string& name, double value);
+
   /// Record one observation into the named streaming distribution.
   void observe(const std::string& name, double value);
 

@@ -40,6 +40,7 @@ std::string ExperimentConfig::label() const {
   std::ostringstream os;
   os << to_string(arch) << '/' << sync.label() << '/' << ps::to_string(dpr_mode) << "/N="
      << num_workers << ",M=" << num_servers;
+  if (replication_factor > 1) os << ",r=" << replication_factor;
   return os.str();
 }
 

@@ -150,9 +150,25 @@ struct ExperimentConfig {
   /// as FLPS02 blobs (crash recovery itself uses the in-memory store).
   std::string checkpoint_dir;
 
-  /// Reliability layer active? (explicitly forced, or implied by any fault.)
+  // --- chain replication (src/replica, DESIGN.md §9) ------------------
+
+  /// r: how many server nodes hold each shard (1 = no replication). With
+  /// r > 1 every shard m gets a chain of r nodes — the head applies pushes,
+  /// forwards them as kReplicate, and defers worker acks until the tail's
+  /// cumulative ack covers them. A crash of the current head promotes its
+  /// successor instead of restarting from a checkpoint (CrashSpec restarts
+  /// are skipped; checkpointing is off unless checkpoint_dir is set).
+  /// FluentPS arch only; implies the reliability layer.
+  std::uint32_t replication_factor = 1;
+
+  /// Failure-detection delay: seconds between a head crash and the runtime
+  /// promoting its successor (models detector timeout + election).
+  double failover_detect_seconds = 0.05;
+
+  /// Reliability layer active? (explicitly forced, implied by any fault, or
+  /// required by chain replication's deferred-ack protocol.)
   [[nodiscard]] bool reliability_enabled() const noexcept {
-    return force_reliability || faults.any();
+    return force_reliability || faults.any() || replication_factor > 1;
   }
 
   /// Short human-readable tag for tables.
@@ -228,6 +244,14 @@ struct ExperimentResult {
   std::int64_t server_recoveries = 0; ///< checkpoint restores performed
   std::int64_t server_dedup_hits = 0; ///< retransmits suppressed server-side
   std::int64_t server_crashes = 0;    ///< crash events executed
+  // --- chain replication outcomes --------------------------------------
+  std::int64_t failovers = 0;           ///< chain promotions performed
+  std::int64_t replicated_updates = 0;  ///< kReplicate forwards sent by heads
+  double failover_seconds = 0.0;        ///< slowest crash -> promoted interval
+  /// Updates whose counts had to be re-synthesized because a checkpoint
+  /// restore rolled them out of the shard — the checkpoint path's lost-update
+  /// tally. Chain failover keeps this 0 (nothing acked is ever lost).
+  std::int64_t rolled_back_updates = 0;
   /// Snapshot of the run's Metrics counters (fault.*, worker.*, server.*).
   std::vector<std::pair<std::string, std::int64_t>> counters;
   /// Crash/restart/checkpoint timeline (trace_export renders these).

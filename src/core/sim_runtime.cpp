@@ -17,12 +17,16 @@
 #include "ps/scheduler.h"
 #include "ps/server.h"
 #include "ps/slicing.h"
+#include "replica/replica_group.h"
+#include "replica/replica_node.h"
 #include "sim/sim_env.h"
 
 namespace fluentps::core {
 namespace {
 
-/// Node id layout: scheduler = 0, servers = 1..M, workers = M+1..M+N.
+/// Node id layout: scheduler = 0, servers = 1..M, workers = M+1..M+N, and —
+/// with replication — replicas of shard m at M+N+1 + m*(r-1) .. (appended so
+/// existing ids are untouched; see replica::ChainLayout).
 constexpr net::NodeId kSchedulerNode = 0;
 net::NodeId server_node(std::uint32_t m) { return 1 + m; }
 net::NodeId worker_node(std::uint32_t m_servers, std::uint32_t n) { return 1 + m_servers + n; }
@@ -37,16 +41,24 @@ class SimRun {
   explicit SimRun(const ExperimentConfig& cfg)
       : cfg_(cfg),
         env_(),
-        network_(cfg.net, 1 + cfg.num_servers + cfg.num_workers),
+        chain_{cfg.num_servers, cfg.num_workers, std::max<std::uint32_t>(cfg.replication_factor, 1)},
+        network_(cfg.net, chain_.total_nodes()),
         transport_(env_, network_),
         data_(ml::Dataset::synthesize(cfg.data)),
         model_(ml::make_model(cfg.model, data_.dim(), data_.num_classes())),
         compute_(sim::make_compute_model(cfg.compute, cfg.num_workers, cfg.seed)) {
     FPS_CHECK(cfg.num_workers > 0 && cfg.num_servers > 0) << "empty cluster";
     FPS_CHECK(cfg.max_iters > 0) << "max_iters must be positive";
+    FPS_CHECK(chain_.factor == 1 || cfg.arch == Arch::kFluentPS)
+        << "chain replication requires the FluentPS architecture";
     reliable_ = cfg.reliability_enabled();
-    checkpointing_ = !cfg.faults.crashes.empty() || !cfg.checkpoint_dir.empty();
+    // With a chain behind every shard, a head crash is handled by promotion —
+    // periodic checkpoints would be dead weight unless explicitly requested.
+    checkpointing_ = (!cfg.faults.crashes.empty() && !chain_.replicated()) ||
+                     !cfg.checkpoint_dir.empty();
+    if (chain_.replicated()) group_ = std::make_unique<replica::ReplicaGroup>(chain_);
     server_epoch_.assign(cfg.num_servers, 0);
+    crash_time_.assign(cfg.num_servers, 0.0);
     ckpt_store_.resize(cfg.num_servers);
     if (cfg.faults.any()) {
       fault::FaultPlan plan(cfg.faults, cfg.num_servers, cfg.num_workers);
@@ -62,6 +74,7 @@ class SimRun {
     }
     build_parameters();
     build_servers();
+    build_replicas();
     build_scheduler();
     build_workers();
   }
@@ -82,6 +95,8 @@ class SimRun {
   struct WorkerState {
     std::uint32_t rank = 0;
     net::NodeId node = 0;
+    /// Where shard m currently lives — rebound by kPromote at failover.
+    std::vector<net::NodeId> server_nodes;
     std::vector<float> params;
     std::vector<float> grad;
     std::vector<float> update;
@@ -144,8 +159,54 @@ class SimRun {
     sharding_ = slicer->shard(model_->layer_sizes(), cfg_.num_servers);
   }
 
-  void build_servers() {
+  /// Server spec for shard m — shared between the initial heads and servers
+  /// promoted from replicas at failover (which override node_id/successor).
+  [[nodiscard]] ps::ServerSpec make_server_spec(std::uint32_t m) const {
     const bool baseline = cfg_.arch == Arch::kPsLite;
+    ps::ServerSpec spec;
+    spec.node_id = server_node(m);
+    spec.server_rank = m;
+    spec.num_workers = cfg_.num_workers;
+    spec.layout = sharding_.shards[m];
+    spec.initial_shard.resize(spec.layout.total);
+    spec.layout.gather(w0_, spec.initial_shard);
+    spec.engine.num_workers = cfg_.num_workers;
+    spec.engine.mode = cfg_.dpr_mode;
+    const ps::SyncModelSpec& sync_spec =
+        cfg_.per_server_sync.empty() ? cfg_.sync : cfg_.per_server_sync[m];
+    spec.engine.model = ps::make_sync_model(sync_spec, cfg_.num_workers);
+    spec.engine.seed = derive_seed(cfg_.seed, 0x5E57E8 + m);
+    spec.ack_pushes = baseline;
+    spec.respond_unconditionally = baseline;
+    spec.reliable = reliable_;
+    spec.batch_pushes = cfg_.batch_pushes;
+    spec.apply_stripes = cfg_.apply_stripes;
+    spec.replica_successor = chain_.replicated() ? chain_.successor_of(m, 0) : 0;
+    if (reliable_) {
+      for (std::uint32_t n = 0; n < cfg_.num_workers; ++n) {
+        spec.worker_nodes.push_back(worker_node(cfg_.num_servers, n));
+      }
+    }
+    return spec;
+  }
+
+  /// Run one message through a server under the serial busy model, charging
+  /// DPR machinery events (newly buffered pulls plus, for a push, the
+  /// buffered pulls it released) beyond the flat per-message cost.
+  void run_server_msg(ps::Server& srv, double& busy, net::Message&& msg) {
+    const bool is_push = msg.type == net::MsgType::kPush;
+    const std::int64_t dpr0 = srv.engine().dpr_total();
+    const std::int64_t resp0 = srv.pulls_answered();
+    srv.handle(std::move(msg));
+    // A pull answered directly is plain request handling, already covered by
+    // server_proc_seconds.
+    std::int64_t dpr_events = srv.engine().dpr_total() - dpr0;
+    if (is_push) dpr_events += srv.pulls_answered() - resp0;
+    busy = std::max(busy, env_.now()) +
+           static_cast<double>(dpr_events) * cfg_.dpr_overhead_seconds;
+  }
+
+  void build_servers() {
     if (!cfg_.per_server_sync.empty()) {
       FPS_CHECK(cfg_.per_server_sync.size() == cfg_.num_servers)
           << "per_server_sync needs one entry per server";
@@ -154,30 +215,7 @@ class SimRun {
     }
     servers_.reserve(cfg_.num_servers);
     for (std::uint32_t m = 0; m < cfg_.num_servers; ++m) {
-      ps::ServerSpec spec;
-      spec.node_id = server_node(m);
-      spec.server_rank = m;
-      spec.num_workers = cfg_.num_workers;
-      spec.layout = sharding_.shards[m];
-      spec.initial_shard.resize(spec.layout.total);
-      spec.layout.gather(w0_, spec.initial_shard);
-      spec.engine.num_workers = cfg_.num_workers;
-      spec.engine.mode = cfg_.dpr_mode;
-      const ps::SyncModelSpec& sync_spec =
-          cfg_.per_server_sync.empty() ? cfg_.sync : cfg_.per_server_sync[m];
-      spec.engine.model = ps::make_sync_model(sync_spec, cfg_.num_workers);
-      spec.engine.seed = derive_seed(cfg_.seed, 0x5E57E8 + m);
-      spec.ack_pushes = baseline;
-      spec.respond_unconditionally = baseline;
-      spec.reliable = reliable_;
-      spec.batch_pushes = cfg_.batch_pushes;
-      spec.apply_stripes = cfg_.apply_stripes;
-      if (reliable_) {
-        for (std::uint32_t n = 0; n < cfg_.num_workers; ++n) {
-          spec.worker_nodes.push_back(worker_node(cfg_.num_servers, n));
-        }
-      }
-      auto server = std::make_unique<ps::Server>(std::move(spec), *bus_);
+      auto server = std::make_unique<ps::Server>(make_server_spec(m), *bus_);
       ps::Server* raw = server.get();
       // Serial request processing: arrivals queue behind the server's single
       // handler; synchronization machinery (buffering/releasing DPRs) costs
@@ -192,20 +230,57 @@ class SimRun {
         const std::uint64_t epoch = server_epoch_[m];
         env_.schedule_at(start, [this, raw, busy, m, epoch, msg = std::move(msg)]() mutable {
           if (server_epoch_[m] != epoch) return;  // queued pre-crash; lost
-          const bool is_push = msg.type == net::MsgType::kPush;
-          const std::int64_t dpr0 = raw->engine().dpr_total();
-          const std::int64_t resp0 = raw->pulls_answered();
-          raw->handle(std::move(msg));
-          // DPR machinery events: newly buffered pulls, plus (for a push) the
-          // buffered pulls it released. A pull answered directly is plain
-          // request handling, already covered by server_proc_seconds.
-          std::int64_t dpr_events = raw->engine().dpr_total() - dpr0;
-          if (is_push) dpr_events += raw->pulls_answered() - resp0;
-          *busy = std::max(*busy, env_.now()) +
-                  static_cast<double>(dpr_events) * cfg_.dpr_overhead_seconds;
+          run_server_msg(*raw, *busy, std::move(msg));
         });
       });
+      head_server_.push_back(raw);
       servers_.push_back(std::move(server));
+    }
+  }
+
+  /// Chain slot: one non-head replica node, its serial busy model, and — after
+  /// a promotion — the server that took its place on the same node id.
+  struct ReplicaSlot {
+    std::uint32_t m = 0;
+    std::uint32_t pos = 0;
+    net::NodeId node = 0;
+    std::unique_ptr<replica::ReplicaNode> replica;
+    std::unique_ptr<ps::Server> promoted;
+    double busy = 0.0;
+    std::uint64_t epoch = 0;  ///< bumped if this node itself crashes
+  };
+
+  void build_replicas() {
+    if (!chain_.replicated()) return;
+    for (std::uint32_t m = 0; m < cfg_.num_servers; ++m) {
+      for (std::uint32_t pos = 1; pos < chain_.factor; ++pos) {
+        replica::ReplicaSpec spec;
+        spec.node_id = chain_.node_of(m, pos);
+        spec.server_rank = m;
+        spec.chain_pos = pos;
+        spec.num_workers = cfg_.num_workers;
+        spec.initial_shard.resize(sharding_.shards[m].total);
+        sharding_.shards[m].gather(w0_, spec.initial_shard);
+        spec.successor = chain_.successor_of(m, pos);
+        spec.apply_scale = 1.0f / static_cast<float>(cfg_.num_workers);
+        replicas_.push_back(ReplicaSlot{m, pos, spec.node_id,
+                                        std::make_unique<replica::ReplicaNode>(std::move(spec), *bus_),
+                                        nullptr});
+        ReplicaSlot& slot = replicas_.back();  // deque: stable address
+        bus_->register_node(slot.node, [this, &slot](net::Message&& msg) {
+          const double start = std::max(env_.now(), slot.busy);
+          slot.busy = start + cfg_.server_proc_seconds;
+          const std::uint64_t epoch = slot.epoch;
+          env_.schedule_at(start, [this, &slot, epoch, msg = std::move(msg)]() mutable {
+            if (slot.epoch != epoch) return;  // queued pre-crash; lost
+            if (slot.promoted) {
+              run_server_msg(*slot.promoted, slot.busy, std::move(msg));
+            } else {
+              slot.replica->handle(std::move(msg));
+            }
+          });
+        });
+      }
     }
   }
 
@@ -241,6 +316,8 @@ class SimRun {
       auto w = std::make_unique<WorkerState>();
       w->rank = n;
       w->node = worker_node(cfg_.num_servers, n);
+      w->server_nodes.resize(cfg_.num_servers);
+      for (std::uint32_t m = 0; m < cfg_.num_servers; ++m) w->server_nodes[m] = server_node(m);
       w->params = w0_;
       w->grad.resize(model_->num_params());
       w->update.resize(model_->num_params());
@@ -351,7 +428,7 @@ class SimRun {
     net::Message msg;
     msg.type = net::MsgType::kPush;
     msg.src = w.node;
-    msg.dst = server_node(m);
+    msg.dst = w.server_nodes[m];
     msg.seq = reliable_ ? w.push_seqs[m] : 0;
     msg.progress = w.round_progress;
     msg.worker_rank = w.rank;
@@ -376,7 +453,7 @@ class SimRun {
     net::Message msg;
     msg.type = net::MsgType::kPull;
     msg.src = w.node;
-    msg.dst = server_node(m);
+    msg.dst = w.server_nodes[m];
     msg.request_id = w.ticket;
     msg.progress = w.iter;
     msg.worker_rank = w.rank;
@@ -497,6 +574,23 @@ class SimRun {
         bus_->send(std::move(ack));
         break;
       }
+      case net::MsgType::kPromote: {
+        // Chain failover: shard server_rank now lives at msg.src. Rebind and
+        // immediately re-offer whatever is still outstanding toward that
+        // shard — the crashed head may have swallowed the original push/pull,
+        // and waiting out the retry timeout would just stall the round.
+        const std::uint32_t m = msg.server_rank;
+        FPS_CHECK(m < w.server_nodes.size()) << "bad server rank in promote";
+        if (w.server_nodes[m] == msg.src) return;  // duplicate promote
+        w.server_nodes[m] = msg.src;
+        if (reliable_) {
+          if (w.push_unacked > 0 && !w.push_acked[m]) {
+            send_push_one(w, m, w.round_metadata);
+          }
+          if (w.pending_shards > 0 && !w.pull_received[m]) send_pull_one(w, m);
+        }
+        break;
+      }
       default:
         FPS_LOG(Warn) << "sim worker " << w.rank << " ignoring " << msg.to_debug_string();
     }
@@ -606,19 +700,85 @@ class SimRun {
           << "crash schedule names server " << c.server_rank << " of " << cfg_.num_servers;
       FPS_CHECK(chaos_ != nullptr) << "crash schedule without a fault plan";
       env_.schedule_at(c.crash_time, [this, m = c.server_rank] { do_crash(m); });
-      if (std::isfinite(c.restart_time)) {
+      // With replication the chain absorbs the crash: the successor is
+      // promoted instead of the dead process restarting from a checkpoint.
+      if (std::isfinite(c.restart_time) && !chain_.replicated()) {
         env_.schedule_at(c.restart_time, [this, m = c.server_rank] { do_restart(m); });
       }
     }
   }
 
+  /// Crash shard m's *current* head (the chain's surviving prefix shrinks on
+  /// repeated crashes, so a second crash of the same rank kills the node
+  /// promoted by the first).
   void do_crash(std::uint32_t m) {
-    chaos_->set_down(server_node(m), true);
-    ++server_epoch_[m];  // messages queued behind the busy model die too
+    const net::NodeId victim = group_ ? group_->head_node(m) : server_node(m);
+    chaos_->set_down(victim, true);
+    // Messages queued behind the victim's busy model die too.
+    if (group_ && group_->head_pos(m) > 0) {
+      ++slot_of(m, group_->head_pos(m)).epoch;
+    } else {
+      ++server_epoch_[m];
+    }
     ++server_crashes_;
+    crash_time_[m] = env_.now();
     metrics_.incr("server.crashes");
-    fault_events_.push_back(FaultEvent{env_.now(), "crash", server_node(m)});
-    FPS_LOG(Info) << "server " << m << " crashed at t=" << env_.now();
+    fault_events_.push_back(FaultEvent{env_.now(), "crash", victim});
+    FPS_LOG(Info) << "server " << m << " (node " << victim << ") crashed at t=" << env_.now();
+    if (group_ != nullptr) {
+      if (!group_->exhausted(m)) {
+        // Failure detector + election latency, then the successor takes over.
+        env_.schedule(cfg_.failover_detect_seconds, [this, m] { do_promote(m); });
+      } else {
+        FPS_LOG(Warn) << "shard " << m << ": replication chain exhausted, no successor "
+                      << "left to promote — shard stays down";
+      }
+    }
+  }
+
+  [[nodiscard]] ReplicaSlot& slot_of(std::uint32_t m, std::uint32_t pos) {
+    for (ReplicaSlot& s : replicas_) {
+      if (s.m == m && s.pos == pos) return s;
+    }
+    FPS_CHECK(false) << "no replica slot for shard " << m << " pos " << pos;
+    return replicas_.front();
+  }
+
+  /// Promote shard m's next chain position: build a Server on the replica's
+  /// node id, install the replicated state, replay its pending log downstream,
+  /// and rebind every worker via kPromote.
+  void do_promote(std::uint32_t m) {
+    const std::uint32_t new_pos = group_->promote(m);
+    ReplicaSlot& slot = slot_of(m, new_pos);
+    ps::ServerSpec spec = make_server_spec(m);
+    spec.node_id = slot.node;
+    spec.replica_successor = chain_.successor_of(m, new_pos);
+    auto srv = std::make_unique<ps::Server>(std::move(spec), *bus_);
+    srv->adopt_replica_state(slot.replica->release_state());
+    ps::Server* raw = srv.get();
+    slot.promoted = std::move(srv);  // the slot's dispatcher now routes here
+    head_server_[m] = raw;
+    ++failovers_;
+    const double fo = env_.now() - crash_time_[m];
+    failover_seconds_ = std::max(failover_seconds_, fo);
+    metrics_.incr("replica.failovers");
+    metrics_.set_gauge_max("replica.failover_seconds", fo);
+    fault_events_.push_back(FaultEvent{env_.now(), "promoted", slot.node});
+    FPS_LOG(Info) << "shard " << m << ": promoted chain pos " << new_pos << " (node "
+                  << slot.node << ") at t=" << env_.now();
+    // Restart the ack flow for entries stranded mid-chain by the crash.
+    raw->replay_replication_log();
+    // View change: rebind the workers. Control-plane traffic — FaultyTransport
+    // never faults kPromote (membership comes from a consensus service, not
+    // the lossy data path).
+    for (const auto& w : workers_) {
+      net::Message p;
+      p.type = net::MsgType::kPromote;
+      p.src = slot.node;
+      p.dst = w->node;
+      p.server_rank = m;
+      bus_->send(std::move(p));
+    }
   }
 
   void do_restart(std::uint32_t m) {
@@ -648,8 +808,18 @@ class SimRun {
 
   [[nodiscard]] std::vector<float> global_params() const {
     std::vector<float> flat(model_->num_params(), 0.0f);
-    for (const auto& s : servers_) s->snapshot_into(flat);
+    for (const ps::Server* s : head_server_) s->snapshot_into(flat);
     return flat;
+  }
+
+  /// Every ps::Server alive in this run: the initial heads plus any servers
+  /// promoted from replicas (their counters all contribute to totals).
+  template <typename F>
+  void for_each_server(F&& f) const {
+    for (const auto& s : servers_) f(*s);
+    for (const ReplicaSlot& slot : replicas_) {
+      if (slot.promoted) f(*slot.promoted);
+    }
   }
 
   ExperimentResult collect() {
@@ -666,7 +836,10 @@ class SimRun {
     const auto nw = static_cast<double>(cfg_.num_workers);
     r.compute_time = compute_sum / nw;
     r.comm_time = comm_sum / nw;
-    for (const auto& s : servers_) {
+    // Engine-derived sync stats come from the shard's *current* head (a
+    // promoted server's fresh engine replayed the replicated progress; the
+    // crashed head's engine is stale history).
+    for (const ps::Server* s : head_server_) {
       r.dpr_total += s->engine().dpr_total();
       r.staleness.merge(s->engine().staleness_served());
       r.release_delay.merge(s->engine().release_delay());
@@ -698,11 +871,34 @@ class SimRun {
       r.delayed = static_cast<std::int64_t>(chaos_->delayed());
     }
     for (const auto& w : workers_) r.worker_retries += w->retries;
-    for (const auto& s : servers_) {
-      r.server_dedup_hits += s->dedup_hits();
-      r.server_recoveries += s->recoveries();
-    }
+    for_each_server([&r](const ps::Server& s) {
+      r.server_dedup_hits += s.dedup_hits();
+      r.server_recoveries += s.recoveries();
+      r.replicated_updates += s.replica_forwards();
+      r.rolled_back_updates += s.synth_replayed();
+    });
     r.server_crashes = server_crashes_;
+    // --- replication outcomes -------------------------------------------
+    r.failovers = failovers_;
+    r.failover_seconds = failover_seconds_;
+    if (chain_.replicated()) {
+      std::size_t log_hw = 0;
+      for_each_server([&log_hw](const ps::Server& s) {
+        log_hw = std::max(log_hw, s.replication_high_water());
+      });
+      std::int64_t applied = 0;
+      std::int64_t repairs = 0;
+      for (const ReplicaSlot& slot : replicas_) {
+        applied += slot.replica->applied();
+        repairs += slot.replica->reforwards();
+      }
+      for_each_server([&repairs](const ps::Server& s) { repairs += s.repl_repairs(); });
+      if (r.replicated_updates > 0) metrics_.incr("replica.forwards", r.replicated_updates);
+      metrics_.set_gauge_max("replica.log_high_water", static_cast<double>(log_hw));
+      r.extra["replication_log_high_water"] = static_cast<double>(log_hw);
+      r.extra["replica_applied"] = static_cast<double>(applied);
+      r.extra["repl_repairs"] = static_cast<double>(repairs);
+    }
     if (r.worker_retries > 0) metrics_.incr("worker.retries", r.worker_retries);
     if (r.server_dedup_hits > 0) metrics_.incr("server.dedup_hits", r.server_dedup_hits);
     r.counters = metrics_.counters();
@@ -721,6 +917,7 @@ class SimRun {
 
   const ExperimentConfig& cfg_;
   sim::SimEnv env_;
+  replica::ChainLayout chain_;
   sim::NetworkModel network_;
   net::SimTransport transport_;
   Metrics metrics_;
@@ -738,6 +935,13 @@ class SimRun {
   std::deque<double> server_busy_until_;  // deque: stable addresses for handlers
   std::vector<std::uint64_t> server_epoch_;  // bumped on crash: kills queued work
   std::vector<std::vector<std::uint8_t>> ckpt_store_;  // latest blob per server
+  // --- chain replication (src/replica) ---------------------------------
+  std::unique_ptr<replica::ReplicaGroup> group_;  ///< set iff replication_factor > 1
+  std::deque<ReplicaSlot> replicas_;  // deque: stable addresses for handlers
+  std::vector<ps::Server*> head_server_;  ///< current head of each shard's chain
+  std::vector<double> crash_time_;        ///< per shard: latest head-crash time
+  std::int64_t failovers_ = 0;
+  double failover_seconds_ = 0.0;
   std::unique_ptr<ps::Scheduler> scheduler_;
   double scheduler_busy_until_ = 0.0;
   std::vector<std::unique_ptr<WorkerState>> workers_;

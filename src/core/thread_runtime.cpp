@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <deque>
 #include <filesystem>
 #include <limits>
 #include <memory>
@@ -23,6 +24,8 @@
 #include "ps/server.h"
 #include "ps/slicing.h"
 #include "ps/worker.h"
+#include "replica/replica_group.h"
+#include "replica/replica_node.h"
 
 namespace fluentps::core {
 namespace {
@@ -50,8 +53,17 @@ class ThreadRun {
     const auto slicer = ps::make_slicer(cfg.slicer, cfg.eps_chunk);
     sharding_ = slicer->shard(model_->layer_sizes(), cfg.num_servers);
     reliable_ = cfg.reliability_enabled();
-    checkpointing_ = !cfg.faults.crashes.empty() || !cfg.checkpoint_dir.empty();
+    chain_ = replica::ChainLayout{cfg.num_servers, cfg.num_workers,
+                                  std::max<std::uint32_t>(cfg.replication_factor, 1)};
+    FPS_CHECK(chain_.factor == 1 || cfg.arch == Arch::kFluentPS)
+        << "chain replication requires the FluentPS architecture";
+    if (chain_.replicated()) group_ = std::make_unique<replica::ReplicaGroup>(chain_);
+    // With replication, head crashes are absorbed by chain failover; periodic
+    // checkpoints only run when explicitly requested via checkpoint_dir.
+    checkpointing_ = (!cfg.faults.crashes.empty() && !chain_.replicated()) ||
+                     !cfg.checkpoint_dir.empty();
     ckpt_store_.resize(cfg.num_servers);
+    crash_time_.resize(cfg.num_servers, 0.0);
     if (cfg.faults.any()) {
       fault::FaultPlan plan(cfg.faults, cfg.num_servers, cfg.num_workers);
       chaos_ = std::make_unique<fault::FaultyTransport>(
@@ -65,6 +77,7 @@ class ThreadRun {
       bus_ = &transport_;
     }
     build_servers();
+    build_replicas();
     build_scheduler();
     build_clients();
   }
@@ -103,8 +116,38 @@ class ThreadRun {
     std::int64_t pushes_filtered = 0;
   };
 
-  void build_servers() {
+  /// Server spec for shard m — shared between the initial heads and servers
+  /// promoted from replicas at failover (which override node_id/successor).
+  [[nodiscard]] ps::ServerSpec make_server_spec(std::uint32_t m) const {
     const bool baseline = cfg_.arch == Arch::kPsLite;
+    ps::ServerSpec spec;
+    spec.node_id = server_node(m);
+    spec.server_rank = m;
+    spec.num_workers = cfg_.num_workers;
+    spec.layout = sharding_.shards[m];
+    spec.initial_shard.resize(spec.layout.total);
+    spec.layout.gather(w0_, spec.initial_shard);
+    spec.engine.num_workers = cfg_.num_workers;
+    spec.engine.mode = cfg_.dpr_mode;
+    const ps::SyncModelSpec& sync_spec =
+        cfg_.per_server_sync.empty() ? cfg_.sync : cfg_.per_server_sync[m];
+    spec.engine.model = ps::make_sync_model(sync_spec, cfg_.num_workers);
+    spec.engine.seed = derive_seed(cfg_.seed, 0x5E57E8 + m);
+    spec.ack_pushes = baseline;
+    spec.respond_unconditionally = baseline;
+    spec.reliable = reliable_;
+    spec.batch_pushes = cfg_.batch_pushes;
+    spec.apply_stripes = cfg_.apply_stripes;
+    spec.replica_successor = chain_.replicated() ? chain_.successor_of(m, 0) : 0;
+    if (reliable_) {
+      for (std::uint32_t n = 0; n < cfg_.num_workers; ++n) {
+        spec.worker_nodes.push_back(worker_node(cfg_.num_servers, n));
+      }
+    }
+    return spec;
+  }
+
+  void build_servers() {
     if (!cfg_.per_server_sync.empty()) {
       FPS_CHECK(cfg_.per_server_sync.size() == cfg_.num_servers)
           << "per_server_sync needs one entry per server";
@@ -112,34 +155,55 @@ class ThreadRun {
           << "per-server sync models require the FluentPS architecture";
     }
     for (std::uint32_t m = 0; m < cfg_.num_servers; ++m) {
-      ps::ServerSpec spec;
-      spec.node_id = server_node(m);
-      spec.server_rank = m;
-      spec.num_workers = cfg_.num_workers;
-      spec.layout = sharding_.shards[m];
-      spec.initial_shard.resize(spec.layout.total);
-      spec.layout.gather(w0_, spec.initial_shard);
-      spec.engine.num_workers = cfg_.num_workers;
-      spec.engine.mode = cfg_.dpr_mode;
-      const ps::SyncModelSpec& sync_spec =
-          cfg_.per_server_sync.empty() ? cfg_.sync : cfg_.per_server_sync[m];
-      spec.engine.model = ps::make_sync_model(sync_spec, cfg_.num_workers);
-      spec.engine.seed = derive_seed(cfg_.seed, 0x5E57E8 + m);
-      spec.ack_pushes = baseline;
-      spec.respond_unconditionally = baseline;
-      spec.reliable = reliable_;
-      spec.batch_pushes = cfg_.batch_pushes;
-      spec.apply_stripes = cfg_.apply_stripes;
-      if (reliable_) {
-        for (std::uint32_t n = 0; n < cfg_.num_workers; ++n) {
-          spec.worker_nodes.push_back(worker_node(cfg_.num_servers, n));
-        }
-      }
-      auto server = std::make_unique<ps::Server>(std::move(spec), *bus_);
+      auto server = std::make_unique<ps::Server>(make_server_spec(m), *bus_);
       ps::Server* raw = server.get();
       bus_->register_node(raw->node_id(),
                           [raw](net::Message&& msg) { raw->handle(std::move(msg)); });
+      head_server_.push_back(raw);
       servers_.push_back(std::move(server));
+    }
+  }
+
+  /// Chain slot: one non-head replica node and — after a promotion — the
+  /// server that took its place on the same node id. The mutex serializes the
+  /// slot's dispatch thread against the chaos thread's promotion handoff
+  /// (InprocTransport queues sends, so no lock chains form across slots).
+  struct ReplicaSlot {
+    std::uint32_t m = 0;
+    std::uint32_t pos = 0;
+    net::NodeId node = 0;
+    std::mutex mu;
+    std::unique_ptr<replica::ReplicaNode> replica;
+    std::unique_ptr<ps::Server> promoted;
+  };
+
+  void build_replicas() {
+    if (!chain_.replicated()) return;
+    for (std::uint32_t m = 0; m < cfg_.num_servers; ++m) {
+      for (std::uint32_t pos = 1; pos < chain_.factor; ++pos) {
+        ReplicaSlot& slot = replicas_.emplace_back();  // deque: stable address
+        slot.m = m;
+        slot.pos = pos;
+        slot.node = chain_.node_of(m, pos);
+        replica::ReplicaSpec spec;
+        spec.node_id = slot.node;
+        spec.server_rank = m;
+        spec.chain_pos = pos;
+        spec.num_workers = cfg_.num_workers;
+        spec.initial_shard.resize(sharding_.shards[m].total);
+        sharding_.shards[m].gather(w0_, spec.initial_shard);
+        spec.successor = chain_.successor_of(m, pos);
+        spec.apply_scale = 1.0f / static_cast<float>(cfg_.num_workers);
+        slot.replica = std::make_unique<replica::ReplicaNode>(std::move(spec), *bus_);
+        bus_->register_node(slot.node, [&slot](net::Message&& msg) {
+          std::scoped_lock lock(slot.mu);
+          if (slot.promoted) {
+            slot.promoted->handle(std::move(msg));
+          } else {
+            slot.replica->handle(std::move(msg));
+          }
+        });
+      }
     }
   }
 
@@ -241,7 +305,8 @@ class ThreadRun {
         while (next_switch < cfg_.sync_schedule.size() &&
                iter + 1 >= cfg_.sync_schedule[next_switch].first) {
           const auto& spec = cfg_.sync_schedule[next_switch].second;
-          for (auto& server : servers_) {
+          std::scoped_lock lock(head_mu_);
+          for (ps::Server* server : head_server_) {
             auto new_model = ps::make_sync_model(spec, cfg_.num_workers);
             server->set_pull_condition(std::move(new_model.pull));
             server->set_push_condition(std::move(new_model.push));
@@ -288,12 +353,71 @@ class ThreadRun {
     }
   }
 
+  /// Crash shard m's *current* head (the chain's surviving prefix shrinks on
+  /// repeated crashes, so a second crash of the same rank kills the node
+  /// promoted by the first).
   void do_crash(std::uint32_t m) {
-    chaos_->set_down(server_node(m), true);
+    const net::NodeId victim = group_ ? group_->head_node(m) : server_node(m);
+    chaos_->set_down(victim, true);
     ++server_crashes_;
+    crash_time_[m] = since_start_.seconds();
     metrics_.incr("server.crashes");
-    record_event("crash", server_node(m));
-    FPS_LOG(Info) << "server " << m << " crashed at t=" << since_start_.seconds();
+    record_event("crash", victim);
+    FPS_LOG(Info) << "server " << m << " (node " << victim
+                  << ") crashed at t=" << since_start_.seconds();
+  }
+
+  [[nodiscard]] ReplicaSlot& slot_of(std::uint32_t m, std::uint32_t pos) {
+    for (ReplicaSlot& s : replicas_) {
+      if (s.m == m && s.pos == pos) return s;
+    }
+    FPS_CHECK(false) << "no replica slot for shard " << m << " pos " << pos;
+    return replicas_.front();
+  }
+
+  /// Promote shard m's next chain position: build a Server on the replica's
+  /// node id, install the replicated state, replay its pending log downstream,
+  /// and rebind every worker via kPromote. Runs on the chaos thread; the slot
+  /// mutex fences the handoff against the slot's dispatch thread.
+  void do_promote(std::uint32_t m) {
+    const std::uint32_t new_pos = group_->promote(m);
+    ReplicaSlot& slot = slot_of(m, new_pos);
+    ps::Server* raw = nullptr;
+    {
+      std::scoped_lock lock(slot.mu);
+      ps::ServerSpec spec = make_server_spec(m);
+      spec.node_id = slot.node;
+      spec.replica_successor = chain_.successor_of(m, new_pos);
+      auto srv = std::make_unique<ps::Server>(std::move(spec), *bus_);
+      srv->adopt_replica_state(slot.replica->release_state());
+      raw = srv.get();
+      slot.promoted = std::move(srv);  // the slot's dispatcher now routes here
+    }
+    {
+      std::scoped_lock lock(head_mu_);
+      head_server_[m] = raw;
+    }
+    ++failovers_;
+    const double fo = since_start_.seconds() - crash_time_[m];
+    failover_seconds_ = std::max(failover_seconds_, fo);
+    metrics_.incr("replica.failovers");
+    metrics_.set_gauge_max("replica.failover_seconds", fo);
+    record_event("promoted", slot.node);
+    FPS_LOG(Info) << "shard " << m << ": promoted chain pos " << new_pos << " (node "
+                  << slot.node << ") at t=" << since_start_.seconds();
+    // Restart the ack flow for entries stranded mid-chain by the crash.
+    raw->replay_replication_log();
+    // View change: rebind the workers. Control-plane traffic — FaultyTransport
+    // never faults kPromote (membership comes from a consensus service, not
+    // the lossy data path).
+    for (const auto& w : workers_) {
+      net::Message p;
+      p.type = net::MsgType::kPromote;
+      p.src = slot.node;
+      p.dst = w->client->node_id();
+      p.server_rank = m;
+      bus_->send(std::move(p));
+    }
   }
 
   void do_restart(std::uint32_t m) {
@@ -318,7 +442,9 @@ class ThreadRun {
   void chaos_loop(const std::stop_token& st) {
     struct CrashState {
       fault::CrashSpec spec;
-      int phase = 0;  // 0 = armed, 1 = down, 2 = done
+      int phase = 0;  // 0 = armed, 1 = down (awaiting restart), 2 = done,
+                      // 3 = down (awaiting chain promotion)
+      double promote_at = 0.0;  // wall time to promote (phase 3)
     };
     std::vector<CrashState> crashes;
     crashes.reserve(cfg_.faults.crashes.size());
@@ -337,10 +463,27 @@ class ThreadRun {
       for (auto& c : crashes) {
         if (c.phase == 0 && now >= c.spec.crash_time) {
           do_crash(c.spec.server_rank);
-          c.phase = 1;
+          if (chain_.replicated()) {
+            // Chain failover absorbs the crash: promote the successor after
+            // the failure-detection delay instead of restarting the process.
+            if (!group_->exhausted(c.spec.server_rank)) {
+              c.promote_at = since_start_.seconds() + cfg_.failover_detect_seconds;
+              c.phase = 3;
+            } else {
+              c.phase = 2;  // chain exhausted: shard stays down
+              FPS_LOG(Warn) << "shard " << c.spec.server_rank
+                            << ": replication chain exhausted, no successor left to "
+                            << "promote — shard stays down";
+            }
+          } else {
+            c.phase = 1;
+          }
         } else if (c.phase == 1 && now >= c.spec.restart_time) {
           do_restart(c.spec.server_rank);
           await_recovered[c.spec.server_rank] = 1;
+          c.phase = 2;
+        } else if (c.phase == 3 && now >= c.promote_at) {
+          do_promote(c.spec.server_rank);
           c.phase = 2;
         }
       }
@@ -372,8 +515,20 @@ class ThreadRun {
 
   [[nodiscard]] std::vector<float> global_params() const {
     std::vector<float> flat(model_->num_params(), 0.0f);
-    for (const auto& s : servers_) s->snapshot_into(flat);
+    std::scoped_lock lock(head_mu_);
+    for (const ps::Server* s : head_server_) s->snapshot_into(flat);
     return flat;
+  }
+
+  /// Every ps::Server alive in this run: the initial heads plus any servers
+  /// promoted from replicas (their counters all contribute to totals). Only
+  /// called from collect(), after every thread has been joined.
+  template <typename F>
+  void for_each_server(F&& f) const {
+    for (const auto& s : servers_) f(*s);
+    for (const ReplicaSlot& slot : replicas_) {
+      if (slot.promoted) f(*slot.promoted);
+    }
   }
 
   ExperimentResult collect(double makespan) {
@@ -388,11 +543,15 @@ class ThreadRun {
     const auto nw = static_cast<double>(cfg_.num_workers);
     r.compute_time = compute_sum / nw;
     r.comm_time = comm_sum / nw;
-    for (const auto& s : servers_) {
-      if (cfg_.arch == Arch::kPsLite) break;  // baseline servers bypass engines
-      r.dpr_total += s->engine().dpr_total();
-      r.staleness.merge(s->engine().staleness_served());
-      r.release_delay.merge(s->engine().release_delay());
+    // Engine-derived sync stats come from the shard's *current* head (a
+    // promoted server's fresh engine replayed the replicated progress; the
+    // crashed head's engine is stale history). kPsLite bypasses engines.
+    if (cfg_.arch != Arch::kPsLite) {
+      for (const ps::Server* s : head_server_) {
+        r.dpr_total += s->engine().dpr_total();
+        r.staleness.merge(s->engine().staleness_served());
+        r.release_delay.merge(s->engine().release_delay());
+      }
     }
     r.dprs_per_100_iters =
         static_cast<double>(r.dpr_total) * 100.0 / static_cast<double>(cfg_.max_iters);
@@ -414,11 +573,34 @@ class ThreadRun {
       r.delayed = static_cast<std::int64_t>(chaos_->delayed());
     }
     for (const auto& w : workers_) r.worker_retries += w->client->retries();
-    for (const auto& s : servers_) {
-      r.server_dedup_hits += s->dedup_hits();
-      r.server_recoveries += s->recoveries();
-    }
+    for_each_server([&r](const ps::Server& s) {
+      r.server_dedup_hits += s.dedup_hits();
+      r.server_recoveries += s.recoveries();
+      r.replicated_updates += s.replica_forwards();
+      r.rolled_back_updates += s.synth_replayed();
+    });
     r.server_crashes = server_crashes_;
+    // --- replication outcomes -------------------------------------------
+    r.failovers = failovers_;
+    r.failover_seconds = failover_seconds_;
+    if (chain_.replicated()) {
+      std::size_t log_hw = 0;
+      for_each_server([&log_hw](const ps::Server& s) {
+        log_hw = std::max(log_hw, s.replication_high_water());
+      });
+      std::int64_t applied = 0;
+      std::int64_t repairs = 0;
+      for (const ReplicaSlot& slot : replicas_) {
+        applied += slot.replica->applied();
+        repairs += slot.replica->reforwards();
+      }
+      for_each_server([&repairs](const ps::Server& s) { repairs += s.repl_repairs(); });
+      if (r.replicated_updates > 0) metrics_.incr("replica.forwards", r.replicated_updates);
+      metrics_.set_gauge_max("replica.log_high_water", static_cast<double>(log_hw));
+      r.extra["replication_log_high_water"] = static_cast<double>(log_hw);
+      r.extra["replica_applied"] = static_cast<double>(applied);
+      r.extra["repl_repairs"] = static_cast<double>(repairs);
+    }
     if (r.worker_retries > 0) metrics_.incr("worker.retries", r.worker_retries);
     if (r.server_dedup_hits > 0) metrics_.incr("server.dedup_hits", r.server_dedup_hits);
     r.counters = metrics_.counters();
@@ -459,6 +641,15 @@ class ThreadRun {
   std::vector<std::unique_ptr<ps::Server>> servers_;
   std::unique_ptr<ps::Scheduler> scheduler_;
   std::vector<std::unique_ptr<PerWorker>> workers_;
+  // --- chain replication (src/replica) ---------------------------------
+  replica::ChainLayout chain_;
+  std::unique_ptr<replica::ReplicaGroup> group_;  ///< set iff replication_factor > 1
+  std::deque<ReplicaSlot> replicas_;  // deque: stable addresses for handlers
+  mutable std::mutex head_mu_;  ///< guards head_server_ rebinds at promotion
+  std::vector<ps::Server*> head_server_;  ///< current head of each shard's chain
+  std::vector<double> crash_time_;  ///< last crash wall time per shard
+  std::int64_t failovers_ = 0;
+  double failover_seconds_ = 0.0;
   Stopwatch since_start_;
   std::mutex curve_mu_;
   std::vector<AccuracyPoint> curve_;

@@ -49,6 +49,12 @@ struct PartitionSpec {
 /// Server crash at `crash_time`, restart (from latest checkpoint) at
 /// `restart_time`. restart_time > crash_time required; an infinite
 /// restart_time means the server never comes back.
+///
+/// With chain replication (ExperimentConfig::replication_factor > 1) the
+/// crash targets shard `server_rank`'s *current* chain head — a second crash
+/// of the same rank kills the node promoted by the first — and
+/// `restart_time` is ignored: the runtime promotes the successor after
+/// `failover_detect_seconds` instead of restarting from a checkpoint.
 struct CrashSpec {
   std::uint32_t server_rank = 0;
   double crash_time = 0.0;

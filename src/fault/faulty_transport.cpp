@@ -25,7 +25,10 @@ void FaultyTransport::register_node(net::NodeId node, Handler handler) {
 }
 
 void FaultyTransport::send(net::Message msg) {
-  if (msg.type == net::MsgType::kShutdown) {  // runtime plumbing, never faulted
+  // kShutdown is runtime plumbing; kPromote is the failover view change —
+  // both are control-plane traffic assumed reliable (a real deployment
+  // drives membership through a consensus service, not the lossy data path).
+  if (msg.type == net::MsgType::kShutdown || msg.type == net::MsgType::kPromote) {
     inner_.send(std::move(msg));
     return;
   }

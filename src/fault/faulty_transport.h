@@ -13,6 +13,9 @@
 // a crashing server's queued responses die with it.
 //
 // MsgType::kShutdown is never faulted: it is runtime plumbing, not protocol.
+// MsgType::kPromote is never faulted either: the failover view change is
+// control-plane traffic (a real deployment drives membership through a
+// consensus service, not the lossy data path).
 #pragma once
 
 #include <atomic>

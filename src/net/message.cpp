@@ -19,6 +19,9 @@ const char* to_string(MsgType t) noexcept {
     case MsgType::kShutdown: return "Shutdown";
     case MsgType::kRecover: return "Recover";
     case MsgType::kRecoverAck: return "RecoverAck";
+    case MsgType::kReplicate: return "Replicate";
+    case MsgType::kReplicateAck: return "ReplicateAck";
+    case MsgType::kPromote: return "Promote";
   }
   return "Unknown";
 }
@@ -98,7 +101,7 @@ bool parse_header(const std::uint8_t* data, std::size_t size, Message* m,
                   std::size_t* value_count) noexcept {
   if (data == nullptr || size < kFrameHeaderBytes) return false;
   const std::uint8_t t = data[0];
-  if (t > static_cast<std::uint8_t>(MsgType::kRecoverAck)) return false;
+  if (t > static_cast<std::uint8_t>(MsgType::kPromote)) return false;
   const std::uint64_t count = load<std::uint64_t>(data + 48);
   // Reject count values whose payload cannot possibly fit (also guards the
   // multiplication below against overflow) and frames with trailing slack.

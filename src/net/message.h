@@ -62,6 +62,12 @@ enum class MsgType : std::uint8_t {
   kShutdown = 7,    ///< runtime -> node: stop dispatching
   kRecover = 8,     ///< server -> worker: I restarted from a checkpoint; ack me
   kRecoverAck = 9,  ///< worker -> server: progress = my last fully-acked push
+  // Chain replication (src/replica). kReplicate reuses the existing fields:
+  // request_id carries the chain log sequence number (lsn), seq/progress/
+  // worker_rank describe the original push, server_rank the shard.
+  kReplicate = 10,     ///< chain node -> successor: replicate an applied push
+  kReplicateAck = 11,  ///< chain node -> predecessor: lsn replicated to tail
+  kPromote = 12,       ///< new head -> worker: shard server_rank now lives at src
 };
 
 /// Returns a printable name for logs.

@@ -274,6 +274,44 @@ void TcpTransport::drop_peer(const std::string& key, const std::shared_ptr<Peer>
   }
 }
 
+void TcpTransport::request_redial(const std::string& host, std::uint16_t port) {
+  std::scoped_lock lock(mu_);
+  if (stopping_) return;
+  redial_pending_.emplace(host + ":" + std::to_string(port), std::make_pair(host, port));
+  if (!redialer_.joinable()) redialer_ = std::jthread([this] { redial_loop(); });
+  redial_cv_.notify_all();
+}
+
+void TcpTransport::redial_loop() {
+  std::unique_lock lock(mu_);
+  while (!stopping_) {
+    if (redial_pending_.empty()) {
+      redial_cv_.wait(lock, [this] { return stopping_ || !redial_pending_.empty(); });
+      continue;
+    }
+    const auto batch = std::move(redial_pending_);
+    redial_pending_.clear();
+    const double pause = retry_.max_timeout;
+    lock.unlock();
+    std::map<std::string, std::pair<std::string, std::uint16_t>> still_down;
+    for (const auto& [key, endpoint] : batch) {
+      if (peer_for(endpoint.first, endpoint.second) != nullptr) {
+        reconnects_.fetch_add(1, std::memory_order_relaxed);
+        FPS_LOG(Info) << "tcp: background re-dial to " << key << " succeeded";
+      } else {
+        still_down.emplace(key, endpoint);
+      }
+    }
+    lock.lock();
+    if (still_down.empty() || stopping_) continue;
+    // The peer may still be restarting: park one ladder ceiling, then work
+    // the whole pending set again (shutdown interrupts the wait).
+    for (const auto& [key, endpoint] : still_down) redial_pending_.emplace(key, endpoint);
+    redial_cv_.wait_for(lock, std::chrono::duration<double>(pause),
+                        [this] { return stopping_; });
+  }
+}
+
 void TcpTransport::set_retry_policy(const fault::RetryPolicy& policy) {
   std::scoped_lock lock(mu_);
   retry_ = policy;
@@ -352,11 +390,17 @@ void TcpTransport::send(Message msg) {
     return;
   }
   const auto peer = peer_for(route.first, route.second);
-  if (peer == nullptr) return;
+  if (peer == nullptr) {
+    // Dial budget exhausted; hand the endpoint to the background loop so the
+    // route heals even if no further send targets it.
+    request_redial(route.first, route.second);
+    return;
+  }
   if (!write_message(*peer, msg)) {
     FPS_LOG(Warn) << "tcp: write to node " << msg.dst
-                  << " failed; dropping cached connection (next send re-dials)";
+                  << " failed; dropping cached connection and re-dialing in background";
     drop_peer(route.first + ":" + std::to_string(route.second), peer);
+    request_redial(route.first, route.second);
   }
 }
 
@@ -364,6 +408,7 @@ void TcpTransport::shutdown() {
   std::vector<std::jthread> readers;
   std::map<std::string, std::shared_ptr<Peer>> peers;
   std::vector<int> inbound;
+  std::jthread redialer;
   {
     std::scoped_lock lock(mu_);
     if (stopping_) return;
@@ -371,7 +416,10 @@ void TcpTransport::shutdown() {
     readers.swap(readers_);
     peers.swap(peers_);
     inbound.swap(inbound_fds_);
+    redialer.swap(redialer_);
+    redial_pending_.clear();
   }
+  redial_cv_.notify_all();
   // Unblock reader threads parked in recv() on inbound connections.
   for (const int fd : inbound) ::shutdown(fd, SHUT_RDWR);
   if (listen_fd_ >= 0) {
@@ -400,6 +448,9 @@ std::uint64_t TcpTransport::bytes_sent() const noexcept {
 }
 std::uint64_t TcpTransport::connect_retries() const noexcept {
   return connect_retries_.load(std::memory_order_relaxed);
+}
+std::uint64_t TcpTransport::reconnects() const noexcept {
+  return reconnects_.load(std::memory_order_relaxed);
 }
 
 }  // namespace fluentps::net

@@ -15,9 +15,17 @@
 // park a sender forever; a failed write invalidates the cached connection,
 // and the next send() to that route re-dials (so a restarted peer on the
 // same address is picked up transparently).
+//
+// Mid-run reconnect: a failed write (or an exhausted dial ladder) also hands
+// the endpoint to a background re-dial thread that keeps working the same
+// RetryPolicy ladder, pausing one max_timeout between rounds, until the peer
+// answers or shutdown(). A restarted peer is therefore re-established (and
+// re-sent hello frames, so its routes heal too) even if the application
+// never retries a send on that route.
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -80,6 +88,8 @@ class TcpTransport final : public Transport {
   [[nodiscard]] std::uint64_t bytes_sent() const noexcept;
   /// Re-dial attempts after a failed connect (observability + tests).
   [[nodiscard]] std::uint64_t connect_retries() const noexcept;
+  /// Connections re-established by the background re-dial loop.
+  [[nodiscard]] std::uint64_t reconnects() const noexcept;
 
  private:
   struct Peer {
@@ -98,6 +108,11 @@ class TcpTransport final : public Transport {
   std::shared_ptr<Peer> peer_for(const std::string& host, std::uint16_t port);
   /// Evict a cached connection whose write failed, so the next send re-dials.
   void drop_peer(const std::string& key, const std::shared_ptr<Peer>& peer);
+  /// Queue `host:port` for the background re-dial loop (started lazily).
+  void request_redial(const std::string& host, std::uint16_t port);
+  /// Background thread: re-dials every pending endpoint through the retry
+  /// ladder, pausing one max_timeout between rounds, until success/shutdown.
+  void redial_loop();
   /// Gather-write one message: [u32 length | 56-byte header | payload floats]
   /// via sendmsg, the payload iovec pointing at msg.values.data().
   bool write_message(Peer& peer, const Message& msg);
@@ -115,6 +130,11 @@ class TcpTransport final : public Transport {
   std::jthread acceptor_;
   bool stopping_ = false;
 
+  // Endpoints awaiting a background re-dial: "host:port" -> (host, port).
+  std::map<std::string, std::pair<std::string, std::uint16_t>> redial_pending_;
+  std::condition_variable redial_cv_;
+  std::jthread redialer_;
+
   // Dial policy + jitter stream (guarded by mu_: peer_for races are real).
   fault::RetryPolicy retry_{
       .initial_timeout = 0.25, .max_timeout = 1.0, .backoff = 2.0, .jitter = 0.1, .budget = 3};
@@ -124,6 +144,7 @@ class TcpTransport final : public Transport {
   std::atomic<std::uint64_t> frames_received_{0};
   std::atomic<std::uint64_t> bytes_sent_{0};
   std::atomic<std::uint64_t> connect_retries_{0};
+  std::atomic<std::uint64_t> reconnects_{0};
 };
 
 }  // namespace fluentps::net

@@ -1,0 +1,32 @@
+#include "ps/seq_window.h"
+
+namespace fluentps::ps {
+
+bool SeqWindow::accept(std::uint64_t seq) {
+  if (seq == 0) return true;  // unsequenced senders bypass dedup
+  if (seq <= floor || seen.contains(seq)) return false;
+  seen.insert(seq);
+  // Advance the floor over any now-contiguous prefix.
+  auto it = seen.begin();
+  while (it != seen.end() && *it == floor + 1) {
+    ++floor;
+    it = seen.erase(it);
+  }
+  return true;
+}
+
+void SeqWindow::save(io::Writer& w) const {
+  w.put<std::uint64_t>(floor);
+  w.put<std::uint64_t>(seen.size());
+  for (const std::uint64_t s : seen) w.put<std::uint64_t>(s);
+}
+
+bool SeqWindow::load(io::Reader& r) {
+  floor = r.get<std::uint64_t>();
+  seen.clear();
+  const auto n = r.get<std::uint64_t>();
+  for (std::uint64_t i = 0; i < n && r.ok(); ++i) seen.insert(r.get<std::uint64_t>());
+  return r.ok();
+}
+
+}  // namespace fluentps::ps

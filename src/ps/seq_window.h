@@ -1,0 +1,30 @@
+// Per-sender duplicate-suppression window for the at-least-once reliability
+// layer. Split out of server.h so the chain-replication subsystem
+// (src/replica) can mirror the head's dedup state without depending on the
+// full Server type: replicas maintain one SeqWindow per worker and hand the
+// set to the promoted server at failover, which is what keeps replayed and
+// retransmitted pushes exactly-once across a promotion.
+#pragma once
+
+#include <cstdint>
+#include <set>
+
+#include "common/serialization.h"
+
+namespace fluentps::ps {
+
+/// Per-sender duplicate-suppression window: all sequence numbers <= floor
+/// have been seen; numbers above it live in a sparse set until the floor
+/// catches up. Memory stays O(gap), not O(stream).
+struct SeqWindow {
+  std::uint64_t floor = 0;
+  std::set<std::uint64_t> seen;
+
+  /// True if `seq` is new (and records it). seq 0 bypasses dedup.
+  bool accept(std::uint64_t seq);
+
+  void save(io::Writer& w) const;
+  [[nodiscard]] bool load(io::Reader& r);
+};
+
+}  // namespace fluentps::ps

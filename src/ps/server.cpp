@@ -21,33 +21,6 @@ std::vector<std::size_t> slice_lengths_of(const ShardLayout& layout) {
 
 }  // namespace
 
-bool SeqWindow::accept(std::uint64_t seq) {
-  if (seq == 0) return true;  // unsequenced senders bypass dedup
-  if (seq <= floor || seen.contains(seq)) return false;
-  seen.insert(seq);
-  // Advance the floor over any now-contiguous prefix.
-  auto it = seen.begin();
-  while (it != seen.end() && *it == floor + 1) {
-    ++floor;
-    it = seen.erase(it);
-  }
-  return true;
-}
-
-void SeqWindow::save(io::Writer& w) const {
-  w.put<std::uint64_t>(floor);
-  w.put<std::uint64_t>(seen.size());
-  for (const std::uint64_t s : seen) w.put<std::uint64_t>(s);
-}
-
-bool SeqWindow::load(io::Reader& r) {
-  floor = r.get<std::uint64_t>();
-  seen.clear();
-  const auto n = r.get<std::uint64_t>();
-  for (std::uint64_t i = 0; i < n && r.ok(); ++i) seen.insert(r.get<std::uint64_t>());
-  return r.ok();
-}
-
 Server::Server(ServerSpec spec, net::Transport& transport)
     : node_id_(spec.node_id),
       server_rank_(spec.server_rank),
@@ -66,7 +39,8 @@ Server::Server(ServerSpec spec, net::Transport& transport)
       push_seen_(spec.num_workers),
       recover_base_(spec.num_workers, -1),
       synth_floor_(spec.num_workers, -1),
-      transport_(transport) {
+      transport_(transport),
+      replica_successor_(spec.replica_successor) {
   FPS_CHECK(shard_.size() == layout_.total)
       << "initial shard size " << shard_.size() << " != layout total " << layout_.total;
   // Skip the two whole-shard norm passes per push unless some condition will
@@ -76,6 +50,11 @@ Server::Server(ServerSpec spec, net::Transport& transport)
     FPS_CHECK(worker_nodes_.size() == num_workers_)
         << "reliable server needs the worker node list for recovery";
   }
+  // Chain replication defers worker acks to the ack horizon, which only makes
+  // sense in the at-least-once protocol, and a scheduler-gated baseline
+  // server has no reliability layer to defer through.
+  FPS_CHECK(replica_successor_ == 0 || (reliable_ && !respond_unconditionally_))
+      << "replica_successor requires reliable FluentPS mode";
 }
 
 void Server::handle(net::Message&& msg) {
@@ -89,6 +68,18 @@ void Server::handle(net::Message&& msg) {
     case net::MsgType::kRecoverAck:
       on_recover_ack(std::move(msg));
       break;
+    case net::MsgType::kReplicateAck:
+      on_replicate_ack(std::move(msg));
+      break;
+    case net::MsgType::kReplicate: {
+      // Only a *promoted* head sees kReplicate: in-flight frames from the
+      // crashed predecessor delivered after the failover. Dropping them is
+      // safe — their updates are either already in the adopted state (the
+      // window saw them) or unacked at the worker, which retransmits.
+      std::scoped_lock lock(engine_mu_);
+      ++stale_replicates_;
+      break;
+    }
     case net::MsgType::kShutdown:
       break;  // dispatch loop stops via transport shutdown; nothing to do
     default:
@@ -97,8 +88,11 @@ void Server::handle(net::Message&& msg) {
 }
 
 void Server::on_push(net::Message&& msg) {
+  bool defer_ack = false;  // replication: ack withheld until the ack horizon
   if (reliable_) {
     bool fresh = false;
+    net::Message fwd;  // kReplicate to the successor (fresh or chain repair)
+    bool send_fwd = false;
     {
       std::scoped_lock lock(engine_mu_);
       FPS_CHECK(msg.worker_rank < push_seen_.size()) << "push from unknown worker";
@@ -124,8 +118,54 @@ void Server::on_push(net::Message&& msg) {
         fresh = push_seen_[msg.worker_rank].accept(msg.seq);
         if (!fresh) ++dedup_hits_;
       }
+      if (replica_successor_ != 0) {
+        if (fresh) {
+          // Log + forward before the apply: the window accept and the lsn
+          // assignment must be one atomic step, or a concurrent retransmit
+          // (TCP reader threads) could slip between them, miss the log entry
+          // and ack an unreplicated update. The log owns a copy — fault
+          // injection can re-deliver the forward after `msg` is gone.
+          replica::LogEntry& e =
+              repl_log_.append(msg.worker_rank, msg.seq, msg.progress, msg.values.span());
+          if (ack_pushes_) {
+            e.acks.push_back({msg.src, msg.request_id, msg.seq, msg.progress, msg.worker_rank});
+            defer_ack = true;
+          }
+          fwd = make_replicate(e.lsn, msg.worker_rank, msg.seq, msg.progress);
+          if (transport_.inline_delivery()) {
+            // Zero-copy: bytes consumed inside send(); `msg` outlives it.
+            fwd.values = net::Payload::borrow(msg.values.span());
+          } else {
+            fwd.values.assign(msg.values.begin(), msg.values.end());
+          }
+          send_fwd = true;
+          ++replica_forwards_;
+        } else if (replica::LogEntry* e = repl_log_.find(msg.worker_rank, msg.seq)) {
+          // Retransmit of a push whose lsn has NOT reached the tail yet: the
+          // loss the retry is healing may be *inside the chain* (a dropped
+          // kReplicate or kReplicateAck), so re-forward the entry and keep
+          // the worker's ack deferred — acking now could strand the update.
+          bool recorded = false;
+          for (const replica::DeferredAck& a : e->acks) {
+            if (a.request_id == msg.request_id && a.seq == msg.seq) {
+              recorded = true;
+              break;
+            }
+          }
+          if (!recorded) {
+            e->acks.push_back({msg.src, msg.request_id, msg.seq, msg.progress, msg.worker_rank});
+          }
+          fwd = make_replicate(e->lsn, e->worker_rank, e->seq, e->progress);
+          fwd.values.assign(e->values.begin(), e->values.end());
+          send_fwd = true;
+          defer_ack = true;
+          ++repl_repairs_;
+        }
+      }
     }
+    if (send_fwd) transport_.send(std::move(fwd));
     if (!fresh) {
+      if (defer_ack) return;  // ack released by on_replicate_ack
       // Retransmit of an already-applied push: ack again (the original ack
       // was evidently lost) but touch neither the shard nor the engine.
       net::Message ack;
@@ -157,7 +197,7 @@ void Server::on_push(net::Message&& msg) {
     pushes_applied_.fetch_add(1, std::memory_order_relaxed);
   }
 
-  if (ack_pushes_) {
+  if (ack_pushes_ && !defer_ack) {
     net::Message ack;
     ack.type = net::MsgType::kPushAck;
     ack.src = node_id_;
@@ -443,6 +483,10 @@ void Server::on_recover_ack(net::Message&& msg) {
     const std::int64_t p_acked = msg.progress;
     synth_floor_[w] = std::max(synth_floor_[w], p_acked);
     for (std::int64_t p = recover_base_[w] + 1; p <= p_acked; ++p) {
+      // Each synthesized count is an update the checkpoint restore rolled
+      // back out of the shard — the checkpoint path's lost-update tally that
+      // the chain-failover path keeps at zero (see ablation_replication).
+      ++synth_replayed_;
       const auto released = engine_.on_push(w, p, 0.0);
       for (const std::uint64_t id : released) {
         const auto it = pending_.find(id);
@@ -454,6 +498,121 @@ void Server::on_recover_ack(net::Message&& msg) {
     }
   }
   for (const auto& [pp, id] : to_respond) respond(pp.src, pp.worker_rank, id);
+}
+
+// --- chain replication -----------------------------------------------------
+
+net::Message Server::make_replicate(std::uint64_t lsn, std::uint32_t worker_rank,
+                                    std::uint64_t seq, std::int64_t progress) const {
+  net::Message fwd;
+  fwd.type = net::MsgType::kReplicate;
+  fwd.src = node_id_;
+  fwd.dst = replica_successor_;
+  fwd.request_id = lsn;
+  fwd.seq = seq;
+  fwd.progress = progress;
+  fwd.worker_rank = worker_rank;
+  fwd.server_rank = server_rank_;
+  return fwd;
+}
+
+void Server::on_replicate_ack(net::Message&& msg) {
+  std::vector<replica::DeferredAck> acks;
+  {
+    std::scoped_lock lock(engine_mu_);
+    // Cumulative horizon: every lsn <= request_id reached the tail. Trimmed
+    // entries release the worker acks deferred onto them.
+    repl_log_.trim_to(msg.request_id, [&acks](replica::LogEntry& e) {
+      for (replica::DeferredAck& a : e.acks) acks.push_back(a);
+    });
+  }
+  for (const replica::DeferredAck& a : acks) {
+    net::Message ack;
+    ack.type = net::MsgType::kPushAck;
+    ack.src = node_id_;
+    ack.dst = a.dst;
+    ack.request_id = a.request_id;
+    ack.seq = a.seq;
+    ack.progress = a.progress;
+    ack.server_rank = server_rank_;
+    ack.worker_rank = a.worker_rank;
+    transport_.send(std::move(ack));
+  }
+}
+
+void Server::adopt_replica_state(replica::ReplicaState&& state) {
+  std::scoped_lock lock(engine_mu_);
+  FPS_CHECK(state.shard.size() == layout_.total)
+      << "replica shard size " << state.shard.size() << " != layout total " << layout_.total;
+  FPS_CHECK(state.windows.size() == num_workers_ && state.last_push.size() == num_workers_)
+      << "replica state worker count mismatch";
+  shard_.with_exclusive([&state](std::span<float> values) {
+    std::copy(state.shard.begin(), state.shard.end(), values.begin());
+  });
+  // The mirrored windows make retransmits of already-replicated pushes dedup
+  // hits at the new head — exactly-once across the failover.
+  push_seen_ = std::move(state.windows);
+  // Fresh engine progress, replayed deterministically from what the replica
+  // saw (same zero-significance synthesis the checkpoint path uses, but with
+  // nothing rolled back: replicated state ⊇ worker-acked state).
+  engine_.reset_progress(state.last_push);
+  repl_log_ = std::move(state.log);
+  // In-flight pull bookkeeping died with the old head; workers re-request
+  // through their retry ladder once kPromote rebinds them.
+  pending_.clear();
+  answered_.clear();
+  answered_fifo_.clear();
+  promoted_ = true;
+}
+
+void Server::replay_replication_log() {
+  if (replica_successor_ == 0) return;
+  std::vector<net::Message> msgs;
+  {
+    std::scoped_lock lock(engine_mu_);
+    for (const replica::LogEntry& e : repl_log_.pending()) {
+      net::Message fwd = make_replicate(e.lsn, e.worker_rank, e.seq, e.progress);
+      fwd.values.assign(e.values.begin(), e.values.end());
+      msgs.push_back(std::move(fwd));
+    }
+    replica_forwards_ += static_cast<std::int64_t>(msgs.size());
+  }
+  for (net::Message& m : msgs) transport_.send(std::move(m));
+}
+
+std::size_t Server::replication_pending() const {
+  std::scoped_lock lock(engine_mu_);
+  return repl_log_.size();
+}
+
+std::size_t Server::replication_high_water() const {
+  std::scoped_lock lock(engine_mu_);
+  return repl_log_.high_water();
+}
+
+std::int64_t Server::replica_forwards() const {
+  std::scoped_lock lock(engine_mu_);
+  return replica_forwards_;
+}
+
+std::int64_t Server::repl_repairs() const {
+  std::scoped_lock lock(engine_mu_);
+  return repl_repairs_;
+}
+
+std::int64_t Server::stale_replicates() const {
+  std::scoped_lock lock(engine_mu_);
+  return stale_replicates_;
+}
+
+std::int64_t Server::synth_replayed() const {
+  std::scoped_lock lock(engine_mu_);
+  return synth_replayed_;
+}
+
+bool Server::promoted() const {
+  std::scoped_lock lock(engine_mu_);
+  return promoted_;
 }
 
 }  // namespace fluentps::ps

@@ -48,25 +48,13 @@
 #include "common/serialization.h"
 #include "net/message.h"
 #include "net/transport.h"
+#include "ps/seq_window.h"
 #include "ps/slicing.h"
 #include "ps/striped_shard.h"
 #include "ps/sync_engine.h"
+#include "replica/replication_log.h"
 
 namespace fluentps::ps {
-
-/// Per-sender duplicate-suppression window: all sequence numbers <= floor
-/// have been seen; numbers above it live in a sparse set until the floor
-/// catches up. Memory stays O(gap), not O(stream).
-struct SeqWindow {
-  std::uint64_t floor = 0;
-  std::set<std::uint64_t> seen;
-
-  /// True if `seq` is new (and records it). seq 0 bypasses dedup.
-  bool accept(std::uint64_t seq);
-
-  void save(io::Writer& w) const;
-  [[nodiscard]] bool load(io::Reader& r);
-};
 
 struct ServerSpec {
   net::NodeId node_id = 0;
@@ -92,6 +80,12 @@ struct ServerSpec {
   /// Lock stripes over the shard, boundaries aligned to slice boundaries
   /// (replaces the old whole-shard mutex).
   std::uint32_t apply_stripes = 8;
+  /// Chain replication (DESIGN.md §9): node id of this shard's first replica.
+  /// When non-zero every fresh push is logged and forwarded as kReplicate,
+  /// and its worker ack is withheld until the tail's cumulative kReplicateAck
+  /// covers it — the zero-loss invariant (a worker never holds an ack for an
+  /// update a failover could lose). Requires reliable mode. 0 = no chain.
+  net::NodeId replica_successor = 0;
 };
 
 class Server {
@@ -163,10 +157,50 @@ class Server {
   /// reachable again.
   void begin_recovery();
 
+  // --- chain replication (replica subsystem, DESIGN.md §9) ------------
+
+  /// Failover: install the state a chain successor released — replicated
+  /// shard values, the mirrored per-worker dedup windows (exactly-once across
+  /// the promotion), the last replicated push progress per worker (replayed
+  /// deterministically into a fresh sync engine), and the successor's own
+  /// pending log. In-flight pull bookkeeping is cleared; workers re-request
+  /// via their retry ladder once kPromote rebinds them. No kRecover handshake
+  /// is needed: replicated state is a superset of worker-acked state (acks
+  /// are deferred to the ack horizon), so nothing was rolled back.
+  void adopt_replica_state(replica::ReplicaState&& state);
+
+  /// After adopt_replica_state(): re-forward every still-pending log entry to
+  /// the new successor (when one remains), restarting the ack flow for
+  /// updates the crash stranded mid-chain.
+  void replay_replication_log();
+
+  /// Replication log entries currently awaiting the ack horizon.
+  [[nodiscard]] std::size_t replication_pending() const;
+  /// Largest pending count ever observed — the measured replication lag bound.
+  [[nodiscard]] std::size_t replication_high_water() const;
+  /// kReplicate messages forwarded to the successor (fresh pushes).
+  [[nodiscard]] std::int64_t replica_forwards() const;
+  /// Chain repairs: retransmits that re-forwarded a still-pending entry.
+  [[nodiscard]] std::int64_t repl_repairs() const;
+  /// kReplicate frames ignored because this server is a promoted head (late
+  /// traffic from the crashed predecessor).
+  [[nodiscard]] std::int64_t stale_replicates() const;
+  /// Push counts synthesized by checkpoint recovery (on_recover_ack) — the
+  /// updates the restore rolled back. Stays 0 on the chain-failover path.
+  [[nodiscard]] std::int64_t synth_replayed() const;
+  /// True once adopt_replica_state() installed failover state.
+  [[nodiscard]] bool promoted() const;
+
  private:
   void on_push(net::Message&& msg);
   void on_pull(net::Message&& msg);
   void on_recover_ack(net::Message&& msg);
+  /// Cumulative ack from the successor: trim the log to the horizon and
+  /// release the worker push acks deferred onto the trimmed entries.
+  void on_replicate_ack(net::Message&& msg);
+  /// Header-only kReplicate to the successor (payload attached by callers).
+  [[nodiscard]] net::Message make_replicate(std::uint64_t lsn, std::uint32_t worker_rank,
+                                            std::uint64_t seq, std::int64_t progress) const;
   /// Apply one push's gradient (size layout_.total) with w += g / N,
   /// returning the significance SF = |g|/|w| when the sync model consumes it
   /// (0.0 otherwise — the engine ignores it then).
@@ -244,6 +278,17 @@ class Server {
   std::atomic<std::size_t> max_batch_{0};
   std::int64_t dedup_hits_ = 0;   // under engine_mu_
   std::int64_t recoveries_ = 0;   // under engine_mu_
+
+  // Chain replication (all under engine_mu_). The log holds applied-but-
+  // unacked entries; worker acks deferred onto them are released by
+  // on_replicate_ack as the horizon advances.
+  net::NodeId replica_successor_;
+  replica::ReplicationLog repl_log_;
+  std::int64_t replica_forwards_ = 0;
+  std::int64_t repl_repairs_ = 0;
+  std::int64_t stale_replicates_ = 0;
+  std::int64_t synth_replayed_ = 0;
+  bool promoted_ = false;
 };
 
 }  // namespace fluentps::ps

@@ -200,6 +200,31 @@ bool SyncEngine::load(io::Reader& r) {
          last_push_of_.size() == num_workers_ && significance_of_.size() == num_workers_;
 }
 
+void SyncEngine::reset_progress(const std::vector<std::int64_t>& last_push) {
+  FPS_CHECK(last_push.size() == num_workers_)
+      << "reset_progress worker count " << last_push.size() << " != " << num_workers_;
+  v_train_ = 0;
+  fastest_ = -1;
+  std::fill(progress_of_.begin(), progress_of_.end(), -1);
+  std::fill(last_push_of_.begin(), last_push_of_.end(), -1);
+  counts_.clear();
+  lazy_buffer_.clear();
+  soft_buffer_.clear();
+  std::fill(significance_of_.begin(), significance_of_.end(), 0.0);
+  mean_significance_ = 0.0;
+  significance_samples_ = 0;
+  std::int64_t max_p = -1;
+  for (const std::int64_t p : last_push) max_p = std::max(max_p, p);
+  for (std::int64_t p = 0; p <= max_p; ++p) {
+    for (std::uint32_t w = 0; w < num_workers_; ++w) {
+      // Zero significance, like checkpoint-recovery synthesis: the gradients
+      // themselves live in the shard already. Released ids are discarded —
+      // the DPR buffers were just cleared, so nothing can be pending.
+      if (last_push[w] >= p) (void)on_push(w, p, 0.0);
+    }
+  }
+}
+
 void SyncEngine::set_pull_condition(PullCondition cond) {
   FPS_CHECK(static_cast<bool>(cond)) << "null pull condition";
   model_.pull = std::move(cond);

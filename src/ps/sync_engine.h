@@ -111,6 +111,16 @@ class SyncEngine {
   /// from the constructor spec, which must match the saved num_workers.
   [[nodiscard]] bool load(io::Reader& r);
 
+  /// Chain-failover reset (replica subsystem): discard all progress state and
+  /// deterministically re-count push progress 0..last_push[w] for every
+  /// worker, progress-outer / worker-inner — the same replay order no matter
+  /// which message interleaving produced `last_push` on the replica. Buffered
+  /// DPRs are dropped (workers re-pull via their retry ladder after
+  /// kPromote). Monitoring histograms keep their history; the RNG continues
+  /// from its current stream position (sync *decisions* may diverge from an
+  /// uncrashed engine — applied values never do).
+  void reset_progress(const std::vector<std::int64_t>& last_push);
+
  private:
   struct Buffered {
     std::uint32_t worker;

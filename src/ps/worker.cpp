@@ -93,6 +93,25 @@ void WorkerClient::handle(net::Message&& msg) {
       transport_.send(std::move(ack));
       break;
     }
+    case net::MsgType::kPromote: {
+      // Chain failover: shard server_rank is now served by msg.src. Rebind
+      // and immediately re-offer whatever this worker still has outstanding
+      // toward that shard — the crashed head may have swallowed the original
+      // push/pull, and waiting for the retry timeout would just stall the
+      // round. Duplicate promotes (retries, fan-out races) are no-ops.
+      const std::uint32_t m = msg.server_rank;
+      FPS_CHECK(m < server_nodes_.size()) << "bad server rank in promote: " << m;
+      if (server_nodes_[m] == msg.src) return;
+      server_nodes_[m] = msg.src;
+      if (reliable_) {
+        if (round_unacked_ > 0 && !round_acked_[m]) send_push_locked(m);
+        if (current_ticket_ != 0 && shards_received_ < pull_received_.size() &&
+            !pull_received_[m]) {
+          send_pull_locked(m);
+        }
+      }
+      break;
+    }
     case net::MsgType::kShutdown:
       return;
     default:

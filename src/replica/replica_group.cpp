@@ -1,0 +1,42 @@
+#include "replica/replica_group.h"
+
+#include "common/logging.h"
+
+namespace fluentps::replica {
+
+net::NodeId ChainLayout::node_of(std::uint32_t m, std::uint32_t pos) const {
+  FPS_CHECK(m < num_servers) << "shard rank out of range: " << m;
+  FPS_CHECK(pos < factor) << "chain position " << pos << " out of range for r=" << factor;
+  if (pos == 0) return 1 + m;  // the plain server node id (runtime layout)
+  return 1 + num_servers + num_workers + m * (factor - 1) + (pos - 1);
+}
+
+net::NodeId ChainLayout::successor_of(std::uint32_t m, std::uint32_t pos) const {
+  FPS_CHECK(pos < factor) << "chain position " << pos << " out of range for r=" << factor;
+  return pos + 1 < factor ? node_of(m, pos + 1) : 0;
+}
+
+ReplicaGroup::ReplicaGroup(ChainLayout layout)
+    : layout_(layout), head_pos_(layout.num_servers, 0) {
+  FPS_CHECK(layout_.num_servers > 0 && layout_.factor >= 1) << "empty replica group";
+}
+
+std::uint32_t ReplicaGroup::head_pos(std::uint32_t m) const {
+  FPS_CHECK(m < head_pos_.size()) << "shard rank out of range: " << m;
+  return head_pos_[m];
+}
+
+net::NodeId ReplicaGroup::head_node(std::uint32_t m) const {
+  return layout_.node_of(m, head_pos(m));
+}
+
+bool ReplicaGroup::exhausted(std::uint32_t m) const {
+  return head_pos(m) + 1 >= layout_.factor;
+}
+
+std::uint32_t ReplicaGroup::promote(std::uint32_t m) {
+  FPS_CHECK(!exhausted(m)) << "shard " << m << " chain exhausted: no successor to promote";
+  return ++head_pos_[m];
+}
+
+}  // namespace fluentps::replica

@@ -1,0 +1,63 @@
+// Chain membership for replicated server shards (DESIGN.md §9).
+//
+// ChainLayout is the static node-id geometry: every shard m gets a chain of
+// `factor` server nodes — position 0 is the original head (the plain server
+// node id), positions 1..factor-1 are replica nodes appended after the
+// workers in the global id space, so existing scheduler/server/worker ids
+// are untouched by turning replication on.
+//
+// ReplicaGroup layers the dynamic view on top: which position currently
+// serves as head for each shard. promote() advances it after a head crash;
+// membership itself is static (crashed nodes are not re-admitted — chain
+// repair is future work, see ROADMAP).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/message.h"
+
+namespace fluentps::replica {
+
+struct ChainLayout {
+  std::uint32_t num_servers = 0;
+  std::uint32_t num_workers = 0;
+  std::uint32_t factor = 1;  ///< r: chain length per shard (1 = no replication)
+
+  /// Node id of chain position `pos` (0 = original head) of shard m.
+  [[nodiscard]] net::NodeId node_of(std::uint32_t m, std::uint32_t pos) const;
+
+  /// Successor of position `pos` in shard m's chain; 0 when pos is the tail.
+  [[nodiscard]] net::NodeId successor_of(std::uint32_t m, std::uint32_t pos) const;
+
+  /// Total node count including scheduler, servers, workers and replicas —
+  /// what the sim network model must be sized for.
+  [[nodiscard]] std::uint32_t total_nodes() const noexcept {
+    return 1 + num_servers + num_workers + num_servers * (factor - 1);
+  }
+
+  [[nodiscard]] bool replicated() const noexcept { return factor > 1; }
+};
+
+class ReplicaGroup {
+ public:
+  explicit ReplicaGroup(ChainLayout layout);
+
+  [[nodiscard]] const ChainLayout& layout() const noexcept { return layout_; }
+
+  /// Chain position currently acting as head for shard m.
+  [[nodiscard]] std::uint32_t head_pos(std::uint32_t m) const;
+  [[nodiscard]] net::NodeId head_node(std::uint32_t m) const;
+
+  /// True when no successor remains to promote for shard m.
+  [[nodiscard]] bool exhausted(std::uint32_t m) const;
+
+  /// Advance shard m's head to its successor; returns the new head position.
+  std::uint32_t promote(std::uint32_t m);
+
+ private:
+  ChainLayout layout_;
+  std::vector<std::uint32_t> head_pos_;
+};
+
+}  // namespace fluentps::replica

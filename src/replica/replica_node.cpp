@@ -1,0 +1,158 @@
+#include "replica/replica_node.h"
+
+#include <utility>
+
+#include "common/logging.h"
+
+namespace fluentps::replica {
+
+ReplicaNode::ReplicaNode(ReplicaSpec spec, net::Transport& transport)
+    : node_id_(spec.node_id),
+      server_rank_(spec.server_rank),
+      chain_pos_(spec.chain_pos),
+      successor_(spec.successor),
+      apply_scale_(spec.apply_scale),
+      transport_(transport),
+      shard_(std::move(spec.initial_shard), /*num_stripes=*/1),
+      windows_(spec.num_workers),
+      last_push_(spec.num_workers, -1) {
+  FPS_CHECK(chain_pos_ >= 1) << "chain position 0 is the head, not a replica";
+}
+
+void ReplicaNode::handle(net::Message&& msg) {
+  if (released_) return;  // promoted away; the slot now routes to a Server
+  switch (msg.type) {
+    case net::MsgType::kReplicate: {
+      const std::uint64_t lsn = msg.request_id;
+      if (lsn < next_lsn_) {
+        // Duplicate: upstream retransmitted (worker retry reached the head
+        // again, or a fault duplicated the frame). If the entry is still
+        // pending here the loss may have been *below* us — re-forward it.
+        // If it was trimmed, the tail already saw it — re-ack upstream so a
+        // lost ack heals too. Either way the apply is skipped (exactly-once).
+        ++dup_drops_;
+        if (LogEntry* e = log_.find_lsn(lsn)) {
+          ++reforwards_;
+          forward(*e);
+        } else {
+          ack_upstream(msg.src, lsn);
+        }
+        return;
+      }
+      if (lsn > next_lsn_) {
+        // Out of order (reordering fault): park until the gap fills. The
+        // frame may borrow transport-owned bytes — take ownership first.
+        msg.values.ensure_owned();
+        stash_.insert_or_assign(lsn, std::move(msg));
+        return;
+      }
+      deliver(std::move(msg));
+      // Drain any stashed entries that are now contiguous.
+      for (auto it = stash_.begin(); it != stash_.end() && it->first == next_lsn_;) {
+        net::Message parked = std::move(it->second);
+        it = stash_.erase(it);
+        deliver(std::move(parked));
+      }
+      return;
+    }
+    case net::MsgType::kReplicateAck: {
+      // Cumulative horizon from our successor: trim and propagate upstream.
+      // Group per upstream node so a burst of trims costs one ack each.
+      std::map<net::NodeId, std::uint64_t> horizons;
+      log_.trim_to(msg.request_id, [&](const LogEntry& e) {
+        std::uint64_t& h = horizons[e.upstream];
+        h = std::max(h, e.lsn);
+      });
+      for (const auto& [dst, h] : horizons) ack_upstream(dst, h);
+      return;
+    }
+    case net::MsgType::kShutdown:
+      return;
+    default:
+      FPS_LOG(Warn) << "replica " << node_id_ << " ignoring " << net::to_string(msg.type);
+      return;
+  }
+}
+
+void ReplicaNode::deliver(net::Message&& msg) {
+  const std::uint64_t lsn = msg.request_id;
+  const std::uint32_t w = msg.worker_rank;
+  FPS_CHECK(w < windows_.size()) << "replicate from out-of-range worker " << w;
+
+  // Mirror the head's dedup decision. The head only replicates pushes its own
+  // window accepted, so `fresh` is true here for everything except entries
+  // re-delivered across a promote replay — where skipping is exactly right.
+  const bool fresh = windows_[w].accept(msg.seq);
+  if (fresh && !msg.values.empty()) {
+    const std::span<const float> g = msg.values.span();
+    FPS_CHECK(g.size() == shard_.size())
+        << "replicate size " << g.size() << " != shard " << shard_.size();
+    const std::span<const float> one[] = {g};
+    shard_.apply_batch(one, apply_scale_);
+    ++applied_;
+  }
+  if (fresh) last_push_[w] = std::max(last_push_[w], msg.progress);
+  next_lsn_ = lsn + 1;
+
+  if (successor_ != 0) {
+    LogEntry e;
+    e.lsn = lsn;
+    e.worker_rank = w;
+    e.seq = msg.seq;
+    e.progress = msg.progress;
+    e.values.assign(msg.values.begin(), msg.values.end());
+    e.upstream = msg.src;
+    forward(log_.insert(std::move(e)));
+    ++forwarded_;
+  } else {
+    // Tail: the lsn stream is contiguous here, so acking this lsn is a valid
+    // cumulative horizon.
+    ack_upstream(msg.src, lsn);
+  }
+}
+
+void ReplicaNode::forward(const LogEntry& e) {
+  net::Message fwd;
+  fwd.type = net::MsgType::kReplicate;
+  fwd.src = node_id_;
+  fwd.dst = successor_;
+  fwd.request_id = e.lsn;
+  fwd.seq = e.seq;
+  fwd.progress = e.progress;
+  fwd.worker_rank = e.worker_rank;
+  fwd.server_rank = server_rank_;
+  if (transport_.inline_delivery()) {
+    // Zero-copy: the bytes are consumed inside send(), and the log entry
+    // cannot be trimmed before then (trimming requires the tail ack this
+    // very delivery enables).
+    fwd.values = net::Payload::borrow(e.values);
+  } else {
+    fwd.values.assign(e.values.begin(), e.values.end());
+  }
+  transport_.send(std::move(fwd));
+}
+
+void ReplicaNode::ack_upstream(net::NodeId dst, std::uint64_t lsn) {
+  net::Message ack;
+  ack.type = net::MsgType::kReplicateAck;
+  ack.src = node_id_;
+  ack.dst = dst;
+  ack.request_id = lsn;
+  ack.server_rank = server_rank_;
+  transport_.send(std::move(ack));
+}
+
+ReplicaState ReplicaNode::release_state() {
+  FPS_CHECK(!released_) << "replica " << node_id_ << " released twice";
+  released_ = true;
+  ReplicaState s;
+  s.shard = shard_.snapshot();
+  s.windows = std::move(windows_);
+  s.last_push = std::move(last_push_);
+  if (successor_ == 0) log_.set_next_lsn(next_lsn_);
+  s.log = std::move(log_);
+  stash_.clear();
+  return s;
+}
+
+}  // namespace fluentps::replica

@@ -1,0 +1,109 @@
+// A non-head member of a shard's replication chain (DESIGN.md §9).
+//
+// Receives kReplicate from its predecessor, applies entries strictly in lsn
+// order through the same StripedShard::apply_batch sweep the head uses (same
+// elementwise `w += scale * g`, so the replicated shard stays bit-identical
+// to the head's), mirrors the head's per-worker SeqWindow dedup state, and
+// either forwards downstream (middle, keeping its own pending log) or
+// acknowledges upstream (tail). Acks are cumulative: kReplicateAck(h) means
+// every lsn <= h reached the tail.
+//
+// Loss healing rides on the worker retry ladder, not on chain timers: when a
+// kReplicate is retransmitted for an lsn this node already delivered, the
+// node re-forwards it if the entry is still pending below (the downstream
+// copy may be the one that was lost) and re-acks upstream once it was
+// trimmed (the upstream ack may be the one that was lost).
+//
+// Threading: handle()/release_state() are not internally synchronized — the
+// sim backend is single-context and the thread backend serializes both
+// through the runtime's per-chain-slot mutex (promotion runs on the chaos
+// thread while dispatch keeps delivering).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "net/message.h"
+#include "net/transport.h"
+#include "ps/seq_window.h"
+#include "ps/striped_shard.h"
+#include "replica/replication_log.h"
+
+namespace fluentps::replica {
+
+struct ReplicaSpec {
+  net::NodeId node_id = 0;
+  std::uint32_t server_rank = 0;   ///< shard this chain replicates
+  std::uint32_t chain_pos = 1;     ///< position in the chain (1..r-1)
+  std::uint32_t num_workers = 0;
+  std::vector<float> initial_shard;  ///< must equal the head's initial shard
+  net::NodeId successor = 0;         ///< next chain node; 0 = tail
+  float apply_scale = 1.0f;          ///< 1/N, identical to the head's apply
+};
+
+class ReplicaNode {
+ public:
+  ReplicaNode(ReplicaSpec spec, net::Transport& transport);
+
+  ReplicaNode(const ReplicaNode&) = delete;
+  ReplicaNode& operator=(const ReplicaNode&) = delete;
+
+  /// Transport handler; register with transport.register_node(node_id, ...).
+  void handle(net::Message&& msg);
+
+  /// Promotion handoff: moves the replicated shard, dedup windows, progress
+  /// vector and pending log out (the node stays alive but inert; its
+  /// dispatch slot is rebound to the promoted server by the runtime).
+  [[nodiscard]] ReplicaState release_state();
+
+  [[nodiscard]] net::NodeId node_id() const noexcept { return node_id_; }
+  [[nodiscard]] std::uint32_t rank() const noexcept { return server_rank_; }
+  [[nodiscard]] std::uint32_t chain_pos() const noexcept { return chain_pos_; }
+
+  /// Entries applied to the replicated shard (fresh, value-carrying).
+  [[nodiscard]] std::int64_t applied() const noexcept { return applied_; }
+  /// Entries forwarded downstream (middle nodes only).
+  [[nodiscard]] std::int64_t forwarded() const noexcept { return forwarded_; }
+  /// Duplicate lsns dropped (retransmit/replay traffic).
+  [[nodiscard]] std::int64_t dup_drops() const noexcept { return dup_drops_; }
+  /// Re-forwards triggered by duplicates of still-pending entries (healing).
+  [[nodiscard]] std::int64_t reforwards() const noexcept { return reforwards_; }
+  /// Next lsn this node expects from upstream.
+  [[nodiscard]] std::uint64_t next_lsn() const noexcept { return next_lsn_; }
+  /// Out-of-order entries currently parked (reordered fabric).
+  [[nodiscard]] std::size_t stashed() const noexcept { return stash_.size(); }
+
+  /// Bitwise snapshot of the replicated shard (tests).
+  [[nodiscard]] std::vector<float> snapshot() const { return shard_.snapshot(); }
+
+ private:
+  /// Apply the in-order entry `msg.request_id == next_lsn_` and pass it on.
+  void deliver(net::Message&& msg);
+  void forward(const LogEntry& e);
+  void ack_upstream(net::NodeId dst, std::uint64_t lsn);
+
+  net::NodeId node_id_;
+  std::uint32_t server_rank_;
+  std::uint32_t chain_pos_;
+  net::NodeId successor_;
+  float apply_scale_;
+  net::Transport& transport_;
+
+  // Single stripe: lsn-ordered applies are already serial, and one stripe
+  // guarantees the identical axpy sweep order as the head's (bit-identity).
+  ps::StripedShard shard_;
+  std::vector<ps::SeqWindow> windows_;     // per worker, mirrors the head
+  std::vector<std::int64_t> last_push_;    // per worker, -1 = none
+  ReplicationLog log_;                     // middle nodes: pending downstream
+  std::uint64_t next_lsn_ = 1;
+  std::map<std::uint64_t, net::Message> stash_;  // out-of-order arrivals
+  bool released_ = false;
+
+  std::int64_t applied_ = 0;
+  std::int64_t forwarded_ = 0;
+  std::int64_t dup_drops_ = 0;
+  std::int64_t reforwards_ = 0;
+};
+
+}  // namespace fluentps::replica

@@ -1,0 +1,140 @@
+// Per-shard log of applied-but-unacknowledged updates for chain replication
+// (DESIGN.md §9).
+//
+// The chain head appends every fresh push it applies, stamped with a dense
+// log sequence number (lsn), and forwards it as kReplicate; middle nodes
+// insert the same entries under the head's lsn. Entries are trimmed when the
+// *ack horizon* advances — a cumulative kReplicateAck(h) from the successor
+// means every lsn <= h reached the tail, so the entries (and the worker push
+// acks the head deferred onto them) can be released. The log is therefore
+// bounded by the ack horizon: with one outstanding push round per worker
+// (the reliability layer's invariant) at most num_workers entries are ever
+// pending per shard, plus whatever the chain RTT keeps in flight.
+//
+// Header-only on purpose: ps::Server holds a ReplicationLog (deferring acks
+// onto entries) while replica::ReplicaNode links against fluentps_ps for
+// SeqWindow/StripedShard — a compiled replica->ps->replica cycle would not
+// link, but headers compose fine.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <span>
+#include <vector>
+
+#include "common/logging.h"
+#include "net/message.h"
+#include "ps/seq_window.h"
+
+namespace fluentps::replica {
+
+/// A worker push ack the head owes but withholds until the entry's lsn is
+/// chain-replicated (zero-loss: a worker holding an ack for an update the
+/// failover lost would never retransmit it).
+struct DeferredAck {
+  net::NodeId dst = 0;
+  std::uint64_t request_id = 0;
+  std::uint64_t seq = 0;
+  std::int64_t progress = 0;
+  std::uint32_t worker_rank = 0;
+};
+
+struct LogEntry {
+  std::uint64_t lsn = 0;
+  std::uint32_t worker_rank = 0;
+  std::uint64_t seq = 0;         ///< the original push's sequence number
+  std::int64_t progress = 0;
+  std::vector<float> values;     ///< owned copy; empty = metadata-only push
+  net::NodeId upstream = 0;      ///< chain nodes: where to ack once trimmed
+  std::vector<DeferredAck> acks; ///< head: worker acks deferred to the horizon
+};
+
+class ReplicationLog {
+ public:
+  /// Head append: assigns the next lsn. The values are copied — the log must
+  /// own them because fault injection (dup/delay) can deliver a forwarded
+  /// frame after the borrowed source is gone.
+  LogEntry& append(std::uint32_t worker_rank, std::uint64_t seq, std::int64_t progress,
+                   std::span<const float> values) {
+    LogEntry e;
+    e.lsn = next_lsn_++;
+    e.worker_rank = worker_rank;
+    e.seq = seq;
+    e.progress = progress;
+    e.values.assign(values.begin(), values.end());
+    pending_.push_back(std::move(e));
+    high_water_ = std::max(high_water_, pending_.size());
+    return pending_.back();
+  }
+
+  /// Replica insert: entries arrive in lsn order from upstream and keep the
+  /// head's numbering.
+  LogEntry& insert(LogEntry&& e) {
+    FPS_CHECK(e.lsn == next_lsn_) << "replication log gap: lsn " << e.lsn << " expected "
+                                  << next_lsn_;
+    next_lsn_ = e.lsn + 1;
+    pending_.push_back(std::move(e));
+    high_water_ = std::max(high_water_, pending_.size());
+    return pending_.back();
+  }
+
+  /// Pending entry for a (worker, seq) retransmit, or nullptr if trimmed.
+  [[nodiscard]] LogEntry* find(std::uint32_t worker_rank, std::uint64_t seq) {
+    for (LogEntry& e : pending_) {
+      if (e.worker_rank == worker_rank && e.seq == seq) return &e;
+    }
+    return nullptr;
+  }
+
+  [[nodiscard]] LogEntry* find_lsn(std::uint64_t lsn) {
+    for (LogEntry& e : pending_) {
+      if (e.lsn == lsn) return &e;
+    }
+    return nullptr;
+  }
+
+  /// Advance the ack horizon to `h` (cumulative): trims every entry with
+  /// lsn <= h, invoking `sink(LogEntry&)` on each before it is dropped.
+  template <typename F>
+  void trim_to(std::uint64_t h, F&& sink) {
+    while (!pending_.empty() && pending_.front().lsn <= h) {
+      sink(pending_.front());
+      pending_.pop_front();
+    }
+    horizon_ = std::max(horizon_, h);
+  }
+
+  [[nodiscard]] const std::deque<LogEntry>& pending() const noexcept { return pending_; }
+  [[nodiscard]] std::deque<LogEntry>& pending() noexcept { return pending_; }
+  [[nodiscard]] std::size_t size() const noexcept { return pending_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return pending_.empty(); }
+  /// Next lsn append() would assign (== highest seen + 1 on replicas).
+  [[nodiscard]] std::uint64_t next_lsn() const noexcept { return next_lsn_; }
+  [[nodiscard]] std::uint64_t horizon() const noexcept { return horizon_; }
+  /// Largest pending count ever observed — the measured replication lag bound.
+  [[nodiscard]] std::size_t high_water() const noexcept { return high_water_; }
+
+  /// Tail replicas keep no entries but still track the lsn stream; promotion
+  /// hands the position to the new head through here.
+  void set_next_lsn(std::uint64_t lsn) noexcept { next_lsn_ = lsn; }
+
+ private:
+  std::deque<LogEntry> pending_;
+  std::uint64_t next_lsn_ = 1;
+  std::uint64_t horizon_ = 0;
+  std::size_t high_water_ = 0;
+};
+
+/// Everything a successor hands to the server promoted in its place: the
+/// replicated shard values, the mirrored per-worker dedup windows (exactly-
+/// once across the failover), each worker's last replicated push progress
+/// (sync-engine progress reconciliation), and its own pending log (replayed
+/// downstream when the new head has a successor).
+struct ReplicaState {
+  std::vector<float> shard;
+  std::vector<ps::SeqWindow> windows;
+  std::vector<std::int64_t> last_push;
+  ReplicationLog log;
+};
+
+}  // namespace fluentps::replica

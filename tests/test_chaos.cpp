@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "core/fluentps.h"
 
@@ -187,6 +188,27 @@ TEST(Chaos, FaultEventsAndCountersAreReported) {
   EXPECT_GT(dropped_counter, 0);
   EXPECT_EQ(dropped_counter + down_counter, r.dropped)
       << "Metrics snapshot mirrors the result fields";
+}
+
+TEST(Chaos, ReplicatedChainSurvivesHeadKillMidBatch) {
+  // DESIGN.md §9 acceptance: 10% loss + duplication + a head kill with no
+  // restart. The successor is promoted, workers rebind, and nothing acked is
+  // ever lost — the chain path reports zero rolled-back updates.
+  auto cfg = base_config({"", core::Arch::kFluentPS, "ssp", 2, 0, ps::DprMode::kLazy});
+  cfg.replication_factor = 2;
+  cfg.faults.link.drop_prob = 0.10;
+  cfg.faults.link.dup_prob = 0.05;
+  cfg.faults.crashes.push_back(
+      {/*server_rank=*/0, /*crash=*/0.12, std::numeric_limits<double>::infinity()});
+  const auto r = core::run_experiment(cfg);
+  check_sane(r, cfg);
+  EXPECT_EQ(r.server_crashes, 1);
+  EXPECT_EQ(r.failovers, 1);
+  EXPECT_EQ(r.server_recoveries, 0) << "chain failover replaces checkpoint restore";
+  EXPECT_EQ(r.rolled_back_updates, 0) << "zero lost updates across the head kill";
+  EXPECT_GT(r.replicated_updates, 0);
+  EXPECT_GT(r.dropped, 0);
+  EXPECT_GT(r.server_dedup_hits, 0);
 }
 
 TEST(Chaos, ThreadBackendSurvivesChaos) {

@@ -41,13 +41,38 @@ TEST(Message, SerializeRoundTrip) {
 }
 
 TEST(Message, RoundTripAllTypes) {
-  for (std::uint8_t t = 0; t <= static_cast<std::uint8_t>(MsgType::kShutdown); ++t) {
+  for (std::uint8_t t = 0; t <= static_cast<std::uint8_t>(MsgType::kPromote); ++t) {
     Message m = sample_message();
     m.type = static_cast<MsgType>(t);
     Message out;
     ASSERT_TRUE(Message::deserialize(m.serialize(), &out)) << static_cast<int>(t);
     EXPECT_EQ(out.type, m.type);
   }
+}
+
+TEST(Message, ReplicationTypesRoundTripWithLsn) {
+  // kReplicate carries the chain lsn in request_id plus the original push's
+  // (worker, seq, progress) and the values; kReplicateAck is the cumulative
+  // horizon, control-sized.
+  Message m = sample_message();
+  m.type = MsgType::kReplicate;
+  m.request_id = 42;  // lsn
+  m.seq = 7;
+  Message out;
+  ASSERT_TRUE(Message::deserialize(m.serialize(), &out));
+  EXPECT_EQ(out.type, MsgType::kReplicate);
+  EXPECT_EQ(out.request_id, 42u);
+  EXPECT_EQ(out.seq, 7u);
+  EXPECT_EQ(out.values, m.values);
+  EXPECT_NE(to_string(MsgType::kReplicate), to_string(MsgType::kReplicateAck));
+  EXPECT_STREQ(to_string(MsgType::kPromote), "Promote");
+}
+
+TEST(Message, TypePastPromoteRejected) {
+  auto frame = sample_message().serialize();
+  frame[0] = static_cast<std::uint8_t>(MsgType::kPromote) + 1;
+  Message out;
+  EXPECT_FALSE(Message::deserialize(frame, &out));
 }
 
 TEST(Message, EmptyValuesRoundTrip) {

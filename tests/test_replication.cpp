@@ -1,0 +1,567 @@
+// Chain-replication subsystem tests (DESIGN.md §9): ChainLayout geometry,
+// ReplicationLog horizon bookkeeping, a scripted head+replica chain rig
+// (deferred worker acks, chain repair on retransmit, out-of-order stash,
+// promotion handoff with exactly-once dedup), and end-to-end failover runs on
+// both backends — including the acceptance oracle that a head kill mid-run
+// loses nothing (bit-identical final parameters vs the fault-free run).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <limits>
+#include <memory>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/fluentps.h"
+#include "net/transport.h"
+#include "ps/server.h"
+#include "ps/slicing.h"
+#include "replica/replica_group.h"
+#include "replica/replica_node.h"
+#include "replica/replication_log.h"
+
+namespace fluentps {
+namespace {
+
+using replica::ChainLayout;
+using replica::ReplicaGroup;
+using replica::ReplicationLog;
+
+TEST(ChainLayout, NodeGeometryAppendsReplicasAfterWorkers) {
+  const ChainLayout c{/*num_servers=*/2, /*num_workers=*/3, /*factor=*/3};
+  EXPECT_TRUE(c.replicated());
+  EXPECT_EQ(c.total_nodes(), 1u + 2u + 3u + 2u * 2u);
+  // Heads keep the plain server ids; replicas are appended after the workers.
+  EXPECT_EQ(c.node_of(0, 0), 1u);
+  EXPECT_EQ(c.node_of(1, 0), 2u);
+  EXPECT_EQ(c.node_of(0, 1), 6u);
+  EXPECT_EQ(c.node_of(0, 2), 7u);
+  EXPECT_EQ(c.node_of(1, 1), 8u);
+  EXPECT_EQ(c.node_of(1, 2), 9u);
+  // Successors walk the chain; the tail has none.
+  EXPECT_EQ(c.successor_of(0, 0), 6u);
+  EXPECT_EQ(c.successor_of(0, 1), 7u);
+  EXPECT_EQ(c.successor_of(0, 2), 0u);
+  const ChainLayout flat{2, 3, 1};
+  EXPECT_FALSE(flat.replicated());
+  EXPECT_EQ(flat.total_nodes(), 6u);
+  EXPECT_EQ(flat.successor_of(0, 0), 0u);
+}
+
+TEST(ReplicationLog, AppendAssignsDenseLsnsAndTrimsCumulatively) {
+  ReplicationLog log;
+  const std::vector<float> g{1.0f, 2.0f};
+  EXPECT_EQ(log.append(0, 1, 0, g).lsn, 1u);
+  EXPECT_EQ(log.append(1, 1, 0, g).lsn, 2u);
+  EXPECT_EQ(log.append(0, 2, 1, g).lsn, 3u);
+  EXPECT_EQ(log.size(), 3u);
+  EXPECT_EQ(log.high_water(), 3u);
+  ASSERT_NE(log.find(1, 1), nullptr);
+  EXPECT_EQ(log.find(1, 1)->lsn, 2u);
+  EXPECT_EQ(log.find(1, 9), nullptr);
+  ASSERT_NE(log.find_lsn(3), nullptr);
+  std::vector<std::uint64_t> trimmed;
+  log.trim_to(2, [&trimmed](const replica::LogEntry& e) { trimmed.push_back(e.lsn); });
+  EXPECT_EQ(trimmed, (std::vector<std::uint64_t>{1, 2}));
+  EXPECT_EQ(log.size(), 1u);
+  EXPECT_EQ(log.horizon(), 2u);
+  EXPECT_EQ(log.high_water(), 3u) << "high water survives trims";
+  log.trim_to(1, [](const replica::LogEntry&) { FAIL() << "horizon is cumulative"; });
+  EXPECT_EQ(log.horizon(), 2u);
+  EXPECT_EQ(log.next_lsn(), 4u);
+}
+
+TEST(ReplicationLog, InsertKeepsUpstreamNumbering) {
+  ReplicationLog log;
+  log.set_next_lsn(5);
+  replica::LogEntry e;
+  e.lsn = 5;
+  e.worker_rank = 2;
+  e.seq = 7;
+  log.insert(std::move(e));
+  EXPECT_EQ(log.next_lsn(), 6u);
+  ASSERT_NE(log.find(2, 7), nullptr);
+}
+
+TEST(ReplicaGroup, PromoteAdvancesHeadUntilExhausted) {
+  ReplicaGroup g{ChainLayout{1, 2, 3}};
+  EXPECT_EQ(g.head_pos(0), 0u);
+  EXPECT_EQ(g.head_node(0), 1u);
+  EXPECT_FALSE(g.exhausted(0));
+  EXPECT_EQ(g.promote(0), 1u);
+  EXPECT_EQ(g.head_node(0), g.layout().node_of(0, 1));
+  EXPECT_FALSE(g.exhausted(0));
+  EXPECT_EQ(g.promote(0), 2u);
+  EXPECT_TRUE(g.exhausted(0)) << "no successor remains after the tail";
+}
+
+// ---------------------------------------------------------------------------
+// Scripted chain rig: a reliable head Server plus 1-2 ReplicaNodes wired over
+// a routing transport the test pumps message by message.
+// ---------------------------------------------------------------------------
+
+constexpr std::size_t kParams = 8;
+constexpr net::NodeId kHead = 1;
+constexpr net::NodeId kMid = 10;
+constexpr net::NodeId kTail = 11;
+constexpr net::NodeId kWorkerNode = 100;
+
+struct RouterTransport final : net::Transport {
+  std::unordered_map<net::NodeId, Handler> handlers;
+  std::deque<net::Message> queue;
+  std::vector<net::Message> worker_inbox;  ///< messages to unregistered nodes
+
+  void register_node(net::NodeId n, Handler h) override { handlers[n] = std::move(h); }
+  void send(net::Message msg) override {
+    msg.values.ensure_owned();
+    queue.push_back(std::move(msg));
+  }
+
+  /// Deliver the oldest queued message; unregistered destinations (the
+  /// scripted worker) land in worker_inbox.
+  bool step() {
+    if (queue.empty()) return false;
+    net::Message m = std::move(queue.front());
+    queue.pop_front();
+    const auto it = handlers.find(m.dst);
+    if (it != handlers.end()) {
+      it->second(std::move(m));
+    } else {
+      worker_inbox.push_back(std::move(m));
+    }
+    return true;
+  }
+  void pump() {
+    while (step()) {
+    }
+  }
+
+  /// Remove and discard the first queued message of the given type
+  /// (scripting a lossy link for exactly that frame).
+  bool drop_first(net::MsgType t) {
+    for (auto it = queue.begin(); it != queue.end(); ++it) {
+      if (it->type == t) {
+        queue.erase(it);
+        return true;
+      }
+    }
+    return false;
+  }
+
+  [[nodiscard]] std::size_t acks() const {
+    return static_cast<std::size_t>(
+        std::count_if(worker_inbox.begin(), worker_inbox.end(),
+                      [](const net::Message& m) { return m.type == net::MsgType::kPushAck; }));
+  }
+};
+
+struct ChainRig {
+  RouterTransport net;
+  std::unique_ptr<ps::Server> head;
+  std::unique_ptr<replica::ReplicaNode> mid;   // factor 3 only
+  std::unique_ptr<replica::ReplicaNode> tail;
+  ps::Sharding sharding;
+
+  explicit ChainRig(std::uint32_t factor) {
+    ps::EpsSlicer slicer(kParams);
+    sharding = slicer.shard({kParams}, 1);
+    head = std::make_unique<ps::Server>(make_head_spec(factor == 2 ? kTail : kMid), net);
+    net.register_node(kHead, [this](net::Message&& m) { head->handle(std::move(m)); });
+    if (factor == 3) {
+      mid = make_replica(1, kMid, kTail);
+      net.register_node(kMid, [this](net::Message&& m) { mid->handle(std::move(m)); });
+      tail = make_replica(2, kTail, 0);
+    } else {
+      tail = make_replica(1, kTail, 0);
+    }
+    net.register_node(kTail, [this](net::Message&& m) { tail->handle(std::move(m)); });
+  }
+
+  [[nodiscard]] ps::ServerSpec make_head_spec(net::NodeId successor) const {
+    ps::ServerSpec spec;
+    spec.node_id = kHead;
+    spec.server_rank = 0;
+    spec.num_workers = 1;
+    spec.layout = sharding.shards[0];
+    spec.initial_shard.assign(kParams, 0.0f);
+    spec.engine.num_workers = 1;
+    spec.engine.model = ps::make_sync_model({.kind = "asp"}, 1);
+    spec.engine.seed = 5;
+    spec.reliable = true;
+    spec.worker_nodes = {kWorkerNode};
+    spec.replica_successor = successor;
+    return spec;
+  }
+
+  [[nodiscard]] std::unique_ptr<replica::ReplicaNode> make_replica(std::uint32_t pos,
+                                                                   net::NodeId node,
+                                                                   net::NodeId successor) {
+    replica::ReplicaSpec spec;
+    spec.node_id = node;
+    spec.server_rank = 0;
+    spec.chain_pos = pos;
+    spec.num_workers = 1;
+    spec.initial_shard.assign(kParams, 0.0f);
+    spec.successor = successor;
+    spec.apply_scale = 1.0f;  // N = 1
+    return std::make_unique<replica::ReplicaNode>(std::move(spec), net);
+  }
+
+  void push(std::uint64_t seq, float value) {
+    net::Message m;
+    m.type = net::MsgType::kPush;
+    m.src = kWorkerNode;
+    m.dst = kHead;
+    m.worker_rank = 0;
+    m.request_id = 1000 + seq;
+    m.seq = seq;
+    m.progress = static_cast<std::int64_t>(seq) - 1;
+    m.values.assign(kParams, value);
+    head->handle(std::move(m));
+  }
+
+  [[nodiscard]] std::vector<float> head_snapshot() const {
+    std::vector<float> flat(kParams, 0.0f);
+    head->snapshot_into(flat);
+    return flat;
+  }
+};
+
+TEST(Chain, TailAckReleasesDeferredWorkerAck) {
+  ChainRig rig(2);
+  rig.push(1, 1.0f);
+  // The head applied and forwarded, but the worker ack is withheld until the
+  // tail's cumulative ack covers the entry.
+  EXPECT_EQ(rig.head->replication_pending(), 1u);
+  EXPECT_EQ(rig.net.acks(), 0u);
+  ASSERT_TRUE(rig.net.step());  // kReplicate -> tail
+  EXPECT_EQ(rig.tail->applied(), 1);
+  ASSERT_TRUE(rig.net.step());  // kReplicateAck -> head
+  rig.net.pump();
+  EXPECT_EQ(rig.net.acks(), 1u);
+  EXPECT_EQ(rig.head->replication_pending(), 0u);
+  EXPECT_EQ(rig.head->replica_forwards(), 1);
+  EXPECT_EQ(rig.head_snapshot(), rig.tail->snapshot()) << "replica mirrors the head bitwise";
+}
+
+TEST(Chain, ThreeNodeChainPropagatesInOrderAndTrims) {
+  ChainRig rig(3);
+  rig.push(1, 1.0f);
+  rig.push(2, 0.5f);
+  rig.push(3, 0.25f);
+  rig.net.pump();
+  EXPECT_EQ(rig.net.acks(), 3u);
+  EXPECT_EQ(rig.mid->applied(), 3);
+  EXPECT_EQ(rig.mid->forwarded(), 3);
+  EXPECT_EQ(rig.tail->applied(), 3);
+  EXPECT_EQ(rig.head->replication_pending(), 0u);
+  EXPECT_GE(rig.head->replication_high_water(), 1u);
+  const auto expect = std::vector<float>(kParams, 1.75f);
+  EXPECT_EQ(rig.head_snapshot(), expect);
+  EXPECT_EQ(rig.mid->snapshot(), expect);
+  EXPECT_EQ(rig.tail->snapshot(), expect);
+}
+
+TEST(Chain, RetransmitOfPendingEntryRepairsTheChain) {
+  ChainRig rig(2);
+  rig.push(1, 1.0f);
+  ASSERT_TRUE(rig.net.drop_first(net::MsgType::kReplicate)) << "script: lose the forward";
+  rig.net.pump();
+  EXPECT_EQ(rig.net.acks(), 0u) << "entry stranded mid-chain: ack stays deferred";
+  // The worker's retry ladder re-offers the push; the head re-forwards the
+  // still-pending entry instead of acking an unreplicated update.
+  rig.push(1, 1.0f);
+  EXPECT_EQ(rig.head->repl_repairs(), 1);
+  rig.net.pump();
+  EXPECT_EQ(rig.net.acks(), 1u) << "exactly one ack despite the duplicate";
+  EXPECT_EQ(rig.tail->applied(), 1);
+  EXPECT_EQ(rig.head_snapshot(), std::vector<float>(kParams, 1.0f)) << "applied exactly once";
+  EXPECT_EQ(rig.head_snapshot(), rig.tail->snapshot());
+
+  // Retransmit after the horizon advanced: plain dedup, immediate re-ack,
+  // nothing new on the chain.
+  rig.push(1, 1.0f);
+  EXPECT_EQ(rig.net.queue.size(), 1u);
+  rig.net.pump();
+  EXPECT_EQ(rig.net.acks(), 2u);
+  EXPECT_EQ(rig.tail->applied(), 1);
+  EXPECT_GE(rig.head->dedup_hits(), 1);
+}
+
+TEST(Chain, OutOfOrderReplicatesStashUntilContiguous) {
+  ChainRig rig(2);
+  rig.push(1, 1.0f);
+  rig.push(2, 0.5f);
+  ASSERT_EQ(rig.net.queue.size(), 2u);
+  std::swap(rig.net.queue[0], rig.net.queue[1]);  // script a reordering fabric
+  ASSERT_TRUE(rig.net.step());                    // lsn 2 arrives first
+  EXPECT_EQ(rig.tail->applied(), 0);
+  EXPECT_EQ(rig.tail->stashed(), 1u);
+  rig.net.pump();  // lsn 1 arrives; the stash drains in order
+  EXPECT_EQ(rig.tail->applied(), 2);
+  EXPECT_EQ(rig.tail->stashed(), 0u);
+  EXPECT_EQ(rig.net.acks(), 2u);
+  EXPECT_EQ(rig.head_snapshot(), rig.tail->snapshot());
+}
+
+TEST(Chain, PromoteAdoptsStateAndDedupsRetransmits) {
+  ChainRig rig(2);
+  // seq 1 fully replicated and acked.
+  rig.push(1, 1.0f);
+  rig.net.pump();
+  // seq 2 reaches the tail but the tail's ack is lost: worker unacked.
+  rig.push(2, 0.5f);
+  ASSERT_TRUE(rig.net.step());
+  ASSERT_TRUE(rig.net.drop_first(net::MsgType::kReplicateAck));
+  // seq 3 never leaves the head: the forward is lost, then the head crashes.
+  rig.push(3, 0.25f);
+  ASSERT_TRUE(rig.net.drop_first(net::MsgType::kReplicate));
+  EXPECT_EQ(rig.net.acks(), 1u);
+
+  // Failover: promote the tail in place.
+  ps::ServerSpec spec = rig.make_head_spec(/*successor=*/0);
+  spec.node_id = kTail;
+  ps::Server promoted(std::move(spec), rig.net);
+  promoted.adopt_replica_state(rig.tail->release_state());
+  promoted.replay_replication_log();  // tail: nothing pending, no successor
+  EXPECT_TRUE(promoted.promoted());
+  rig.net.register_node(kTail, [&promoted](net::Message&& m) { promoted.handle(std::move(m)); });
+
+  // The worker retransmits everything unacked to the new head. seq 2 was
+  // already replicated -> dedup hit, re-ack, no double apply; seq 3 was lost
+  // with the crashed head -> fresh apply.
+  auto retransmit = [&rig](std::uint64_t seq, float value) {
+    net::Message m;
+    m.type = net::MsgType::kPush;
+    m.src = kWorkerNode;
+    m.dst = kTail;
+    m.worker_rank = 0;
+    m.request_id = 1000 + seq;
+    m.seq = seq;
+    m.progress = static_cast<std::int64_t>(seq) - 1;
+    m.values.assign(kParams, value);
+    rig.net.queue.push_back(std::move(m));
+  };
+  retransmit(2, 0.5f);
+  retransmit(3, 0.25f);
+  rig.net.pump();
+  EXPECT_EQ(rig.net.acks(), 3u);
+  EXPECT_GE(promoted.dedup_hits(), 1) << "mirrored windows dedup across the failover";
+  EXPECT_EQ(promoted.synth_replayed(), 0) << "nothing was rolled back";
+  std::vector<float> flat(kParams, 0.0f);
+  promoted.snapshot_into(flat);
+  EXPECT_EQ(flat, std::vector<float>(kParams, 1.75f)) << "each update applied exactly once";
+
+  // Late kReplicate from the dead predecessor is dropped, not applied.
+  net::Message stale;
+  stale.type = net::MsgType::kReplicate;
+  stale.src = kHead;
+  stale.dst = kTail;
+  stale.request_id = 2;
+  stale.seq = 2;
+  stale.worker_rank = 0;
+  stale.values.assign(kParams, 9.0f);
+  promoted.handle(std::move(stale));
+  EXPECT_EQ(promoted.stale_replicates(), 1);
+  std::vector<float> after(kParams, 0.0f);
+  promoted.snapshot_into(after);
+  EXPECT_EQ(after, flat);
+}
+
+TEST(Chain, PromotedMiddleReplaysItsLogDownstream) {
+  ChainRig rig(3);
+  // The entry reaches the middle (which logs + forwards) but the forward to
+  // the tail is lost; then the head dies.
+  rig.push(1, 1.0f);
+  ASSERT_TRUE(rig.net.step());  // kReplicate head -> mid
+  ASSERT_TRUE(rig.net.drop_first(net::MsgType::kReplicate));
+  EXPECT_EQ(rig.mid->applied(), 1);
+  EXPECT_EQ(rig.tail->applied(), 0);
+
+  ps::ServerSpec spec = rig.make_head_spec(/*successor=*/kTail);
+  spec.node_id = kMid;
+  ps::Server promoted(std::move(spec), rig.net);
+  promoted.adopt_replica_state(rig.mid->release_state());
+  rig.net.register_node(kMid, [&promoted](net::Message&& m) { promoted.handle(std::move(m)); });
+  EXPECT_EQ(promoted.replication_pending(), 1u) << "adopted the stranded entry";
+  promoted.replay_replication_log();
+  rig.net.pump();
+  EXPECT_EQ(rig.tail->applied(), 1);
+  EXPECT_EQ(promoted.replication_pending(), 0u) << "tail ack trimmed the replayed entry";
+  std::vector<float> flat(kParams, 0.0f);
+  promoted.snapshot_into(flat);
+  EXPECT_EQ(flat, rig.tail->snapshot());
+  // The worker's retransmit (its ack died with the old head) dedups.
+  net::Message m;
+  m.type = net::MsgType::kPush;
+  m.src = kWorkerNode;
+  m.dst = kMid;
+  m.worker_rank = 0;
+  m.request_id = 1001;
+  m.seq = 1;
+  m.progress = 0;
+  m.values.assign(kParams, 1.0f);
+  promoted.handle(std::move(m));
+  rig.net.pump();
+  EXPECT_GE(rig.net.acks(), 1u);
+  EXPECT_EQ(rig.tail->applied(), 1) << "dedup: no second apply anywhere on the chain";
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end failover through the runtimes.
+// ---------------------------------------------------------------------------
+
+core::ExperimentConfig replicated_config(std::uint32_t r) {
+  core::ExperimentConfig cfg;
+  cfg.backend = core::Backend::kSim;
+  cfg.arch = core::Arch::kFluentPS;
+  cfg.num_workers = 1;  // single worker: total apply order is fixed, so final
+                        // parameters are bit-comparable across runs
+  cfg.num_servers = 1;
+  cfg.max_iters = 40;
+  cfg.sync.kind = "ssp";
+  cfg.sync.staleness = 2;
+  cfg.model.kind = "softmax";
+  cfg.data.num_train = 128;
+  cfg.data.num_test = 32;
+  cfg.batch_size = 8;
+  cfg.compute.kind = "lognormal";
+  cfg.compute.base_seconds = 0.01;
+  cfg.seed = 77;
+  cfg.retry.initial_timeout = 0.02;
+  cfg.retry.max_timeout = 0.3;
+  cfg.replication_factor = r;
+  return cfg;
+}
+
+void expect_bit_identical(const core::ExperimentResult& a, const core::ExperimentResult& b) {
+  ASSERT_EQ(a.final_params.size(), b.final_params.size());
+  for (std::size_t i = 0; i < a.final_params.size(); ++i) {
+    ASSERT_EQ(a.final_params[i], b.final_params[i]) << "param " << i;
+  }
+}
+
+TEST(ReplicationE2E, SteadyStateMatchesUnreplicatedBitwise) {
+  // r=2 on a pristine fabric: the chain defers acks but applies the same
+  // updates in the same order, so the learned parameters are bit-identical
+  // to plain reliable mode.
+  auto cfg1 = replicated_config(1);
+  cfg1.force_reliability = true;
+  const auto base = core::run_experiment(cfg1);
+  auto cfg2 = replicated_config(2);
+  const auto repl = core::run_experiment(cfg2);
+  expect_bit_identical(base, repl);
+  EXPECT_EQ(base.replicated_updates, 0);
+  EXPECT_GT(repl.replicated_updates, 0);
+  EXPECT_EQ(repl.failovers, 0);
+  EXPECT_EQ(repl.rolled_back_updates, 0);
+  // Ack-horizon bound: one outstanding push round per worker.
+  const auto it = repl.extra.find("replication_log_high_water");
+  ASSERT_NE(it, repl.extra.end());
+  EXPECT_GT(it->second, 0.0);
+  EXPECT_LE(it->second, static_cast<double>(cfg2.num_workers));
+}
+
+TEST(ReplicationE2E, HeadKillFailoverLosesNothing) {
+  // Acceptance oracle: kill the chain head mid-run; after promotion the run
+  // must finish with final parameters bit-identical to the fault-free
+  // replicated run — zero lost updates.
+  auto cfg = replicated_config(2);
+  const auto clean = core::run_experiment(cfg);
+  cfg.faults.crashes.push_back(
+      {/*server_rank=*/0, /*crash=*/0.12, std::numeric_limits<double>::infinity()});
+  const auto crashed = core::run_experiment(cfg);
+  expect_bit_identical(clean, crashed);
+  EXPECT_EQ(crashed.server_crashes, 1);
+  EXPECT_EQ(crashed.failovers, 1);
+  EXPECT_EQ(crashed.rolled_back_updates, 0);
+  EXPECT_EQ(crashed.server_recoveries, 0) << "no checkpoint restore on the chain path";
+  EXPECT_GT(crashed.failover_seconds, 0.0);
+  bool saw_promoted = false;
+  for (const auto& e : crashed.fault_events) saw_promoted |= e.kind == "promoted";
+  EXPECT_TRUE(saw_promoted);
+}
+
+TEST(ReplicationE2E, FailoverRunsAreDeterministic) {
+  auto cfg = replicated_config(2);
+  cfg.faults.crashes.push_back({0, 0.12, std::numeric_limits<double>::infinity()});
+  const auto a = core::run_experiment(cfg);
+  const auto b = core::run_experiment(cfg);
+  expect_bit_identical(a, b);
+  EXPECT_EQ(a.failovers, b.failovers);
+  EXPECT_EQ(a.messages, b.messages);
+  EXPECT_DOUBLE_EQ(a.failover_seconds, b.failover_seconds);
+  EXPECT_DOUBLE_EQ(a.total_time, b.total_time);
+}
+
+TEST(ReplicationE2E, CheckpointRollbackLosesUpdatesChainFailoverDoesNot) {
+  // The ablation claim as a test: a checkpoint restore rolls back every
+  // update applied since the last interval (recovery re-synthesizes their
+  // counts), while chain failover promotes a replica that already holds them.
+  auto ckpt = replicated_config(1);
+  ckpt.num_workers = 4;
+  ckpt.faults.checkpoint_every = 0.05;
+  ckpt.faults.crashes.push_back({0, 0.17, 0.3});
+  const auto a = core::run_experiment(ckpt);
+  EXPECT_EQ(a.server_recoveries, 1);
+  EXPECT_GT(a.rolled_back_updates, 0) << "checkpoint path rolls back the tail interval";
+
+  auto chain = replicated_config(2);
+  chain.num_workers = 4;
+  chain.faults.crashes.push_back({0, 0.17, std::numeric_limits<double>::infinity()});
+  const auto b = core::run_experiment(chain);
+  EXPECT_EQ(b.failovers, 1);
+  EXPECT_EQ(b.rolled_back_updates, 0) << "chain failover loses nothing";
+}
+
+TEST(ReplicationE2E, RepeatedHeadKillsWalkTheChain) {
+  // r=3 survives two crashes of the same shard: the second kill hits the
+  // node promoted by the first.
+  auto cfg = replicated_config(3);
+  cfg.faults.crashes.push_back({0, 0.10, std::numeric_limits<double>::infinity()});
+  cfg.faults.crashes.push_back({0, 0.25, std::numeric_limits<double>::infinity()});
+  const auto clean = core::run_experiment(replicated_config(3));
+  const auto r = core::run_experiment(cfg);
+  expect_bit_identical(clean, r);
+  EXPECT_EQ(r.server_crashes, 2);
+  EXPECT_EQ(r.failovers, 2);
+  EXPECT_EQ(r.rolled_back_updates, 0);
+}
+
+TEST(ReplicationE2E, ThreadBackendFailsOverUnderChaos) {
+  // Wall-clock failover on real threads: lossy links + a head kill with no
+  // restart; the promoted replica must carry the run to completion.
+  core::ExperimentConfig cfg;
+  cfg.backend = core::Backend::kThreads;
+  cfg.arch = core::Arch::kFluentPS;
+  cfg.num_workers = 3;
+  cfg.num_servers = 2;
+  cfg.max_iters = 30;
+  cfg.sync.kind = "ssp";
+  cfg.sync.staleness = 2;
+  cfg.model.kind = "softmax";
+  cfg.data.num_train = 256;
+  cfg.data.num_test = 64;
+  cfg.batch_size = 8;
+  cfg.seed = 9;
+  cfg.retry.initial_timeout = 0.02;
+  cfg.retry.max_timeout = 0.2;
+  cfg.replication_factor = 2;
+  cfg.faults.link.drop_prob = 0.05;
+  cfg.faults.crashes.push_back({0, 0.15, std::numeric_limits<double>::infinity()});
+  const auto r = core::run_experiment(cfg);
+  EXPECT_EQ(r.iterations, cfg.max_iters);
+  ASSERT_FALSE(r.final_params.empty());
+  for (const float v : r.final_params) ASSERT_TRUE(std::isfinite(v));
+  EXPECT_EQ(r.server_crashes, 1);
+  EXPECT_EQ(r.failovers, 1);
+  EXPECT_EQ(r.rolled_back_updates, 0);
+  EXPECT_EQ(r.server_recoveries, 0);
+  EXPECT_GT(r.replicated_updates, 0);
+}
+
+}  // namespace
+}  // namespace fluentps

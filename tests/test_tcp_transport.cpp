@@ -229,6 +229,67 @@ TEST(TcpTransport, ReconnectsAfterPeerRestart) {
   b2.shutdown();
 }
 
+TEST(TcpTransport, BackgroundRedialHealsRouteWithoutNewSends) {
+  // Mid-run reconnect: once a write fails, the endpoint moves to the
+  // background re-dial loop, which keeps working the RetryPolicy ladder on
+  // its own. When the peer restarts on the same address the connection (and
+  // the hello-learned routes) come back with NO further application sends.
+  TcpTransport a;
+  fault::RetryPolicy p;
+  p.initial_timeout = 0.02;
+  p.max_timeout = 0.05;
+  p.backoff = 2.0;
+  p.jitter = 0.0;
+  p.budget = 2;
+  a.set_retry_policy(p);
+
+  std::uint16_t port = 0;
+  {
+    TcpTransport b1;
+    Sink sink1;
+    b1.register_node(2, sink1.handler());
+    port = b1.listen();
+    a.add_route(2, "127.0.0.1", port);
+    Message m;
+    m.dst = 2;
+    a.send(std::move(m));
+    ASSERT_TRUE(sink1.wait_for(1));
+    b1.shutdown();
+  }
+
+  // Poke the dead connection until the RST surfaces as a write failure and
+  // the endpoint lands in the background loop (the first writes may drain
+  // into the OS send buffer).
+  for (int i = 0; i < 10; ++i) {
+    Message m;
+    m.dst = 2;
+    a.send(std::move(m));
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+
+  // Restart the peer on the same address. From here on, `a` sends nothing:
+  // only the background loop may re-establish the connection.
+  TcpTransport b2;
+  Sink sink2;
+  b2.register_node(2, sink2.handler());
+  ASSERT_EQ(b2.listen(port), port);
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (a.reconnects() == 0 && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_GE(a.reconnects(), 1u) << "background loop must re-dial the restarted peer";
+
+  // The healed connection is immediately usable — first send, no re-dial.
+  Message m;
+  m.dst = 2;
+  m.progress = 7;
+  a.send(std::move(m));
+  ASSERT_TRUE(sink2.wait_for(1));
+  EXPECT_EQ(sink2.got[0].progress, 7);
+  a.shutdown();
+  b2.shutdown();
+}
+
 TEST(TcpTransport, ShutdownIsIdempotentAndUnblocks) {
   TcpTransport a, b;
   Sink sink;
