@@ -4,6 +4,9 @@
 #include <benchmark/benchmark.h>
 
 #include "common/rng.h"
+#include "embed/embedding_table.h"
+#include "embed/sparse_codec.h"
+#include "embed/table_spec.h"
 #include "ml/models/resmlp.h"
 #include "ml/ops.h"
 #include "net/frame_buffer.h"
@@ -249,6 +252,59 @@ void BM_EpsShard(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_EpsShard);
+
+void BM_EmbeddingRowApply(benchmark::State& state) {
+  // The sparse apply inner loop: one gradient through the per-row optimizer,
+  // stripe lock + hash lookup included (the reducer drains through exactly
+  // this path). range(0) = row dim, range(1) = 0 for SGD, 1 for AdaGrad
+  // (AdaGrad reads+writes the co-located accumulator: double the row bytes).
+  const auto dim = static_cast<std::uint32_t>(state.range(0));
+  embed::TableSpec spec;
+  spec.dim = dim;
+  spec.rows = 4096;
+  spec.opt.kind = state.range(1) != 0 ? ml::RowOptKind::kAdaGrad : ml::RowOptKind::kSgd;
+  embed::EmbeddingTable table(spec, /*seed=*/7);
+  const std::vector<float> grad(dim, 0.001f);
+  std::uint64_t row = 0;
+  for (std::uint64_t r = 0; r < spec.rows; ++r) table.apply(r, grad);  // pre-materialize
+  for (auto _ : state) {
+    table.apply(row, grad);
+    row = (row + 1) % spec.rows;
+  }
+  benchmark::DoNotOptimize(table.applies());
+  state.SetItemsProcessed(state.iterations());
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(2 * dim * sizeof(float)));
+}
+BENCHMARK(BM_EmbeddingRowApply)->Args({8, 0})->Args({8, 1})->Args({64, 0})->Args({64, 1});
+
+void BM_SparseSerialize(benchmark::State& state) {
+  // Sparse codec round trip: pack a batch (header + 64-bit row ids + row
+  // values as raw words) into the float payload and parse it back — the
+  // per-message cost every sparse push/pull-resp pays on top of the frame
+  // serialize that BM_MessageSerialize measures. range(0) = rows per batch.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  constexpr std::uint32_t kDim = 8;
+  embed::SparseBatch b;
+  b.table_id = 1;
+  b.dim = kDim;
+  b.rows.resize(n);
+  for (std::size_t i = 0; i < n; ++i) b.rows[i] = i * 37;
+  b.values.assign(n * kDim, 0.125f);
+  net::Payload p;
+  for (auto _ : state) {
+    embed::encode_sparse(b, p);
+    benchmark::DoNotOptimize(p.data());
+    embed::SparseBatch out;
+    benchmark::DoNotOptimize(embed::decode_sparse(p.span(), &out));
+    benchmark::DoNotOptimize(out.values.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+  state.SetBytesProcessed(
+      state.iterations() *
+      static_cast<std::int64_t>(embed::encoded_size(b) * sizeof(float)));
+}
+BENCHMARK(BM_SparseSerialize)->Arg(8)->Arg(64)->Arg(1024);
 
 void BM_GatherScatter(benchmark::State& state) {
   ps::EpsSlicer slicer(1024);

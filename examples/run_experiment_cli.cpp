@@ -13,6 +13,8 @@
 #include "core/checkpoint.h"
 #include "core/fluentps.h"
 #include "core/trace_export.h"
+#include "embed/table_spec.h"
+#include "embed/workload.h"
 
 namespace {
 
@@ -37,6 +39,11 @@ void print_usage() {
       "  replication: replication={1,2,3,...} failover_detect (crash a chain\n"
       "            head with fault.crash='s0@0.3:inf' — no restart — to\n"
       "            exercise promotion instead of checkpoint restore)\n"
+      "  sparse:   tables='emb:dim=8,rows=512,opt=adagrad,qos=2;ads:dim=4'\n"
+      "            sparse_workers sparse_rounds sparse_batch sparse_zipf\n"
+      "            sparse_reduce={0,1} sparse_compute (a sparse embedding job\n"
+      "            sharing the dense server set; crash schedules need\n"
+      "            replication>1 because sparse state is not checkpointed)\n"
       "  outputs:  curve_csv= trace_json= save= load= checkpoint_dir=\n");
 }
 
@@ -104,6 +111,14 @@ int main(int argc, char** argv) {
   cfg.replication_factor = static_cast<std::uint32_t>(args.get_int("replication", 1));
   cfg.failover_detect_seconds = args.get_double("failover_detect", cfg.failover_detect_seconds);
 
+  cfg.sparse.tables = embed::parse_tables(args.get_string("tables", ""));
+  cfg.sparse.num_workers = static_cast<std::uint32_t>(args.get_int("sparse_workers", 0));
+  cfg.sparse.rounds = args.get_int("sparse_rounds", 0);
+  cfg.sparse.batch_rows = static_cast<std::uint32_t>(args.get_int("sparse_batch", 8));
+  cfg.sparse.zipf_s = args.get_double("sparse_zipf", cfg.sparse.zipf_s);
+  cfg.sparse.reduce = args.get_bool("sparse_reduce", true);
+  cfg.sparse.compute_seconds = args.get_double("sparse_compute", cfg.sparse.compute_seconds);
+
   if (const auto load = args.get_string("load"); !load.empty()) {
     if (!core::load_params(load, &cfg.initial_params)) {
       std::fprintf(stderr, "failed to load checkpoint %s\n", load.c_str());
@@ -142,6 +157,26 @@ int main(int argc, char** argv) {
                 static_cast<long long>(r.replicated_updates),
                 static_cast<long long>(r.failovers), r.failover_seconds,
                 static_cast<long long>(r.rolled_back_updates));
+  }
+  if (cfg.sparse.enabled()) {
+    const auto extra = [&r](const char* k) {
+      const auto it = r.extra.find(k);
+      return it == r.extra.end() ? 0.0 : it->second;
+    };
+    const std::uint64_t state_digest =
+        (static_cast<std::uint64_t>(extra("sparse_state_digest_hi")) << 32) |
+        static_cast<std::uint64_t>(extra("sparse_state_digest_lo"));
+    const std::uint64_t want = embed::reference_state_digest(cfg.sparse, cfg.seed);
+    std::printf("sparse          %zu tables  %u workers x %lld rounds  pushes %.0f  rows %.0f  pulls %.0f\n",
+                cfg.sparse.tables.size(), cfg.sparse.num_workers,
+                static_cast<long long>(cfg.sparse.rounds), extra("sparse_pushes"),
+                extra("sparse_rows_applied"), extra("sparse_pulls_answered"));
+    std::printf("sparse recovery dedup %.0f  retries %.0f  repl repairs %.0f\n",
+                extra("sparse_dedup_hits"), extra("sparse_retries"),
+                extra("sparse_repl_repairs"));
+    std::printf("sparse digest   %016llx  zero-lost=%s\n",
+                static_cast<unsigned long long>(state_digest),
+                state_digest == want ? "OK" : "VIOLATED");
   }
 
   if (const auto path = args.get_string("curve_csv"); !path.empty()) {

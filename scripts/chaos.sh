@@ -99,8 +99,54 @@ else
 fi
 echo
 
+# Sparse embedding cases (DESIGN.md §10). The CLI prints a zero-lost verdict
+# by comparing the summed server digest to the serial reference oracle, so
+# "zero-lost=OK" IS the acceptance check — any lost or double-applied sparse
+# update flips it to VIOLATED. Two cases:
+#  (1) zipfian sparse traffic under drop+dup (dedup + retry ladder), and
+#  (2) the same plus replication=2 and a head kill with no restart — sparse
+#      state is not checkpointed, so the chain is its only durability.
+SPARSE_FLAGS=(
+  "tables=emb:dim=16,rows=512,opt=adagrad,qos=2;ads:dim=4,rows=128"
+  sparse_workers=4 sparse_rounds=40 sparse_batch=16 sparse_zipf=2.0
+)
+SPARSE_CASES=(
+  "sparse-zipf-dropdup fault.dup=0.05"
+  "sparse-replicated-headkill replication=2 fault.crash=s0@0.3:inf"
+)
+for case_spec in "${SPARSE_CASES[@]}"; do
+  read -r label extra <<<"$case_spec"
+  echo "== chaos: $label drop=$DROP sparse 2 tables x 4 workers =="
+  if out=$("$CLI" \
+    workers="$WORKERS" servers="$SERVERS" iters="$ITERS" seed="$SEED" \
+    sync=ssp staleness=3 ${extra:-} \
+    model=softmax dim=64 classes=10 train_n=1024 test_n=256 \
+    compute=lognormal base_seconds=0.01 sigma=0.3 \
+    "${SPARSE_FLAGS[@]}" \
+    fault.drop="$DROP" \
+    retry.initial_timeout=0.02 retry.max_timeout=0.3 2>&1); then
+    echo "$out" | grep -E "final accuracy|sparse"
+    if ! echo "$out" | grep -q "zero-lost=OK"; then
+      echo "!! sparse digest diverged from the serial oracle: $label"
+      fail=1
+    fi
+    if [ "$label" = "sparse-replicated-headkill" ]; then
+      failovers=$(echo "$out" | sed -n 's/.*failovers \([0-9]*\).*/\1/p')
+      if [ "${failovers:-0}" -lt 1 ]; then
+        echo "!! head kill never promoted a successor: $label"
+        fail=1
+      fi
+    fi
+  else
+    echo "$out"
+    echo "!! run failed: $label"
+    fail=1
+  fi
+  echo
+done
+
 if [ "$fail" -ne 0 ]; then
   echo "CHAOS: FAILURES (see above)"
   exit 1
 fi
-echo "CHAOS: all ${#CASES[@]} crash-restart cases + the replicated head-kill case survived ${DROP} loss"
+echo "CHAOS: all ${#CASES[@]} crash-restart cases + the replicated head-kill case + ${#SPARSE_CASES[@]} sparse cases survived ${DROP} loss"

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/stats.h"
+#include "embed/workload.h"
 #include "fault/fault_plan.h"
 #include "fault/retry_policy.h"
 #include "ml/dataset.h"
@@ -164,6 +165,15 @@ struct ExperimentConfig {
   /// Failure-detection delay: seconds between a head crash and the runtime
   /// promoting its successor (models detector timeout + election).
   double failover_detect_seconds = 0.05;
+
+  // --- sparse embedding tables (src/embed, DESIGN.md §10) ---------------
+
+  /// Optional sparse embedding job sharing the same server set as the dense
+  /// job: extra sparse-worker nodes run a BSP push/pull loop over the
+  /// configured tables, routed per-row to server shards. Disabled unless
+  /// tables, num_workers and rounds are all set. Sparse state is not
+  /// checkpointed, so crash schedules require replication_factor > 1.
+  embed::SparseJobSpec sparse;
 
   /// Reliability layer active? (explicitly forced, implied by any fault, or
   /// required by chain replication's deferred-ack protocol.)

@@ -10,6 +10,10 @@
 #include "common/logging.h"
 #include "common/metrics.h"
 #include "core/checkpoint.h"
+#include "embed/embedding_table.h"
+#include "embed/sparse_host.h"
+#include "embed/sparse_replica.h"
+#include "embed/workload.h"
 #include "fault/faulty_transport.h"
 #include "ml/eval.h"
 #include "ml/ops.h"
@@ -31,6 +35,26 @@ constexpr net::NodeId kSchedulerNode = 0;
 net::NodeId server_node(std::uint32_t m) { return 1 + m; }
 net::NodeId worker_node(std::uint32_t m_servers, std::uint32_t n) { return 1 + m_servers + n; }
 
+/// Sparse traffic shares the server nodes with the dense shard; the node
+/// handler routes by message type.
+bool is_sparse_type(net::MsgType t) noexcept {
+  switch (t) {
+    case net::MsgType::kSparsePush:
+    case net::MsgType::kSparsePull:
+    case net::MsgType::kSparseReplicate:
+    case net::MsgType::kSparseReplicateAck:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// 64-bit digests don't fit a double losslessly; export as two 32-bit halves.
+void put_u64_extra(ExperimentResult& r, const std::string& key, std::uint64_t v) {
+  r.extra[key + "_lo"] = static_cast<double>(v & 0xFFFFFFFFull);
+  r.extra[key + "_hi"] = static_cast<double>(v >> 32);
+}
+
 /// Poll cadence for detecting the end of a crash-recovery handshake (the
 /// completion is driven by message arrivals, so this only affects when the
 /// "recovered" trace event is stamped, not the protocol itself).
@@ -42,7 +66,8 @@ class SimRun {
       : cfg_(cfg),
         env_(),
         chain_{cfg.num_servers, cfg.num_workers, std::max<std::uint32_t>(cfg.replication_factor, 1)},
-        network_(cfg.net, chain_.total_nodes()),
+        network_(cfg.net, chain_.total_nodes() +
+                              (cfg.sparse.enabled() ? cfg.sparse.num_workers : 0)),
         transport_(env_, network_),
         data_(ml::Dataset::synthesize(cfg.data)),
         model_(ml::make_model(cfg.model, data_.dim(), data_.num_classes())),
@@ -57,6 +82,12 @@ class SimRun {
     checkpointing_ = (!cfg.faults.crashes.empty() && !chain_.replicated()) ||
                      !cfg.checkpoint_dir.empty();
     if (chain_.replicated()) group_ = std::make_unique<replica::ReplicaGroup>(chain_);
+    if (cfg.sparse.enabled()) {
+      // Sparse tables are not checkpointed: a crashed shard's sparse state
+      // can only survive through chain replication.
+      FPS_CHECK(cfg.faults.crashes.empty() || chain_.replicated())
+          << "crash schedules with a sparse job require replication_factor > 1";
+    }
     server_epoch_.assign(cfg.num_servers, 0);
     crash_time_.assign(cfg.num_servers, 0.0);
     ckpt_store_.resize(cfg.num_servers);
@@ -77,6 +108,7 @@ class SimRun {
     build_replicas();
     build_scheduler();
     build_workers();
+    build_sparse_workers();
   }
 
   ExperimentResult run() {
@@ -87,6 +119,7 @@ class SimRun {
     }
     schedule_crashes();
     for (auto& w : workers_) schedule_compute(*w);
+    for (auto& s : sparse_workers_) schedule_sparse_compute(*s);
     env_.run();
     return collect();
   }
@@ -206,6 +239,29 @@ class SimRun {
            static_cast<double>(dpr_events) * cfg_.dpr_overhead_seconds;
   }
 
+  /// Sparse core spec for shard m — shared between heads, replicas and the
+  /// hosts promoted at failover (identical cores keep digests bit-identical).
+  [[nodiscard]] embed::SparseCoreSpec make_sparse_core_spec(std::uint32_t m) const {
+    embed::SparseCoreSpec core;
+    core.server_rank = m;
+    core.num_workers = cfg_.sparse.num_workers;
+    core.tables = cfg_.sparse.tables;
+    core.seed = cfg_.seed;
+    core.reduce = cfg_.sparse.reduce;
+    core.stripes = cfg_.apply_stripes;
+    return core;
+  }
+
+  [[nodiscard]] embed::SparseHostSpec make_sparse_host_spec(std::uint32_t m,
+                                                            std::uint32_t chain_pos) {
+    embed::SparseHostSpec spec;
+    spec.node_id = chain_.node_of(m, chain_pos);
+    spec.core = make_sparse_core_spec(m);
+    spec.replica_successor = chain_.replicated() ? chain_.successor_of(m, chain_pos) : 0;
+    spec.metrics = &metrics_;
+    return spec;
+  }
+
   void build_servers() {
     if (!cfg_.per_server_sync.empty()) {
       FPS_CHECK(cfg_.per_server_sync.size() == cfg_.num_servers)
@@ -217,20 +273,34 @@ class SimRun {
     for (std::uint32_t m = 0; m < cfg_.num_servers; ++m) {
       auto server = std::make_unique<ps::Server>(make_server_spec(m), *bus_);
       ps::Server* raw = server.get();
+      embed::SparseHost* hraw = nullptr;
+      if (cfg_.sparse.enabled()) {
+        auto host = std::make_unique<embed::SparseHost>(make_sparse_host_spec(m, 0), *bus_);
+        hraw = host.get();
+        head_sparse_.push_back(hraw);
+        sparse_hosts_.push_back(std::move(host));
+      }
       // Serial request processing: arrivals queue behind the server's single
       // handler; synchronization machinery (buffering/releasing DPRs) costs
       // extra, so high synchronization frequency translates into time.
       server_busy_until_.push_back(0.0);
       double* busy = &server_busy_until_.back();
-      bus_->register_node(raw->node_id(), [this, raw, busy, m](net::Message&& msg) {
+      bus_->register_node(raw->node_id(), [this, raw, hraw, busy, m](net::Message&& msg) {
         const double start = std::max(env_.now(), *busy);
         *busy = start + cfg_.server_proc_seconds;
         // A message accepted into the processing queue before a crash dies
         // with the process: the deferred execution checks the node's epoch.
         const std::uint64_t epoch = server_epoch_[m];
-        env_.schedule_at(start, [this, raw, busy, m, epoch, msg = std::move(msg)]() mutable {
+        env_.schedule_at(start, [this, raw, hraw, busy, m, epoch,
+                                 msg = std::move(msg)]() mutable {
           if (server_epoch_[m] != epoch) return;  // queued pre-crash; lost
-          run_server_msg(*raw, *busy, std::move(msg));
+          if (hraw != nullptr && is_sparse_type(msg.type)) {
+            // Sparse handling shares the node's serial busy model but has no
+            // DPR machinery to charge for.
+            hraw->handle(std::move(msg));
+          } else {
+            run_server_msg(*raw, *busy, std::move(msg));
+          }
         });
       });
       head_server_.push_back(raw);
@@ -248,6 +318,9 @@ class SimRun {
     std::unique_ptr<ps::Server> promoted;
     double busy = 0.0;
     std::uint64_t epoch = 0;  ///< bumped if this node itself crashes
+    // Sparse twins on the same chain node (set iff cfg.sparse.enabled()).
+    std::unique_ptr<embed::SparseReplica> sparse_replica;
+    std::unique_ptr<embed::SparseHost> sparse_promoted;
   };
 
   void build_replicas() {
@@ -267,13 +340,27 @@ class SimRun {
                                         std::make_unique<replica::ReplicaNode>(std::move(spec), *bus_),
                                         nullptr});
         ReplicaSlot& slot = replicas_.back();  // deque: stable address
+        if (cfg_.sparse.enabled()) {
+          embed::SparseReplicaSpec sspec;
+          sspec.node_id = slot.node;
+          sspec.chain_pos = pos;
+          sspec.core = make_sparse_core_spec(m);
+          sspec.successor = chain_.successor_of(m, pos);
+          slot.sparse_replica = std::make_unique<embed::SparseReplica>(std::move(sspec), *bus_);
+        }
         bus_->register_node(slot.node, [this, &slot](net::Message&& msg) {
           const double start = std::max(env_.now(), slot.busy);
           slot.busy = start + cfg_.server_proc_seconds;
           const std::uint64_t epoch = slot.epoch;
           env_.schedule_at(start, [this, &slot, epoch, msg = std::move(msg)]() mutable {
             if (slot.epoch != epoch) return;  // queued pre-crash; lost
-            if (slot.promoted) {
+            if (is_sparse_type(msg.type)) {
+              if (slot.sparse_promoted) {
+                slot.sparse_promoted->handle(std::move(msg));
+              } else if (slot.sparse_replica) {
+                slot.sparse_replica->handle(std::move(msg));
+              }
+            } else if (slot.promoted) {
               run_server_msg(*slot.promoted, slot.busy, std::move(msg));
             } else {
               slot.replica->handle(std::move(msg));
@@ -343,6 +430,252 @@ class SimRun {
         on_worker_msg(*raw, std::move(msg));
       });
       workers_.push_back(std::move(w));
+    }
+  }
+
+  // --- sparse embedding job: event-driven BSP workers --------------------
+  // Mirrors embed::SparseWorkerClient exactly (same seq/ticket issue order,
+  // same retry-rng stream labels, same digest fold order), so a sim run and a
+  // thread run of the same config produce bit-identical sparse digests.
+
+  struct SparsePush {
+    std::uint32_t server = 0;
+    std::uint64_t seq = 0;
+    std::vector<float> frame;  ///< encoded kSparsePush payload, kept for resends
+    bool acked = false;
+  };
+  struct SparsePull {
+    std::uint64_t ticket = 0;
+    std::uint32_t server = 0;
+    std::vector<float> frame;  ///< encoded rows-only request
+    embed::SparseBatch resp;
+    bool received = false;
+  };
+
+  struct SparseWorkerState {
+    std::uint32_t rank = 0;
+    net::NodeId node = 0;
+    std::vector<net::NodeId> server_nodes;  ///< rebound by kPromote
+    std::int64_t round = 0;
+    std::vector<SparsePush> pushes;
+    std::vector<SparsePull> pulls;
+    std::uint32_t unacked = 0;
+    std::uint32_t unanswered = 0;
+    std::vector<std::uint64_t> next_seq;  ///< per server, starts at 1
+    std::uint64_t next_ticket = 0;
+    std::uint64_t pull_digest = embed::kFnvBasis;
+    std::uint32_t attempt = 0;
+    bool retry_armed = false;
+    Rng retry_rng{0};
+    std::int64_t retries = 0;
+    double finish_time = 0.0;
+    bool done = false;
+  };
+
+  void build_sparse_workers() {
+    if (!cfg_.sparse.enabled()) return;
+    sparse_workers_.reserve(cfg_.sparse.num_workers);
+    for (std::uint32_t s = 0; s < cfg_.sparse.num_workers; ++s) {
+      auto w = std::make_unique<SparseWorkerState>();
+      w->rank = s;
+      // Sparse workers live past the dense layout (scheduler, servers,
+      // replicas, dense workers) — their rank space is their own.
+      w->node = chain_.total_nodes() + s;
+      w->server_nodes.resize(cfg_.num_servers);
+      for (std::uint32_t m = 0; m < cfg_.num_servers; ++m) w->server_nodes[m] = server_node(m);
+      w->next_seq.assign(cfg_.num_servers, 1);
+      w->next_ticket = (static_cast<std::uint64_t>(s) << 40) + 1;
+      // Same stream labels as embed::SparseWorkerClient's jitter rng.
+      w->retry_rng = Rng(derive_seed(cfg_.seed, 0x5B9E81 + s), /*stream=*/0x4E7);
+      SparseWorkerState* raw = w.get();
+      bus_->register_node(raw->node, [this, raw](net::Message&& msg) {
+        on_sparse_worker_msg(*raw, std::move(msg));
+      });
+      sparse_workers_.push_back(std::move(w));
+    }
+  }
+
+  void schedule_sparse_compute(SparseWorkerState& w) {
+    env_.schedule(cfg_.sparse.compute_seconds, [this, &w] { on_sparse_compute_done(w); });
+  }
+
+  void on_sparse_compute_done(SparseWorkerState& w) {
+    const auto num_servers = cfg_.num_servers;
+    // Shard every table's batch once; pushes take the shards, pulls the rows.
+    std::vector<std::vector<embed::SparseBatch>> shards(cfg_.sparse.tables.size());
+    for (std::size_t t = 0; t < cfg_.sparse.tables.size(); ++t) {
+      const embed::SparseBatch full =
+          embed::sample_batch(cfg_.sparse, cfg_.sparse.tables[t], cfg_.seed, w.rank, w.round);
+      shards[t].reserve(num_servers);
+      for (std::uint32_t m = 0; m < num_servers; ++m) {
+        shards[t].push_back(embed::shard_of(full, m, num_servers));
+      }
+    }
+    // Phase 1: push every shard — empty ones included, they are the round
+    // markers. Seq issue order (m outer, t inner) matches the thread client.
+    w.pushes.clear();
+    w.pulls.clear();
+    w.attempt = 0;
+    for (std::uint32_t m = 0; m < num_servers; ++m) {
+      for (std::size_t t = 0; t < shards.size(); ++t) {
+        SparsePush p;
+        p.server = m;
+        p.seq = w.next_seq[m]++;
+        p.frame = embed::encode_sparse(shards[t][m]);
+        w.pushes.push_back(std::move(p));
+      }
+    }
+    // Phase 2's requests are prepared now (ticket issue order matches the
+    // thread client) but sent only once every push is acked.
+    for (std::uint32_t m = 0; m < num_servers; ++m) {
+      for (std::size_t t = 0; t < shards.size(); ++t) {
+        if (shards[t][m].rows.empty()) continue;
+        SparsePull p;
+        p.ticket = w.next_ticket++;
+        p.server = m;
+        embed::SparseBatch req;
+        req.table_id = shards[t][m].table_id;
+        req.dim = shards[t][m].dim;
+        req.rows = shards[t][m].rows;
+        p.frame = embed::encode_sparse(req);
+        w.pulls.push_back(std::move(p));
+      }
+    }
+    w.unacked = static_cast<std::uint32_t>(w.pushes.size());
+    w.unanswered = 0;
+    for (const SparsePush& p : w.pushes) send_sparse_push(w, p);
+    arm_sparse_retry(w);
+  }
+
+  void send_sparse_push(SparseWorkerState& w, const SparsePush& p) {
+    net::Message msg;
+    msg.type = net::MsgType::kSparsePush;
+    msg.src = w.node;
+    msg.dst = w.server_nodes[p.server];
+    msg.request_id = p.seq;
+    msg.seq = p.seq;
+    msg.progress = w.round;
+    msg.worker_rank = w.rank;
+    msg.server_rank = p.server;
+    msg.values.assign(p.frame.begin(), p.frame.end());
+    bus_->send(std::move(msg));
+  }
+
+  void send_sparse_pull(SparseWorkerState& w, const SparsePull& p) {
+    net::Message msg;
+    msg.type = net::MsgType::kSparsePull;
+    msg.src = w.node;
+    msg.dst = w.server_nodes[p.server];
+    msg.request_id = p.ticket;
+    msg.seq = 0;  // pulls bypass the dedup window; the ticket dedups them
+    msg.progress = w.round;
+    msg.worker_rank = w.rank;
+    msg.server_rank = p.server;
+    msg.values.assign(p.frame.begin(), p.frame.end());
+    bus_->send(std::move(msg));
+  }
+
+  [[nodiscard]] static bool sparse_outstanding(const SparseWorkerState& w) {
+    return w.unacked > 0 || w.unanswered > 0;
+  }
+
+  void arm_sparse_retry(SparseWorkerState& w) {
+    if (w.retry_armed) return;
+    w.retry_armed = true;
+    const double timeout = cfg_.retry.timeout_for(w.attempt, w.retry_rng);
+    env_.schedule(timeout, [this, &w] {
+      w.retry_armed = false;
+      if (!sparse_outstanding(w)) return;  // phase completed while armed
+      ++w.retries;
+      if (!cfg_.retry.exhausted(w.attempt)) ++w.attempt;
+      if (w.unacked > 0) {
+        for (const SparsePush& p : w.pushes) {
+          if (!p.acked) send_sparse_push(w, p);
+        }
+      } else {
+        for (const SparsePull& p : w.pulls) {
+          if (!p.received) send_sparse_pull(w, p);
+        }
+      }
+      arm_sparse_retry(w);
+    });
+  }
+
+  void on_sparse_worker_msg(SparseWorkerState& w, net::Message&& msg) {
+    switch (msg.type) {
+      case net::MsgType::kPushAck: {
+        const std::uint32_t m = msg.server_rank;
+        for (SparsePush& p : w.pushes) {
+          if (p.server == m && p.seq == msg.seq && !p.acked) {
+            p.acked = true;
+            FPS_CHECK(w.unacked > 0) << "unexpected sparse push ack";
+            if (--w.unacked == 0) start_sparse_pull_phase(w);
+            return;
+          }
+        }
+        return;  // duplicate ack (retransmit raced the original)
+      }
+      case net::MsgType::kSparsePullResp: {
+        for (SparsePull& p : w.pulls) {
+          if (p.ticket == msg.request_id && !p.received) {
+            FPS_CHECK(embed::decode_sparse(msg.values.span(), &p.resp))
+                << "sparse worker " << w.rank << ": malformed pull response";
+            p.received = true;
+            FPS_CHECK(w.unanswered > 0) << "unexpected sparse pull response";
+            if (--w.unanswered == 0) finish_sparse_round(w);
+            return;
+          }
+        }
+        return;  // stale or duplicate response
+      }
+      case net::MsgType::kPromote: {
+        const std::uint32_t m = msg.server_rank;
+        FPS_CHECK(m < w.server_nodes.size()) << "bad server rank in sparse promote";
+        if (w.server_nodes[m] == msg.src) return;  // duplicate promote
+        w.server_nodes[m] = msg.src;
+        // Re-offer what the dead head may have swallowed.
+        if (w.unacked > 0) {
+          for (const SparsePush& p : w.pushes) {
+            if (p.server == m && !p.acked) send_sparse_push(w, p);
+          }
+        }
+        if (w.unanswered > 0) {
+          for (const SparsePull& p : w.pulls) {
+            if (p.server == m && !p.received) send_sparse_pull(w, p);
+          }
+        }
+        return;
+      }
+      default:
+        FPS_LOG(Warn) << "sparse sim worker " << w.rank << " ignoring "
+                      << msg.to_debug_string();
+    }
+  }
+
+  void start_sparse_pull_phase(SparseWorkerState& w) {
+    w.attempt = 0;
+    if (w.pulls.empty()) {  // every shard routed empty this round
+      finish_sparse_round(w);
+      return;
+    }
+    w.unanswered = static_cast<std::uint32_t>(w.pulls.size());
+    for (const SparsePull& p : w.pulls) send_sparse_pull(w, p);
+    arm_sparse_retry(w);
+  }
+
+  void finish_sparse_round(SparseWorkerState& w) {
+    // Fold in ticket-issue order — same as the thread client.
+    for (const SparsePull& p : w.pulls) {
+      w.pull_digest = embed::fold_pull_digest(w.pull_digest, p.resp);
+    }
+    w.pushes.clear();
+    w.pulls.clear();
+    ++w.round;
+    if (w.round < cfg_.sparse.rounds) {
+      schedule_sparse_compute(w);
+    } else {
+      w.done = true;
+      w.finish_time = env_.now();
     }
   }
 
@@ -758,6 +1091,17 @@ class SimRun {
     ps::Server* raw = srv.get();
     slot.promoted = std::move(srv);  // the slot's dispatcher now routes here
     head_server_[m] = raw;
+    embed::SparseHost* sparse_raw = nullptr;
+    if (slot.sparse_replica) {
+      // Promote the sparse twin in the same step: both shards of the node
+      // change heads together.
+      auto host =
+          std::make_unique<embed::SparseHost>(make_sparse_host_spec(m, new_pos), *bus_);
+      host->adopt(slot.sparse_replica->release_state());
+      sparse_raw = host.get();
+      slot.sparse_promoted = std::move(host);
+      head_sparse_[m] = sparse_raw;
+    }
     ++failovers_;
     const double fo = env_.now() - crash_time_[m];
     failover_seconds_ = std::max(failover_seconds_, fo);
@@ -768,6 +1112,7 @@ class SimRun {
                   << slot.node << ") at t=" << env_.now();
     // Restart the ack flow for entries stranded mid-chain by the crash.
     raw->replay_replication_log();
+    if (sparse_raw != nullptr) sparse_raw->replay_replication_log();
     // View change: rebind the workers. Control-plane traffic — FaultyTransport
     // never faults kPromote (membership comes from a consensus service, not
     // the lossy data path).
@@ -776,6 +1121,14 @@ class SimRun {
       p.type = net::MsgType::kPromote;
       p.src = slot.node;
       p.dst = w->node;
+      p.server_rank = m;
+      bus_->send(std::move(p));
+    }
+    for (const auto& sw : sparse_workers_) {
+      net::Message p;
+      p.type = net::MsgType::kPromote;
+      p.src = slot.node;
+      p.dst = sw->node;
       p.server_rank = m;
       bus_->send(std::move(p));
     }
@@ -819,6 +1172,15 @@ class SimRun {
     for (const auto& s : servers_) f(*s);
     for (const ReplicaSlot& slot : replicas_) {
       if (slot.promoted) f(*slot.promoted);
+    }
+  }
+
+  /// Same sweep over sparse hosts (initial + promoted).
+  template <typename F>
+  void for_each_sparse_host(F&& f) const {
+    for (const auto& h : sparse_hosts_) f(*h);
+    for (const ReplicaSlot& slot : replicas_) {
+      if (slot.sparse_promoted) f(*slot.sparse_promoted);
     }
   }
 
@@ -901,6 +1263,44 @@ class SimRun {
     }
     if (r.worker_retries > 0) metrics_.incr("worker.retries", r.worker_retries);
     if (r.server_dedup_hits > 0) metrics_.incr("server.dedup_hits", r.server_dedup_hits);
+    // --- sparse embedding outcomes ---------------------------------------
+    if (cfg_.sparse.enabled()) {
+      std::uint64_t state_digest = 0;
+      std::size_t parked = 0;
+      for (const embed::SparseHost* h : head_sparse_) {
+        state_digest += h->state_digest();
+        parked += h->parked_pulls();
+      }
+      std::uint64_t pull_digest = 0;
+      std::int64_t sparse_retries = 0;
+      for (const auto& sw : sparse_workers_) {
+        FPS_CHECK(sw->done) << "sparse worker " << sw->rank
+                            << " did not finish (deadlock?) at round " << sw->round << "/"
+                            << cfg_.sparse.rounds;
+        r.total_time = std::max(r.total_time, sw->finish_time);
+        pull_digest += sw->pull_digest;
+        sparse_retries += sw->retries;
+      }
+      put_u64_extra(r, "sparse_state_digest", state_digest);
+      put_u64_extra(r, "sparse_pull_digest", pull_digest);
+      double dedup = 0, pushes = 0, rows = 0, pulls = 0, fwds = 0, repairs = 0;
+      for_each_sparse_host([&](const embed::SparseHost& h) {
+        dedup += static_cast<double>(h.dedup_hits());
+        pushes += static_cast<double>(h.pushes_ingested());
+        rows += static_cast<double>(h.rows_applied());
+        pulls += static_cast<double>(h.pulls_answered());
+        fwds += static_cast<double>(h.replica_forwards());
+        repairs += static_cast<double>(h.repl_repairs());
+      });
+      r.extra["sparse_dedup_hits"] = dedup;
+      r.extra["sparse_pushes"] = pushes;
+      r.extra["sparse_rows_applied"] = rows;
+      r.extra["sparse_pulls_answered"] = pulls;
+      r.extra["sparse_replica_forwards"] = fwds;
+      r.extra["sparse_repl_repairs"] = repairs;
+      r.extra["sparse_retries"] = static_cast<double>(sparse_retries);
+      r.extra["sparse_parked_pulls"] = static_cast<double>(parked);
+    }
     r.counters = metrics_.counters();
     r.fault_events = std::move(fault_events_);
 
@@ -945,6 +1345,10 @@ class SimRun {
   std::unique_ptr<ps::Scheduler> scheduler_;
   double scheduler_busy_until_ = 0.0;
   std::vector<std::unique_ptr<WorkerState>> workers_;
+  // --- sparse embedding job (src/embed) ---------------------------------
+  std::vector<std::unique_ptr<embed::SparseHost>> sparse_hosts_;
+  std::vector<embed::SparseHost*> head_sparse_;  ///< current head per shard
+  std::vector<std::unique_ptr<SparseWorkerState>> sparse_workers_;
   std::vector<AccuracyPoint> curve_;
   std::vector<IterationTrace> trace_;
   std::vector<FaultEvent> fault_events_;

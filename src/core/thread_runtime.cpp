@@ -15,6 +15,10 @@
 #include "common/metrics.h"
 #include "common/stopwatch.h"
 #include "core/checkpoint.h"
+#include "embed/sparse_host.h"
+#include "embed/sparse_replica.h"
+#include "embed/sparse_worker.h"
+#include "embed/workload.h"
 #include "fault/faulty_transport.h"
 #include "fault/timer_queue.h"
 #include "ml/eval.h"
@@ -33,6 +37,26 @@ namespace {
 constexpr net::NodeId kSchedulerNode = 0;
 net::NodeId server_node(std::uint32_t m) { return 1 + m; }
 net::NodeId worker_node(std::uint32_t m_servers, std::uint32_t n) { return 1 + m_servers + n; }
+
+/// Sparse traffic shares the server nodes with the dense shard; the node
+/// handler routes by message type.
+bool is_sparse_type(net::MsgType t) noexcept {
+  switch (t) {
+    case net::MsgType::kSparsePush:
+    case net::MsgType::kSparsePull:
+    case net::MsgType::kSparseReplicate:
+    case net::MsgType::kSparseReplicateAck:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// 64-bit digests don't fit a double losslessly; export as two 32-bit halves.
+void put_u64_extra(ExperimentResult& r, const std::string& key, std::uint64_t v) {
+  r.extra[key + "_lo"] = static_cast<double>(v & 0xFFFFFFFFull);
+  r.extra[key + "_hi"] = static_cast<double>(v >> 32);
+}
 
 class ThreadRun {
  public:
@@ -58,6 +82,12 @@ class ThreadRun {
     FPS_CHECK(chain_.factor == 1 || cfg.arch == Arch::kFluentPS)
         << "chain replication requires the FluentPS architecture";
     if (chain_.replicated()) group_ = std::make_unique<replica::ReplicaGroup>(chain_);
+    if (cfg.sparse.enabled()) {
+      // Sparse tables are not checkpointed: a crashed shard's sparse state
+      // can only survive through chain replication.
+      FPS_CHECK(cfg.faults.crashes.empty() || chain_.replicated())
+          << "crash schedules with a sparse job require replication_factor > 1";
+    }
     // With replication, head crashes are absorbed by chain failover; periodic
     // checkpoints only run when explicitly requested via checkpoint_dir.
     checkpointing_ = (!cfg.faults.crashes.empty() && !chain_.replicated()) ||
@@ -80,6 +110,7 @@ class ThreadRun {
     build_replicas();
     build_scheduler();
     build_clients();
+    build_sparse_clients();
   }
 
   ExperimentResult run() {
@@ -92,9 +123,12 @@ class ThreadRun {
     }
     {
       std::vector<std::jthread> threads;
-      threads.reserve(cfg_.num_workers);
+      threads.reserve(cfg_.num_workers + sparse_clients_.size());
       for (std::uint32_t n = 0; n < cfg_.num_workers; ++n) {
         threads.emplace_back([this, n] { worker_loop(n); });
+      }
+      for (std::uint32_t s = 0; s < sparse_clients_.size(); ++s) {
+        threads.emplace_back([this, s] { sparse_worker_loop(s); });
       }
     }  // join all workers
     const double makespan = total.seconds();
@@ -147,6 +181,29 @@ class ThreadRun {
     return spec;
   }
 
+  /// Sparse core spec for shard m — shared between heads, replicas and the
+  /// hosts promoted at failover (identical cores keep digests bit-identical).
+  [[nodiscard]] embed::SparseCoreSpec make_sparse_core_spec(std::uint32_t m) const {
+    embed::SparseCoreSpec core;
+    core.server_rank = m;
+    core.num_workers = cfg_.sparse.num_workers;
+    core.tables = cfg_.sparse.tables;
+    core.seed = cfg_.seed;
+    core.reduce = cfg_.sparse.reduce;
+    core.stripes = cfg_.apply_stripes;
+    return core;
+  }
+
+  [[nodiscard]] embed::SparseHostSpec make_sparse_host_spec(std::uint32_t m,
+                                                            std::uint32_t chain_pos) {
+    embed::SparseHostSpec spec;
+    spec.node_id = chain_.node_of(m, chain_pos);
+    spec.core = make_sparse_core_spec(m);
+    spec.replica_successor = chain_.replicated() ? chain_.successor_of(m, chain_pos) : 0;
+    spec.metrics = &metrics_;
+    return spec;
+  }
+
   void build_servers() {
     if (!cfg_.per_server_sync.empty()) {
       FPS_CHECK(cfg_.per_server_sync.size() == cfg_.num_servers)
@@ -157,8 +214,22 @@ class ThreadRun {
     for (std::uint32_t m = 0; m < cfg_.num_servers; ++m) {
       auto server = std::make_unique<ps::Server>(make_server_spec(m), *bus_);
       ps::Server* raw = server.get();
-      bus_->register_node(raw->node_id(),
-                          [raw](net::Message&& msg) { raw->handle(std::move(msg)); });
+      if (cfg_.sparse.enabled()) {
+        auto host = std::make_unique<embed::SparseHost>(make_sparse_host_spec(m, 0), *bus_);
+        embed::SparseHost* hraw = host.get();
+        bus_->register_node(raw->node_id(), [raw, hraw](net::Message&& msg) {
+          if (is_sparse_type(msg.type)) {
+            hraw->handle(std::move(msg));
+          } else {
+            raw->handle(std::move(msg));
+          }
+        });
+        head_sparse_.push_back(hraw);
+        sparse_hosts_.push_back(std::move(host));
+      } else {
+        bus_->register_node(raw->node_id(),
+                            [raw](net::Message&& msg) { raw->handle(std::move(msg)); });
+      }
       head_server_.push_back(raw);
       servers_.push_back(std::move(server));
     }
@@ -175,6 +246,9 @@ class ThreadRun {
     std::mutex mu;
     std::unique_ptr<replica::ReplicaNode> replica;
     std::unique_ptr<ps::Server> promoted;
+    // Sparse twins on the same chain node (set iff cfg.sparse.enabled()).
+    std::unique_ptr<embed::SparseReplica> sparse_replica;
+    std::unique_ptr<embed::SparseHost> sparse_promoted;
   };
 
   void build_replicas() {
@@ -195,9 +269,23 @@ class ThreadRun {
         spec.successor = chain_.successor_of(m, pos);
         spec.apply_scale = 1.0f / static_cast<float>(cfg_.num_workers);
         slot.replica = std::make_unique<replica::ReplicaNode>(std::move(spec), *bus_);
+        if (cfg_.sparse.enabled()) {
+          embed::SparseReplicaSpec sspec;
+          sspec.node_id = slot.node;
+          sspec.chain_pos = pos;
+          sspec.core = make_sparse_core_spec(m);
+          sspec.successor = chain_.successor_of(m, pos);
+          slot.sparse_replica = std::make_unique<embed::SparseReplica>(std::move(sspec), *bus_);
+        }
         bus_->register_node(slot.node, [&slot](net::Message&& msg) {
           std::scoped_lock lock(slot.mu);
-          if (slot.promoted) {
+          if (is_sparse_type(msg.type)) {
+            if (slot.sparse_promoted) {
+              slot.sparse_promoted->handle(std::move(msg));
+            } else if (slot.sparse_replica) {
+              slot.sparse_replica->handle(std::move(msg));
+            }
+          } else if (slot.promoted) {
             slot.promoted->handle(std::move(msg));
           } else {
             slot.replica->handle(std::move(msg));
@@ -244,6 +332,45 @@ class ThreadRun {
       bus_->register_node(raw->node_id(),
                           [raw](net::Message&& msg) { raw->handle(std::move(msg)); });
       workers_.push_back(std::move(pw));
+    }
+  }
+
+  void build_sparse_clients() {
+    if (!cfg_.sparse.enabled()) return;
+    sparse_clients_.reserve(cfg_.sparse.num_workers);
+    for (std::uint32_t s = 0; s < cfg_.sparse.num_workers; ++s) {
+      embed::SparseWorkerSpec spec;
+      // Sparse workers live past the dense layout (scheduler, servers,
+      // replicas, dense workers) — their rank space is their own.
+      spec.node_id = chain_.total_nodes() + s;
+      spec.worker_rank = s;
+      for (std::uint32_t m = 0; m < cfg_.num_servers; ++m) {
+        spec.server_nodes.push_back(server_node(m));
+      }
+      spec.tables = cfg_.sparse.tables;
+      spec.retry = cfg_.retry;
+      spec.seed = cfg_.seed;
+      auto client = std::make_unique<embed::SparseWorkerClient>(std::move(spec), *bus_);
+      embed::SparseWorkerClient* raw = client.get();
+      bus_->register_node(raw->node_id(),
+                          [raw](net::Message&& msg) { raw->handle(std::move(msg)); });
+      sparse_clients_.push_back(std::move(client));
+    }
+  }
+
+  void sparse_worker_loop(std::uint32_t rank) {
+    embed::SparseWorkerClient& client = *sparse_clients_[rank];
+    std::vector<embed::SparseBatch> batches;
+    for (std::int64_t round = 0; round < cfg_.sparse.rounds; ++round) {
+      if (cfg_.sparse.compute_seconds > 0.0) {
+        std::this_thread::sleep_for(
+            std::chrono::duration<double>(cfg_.sparse.compute_seconds));
+      }
+      batches.clear();
+      for (const embed::TableSpec& t : cfg_.sparse.tables) {
+        batches.push_back(embed::sample_batch(cfg_.sparse, t, cfg_.seed, rank, round));
+      }
+      client.run_round(round, batches);
     }
   }
 
@@ -383,6 +510,7 @@ class ThreadRun {
     const std::uint32_t new_pos = group_->promote(m);
     ReplicaSlot& slot = slot_of(m, new_pos);
     ps::Server* raw = nullptr;
+    embed::SparseHost* sparse_raw = nullptr;
     {
       std::scoped_lock lock(slot.mu);
       ps::ServerSpec spec = make_server_spec(m);
@@ -392,10 +520,20 @@ class ThreadRun {
       srv->adopt_replica_state(slot.replica->release_state());
       raw = srv.get();
       slot.promoted = std::move(srv);  // the slot's dispatcher now routes here
+      if (slot.sparse_replica) {
+        // Promote the sparse twin in the same handoff: both shards of the
+        // node change heads atomically w.r.t. the slot's dispatch thread.
+        auto host =
+            std::make_unique<embed::SparseHost>(make_sparse_host_spec(m, new_pos), *bus_);
+        host->adopt(slot.sparse_replica->release_state());
+        sparse_raw = host.get();
+        slot.sparse_promoted = std::move(host);
+      }
     }
     {
       std::scoped_lock lock(head_mu_);
       head_server_[m] = raw;
+      if (sparse_raw != nullptr) head_sparse_[m] = sparse_raw;
     }
     ++failovers_;
     const double fo = since_start_.seconds() - crash_time_[m];
@@ -407,6 +545,7 @@ class ThreadRun {
                   << slot.node << ") at t=" << since_start_.seconds();
     // Restart the ack flow for entries stranded mid-chain by the crash.
     raw->replay_replication_log();
+    if (sparse_raw != nullptr) sparse_raw->replay_replication_log();
     // View change: rebind the workers. Control-plane traffic — FaultyTransport
     // never faults kPromote (membership comes from a consensus service, not
     // the lossy data path).
@@ -415,6 +554,14 @@ class ThreadRun {
       p.type = net::MsgType::kPromote;
       p.src = slot.node;
       p.dst = w->client->node_id();
+      p.server_rank = m;
+      bus_->send(std::move(p));
+    }
+    for (const auto& sc : sparse_clients_) {
+      net::Message p;
+      p.type = net::MsgType::kPromote;
+      p.src = slot.node;
+      p.dst = sc->node_id();
       p.server_rank = m;
       bus_->send(std::move(p));
     }
@@ -531,6 +678,15 @@ class ThreadRun {
     }
   }
 
+  /// Same sweep over sparse hosts (initial + promoted).
+  template <typename F>
+  void for_each_sparse_host(F&& f) const {
+    for (const auto& h : sparse_hosts_) f(*h);
+    for (const ReplicaSlot& slot : replicas_) {
+      if (slot.sparse_promoted) f(*slot.sparse_promoted);
+    }
+  }
+
   ExperimentResult collect(double makespan) {
     ExperimentResult r;
     r.total_time = makespan;
@@ -603,6 +759,40 @@ class ThreadRun {
     }
     if (r.worker_retries > 0) metrics_.incr("worker.retries", r.worker_retries);
     if (r.server_dedup_hits > 0) metrics_.incr("server.dedup_hits", r.server_dedup_hits);
+    // --- sparse embedding outcomes ---------------------------------------
+    if (cfg_.sparse.enabled()) {
+      std::uint64_t state_digest = 0;
+      std::size_t parked = 0;
+      for (const embed::SparseHost* h : head_sparse_) {
+        state_digest += h->state_digest();
+        parked += h->parked_pulls();
+      }
+      std::uint64_t pull_digest = 0;
+      std::int64_t sparse_retries = 0;
+      for (const auto& sc : sparse_clients_) {
+        pull_digest += sc->pull_digest();
+        sparse_retries += sc->retries();
+      }
+      put_u64_extra(r, "sparse_state_digest", state_digest);
+      put_u64_extra(r, "sparse_pull_digest", pull_digest);
+      double dedup = 0, pushes = 0, rows = 0, pulls = 0, fwds = 0, repairs = 0;
+      for_each_sparse_host([&](const embed::SparseHost& h) {
+        dedup += static_cast<double>(h.dedup_hits());
+        pushes += static_cast<double>(h.pushes_ingested());
+        rows += static_cast<double>(h.rows_applied());
+        pulls += static_cast<double>(h.pulls_answered());
+        fwds += static_cast<double>(h.replica_forwards());
+        repairs += static_cast<double>(h.repl_repairs());
+      });
+      r.extra["sparse_dedup_hits"] = dedup;
+      r.extra["sparse_pushes"] = pushes;
+      r.extra["sparse_rows_applied"] = rows;
+      r.extra["sparse_pulls_answered"] = pulls;
+      r.extra["sparse_replica_forwards"] = fwds;
+      r.extra["sparse_repl_repairs"] = repairs;
+      r.extra["sparse_retries"] = static_cast<double>(sparse_retries);
+      r.extra["sparse_parked_pulls"] = static_cast<double>(parked);
+    }
     r.counters = metrics_.counters();
     {
       std::scoped_lock lock(fault_mu_);
@@ -647,6 +837,10 @@ class ThreadRun {
   std::deque<ReplicaSlot> replicas_;  // deque: stable addresses for handlers
   mutable std::mutex head_mu_;  ///< guards head_server_ rebinds at promotion
   std::vector<ps::Server*> head_server_;  ///< current head of each shard's chain
+  // --- sparse embedding job (src/embed) ---------------------------------
+  std::vector<std::unique_ptr<embed::SparseHost>> sparse_hosts_;
+  std::vector<embed::SparseHost*> head_sparse_;  ///< rebinds guarded by head_mu_
+  std::vector<std::unique_ptr<embed::SparseWorkerClient>> sparse_clients_;
   std::vector<double> crash_time_;  ///< last crash wall time per shard
   std::int64_t failovers_ = 0;
   double failover_seconds_ = 0.0;

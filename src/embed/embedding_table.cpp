@@ -1,0 +1,86 @@
+#include "embed/embedding_table.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace fluentps::embed {
+
+std::uint64_t fnv_step(std::uint64_t h, std::uint64_t word) noexcept {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (word >> (8 * i)) & 0xFFu;
+    h *= 0x100000001B3ull;
+  }
+  return h;
+}
+
+EmbeddingTable::EmbeddingTable(TableSpec spec, std::uint64_t seed, std::uint32_t stripes)
+    : spec_(std::move(spec)),
+      seed_(seed),
+      state_size_(ml::row_state_size(spec_.opt.kind, spec_.dim)),
+      stripes_(stripes == 0 ? 1 : stripes) {}
+
+std::mutex& EmbeddingTable::stripe(std::uint64_t row_id) const {
+  // Low bits of the avalanched id; independent of the routing hash so stripe
+  // contention does not correlate with shard placement.
+  return stripes_[(row_id * 0x9E3779B97F4A7C15ull >> 32) % stripes_.size()];
+}
+
+EmbeddingTable::Row& EmbeddingTable::materialize(std::uint64_t row_id) {
+  std::scoped_lock map_lock(rows_mu_);
+  auto [it, inserted] = rows_.try_emplace(row_id);
+  if (inserted) {
+    Row& row = it->second;
+    row.data.resize(spec_.dim + state_size_, 0.0f);
+    // Deterministic per-row stream: identical values whether the row first
+    // materializes on the head, a replica, or the reference oracle, and in
+    // whatever order rows happen to be touched.
+    Rng rng(derive_seed(seed_, row_id), /*stream=*/0xE0B);
+    for (std::uint32_t k = 0; k < spec_.dim; ++k) {
+      row.data[k] = static_cast<float>(rng.normal(0.0, spec_.init_scale));
+    }
+  }
+  return it->second;
+}
+
+void EmbeddingTable::apply(std::uint64_t row_id, std::span<const float> grad) {
+  FPS_CHECK(grad.size() == spec_.dim)
+      << "grad width " << grad.size() << " != table dim " << spec_.dim;
+  Row& row = materialize(row_id);
+  std::scoped_lock lock(stripe(row_id));
+  const std::span<float> data(row.data);
+  ml::row_apply(spec_.opt, data.first(spec_.dim), data.subspan(spec_.dim), grad);
+  ++applies_;
+}
+
+void EmbeddingTable::copy_row(std::uint64_t row_id, std::span<float> out) {
+  FPS_CHECK(out.size() == spec_.dim)
+      << "out width " << out.size() << " != table dim " << spec_.dim;
+  Row& row = materialize(row_id);
+  std::scoped_lock lock(stripe(row_id));
+  std::copy_n(row.data.begin(), spec_.dim, out.begin());
+}
+
+std::size_t EmbeddingTable::materialized_rows() const {
+  std::scoped_lock lock(rows_mu_);
+  return rows_.size();
+}
+
+std::uint64_t EmbeddingTable::digest() const {
+  std::scoped_lock lock(rows_mu_);
+  std::uint64_t sum = 0;
+  for (const auto& [row_id, row] : rows_) {
+    std::uint64_t h = kFnvBasis;
+    h = fnv_step(h, spec_.table_id);
+    h = fnv_step(h, row_id);
+    for (std::uint32_t k = 0; k < spec_.dim; ++k) {
+      h = fnv_step(h, std::bit_cast<std::uint32_t>(row.data[k]));
+    }
+    sum += h;  // wrapping: order-independent across rows and servers
+  }
+  return sum;
+}
+
+}  // namespace fluentps::embed

@@ -1,0 +1,82 @@
+// One shard's slice of one embedding table: lazily materialized rows with
+// co-located per-row optimizer state.
+//
+// Rows materialize on first touch (push or pull) from a deterministic
+// initializer keyed by (table seed, row_id) — NOT by materialization order —
+// so every replica, every backend and the serial reference oracle produce
+// bit-identical initial values no matter when a row is first seen. Values and
+// optimizer state live in one contiguous allocation per row (values first,
+// state after), keeping the row_apply inner loop on one cache line for small
+// dims.
+//
+// Striping mirrors ps::StripedShard: rows hash onto `stripes` mutexes so the
+// ablation bench can drive concurrent per-row applies; inside the server the
+// host serializes access anyway (single dispatch context) and the locks are
+// uncontended.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "embed/table_spec.h"
+
+namespace fluentps::embed {
+
+class EmbeddingTable {
+ public:
+  /// `seed` is the table seed (derive it from the job seed + table_id so
+  /// distinct tables draw decorrelated initializers).
+  EmbeddingTable(TableSpec spec, std::uint64_t seed, std::uint32_t stripes = 8);
+
+  EmbeddingTable(const EmbeddingTable&) = delete;
+  EmbeddingTable& operator=(const EmbeddingTable&) = delete;
+
+  [[nodiscard]] const TableSpec& spec() const noexcept { return spec_; }
+  [[nodiscard]] std::uint32_t dim() const noexcept { return spec_.dim; }
+
+  /// Apply one gradient to one row through the spec's row optimizer,
+  /// materializing the row first if needed. Takes the row's stripe lock.
+  void apply(std::uint64_t row_id, std::span<const float> grad);
+
+  /// Copy the row's current values into `out` (dim floats), materializing it
+  /// if needed. Takes the row's stripe lock.
+  void copy_row(std::uint64_t row_id, std::span<float> out);
+
+  /// Rows materialized so far (lazy footprint, not the logical key space).
+  [[nodiscard]] std::size_t materialized_rows() const;
+
+  /// Order-independent digest of the table contents: a wrapping sum over all
+  /// materialized rows of hash(table_id, row_id, value bits). Summation makes
+  /// it invariant to sharding — per-server digests from any partitioning add
+  /// up to the serial reference oracle's digest.
+  [[nodiscard]] std::uint64_t digest() const;
+
+  /// Total row_apply invocations (the ablation's work counter).
+  [[nodiscard]] std::int64_t applies() const noexcept { return applies_; }
+
+ private:
+  struct Row {
+    std::vector<float> data;  ///< [0, dim) values, [dim, dim+state) optimizer state
+  };
+
+  Row& materialize(std::uint64_t row_id);
+  [[nodiscard]] std::mutex& stripe(std::uint64_t row_id) const;
+
+  TableSpec spec_;
+  std::uint64_t seed_;
+  std::size_t state_size_;
+  mutable std::vector<std::mutex> stripes_;
+  std::unordered_map<std::uint64_t, Row> rows_;
+  mutable std::mutex rows_mu_;  ///< guards the map itself (insertion)
+  std::int64_t applies_ = 0;
+};
+
+/// FNV-1a over a little-endian byte view of 64-bit words — the digest
+/// primitive shared with the reference oracle.
+[[nodiscard]] std::uint64_t fnv_step(std::uint64_t h, std::uint64_t word) noexcept;
+inline constexpr std::uint64_t kFnvBasis = 0xCBF29CE484222325ull;
+
+}  // namespace fluentps::embed

@@ -1,0 +1,66 @@
+#include "embed/qos.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace fluentps::embed {
+
+namespace {
+constexpr double kMinWeight = 1e-3;
+}
+
+void QosArbiter::add_tenant(std::uint32_t id, double weight) {
+  FPS_CHECK(find(id) == nullptr) << "tenant " << id << " registered twice";
+  Tenant t;
+  t.id = id;
+  t.weight = std::max(weight, kMinWeight);
+  const auto pos = std::lower_bound(tenants_.begin(), tenants_.end(), id,
+                                    [](const Tenant& a, std::uint32_t v) { return a.id < v; });
+  tenants_.insert(pos, t);
+}
+
+QosArbiter::Tenant* QosArbiter::find(std::uint32_t id) {
+  for (Tenant& t : tenants_) {
+    if (t.id == id) return &t;
+  }
+  return nullptr;
+}
+
+std::uint32_t QosArbiter::pick(const std::vector<std::uint32_t>& ready) {
+  FPS_CHECK(!ready.empty()) << "QosArbiter::pick with no ready tenants";
+  const auto is_ready = [&ready](std::uint32_t id) {
+    return std::find(ready.begin(), ready.end(), id) != ready.end();
+  };
+  // DRR: sweep from the cursor; serve the first ready tenant with credit.
+  // If none has credit, refill every *ready* tenant by its weight and sweep
+  // again — idle tenants accrue nothing, so credit cannot pile up unbounded.
+  for (;;) {
+    for (std::size_t step = 0; step < tenants_.size(); ++step) {
+      const std::size_t i = (cursor_ + step) % tenants_.size();
+      Tenant& t = tenants_[i];
+      if (!is_ready(t.id) || t.deficit < 1.0) continue;
+      t.deficit -= 1.0;
+      ++t.served;
+      cursor_ = (i + 1) % tenants_.size();
+      return t.id;
+    }
+    bool any = false;
+    for (Tenant& t : tenants_) {
+      if (is_ready(t.id)) {
+        t.deficit += t.weight;
+        any = true;
+      }
+    }
+    FPS_CHECK(any) << "QosArbiter::pick: no ready tenant is registered";
+  }
+}
+
+std::int64_t QosArbiter::served(std::uint32_t id) const {
+  for (const Tenant& t : tenants_) {
+    if (t.id == id) return t.served;
+  }
+  return 0;
+}
+
+}  // namespace fluentps::embed

@@ -1,0 +1,95 @@
+// Per-round MPSC gradient reducer (the OpenEmbedding "gradient collection"
+// stage, adapted to FluentPS's round clock).
+//
+// Many producers (one per sparse worker, arriving through the server's
+// dispatch context) append round-stamped contributions; one consumer — the
+// host's service sweep — drains a round once every worker has contributed.
+// Draining with reduction ON coalesces all of a hot row's gradients into one
+// summed vector and ONE row_apply; OFF applies each contribution separately.
+// For SGD the two agree up to floating-point reassociation — lr*(g1+g2)
+// versus lr*g1 then lr*g2 — so values match numerically but not bitwise on
+// hot rows; for AdaGrad they are deliberately different algorithms
+// (accumulator sees one summed step vs per-worker steps). Either way each
+// mode is itself deterministic: the zero-loss digest oracle (workload.h)
+// honors the flag, so runs are compared against the matching reference.
+// bench/ablation_embedding measures the throughput side of this trade.
+//
+// Determinism: contributions are stored per worker and consumed in worker-
+// rank order regardless of arrival order, so the drain is a pure function of
+// the round's content.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace fluentps::embed {
+
+/// One worker's gradients for one (table, round): sorted unique rows and
+/// their row-major gradients. Empty rows = round marker only (the worker
+/// owned no rows of this table on this shard that round).
+struct Contribution {
+  std::uint32_t worker = 0;
+  std::vector<std::uint64_t> rows;
+  std::vector<float> grads;  ///< rows.size() * dim
+};
+
+class RoundReducer {
+ public:
+  /// Record a fresh (deduped upstream) contribution for `round`.
+  void add(std::int64_t round, Contribution c) {
+    rounds_[round].push_back(std::move(c));
+  }
+
+  /// Remove and return the round's contributions sorted by worker rank.
+  /// Missing round -> empty vector (all contributions were bare markers).
+  [[nodiscard]] std::vector<Contribution> take_round(std::int64_t round) {
+    const auto it = rounds_.find(round);
+    if (it == rounds_.end()) return {};
+    std::vector<Contribution> out = std::move(it->second);
+    rounds_.erase(it);
+    std::sort(out.begin(), out.end(),
+              [](const Contribution& a, const Contribution& b) { return a.worker < b.worker; });
+    return out;
+  }
+
+  [[nodiscard]] std::size_t pending_rounds() const noexcept { return rounds_.size(); }
+
+ private:
+  std::map<std::int64_t, std::vector<Contribution>> rounds_;
+};
+
+/// Reduce a drained round: per-row gradient sums, accumulated in worker-rank
+/// order (the contributions must already be sorted by worker, as take_round
+/// returns them). Rows come out sorted ascending.
+struct ReducedRound {
+  std::vector<std::uint64_t> rows;
+  std::vector<float> sums;  ///< rows.size() * dim
+};
+
+[[nodiscard]] inline ReducedRound reduce_contributions(
+    const std::vector<Contribution>& contribs, std::uint32_t dim) {
+  std::map<std::uint64_t, std::vector<float>> acc;  // ordered: rows sorted on output
+  for (const Contribution& c : contribs) {
+    FPS_CHECK(c.grads.size() == c.rows.size() * dim) << "contribution width mismatch";
+    for (std::size_t i = 0; i < c.rows.size(); ++i) {
+      auto [it, inserted] = acc.try_emplace(c.rows[i]);
+      if (inserted) it->second.assign(dim, 0.0f);
+      const float* g = c.grads.data() + i * dim;
+      for (std::uint32_t k = 0; k < dim; ++k) it->second[k] += g[k];
+    }
+  }
+  ReducedRound out;
+  out.rows.reserve(acc.size());
+  out.sums.reserve(acc.size() * dim);
+  for (auto& [row, sum] : acc) {
+    out.rows.push_back(row);
+    out.sums.insert(out.sums.end(), sum.begin(), sum.end());
+  }
+  return out;
+}
+
+}  // namespace fluentps::embed

@@ -1,0 +1,32 @@
+// Hash-shard routing for the sparse key space (table_id, row_id).
+//
+// Dense slices are range-sharded (ps/slicing.h); embedding rows are accessed
+// by data-dependent ids with no useful locality, so they hash-shard instead:
+// every (table_id, row_id) key maps to exactly one server rank, identically
+// on every worker and for the whole run. The mix is a SplitMix64 finalizer —
+// the same bijective avalanche the Rng uses — so adjacent row ids spread
+// across servers and two tables sharing a row id land independently (the
+// table id perturbs the key before the avalanche, which is what the
+// cross-table collision tests pin down).
+#pragma once
+
+#include <cstdint>
+
+namespace fluentps::embed {
+
+/// Avalanche a sparse key into a 64-bit hash. Pure and stable: the value is
+/// part of the wire contract (workers route by it, servers own rows by it).
+[[nodiscard]] inline std::uint64_t mix_key(std::uint64_t table_id, std::uint64_t row_id) noexcept {
+  std::uint64_t x = row_id + 0x9E3779B97F4A7C15ull * (table_id + 1);
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+/// Server rank owning (table_id, row_id) among num_servers shards.
+[[nodiscard]] inline std::uint32_t route(std::uint32_t table_id, std::uint64_t row_id,
+                                         std::uint32_t num_servers) noexcept {
+  return static_cast<std::uint32_t>(mix_key(table_id, row_id) % num_servers);
+}
+
+}  // namespace fluentps::embed

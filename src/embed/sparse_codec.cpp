@@ -1,0 +1,75 @@
+#include "embed/sparse_codec.h"
+
+#include <bit>
+
+namespace fluentps::embed {
+namespace {
+
+constexpr std::size_t kHeaderWords = 4;
+constexpr std::uint32_t kHasValues = 1u << 0;
+
+inline float w2f(std::uint32_t w) noexcept { return std::bit_cast<float>(w); }
+inline std::uint32_t f2w(float f) noexcept { return std::bit_cast<std::uint32_t>(f); }
+
+inline std::size_t body_size(const SparseBatch& b) noexcept {
+  return 2 * b.rows.size() + b.values.size();
+}
+
+void encode_into(const SparseBatch& b, std::span<float> out) noexcept {
+  out[0] = w2f(b.table_id);
+  out[1] = w2f(b.dim);
+  out[2] = w2f(static_cast<std::uint32_t>(b.rows.size()));
+  out[3] = w2f(b.has_values() ? kHasValues : 0);
+  std::size_t i = kHeaderWords;
+  for (const std::uint64_t id : b.rows) {
+    out[i++] = w2f(static_cast<std::uint32_t>(id));
+    out[i++] = w2f(static_cast<std::uint32_t>(id >> 32));
+  }
+  for (const float v : b.values) out[i++] = v;
+}
+
+}  // namespace
+
+std::size_t encoded_size(const SparseBatch& b) noexcept {
+  return kHeaderWords + body_size(b);
+}
+
+std::vector<float> encode_sparse(const SparseBatch& b) {
+  std::vector<float> out(encoded_size(b));
+  encode_into(b, out);
+  return out;
+}
+
+void encode_sparse(const SparseBatch& b, net::Payload& out) {
+  encode_into(b, out.mutable_span_resized(encoded_size(b)));
+}
+
+bool decode_sparse(std::span<const float> frame, SparseBatch* out) {
+  if (frame.size() < kHeaderWords) return false;
+  const std::uint32_t table_id = f2w(frame[0]);
+  const std::uint32_t dim = f2w(frame[1]);
+  const std::uint32_t n_rows = f2w(frame[2]);
+  const std::uint32_t flags = f2w(frame[3]);
+  if ((flags & ~kHasValues) != 0) return false;
+  const bool has_values = (flags & kHasValues) != 0;
+  if (has_values && dim == 0) return false;
+  const std::size_t value_words =
+      has_values ? static_cast<std::size_t>(n_rows) * dim : 0;
+  if (frame.size() != kHeaderWords + 2 * static_cast<std::size_t>(n_rows) + value_words) {
+    return false;
+  }
+  out->table_id = table_id;
+  out->dim = dim;
+  out->rows.resize(n_rows);
+  std::size_t i = kHeaderWords;
+  for (std::uint32_t r = 0; r < n_rows; ++r) {
+    const std::uint64_t lo = f2w(frame[i]);
+    const std::uint64_t hi = f2w(frame[i + 1]);
+    out->rows[r] = lo | (hi << 32);
+    i += 2;
+  }
+  out->values.assign(frame.begin() + static_cast<std::ptrdiff_t>(i), frame.end());
+  return true;
+}
+
+}  // namespace fluentps::embed

@@ -1,0 +1,52 @@
+// Wire codec for sparse embedding traffic.
+//
+// Sparse messages ride the existing zero-copy float payload (net::Payload /
+// FrameBuffer): the batch header and 64-bit row ids are packed into the float
+// stream as raw 32-bit words via std::bit_cast, followed by the row values.
+// Nothing downstream interprets those words as numbers — every hop moves them
+// with memcpy — so the bit patterns survive the wire exactly, and the frame
+// is charged by the network model like any other payload.
+//
+// Frame layout (32-bit words inside the float payload):
+//   [0] table_id   [1] dim   [2] n_rows   [3] flags (bit0 = has row values)
+//   [4 ..]         n_rows x { row_id_lo, row_id_hi }
+//   then, iff flags bit0:  n_rows x dim row-major floats
+//
+// The same frame encodes a kSparsePush (gradients), a kSparsePull (rows only,
+// no values), a kSparsePullResp (row values) and a kSparseReplicate (the
+// head forwards the push frame verbatim). Message.progress carries the sparse
+// round, Message.seq the reliability sequence — the codec never touches them.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "net/payload.h"
+
+namespace fluentps::embed {
+
+struct SparseBatch {
+  std::uint32_t table_id = 0;
+  std::uint32_t dim = 0;
+  std::vector<std::uint64_t> rows;  ///< sorted unique row ids
+  std::vector<float> values;        ///< rows.size()*dim row-major, or empty
+
+  [[nodiscard]] bool has_values() const noexcept { return !values.empty(); }
+};
+
+/// Exact frame length in floats for `b`.
+[[nodiscard]] std::size_t encoded_size(const SparseBatch& b) noexcept;
+
+/// Encode into an owning float vector (the canonical form the replication
+/// log stores and retransmits).
+[[nodiscard]] std::vector<float> encode_sparse(const SparseBatch& b);
+
+/// Encode straight into a payload's owned storage (one resize, no temp).
+void encode_sparse(const SparseBatch& b, net::Payload& out);
+
+/// Parse a frame. Returns false on malformed input: short header, value
+/// length disagreeing with n_rows*dim, or a zero dim with values present.
+[[nodiscard]] bool decode_sparse(std::span<const float> frame, SparseBatch* out);
+
+}  // namespace fluentps::embed

@@ -1,0 +1,117 @@
+#include "embed/sparse_core.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace fluentps::embed {
+
+std::uint64_t table_seed(std::uint64_t job_seed, std::uint32_t table_id) noexcept {
+  return derive_seed(job_seed, 0x7AB1Eull + table_id);
+}
+
+SparseCore::SparseCore(SparseCoreSpec spec)
+    : registry_(spec.tables),
+      server_rank_(spec.server_rank),
+      num_workers_(spec.num_workers),
+      reduce_(spec.reduce),
+      windows_(spec.num_workers) {
+  FPS_CHECK(num_workers_ > 0) << "sparse core needs at least one worker";
+  FPS_CHECK(!registry_.empty()) << "sparse core needs at least one table";
+  tables_.reserve(registry_.size());
+  for (const TableSpec& t : registry_.specs()) {
+    TableState st;
+    st.table = std::make_unique<EmbeddingTable>(t, table_seed(spec.seed, t.table_id),
+                                                spec.stripes);
+    st.last_round.assign(num_workers_, -1);
+    tables_.push_back(std::move(st));
+  }
+}
+
+bool SparseCore::accept_push(std::uint32_t w, std::uint64_t seq) {
+  FPS_CHECK(w < windows_.size()) << "sparse push from out-of-range worker " << w;
+  return windows_[w].accept(seq);
+}
+
+SparseCore::TableState& SparseCore::state_of(std::uint32_t table_id) {
+  FPS_CHECK(table_id < tables_.size()) << "unknown table id " << table_id;
+  return tables_[table_id];
+}
+
+void SparseCore::ingest(std::int64_t round, const SparseBatch& batch, std::uint32_t w) {
+  TableState& st = state_of(batch.table_id);
+  FPS_CHECK(w < num_workers_) << "sparse ingest from out-of-range worker " << w;
+  // Fresh pushes per (worker, table) arrive in round order: the worker does
+  // not start round t+1 until round t is fully acked, and dedup already
+  // swallowed retransmits.
+  FPS_CHECK(round == st.last_round[w] + 1)
+      << "table " << batch.table_id << ": worker " << w << " jumped from round "
+      << st.last_round[w] << " to " << round;
+  st.last_round[w] = round;
+  if (!batch.rows.empty()) {
+    const std::uint32_t dim = registry_.at(batch.table_id).dim;
+    FPS_CHECK(batch.dim == dim) << "push dim " << batch.dim << " != table dim " << dim;
+    Contribution c;
+    c.worker = w;
+    c.rows = batch.rows;
+    c.grads = batch.values;
+    FPS_CHECK(c.grads.size() == c.rows.size() * dim) << "push value width mismatch";
+    st.reducer.add(round, std::move(c));
+  }
+}
+
+std::vector<std::uint32_t> SparseCore::drainable() const {
+  std::vector<std::uint32_t> out;
+  for (std::uint32_t id = 0; id < tables_.size(); ++id) {
+    const TableState& st = tables_[id];
+    const std::int64_t min_round =
+        *std::min_element(st.last_round.begin(), st.last_round.end());
+    if (min_round > st.completed) out.push_back(id);
+  }
+  return out;
+}
+
+std::int64_t SparseCore::drain_one(std::uint32_t table_id) {
+  TableState& st = state_of(table_id);
+  const std::int64_t round = st.completed + 1;
+  FPS_CHECK(*std::min_element(st.last_round.begin(), st.last_round.end()) >= round)
+      << "table " << table_id << ": round " << round << " not fully contributed";
+  const std::uint32_t dim = registry_.at(table_id).dim;
+  const std::vector<Contribution> contribs = st.reducer.take_round(round);
+  std::int64_t applied = 0;
+  if (reduce_) {
+    const ReducedRound reduced = reduce_contributions(contribs, dim);
+    for (std::size_t i = 0; i < reduced.rows.size(); ++i) {
+      st.table->apply(reduced.rows[i],
+                      std::span<const float>(reduced.sums).subspan(i * dim, dim));
+      ++applied;
+    }
+  } else {
+    for (const Contribution& c : contribs) {  // worker-rank order (take_round sorts)
+      for (std::size_t i = 0; i < c.rows.size(); ++i) {
+        st.table->apply(c.rows[i], std::span<const float>(c.grads).subspan(i * dim, dim));
+        ++applied;
+      }
+    }
+  }
+  st.completed = round;
+  return applied;
+}
+
+std::int64_t SparseCore::completed_round(std::uint32_t table_id) const {
+  FPS_CHECK(table_id < tables_.size()) << "unknown table id " << table_id;
+  return tables_[table_id].completed;
+}
+
+EmbeddingTable& SparseCore::table(std::uint32_t table_id) {
+  return *state_of(table_id).table;
+}
+
+std::uint64_t SparseCore::digest() const {
+  std::uint64_t sum = 0;
+  for (const TableState& st : tables_) sum += st.table->digest();
+  return sum;
+}
+
+}  // namespace fluentps::embed

@@ -1,0 +1,90 @@
+// The replicable kernel of a sparse shard: dedup windows, tables, round
+// clocks and reducers — everything whose state must be bit-identical between
+// a chain head and its replicas.
+//
+// SparseHost (the head) and SparseReplica both own one SparseCore and feed it
+// the same accept/ingest/drain sequence: the head from worker pushes, the
+// replica from lsn-ordered kSparseReplicate frames. Because every mutation
+// is a pure function of the accepted contribution stream, the replica's core
+// converges to the head's exactly, and promotion is a move of this object.
+//
+// Round clock (BSP per table): worker w's fresh pushes for a table arrive in
+// strictly increasing rounds (the worker starts round t+1 only after round
+// t is fully acked); a round drains once min over workers of last_round
+// passes it. Pulls for round t are answerable exactly when completed_round
+// == t, and no later round can drain before every worker received its round-
+// t pull response — which is what makes pulled values deterministic.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "embed/embedding_table.h"
+#include "embed/reducer.h"
+#include "embed/sparse_codec.h"
+#include "embed/table_spec.h"
+#include "ps/seq_window.h"
+
+namespace fluentps::embed {
+
+struct SparseCoreSpec {
+  std::uint32_t server_rank = 0;
+  std::uint32_t num_workers = 0;  ///< sparse workers contributing to each round
+  std::vector<TableSpec> tables;
+  std::uint64_t seed = 1;         ///< job seed; per-table seeds derived inside
+  bool reduce = true;             ///< coalesce per-row gradients before applying
+  std::uint32_t stripes = 8;
+};
+
+class SparseCore {
+ public:
+  explicit SparseCore(SparseCoreSpec spec);
+
+  SparseCore(const SparseCore&) = delete;
+  SparseCore& operator=(const SparseCore&) = delete;
+
+  /// SeqWindow dedup for worker `w`'s push stream. True = fresh.
+  [[nodiscard]] bool accept_push(std::uint32_t w, std::uint64_t seq);
+
+  /// Record a fresh round-stamped contribution (marker included — an empty
+  /// rows list still advances the worker's round clock).
+  void ingest(std::int64_t round, const SparseBatch& batch, std::uint32_t w);
+
+  /// Table ids whose next round is fully contributed and can drain now.
+  [[nodiscard]] std::vector<std::uint32_t> drainable() const;
+
+  /// Apply table `table_id`'s next round; returns row_apply count.
+  std::int64_t drain_one(std::uint32_t table_id);
+
+  [[nodiscard]] std::int64_t completed_round(std::uint32_t table_id) const;
+  [[nodiscard]] EmbeddingTable& table(std::uint32_t table_id);
+  [[nodiscard]] const TableRegistry& registry() const noexcept { return registry_; }
+  [[nodiscard]] std::uint32_t num_workers() const noexcept { return num_workers_; }
+
+  /// Order-independent digest over every table (sums across servers).
+  [[nodiscard]] std::uint64_t digest() const;
+
+ private:
+  struct TableState {
+    std::unique_ptr<EmbeddingTable> table;
+    std::vector<std::int64_t> last_round;  ///< per worker, -1 = none yet
+    std::int64_t completed = -1;
+    RoundReducer reducer;
+  };
+
+  [[nodiscard]] TableState& state_of(std::uint32_t table_id);
+
+  TableRegistry registry_;
+  std::uint32_t server_rank_;
+  std::uint32_t num_workers_;
+  bool reduce_;
+  std::vector<ps::SeqWindow> windows_;  ///< per sparse worker
+  std::vector<TableState> tables_;      ///< index == table_id
+};
+
+/// Seed for table `table_id` of the job seeded `job_seed` — shared with the
+/// reference oracle (workload.h) so both materialize identical rows.
+[[nodiscard]] std::uint64_t table_seed(std::uint64_t job_seed, std::uint32_t table_id) noexcept;
+
+}  // namespace fluentps::embed

@@ -1,0 +1,305 @@
+#include "embed/sparse_host.h"
+
+#include <algorithm>
+#include <span>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace fluentps::embed {
+
+SparseHost::SparseHost(SparseHostSpec spec, net::Transport& transport)
+    : node_id_(spec.node_id),
+      server_rank_(spec.core.server_rank),
+      replica_successor_(spec.replica_successor),
+      metrics_(spec.metrics),
+      transport_(transport),
+      core_(std::make_unique<SparseCore>(spec.core)) {
+  for (const TableSpec& t : core_->registry().specs()) {
+    arbiter_.add_tenant(t.table_id, t.qos_weight);
+  }
+}
+
+void SparseHost::handle(net::Message&& msg) {
+  std::vector<net::Message> out;
+  {
+    std::scoped_lock lock(mu_);
+    switch (msg.type) {
+      case net::MsgType::kSparsePush:
+        on_push(std::move(msg), out);
+        break;
+      case net::MsgType::kSparsePull:
+        on_pull(std::move(msg), out);
+        break;
+      case net::MsgType::kSparseReplicateAck:
+        on_replicate_ack(std::move(msg), out);
+        break;
+      case net::MsgType::kSparseReplicate:
+        // Only replicas receive these; a promoted head can still see one if a
+        // delayed frame from the dead head outlives the failover. Drop it —
+        // its lsn is already in our adopted log or applied state.
+        ++stale_replicates_;
+        break;
+      case net::MsgType::kShutdown:
+        break;
+      default:
+        FPS_LOG(Warn) << "sparse host " << node_id_ << ": unexpected "
+                     << net::to_string(msg.type) << " from " << msg.src;
+        break;
+    }
+  }
+  // Messages queued under the lock may borrow msg.values (still alive here).
+  for (net::Message& m : out) transport_.send(std::move(m));
+}
+
+void SparseHost::on_push(net::Message&& msg, std::vector<net::Message>& out) {
+  SparseBatch batch;
+  if (!decode_sparse(msg.values.span(), &batch) ||
+      core_->registry().find(batch.table_id) == nullptr) {
+    FPS_LOG(Warn) << "sparse host " << node_id_ << ": dropping malformed push from "
+                 << msg.src;
+    return;
+  }
+  const std::uint32_t w = msg.worker_rank;
+  const bool fresh = core_->accept_push(w, msg.seq);
+  if (!fresh) {
+    ++dedup_hits_;
+    if (replica_successor_ != 0) {
+      // Retransmit of an applied-but-unreplicated push: the ack is still owed
+      // to the chain horizon. Re-forward (chain repair for dropped replicate
+      // frames) and record the ack if the first copy's got lost too.
+      if (replica::LogEntry* e = log_.find(w, msg.seq)) {
+        bool recorded = false;
+        for (const replica::DeferredAck& a : e->acks) {
+          if (a.dst == msg.src && a.seq == msg.seq) recorded = true;
+        }
+        if (!recorded) {
+          e->acks.push_back({msg.src, msg.request_id, msg.seq, msg.progress, w});
+        }
+        net::Message fwd = make_replicate(e->lsn, e->worker_rank, e->seq, e->progress);
+        fwd.values = e->values;  // owned copy; the borrowed original is gone
+        out.push_back(std::move(fwd));
+        ++repl_repairs_;
+        return;
+      }
+      // Trimmed: already chain-replicated; ack immediately below.
+    }
+    out.push_back(make_push_ack(msg.src, msg.request_id, msg.seq, msg.progress, w));
+    return;
+  }
+  core_->ingest(msg.progress, batch, w);
+  ++pushes_ingested_;
+  bump_tenant(batch.table_id, "pushes");
+  bump_tenant(batch.table_id, "rows_pushed", static_cast<std::int64_t>(batch.rows.size()));
+  if (replica_successor_ != 0) {
+    replica::LogEntry& e = log_.append(w, msg.seq, msg.progress, msg.values.span());
+    e.acks.push_back({msg.src, msg.request_id, msg.seq, msg.progress, w});
+    net::Message fwd = make_replicate(e.lsn, w, msg.seq, msg.progress);
+    if (transport_.inline_delivery()) {
+      fwd.values = net::Payload::borrow(msg.values.span());
+    } else {
+      fwd.values = e.values;
+    }
+    out.push_back(std::move(fwd));
+    ++replica_forwards_;
+  } else {
+    out.push_back(make_push_ack(msg.src, msg.request_id, msg.seq, msg.progress, w));
+  }
+  service_locked(out);
+}
+
+void SparseHost::on_pull(net::Message&& msg, std::vector<net::Message>& out) {
+  SparseBatch batch;
+  if (!decode_sparse(msg.values.span(), &batch) ||
+      core_->registry().find(batch.table_id) == nullptr) {
+    FPS_LOG(Warn) << "sparse host " << node_id_ << ": dropping malformed pull from "
+                 << msg.src;
+    return;
+  }
+  const std::uint64_t ticket = msg.request_id;
+  if (parked_.contains(ticket)) return;  // duplicate while the original waits
+  ParkedPull p;
+  p.src = msg.src;
+  p.worker = msg.worker_rank;
+  p.table_id = batch.table_id;
+  p.round = msg.progress;
+  p.rows = std::move(batch.rows);
+  parked_.emplace(ticket, std::move(p));
+  service_locked(out);
+}
+
+void SparseHost::on_replicate_ack(net::Message&& msg, std::vector<net::Message>& out) {
+  // Cumulative horizon: every lsn <= request_id reached the tail; release the
+  // worker acks deferred onto the trimmed entries.
+  log_.trim_to(msg.request_id, [&](replica::LogEntry& e) {
+    for (const replica::DeferredAck& a : e.acks) {
+      out.push_back(make_push_ack(a.dst, a.request_id, a.seq, a.progress, a.worker_rank));
+    }
+  });
+}
+
+void SparseHost::service_locked(std::vector<net::Message>& out) {
+  for (;;) {
+    const std::vector<std::uint32_t> can_drain = core_->drainable();
+    std::vector<std::uint32_t> ready = can_drain;
+    for (const auto& [ticket, p] : parked_) {
+      if (p.round <= core_->completed_round(p.table_id) &&
+          std::find(ready.begin(), ready.end(), p.table_id) == ready.end()) {
+        ready.push_back(p.table_id);
+      }
+    }
+    if (ready.empty()) return;
+    std::sort(ready.begin(), ready.end());
+    const std::uint32_t t = arbiter_.pick(ready);
+    bump_tenant(t, "service_units");
+    // One unit: answer an eligible parked pull first (its round's values must
+    // not move under it), else drain the table's next complete round.
+    bool answered = false;
+    for (auto it = parked_.begin(); it != parked_.end(); ++it) {
+      if (it->second.table_id == t && it->second.round <= core_->completed_round(t)) {
+        answer_pull_locked(it->first, it->second, out);
+        parked_.erase(it);
+        answered = true;
+        break;
+      }
+    }
+    if (!answered) {
+      const std::int64_t applied = core_->drain_one(t);
+      rows_applied_ += applied;
+      bump_tenant(t, "rows_applied", applied);
+    }
+  }
+}
+
+void SparseHost::answer_pull_locked(std::uint64_t ticket, const ParkedPull& p,
+                                    std::vector<net::Message>& out) {
+  const std::uint32_t dim = core_->registry().at(p.table_id).dim;
+  SparseBatch resp;
+  resp.table_id = p.table_id;
+  resp.dim = dim;
+  resp.rows = p.rows;
+  resp.values.resize(resp.rows.size() * dim);
+  EmbeddingTable& table = core_->table(p.table_id);
+  for (std::size_t i = 0; i < resp.rows.size(); ++i) {
+    table.copy_row(resp.rows[i], std::span<float>(resp.values).subspan(i * dim, dim));
+  }
+  net::Message m;
+  m.type = net::MsgType::kSparsePullResp;
+  m.src = node_id_;
+  m.dst = p.src;
+  m.request_id = ticket;
+  m.progress = p.round;
+  m.worker_rank = p.worker;
+  m.server_rank = server_rank_;
+  encode_sparse(resp, m.values);
+  out.push_back(std::move(m));
+  ++pulls_answered_;
+  bump_tenant(p.table_id, "pulls_answered");
+}
+
+net::Message SparseHost::make_push_ack(net::NodeId dst, std::uint64_t request_id,
+                                       std::uint64_t seq, std::int64_t progress,
+                                       std::uint32_t worker_rank) const {
+  net::Message ack;
+  ack.type = net::MsgType::kPushAck;
+  ack.src = node_id_;
+  ack.dst = dst;
+  ack.request_id = request_id;
+  ack.seq = seq;
+  ack.progress = progress;
+  ack.worker_rank = worker_rank;
+  ack.server_rank = server_rank_;
+  return ack;
+}
+
+net::Message SparseHost::make_replicate(std::uint64_t lsn, std::uint32_t worker_rank,
+                                        std::uint64_t seq, std::int64_t progress) const {
+  net::Message fwd;
+  fwd.type = net::MsgType::kSparseReplicate;
+  fwd.src = node_id_;
+  fwd.dst = replica_successor_;
+  fwd.request_id = lsn;
+  fwd.seq = seq;
+  fwd.progress = progress;
+  fwd.worker_rank = worker_rank;
+  fwd.server_rank = server_rank_;
+  return fwd;
+}
+
+void SparseHost::bump_tenant(std::uint32_t table_id, const char* counter,
+                             std::int64_t delta) {
+  if (metrics_ == nullptr) return;
+  metrics_->incr("tenant." + core_->registry().at(table_id).name + "." + counter, delta);
+}
+
+void SparseHost::adopt(SparseReleasedState&& state) {
+  std::scoped_lock lock(mu_);
+  core_ = std::move(state.core);
+  log_ = std::move(state.log);
+  if (replica_successor_ == 0) {
+    // We are the new tail: everything in the adopted log is already applied
+    // here, so it is trivially "replicated to the tail". Trim it (replica
+    // entries carry no deferred worker acks) so retransmits ack immediately.
+    log_.trim_to(log_.next_lsn() == 0 ? 0 : log_.next_lsn() - 1,
+                 [](replica::LogEntry&) {});
+  }
+}
+
+void SparseHost::replay_replication_log() {
+  std::vector<net::Message> out;
+  {
+    std::scoped_lock lock(mu_);
+    if (replica_successor_ == 0) return;
+    for (replica::LogEntry& e : log_.pending()) {
+      net::Message fwd = make_replicate(e.lsn, e.worker_rank, e.seq, e.progress);
+      fwd.values = e.values;
+      out.push_back(std::move(fwd));
+      ++replica_forwards_;
+    }
+  }
+  for (net::Message& m : out) transport_.send(std::move(m));
+}
+
+std::uint64_t SparseHost::state_digest() const {
+  std::scoped_lock lock(mu_);
+  return core_->digest();
+}
+
+std::int64_t SparseHost::dedup_hits() const {
+  std::scoped_lock lock(mu_);
+  return dedup_hits_;
+}
+std::int64_t SparseHost::pushes_ingested() const {
+  std::scoped_lock lock(mu_);
+  return pushes_ingested_;
+}
+std::int64_t SparseHost::rows_applied() const {
+  std::scoped_lock lock(mu_);
+  return rows_applied_;
+}
+std::int64_t SparseHost::pulls_answered() const {
+  std::scoped_lock lock(mu_);
+  return pulls_answered_;
+}
+std::int64_t SparseHost::replica_forwards() const {
+  std::scoped_lock lock(mu_);
+  return replica_forwards_;
+}
+std::int64_t SparseHost::repl_repairs() const {
+  std::scoped_lock lock(mu_);
+  return repl_repairs_;
+}
+std::int64_t SparseHost::stale_replicates() const {
+  std::scoped_lock lock(mu_);
+  return stale_replicates_;
+}
+std::size_t SparseHost::replication_high_water() const {
+  std::scoped_lock lock(mu_);
+  return log_.high_water();
+}
+std::size_t SparseHost::parked_pulls() const {
+  std::scoped_lock lock(mu_);
+  return parked_.size();
+}
+
+}  // namespace fluentps::embed

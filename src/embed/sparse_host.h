@@ -1,0 +1,137 @@
+// Server-side host for sparse embedding traffic — the sparse twin of
+// ps::Server, co-resident on the same server nodes (one node serves the
+// dense shard AND every sparse table shard; the runtime routes by message
+// type).
+//
+// Responsibilities:
+//  * kSparsePush: SeqWindow dedup (PR-1 reliability extends to sparse
+//    traffic), ingest into the round reducer, ack — immediately when
+//    unreplicated, deferred to the chain ack horizon when a successor is
+//    configured (PR-5 zero-loss semantics, same ReplicationLog machinery;
+//    the log stores the raw codec frame and forwards it verbatim as
+//    kSparseReplicate).
+//  * kSparsePull: park until the requested round has fully drained, then
+//    answer with the rows' current values. Duplicate pulls are re-answered
+//    by re-reading: the round clock guarantees the table cannot advance past
+//    a round whose pulls are still outstanding (see sparse_core.h), so the
+//    re-read is bit-identical to the lost original.
+//  * Multi-tenant service: when several tables have work (drains, parked
+//    pulls), one QosArbiter unit at a time in deficit-round-robin order,
+//    with per-tenant metrics under tenant.<name>.*.
+//
+// Threading matches ps::Server: handle() runs on the node's single dispatch
+// context; the internal mutex only fences the promotion handoff (adopt()
+// runs on the chaos thread in the thread backend).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/metrics.h"
+#include "embed/qos.h"
+#include "embed/sparse_core.h"
+#include "net/message.h"
+#include "net/transport.h"
+#include "replica/replication_log.h"
+
+namespace fluentps::embed {
+
+/// Promotion handoff bundle (what SparseReplica::release_state returns and
+/// SparseHost::adopt consumes).
+struct SparseReleasedState {
+  std::unique_ptr<SparseCore> core;
+  replica::ReplicationLog log;
+};
+
+struct SparseHostSpec {
+  net::NodeId node_id = 0;
+  SparseCoreSpec core;
+  net::NodeId replica_successor = 0;  ///< 0 = unreplicated (ack immediately)
+  Metrics* metrics = nullptr;         ///< optional tenant.* counters
+};
+
+class SparseHost {
+ public:
+  SparseHost(SparseHostSpec spec, net::Transport& transport);
+
+  SparseHost(const SparseHost&) = delete;
+  SparseHost& operator=(const SparseHost&) = delete;
+
+  /// Transport handler for kSparsePush / kSparsePull / kSparseReplicateAck.
+  void handle(net::Message&& msg);
+
+  /// Promotion: install a replica's released core + log in place of the
+  /// fresh ones (parked-pull state died with the old head; workers re-pull
+  /// through their retry ladder after kPromote).
+  void adopt(SparseReleasedState&& state);
+
+  /// Re-forward pending log entries downstream after a promotion (no-op for
+  /// a tail/unreplicated host).
+  void replay_replication_log();
+
+  [[nodiscard]] net::NodeId node_id() const noexcept { return node_id_; }
+  [[nodiscard]] std::uint32_t rank() const noexcept { return server_rank_; }
+
+  /// Order-independent digest of every table shard (sums across servers).
+  [[nodiscard]] std::uint64_t state_digest() const;
+
+  [[nodiscard]] std::int64_t dedup_hits() const;
+  [[nodiscard]] std::int64_t pushes_ingested() const;
+  [[nodiscard]] std::int64_t rows_applied() const;
+  [[nodiscard]] std::int64_t pulls_answered() const;
+  [[nodiscard]] std::int64_t replica_forwards() const;
+  [[nodiscard]] std::int64_t repl_repairs() const;
+  [[nodiscard]] std::int64_t stale_replicates() const;
+  [[nodiscard]] std::size_t replication_high_water() const;
+  [[nodiscard]] std::size_t parked_pulls() const;
+
+ private:
+  struct ParkedPull {
+    net::NodeId src = 0;
+    std::uint32_t worker = 0;
+    std::uint32_t table_id = 0;
+    std::int64_t round = 0;
+    std::vector<std::uint64_t> rows;
+  };
+
+  void on_push(net::Message&& msg, std::vector<net::Message>& out);
+  void on_pull(net::Message&& msg, std::vector<net::Message>& out);
+  void on_replicate_ack(net::Message&& msg, std::vector<net::Message>& out);
+
+  /// Drain/answer everything currently serviceable, one arbiter unit at a
+  /// time (called with mu_ held; responses are queued on `out`).
+  void service_locked(std::vector<net::Message>& out);
+  void answer_pull_locked(std::uint64_t ticket, const ParkedPull& p,
+                          std::vector<net::Message>& out);
+  [[nodiscard]] net::Message make_push_ack(net::NodeId dst, std::uint64_t request_id,
+                                           std::uint64_t seq, std::int64_t progress,
+                                           std::uint32_t worker_rank) const;
+  [[nodiscard]] net::Message make_replicate(std::uint64_t lsn, std::uint32_t worker_rank,
+                                            std::uint64_t seq, std::int64_t progress) const;
+  void bump_tenant(std::uint32_t table_id, const char* counter, std::int64_t delta = 1);
+
+  net::NodeId node_id_;
+  std::uint32_t server_rank_;
+  net::NodeId replica_successor_;
+  Metrics* metrics_;
+  net::Transport& transport_;
+
+  mutable std::mutex mu_;  ///< fences handle() against the promotion handoff
+  std::unique_ptr<SparseCore> core_;
+  replica::ReplicationLog log_;
+  QosArbiter arbiter_;
+  std::map<std::uint64_t, ParkedPull> parked_;  ///< ticket-ordered (deterministic)
+
+  std::int64_t dedup_hits_ = 0;
+  std::int64_t pushes_ingested_ = 0;
+  std::int64_t rows_applied_ = 0;
+  std::int64_t pulls_answered_ = 0;
+  std::int64_t replica_forwards_ = 0;
+  std::int64_t repl_repairs_ = 0;
+  std::int64_t stale_replicates_ = 0;
+};
+
+}  // namespace fluentps::embed

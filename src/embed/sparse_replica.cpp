@@ -1,0 +1,147 @@
+#include "embed/sparse_replica.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.h"
+#include "embed/sparse_codec.h"
+
+namespace fluentps::embed {
+
+SparseReplica::SparseReplica(SparseReplicaSpec spec, net::Transport& transport)
+    : node_id_(spec.node_id),
+      server_rank_(spec.core.server_rank),
+      chain_pos_(spec.chain_pos),
+      successor_(spec.successor),
+      transport_(transport),
+      core_(std::make_unique<SparseCore>(spec.core)) {
+  FPS_CHECK(chain_pos_ >= 1) << "chain position 0 is the head, not a replica";
+}
+
+void SparseReplica::handle(net::Message&& msg) {
+  if (released_) return;  // promoted away; the slot now routes to a SparseHost
+  switch (msg.type) {
+    case net::MsgType::kSparseReplicate: {
+      const std::uint64_t lsn = msg.request_id;
+      if (lsn < next_lsn_) {
+        // Duplicate: re-forward if still pending below (the loss may have
+        // been downstream), re-ack upstream if trimmed (the lost frame may
+        // have been the ack). Apply is skipped either way (exactly-once).
+        ++dup_drops_;
+        if (replica::LogEntry* e = log_.find_lsn(lsn)) {
+          ++reforwards_;
+          forward(*e);
+        } else {
+          ack_upstream(msg.src, lsn);
+        }
+        return;
+      }
+      if (lsn > next_lsn_) {
+        // Out of order: park until the gap fills. The frame may borrow
+        // transport-owned bytes — take ownership first.
+        msg.values.ensure_owned();
+        stash_.insert_or_assign(lsn, std::move(msg));
+        return;
+      }
+      deliver(std::move(msg));
+      for (auto it = stash_.begin(); it != stash_.end() && it->first == next_lsn_;) {
+        net::Message parked = std::move(it->second);
+        it = stash_.erase(it);
+        deliver(std::move(parked));
+      }
+      return;
+    }
+    case net::MsgType::kSparseReplicateAck: {
+      // Cumulative horizon from our successor: trim and propagate upstream.
+      std::map<net::NodeId, std::uint64_t> horizons;
+      log_.trim_to(msg.request_id, [&](const replica::LogEntry& e) {
+        std::uint64_t& h = horizons[e.upstream];
+        h = std::max(h, e.lsn);
+      });
+      for (const auto& [dst, h] : horizons) ack_upstream(dst, h);
+      return;
+    }
+    case net::MsgType::kShutdown:
+      return;
+    default:
+      FPS_LOG(Warn) << "sparse replica " << node_id_ << " ignoring "
+                    << net::to_string(msg.type);
+      return;
+  }
+}
+
+void SparseReplica::deliver(net::Message&& msg) {
+  const std::uint64_t lsn = msg.request_id;
+  const std::uint32_t w = msg.worker_rank;
+
+  // Mirror the head's dedup decision: the head only replicates pushes its own
+  // window accepted, so `fresh` is false here only across a promote replay —
+  // where skipping the re-apply is exactly right.
+  const bool fresh = core_->accept_push(w, msg.seq);
+  if (fresh) {
+    SparseBatch batch;
+    FPS_CHECK(decode_sparse(msg.values.span(), &batch))
+        << "sparse replica " << node_id_ << ": head forwarded a malformed frame";
+    core_->ingest(msg.progress, batch, w);
+    // Drain eagerly: a round's content is frozen once complete, so draining
+    // here vs in the head's service sweep yields bit-identical tables.
+    for (std::uint32_t t : core_->drainable()) core_->drain_one(t);
+    ++applied_;
+  }
+  next_lsn_ = lsn + 1;
+
+  if (successor_ != 0) {
+    replica::LogEntry e;
+    e.lsn = lsn;
+    e.worker_rank = w;
+    e.seq = msg.seq;
+    e.progress = msg.progress;
+    e.values.assign(msg.values.begin(), msg.values.end());
+    e.upstream = msg.src;
+    forward(log_.insert(std::move(e)));
+    ++forwarded_;
+  } else {
+    ack_upstream(msg.src, lsn);  // tail: contiguous stream, cumulative ack
+  }
+}
+
+void SparseReplica::forward(const replica::LogEntry& e) {
+  net::Message fwd;
+  fwd.type = net::MsgType::kSparseReplicate;
+  fwd.src = node_id_;
+  fwd.dst = successor_;
+  fwd.request_id = e.lsn;
+  fwd.seq = e.seq;
+  fwd.progress = e.progress;
+  fwd.worker_rank = e.worker_rank;
+  fwd.server_rank = server_rank_;
+  if (transport_.inline_delivery()) {
+    fwd.values = net::Payload::borrow(e.values);
+  } else {
+    fwd.values.assign(e.values.begin(), e.values.end());
+  }
+  transport_.send(std::move(fwd));
+}
+
+void SparseReplica::ack_upstream(net::NodeId dst, std::uint64_t lsn) {
+  net::Message ack;
+  ack.type = net::MsgType::kSparseReplicateAck;
+  ack.src = node_id_;
+  ack.dst = dst;
+  ack.request_id = lsn;
+  ack.server_rank = server_rank_;
+  transport_.send(std::move(ack));
+}
+
+SparseReleasedState SparseReplica::release_state() {
+  FPS_CHECK(!released_) << "sparse replica " << node_id_ << " released twice";
+  released_ = true;
+  SparseReleasedState s;
+  s.core = std::move(core_);
+  if (successor_ == 0) log_.set_next_lsn(next_lsn_);
+  s.log = std::move(log_);
+  stash_.clear();
+  return s;
+}
+
+}  // namespace fluentps::embed

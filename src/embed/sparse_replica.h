@@ -1,0 +1,82 @@
+// Chain replica for sparse embedding shards — the sparse twin of
+// replica::ReplicaNode (DESIGN.md §9/§10).
+//
+// Receives kSparseReplicate frames from its predecessor, applies them in lsn
+// order through its own SparseCore (same accept/ingest/drain sequence as the
+// head, so tables, round clocks and dedup windows stay bit-identical), and
+// either forwards downstream (middle) or acks upstream (tail, cumulative).
+// Loss healing mirrors the dense chain: a duplicate lsn re-forwards if still
+// pending below, re-acks if already trimmed.
+//
+// Threading matches ReplicaNode: handle()/release_state() are serialized by
+// the runtime (per-slot mutex in the thread backend, single context in sim).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+
+#include "embed/sparse_core.h"
+#include "embed/sparse_host.h"
+#include "net/message.h"
+#include "net/transport.h"
+#include "replica/replication_log.h"
+
+namespace fluentps::embed {
+
+struct SparseReplicaSpec {
+  net::NodeId node_id = 0;
+  std::uint32_t chain_pos = 1;   ///< position in the chain (1..r-1)
+  SparseCoreSpec core;           ///< must equal the head's core spec
+  net::NodeId successor = 0;     ///< next chain node; 0 = tail
+};
+
+class SparseReplica {
+ public:
+  SparseReplica(SparseReplicaSpec spec, net::Transport& transport);
+
+  SparseReplica(const SparseReplica&) = delete;
+  SparseReplica& operator=(const SparseReplica&) = delete;
+
+  /// Transport handler for kSparseReplicate / kSparseReplicateAck.
+  void handle(net::Message&& msg);
+
+  /// Promotion handoff: moves the core (tables + round clocks + dedup
+  /// windows) and pending log out for SparseHost::adopt.
+  [[nodiscard]] SparseReleasedState release_state();
+
+  [[nodiscard]] net::NodeId node_id() const noexcept { return node_id_; }
+  [[nodiscard]] std::uint32_t rank() const noexcept { return server_rank_; }
+  [[nodiscard]] std::uint32_t chain_pos() const noexcept { return chain_pos_; }
+  [[nodiscard]] std::int64_t applied() const noexcept { return applied_; }
+  [[nodiscard]] std::int64_t forwarded() const noexcept { return forwarded_; }
+  [[nodiscard]] std::int64_t dup_drops() const noexcept { return dup_drops_; }
+  [[nodiscard]] std::int64_t reforwards() const noexcept { return reforwards_; }
+  [[nodiscard]] std::uint64_t next_lsn() const noexcept { return next_lsn_; }
+  [[nodiscard]] std::size_t stashed() const noexcept { return stash_.size(); }
+  [[nodiscard]] std::uint64_t state_digest() const { return core_->digest(); }
+
+ private:
+  void deliver(net::Message&& msg);
+  void forward(const replica::LogEntry& e);
+  void ack_upstream(net::NodeId dst, std::uint64_t lsn);
+
+  net::NodeId node_id_;
+  std::uint32_t server_rank_;
+  std::uint32_t chain_pos_;
+  net::NodeId successor_;
+  net::Transport& transport_;
+
+  std::unique_ptr<SparseCore> core_;
+  replica::ReplicationLog log_;  ///< middle nodes: pending downstream
+  std::uint64_t next_lsn_ = 1;
+  std::map<std::uint64_t, net::Message> stash_;  ///< out-of-order arrivals
+  bool released_ = false;
+
+  std::int64_t applied_ = 0;
+  std::int64_t forwarded_ = 0;
+  std::int64_t dup_drops_ = 0;
+  std::int64_t reforwards_ = 0;
+};
+
+}  // namespace fluentps::embed

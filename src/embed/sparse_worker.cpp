@@ -1,0 +1,231 @@
+#include "embed/sparse_worker.h"
+
+#include <chrono>
+#include <utility>
+
+#include "common/logging.h"
+#include "embed/embedding_table.h"
+#include "embed/workload.h"
+
+namespace fluentps::embed {
+namespace {
+
+std::chrono::duration<double> secs(double s) { return std::chrono::duration<double>(s); }
+
+}  // namespace
+
+SparseWorkerClient::SparseWorkerClient(SparseWorkerSpec spec, net::Transport& transport)
+    : node_id_(spec.node_id),
+      worker_rank_(spec.worker_rank),
+      server_nodes_(std::move(spec.server_nodes)),
+      tables_(std::move(spec.tables)),
+      retry_(spec.retry),
+      transport_(transport),
+      retry_rng_(derive_seed(spec.seed, 0x5B9E81 + spec.worker_rank), /*stream=*/0x4E7),
+      next_seq_(server_nodes_.size(), 1),
+      next_ticket_((static_cast<std::uint64_t>(spec.worker_rank) << 40) + 1),
+      pull_digest_(kFnvBasis) {
+  FPS_CHECK(!server_nodes_.empty()) << "sparse worker needs at least one server";
+  FPS_CHECK(!tables_.empty()) << "sparse worker needs at least one table";
+}
+
+void SparseWorkerClient::handle(net::Message&& msg) {
+  std::unique_lock lock(mu_);
+  switch (msg.type) {
+    case net::MsgType::kPushAck: {
+      const std::uint32_t m = msg.server_rank;
+      for (PendingPush& p : pushes_) {
+        if (p.server == m && p.seq == msg.seq && !p.acked) {
+          p.acked = true;
+          --unacked_;
+          cv_.notify_all();
+          return;
+        }
+      }
+      return;  // duplicate ack (retransmit raced the original)
+    }
+    case net::MsgType::kSparsePullResp: {
+      for (PendingPull& p : pulls_) {
+        if (p.ticket == msg.request_id && !p.received) {
+          FPS_CHECK(decode_sparse(msg.values.span(), &p.resp))
+              << "sparse worker " << worker_rank_ << ": malformed pull response";
+          p.received = true;
+          --unanswered_;
+          cv_.notify_all();
+          return;
+        }
+      }
+      return;  // stale or duplicate response
+    }
+    case net::MsgType::kPromote: {
+      // Shard server_rank failed over; rebind and re-offer what the dead
+      // head may have swallowed rather than waiting out the retry timeout.
+      const std::uint32_t m = msg.server_rank;
+      FPS_CHECK(m < server_nodes_.size()) << "bad server rank in promote: " << m;
+      if (server_nodes_[m] == msg.src) return;
+      server_nodes_[m] = msg.src;
+      for (const PendingPush& p : pushes_) {
+        if (p.server == m && !p.acked) send_push_locked(p);
+      }
+      for (const PendingPull& p : pulls_) {
+        if (p.server == m && !p.received) send_pull_locked(p);
+      }
+      return;
+    }
+    case net::MsgType::kShutdown:
+      return;
+    default:
+      FPS_LOG(Warn) << "sparse worker " << worker_rank_ << " ignoring "
+                    << net::to_string(msg.type);
+      return;
+  }
+}
+
+void SparseWorkerClient::send_push_locked(const PendingPush& p) {
+  net::Message msg;
+  msg.type = net::MsgType::kSparsePush;
+  msg.src = node_id_;
+  msg.dst = server_nodes_[p.server];
+  msg.request_id = p.seq;
+  msg.seq = p.seq;
+  msg.progress = p.round;
+  msg.worker_rank = worker_rank_;
+  msg.server_rank = p.server;
+  if (transport_.inline_delivery()) {
+    msg.values = net::Payload::borrow(p.frame);  // consumed inside send()
+  } else {
+    msg.values.assign(p.frame.begin(), p.frame.end());
+  }
+  transport_.send(std::move(msg));
+}
+
+void SparseWorkerClient::send_pull_locked(const PendingPull& p) {
+  net::Message msg;
+  msg.type = net::MsgType::kSparsePull;
+  msg.src = node_id_;
+  msg.dst = server_nodes_[p.server];
+  msg.request_id = p.ticket;
+  msg.seq = 0;  // pulls bypass the dedup window; the ticket dedups them
+  msg.progress = p.round;
+  msg.worker_rank = worker_rank_;
+  msg.server_rank = p.server;
+  if (transport_.inline_delivery()) {
+    msg.values = net::Payload::borrow(p.frame);
+  } else {
+    msg.values.assign(p.frame.begin(), p.frame.end());
+  }
+  transport_.send(std::move(msg));
+}
+
+template <typename Pred, typename Resend>
+void SparseWorkerClient::await_locked(std::unique_lock<std::mutex>& lock, Pred done,
+                                      Resend resend, const char* what) {
+  std::uint32_t attempt = 0;
+  while (!done()) {
+    const double timeout = retry_.timeout_for(attempt, retry_rng_);
+    if (cv_.wait_for(lock, secs(timeout), done)) break;
+    ++retries_;
+    if (retry_.exhausted(attempt) && !budget_warned_) {
+      budget_warned_ = true;
+      FPS_LOG(Warn) << "sparse worker " << worker_rank_ << " retry budget ("
+                    << retry_.budget << ") exhausted waiting for " << what
+                    << "; retransmitting at max timeout";
+    } else {
+      ++attempt;
+    }
+    resend();
+  }
+}
+
+void SparseWorkerClient::run_round(std::int64_t round,
+                                   const std::vector<SparseBatch>& full_batches) {
+  FPS_CHECK(full_batches.size() == tables_.size()) << "one batch per table required";
+  const auto num_servers = static_cast<std::uint32_t>(server_nodes_.size());
+
+  // Shard every table's batch once; pushes reuse the shards, pulls reuse the
+  // row lists.
+  std::vector<std::vector<SparseBatch>> shards(tables_.size());
+  for (std::size_t t = 0; t < tables_.size(); ++t) {
+    FPS_CHECK(full_batches[t].table_id == tables_[t].table_id) << "batch order mismatch";
+    shards[t].reserve(num_servers);
+    for (std::uint32_t m = 0; m < num_servers; ++m) {
+      shards[t].push_back(shard_of(full_batches[t], m, num_servers));
+    }
+  }
+
+  // Phase 1: push every shard — empty ones included, they are the round
+  // markers — and wait for every ack.
+  {
+    std::unique_lock lock(mu_);
+    pushes_.clear();
+    pushes_.reserve(tables_.size() * num_servers);
+    for (std::uint32_t m = 0; m < num_servers; ++m) {
+      for (std::size_t t = 0; t < tables_.size(); ++t) {
+        PendingPush p;
+        p.server = m;
+        p.seq = next_seq_[m]++;
+        p.round = round;
+        p.frame = encode_sparse(shards[t][m]);
+        pushes_.push_back(std::move(p));
+      }
+    }
+    unacked_ = static_cast<std::uint32_t>(pushes_.size());
+    for (const PendingPush& p : pushes_) send_push_locked(p);
+    await_locked(
+        lock, [this] { return unacked_ == 0; },
+        [this] {
+          for (const PendingPush& p : pushes_) {
+            if (!p.acked) send_push_locked(p);
+          }
+        },
+        "push acks");
+  }
+
+  // Phase 2: pull back the rows we touched (non-empty shards only) and fold
+  // the responses in ticket-issue order.
+  {
+    std::unique_lock lock(mu_);
+    pulls_.clear();
+    for (std::uint32_t m = 0; m < num_servers; ++m) {
+      for (std::size_t t = 0; t < tables_.size(); ++t) {
+        if (shards[t][m].rows.empty()) continue;
+        PendingPull p;
+        p.ticket = next_ticket_++;
+        p.server = m;
+        p.round = round;
+        SparseBatch req;
+        req.table_id = shards[t][m].table_id;
+        req.dim = shards[t][m].dim;
+        req.rows = shards[t][m].rows;
+        p.frame = encode_sparse(req);
+        pulls_.push_back(std::move(p));
+      }
+    }
+    unanswered_ = static_cast<std::uint32_t>(pulls_.size());
+    for (const PendingPull& p : pulls_) send_pull_locked(p);
+    await_locked(
+        lock, [this] { return unanswered_ == 0; },
+        [this] {
+          for (const PendingPull& p : pulls_) {
+            if (!p.received) send_pull_locked(p);
+          }
+        },
+        "pull responses");
+    for (const PendingPull& p : pulls_) {
+      pull_digest_ = fold_pull_digest(pull_digest_, p.resp);
+    }
+    pulls_.clear();
+  }
+}
+
+std::uint64_t SparseWorkerClient::pull_digest() const {
+  std::scoped_lock lock(mu_);
+  return pull_digest_;
+}
+
+std::int64_t SparseWorkerClient::retries() const {
+  std::scoped_lock lock(mu_);
+  return retries_;
+}
+
+}  // namespace fluentps::embed

@@ -1,0 +1,105 @@
+// Sparse worker client for the thread backend — the sparse twin of
+// ps::WorkerClient, speaking the kSparsePush/kSparsePull protocol.
+//
+// Each BSP round the training thread calls run_round() with one full batch
+// per table; the client shards every batch by route(), sends one kSparsePush
+// per (table, server) — including empty shards, which are the round markers
+// that advance the server's round clock — waits for every ack, then pulls
+// the pushed rows back and folds the responses into a running digest in
+// ticket-issue order (deterministic per seed).
+//
+// Reliability mirrors the dense client: per-(worker, server) sequence
+// numbers on pushes (pulls ride seq 0 — tickets dedup them server-side),
+// retry-ladder retransmits of whatever is outstanding, and kPromote rebinds
+// a shard to its new head and immediately re-offers outstanding traffic.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "common/rng.h"
+#include "embed/sparse_codec.h"
+#include "embed/table_spec.h"
+#include "fault/retry_policy.h"
+#include "net/message.h"
+#include "net/transport.h"
+
+namespace fluentps::embed {
+
+struct SparseWorkerSpec {
+  net::NodeId node_id = 0;
+  std::uint32_t worker_rank = 0;          ///< sparse rank space, [0, sparse workers)
+  std::vector<net::NodeId> server_nodes;  ///< head node of shard m at [m]
+  std::vector<TableSpec> tables;
+  fault::RetryPolicy retry;
+  std::uint64_t seed = 1;  ///< jitter stream seed
+};
+
+class SparseWorkerClient {
+ public:
+  SparseWorkerClient(SparseWorkerSpec spec, net::Transport& transport);
+
+  SparseWorkerClient(const SparseWorkerClient&) = delete;
+  SparseWorkerClient& operator=(const SparseWorkerClient&) = delete;
+
+  /// Transport handler; register with transport.register_node(node_id, ...).
+  void handle(net::Message&& msg);
+
+  /// One BSP round: push `full_batches[t]` (one per table, sharded here),
+  /// wait for all acks, pull the pushed rows, wait for all responses, fold
+  /// them into the pull digest. Blocks until the round completes.
+  void run_round(std::int64_t round, const std::vector<SparseBatch>& full_batches);
+
+  [[nodiscard]] std::uint64_t pull_digest() const;
+  [[nodiscard]] std::int64_t retries() const;
+  [[nodiscard]] std::uint32_t rank() const noexcept { return worker_rank_; }
+  [[nodiscard]] net::NodeId node_id() const noexcept { return node_id_; }
+
+ private:
+  struct PendingPush {
+    std::uint32_t server = 0;
+    std::uint64_t seq = 0;
+    std::int64_t round = 0;
+    std::vector<float> frame;  ///< encoded kSparsePush payload, kept for resends
+    bool acked = false;
+  };
+  struct PendingPull {
+    std::uint64_t ticket = 0;
+    std::uint32_t server = 0;
+    std::int64_t round = 0;
+    std::vector<float> frame;  ///< encoded rows-only request
+    SparseBatch resp;
+    bool received = false;
+  };
+
+  void send_push_locked(const PendingPush& p);
+  void send_pull_locked(const PendingPull& p);
+  template <typename Pred, typename Resend>
+  void await_locked(std::unique_lock<std::mutex>& lock, Pred done, Resend resend,
+                    const char* what);
+
+  net::NodeId node_id_;
+  std::uint32_t worker_rank_;
+  std::vector<net::NodeId> server_nodes_;
+  std::vector<TableSpec> tables_;
+  fault::RetryPolicy retry_;
+  net::Transport& transport_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  Rng retry_rng_;
+
+  std::vector<std::uint64_t> next_seq_;  ///< per server, starts at 1; pushes only
+  std::uint64_t next_ticket_;            ///< worker rank in the high bits
+  std::vector<PendingPush> pushes_;      ///< current round, one per (server, table)
+  std::vector<PendingPull> pulls_;       ///< current round, non-empty shards only
+  std::uint32_t unacked_ = 0;
+  std::uint32_t unanswered_ = 0;
+  std::uint64_t pull_digest_;
+  std::int64_t retries_ = 0;
+  bool budget_warned_ = false;
+};
+
+}  // namespace fluentps::embed

@@ -1,0 +1,88 @@
+#include "embed/table_spec.h"
+
+#include <set>
+
+#include "common/logging.h"
+
+namespace fluentps::embed {
+namespace {
+
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= s.size()) {
+    const std::size_t end = s.find(sep, start);
+    if (end == std::string::npos) {
+      out.push_back(s.substr(start));
+      break;
+    }
+    out.push_back(s.substr(start, end - start));
+    start = end + 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<TableSpec> parse_tables(const std::string& text) {
+  std::vector<TableSpec> specs;
+  if (text.empty()) return specs;
+  std::set<std::string> names;
+  for (const std::string& entry : split(text, ';')) {
+    FPS_CHECK(!entry.empty()) << "empty table entry in tables= spec '" << text << "'";
+    TableSpec spec;
+    spec.table_id = static_cast<std::uint32_t>(specs.size());
+    const std::size_t colon = entry.find(':');
+    spec.name = entry.substr(0, colon);
+    FPS_CHECK(!spec.name.empty()) << "table entry '" << entry << "' has no name";
+    FPS_CHECK(names.insert(spec.name).second) << "duplicate table name '" << spec.name << "'";
+    if (colon != std::string::npos) {
+      for (const std::string& kv : split(entry.substr(colon + 1), ',')) {
+        const std::size_t eq = kv.find('=');
+        FPS_CHECK(eq != std::string::npos) << "table option '" << kv << "' is not k=v";
+        const std::string key = kv.substr(0, eq);
+        const std::string val = kv.substr(eq + 1);
+        if (key == "dim") {
+          spec.dim = static_cast<std::uint32_t>(std::stoul(val));
+        } else if (key == "rows") {
+          spec.rows = std::stoull(val);
+        } else if (key == "opt") {
+          spec.opt.kind = ml::parse_row_opt(val);
+        } else if (key == "lr") {
+          spec.opt.lr = std::stof(val);
+        } else if (key == "init") {
+          spec.init_scale = std::stof(val);
+        } else if (key == "qos" || key == "qos_weight") {
+          spec.qos_weight = std::stod(val);
+        } else {
+          FPS_CHECK(false) << "unknown table option '" << key << "' in '" << entry << "'";
+        }
+      }
+    }
+    FPS_CHECK(spec.dim > 0) << "table '" << spec.name << "': dim must be positive";
+    FPS_CHECK(spec.rows > 0) << "table '" << spec.name << "': rows must be positive";
+    FPS_CHECK(spec.qos_weight > 0.0) << "table '" << spec.name << "': qos weight must be positive";
+    specs.push_back(std::move(spec));
+  }
+  return specs;
+}
+
+TableRegistry::TableRegistry(std::vector<TableSpec> specs) : specs_(std::move(specs)) {
+  for (std::size_t i = 0; i < specs_.size(); ++i) {
+    FPS_CHECK(specs_[i].table_id == i)
+        << "table '" << specs_[i].name << "' id " << specs_[i].table_id
+        << " != registry position " << i;
+  }
+}
+
+const TableSpec* TableRegistry::find(std::uint32_t table_id) const noexcept {
+  return table_id < specs_.size() ? &specs_[table_id] : nullptr;
+}
+
+const TableSpec& TableRegistry::at(std::uint32_t table_id) const {
+  const TableSpec* spec = find(table_id);
+  FPS_CHECK(spec != nullptr) << "unknown table id " << table_id;
+  return *spec;
+}
+
+}  // namespace fluentps::embed

@@ -1,0 +1,55 @@
+// Table specs and the multi-tenant TableRegistry.
+//
+// One server set serves many embedding tables at once — different jobs,
+// dimensions, optimizers and QoS weights. A TableSpec is the per-tenant
+// contract: its table_id keys the wire frames, its name keys the tenant's
+// metrics namespace (tenant.<name>.*), and its qos_weight feeds the server's
+// deficit-round-robin arbiter so a hot tenant cannot starve the others.
+//
+// Specs parse from the CLI `tables=` knob:
+//   tables=emb:dim=8,rows=512,opt=adagrad,lr=0.05,qos=2;ads:dim=4
+// — ';' separates tables, each is `name[:k=v,...]`. table_id is the position
+// in the list (stable and identical on every node for a given config).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ml/row_optimizer.h"
+
+namespace fluentps::embed {
+
+struct TableSpec {
+  std::string name = "t0";
+  std::uint32_t table_id = 0;   ///< assigned by declaration order
+  std::uint32_t dim = 8;        ///< row width (floats)
+  std::uint64_t rows = 1024;    ///< logical key space: row ids in [0, rows)
+  ml::RowOptimizerSpec opt;     ///< server-side per-row optimizer
+  float init_scale = 0.1f;      ///< lazy init: N(0, init_scale) per element
+  double qos_weight = 1.0;      ///< relative service share under contention
+};
+
+/// Parse the `tables=` syntax above. Empty text -> empty vector. FPS_CHECK
+/// on malformed entries, duplicate names, or non-positive dim/rows.
+[[nodiscard]] std::vector<TableSpec> parse_tables(const std::string& text);
+
+/// Immutable lookup from table_id to spec, shared by workers and servers.
+class TableRegistry {
+ public:
+  TableRegistry() = default;
+  explicit TableRegistry(std::vector<TableSpec> specs);
+
+  /// Spec for table_id, or nullptr for an unknown id (malformed frame).
+  [[nodiscard]] const TableSpec* find(std::uint32_t table_id) const noexcept;
+  [[nodiscard]] const TableSpec& at(std::uint32_t table_id) const;
+
+  [[nodiscard]] const std::vector<TableSpec>& specs() const noexcept { return specs_; }
+  [[nodiscard]] std::size_t size() const noexcept { return specs_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return specs_.empty(); }
+
+ private:
+  std::vector<TableSpec> specs_;  // index == table_id (checked at construction)
+};
+
+}  // namespace fluentps::embed

@@ -1,0 +1,123 @@
+#include "embed/workload.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <memory>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "embed/embedding_table.h"
+#include "embed/routing.h"
+#include "embed/sparse_core.h"
+
+namespace fluentps::embed {
+
+namespace {
+
+/// Per-(table, worker, round) sampling seed. Worker and round pack into one
+/// label; rounds are bounded far below 2^32 in practice and workers below
+/// 2^31, so the pack cannot collide across (worker, round) pairs.
+std::uint64_t batch_seed(std::uint64_t job_seed, std::uint32_t table_id,
+                         std::uint32_t worker, std::int64_t round) {
+  const std::uint64_t per_table = derive_seed(job_seed, 0x5A3B17ull + table_id);
+  const std::uint64_t label =
+      (static_cast<std::uint64_t>(worker) << 32) | static_cast<std::uint64_t>(round);
+  return derive_seed(per_table, label);
+}
+
+/// Truncated power law over [0, rows): u^s biases toward 0 for s > 1 (hot
+/// head), degrades to uniform at s <= 0.
+std::uint64_t sample_row(Rng& rng, std::uint64_t rows, double s) {
+  if (s <= 0.0) return rng.uniform_u64(rows);
+  const double u = rng.uniform();
+  const double x = std::pow(u, s) * static_cast<double>(rows);
+  const auto id = static_cast<std::uint64_t>(x);
+  return std::min(id, rows - 1);
+}
+
+}  // namespace
+
+SparseBatch sample_batch(const SparseJobSpec& job, const TableSpec& table,
+                         std::uint64_t job_seed, std::uint32_t worker,
+                         std::int64_t round) {
+  FPS_CHECK(round >= 0) << "negative round";
+  const std::uint64_t seed = batch_seed(job_seed, table.table_id, worker, round);
+  Rng rng(seed, /*stream=*/0x21F);
+  std::vector<std::uint64_t> rows;
+  rows.reserve(job.batch_rows);
+  for (std::uint32_t i = 0; i < job.batch_rows; ++i) {
+    rows.push_back(sample_row(rng, table.rows, job.zipf_s));
+  }
+  std::sort(rows.begin(), rows.end());
+  rows.erase(std::unique(rows.begin(), rows.end()), rows.end());
+
+  SparseBatch b;
+  b.table_id = table.table_id;
+  b.dim = table.dim;
+  b.rows = std::move(rows);
+  b.values.reserve(b.rows.size() * table.dim);
+  for (const std::uint64_t row : b.rows) {
+    // Per-row gradient stream keyed by the row itself: independent of how
+    // many duplicates the sampler collapsed, and of anything pulled.
+    Rng grad_rng(derive_seed(seed, mix_key(table.table_id, row)), /*stream=*/0x96AD);
+    for (std::uint32_t k = 0; k < table.dim; ++k) {
+      b.values.push_back(static_cast<float>(grad_rng.normal(0.0, 0.05)));
+    }
+  }
+  return b;
+}
+
+SparseBatch shard_of(const SparseBatch& full, std::uint32_t server,
+                     std::uint32_t num_servers) {
+  SparseBatch out;
+  out.table_id = full.table_id;
+  out.dim = full.dim;
+  for (std::size_t i = 0; i < full.rows.size(); ++i) {
+    if (route(full.table_id, full.rows[i], num_servers) != server) continue;
+    out.rows.push_back(full.rows[i]);
+    if (full.has_values()) {
+      const float* g = full.values.data() + i * full.dim;
+      out.values.insert(out.values.end(), g, g + full.dim);
+    }
+  }
+  return out;
+}
+
+std::uint64_t reference_state_digest(const SparseJobSpec& job, std::uint64_t job_seed) {
+  FPS_CHECK(job.enabled()) << "reference digest of a disabled sparse job";
+  SparseCoreSpec spec;
+  spec.server_rank = 0;
+  spec.num_workers = job.num_workers;
+  spec.tables = job.tables;
+  spec.seed = job_seed;
+  spec.reduce = job.reduce;
+  spec.stripes = 1;
+  SparseCore core(spec);
+  for (std::int64_t round = 0; round < job.rounds; ++round) {
+    for (std::uint32_t w = 0; w < job.num_workers; ++w) {
+      for (const TableSpec& t : job.tables) {
+        core.ingest(round, sample_batch(job, t, job_seed, w, round), w);
+      }
+    }
+  }
+  for (;;) {
+    const std::vector<std::uint32_t> ready = core.drainable();
+    if (ready.empty()) break;
+    for (const std::uint32_t t : ready) core.drain_one(t);
+  }
+  return core.digest();
+}
+
+std::uint64_t fold_pull_digest(std::uint64_t d, const SparseBatch& resp) {
+  d = fnv_step(d, resp.table_id);
+  for (std::size_t i = 0; i < resp.rows.size(); ++i) {
+    d = fnv_step(d, resp.rows[i]);
+    for (std::uint32_t k = 0; k < resp.dim; ++k) {
+      d = fnv_step(d, std::bit_cast<std::uint32_t>(resp.values[i * resp.dim + k]));
+    }
+  }
+  return d;
+}
+
+}  // namespace fluentps::embed

@@ -1,0 +1,61 @@
+// Synthetic sparse workload + serial reference oracle.
+//
+// Both backends (sim, threads) and the reference oracle sample batches from
+// the same pure functions of (job seed, table, worker, round), so the stream
+// of contributions entering the servers is identical no matter which backend
+// runs it — and the oracle can replay it serially, ignoring sharding
+// entirely, because the state digest is a sharding-invariant wrapping sum
+// (embedding_table.h). A run whose servers' summed digest equals
+// reference_state_digest() lost zero updates.
+//
+// Row sampling is a truncated power law (zipfian-style skew): row ids near 0
+// are hot, with heat controlled by `zipf_s` — the knob the reducer ablation
+// sweeps (bench/ablation_embedding).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "embed/sparse_codec.h"
+#include "embed/table_spec.h"
+
+namespace fluentps::embed {
+
+struct SparseJobSpec {
+  std::vector<TableSpec> tables;   ///< table_id == index (TableRegistry rules)
+  std::uint32_t num_workers = 0;   ///< sparse workers (own rank space, own nodes)
+  std::int64_t rounds = 0;         ///< BSP rounds each sparse worker runs
+  std::uint32_t batch_rows = 8;    ///< rows sampled per (worker, round, table)
+  double zipf_s = 1.1;             ///< skew exponent; <= 0 = uniform
+  bool reduce = true;              ///< coalesce per-row gradients server-side
+  double compute_seconds = 0.002;  ///< per-round compute: sim delay / thread sleep
+
+  [[nodiscard]] bool enabled() const noexcept {
+    return !tables.empty() && num_workers > 0 && rounds > 0;
+  }
+};
+
+/// Worker `worker`'s round-`round` contribution to `table`: sorted unique
+/// rows (power-law skewed) with per-row gradients. Pure function of its
+/// arguments — grads are derived per (table, worker, round, row), so they are
+/// independent of sampling order and of what the worker pulled.
+[[nodiscard]] SparseBatch sample_batch(const SparseJobSpec& job, const TableSpec& table,
+                                       std::uint64_t job_seed, std::uint32_t worker,
+                                       std::int64_t round);
+
+/// The rows of `full` that hash-route to `server` of `num_servers`, values
+/// kept aligned. Empty result still carries table_id/dim (round marker).
+[[nodiscard]] SparseBatch shard_of(const SparseBatch& full, std::uint32_t server,
+                                   std::uint32_t num_servers);
+
+/// Serial replay of the whole job on one unsharded core: the digest every
+/// run's servers must sum to (zero-loss check).
+[[nodiscard]] std::uint64_t reference_state_digest(const SparseJobSpec& job,
+                                                   std::uint64_t job_seed);
+
+/// Fold one pull response into a worker's running pull digest (FNV over
+/// table id, row ids and value bits, in frame order). Workers fold responses
+/// in ticket-issue order, so the digest is deterministic per seed.
+[[nodiscard]] std::uint64_t fold_pull_digest(std::uint64_t d, const SparseBatch& resp);
+
+}  // namespace fluentps::embed

@@ -1,0 +1,44 @@
+#include "ml/row_optimizer.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace fluentps::ml {
+
+RowOptKind parse_row_opt(const std::string& s) {
+  if (s == "sgd") return RowOptKind::kSgd;
+  if (s == "adagrad") return RowOptKind::kAdaGrad;
+  FPS_CHECK(false) << "unknown row optimizer '" << s << "' (sgd | adagrad)";
+  return RowOptKind::kSgd;
+}
+
+const char* to_string(RowOptKind k) noexcept {
+  switch (k) {
+    case RowOptKind::kSgd: return "sgd";
+    case RowOptKind::kAdaGrad: return "adagrad";
+  }
+  return "?";
+}
+
+std::size_t row_state_size(RowOptKind kind, std::size_t dim) noexcept {
+  return kind == RowOptKind::kAdaGrad ? dim : 0;
+}
+
+void row_apply(const RowOptimizerSpec& spec, std::span<float> row, std::span<float> state,
+               std::span<const float> grad) noexcept {
+  const std::size_t d = row.size();
+  switch (spec.kind) {
+    case RowOptKind::kSgd:
+      for (std::size_t k = 0; k < d; ++k) row[k] -= spec.lr * grad[k];
+      return;
+    case RowOptKind::kAdaGrad:
+      for (std::size_t k = 0; k < d; ++k) {
+        state[k] += grad[k] * grad[k];
+        row[k] -= spec.lr * grad[k] / (std::sqrt(state[k]) + spec.adagrad_eps);
+      }
+      return;
+  }
+}
+
+}  // namespace fluentps::ml

@@ -1,0 +1,46 @@
+// Server-side per-row optimizers for the sparse embedding path (src/embed).
+//
+// Dense training keeps optimizer state worker-side (ml::Optimizer computes an
+// update, the server applies `w += g / N`). Embedding rows invert that: a row
+// is touched by whichever workers happened to sample it, so momentum-style
+// state kept on any one worker would be wrong. Following OpenEmbedding, the
+// *server* owns the optimizer state, co-located with the row it belongs to,
+// and applies raw gradients as they drain from the round reducer.
+//
+// Kept deliberately tiny and branch-predictable: row_apply() is the innermost
+// loop of the sparse apply path (BM_EmbeddingRowApply measures it).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+
+namespace fluentps::ml {
+
+enum class RowOptKind : std::uint8_t {
+  kSgd = 0,      ///< w -= lr * g; stateless
+  kAdaGrad = 1,  ///< h += g*g; w -= lr * g / (sqrt(h) + eps); state = h (dim floats)
+};
+
+/// Parse "sgd" | "adagrad" (FPS_CHECK on anything else).
+RowOptKind parse_row_opt(const std::string& s);
+const char* to_string(RowOptKind k) noexcept;
+
+struct RowOptimizerSpec {
+  RowOptKind kind = RowOptKind::kSgd;
+  float lr = 0.1f;
+  float adagrad_eps = 1e-8f;
+};
+
+/// Floats of per-row optimizer state the table must co-allocate with each
+/// row's values (0 for SGD, dim for AdaGrad's accumulator).
+[[nodiscard]] std::size_t row_state_size(RowOptKind kind, std::size_t dim) noexcept;
+
+/// Apply one gradient to one row in place. `state` must be
+/// row_state_size(spec.kind, row.size()) long and live next to the row
+/// (the table allocates them contiguously). grad.size() == row.size().
+void row_apply(const RowOptimizerSpec& spec, std::span<float> row, std::span<float> state,
+               std::span<const float> grad) noexcept;
+
+}  // namespace fluentps::ml

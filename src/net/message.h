@@ -68,6 +68,16 @@ enum class MsgType : std::uint8_t {
   kReplicate = 10,     ///< chain node -> successor: replicate an applied push
   kReplicateAck = 11,  ///< chain node -> predecessor: lsn replicated to tail
   kPromote = 12,       ///< new head -> worker: shard server_rank now lives at src
+  // Sparse embedding-table traffic (src/embed). The payload is a sparse
+  // codec frame (embed/sparse_codec.h) — table id, row ids and row values
+  // packed into the float payload — so sparse messages ride the exact same
+  // zero-copy Payload/FrameBuffer path as dense traffic. `progress` carries
+  // the sparse round, `seq` the per-(worker,server) reliability sequence.
+  kSparsePush = 13,          ///< sparse worker -> server: per-row gradients
+  kSparsePull = 14,          ///< sparse worker -> server: request row values
+  kSparsePullResp = 15,      ///< server -> sparse worker: row values
+  kSparseReplicate = 16,     ///< chain node -> successor: replicate a sparse push
+  kSparseReplicateAck = 17,  ///< chain node -> predecessor: sparse lsn at tail
 };
 
 /// Returns a printable name for logs.

@@ -6,9 +6,12 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
 #include <limits>
 
 #include "core/fluentps.h"
+#include "embed/table_spec.h"
+#include "embed/workload.h"
 
 namespace fluentps {
 namespace {
@@ -209,6 +212,46 @@ TEST(Chaos, ReplicatedChainSurvivesHeadKillMidBatch) {
   EXPECT_GT(r.replicated_updates, 0);
   EXPECT_GT(r.dropped, 0);
   EXPECT_GT(r.server_dedup_hits, 0);
+}
+
+TEST(Chaos, ReplicatedHeadKillWithSparseTrafficInFlight) {
+  // DESIGN.md §10 acceptance: the head kill from the test above, but with a
+  // sparse embedding job sharing the server set. Sparse state is not
+  // checkpointed — the chain is its only durability — so the promoted
+  // successor must carry every acked sparse push, re-routing in-flight
+  // traffic (kPromote rebinds sparse workers too) with zero lost updates:
+  // the summed server digest still equals the serial reference oracle.
+  auto cfg = base_config({"", core::Arch::kFluentPS, "ssp", 2, 0, ps::DprMode::kLazy});
+  cfg.replication_factor = 2;
+  cfg.faults.link.drop_prob = 0.10;
+  cfg.faults.link.dup_prob = 0.05;
+  cfg.faults.crashes.push_back(
+      {/*server_rank=*/0, /*crash=*/0.12, std::numeric_limits<double>::infinity()});
+  cfg.sparse.tables = embed::parse_tables("emb:dim=8,rows=256,opt=adagrad;ads:dim=4,rows=64");
+  cfg.sparse.num_workers = 2;
+  cfg.sparse.rounds = 20;
+  cfg.sparse.batch_rows = 8;
+  cfg.sparse.compute_seconds = 0.005;  // rounds straddle the 0.12 s crash
+
+  const auto r = core::run_experiment(cfg);
+  check_sane(r, cfg);
+  EXPECT_EQ(r.server_crashes, 1);
+  EXPECT_EQ(r.failovers, 1);
+  EXPECT_EQ(r.rolled_back_updates, 0);
+
+  const auto extra = [&r](const std::string& k) {
+    const auto it = r.extra.find(k);
+    return it == r.extra.end() ? 0.0 : it->second;
+  };
+  const std::uint64_t digest =
+      (static_cast<std::uint64_t>(extra("sparse_state_digest_hi")) << 32) |
+      static_cast<std::uint64_t>(extra("sparse_state_digest_lo"));
+  EXPECT_EQ(digest, embed::reference_state_digest(cfg.sparse, cfg.seed))
+      << "head kill lost or double-applied a sparse update";
+  EXPECT_GT(extra("sparse_dedup_hits"), 0.0) << "sparse retransmits must dedup";
+  EXPECT_GT(extra("sparse_retries"), 0.0);
+  EXPECT_GT(extra("sparse_replica_forwards"), 0.0);
+  EXPECT_EQ(extra("sparse_parked_pulls"), 0.0) << "every sparse pull must be answered";
 }
 
 TEST(Chaos, ThreadBackendSurvivesChaos) {

@@ -1,0 +1,489 @@
+// Unit tests for the sparse embedding subsystem (src/embed): wire codec,
+// hash-shard routing, table registry, QoS arbiter, round reducer, lazy
+// materialization and the sharding-invariant digest contract.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "embed/embedding_table.h"
+#include "embed/qos.h"
+#include "embed/reducer.h"
+#include "embed/routing.h"
+#include "embed/sparse_codec.h"
+#include "embed/sparse_core.h"
+#include "embed/table_spec.h"
+#include "embed/workload.h"
+#include "net/payload.h"
+
+namespace fluentps::embed {
+namespace {
+
+SparseBatch make_batch(std::uint32_t table_id, std::uint32_t dim,
+                       std::vector<std::uint64_t> rows, bool with_values) {
+  SparseBatch b;
+  b.table_id = table_id;
+  b.dim = dim;
+  b.rows = std::move(rows);
+  if (with_values) {
+    b.values.resize(b.rows.size() * dim);
+    for (std::size_t i = 0; i < b.values.size(); ++i) {
+      b.values[i] = static_cast<float>(i) * 0.25f - 1.0f;
+    }
+  }
+  return b;
+}
+
+// --- codec ----------------------------------------------------------------
+
+TEST(SparseCodec, RoundTripWithValues) {
+  const SparseBatch b = make_batch(3, 4, {0, 7, 1ull << 40, ~0ull}, true);
+  const std::vector<float> frame = encode_sparse(b);
+  EXPECT_EQ(frame.size(), encoded_size(b));
+  SparseBatch out;
+  ASSERT_TRUE(decode_sparse(frame, &out));
+  EXPECT_EQ(out.table_id, b.table_id);
+  EXPECT_EQ(out.dim, b.dim);
+  EXPECT_EQ(out.rows, b.rows);
+  EXPECT_EQ(out.values, b.values);
+}
+
+TEST(SparseCodec, RoundTripRowsOnly) {
+  const SparseBatch b = make_batch(1, 8, {42, 43}, false);
+  SparseBatch out;
+  ASSERT_TRUE(decode_sparse(encode_sparse(b), &out));
+  EXPECT_EQ(out.rows, b.rows);
+  EXPECT_FALSE(out.has_values());
+  EXPECT_EQ(out.dim, 8u);
+}
+
+TEST(SparseCodec, RoundTripEmptyBatchKeepsHeader) {
+  // A round marker: no rows, but table_id/dim must survive the wire.
+  const SparseBatch b = make_batch(5, 16, {}, false);
+  SparseBatch out;
+  ASSERT_TRUE(decode_sparse(encode_sparse(b), &out));
+  EXPECT_EQ(out.table_id, 5u);
+  EXPECT_EQ(out.dim, 16u);
+  EXPECT_TRUE(out.rows.empty());
+}
+
+TEST(SparseCodec, PayloadEncodeMatchesVectorEncode) {
+  const SparseBatch b = make_batch(2, 3, {9, 10, 11}, true);
+  net::Payload p;
+  encode_sparse(b, p);
+  const std::vector<float> v = encode_sparse(b);
+  ASSERT_EQ(p.span().size(), v.size());
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    EXPECT_EQ(std::bit_cast<std::uint32_t>(p.span()[i]), std::bit_cast<std::uint32_t>(v[i]))
+        << "word " << i;
+  }
+}
+
+TEST(SparseCodec, RejectsShortHeader) {
+  const std::vector<float> frame(3, 0.0f);
+  SparseBatch out;
+  EXPECT_FALSE(decode_sparse(frame, &out));
+}
+
+TEST(SparseCodec, RejectsTruncatedFrame) {
+  const SparseBatch b = make_batch(0, 4, {1, 2, 3}, true);
+  std::vector<float> frame = encode_sparse(b);
+  frame.pop_back();
+  SparseBatch out;
+  EXPECT_FALSE(decode_sparse(frame, &out));
+}
+
+TEST(SparseCodec, RejectsZeroDimWithValues) {
+  // Hand-craft: dim = 0 but flags claim values present.
+  std::vector<float> frame;
+  const auto word = [&frame](std::uint32_t w) { frame.push_back(std::bit_cast<float>(w)); };
+  word(0);  // table_id
+  word(0);  // dim = 0
+  word(1);  // n_rows
+  word(1);  // flags: has_values
+  word(7);  // row_id_lo
+  word(0);  // row_id_hi
+  SparseBatch out;
+  EXPECT_FALSE(decode_sparse(frame, &out));
+}
+
+// --- routing --------------------------------------------------------------
+
+TEST(Routing, StableAndInRange) {
+  for (std::uint32_t t = 0; t < 3; ++t) {
+    for (std::uint64_t r = 0; r < 200; ++r) {
+      const std::uint32_t m = route(t, r, 5);
+      EXPECT_LT(m, 5u);
+      EXPECT_EQ(m, route(t, r, 5)) << "routing must be pure";
+    }
+  }
+}
+
+TEST(Routing, SameRowIdRoutesIndependentlyAcrossTables) {
+  // Two tables sharing row ids must not pin those rows to the same shard:
+  // the table id perturbs the key before the avalanche.
+  int differing = 0;
+  for (std::uint64_t r = 0; r < 1000; ++r) {
+    if (route(0, r, 4) != route(1, r, 4)) ++differing;
+    EXPECT_NE(mix_key(0, r), mix_key(1, r)) << "row " << r;
+  }
+  // With independent uniform routing, ~75% differ; require well above chance
+  // of a broken (table-ignoring) mix.
+  EXPECT_GT(differing, 500);
+}
+
+TEST(Routing, ShardsPartitionABatchExactly) {
+  SparseJobSpec job;
+  job.tables = parse_tables("emb:dim=4,rows=256");
+  job.num_workers = 1;
+  job.rounds = 1;
+  job.batch_rows = 64;
+  const SparseBatch full = sample_batch(job, job.tables[0], 77, 0, 0);
+  ASSERT_FALSE(full.rows.empty());
+
+  const std::uint32_t servers = 3;
+  std::map<std::uint64_t, std::vector<float>> seen;
+  for (std::uint32_t m = 0; m < servers; ++m) {
+    const SparseBatch shard = shard_of(full, m, servers);
+    EXPECT_EQ(shard.table_id, full.table_id);
+    EXPECT_EQ(shard.dim, full.dim);
+    for (std::size_t i = 0; i < shard.rows.size(); ++i) {
+      EXPECT_EQ(route(shard.table_id, shard.rows[i], servers), m);
+      const float* g = shard.values.data() + i * shard.dim;
+      const bool inserted =
+          seen.emplace(shard.rows[i], std::vector<float>(g, g + shard.dim)).second;
+      EXPECT_TRUE(inserted) << "row " << shard.rows[i] << " on two shards";
+    }
+  }
+  ASSERT_EQ(seen.size(), full.rows.size());
+  for (std::size_t i = 0; i < full.rows.size(); ++i) {
+    const auto it = seen.find(full.rows[i]);
+    ASSERT_NE(it, seen.end());
+    const float* g = full.values.data() + i * full.dim;
+    EXPECT_EQ(it->second, std::vector<float>(g, g + full.dim));
+  }
+}
+
+TEST(Routing, EmptyShardKeepsRoundMarkerHeader) {
+  // A batch whose rows all route elsewhere still produces a shard frame with
+  // the right table header — the empty push is the worker's round marker.
+  const SparseBatch full = make_batch(2, 4, {}, false);
+  const SparseBatch shard = shard_of(full, 0, 2);
+  EXPECT_TRUE(shard.rows.empty());
+  EXPECT_EQ(shard.table_id, 2u);
+  EXPECT_EQ(shard.dim, 4u);
+}
+
+TEST(Routing, SingleRowTableAlwaysSamplesItsOnlyRow) {
+  SparseJobSpec job;
+  job.tables = parse_tables("one:dim=2,rows=1");
+  job.num_workers = 1;
+  job.rounds = 1;
+  job.batch_rows = 8;
+  const SparseBatch b = sample_batch(job, job.tables[0], 5, 0, 0);
+  ASSERT_EQ(b.rows.size(), 1u);  // duplicates collapse to the single row
+  EXPECT_EQ(b.rows[0], 0u);
+  EXPECT_EQ(b.values.size(), 2u);
+}
+
+// --- registry -------------------------------------------------------------
+
+TEST(TableRegistryTest, ParsesFullSyntax) {
+  const auto specs =
+      parse_tables("emb:dim=8,rows=512,opt=adagrad,lr=0.05,qos=2;ads:dim=4");
+  ASSERT_EQ(specs.size(), 2u);
+  EXPECT_EQ(specs[0].name, "emb");
+  EXPECT_EQ(specs[0].table_id, 0u);
+  EXPECT_EQ(specs[0].dim, 8u);
+  EXPECT_EQ(specs[0].rows, 512u);
+  EXPECT_EQ(specs[0].opt.kind, ml::RowOptKind::kAdaGrad);
+  EXPECT_FLOAT_EQ(specs[0].opt.lr, 0.05f);
+  EXPECT_DOUBLE_EQ(specs[0].qos_weight, 2.0);
+  EXPECT_EQ(specs[1].name, "ads");
+  EXPECT_EQ(specs[1].table_id, 1u);
+  EXPECT_EQ(specs[1].dim, 4u);
+  EXPECT_EQ(specs[1].rows, 1024u);  // default
+  EXPECT_EQ(specs[1].opt.kind, ml::RowOptKind::kSgd);
+}
+
+TEST(TableRegistryTest, EmptyTextParsesToNoTables) {
+  EXPECT_TRUE(parse_tables("").empty());
+}
+
+TEST(TableRegistryTest, LookupByIdAndUnknownId) {
+  const TableRegistry reg(parse_tables("a:dim=2;b:dim=3"));
+  ASSERT_EQ(reg.size(), 2u);
+  EXPECT_EQ(reg.at(1).name, "b");
+  ASSERT_NE(reg.find(0), nullptr);
+  EXPECT_EQ(reg.find(0)->dim, 2u);
+  EXPECT_EQ(reg.find(2), nullptr);  // malformed-frame path
+}
+
+// --- QoS ------------------------------------------------------------------
+
+TEST(Qos, DeficitRoundRobinConvergesToWeightRatio) {
+  QosArbiter arb;
+  arb.add_tenant(0, 1.0);
+  arb.add_tenant(1, 3.0);
+  const std::vector<std::uint32_t> ready{0, 1};
+  for (int i = 0; i < 400; ++i) arb.pick(ready);
+  EXPECT_EQ(arb.served(0) + arb.served(1), 400);
+  // 1:3 weights over a busy interval: tenant 1 gets ~300 of 400 units.
+  EXPECT_NEAR(static_cast<double>(arb.served(1)), 300.0, 12.0);
+}
+
+TEST(Qos, ZeroWeightTenantIsNotStarved) {
+  QosArbiter arb;
+  arb.add_tenant(0, 0.0);  // clamped to a positive floor
+  arb.add_tenant(1, 1.0);
+  const std::vector<std::uint32_t> ready{0, 1};
+  for (int i = 0; i < 2000; ++i) arb.pick(ready);
+  EXPECT_GT(arb.served(0), 0);
+}
+
+TEST(Qos, LoneReadyTenantAlwaysWins) {
+  QosArbiter arb;
+  arb.add_tenant(0, 1.0);
+  arb.add_tenant(1, 100.0);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(arb.pick({0}), 0u);
+  EXPECT_EQ(arb.served(0), 10);
+  EXPECT_EQ(arb.served(1), 0);
+}
+
+// --- reducer --------------------------------------------------------------
+
+TEST(Reducer, TakeRoundSortsByWorkerRank) {
+  RoundReducer r;
+  r.add(0, Contribution{2, {5}, {1.0f}});
+  r.add(0, Contribution{0, {5}, {2.0f}});
+  r.add(0, Contribution{1, {5}, {3.0f}});
+  const auto c = r.take_round(0);
+  ASSERT_EQ(c.size(), 3u);
+  EXPECT_EQ(c[0].worker, 0u);
+  EXPECT_EQ(c[1].worker, 1u);
+  EXPECT_EQ(c[2].worker, 2u);
+  EXPECT_EQ(r.pending_rounds(), 0u);
+  EXPECT_TRUE(r.take_round(0).empty());  // drained round -> empty
+}
+
+TEST(Reducer, HotRowGradientsCoalesceIntoOneSum) {
+  const std::vector<Contribution> contribs{
+      {0, {3, 7}, {1.0f, 2.0f, 10.0f, 20.0f}},
+      {1, {3}, {0.5f, 0.5f}},
+  };
+  const ReducedRound red = reduce_contributions(contribs, 2);
+  ASSERT_EQ(red.rows.size(), 2u);
+  EXPECT_EQ(red.rows[0], 3u);
+  EXPECT_EQ(red.rows[1], 7u);
+  EXPECT_FLOAT_EQ(red.sums[0], 1.5f);
+  EXPECT_FLOAT_EQ(red.sums[1], 2.5f);
+  EXPECT_FLOAT_EQ(red.sums[2], 10.0f);
+  EXPECT_FLOAT_EQ(red.sums[3], 20.0f);
+}
+
+namespace {
+
+/// Feed the same sampled contribution stream into a fresh core.
+std::unique_ptr<SparseCore> run_core(const SparseJobSpec& job, std::uint64_t seed,
+                                     bool reduce) {
+  SparseCoreSpec spec;
+  spec.server_rank = 0;
+  spec.num_workers = job.num_workers;
+  spec.tables = job.tables;
+  spec.seed = seed;
+  spec.reduce = reduce;
+  auto core = std::make_unique<SparseCore>(spec);
+  for (std::int64_t round = 0; round < job.rounds; ++round) {
+    for (std::uint32_t w = 0; w < job.num_workers; ++w) {
+      for (const TableSpec& t : job.tables) {
+        core->ingest(round, sample_batch(job, t, seed, w, round), w);
+      }
+    }
+    for (const std::uint32_t t : core->drainable()) core->drain_one(t);
+  }
+  return core;
+}
+
+}  // namespace
+
+TEST(Reducer, SgdReduceOnOffAgreeUpToReassociation) {
+  // SGD's apply is linear in g, so coalescing a hot row's gradients into
+  // lr*(g1+g2) agrees with sequential lr*g1, lr*g2 applies numerically —
+  // but only up to floating-point reassociation, not bitwise. Each mode
+  // stays exactly reproducible against its own reference oracle; the
+  // cross-mode comparison is a tolerance check.
+  SparseJobSpec job;
+  job.tables = parse_tables("emb:dim=4,rows=64,opt=sgd");
+  job.num_workers = 3;
+  job.rounds = 5;
+  job.batch_rows = 16;
+  job.zipf_s = 1.3;  // hot head: plenty of cross-worker row collisions
+  const auto on = run_core(job, 9, true);
+  const auto off = run_core(job, 9, false);
+  std::vector<float> a(4), b(4);
+  for (std::uint64_t r = 0; r < job.tables[0].rows; ++r) {
+    on->table(0).copy_row(r, a);
+    off->table(0).copy_row(r, b);
+    for (std::uint32_t k = 0; k < 4; ++k) EXPECT_NEAR(a[k], b[k], 1e-5) << "row " << r;
+  }
+  // Coalescing does strictly less apply work on a skewed stream.
+  EXPECT_LT(on->table(0).applies(), off->table(0).applies());
+}
+
+TEST(Reducer, EachModeMatchesItsOwnReferenceOracle) {
+  SparseJobSpec job;
+  job.tables = parse_tables("emb:dim=4,rows=64,opt=sgd;hot:dim=2,rows=16,opt=adagrad");
+  job.num_workers = 3;
+  job.rounds = 5;
+  job.batch_rows = 16;
+  job.zipf_s = 1.3;
+  job.reduce = true;
+  EXPECT_EQ(run_core(job, 9, true)->digest(), reference_state_digest(job, 9));
+  job.reduce = false;
+  EXPECT_EQ(run_core(job, 9, false)->digest(), reference_state_digest(job, 9));
+}
+
+TEST(Reducer, AdaGradReduceOnOffDiverge) {
+  // AdaGrad's accumulator sees one summed step vs per-worker steps: the two
+  // modes are deliberately different algorithms.
+  SparseJobSpec job;
+  job.tables = parse_tables("emb:dim=4,rows=32,opt=adagrad");
+  job.num_workers = 3;
+  job.rounds = 5;
+  job.batch_rows = 16;
+  job.zipf_s = 1.3;
+  EXPECT_NE(run_core(job, 9, true)->digest(), run_core(job, 9, false)->digest());
+}
+
+// --- embedding table ------------------------------------------------------
+
+TEST(EmbeddingTableTest, LazyInitIsTouchOrderIndependent) {
+  const TableSpec spec = parse_tables("emb:dim=4,rows=128")[0];
+  EmbeddingTable a(spec, 42), b(spec, 42);
+  std::vector<float> buf(4);
+  for (std::uint64_t r = 0; r < 20; ++r) a.copy_row(r, buf);
+  for (std::uint64_t r = 20; r-- > 0;) b.copy_row(r, buf);  // reverse order
+  EXPECT_EQ(a.materialized_rows(), 20u);
+  EXPECT_EQ(a.digest(), b.digest());
+}
+
+TEST(EmbeddingTableTest, DistinctSeedsDrawDistinctRows) {
+  const TableSpec spec = parse_tables("emb:dim=4,rows=128")[0];
+  EmbeddingTable a(spec, 1), b(spec, 2);
+  std::vector<float> va(4), vb(4);
+  a.copy_row(0, va);
+  b.copy_row(0, vb);
+  EXPECT_NE(va, vb);
+}
+
+TEST(EmbeddingTableTest, ApplyCountsAndMutates) {
+  const TableSpec spec = parse_tables("emb:dim=2,rows=8,opt=sgd,lr=1.0")[0];
+  EmbeddingTable t(spec, 7);
+  std::vector<float> before(2), after(2);
+  t.copy_row(3, before);
+  const std::vector<float> g{0.5f, -0.25f};
+  t.apply(3, g);
+  t.copy_row(3, after);
+  EXPECT_EQ(t.applies(), 1);
+  EXPECT_FLOAT_EQ(after[0], before[0] - 0.5f);
+  EXPECT_FLOAT_EQ(after[1], before[1] + 0.25f);
+}
+
+TEST(SparseCoreTest, DedupWindowSwallowsRetransmits) {
+  SparseCoreSpec spec;
+  spec.num_workers = 2;
+  spec.tables = parse_tables("emb:dim=2,rows=8");
+  SparseCore core(spec);
+  EXPECT_TRUE(core.accept_push(0, 1));
+  EXPECT_FALSE(core.accept_push(0, 1));  // retransmit
+  EXPECT_TRUE(core.accept_push(1, 1));   // per-worker windows are independent
+  EXPECT_TRUE(core.accept_push(0, 2));
+}
+
+TEST(SparseCoreTest, RoundDrainsOnlyWhenAllWorkersContributed) {
+  SparseJobSpec job;
+  job.tables = parse_tables("emb:dim=2,rows=16");
+  job.num_workers = 2;
+  job.rounds = 1;
+  SparseCoreSpec spec;
+  spec.num_workers = 2;
+  spec.tables = job.tables;
+  spec.seed = 3;
+  SparseCore core(spec);
+  core.ingest(0, sample_batch(job, job.tables[0], 3, 0, 0), 0);
+  EXPECT_TRUE(core.drainable().empty()) << "worker 1 has not reported round 0";
+  core.ingest(0, sample_batch(job, job.tables[0], 3, 1, 0), 1);
+  const auto ready = core.drainable();
+  ASSERT_EQ(ready.size(), 1u);
+  EXPECT_GT(core.drain_one(ready[0]), 0);
+  EXPECT_EQ(core.completed_round(0), 0);
+  EXPECT_TRUE(core.drainable().empty());
+}
+
+// --- digest contract ------------------------------------------------------
+
+TEST(DigestContract, ShardedCoreDigestsSumToSerialReference) {
+  // The zero-loss oracle: per-server digests from ANY partitioning add up to
+  // the unsharded serial replay's digest.
+  SparseJobSpec job;
+  job.tables = parse_tables("emb:dim=8,rows=256,opt=adagrad,qos=2;ads:dim=4,rows=64");
+  job.num_workers = 3;
+  job.rounds = 6;
+  job.batch_rows = 12;
+  const std::uint64_t seed = 1234;
+  const std::uint32_t servers = 3;
+
+  std::vector<std::unique_ptr<SparseCore>> cores;
+  for (std::uint32_t m = 0; m < servers; ++m) {
+    SparseCoreSpec spec;
+    spec.server_rank = m;
+    spec.num_workers = job.num_workers;
+    spec.tables = job.tables;
+    spec.seed = seed;
+    spec.reduce = job.reduce;
+    cores.push_back(std::make_unique<SparseCore>(spec));
+  }
+  std::vector<std::uint64_t> next_seq(job.num_workers, 1);
+  for (std::int64_t round = 0; round < job.rounds; ++round) {
+    for (std::uint32_t w = 0; w < job.num_workers; ++w) {
+      for (const TableSpec& t : job.tables) {
+        const SparseBatch full = sample_batch(job, t, seed, w, round);
+        for (std::uint32_t m = 0; m < servers; ++m) {
+          const SparseBatch shard = shard_of(full, m, servers);
+          ASSERT_TRUE(cores[m]->accept_push(w, next_seq[w]));
+          cores[m]->ingest(round, shard, w);
+          ++next_seq[w];
+        }
+      }
+    }
+    for (auto& core : cores) {
+      for (const std::uint32_t t : core->drainable()) core->drain_one(t);
+    }
+  }
+  std::uint64_t sum = 0;
+  for (const auto& core : cores) sum += core->digest();
+  EXPECT_EQ(sum, reference_state_digest(job, seed));
+}
+
+TEST(DigestContract, ReferenceDigestIsSeedSensitive) {
+  SparseJobSpec job;
+  job.tables = parse_tables("emb:dim=4,rows=64");
+  job.num_workers = 2;
+  job.rounds = 3;
+  EXPECT_NE(reference_state_digest(job, 1), reference_state_digest(job, 2));
+}
+
+TEST(DigestContract, FoldPullDigestIsOrderSensitive) {
+  const SparseBatch a = make_batch(0, 2, {1}, true);
+  const SparseBatch b = make_batch(1, 2, {2}, true);
+  const std::uint64_t ab = fold_pull_digest(fold_pull_digest(kFnvBasis, a), b);
+  const std::uint64_t ba = fold_pull_digest(fold_pull_digest(kFnvBasis, b), a);
+  EXPECT_NE(ab, ba);
+}
+
+}  // namespace
+}  // namespace fluentps::embed

@@ -1,0 +1,181 @@
+// End-to-end acceptance for the sparse embedding subsystem: a sparse job and
+// the dense training job share one server set, the sparse state digest is
+// bit-identical across backends and equal to the serial reference oracle
+// (zero lost updates), and chaos (drop/dup) cannot break that equality.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+
+#include "core/fluentps.h"
+#include "embed/table_spec.h"
+#include "embed/workload.h"
+
+namespace fluentps {
+namespace {
+
+core::ExperimentConfig base_cfg(core::Backend backend) {
+  core::ExperimentConfig cfg;
+  cfg.backend = backend;
+  cfg.arch = core::Arch::kFluentPS;
+  cfg.num_workers = 3;
+  cfg.num_servers = 2;
+  cfg.max_iters = 20;
+  cfg.sync.kind = "ssp";
+  cfg.sync.staleness = 2;
+  cfg.model.kind = "softmax";
+  cfg.data.num_train = 256;
+  cfg.data.num_test = 64;
+  cfg.batch_size = 8;
+  cfg.compute.kind = "lognormal";
+  cfg.compute.base_seconds = 0.005;
+  cfg.seed = 4242;
+  cfg.retry.initial_timeout = 0.02;
+  cfg.retry.max_timeout = 0.3;
+
+  // Two tenants with different dims, optimizers and QoS weights on the same
+  // two servers the dense job uses.
+  cfg.sparse.tables =
+      embed::parse_tables("emb:dim=8,rows=256,opt=adagrad,qos=2;ads:dim=4,rows=64");
+  cfg.sparse.num_workers = 2;
+  cfg.sparse.rounds = 8;
+  cfg.sparse.batch_rows = 8;
+  cfg.sparse.compute_seconds = 0.001;
+  return cfg;
+}
+
+std::uint64_t u64_extra(const core::ExperimentResult& r, const std::string& key) {
+  const auto lo = r.extra.find(key + "_lo");
+  const auto hi = r.extra.find(key + "_hi");
+  EXPECT_NE(lo, r.extra.end()) << key;
+  EXPECT_NE(hi, r.extra.end()) << key;
+  if (lo == r.extra.end() || hi == r.extra.end()) return 0;
+  return (static_cast<std::uint64_t>(hi->second) << 32) |
+         static_cast<std::uint64_t>(lo->second);
+}
+
+double extra(const core::ExperimentResult& r, const std::string& key) {
+  const auto it = r.extra.find(key);
+  return it == r.extra.end() ? 0.0 : it->second;
+}
+
+void check_dense_sane(const core::ExperimentResult& r, const core::ExperimentConfig& cfg) {
+  EXPECT_EQ(r.iterations, cfg.max_iters);
+  ASSERT_FALSE(r.final_params.empty());
+  for (const float v : r.final_params) ASSERT_TRUE(std::isfinite(v));
+  EXPECT_TRUE(std::isfinite(r.final_loss));
+}
+
+TEST(EmbedE2E, DenseAndSparseJobsShareOneServerSet) {
+  // The multi-table acceptance: dense training and a 2-table sparse job run
+  // concurrently on the same servers, and both finish with their invariants
+  // intact.
+  const auto cfg = base_cfg(core::Backend::kSim);
+  const auto r = core::run_experiment(cfg);
+  check_dense_sane(r, cfg);
+
+  EXPECT_EQ(u64_extra(r, "sparse_state_digest"),
+            embed::reference_state_digest(cfg.sparse, cfg.seed))
+      << "zero-lost invariant violated on a pristine fabric";
+  // Every (worker, round, server, table) shard is one push; pulls skip empty
+  // shards, so bound them instead of pinning.
+  const double expected_pushes = static_cast<double>(cfg.sparse.rounds) *
+                                 cfg.sparse.num_workers * cfg.num_servers *
+                                 static_cast<double>(cfg.sparse.tables.size());
+  EXPECT_EQ(extra(r, "sparse_pushes"), expected_pushes);
+  EXPECT_GT(extra(r, "sparse_rows_applied"), 0.0);
+  EXPECT_GT(extra(r, "sparse_pulls_answered"), 0.0);
+  EXPECT_LE(extra(r, "sparse_pulls_answered"), expected_pushes);
+  EXPECT_EQ(extra(r, "sparse_dedup_hits"), 0.0) << "no faults -> no retransmits";
+  EXPECT_EQ(extra(r, "sparse_parked_pulls"), 0.0) << "all pulls must be answered";
+}
+
+TEST(EmbedE2E, SimAndThreadBackendsAreBitIdentical) {
+  // The same config on the discrete-event simulator and on real jthreads must
+  // produce the same sparse table state AND the same pulled values, bit for
+  // bit — the protocol (seq/ticket issue order, round clock, digest folding)
+  // is deterministic per seed on both.
+  const auto cfg_sim = base_cfg(core::Backend::kSim);
+  auto cfg_thr = cfg_sim;
+  cfg_thr.backend = core::Backend::kThreads;
+
+  const auto a = core::run_experiment(cfg_sim);
+  const auto b = core::run_experiment(cfg_thr);
+
+  const std::uint64_t want = embed::reference_state_digest(cfg_sim.sparse, cfg_sim.seed);
+  EXPECT_EQ(u64_extra(a, "sparse_state_digest"), want);
+  EXPECT_EQ(u64_extra(b, "sparse_state_digest"), want);
+  EXPECT_EQ(u64_extra(a, "sparse_pull_digest"), u64_extra(b, "sparse_pull_digest"))
+      << "pulled values must match across backends";
+  EXPECT_EQ(extra(a, "sparse_pushes"), extra(b, "sparse_pushes"));
+  EXPECT_EQ(extra(a, "sparse_rows_applied"), extra(b, "sparse_rows_applied"));
+}
+
+TEST(EmbedE2E, SparseSurvivesDropAndDupWithZeroLostUpdates) {
+  // 10% loss + 5% duplication on every link (sparse worker links included):
+  // the retry ladder re-offers, SeqWindow dedup swallows the copies, and the
+  // final state still equals the serial oracle exactly.
+  auto cfg = base_cfg(core::Backend::kSim);
+  cfg.faults.link.drop_prob = 0.10;
+  cfg.faults.link.dup_prob = 0.05;
+  const auto r = core::run_experiment(cfg);
+  check_dense_sane(r, cfg);
+
+  EXPECT_EQ(u64_extra(r, "sparse_state_digest"),
+            embed::reference_state_digest(cfg.sparse, cfg.seed))
+      << "drop/dup chaos lost or double-applied a sparse update";
+  EXPECT_GT(r.dropped, 0);
+  EXPECT_GT(extra(r, "sparse_retries"), 0.0);
+  EXPECT_GT(extra(r, "sparse_dedup_hits"), 0.0);
+  EXPECT_EQ(extra(r, "sparse_parked_pulls"), 0.0);
+}
+
+TEST(EmbedE2E, ThreadBackendSurvivesDropAndDup) {
+  auto cfg = base_cfg(core::Backend::kThreads);
+  cfg.faults.link.drop_prob = 0.05;
+  cfg.faults.link.dup_prob = 0.05;
+  const auto r = core::run_experiment(cfg);
+  check_dense_sane(r, cfg);
+  EXPECT_EQ(u64_extra(r, "sparse_state_digest"),
+            embed::reference_state_digest(cfg.sparse, cfg.seed));
+  EXPECT_EQ(extra(r, "sparse_parked_pulls"), 0.0);
+}
+
+TEST(EmbedE2E, ReducerOnAndOffEachMatchTheirReferenceOracle) {
+  // The reducer changes how many row_apply calls a hot round costs, never
+  // what a run reproduces: with either setting the distributed run equals
+  // the serial oracle replayed with the same flag, and coalescing strictly
+  // cuts the apply count on a skewed stream.
+  auto cfg = base_cfg(core::Backend::kSim);
+  cfg.sparse.tables = embed::parse_tables("emb:dim=8,rows=128,opt=sgd;ads:dim=4,opt=sgd");
+  cfg.sparse.zipf_s = 1.3;
+  cfg.sparse.reduce = true;
+  const auto a = core::run_experiment(cfg);
+  EXPECT_EQ(u64_extra(a, "sparse_state_digest"),
+            embed::reference_state_digest(cfg.sparse, cfg.seed));
+  cfg.sparse.reduce = false;
+  const auto b = core::run_experiment(cfg);
+  EXPECT_EQ(u64_extra(b, "sparse_state_digest"),
+            embed::reference_state_digest(cfg.sparse, cfg.seed));
+  EXPECT_LT(extra(a, "sparse_rows_applied"), extra(b, "sparse_rows_applied"))
+      << "coalescing must reduce apply work under zipfian skew";
+}
+
+TEST(EmbedE2E, PerTenantMetricsNamespacesAreReported) {
+  const auto cfg = base_cfg(core::Backend::kSim);
+  const auto r = core::run_experiment(cfg);
+  std::int64_t emb_pushes = 0, ads_pushes = 0, emb_served = 0, ads_served = 0;
+  for (const auto& [k, v] : r.counters) {
+    if (k == "tenant.emb.pushes") emb_pushes = v;
+    if (k == "tenant.ads.pushes") ads_pushes = v;
+    if (k == "tenant.emb.service_units") emb_served = v;
+    if (k == "tenant.ads.service_units") ads_served = v;
+  }
+  EXPECT_GT(emb_pushes, 0) << "tenant 'emb' metrics namespace missing";
+  EXPECT_GT(ads_pushes, 0) << "tenant 'ads' metrics namespace missing";
+  EXPECT_GT(emb_served, 0);
+  EXPECT_GT(ads_served, 0);
+}
+
+}  // namespace
+}  // namespace fluentps

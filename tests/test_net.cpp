@@ -6,6 +6,7 @@
 #include <mutex>
 #include <vector>
 
+#include "embed/sparse_codec.h"
 #include "net/inproc_transport.h"
 #include "net/message.h"
 #include "net/sim_transport.h"
@@ -41,7 +42,7 @@ TEST(Message, SerializeRoundTrip) {
 }
 
 TEST(Message, RoundTripAllTypes) {
-  for (std::uint8_t t = 0; t <= static_cast<std::uint8_t>(MsgType::kPromote); ++t) {
+  for (std::uint8_t t = 0; t <= static_cast<std::uint8_t>(MsgType::kSparseReplicateAck); ++t) {
     Message m = sample_message();
     m.type = static_cast<MsgType>(t);
     Message out;
@@ -68,11 +69,42 @@ TEST(Message, ReplicationTypesRoundTripWithLsn) {
   EXPECT_STREQ(to_string(MsgType::kPromote), "Promote");
 }
 
-TEST(Message, TypePastPromoteRejected) {
+TEST(Message, TypePastLastSparseRejected) {
   auto frame = sample_message().serialize();
-  frame[0] = static_cast<std::uint8_t>(MsgType::kPromote) + 1;
+  frame[0] = static_cast<std::uint8_t>(MsgType::kSparseReplicateAck) + 1;
   Message out;
   EXPECT_FALSE(Message::deserialize(frame, &out));
+}
+
+TEST(Message, SparseTypesRoundTripWithCodecFrame) {
+  // A sparse push's payload is an embed codec frame packed into the float
+  // stream as raw bit patterns; the wire must preserve it exactly (the words
+  // are not valid floats — NaNs, denormals — so any numeric handling of the
+  // payload would corrupt them).
+  embed::SparseBatch batch;
+  batch.table_id = 1;
+  batch.dim = 2;
+  batch.rows = {3, 1ull << 40, ~0ull};
+  batch.values = {0.5f, -1.0f, 2.5f, -3.0f, 4.5f, -5.0f};
+
+  Message m = sample_message();
+  m.type = MsgType::kSparsePush;
+  m.seq = 9;        // reliability sequence
+  m.progress = 4;   // sparse round
+  m.values = Payload(embed::encode_sparse(batch));
+
+  Message out;
+  ASSERT_TRUE(Message::deserialize(m.serialize(), &out));
+  EXPECT_EQ(out.type, MsgType::kSparsePush);
+  EXPECT_EQ(out.seq, 9u);
+  EXPECT_EQ(out.progress, 4);
+  embed::SparseBatch decoded;
+  ASSERT_TRUE(embed::decode_sparse(out.values.span(), &decoded));
+  EXPECT_EQ(decoded.table_id, batch.table_id);
+  EXPECT_EQ(decoded.rows, batch.rows);
+  EXPECT_EQ(decoded.values, batch.values);
+  EXPECT_STREQ(to_string(MsgType::kSparsePullResp), "SparsePullResp");
+  EXPECT_STREQ(to_string(MsgType::kSparseReplicateAck), "SparseReplicateAck");
 }
 
 TEST(Message, EmptyValuesRoundTrip) {
