@@ -3,6 +3,9 @@
 // slicing. These guard against performance regressions in the substrate.
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <thread>
+
 #include "common/rng.h"
 #include "embed/embedding_table.h"
 #include "embed/sparse_codec.h"
@@ -11,6 +14,7 @@
 #include "ml/ops.h"
 #include "net/frame_buffer.h"
 #include "net/message.h"
+#include "ps/push_combiner.h"
 #include "ps/slicing.h"
 #include "ps/striped_shard.h"
 #include "ps/sync_engine.h"
@@ -149,6 +153,109 @@ BENCHMARK(BM_ServerBatchedApply)
     ->Args({8, 1})
     ->Args({64, 0})
     ->Args({64, 1});
+
+void BM_CombinerHandoff(benchmark::State& state) {
+  // The contended-apply micro (DESIGN.md §11): N threads hand gradients to
+  // the combiner simultaneously. range(0) = 0 for the legacy mutex + condvar
+  // flat combining, 1 for the lock-free MPSC ring handoff. Same shard, same
+  // gradients — only the handoff mechanism differs.
+  constexpr std::size_t kParams = 4096;
+  static ps::StripedShard* shard = nullptr;
+  static ps::PushCombiner* combiner = nullptr;
+  if (state.thread_index() == 0) {
+    shard = new ps::StripedShard(std::vector<float>(kParams, 0.0f), 8);
+    combiner = new ps::PushCombiner(
+        *shard, ps::PushCombinerSpec{.batch = true,
+                                     .lockfree = state.range(0) != 0,
+                                     .ring_depth = 1024});
+  }
+  const std::vector<float> g(kParams, 0.001f);
+  const float scale = 1.0f / 64.0f;
+  for (auto _ : state) {
+    combiner->apply(g, scale);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(kParams * sizeof(float)));
+  if (state.thread_index() == 0) {
+    delete combiner;
+    delete shard;
+    combiner = nullptr;
+    shard = nullptr;
+  }
+}
+BENCHMARK(BM_CombinerHandoff)
+    ->Arg(0)
+    ->Arg(1)
+    ->Threads(4)
+    ->Threads(8)
+    ->UseRealTime();
+
+void BM_StripedApplyPinned(benchmark::State& state) {
+  // NUMA-aware apply pool: a 4 MiB shard swept by 2 dedicated apply threads
+  // that first-touched their own stripe partitions. range(0) = pin threads.
+  // On single-node machines pinned vs unpinned should be a wash (the knob
+  // must cost nothing); on multi-socket machines pinning keeps every stripe
+  // sweep on memory local to its thread.
+  const bool pin = state.range(0) != 0;
+  constexpr std::size_t kParams = std::size_t{1} << 20;
+  ps::StripedShard shard(std::vector<float>(kParams, 0.0f), 8, {},
+                         /*defer_first_touch=*/true);
+  ps::PushCombiner combiner(shard, ps::PushCombinerSpec{.batch = true,
+                                                        .lockfree = true,
+                                                        .apply_threads = 2,
+                                                        .pin_threads = pin});
+  const std::vector<float> g(kParams, 0.001f);
+  for (auto _ : state) {
+    combiner.apply(g, 1.0f / 64.0f);
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(kParams * sizeof(float)));
+}
+BENCHMARK(BM_StripedApplyPinned)->Arg(0)->Arg(1)->UseRealTime();
+
+void BM_RecvZeroCopy(benchmark::State& state) {
+  // Receive-path A/B: a burst of [u32 len | frame] records lands in the
+  // streaming RecvBuffer (one bulk "socket" copy, shared by both sides), then
+  // each frame is turned into a Message. range(0) = 0 decodes with the
+  // owning deserialize() (per-frame payload alloc + copy — the pre-§11
+  // receive cost), 1 with deserialize_view() borrowing the floats in place
+  // (the TCP reader's actual path). range(1) = floats per frame.
+  const bool zero_copy = state.range(0) != 0;
+  constexpr int kFrames = 16;
+  net::Message m;
+  m.type = net::MsgType::kPush;
+  m.values.resize(static_cast<std::size_t>(state.range(1)), 1.5f);
+  const std::vector<std::uint8_t> frame = m.serialize();
+  std::vector<std::uint8_t> wire;
+  const auto len = static_cast<std::uint32_t>(frame.size());
+  for (int i = 0; i < kFrames; ++i) {
+    wire.insert(wire.end(), reinterpret_cast<const std::uint8_t*>(&len),
+                reinterpret_cast<const std::uint8_t*>(&len) + sizeof(len));
+    wire.insert(wire.end(), frame.begin(), frame.end());
+  }
+  net::RecvBuffer rb;
+  for (auto _ : state) {
+    const auto dst = rb.writable(wire.size());
+    std::memcpy(dst.data(), wire.data(), wire.size());  // the kernel's copy
+    rb.commit(wire.size());
+    std::uint32_t frame_len = 0;
+    while (rb.peek_length(&frame_len)) {
+      const auto bytes = rb.take_frame(frame_len);
+      net::Message out;
+      if (zero_copy) {
+        benchmark::DoNotOptimize(net::Message::deserialize_view(bytes, &out));
+      } else {
+        benchmark::DoNotOptimize(net::Message::deserialize(bytes, &out));
+      }
+      benchmark::DoNotOptimize(out.values.data());
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * kFrames);
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(wire.size()));
+}
+BENCHMARK(BM_RecvZeroCopy)->Args({0, 8192})->Args({1, 8192})->Args({0, 65536})->Args({1, 65536});
 
 void BM_Axpy(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));

@@ -30,6 +30,9 @@ void print_usage() {
       "  timing:   compute={fixed,uniform,lognormal,transient,persistent,heterogeneous}\n"
       "            base_seconds sigma worker_sigma straggler_prob slowdown\n"
       "            latency bandwidth\n"
+      "  ingest:   batch_pushes={0,1} apply_stripes lockfree_handoff={0,1}\n"
+      "            ring_depth apply_threads pin_threads={0,1} (server apply\n"
+      "            hot path: combiner handoff ring, NUMA-aware apply pool)\n"
       "  extras:   seed eval_every significance trace_iters\n"
       "  faults:   fault.drop fault.dup fault.delay_prob fault.delay_seconds\n"
       "            fault.reorder fault.reorder_max fault.partition='w0,w1@0.5:1.5'\n"
@@ -99,6 +102,15 @@ int main(int argc, char** argv) {
   cfg.net.latency_seconds = args.get_double("latency", 200e-6);
   cfg.net.bandwidth_bytes_per_sec = args.get_double("bandwidth", 3e7);
 
+  cfg.batch_pushes = args.get_bool("batch_pushes", cfg.batch_pushes);
+  cfg.apply_stripes = static_cast<std::uint32_t>(
+      args.get_int("apply_stripes", static_cast<std::int64_t>(cfg.apply_stripes)));
+  cfg.lockfree_handoff = args.get_bool("lockfree_handoff", cfg.lockfree_handoff);
+  cfg.ring_depth = static_cast<std::uint32_t>(
+      args.get_int("ring_depth", static_cast<std::int64_t>(cfg.ring_depth)));
+  cfg.apply_threads = static_cast<std::uint32_t>(args.get_int("apply_threads", 0));
+  cfg.pin_threads = args.get_bool("pin_threads", false);
+
   cfg.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
   cfg.eval_every = args.get_int("eval_every", 0);
   cfg.push_significance_threshold = args.get_double("significance", 0.0);
@@ -151,6 +163,18 @@ int main(int argc, char** argv) {
                 static_cast<long long>(r.server_dedup_hits),
                 static_cast<long long>(r.server_crashes),
                 static_cast<long long>(r.server_recoveries));
+  }
+  {
+    const auto extra = [&r](const char* k) {
+      const auto it = r.extra.find(k);
+      return it == r.extra.end() ? 0.0 : it->second;
+    };
+    std::printf(
+        "ingest          sweeps %.0f (max batch %.0f)  ring stalls %.0f  "
+        "depth hw %.0f  zero-copy frames %.0f  pinned threads %.0f\n",
+        extra("apply_sweeps"), extra("max_apply_batch"), extra("ring_stalls"),
+        extra("ring_depth_high_water"), extra("recv_zero_copy_frames"),
+        extra("pinned_threads"));
   }
   if (cfg.replication_factor > 1) {
     std::printf("replication     forwards %lld  failovers %lld (worst %.3f s)  rolled back %lld\n",

@@ -32,6 +32,10 @@ CASES=(
   "pssp staleness=3 prob=0.3 mode=soft"
   "bsp arch=pslite"
   "ssp staleness=3 arch=ssptable"
+  # Pinned apply pool (DESIGN.md §11): the lock-free ring handoff draining
+  # into 2 dedicated, affinity-pinned apply threads per server must survive
+  # the same loss + crash-restart schedule bit-for-bit.
+  "ssp staleness=3 apply_threads=2 pin_threads=1"
 )
 
 fail=0

@@ -1,0 +1,76 @@
+#include "common/affinity.h"
+
+#include <thread>
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
+namespace fluentps::affinity {
+
+#if defined(__linux__)
+
+namespace {
+
+/// CPUs in the calling thread's current affinity mask, in id order. Empty on
+/// failure (restricted sandbox), which callers treat as "cannot pin".
+std::size_t allowed_list(int* cpus, std::size_t max) noexcept {
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  if (pthread_getaffinity_np(pthread_self(), sizeof(set), &set) != 0) return 0;
+  std::size_t n = 0;
+  for (int c = 0; c < CPU_SETSIZE && n < max; ++c) {
+    if (CPU_ISSET(c, &set)) cpus[n++] = c;
+  }
+  return n;
+}
+
+}  // namespace
+
+bool supported() noexcept {
+  int cpus[1];
+  return allowed_list(cpus, 1) > 0;
+}
+
+unsigned allowed_cpus() noexcept {
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  if (pthread_getaffinity_np(pthread_self(), sizeof(set), &set) == 0) {
+    const int n = CPU_COUNT(&set);
+    if (n > 0) return static_cast<unsigned>(n);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+bool pin_current_thread(unsigned slot) noexcept {
+  int cpus[CPU_SETSIZE];
+  const std::size_t n = allowed_list(cpus, CPU_SETSIZE);
+  if (n == 0) return false;
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(cpus[slot % n], &set);
+  return pthread_setaffinity_np(pthread_self(), sizeof(set), &set) == 0;
+}
+
+int current_cpu() noexcept {
+  return sched_getcpu();
+}
+
+#else  // !__linux__: every call is a graceful no-op.
+
+bool supported() noexcept { return false; }
+
+unsigned allowed_cpus() noexcept {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+bool pin_current_thread(unsigned) noexcept { return false; }
+
+int current_cpu() noexcept { return -1; }
+
+#endif
+
+}  // namespace fluentps::affinity

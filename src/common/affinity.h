@@ -1,0 +1,31 @@
+// Thread-affinity shim (DESIGN.md §11): pin apply/drain threads to cores so
+// stripe first-touch placement survives the scheduler, without taking a hard
+// dependency on libnuma or a multi-socket machine.
+//
+// Everything degrades gracefully: on non-Linux platforms, in restricted
+// sandboxes (pthread_setaffinity_np returning EPERM/EINVAL), or on
+// single-core CI boxes, pin_current_thread() just returns false and callers
+// carry on unpinned. The knobs stay safe-by-default (`pin_threads=0`).
+#pragma once
+
+namespace fluentps::affinity {
+
+/// True when this build/platform can pin threads at all (Linux with a
+/// readable affinity mask). A true here does not guarantee a later pin
+/// succeeds — the mask may shrink (cgroups) between calls.
+[[nodiscard]] bool supported() noexcept;
+
+/// Number of CPUs the calling thread may run on (its affinity mask), falling
+/// back to hardware_concurrency; never returns 0.
+[[nodiscard]] unsigned allowed_cpus() noexcept;
+
+/// Pin the calling thread to one CPU. `slot` is a logical index that is
+/// mapped onto the thread's *allowed* CPU set modulo its size, so callers
+/// can hand out slot = rank * threads + t without knowing the mask. Returns
+/// true when the kernel accepted the mask, false on any failure (no-op).
+bool pin_current_thread(unsigned slot) noexcept;
+
+/// CPU the calling thread last ran on, or -1 when unknown.
+[[nodiscard]] int current_cpu() noexcept;
+
+}  // namespace fluentps::affinity

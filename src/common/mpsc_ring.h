@@ -1,0 +1,120 @@
+// Bounded lock-free MPSC ring (DESIGN.md §11): the combiner handoff queue.
+//
+// Layout and protocol follow the classic sequence-numbered bounded queue
+// (Vyukov): each slot carries an atomic sequence counter that encodes whose
+// turn it is. A producer claims a slot by CAS on the enqueue cursor, writes
+// its item, then *releases* the slot by storing seq = pos + 1; the consumer
+// *acquires* that store before reading the item, so the item write
+// happens-before the read without any lock. Slots are cache-line padded so
+// neighbouring producers never false-share.
+//
+// try_push never blocks: a full ring returns false (backpressure — callers
+// decide whether to spin, yield, or fall back). Per-slot FIFO holds: items
+// are dequeued in successful-push (cursor-claim) order, which is what makes
+// the ring drain bit-identical to the old mutex queue drain.
+//
+// Single consumer: try_pop must only ever be called from one thread at a
+// time (the drain side enforces this with its combiner/drain-thread role).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <new>
+#include <utility>
+#include <vector>
+
+namespace fluentps {
+
+template <typename T>
+class MpscRing {
+ public:
+  /// Capacity is rounded up to a power of two, minimum 2.
+  explicit MpscRing(std::size_t capacity) {
+    std::size_t cap = 2;
+    while (cap < capacity) cap *= 2;
+    slots_ = std::vector<Slot>(cap);
+    mask_ = cap - 1;
+    for (std::size_t i = 0; i < cap; ++i) {
+      slots_[i].seq.store(i, std::memory_order_relaxed);
+    }
+  }
+
+  MpscRing(const MpscRing&) = delete;
+  MpscRing& operator=(const MpscRing&) = delete;
+
+  ~MpscRing() {
+    T scratch;
+    while (try_pop(scratch)) {
+    }
+  }
+
+  /// Multi-producer enqueue; false when the ring is full (backpressure).
+  /// On failure `v` is left untouched (not moved from), so callers with
+  /// expensive-to-rebuild items can flush/retry with the same value.
+  template <typename U>
+  bool try_push(U&& v) {
+    std::size_t pos = enqueue_pos_.load(std::memory_order_relaxed);
+    for (;;) {
+      Slot& slot = slots_[pos & mask_];
+      const std::size_t seq = slot.seq.load(std::memory_order_acquire);
+      const auto dif = static_cast<std::intptr_t>(seq) - static_cast<std::intptr_t>(pos);
+      if (dif == 0) {
+        if (enqueue_pos_.compare_exchange_weak(pos, pos + 1, std::memory_order_relaxed)) {
+          ::new (static_cast<void*>(slot.storage)) T(std::forward<U>(v));
+          slot.seq.store(pos + 1, std::memory_order_release);
+          return true;
+        }
+        // CAS updated pos to the current cursor; retry with it.
+      } else if (dif < 0) {
+        return false;  // the slot still holds an unconsumed lap: ring full
+      } else {
+        pos = enqueue_pos_.load(std::memory_order_relaxed);
+      }
+    }
+  }
+
+  /// Single-consumer dequeue; false when the ring is empty.
+  bool try_pop(T& out) {
+    const std::size_t pos = dequeue_pos_.load(std::memory_order_relaxed);
+    Slot& slot = slots_[pos & mask_];
+    const std::size_t seq = slot.seq.load(std::memory_order_acquire);
+    if (static_cast<std::intptr_t>(seq) - static_cast<std::intptr_t>(pos + 1) != 0) {
+      return false;
+    }
+    T* item = std::launder(reinterpret_cast<T*>(slot.storage));
+    out = std::move(*item);
+    item->~T();
+    // Hand the slot to the producers' next lap.
+    slot.seq.store(pos + mask_ + 1, std::memory_order_release);
+    dequeue_pos_.store(pos + 1, std::memory_order_relaxed);
+    return true;
+  }
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return mask_ + 1; }
+
+  /// Racy occupancy estimate (for depth high-water marks, not control flow).
+  [[nodiscard]] std::size_t size_approx() const noexcept {
+    const std::size_t tail = dequeue_pos_.load(std::memory_order_relaxed);
+    const std::size_t head = enqueue_pos_.load(std::memory_order_relaxed);
+    return head >= tail ? head - tail : 0;
+  }
+
+ private:
+  // 64 = x86/arm64 destructive interference size; fixed rather than
+  // std::hardware_destructive_interference_size so the slot layout is ABI-
+  // stable across TUs compiled with different tuning flags.
+  static constexpr std::size_t kCacheLine = 64;
+
+  struct alignas(kCacheLine) Slot {
+    std::atomic<std::size_t> seq{0};
+    alignas(alignof(T)) unsigned char storage[sizeof(T)];
+  };
+
+  std::vector<Slot> slots_;
+  std::size_t mask_ = 0;
+  alignas(kCacheLine) std::atomic<std::size_t> enqueue_pos_{0};
+  alignas(kCacheLine) std::atomic<std::size_t> dequeue_pos_{0};
+};
+
+}  // namespace fluentps

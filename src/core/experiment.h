@@ -132,6 +132,28 @@ struct ExperimentConfig {
   /// Lock stripes per server shard (boundaries aligned to slice boundaries).
   std::uint32_t apply_stripes = 8;
 
+  /// Hand pushes to the combiner through the bounded lock-free MPSC ring
+  /// (DESIGN.md §11) instead of the legacy mutex flat-combining queue. Both
+  /// paths are bit-identical per arrival order (A/B-tested); this is the
+  /// contended-ingest throughput knob.
+  bool lockfree_handoff = true;
+
+  /// Capacity of the combiner handoff ring (rounded up to a power of two).
+  /// A full ring is backpressure: the producer records a stall and retries.
+  std::uint32_t ring_depth = 1024;
+
+  /// Dedicated apply threads per server: 0 = pushes are applied on the
+  /// handler thread that wins the combiner role; 1 = one drain thread owns
+  /// every sweep; >= 2 additionally fans each sweep across stripe
+  /// partitions. Each apply thread first-touches its own stripe partition at
+  /// startup (NUMA placement).
+  std::uint32_t apply_threads = 0;
+
+  /// Pin apply/drain threads to CPUs (common/affinity.h; no-op where
+  /// unsupported). Server m's threads take affinity slots starting at
+  /// m * max(apply_threads, 1).
+  bool pin_threads = false;
+
   // --- fault injection & recovery (src/fault) -------------------------
 
   /// Declarative fault schedule (drop/dup/delay/reorder, partitions, server

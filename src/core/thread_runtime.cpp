@@ -172,6 +172,10 @@ class ThreadRun {
     spec.reliable = reliable_;
     spec.batch_pushes = cfg_.batch_pushes;
     spec.apply_stripes = cfg_.apply_stripes;
+    spec.lockfree_handoff = cfg_.lockfree_handoff;
+    spec.ring_depth = cfg_.ring_depth;
+    spec.apply_threads = cfg_.apply_threads;
+    spec.pin_threads = cfg_.pin_threads;
     spec.replica_successor = chain_.replicated() ? chain_.successor_of(m, 0) : 0;
     if (reliable_) {
       for (std::uint32_t n = 0; n < cfg_.num_workers; ++n) {
@@ -759,6 +763,35 @@ class ThreadRun {
     }
     if (r.worker_retries > 0) metrics_.incr("worker.retries", r.worker_retries);
     if (r.server_dedup_hits > 0) metrics_.incr("server.dedup_hits", r.server_dedup_hits);
+    // --- ingest-path stats (DESIGN.md §11) --------------------------------
+    {
+      std::int64_t ring_stalls = 0;
+      std::size_t ring_depth_hw = 0;
+      std::int64_t sweeps = 0;
+      std::size_t max_batch = 0;
+      std::uint32_t pinned = 0;
+      for_each_server([&](const ps::Server& s) {
+        ring_stalls += s.ring_stalls();
+        ring_depth_hw = std::max(ring_depth_hw, s.ring_depth_high_water());
+        sweeps += s.apply_sweeps();
+        max_batch = std::max(max_batch, s.max_batch());
+        pinned += s.pinned_threads();
+      });
+      for_each_sparse_host([&](const embed::SparseHost& h) {
+        ring_stalls += static_cast<std::int64_t>(h.reducer_ring_stalls());
+        ring_depth_hw = std::max(ring_depth_hw, h.reducer_ring_depth_high_water());
+      });
+      if (ring_stalls > 0) metrics_.incr("server.ring_stalls", ring_stalls);
+      metrics_.set_gauge_max("server.ring_depth", static_cast<double>(ring_depth_hw));
+      const std::uint64_t zc = transport_.recv_zero_copy_frames();
+      if (zc > 0) metrics_.incr("net.recv_zero_copy_frames", static_cast<std::int64_t>(zc));
+      r.extra["apply_sweeps"] = static_cast<double>(sweeps);
+      r.extra["max_apply_batch"] = static_cast<double>(max_batch);
+      r.extra["ring_stalls"] = static_cast<double>(ring_stalls);
+      r.extra["ring_depth_high_water"] = static_cast<double>(ring_depth_hw);
+      r.extra["recv_zero_copy_frames"] = static_cast<double>(zc);
+      r.extra["pinned_threads"] = static_cast<double>(pinned);
+    }
     // --- sparse embedding outcomes ---------------------------------------
     if (cfg_.sparse.enabled()) {
       std::uint64_t state_digest = 0;

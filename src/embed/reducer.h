@@ -17,14 +17,25 @@
 // Determinism: contributions are stored per worker and consumed in worker-
 // rank order regardless of arrival order, so the drain is a pure function of
 // the round's content.
+//
+// Ingest staging (DESIGN.md §11): add() lands contributions in the same
+// bounded MPSC ring the dense combiner handoff uses (common/mpsc_ring.h)
+// instead of mutating the round map per arrival; the map only pays its
+// node-allocation and rebalancing cost when a drain (or a full ring) flushes
+// the staged batch. Determinism is untouched — take_round() flushes first
+// and still sorts by worker rank, so the drained round is the same pure
+// function of its content regardless of staging.
 #pragma once
 
 #include <algorithm>
 #include <cstdint>
 #include <map>
+#include <memory>
+#include <utility>
 #include <vector>
 
 #include "common/logging.h"
+#include "common/mpsc_ring.h"
 
 namespace fluentps::embed {
 
@@ -39,14 +50,30 @@ struct Contribution {
 
 class RoundReducer {
  public:
-  /// Record a fresh (deduped upstream) contribution for `round`.
+  // The ring lives behind a unique_ptr (atomics are immovable) so the
+  // reducer itself stays movable — TableState vectors and promotion handoffs
+  // move it around.
+  explicit RoundReducer(std::uint32_t ring_depth = 64)
+      : ring_(std::make_unique<MpscRing<Staged>>(ring_depth)) {}
+
+  /// Record a fresh (deduped upstream) contribution for `round`: staged onto
+  /// the ingest ring; a full ring flushes the staged batch into the round
+  /// map first (backpressure accounting, never data loss).
   void add(std::int64_t round, Contribution c) {
-    rounds_[round].push_back(std::move(c));
+    Staged s{round, std::move(c)};
+    if (!ring_->try_push(std::move(s))) {
+      ++ring_stalls_;
+      flush();
+      FPS_CHECK(ring_->try_push(std::move(s))) << "reducer ring still full after flush";
+    }
+    const std::size_t depth = ring_->size_approx();
+    if (depth > ring_depth_hw_) ring_depth_hw_ = depth;
   }
 
   /// Remove and return the round's contributions sorted by worker rank.
   /// Missing round -> empty vector (all contributions were bare markers).
   [[nodiscard]] std::vector<Contribution> take_round(std::int64_t round) {
+    flush();
     const auto it = rounds_.find(round);
     if (it == rounds_.end()) return {};
     std::vector<Contribution> out = std::move(it->second);
@@ -56,10 +83,34 @@ class RoundReducer {
     return out;
   }
 
-  [[nodiscard]] std::size_t pending_rounds() const noexcept { return rounds_.size(); }
+  /// Rounds with at least one staged or mapped contribution.
+  [[nodiscard]] std::size_t pending_rounds() {
+    flush();
+    return rounds_.size();
+  }
+
+  /// add() calls that found the ingest ring full (flush-on-full events).
+  [[nodiscard]] std::uint64_t ring_stalls() const noexcept { return ring_stalls_; }
+  /// Deepest staging-ring occupancy observed at add() time.
+  [[nodiscard]] std::size_t ring_depth_high_water() const noexcept { return ring_depth_hw_; }
 
  private:
+  struct Staged {
+    std::int64_t round = 0;
+    Contribution c;
+  };
+
+  /// Drain the staging ring into the round map (consumer side; callers are
+  /// externally synchronized — the host's single dispatch context / mu_).
+  void flush() {
+    Staged s;
+    while (ring_->try_pop(s)) rounds_[s.round].push_back(std::move(s.c));
+  }
+
+  std::unique_ptr<MpscRing<Staged>> ring_;
   std::map<std::int64_t, std::vector<Contribution>> rounds_;
+  std::uint64_t ring_stalls_ = 0;
+  std::size_t ring_depth_hw_ = 0;
 };
 
 /// Reduce a drained round: per-row gradient sums, accumulated in worker-rank

@@ -114,4 +114,18 @@ std::uint64_t SparseCore::digest() const {
   return sum;
 }
 
+std::uint64_t SparseCore::reducer_ring_stalls() const {
+  std::uint64_t sum = 0;
+  for (const TableState& st : tables_) sum += st.reducer.ring_stalls();
+  return sum;
+}
+
+std::size_t SparseCore::reducer_ring_depth_high_water() const {
+  std::size_t hw = 0;
+  for (const TableState& st : tables_) {
+    hw = std::max(hw, st.reducer.ring_depth_high_water());
+  }
+  return hw;
+}
+
 }  // namespace fluentps::embed

@@ -65,6 +65,11 @@ class SparseCore {
   /// Order-independent digest over every table (sums across servers).
   [[nodiscard]] std::uint64_t digest() const;
 
+  /// Reducer ingest-ring backpressure events, summed over tables.
+  [[nodiscard]] std::uint64_t reducer_ring_stalls() const;
+  /// Deepest reducer ingest-ring occupancy seen on any table.
+  [[nodiscard]] std::size_t reducer_ring_depth_high_water() const;
+
  private:
   struct TableState {
     std::unique_ptr<EmbeddingTable> table;

@@ -301,5 +301,13 @@ std::size_t SparseHost::parked_pulls() const {
   std::scoped_lock lock(mu_);
   return parked_.size();
 }
+std::uint64_t SparseHost::reducer_ring_stalls() const {
+  std::scoped_lock lock(mu_);
+  return core_->reducer_ring_stalls();
+}
+std::size_t SparseHost::reducer_ring_depth_high_water() const {
+  std::scoped_lock lock(mu_);
+  return core_->reducer_ring_depth_high_water();
+}
 
 }  // namespace fluentps::embed

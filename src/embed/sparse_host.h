@@ -87,6 +87,9 @@ class SparseHost {
   [[nodiscard]] std::int64_t stale_replicates() const;
   [[nodiscard]] std::size_t replication_high_water() const;
   [[nodiscard]] std::size_t parked_pulls() const;
+  /// Reducer ingest-ring backpressure events / depth high-water (all tables).
+  [[nodiscard]] std::uint64_t reducer_ring_stalls() const;
+  [[nodiscard]] std::size_t reducer_ring_depth_high_water() const;
 
  private:
   struct ParkedPull {

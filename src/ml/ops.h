@@ -57,4 +57,10 @@ double l2_norm(std::span<const float> v) noexcept;
 /// x += alpha * y (same length).
 void axpy(float alpha, std::span<const float> y, std::span<float> x) noexcept;
 
+/// dst = src (same length). Small slices use an open-coded loop that skips
+/// the libc dispatch overhead; everything else goes through memmove's
+/// runtime-dispatched wide-vector kernel. The slicing gather/scatter hot
+/// loops route through this.
+void copy(std::span<const float> src, std::span<float> dst) noexcept;
+
 }  // namespace fluentps::ml

@@ -1,9 +1,17 @@
-// Grow-only, reusable byte buffer for frame (de)serialization.
+// Grow-only, reusable byte buffers for frame (de)serialization.
 //
-// Unlike std::vector<uint8_t>, ensure() never zero-fills: fresh capacity is
+// FrameBuffer: scratch buffer for one frame at a time. Unlike
+// std::vector<uint8_t>, ensure() never zero-fills: fresh capacity is
 // allocated uninitialized and the caller overwrites it. A per-connection
 // FrameBuffer amortizes allocation across messages — after the first few
 // frames the hot path does no heap work at all (DESIGN.md §8).
+//
+// RecvBuffer: streaming receive buffer for the zero-copy TCP ingest path
+// (DESIGN.md §11). Bulk socket reads land directly in it via
+// writable()/commit(), and complete [u32 length | frame] records are parsed
+// *in place* — deserialize_view() borrows the payload floats straight out of
+// this buffer, so steady-state receive does zero allocations and zero
+// copies. allocations()/bytes_moved() are the test hooks that prove it.
 //
 // Storage is 64-byte aligned: with the 64-byte frame header the payload then
 // starts on a cache-line boundary, so a deserialize_view() borrow hands the
@@ -14,6 +22,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <cstdlib>
+#include <cstring>
 #include <memory>
 #include <new>
 #include <span>
@@ -36,6 +45,7 @@ class FrameBuffer {
       if (p == nullptr) throw std::bad_alloc();
       buf_.reset(p);
       cap_ = want;
+      ++allocations_;
     }
     size_ = n;
     return buf_.get();
@@ -49,6 +59,9 @@ class FrameBuffer {
   [[nodiscard]] std::span<const std::uint8_t> span() const noexcept {
     return {buf_.get(), size_};
   }
+  /// Heap allocations performed so far (test hook: must plateau in steady
+  /// state once the buffer reached its high-water size).
+  [[nodiscard]] std::uint64_t allocations() const noexcept { return allocations_; }
 
  private:
   struct FreeDeleter {
@@ -57,6 +70,121 @@ class FrameBuffer {
   std::unique_ptr<std::uint8_t[], FreeDeleter> buf_;
   std::size_t cap_ = 0;
   std::size_t size_ = 0;
+  std::uint64_t allocations_ = 0;
+};
+
+/// Streaming receive buffer: socket reads append at the tail, the frame
+/// parser consumes at the head. Single-threaded (one per reader thread).
+///
+/// Spans returned by take_frame() stay valid until the next writable() call
+/// — exactly the handler-invocation window the payload ownership rules give
+/// a borrowed payload (payload.h).
+///
+/// Alignment invariant: the head starts at kAlignOffset (60), so after the
+/// 4-byte length prefix and the 64-byte frame header the first payload float
+/// sits at offset 128 — cache-line aligned. Every frame is 64 + 4·count
+/// bytes, so each [length | frame] record advances the head by a multiple of
+/// 4 and *every* in-place payload stays at least float-aligned; the
+/// deserialize_view() borrow therefore never falls back to a copy.
+class RecvBuffer {
+ public:
+  static constexpr std::size_t kAlignment = 64;
+  /// Head offset that cache-line-aligns the first frame's payload:
+  /// 60 + 4 (length prefix) + 64 (frame header) = 128.
+  static constexpr std::size_t kAlignOffset = kAlignment - sizeof(std::uint32_t);
+
+  RecvBuffer() = default;
+
+  /// Bytes buffered but not yet consumed.
+  [[nodiscard]] std::size_t buffered() const noexcept { return tail_ - head_; }
+
+  /// Contiguous writable region of at least `min_bytes` (growing or
+  /// compacting as needed — both are counted). Receive into it, then
+  /// commit() the bytes that actually arrived.
+  std::span<std::uint8_t> writable(std::size_t min_bytes) {
+    if (head_ == tail_) {
+      // Fully drained: snap back so the next frame's payload is cache-line
+      // aligned again. Free — no bytes move. This is why request-response
+      // steady state never compacts.
+      head_ = tail_ = kAlignOffset;
+    }
+    const std::size_t live = tail_ - head_;
+    if (free_tail() < min_bytes) {
+      if (head_ > kAlignOffset && cap_ >= kAlignOffset + live + min_bytes) {
+        // A frame straddles the write edge while earlier frames of the same
+        // burst were already consumed (pipelining): slide the partial bytes
+        // back to the alignment offset.
+        std::memmove(buf_.get() + kAlignOffset, buf_.get() + head_, live);
+        bytes_moved_ += live;
+        head_ = kAlignOffset;
+        tail_ = head_ + live;
+      } else {
+        grow_to(kAlignOffset + live + min_bytes);
+      }
+    }
+    return {buf_.get() + tail_, free_tail()};
+  }
+
+  /// Account `n` bytes received into the writable() region.
+  void commit(std::size_t n) noexcept { tail_ += n; }
+
+  /// Next record's frame length, if the 4-byte prefix is buffered.
+  bool peek_length(std::uint32_t* len) const noexcept {
+    if (buffered() < sizeof(std::uint32_t)) return false;
+    std::memcpy(len, buf_.get() + head_, sizeof(std::uint32_t));
+    return true;
+  }
+
+  /// Whether the full [length | frame] record for `len` is buffered.
+  [[nodiscard]] bool frame_complete(std::uint32_t len) const noexcept {
+    return buffered() >= sizeof(std::uint32_t) + len;
+  }
+
+  /// Consume the next record and return its frame bytes (sans length
+  /// prefix), in place. Precondition: frame_complete(len).
+  std::span<const std::uint8_t> take_frame(std::uint32_t len) noexcept {
+    const std::uint8_t* frame = buf_.get() + head_ + sizeof(std::uint32_t);
+    head_ += sizeof(std::uint32_t) + len;
+    return {frame, len};
+  }
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return cap_; }
+  /// Heap allocations so far (plateaus at the high-water frame burst).
+  [[nodiscard]] std::uint64_t allocations() const noexcept { return allocations_; }
+  /// Bytes shifted by compaction/growth (0 in request-response steady state).
+  [[nodiscard]] std::uint64_t bytes_moved() const noexcept { return bytes_moved_; }
+
+ private:
+  [[nodiscard]] std::size_t free_tail() const noexcept {
+    return cap_ > tail_ ? cap_ - tail_ : 0;
+  }
+
+  void grow_to(std::size_t want) {
+    std::size_t cap = cap_ == 0 ? 4096 : cap_;
+    while (cap < want) cap *= 2;
+    auto* p = static_cast<std::uint8_t*>(std::aligned_alloc(kAlignment, cap));
+    if (p == nullptr) throw std::bad_alloc();
+    ++allocations_;
+    const std::size_t live = tail_ - head_;
+    if (live > 0) {
+      std::memcpy(p + kAlignOffset, buf_.get() + head_, live);
+      bytes_moved_ += live;
+    }
+    buf_.reset(p);
+    cap_ = cap;
+    head_ = kAlignOffset;
+    tail_ = kAlignOffset + live;
+  }
+
+  struct FreeDeleter {
+    void operator()(std::uint8_t* p) const noexcept { std::free(p); }
+  };
+  std::unique_ptr<std::uint8_t[], FreeDeleter> buf_;
+  std::size_t cap_ = 0;
+  std::size_t head_ = kAlignOffset;
+  std::size_t tail_ = kAlignOffset;
+  std::uint64_t allocations_ = 0;
+  std::uint64_t bytes_moved_ = 0;
 };
 
 }  // namespace fluentps::net

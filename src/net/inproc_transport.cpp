@@ -48,7 +48,13 @@ void InprocTransport::shutdown() {
     nodes.swap(nodes_);
   }
   for (auto& [id, node] : nodes) {
-    node->queue.close();  // dispatcher drains then exits; jthread joins in dtor
+    node->queue.close();  // dispatcher drains then exits
+  }
+  // Join every dispatcher before destroying any node: node A's dispatcher may
+  // still be inside send() -> push() on node B's queue (it resolved the raw
+  // Node* before close()), so no queue may die until all dispatchers exit.
+  for (auto& [id, node] : nodes) {
+    if (node->dispatcher.joinable()) node->dispatcher.join();
   }
   nodes.clear();
 }

@@ -86,6 +86,17 @@ class TcpTransport final : public Transport {
   [[nodiscard]] std::uint64_t frames_sent() const noexcept;
   [[nodiscard]] std::uint64_t frames_received() const noexcept;
   [[nodiscard]] std::uint64_t bytes_sent() const noexcept;
+  /// Frames parsed in place out of the streaming receive buffer, payload
+  /// borrowed end-to-end (equals frames_received() — the invariant the
+  /// zero-copy receive tests pin down).
+  [[nodiscard]] std::uint64_t recv_zero_copy_frames() const noexcept override;
+  /// Receive-buffer heap allocations across all connections. Plateaus once
+  /// every connection reached its high-water burst size: steady-state
+  /// receive allocates nothing.
+  [[nodiscard]] std::uint64_t recv_allocations() const noexcept;
+  /// Bytes shifted by receive-buffer compaction/growth (0 in request-response
+  /// steady state — frames are consumed in place, never copied out).
+  [[nodiscard]] std::uint64_t recv_bytes_moved() const noexcept;
   /// Re-dial attempts after a failed connect (observability + tests).
   [[nodiscard]] std::uint64_t connect_retries() const noexcept;
   /// Connections re-established by the background re-dial loop.
@@ -143,6 +154,9 @@ class TcpTransport final : public Transport {
   std::atomic<std::uint64_t> frames_sent_{0};
   std::atomic<std::uint64_t> frames_received_{0};
   std::atomic<std::uint64_t> bytes_sent_{0};
+  std::atomic<std::uint64_t> recv_zero_copy_frames_{0};
+  std::atomic<std::uint64_t> recv_allocations_{0};
+  std::atomic<std::uint64_t> recv_bytes_moved_{0};
   std::atomic<std::uint64_t> connect_retries_{0};
   std::atomic<std::uint64_t> reconnects_{0};
 };

@@ -39,6 +39,11 @@ class Transport {
   /// send() and therefore require owned payloads; they call
   /// Payload::ensure_owned() defensively (see payload.h ownership rules).
   [[nodiscard]] virtual bool inline_delivery() const noexcept { return false; }
+
+  /// Frames whose payload was delivered without any allocation or copy on
+  /// the receive side (TCP's streaming receive buffer — DESIGN.md §11).
+  /// Transports with no wire format report 0.
+  [[nodiscard]] virtual std::uint64_t recv_zero_copy_frames() const noexcept { return 0; }
 };
 
 }  // namespace fluentps::net

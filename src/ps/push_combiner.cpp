@@ -1,0 +1,252 @@
+#include "ps/push_combiner.h"
+
+#include <algorithm>
+
+#include "common/affinity.h"
+#include "common/logging.h"
+
+namespace fluentps::ps {
+
+PushCombiner::PushCombiner(StripedShard& shard, PushCombinerSpec spec)
+    : shard_(shard),
+      batch_(spec.batch),
+      lockfree_(spec.lockfree),
+      num_threads_(spec.apply_threads),
+      pin_(spec.pin_threads),
+      pin_slot_base_(spec.pin_slot_base),
+      ring_(std::max<std::uint32_t>(spec.ring_depth, 2)) {
+  if (num_threads_ >= 1) {
+    init_remaining_.store(num_threads_, std::memory_order_release);
+    pool_.reserve(num_threads_);
+    pool_.emplace_back([this] { drain_thread_main(); });
+    for (std::size_t t = 1; t < num_threads_; ++t) {
+      pool_.emplace_back([this, t] { helper_thread_main(t); });
+    }
+    // Block until every apply thread pinned itself and first-touched its
+    // stripe partition: the shard may have been built with deferred init, and
+    // nothing may read it until placement is done.
+    while (init_remaining_.load(std::memory_order_acquire) != 0) {
+      std::this_thread::yield();
+    }
+  } else if (!shard_.initialized()) {
+    shard_.first_touch(0, 1);
+  }
+}
+
+PushCombiner::~PushCombiner() {
+  if (pool_.empty()) return;
+  stop_.store(true, std::memory_order_release);
+  // Kick both rendezvous points; threads check stop_ on wake.
+  posted_.fetch_add(1, std::memory_order_release);
+  posted_.notify_all();
+  sweep_seq_.fetch_add(1, std::memory_order_release);
+  sweep_seq_.notify_all();
+  for (std::thread& th : pool_) th.join();
+}
+
+void PushCombiner::apply(std::span<const float> g, float scale) {
+  if (!batch_) {
+    // Per-message baseline: one single-entry sweep, no handoff at all.
+    const std::span<const float> one[] = {g};
+    shard_.apply_batch(one, scale);
+    note_sweep(1);
+    return;
+  }
+  Ticket t;
+  t.g = g;
+  t.scale = scale;
+  if (!lockfree_) {
+    apply_mutex(t);
+  } else if (num_threads_ >= 1) {
+    apply_via_drain_thread(t);
+  } else {
+    apply_lockfree(t);
+  }
+}
+
+// --- legacy mutex flat combining (A/B baseline, verbatim from PR 2) --------
+
+void PushCombiner::apply_mutex(Ticket& t) {
+  std::unique_lock lock(batch_mu_);
+  batch_queue_.push_back(&t);
+  if (batch_combining_) {
+    batch_cv_.wait(lock, [&] { return t.applied.load(std::memory_order_relaxed); });
+    return;
+  }
+  batch_combining_ = true;
+  std::vector<Ticket*> batch;
+  std::vector<std::span<const float>> grads;
+  while (!batch_queue_.empty()) {
+    batch.assign(batch_queue_.begin(), batch_queue_.end());
+    batch_queue_.clear();
+    lock.unlock();
+    grads.clear();
+    grads.reserve(batch.size());
+    const float scale = batch.front()->scale;
+    for (const Ticket* q : batch) {
+      FPS_CHECK(q->scale == scale) << "mixed scales in one combiner batch";
+      grads.push_back(q->g);
+    }
+    // One striped sweep applies every coalesced push, in arrival order per
+    // element — bit-identical to applying them one by one.
+    shard_.apply_batch(grads, scale);
+    note_sweep(batch.size());
+    lock.lock();
+    for (Ticket* q : batch) q->applied.store(true, std::memory_order_relaxed);
+    batch_cv_.notify_all();
+  }
+  batch_combining_ = false;
+}
+
+// --- lock-free ring handoff ------------------------------------------------
+
+void PushCombiner::enqueue(Ticket* t) {
+  if (!ring_.try_push(t)) {
+    // Backpressure, not blocking: account the stall once, then keep offering.
+    // Without a dedicated drainer the producer helps (takes the combiner role
+    // when free) so a full ring always makes forward progress.
+    ring_stalls_.fetch_add(1, std::memory_order_relaxed);
+    do {
+      if (num_threads_ == 0 && !combining_.exchange(true, std::memory_order_acquire)) {
+        drain_ring();
+        combining_.store(false, std::memory_order_release);
+      } else {
+        std::this_thread::yield();
+      }
+    } while (!ring_.try_push(t));
+  }
+  const std::size_t depth = ring_.size_approx();
+  std::size_t prev = ring_depth_hw_.load(std::memory_order_relaxed);
+  while (prev < depth &&
+         !ring_depth_hw_.compare_exchange_weak(prev, depth, std::memory_order_relaxed)) {
+  }
+  if (num_threads_ >= 1) {
+    posted_.fetch_add(1, std::memory_order_release);
+    posted_.notify_one();
+  }
+}
+
+void PushCombiner::apply_lockfree(Ticket& t) {
+  enqueue(&t);
+  // Combiner role handoff: whoever finds the role free drains the ring;
+  // everyone else spins on their ticket. A role holder retires every ticket
+  // it pops before releasing the role, so after any drain that covered our
+  // enqueue the applied flag is visible here.
+  for (;;) {
+    if (t.applied.load(std::memory_order_acquire)) return;
+    if (!combining_.exchange(true, std::memory_order_acquire)) {
+      drain_ring();
+      combining_.store(false, std::memory_order_release);
+      if (t.applied.load(std::memory_order_acquire)) return;
+    } else {
+      std::this_thread::yield();
+    }
+  }
+}
+
+void PushCombiner::apply_via_drain_thread(Ticket& t) {
+  enqueue(&t);
+  // A dedicated drainer always exists, so parking on the ticket futex is
+  // safe (no lost-combiner race to spin against).
+  for (;;) {
+    if (t.applied.load(std::memory_order_acquire)) return;
+    t.applied.wait(false, std::memory_order_acquire);
+  }
+}
+
+void PushCombiner::drain_ring() {
+  // Single consumer by construction: either the combiner-role holder or the
+  // dedicated drain thread, never both (num_threads_ selects the mode).
+  for (;;) {
+    drain_batch_.clear();
+    Ticket* t = nullptr;
+    while (ring_.try_pop(t)) drain_batch_.push_back(t);
+    if (drain_batch_.empty()) return;
+    sweep(drain_batch_);
+  }
+}
+
+void PushCombiner::sweep(std::vector<Ticket*>& batch) {
+  sweep_grads_.clear();
+  sweep_grads_.reserve(batch.size());
+  const float scale = batch.front()->scale;
+  for (const Ticket* t : batch) {
+    FPS_CHECK(t->scale == scale) << "mixed scales in one combiner batch";
+    sweep_grads_.push_back(t->g);
+  }
+  if (num_threads_ >= 2) {
+    // Fan the sweep out: helper t applies stripes i % T == t while we take
+    // partition 0. The release increment of sweep_seq_ publishes
+    // sweep_grads_/sweep_scale_; the acquire on sweep_pending_ joins the
+    // helpers before the tickets are retired.
+    sweep_scale_ = scale;
+    sweep_pending_.store(num_threads_ - 1, std::memory_order_relaxed);
+    sweep_seq_.fetch_add(1, std::memory_order_release);
+    sweep_seq_.notify_all();
+    shard_.apply_batch(sweep_grads_, scale, 0, num_threads_);
+    for (std::uint32_t left; (left = sweep_pending_.load(std::memory_order_acquire)) != 0;) {
+      sweep_pending_.wait(left, std::memory_order_acquire);
+    }
+  } else {
+    shard_.apply_batch(sweep_grads_, scale);
+  }
+  note_sweep(batch.size());
+  for (Ticket* t : batch) {
+    t->applied.store(true, std::memory_order_release);
+    if (num_threads_ >= 1) t->applied.notify_all();  // spinners don't park
+  }
+}
+
+void PushCombiner::note_sweep(std::size_t batch_size) {
+  sweeps_.fetch_add(1, std::memory_order_relaxed);
+  std::size_t prev = max_batch_.load(std::memory_order_relaxed);
+  while (prev < batch_size &&
+         !max_batch_.compare_exchange_weak(prev, batch_size, std::memory_order_relaxed)) {
+  }
+}
+
+// --- apply-thread pool -----------------------------------------------------
+
+void PushCombiner::pin_self(std::size_t part) {
+  if (!pin_) return;
+  if (affinity::pin_current_thread(pin_slot_base_ + static_cast<unsigned>(part))) {
+    pinned_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void PushCombiner::drain_thread_main() {
+  pin_self(0);
+  if (!shard_.initialized()) shard_.first_touch(0, num_threads_);
+  init_remaining_.fetch_sub(1, std::memory_order_release);
+  std::uint64_t seen = posted_.load(std::memory_order_acquire);
+  for (;;) {
+    drain_ring();
+    if (stop_.load(std::memory_order_acquire)) return;
+    const std::uint64_t cur = posted_.load(std::memory_order_acquire);
+    if (cur == seen) {
+      posted_.wait(cur, std::memory_order_acquire);  // returns once posted_ moves
+    } else {
+      seen = cur;  // new posts arrived while sweeping: drain again
+    }
+  }
+}
+
+void PushCombiner::helper_thread_main(std::size_t part) {
+  pin_self(part);
+  if (!shard_.initialized()) shard_.first_touch(part, num_threads_);
+  init_remaining_.fetch_sub(1, std::memory_order_release);
+  std::uint64_t seen = 0;
+  for (;;) {
+    sweep_seq_.wait(seen, std::memory_order_acquire);
+    const std::uint64_t cur = sweep_seq_.load(std::memory_order_acquire);
+    if (stop_.load(std::memory_order_acquire)) return;
+    if (cur == seen) continue;  // spurious wake
+    seen = cur;
+    shard_.apply_batch(sweep_grads_, sweep_scale_, part, num_threads_);
+    if (sweep_pending_.fetch_sub(1, std::memory_order_release) == 1) {
+      sweep_pending_.notify_all();
+    }
+  }
+}
+
+}  // namespace fluentps::ps

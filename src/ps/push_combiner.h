@@ -1,0 +1,159 @@
+// Combiner handoff for the server apply hot path (DESIGN.md §11).
+//
+// Concurrent push handlers (TCP reader threads) hand their gradient spans to
+// this combiner, which coalesces everything currently queued into one striped
+// sweep over the StripedShard. apply() blocks the caller until its gradient
+// was applied — that blocking is load-bearing: it keeps zero-copy payloads
+// (spans borrowing the transport's receive buffer) safe to queue without a
+// copy, and preserves the apply-before-engine-count ordering per message.
+//
+// Three handoff mechanisms, selected by spec (all bit-identical per arrival
+// order; the A/B oracle in tests/test_ring.cpp and test_hot_path.cpp holds
+// them to that):
+//
+//  * mutex (lockfree=false): the legacy flat-combining queue under a mutex +
+//    condvar — the A/B baseline, kept verbatim from PR 2.
+//  * lock-free, no apply threads (lockfree=true, apply_threads=0): producers
+//    enqueue tickets onto a bounded MPSC ring (common/mpsc_ring.h) and
+//    whoever wins the combiner role drains it; waiters spin-yield on their
+//    ticket's applied flag instead of parking on a condvar. A full ring is
+//    backpressure, not blocking: the producer bumps ring_stalls and retries
+//    (helping drain if the role is free) until a slot opens.
+//  * dedicated drain (apply_threads >= 1): thread 0 drains the ring and
+//    threads 1..T-1 sweep disjoint stripe partitions of each batch (stripe
+//    i % T == t), rendezvousing through atomic sweep counters. Producers park
+//    on their ticket's atomic (futex wait) since a drainer always exists.
+//    Each apply thread first-touches its own stripe partition at startup and
+//    optionally pins itself (common/affinity.h) so the stripes it sweeps stay
+//    NUMA-local to it.
+//
+// Lock order: callers may hold engine_mu_; the combiner takes ring slots then
+// stripe mutexes (engine_mu_ -> ring -> stripes), never the reverse.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "common/mpsc_ring.h"
+#include "ps/striped_shard.h"
+
+namespace fluentps::ps {
+
+struct PushCombinerSpec {
+  bool batch = true;      ///< off = apply each push individually (A/B baseline)
+  bool lockfree = true;   ///< ring handoff vs legacy mutex flat combining
+  std::uint32_t ring_depth = 1024;   ///< bounded MPSC ring capacity
+  std::uint32_t apply_threads = 0;   ///< dedicated drain/apply threads (0 = none)
+  bool pin_threads = false;          ///< pin apply threads via common/affinity.h
+  unsigned pin_slot_base = 0;        ///< first affinity slot (rank * threads)
+};
+
+class PushCombiner {
+ public:
+  /// When apply_threads >= 1 the constructor spawns the pool, first-touches
+  /// every stripe partition from its owning thread, and returns only once the
+  /// shard is fully initialized (so `shard` may be built with
+  /// defer_first_touch=true).
+  PushCombiner(StripedShard& shard, PushCombinerSpec spec);
+  ~PushCombiner();
+
+  PushCombiner(const PushCombiner&) = delete;
+  PushCombiner& operator=(const PushCombiner&) = delete;
+
+  /// Apply w += scale * g, returning once the write landed (possibly as part
+  /// of a coalesced sweep performed by another thread).
+  void apply(std::span<const float> g, float scale);
+
+  // --- observability -------------------------------------------------------
+
+  /// Coalescing sweeps performed and the largest batch one sweep applied.
+  [[nodiscard]] std::int64_t sweeps() const noexcept {
+    return sweeps_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::size_t max_batch() const noexcept {
+    return max_batch_.load(std::memory_order_relaxed);
+  }
+  /// apply() calls that hit a full ring at least once (backpressure events).
+  [[nodiscard]] std::int64_t ring_stalls() const noexcept {
+    return ring_stalls_.load(std::memory_order_relaxed);
+  }
+  /// Deepest ring occupancy observed at enqueue time.
+  [[nodiscard]] std::size_t ring_depth_high_water() const noexcept {
+    return ring_depth_hw_.load(std::memory_order_relaxed);
+  }
+  /// Apply threads that successfully pinned themselves.
+  [[nodiscard]] std::uint32_t pinned_threads() const noexcept {
+    return pinned_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint32_t apply_threads() const noexcept { return num_threads_; }
+
+ private:
+  struct Ticket {
+    std::span<const float> g;
+    float scale = 0.0f;
+    std::atomic<bool> applied{false};
+  };
+
+  void apply_mutex(Ticket& t);
+  void apply_lockfree(Ticket& t);
+  void apply_via_drain_thread(Ticket& t);
+  /// Push onto the ring, spinning with backpressure accounting on full.
+  void enqueue(Ticket* t);
+  /// Single-consumer: pop everything queued and sweep it (one batch at a
+  /// time, re-polling after each sweep like the mutex combiner re-checks its
+  /// queue). `parts` > 1 fans each sweep out to the helper threads.
+  void drain_ring();
+  /// Apply one collected batch across all partitions (rendezvous with the
+  /// helper pool when it exists) and retire the tickets.
+  void sweep(std::vector<Ticket*>& batch);
+  void note_sweep(std::size_t batch_size);
+  void drain_thread_main();
+  void helper_thread_main(std::size_t part);
+  void pin_self(std::size_t part);
+
+  StripedShard& shard_;
+  const bool batch_;
+  const bool lockfree_;
+  const std::uint32_t num_threads_;
+  const bool pin_;
+  const unsigned pin_slot_base_;
+
+  MpscRing<Ticket*> ring_;
+
+  // Legacy mutex flat combining (A/B baseline).
+  std::mutex batch_mu_;
+  std::condition_variable batch_cv_;
+  std::deque<Ticket*> batch_queue_;
+  bool batch_combining_ = false;
+
+  // Lock-free combiner role (apply_threads == 0).
+  std::atomic<bool> combining_{false};
+
+  // Dedicated drain + helper pool (apply_threads >= 1). Producers bump
+  // posted_ (futex notify) after a successful enqueue; the drain thread
+  // sleeps on it when the ring runs dry. Sweeps are published to helpers via
+  // sweep_seq_ and joined via sweep_pending_.
+  std::atomic<std::uint64_t> posted_{0};
+  std::atomic<bool> stop_{false};
+  std::atomic<std::uint64_t> sweep_seq_{0};
+  std::atomic<std::uint32_t> sweep_pending_{0};
+  std::vector<Ticket*> drain_batch_;                 // drainer-only scratch
+  std::vector<std::span<const float>> sweep_grads_;  // published batch (helpers read)
+  float sweep_scale_ = 0.0f;
+  std::atomic<std::size_t> init_remaining_{0};
+  std::vector<std::thread> pool_;
+
+  std::atomic<std::int64_t> sweeps_{0};
+  std::atomic<std::size_t> max_batch_{0};
+  std::atomic<std::int64_t> ring_stalls_{0};
+  std::atomic<std::size_t> ring_depth_hw_{0};
+  std::atomic<std::uint32_t> pinned_{0};
+};
+
+}  // namespace fluentps::ps

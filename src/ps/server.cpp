@@ -29,12 +29,23 @@ Server::Server(ServerSpec spec, net::Transport& transport)
       ack_pushes_(spec.ack_pushes || spec.reliable),
       respond_unconditionally_(spec.respond_unconditionally),
       reliable_(spec.reliable),
-      batch_pushes_(spec.batch_pushes),
       worker_nodes_(std::move(spec.worker_nodes)),
       // layout_ (declared earlier) is already initialized here; spec.layout
       // was moved from, so derive stripe boundaries from the member.
+      // With a dedicated apply pool the stripe pages stay untouched until
+      // each pool thread first-touches its own partition (NUMA placement);
+      // the PushCombiner constructor below blocks until that completes.
       shard_(std::move(spec.initial_shard), std::max<std::uint32_t>(spec.apply_stripes, 1),
-             slice_lengths_of(layout_)),
+             slice_lengths_of(layout_), /*defer_first_touch=*/spec.apply_threads >= 1),
+      combiner_(shard_,
+                PushCombinerSpec{
+                    .batch = spec.batch_pushes,
+                    .lockfree = spec.lockfree_handoff,
+                    .ring_depth = spec.ring_depth,
+                    .apply_threads = spec.apply_threads,
+                    .pin_threads = spec.pin_threads,
+                    .pin_slot_base = spec.server_rank * std::max(spec.apply_threads, 1u),
+                }),
       engine_(std::move(spec.engine)),
       push_seen_(spec.num_workers),
       recover_base_(spec.num_workers, -1),
@@ -235,47 +246,9 @@ double Server::apply_push(std::span<const float> g) {
     // *this* push, so applies serialize (exclusive whole-shard sweep).
     return shard_.apply_exclusive_with_significance(g, scale);
   }
-  if (!batch_pushes_) {
-    const std::span<const float> one[] = {g};
-    shard_.apply_batch(one, scale);
-    apply_sweeps_.fetch_add(1, std::memory_order_relaxed);
-    std::size_t prev = max_batch_.load(std::memory_order_relaxed);
-    while (prev < 1 && !max_batch_.compare_exchange_weak(prev, 1, std::memory_order_relaxed)) {
-    }
-    return 0.0;
-  }
-  // Flat combining: enqueue, and either wait for a combiner to apply our
-  // entry or become the combiner and drain the queue in arrival order.
-  ApplyTicket ticket{g};
-  std::unique_lock lock(batch_mu_);
-  batch_queue_.push_back(&ticket);
-  if (batch_combining_) {
-    batch_cv_.wait(lock, [&] { return ticket.applied; });
-    return 0.0;
-  }
-  batch_combining_ = true;
-  std::vector<ApplyTicket*> batch;
-  std::vector<std::span<const float>> grads;
-  while (!batch_queue_.empty()) {
-    batch.assign(batch_queue_.begin(), batch_queue_.end());
-    batch_queue_.clear();
-    lock.unlock();
-    grads.clear();
-    grads.reserve(batch.size());
-    for (const ApplyTicket* t : batch) grads.push_back(t->g);
-    // One striped sweep applies every coalesced push, in arrival order per
-    // element — bit-identical to applying them one by one.
-    shard_.apply_batch(grads, scale);
-    apply_sweeps_.fetch_add(1, std::memory_order_relaxed);
-    std::size_t prev = max_batch_.load(std::memory_order_relaxed);
-    while (prev < batch.size() &&
-           !max_batch_.compare_exchange_weak(prev, batch.size(), std::memory_order_relaxed)) {
-    }
-    lock.lock();
-    for (ApplyTicket* t : batch) t->applied = true;
-    batch_cv_.notify_all();
-  }
-  batch_combining_ = false;
+  // Combiner handoff (DESIGN.md §11): blocks until the gradient landed, so
+  // borrowed payloads stay valid and apply-before-count ordering holds.
+  combiner_.apply(g, scale);
   return 0.0;
 }
 

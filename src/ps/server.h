@@ -19,24 +19,26 @@
 // the checkpoint rolled back — without this, BSP-like modes deadlock after a
 // restart because workers already hold acks for pushes the restore undid.
 //
-// Hot path (DESIGN.md §8): gradient applies go through a flat-combining
-// PushBatch — concurrent pushes (real on the TCP backend, where each inbound
-// connection has its own reader thread) coalesce into one striped axpy sweep
-// over a StripedShard whose lock stripes align to slice boundaries (replacing
-// the old whole-shard mutex). The enqueuing thread blocks until its entry is
-// applied, which keeps zero-copy (frame-borrowing) payloads safe to queue and
-// preserves apply-before-count ordering per message. Whole-shard norms for
-// gradient significance are computed only when the sync model consumes them.
+// Hot path (DESIGN.md §8, §11): gradient applies go through a PushCombiner —
+// concurrent pushes (real on the TCP backend, where each inbound connection
+// has its own reader thread) hand off through a bounded lock-free MPSC ring
+// (or the legacy mutex flat-combining queue as the A/B baseline) and coalesce
+// into one striped axpy sweep over a StripedShard whose lock stripes align to
+// slice boundaries. The enqueuing thread blocks until its entry is applied,
+// which keeps zero-copy (frame-borrowing) payloads safe to queue and
+// preserves apply-before-count ordering per message. With apply_threads >= 1
+// a dedicated drain/apply pool sweeps instead, with each thread pinned to its
+// core and first-touching its own stripe partition (NUMA-aware placement).
+// Whole-shard norms for gradient significance are computed only when the
+// sync model consumes them.
 //
 // The handler may be invoked concurrently (TCP reader threads); engine +
 // reliability state take engine_mu_ because condition changes and
 // crash-restart also arrive from outside the handler. Lock order:
-// engine_mu_ -> batch_mu_ -> stripes.
+// engine_mu_ -> ring -> stripes.
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
-#include <deque>
 #include <mutex>
 #include <set>
 #include <span>
@@ -48,6 +50,7 @@
 #include "common/serialization.h"
 #include "net/message.h"
 #include "net/transport.h"
+#include "ps/push_combiner.h"
 #include "ps/seq_window.h"
 #include "ps/slicing.h"
 #include "ps/striped_shard.h"
@@ -80,6 +83,21 @@ struct ServerSpec {
   /// Lock stripes over the shard, boundaries aligned to slice boundaries
   /// (replaces the old whole-shard mutex).
   std::uint32_t apply_stripes = 8;
+  /// Combiner handoff mechanism (DESIGN.md §11): lock-free bounded MPSC ring
+  /// (default) vs the legacy batch_mu_ flat-combining queue (A/B baseline).
+  /// Bit-identical per arrival order either way.
+  bool lockfree_handoff = true;
+  /// Capacity of the handoff ring; a full ring is backpressure (the producer
+  /// spins/helps), never a drop.
+  std::uint32_t ring_depth = 1024;
+  /// Dedicated drain/apply threads. 0 = handler threads combine in place
+  /// (the flat-combining model); >= 1 spawns a drain thread plus helpers
+  /// that sweep disjoint stripe partitions, each first-touching its own
+  /// stripes (NUMA-aware placement).
+  std::uint32_t apply_threads = 0;
+  /// Pin apply/drain threads to cores (common/affinity.h; no-op when the
+  /// platform cannot pin).
+  bool pin_threads = false;
   /// Chain replication (DESIGN.md §9): node id of this shard's first replica.
   /// When non-zero every fresh push is logged and forwarded as kReplicate,
   /// and its worker ack is withheld until the tail's cumulative kReplicateAck
@@ -120,11 +138,18 @@ class Server {
   /// Batched-apply observability: combiner sweeps performed and the largest
   /// number of pushes coalesced into one sweep (1 when batching is off or no
   /// pushes ever overlapped).
-  [[nodiscard]] std::int64_t apply_sweeps() const noexcept {
-    return apply_sweeps_.load(std::memory_order_relaxed);
+  [[nodiscard]] std::int64_t apply_sweeps() const noexcept { return combiner_.sweeps(); }
+  [[nodiscard]] std::size_t max_batch() const noexcept { return combiner_.max_batch(); }
+
+  /// Ingest-path observability (DESIGN.md §11): apply() calls that hit a full
+  /// handoff ring (backpressure events), the deepest ring occupancy observed,
+  /// and how many apply threads successfully pinned themselves.
+  [[nodiscard]] std::int64_t ring_stalls() const noexcept { return combiner_.ring_stalls(); }
+  [[nodiscard]] std::size_t ring_depth_high_water() const noexcept {
+    return combiner_.ring_depth_high_water();
   }
-  [[nodiscard]] std::size_t max_batch() const noexcept {
-    return max_batch_.load(std::memory_order_relaxed);
+  [[nodiscard]] std::uint32_t pinned_threads() const noexcept {
+    return combiner_.pinned_threads();
   }
 
   /// Retransmits suppressed by the dedup windows (reliable mode).
@@ -205,12 +230,11 @@ class Server {
   /// returning the significance SF = |g|/|w| when the sync model consumes it
   /// (0.0 otherwise — the engine ignores it then).
   ///
-  /// Fast path (flat combining): the gradient is queued and the enqueuing
-  /// thread blocks until a combiner sweep applied it — at most one thread
-  /// sweeps at a time, coalescing every queued push into a single striped
-  /// axpy pass. Blocking inside the call is what makes borrowed payloads
-  /// (TCP frame buffers) safe to queue without copying, and preserves the
-  /// apply-before-engine-count ordering per message.
+  /// Fast path: the gradient is handed to the PushCombiner, which blocks the
+  /// calling thread until a coalesced sweep applied it. Blocking inside the
+  /// call is what makes borrowed payloads (TCP frame buffers) safe to queue
+  /// without copying, and preserves the apply-before-engine-count ordering
+  /// per message (see push_combiner.h for the handoff mechanisms).
   double apply_push(std::span<const float> g);
   void respond(net::NodeId dst, std::uint32_t worker_rank, std::uint64_t request_id);
   void note_answered(std::uint64_t request_id);
@@ -231,26 +255,18 @@ class Server {
   bool ack_pushes_;
   bool respond_unconditionally_;
   bool reliable_;
-  bool batch_pushes_;
   std::vector<net::NodeId> worker_nodes_;
 
   // Striped value storage (replaces the old shard_mu_ + vector): pulls and
   // snapshots read stripe-by-stripe while applies sweep, checkpoints take
-  // every stripe. Lock order: engine_mu_ -> batch_mu_ -> stripes (never the
+  // every stripe. Lock order: engine_mu_ -> ring -> stripes (never the
   // reverse).
   StripedShard shard_;
 
-  // Flat-combining push batch: handler threads enqueue their gradient span
-  // and block until applied; whichever thread finds the queue un-combined
-  // becomes the combiner and drains it in arrival order.
-  struct ApplyTicket {
-    std::span<const float> g;
-    bool applied = false;
-  };
-  std::mutex batch_mu_;
-  std::condition_variable batch_cv_;
-  std::deque<ApplyTicket*> batch_queue_;
-  bool batch_combining_ = false;
+  // Combiner handoff (DESIGN.md §11): handler threads enqueue their gradient
+  // span (lock-free MPSC ring or the legacy mutex queue) and block until a
+  // coalesced sweep applied it. Owns the optional drain/apply thread pool.
+  PushCombiner combiner_;
 
   // True when the apply path must compute SF = |g|/|w| per push (the model's
   // conditions read it). Conservatively set by set_pull/push_condition since
@@ -274,8 +290,6 @@ class Server {
   // Counters mutated outside any single lock (TCP handlers run concurrently).
   std::atomic<std::int64_t> pushes_applied_{0};
   std::atomic<std::int64_t> pulls_answered_{0};
-  std::atomic<std::int64_t> apply_sweeps_{0};
-  std::atomic<std::size_t> max_batch_{0};
   std::int64_t dedup_hits_ = 0;   // under engine_mu_
   std::int64_t recoveries_ = 0;   // under engine_mu_
 

@@ -4,15 +4,18 @@
 #include <numeric>
 
 #include "common/logging.h"
+#include "ml/ops.h"
 
 namespace fluentps::ps {
 
 void ShardLayout::gather(std::span<const float> flat, std::span<float> out) const {
+  // Vectorized the same way the apply path was (ml::axpy): one bounds check
+  // per slice, then an unrolled restrict copy kernel per slice (ml::copy).
   FPS_CHECK(out.size() >= total) << "gather buffer too small";
   std::size_t pos = 0;
   for (const auto& s : slices) {
     FPS_CHECK(s.offset + s.length <= flat.size()) << "slice exceeds parameter vector";
-    std::copy_n(flat.data() + s.offset, s.length, out.data() + pos);
+    ml::copy(flat.subspan(s.offset, s.length), out.subspan(pos, s.length));
     pos += s.length;
   }
 }
@@ -22,7 +25,7 @@ void ShardLayout::scatter(std::span<const float> in, std::span<float> flat) cons
   std::size_t pos = 0;
   for (const auto& s : slices) {
     FPS_CHECK(s.offset + s.length <= flat.size()) << "slice exceeds parameter vector";
-    std::copy_n(in.data() + pos, s.length, flat.data() + s.offset);
+    ml::copy(in.subspan(pos, s.length), flat.subspan(s.offset, s.length));
     pos += s.length;
   }
 }
@@ -32,9 +35,9 @@ void ShardLayout::accumulate(std::span<const float> in, float scale, std::span<f
   std::size_t pos = 0;
   for (const auto& s : slices) {
     FPS_CHECK(s.offset + s.length <= flat.size()) << "slice exceeds parameter vector";
-    float* dst = flat.data() + s.offset;
-    const float* src = in.data() + pos;
-    for (std::size_t i = 0; i < s.length; ++i) dst[i] += scale * src[i];
+    // Per-slice axpy: identical arithmetic to the old scalar loop (one
+    // `dst += scale * src` per element), just unrolled.
+    ml::axpy(scale, in.subspan(pos, s.length), flat.subspan(s.offset, s.length));
     pos += s.length;
   }
 }

@@ -1,16 +1,35 @@
 #include "ps/striped_shard.h"
 
 #include <algorithm>
+#include <cstring>
+#include <new>
 
 #include "common/logging.h"
 #include "ml/ops.h"
 
 namespace fluentps::ps {
+namespace {
+
+constexpr std::size_t kAlignment = 64;  // one cache line, matches FrameBuffer
+
+/// Aligned, *uninitialized* float buffer — the pages are not touched here, so
+/// first_touch() decides their NUMA placement.
+float* aligned_floats(std::size_t n) {
+  if (n == 0) return nullptr;
+  std::size_t bytes = n * sizeof(float);
+  bytes = (bytes + kAlignment - 1) / kAlignment * kAlignment;  // valid aligned_alloc size
+  auto* p = static_cast<float*>(std::aligned_alloc(kAlignment, bytes));
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+}  // namespace
 
 StripedShard::StripedShard(std::vector<float> values, std::uint32_t num_stripes,
-                           const std::vector<std::size_t>& slice_lengths)
-    : data_(std::move(values)) {
-  const std::size_t n = data_.size();
+                           const std::vector<std::size_t>& slice_lengths,
+                           bool defer_first_touch)
+    : data_(aligned_floats(values.size())), size_(values.size()) {
+  const std::size_t n = size_;
   // Candidate boundaries: slice boundaries when given, else every element.
   std::vector<std::size_t> bounds;  // cumulative prefix ends
   if (!slice_lengths.empty()) {
@@ -56,20 +75,46 @@ StripedShard::StripedShard(std::vector<float> values, std::uint32_t num_stripes,
       stripes_[i].begin = stripes_[i].end = n;
     }
   }
+  if (defer_first_touch) {
+    init_ = std::move(values);
+    untouched_.store(stripes_.size(), std::memory_order_release);
+  } else if (n > 0) {
+    std::memcpy(data_.get(), values.data(), n * sizeof(float));
+  }
 }
 
-void StripedShard::apply_batch(std::span<const std::span<const float>> grads, float scale) {
+void StripedShard::first_touch(std::size_t part, std::size_t parts) {
+  FPS_CHECK(parts > 0 && part < parts) << "bad first-touch partition " << part << "/" << parts;
+  std::size_t touched = 0;
+  for (std::size_t i = part; i < stripes_.size(); i += parts) {
+    const Stripe& st = stripes_[i];
+    if (st.end > st.begin) {
+      // The write below is the first touch of these pages: the kernel backs
+      // them with memory local to the calling thread's NUMA node.
+      std::memcpy(data_.get() + st.begin, init_.data() + st.begin,
+                  (st.end - st.begin) * sizeof(float));
+    }
+    ++touched;
+  }
+  const std::size_t before = untouched_.fetch_sub(touched, std::memory_order_acq_rel);
+  FPS_CHECK(before >= touched) << "first_touch partition touched twice";
+  if (before == touched) init_ = {};  // last partition: release the parked copy
+}
+
+void StripedShard::apply_batch(std::span<const std::span<const float>> grads, float scale,
+                               std::size_t part, std::size_t parts) {
+  FPS_CHECK(parts > 0 && part < parts) << "bad apply partition " << part << "/" << parts;
   for (const auto& g : grads) {
-    FPS_CHECK(g.size() == data_.size())
-        << "gradient size " << g.size() << " != shard size " << data_.size();
+    FPS_CHECK(g.size() == size_) << "gradient size " << g.size() << " != shard size " << size_;
   }
   // Stripe-outer, entry-inner: one lock acquisition per stripe per *batch*,
   // and per-element application order equals batch (arrival) order.
-  for (const Stripe& st : stripes_) {
+  for (std::size_t i = part; i < stripes_.size(); i += parts) {
+    const Stripe& st = stripes_[i];
     if (st.begin == st.end) continue;
     std::scoped_lock lock(st.mu);
     const std::size_t len = st.end - st.begin;
-    std::span<float> w(data_.data() + st.begin, len);
+    std::span<float> w(data_.get() + st.begin, len);
     for (const auto& g : grads) {
       ml::axpy(scale, g.subspan(st.begin, len), w);
     }
@@ -77,33 +122,32 @@ void StripedShard::apply_batch(std::span<const std::span<const float>> grads, fl
 }
 
 double StripedShard::apply_exclusive_with_significance(std::span<const float> g, float scale) {
-  FPS_CHECK(g.size() == data_.size())
-      << "gradient size " << g.size() << " != shard size " << data_.size();
+  FPS_CHECK(g.size() == size_) << "gradient size " << g.size() << " != shard size " << size_;
   lock_all();
   // Gradient significance for dynamic PSSP: SF(g, w) = |g| / |w| over this
   // shard (Gaia's significance filter applied at shard granularity), against
   // the pre-apply parameter values.
-  const double wn = ml::l2_norm(data_);
+  std::span<float> data(data_.get(), size_);
+  const double wn = ml::l2_norm(data);
   const double gn = ml::l2_norm(g);
   const double sf = wn > 0.0 ? gn / wn : 0.0;
-  ml::axpy(scale, g, data_);
+  ml::axpy(scale, g, data);
   unlock_all();
   return sf;
 }
 
 void StripedShard::copy_out(std::span<float> out) const {
-  FPS_CHECK(out.size() == data_.size())
-      << "copy_out size " << out.size() << " != shard size " << data_.size();
+  FPS_CHECK(out.size() == size_) << "copy_out size " << out.size() << " != shard size " << size_;
   for (const Stripe& st : stripes_) {
     if (st.begin == st.end) continue;
     std::scoped_lock lock(st.mu);
-    std::copy(data_.begin() + static_cast<std::ptrdiff_t>(st.begin),
-              data_.begin() + static_cast<std::ptrdiff_t>(st.end), out.begin() + static_cast<std::ptrdiff_t>(st.begin));
+    ml::copy(std::span<const float>(data_.get() + st.begin, st.end - st.begin),
+             out.subspan(st.begin, st.end - st.begin));
   }
 }
 
 std::vector<float> StripedShard::snapshot() const {
-  std::vector<float> out(data_.size());
+  std::vector<float> out(size_);
   copy_out(out);
   return out;
 }

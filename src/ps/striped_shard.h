@@ -17,11 +17,22 @@
 // batch's gradients to each element in entry order — every element receives
 // exactly the same sequence of fused multiply-free `w += scale * g` additions
 // as a sequential per-message loop, so batched results are bit-identical to
-// unbatched ones.
+// unbatched ones. This holds for partitioned sweeps too (apply_batch with
+// part/parts): the partition only decides *which thread* touches a stripe,
+// never the per-element order.
+//
+// NUMA placement (DESIGN.md §11): storage is a 64-byte-aligned raw buffer,
+// and with `defer_first_touch` the constructor leaves the pages untouched so
+// each apply thread can first_touch() its own stripe partition — on a
+// multi-node machine the kernel then backs every stripe with memory local to
+// the thread that will sweep it. On single-node machines this costs nothing.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <cstdlib>
+#include <memory>
 #include <mutex>
 #include <span>
 #include <vector>
@@ -33,21 +44,44 @@ class StripedShard {
   /// `slice_lengths` (optional) aligns stripe boundaries to slice boundaries;
   /// when empty the buffer is split into near-equal element ranges. The
   /// effective stripe count is min(num_stripes, max(1, #slices or size)).
+  ///
+  /// With `defer_first_touch` the values are parked and the data pages stay
+  /// untouched until first_touch() copies them in, partition by partition;
+  /// the owner must complete every partition before any read or apply.
   StripedShard(std::vector<float> values, std::uint32_t num_stripes,
-               const std::vector<std::size_t>& slice_lengths = {});
+               const std::vector<std::size_t>& slice_lengths = {},
+               bool defer_first_touch = false);
 
   StripedShard(const StripedShard&) = delete;
   StripedShard& operator=(const StripedShard&) = delete;
 
-  [[nodiscard]] std::size_t size() const noexcept { return data_.size(); }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
   [[nodiscard]] std::uint32_t num_stripes() const noexcept {
     return static_cast<std::uint32_t>(stripes_.size());
+  }
+
+  /// First-touch-initialize the stripes of partition `part` (stripe i belongs
+  /// to partition i % parts) by copying the parked initial values — call from
+  /// the thread that will later sweep that partition, pinned to its core.
+  /// Each partition must be touched exactly once; the parked values are freed
+  /// when the last partition completes. No-op ranges are fine (empty stripes).
+  void first_touch(std::size_t part, std::size_t parts);
+
+  /// True once every partition was first-touched (always true without
+  /// defer_first_touch).
+  [[nodiscard]] bool initialized() const noexcept {
+    return untouched_.load(std::memory_order_acquire) == 0;
   }
 
   /// Apply `grads` (each of size()) in order: w += scale * g for each g, one
   /// striped sweep. Entry order is preserved per element (see bit-identity
   /// note above). Every gradient span must stay valid for the call.
-  void apply_batch(std::span<const std::span<const float>> grads, float scale);
+  ///
+  /// `part`/`parts` restrict the sweep to the stripes of one partition
+  /// (stripe i % parts == part) so parallel apply threads can split a batch
+  /// without sharing stripes; the default sweeps everything.
+  void apply_batch(std::span<const std::span<const float>> grads, float scale,
+                   std::size_t part = 0, std::size_t parts = 1);
 
   /// Exclusive single-push apply that also computes the paper's gradient
   /// significance SF(g, w) = |g| / |w| against the *pre-apply* values —
@@ -65,13 +99,13 @@ class StripedShard {
   template <typename F>
   void with_exclusive(F&& f) {
     lock_all();
-    f(std::span<float>(data_.data(), data_.size()));
+    f(std::span<float>(data_.get(), size_));
     unlock_all();
   }
   template <typename F>
   void with_exclusive(F&& f) const {
     lock_all();
-    f(std::span<const float>(data_.data(), data_.size()));
+    f(std::span<const float>(data_.get(), size_));
     unlock_all();
   }
 
@@ -85,8 +119,19 @@ class StripedShard {
     std::size_t end = 0;
   };
 
-  std::vector<float> data_;
+  struct FreeDeleter {
+    void operator()(float* p) const noexcept { std::free(p); }
+  };
+
+  std::unique_ptr<float[], FreeDeleter> data_;  ///< 64-byte aligned
+  std::size_t size_ = 0;
   std::vector<Stripe> stripes_;
+
+  // Deferred first-touch bookkeeping: parked initial values plus the count of
+  // stripes not yet touched. The last first_touch() caller frees the parked
+  // copy (acq_rel on the counter orders its reads before the free).
+  std::vector<float> init_;
+  std::atomic<std::size_t> untouched_{0};
 };
 
 }  // namespace fluentps::ps

@@ -317,5 +317,59 @@ TEST(BatchedApply, ThreadBackendCompletesWithBatchingOnAndOff) {
   }
 }
 
+// --------------------------------------------- lock-free ring == mutex --
+
+/// Tentpole oracle (DESIGN.md §11): the lock-free ring handoff drains
+/// bit-identically to the legacy mutex flat combiner under every
+/// synchronization model — same accuracy, loss, traffic, and every final
+/// parameter bit.
+class CombinerHandoffAb : public ::testing::TestWithParam<AbCase> {};
+
+TEST_P(CombinerHandoffAb, RingDrainBitIdenticalToMutexCombiner) {
+  const auto& p = GetParam();
+  auto cfg = ab_config(p.sync, p.s, p.prob);
+  cfg.batch_pushes = true;
+  cfg.lockfree_handoff = true;
+  const auto a = core::run_experiment(cfg);
+  cfg.lockfree_handoff = false;
+  const auto b = core::run_experiment(cfg);
+
+  EXPECT_DOUBLE_EQ(a.final_accuracy, b.final_accuracy);
+  EXPECT_DOUBLE_EQ(a.final_loss, b.final_loss);
+  EXPECT_EQ(a.dpr_total, b.dpr_total);
+  EXPECT_DOUBLE_EQ(a.bytes_total, b.bytes_total);
+  EXPECT_EQ(a.messages, b.messages);
+  ASSERT_EQ(a.final_params.size(), b.final_params.size());
+  for (std::size_t i = 0; i < a.final_params.size(); ++i) {
+    ASSERT_EQ(a.final_params[i], b.final_params[i]) << p.name << " param " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SyncModes, CombinerHandoffAb,
+    ::testing::Values(AbCase{"bsp", "bsp", 0, 0}, AbCase{"asp", "asp", 0, 0},
+                      AbCase{"ssp", "ssp", 2, 0}, AbCase{"dsps", "dsps", 2, 0},
+                      AbCase{"drop", "drop", 2, 0.25}, AbCase{"pssp", "pssp", 2, 0.5},
+                      AbCase{"pssp_dynamic", "pssp_dynamic", 2, 0.5}),
+    [](const ::testing::TestParamInfo<AbCase>& info) { return info.param.name; });
+
+/// Thread backend with the full raw-speed configuration: lock-free handoff,
+/// a dedicated pinned apply pool, first-touched stripes. Training must
+/// complete with finite results in every pool shape.
+TEST(CombinerHandoff, ThreadBackendPinnedApplyPoolCompletes) {
+  for (const std::uint32_t threads : {0u, 1u, 3u}) {
+    auto cfg = ab_config("ssp", 2, 0);
+    cfg.backend = core::Backend::kThreads;
+    cfg.max_iters = 20;
+    cfg.lockfree_handoff = true;
+    cfg.apply_threads = threads;
+    cfg.pin_threads = true;
+    const auto r = core::run_experiment(cfg);
+    EXPECT_EQ(r.iterations, cfg.max_iters) << "apply_threads=" << threads;
+    EXPECT_TRUE(std::isfinite(r.final_loss));
+    ASSERT_FALSE(r.final_params.empty());
+  }
+}
+
 }  // namespace
 }  // namespace fluentps

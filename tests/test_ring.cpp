@@ -1,0 +1,439 @@
+// Ingest-path unit tests (DESIGN.md §11): the bounded MPSC ring, the push
+// combiner's three handoff modes, reducer ring backpressure, the affinity
+// shim, and the zero-copy streaming receive buffer.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <numeric>
+#include <random>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "common/affinity.h"
+#include "common/mpsc_ring.h"
+#include "embed/reducer.h"
+#include "net/frame_buffer.h"
+#include "ps/push_combiner.h"
+#include "ps/striped_shard.h"
+
+namespace fluentps {
+namespace {
+
+// ---------------------------------------------------------------------------
+// MpscRing
+// ---------------------------------------------------------------------------
+
+TEST(MpscRing, CapacityRoundsUpToPowerOfTwoMinimumTwo) {
+  EXPECT_EQ(MpscRing<int>(0).capacity(), 2u);
+  EXPECT_EQ(MpscRing<int>(1).capacity(), 2u);
+  EXPECT_EQ(MpscRing<int>(2).capacity(), 2u);
+  EXPECT_EQ(MpscRing<int>(3).capacity(), 4u);
+  EXPECT_EQ(MpscRing<int>(1000).capacity(), 1024u);
+}
+
+TEST(MpscRing, FifoSingleThreaded) {
+  MpscRing<int> ring(8);
+  for (int i = 0; i < 8; ++i) EXPECT_TRUE(ring.try_push(i));
+  int v = -1;
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(ring.try_pop(v));
+    EXPECT_EQ(v, i);
+  }
+  EXPECT_FALSE(ring.try_pop(v));
+}
+
+TEST(MpscRing, PopOnEmptyReturnsFalse) {
+  MpscRing<int> ring(4);
+  int v = 0;
+  EXPECT_FALSE(ring.try_pop(v));
+}
+
+TEST(MpscRing, FullRingRejectsPushAndPreservesValue) {
+  MpscRing<std::vector<int>> ring(2);
+  EXPECT_TRUE(ring.try_push(std::vector<int>{1}));
+  EXPECT_TRUE(ring.try_push(std::vector<int>{2}));
+  std::vector<int> keep{3, 4, 5};
+  EXPECT_FALSE(ring.try_push(std::move(keep)));
+  // try_push must not consume the value on failure (flush-and-retry callers
+  // depend on this).
+  EXPECT_EQ(keep.size(), 3u);
+  EXPECT_EQ(keep[2], 5);
+  std::vector<int> out;
+  ASSERT_TRUE(ring.try_pop(out));
+  EXPECT_EQ(out, std::vector<int>{1});
+  EXPECT_TRUE(ring.try_push(std::move(keep)));
+}
+
+TEST(MpscRing, WrapsAcrossManyLaps) {
+  MpscRing<int> ring(4);
+  int v = -1;
+  for (int lap = 0; lap < 100; ++lap) {
+    EXPECT_TRUE(ring.try_push(lap));
+    ASSERT_TRUE(ring.try_pop(v));
+    EXPECT_EQ(v, lap);
+  }
+}
+
+TEST(MpscRing, ConcurrentProducersDeliverExactlyOnce) {
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 5000;
+  MpscRing<int> ring(64);
+  std::atomic<bool> done{false};
+  std::vector<int> seen(kProducers * kPerProducer, 0);
+
+  std::thread consumer([&] {
+    int v = -1;
+    while (!done.load(std::memory_order_acquire) || ring.size_approx() > 0) {
+      while (ring.try_pop(v)) ++seen[static_cast<std::size_t>(v)];
+      std::this_thread::yield();
+    }
+    while (ring.try_pop(v)) ++seen[static_cast<std::size_t>(v)];
+  });
+
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        const int item = p * kPerProducer + i;
+        while (!ring.try_push(item)) std::this_thread::yield();
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  done.store(true, std::memory_order_release);
+  consumer.join();
+
+  for (std::size_t i = 0; i < seen.size(); ++i) {
+    ASSERT_EQ(seen[i], 1) << "item " << i << " delivered " << seen[i] << " times";
+  }
+}
+
+// ---------------------------------------------------------------------------
+// PushCombiner — all three handoff modes against a sequential oracle
+// ---------------------------------------------------------------------------
+
+// Integer-valued floats make the sum exactly associative, so concurrent
+// interleavings of w += scale*g land bit-identically regardless of order.
+std::vector<std::vector<float>> integer_grads(std::size_t n, std::size_t dim,
+                                              std::uint32_t seed) {
+  std::mt19937 rng(seed);
+  std::uniform_int_distribution<int> dist(-8, 8);
+  std::vector<std::vector<float>> out(n);
+  for (auto& g : out) {
+    g.resize(dim);
+    for (auto& x : g) x = static_cast<float>(dist(rng));
+  }
+  return out;
+}
+
+std::vector<float> sequential_oracle(const std::vector<std::vector<float>>& grads,
+                                     std::size_t dim, float scale) {
+  std::vector<float> w(dim, 0.0f);
+  for (const auto& g : grads) {
+    for (std::size_t i = 0; i < dim; ++i) w[i] += scale * g[i];
+  }
+  return w;
+}
+
+struct CombinerMode {
+  const char* name;
+  bool lockfree;
+  std::uint32_t apply_threads;
+  bool pin;
+};
+
+class PushCombinerModes : public ::testing::TestWithParam<CombinerMode> {};
+
+TEST_P(PushCombinerModes, SingleThreadedMatchesSequentialApply) {
+  const CombinerMode mode = GetParam();
+  constexpr std::size_t kDim = 257;  // odd size: exercises stripe remainders
+  const auto grads = integer_grads(40, kDim, 7);
+  const float scale = 0.25f;
+
+  ps::StripedShard shard(std::vector<float>(kDim, 0.0f), 4, {},
+                         /*defer_first_touch=*/mode.apply_threads >= 1);
+  ps::PushCombiner combiner(shard, ps::PushCombinerSpec{
+                                       .batch = true,
+                                       .lockfree = mode.lockfree,
+                                       .ring_depth = 16,
+                                       .apply_threads = mode.apply_threads,
+                                       .pin_threads = mode.pin,
+                                   });
+  for (const auto& g : grads) combiner.apply(std::span<const float>(g), scale);
+
+  const std::vector<float> want = sequential_oracle(grads, kDim, scale);
+  const std::vector<float> got = shard.snapshot();
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < kDim; ++i) {
+    ASSERT_EQ(got[i], want[i]) << "element " << i << " mode " << mode.name;
+  }
+}
+
+TEST_P(PushCombinerModes, ConcurrentProducersSumExactly) {
+  const CombinerMode mode = GetParam();
+  constexpr std::size_t kDim = 512;
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 200;
+  const float scale = 0.5f;
+
+  ps::StripedShard shard(std::vector<float>(kDim, 0.0f), 8, {},
+                         /*defer_first_touch=*/mode.apply_threads >= 1);
+  ps::PushCombiner combiner(shard, ps::PushCombinerSpec{
+                                       .batch = true,
+                                       .lockfree = mode.lockfree,
+                                       .ring_depth = 8,  // small: forces stalls
+                                       .apply_threads = mode.apply_threads,
+                                       .pin_threads = mode.pin,
+                                   });
+
+  std::vector<std::vector<std::vector<float>>> per_producer;
+  for (int p = 0; p < kProducers; ++p) {
+    per_producer.push_back(
+        integer_grads(kPerProducer, kDim, 100 + static_cast<std::uint32_t>(p)));
+  }
+
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&, p] {
+      for (const auto& g : per_producer[static_cast<std::size_t>(p)]) {
+        combiner.apply(std::span<const float>(g), scale);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  std::vector<float> want(kDim, 0.0f);
+  for (const auto& grads : per_producer) {
+    for (const auto& g : grads) {
+      for (std::size_t i = 0; i < kDim; ++i) want[i] += scale * g[i];
+    }
+  }
+  const std::vector<float> got = shard.snapshot();
+  for (std::size_t i = 0; i < kDim; ++i) {
+    ASSERT_EQ(got[i], want[i]) << "element " << i << " mode " << mode.name;
+  }
+
+  EXPECT_GE(combiner.sweeps(), 1);
+  EXPECT_GE(combiner.max_batch(), 1u);
+  EXPECT_LE(combiner.ring_depth_high_water(), 8u);
+  EXPECT_LE(combiner.pinned_threads(), std::max(mode.apply_threads, 1u));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Handoffs, PushCombinerModes,
+    ::testing::Values(CombinerMode{"mutex", false, 0, false},
+                      CombinerMode{"lockfree", true, 0, false},
+                      CombinerMode{"drain1", true, 1, false},
+                      CombinerMode{"drain2_pinned", true, 2, true}),
+    [](const ::testing::TestParamInfo<CombinerMode>& info) {
+      return info.param.name;
+    });
+
+TEST(PushCombiner, UnbatchedModeStillApplies) {
+  constexpr std::size_t kDim = 64;
+  const auto grads = integer_grads(10, kDim, 3);
+  ps::StripedShard shard(std::vector<float>(kDim, 0.0f), 4);
+  ps::PushCombiner combiner(shard,
+                            ps::PushCombinerSpec{.batch = false, .lockfree = true});
+  for (const auto& g : grads) combiner.apply(std::span<const float>(g), 1.0f);
+  const auto want = sequential_oracle(grads, kDim, 1.0f);
+  const auto got = shard.snapshot();
+  for (std::size_t i = 0; i < kDim; ++i) ASSERT_EQ(got[i], want[i]);
+}
+
+TEST(PushCombiner, DeferredFirstTouchInitializesValues) {
+  // With an apply pool the shard starts untouched; the constructor must not
+  // return before every partition was first-touched with the seed values.
+  constexpr std::size_t kDim = 1000;
+  std::vector<float> init(kDim);
+  std::iota(init.begin(), init.end(), 1.0f);
+  ps::StripedShard shard(init, 8, {}, /*defer_first_touch=*/true);
+  ps::PushCombiner combiner(
+      shard, ps::PushCombinerSpec{.batch = true, .lockfree = true, .apply_threads = 3});
+  EXPECT_TRUE(shard.initialized());
+  const auto got = shard.snapshot();
+  for (std::size_t i = 0; i < kDim; ++i) ASSERT_EQ(got[i], init[i]);
+}
+
+// ---------------------------------------------------------------------------
+// RoundReducer ring backpressure
+// ---------------------------------------------------------------------------
+
+TEST(RoundReducer, FullRingFlushesInsteadOfDroppingData) {
+  embed::RoundReducer reducer(/*ring_depth=*/2);  // capacity 2
+  for (std::uint32_t w = 0; w < 7; ++w) {
+    embed::Contribution c;
+    c.worker = w;
+    c.rows = {w};
+    c.grads = {static_cast<float>(w)};
+    reducer.add(0, std::move(c));
+  }
+  EXPECT_GE(reducer.ring_stalls(), 1u);
+  EXPECT_LE(reducer.ring_depth_high_water(), 2u);
+  const auto round = reducer.take_round(0);
+  ASSERT_EQ(round.size(), 7u);
+  for (std::uint32_t w = 0; w < 7; ++w) {
+    EXPECT_EQ(round[w].worker, w);  // sorted by worker despite staging
+    ASSERT_EQ(round[w].rows.size(), 1u);
+    EXPECT_EQ(round[w].rows[0], w);
+  }
+  EXPECT_EQ(reducer.pending_rounds(), 0u);
+}
+
+TEST(RoundReducer, StagedRoundsVisibleThroughPendingRounds) {
+  embed::RoundReducer reducer(/*ring_depth=*/64);
+  embed::Contribution c;
+  c.worker = 0;
+  reducer.add(5, std::move(c));
+  EXPECT_EQ(reducer.pending_rounds(), 1u);  // flushes the staging ring
+  EXPECT_TRUE(reducer.take_round(5).size() == 1u);
+  EXPECT_EQ(reducer.pending_rounds(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Affinity shim
+// ---------------------------------------------------------------------------
+
+TEST(Affinity, AllowedCpusIsPositive) { EXPECT_GE(affinity::allowed_cpus(), 1u); }
+
+TEST(Affinity, PinInSpawnedThreadDegradesGracefully) {
+  // Pin a throwaway thread (never the gtest main thread). Whatever the
+  // sandbox permits, the call must not crash and must report honestly.
+  std::atomic<bool> pinned{false};
+  std::thread t([&] { pinned.store(affinity::pin_current_thread(1)); });
+  t.join();
+  if (affinity::supported()) {
+    EXPECT_TRUE(pinned.load());
+  } else {
+    EXPECT_FALSE(pinned.load());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// RecvBuffer (zero-copy streaming receive)
+// ---------------------------------------------------------------------------
+
+// Append a [u32 len | payload] record through the writable/commit API,
+// `chunk` bytes at a time (simulating fragmented TCP reads).
+void feed_record(net::RecvBuffer& rb, const std::vector<std::uint8_t>& frame,
+                 std::size_t chunk) {
+  std::vector<std::uint8_t> record(sizeof(std::uint32_t) + frame.size());
+  const auto len = static_cast<std::uint32_t>(frame.size());
+  std::memcpy(record.data(), &len, sizeof(len));
+  std::memcpy(record.data() + sizeof(len), frame.data(), frame.size());
+  std::size_t off = 0;
+  while (off < record.size()) {
+    const std::size_t n = std::min(chunk, record.size() - off);
+    auto dst = rb.writable(n);
+    ASSERT_GE(dst.size(), n);
+    std::memcpy(dst.data(), record.data() + off, n);
+    rb.commit(n);
+    off += n;
+  }
+}
+
+std::vector<std::uint8_t> pattern_frame(std::size_t n, std::uint8_t seed) {
+  std::vector<std::uint8_t> f(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    f[i] = static_cast<std::uint8_t>(seed + i);
+  }
+  return f;
+}
+
+TEST(RecvBuffer, ReassemblesFragmentedRecords) {
+  net::RecvBuffer rb;
+  for (const std::size_t chunk : {1u, 3u, 7u, 4096u}) {
+    const auto frame = pattern_frame(200, static_cast<std::uint8_t>(chunk));
+    feed_record(rb, frame, chunk);
+    std::uint32_t len = 0;
+    ASSERT_TRUE(rb.peek_length(&len));
+    ASSERT_EQ(len, frame.size());
+    ASSERT_TRUE(rb.frame_complete(len));
+    const auto got = rb.take_frame(len);
+    ASSERT_EQ(got.size(), frame.size());
+    EXPECT_EQ(std::memcmp(got.data(), frame.data(), frame.size()), 0);
+  }
+  EXPECT_EQ(rb.buffered(), 0u);
+}
+
+TEST(RecvBuffer, FirstPayloadIsCacheLineAlignedAfterDrain) {
+  net::RecvBuffer rb;
+  // Frame sized like a real message: 64-byte header + 4·count payload.
+  const auto frame = pattern_frame(64 + 4 * 32, 1);
+  for (int i = 0; i < 3; ++i) {
+    feed_record(rb, frame, 4096);
+    std::uint32_t len = 0;
+    ASSERT_TRUE(rb.peek_length(&len));
+    const auto got = rb.take_frame(len);
+    // Payload starts after the 64-byte frame header; drained-state resets put
+    // it back on a cache line every time.
+    const auto payload = reinterpret_cast<std::uintptr_t>(got.data() + 64);
+    EXPECT_EQ(payload % 64, 0u) << "iteration " << i;
+  }
+}
+
+TEST(RecvBuffer, SteadyStateDoesZeroAllocationsAndZeroMoves) {
+  net::RecvBuffer rb;
+  const auto frame = pattern_frame(64 + 4 * 256, 9);
+  // Warmup: reach the high-water capacity.
+  for (int i = 0; i < 4; ++i) {
+    feed_record(rb, frame, 4096);
+    std::uint32_t len = 0;
+    ASSERT_TRUE(rb.peek_length(&len));
+    (void)rb.take_frame(len);
+  }
+  const std::uint64_t allocs = rb.allocations();
+  const std::uint64_t moved = rb.bytes_moved();
+  EXPECT_GE(allocs, 1u);
+  // Steady state: request-response traffic drains fully between records, so
+  // no growth and no compaction ever happens again.
+  for (int i = 0; i < 1000; ++i) {
+    feed_record(rb, frame, 4096);
+    std::uint32_t len = 0;
+    ASSERT_TRUE(rb.peek_length(&len));
+    (void)rb.take_frame(len);
+  }
+  EXPECT_EQ(rb.allocations(), allocs);
+  EXPECT_EQ(rb.bytes_moved(), moved);
+}
+
+TEST(RecvBuffer, CompactionPreservesPartialRecordUnderPipelining) {
+  net::RecvBuffer rb;
+  const auto a = pattern_frame(500, 5);
+  const auto b = pattern_frame(500, 6);
+  // Record A complete + the first half of record B in one burst.
+  feed_record(rb, a, 4096);
+  std::vector<std::uint8_t> b_record(sizeof(std::uint32_t) + b.size());
+  const auto b_len = static_cast<std::uint32_t>(b.size());
+  std::memcpy(b_record.data(), &b_len, sizeof(b_len));
+  std::memcpy(b_record.data() + sizeof(b_len), b.data(), b.size());
+  const std::size_t half = b_record.size() / 2;
+  {
+    auto dst = rb.writable(half);
+    std::memcpy(dst.data(), b_record.data(), half);
+    rb.commit(half);
+  }
+  // Consume A; B's partial bytes stay buffered.
+  std::uint32_t len = 0;
+  ASSERT_TRUE(rb.peek_length(&len));
+  (void)rb.take_frame(len);
+  EXPECT_EQ(rb.buffered(), half);
+  // Demand more room than the tail has: forces a compaction (or growth),
+  // which must keep B's partial bytes intact.
+  auto dst = rb.writable(rb.capacity());
+  std::memcpy(dst.data(), b_record.data() + half, b_record.size() - half);
+  rb.commit(b_record.size() - half);
+  EXPECT_GE(rb.allocations() + rb.bytes_moved(), 1u);
+  ASSERT_TRUE(rb.peek_length(&len));
+  ASSERT_EQ(len, b.size());
+  const auto got = rb.take_frame(len);
+  EXPECT_EQ(std::memcmp(got.data(), b.data(), b.size()), 0);
+  EXPECT_EQ(rb.buffered(), 0u);
+}
+
+}  // namespace
+}  // namespace fluentps

@@ -290,6 +290,51 @@ TEST(TcpTransport, BackgroundRedialHealsRouteWithoutNewSends) {
   b2.shutdown();
 }
 
+TEST(TcpTransport, SteadyStateReceiveIsZeroCopyAndAllocationFree) {
+  // Zero-copy receive proof (DESIGN.md §11): after a warmup burst grows the
+  // reader's RecvBuffer to its high-water size, further frames of the same
+  // size must perform zero heap allocations and move zero bytes — reads land
+  // in place and deserialize_view borrows the payload.
+  TcpTransport a, b;
+  Sink sink;
+  b.register_node(2, sink.handler());
+  a.add_route(2, "127.0.0.1", b.listen());
+
+  const auto send_one = [&a](int i) {
+    Message m;
+    m.dst = 2;
+    m.progress = i;
+    m.values.resize(256);
+    for (std::size_t k = 0; k < 256; ++k) m.values[k] = static_cast<float>(i + 1);
+    a.send(std::move(m));
+  };
+
+  constexpr int kWarmup = 20;
+  for (int i = 0; i < kWarmup; ++i) send_one(i);
+  ASSERT_TRUE(sink.wait_for(kWarmup));
+  const std::uint64_t allocs = b.recv_allocations();
+  const std::uint64_t moved = b.recv_bytes_moved();
+
+  // Request-response pacing (the PS steady state): the buffer drains fully
+  // between records, so neither growth nor compaction can ever trigger.
+  constexpr int kSteady = 200;
+  for (int i = kWarmup; i < kWarmup + kSteady; ++i) {
+    send_one(i);
+    ASSERT_TRUE(sink.wait_for(static_cast<std::size_t>(i) + 1, 10000));
+  }
+
+  EXPECT_EQ(b.recv_allocations(), allocs)
+      << "steady-state receive must not allocate";
+  EXPECT_EQ(b.recv_bytes_moved(), moved)
+      << "steady-state receive must not compact";
+  EXPECT_EQ(b.recv_zero_copy_frames(), b.frames_received())
+      << "every frame must be parsed in place";
+  for (int i = 0; i < kWarmup + kSteady; ++i) {
+    ASSERT_EQ(sink.got[static_cast<std::size_t>(i)].values[0],
+              static_cast<float>(i + 1));
+  }
+}
+
 TEST(TcpTransport, ShutdownIsIdempotentAndUnblocks) {
   TcpTransport a, b;
   Sink sink;
