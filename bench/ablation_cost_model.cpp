@@ -36,7 +36,9 @@ int main(int argc, char** argv) {
     ssp_cfg.sync = {.kind = "ssp", .staleness = 3};
     ssp_cfg.dpr_mode = ps::DprMode::kSoftBarrier;
     ssp_cfg.dpr_overhead_seconds = cost_ms * 1e-3;
+    bench::apply_telemetry_args(args, ssp_cfg);
     const auto ssp = core::run_experiment(ssp_cfg);
+    bench::write_prometheus(ssp, "ablation_cost_model");
 
     auto pssp_cfg = ssp_cfg;
     pssp_cfg.sync = {.kind = "pssp", .staleness = 3, .prob = 0.1};

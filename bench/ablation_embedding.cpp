@@ -71,6 +71,7 @@ int main(int argc, char** argv) {
   base.sparse.rounds = rounds;
   base.sparse.batch_rows = 16;
   base.sparse.compute_seconds = 0.002;
+  bench::apply_telemetry_args(args, base);
 
   struct Skew {
     const char* label;
@@ -92,6 +93,7 @@ int main(int argc, char** argv) {
       cfg.sparse.zipf_s = sk.s;
       cfg.sparse.reduce = reduce;
       const auto r = core::run_experiment(cfg);
+      bench::write_prometheus(r, "ablation_embedding");  // last cell wins
       const bool zero_lost = u64_extra(r, "sparse_state_digest") ==
                              embed::reference_state_digest(cfg.sparse, cfg.seed);
       all_zero_lost &= zero_lost;

@@ -52,7 +52,9 @@ int main(int argc, char** argv) {
     auto cfg = bench::resnet56_comm_heavy(32, 8, iters);
     cfg.sync.kind = "bsp";
     cfg.slicer = slicer;
+    bench::apply_telemetry_args(args, cfg);
     const auto r = core::run_experiment(cfg);
+    bench::write_prometheus(r, "ablation_eps_slicing");
     e2e.add(std::string(slicer), bench::fmt(r.comm_time, 2), bench::fmt(r.total_time, 2),
             bench::fmt(r.extra.at("max_server_ingress_busy"), 2));
     (std::string(slicer) == "default" ? comm_default : comm_eps) = r.comm_time;

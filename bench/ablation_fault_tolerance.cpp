@@ -31,8 +31,10 @@ int main(int argc, char** argv) {
   base.sync = {.kind = "ssp", .staleness = 3};
   base.retry.initial_timeout = 0.05;
   base.retry.max_timeout = 1.0;
+  bench::apply_telemetry_args(args, base);
 
   const auto pristine = core::run_experiment(base);
+  bench::write_prometheus(pristine, "ablation_fault_tolerance");
 
   // --- sweep 1: drop rate ------------------------------------------------
   Table drops("ssp(3), N=" + std::to_string(workers) + ", by drop rate");

@@ -31,7 +31,9 @@ int main(int argc, char** argv) {
     cfg.sync = {.kind = "ssp", .staleness = 3};
     cfg.dpr_mode = ps::DprMode::kSoftBarrier;
     cfg.compute.worker_sigma = wsigma;
+    bench::apply_telemetry_args(args, cfg);
     const auto ssp = core::run_experiment(cfg);
+    bench::write_prometheus(ssp, "ablation_heterogeneity");
 
     auto bsp_cfg = cfg;
     bsp_cfg.sync = {.kind = "bsp"};

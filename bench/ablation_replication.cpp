@@ -33,11 +33,13 @@ int main(int argc, char** argv) {
   base.sync = {.kind = "ssp", .staleness = 3};
   base.retry.initial_timeout = 0.05;
   base.retry.max_timeout = 1.0;
+  bench::apply_telemetry_args(args, base);
 
   // --- sweep 1: steady-state overhead at r = 1/2/3 -----------------------
   auto reliable = base;
   reliable.force_reliability = true;
   const auto r1 = core::run_experiment(reliable);
+  bench::write_prometheus(r1, "ablation_replication");
 
   Table steady("ssp(3), N=" + std::to_string(workers) + ", no faults, by replication factor");
   steady.add_row({"r", "time_s", "overhead", "bytes_x", "replicated", "log_hw", "accuracy"});

@@ -26,7 +26,9 @@ int main(int argc, char** argv) {
     cfg.sync.kind = "ssp";
     cfg.sync.staleness = 3;
     cfg.push_significance_threshold = threshold;
+    bench::apply_telemetry_args(args, cfg);
     const auto r = core::run_experiment(cfg);
+    bench::write_prometheus(r, "ablation_significance_filter");
     const double total_pushes = static_cast<double>(cfg.num_workers) *
                                 static_cast<double>(cfg.max_iters);
     table.add(bench::fmt(threshold, 3), std::to_string(r.pushes_filtered),

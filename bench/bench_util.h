@@ -13,8 +13,10 @@
 
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
 #include <string>
 
+#include "common/config.h"
 #include "common/table.h"
 #include "core/fluentps.h"
 
@@ -133,6 +135,28 @@ inline double time_to_accuracy(const core::ExperimentResult& r, double target) {
 inline std::string csv_path(const std::string& name) {
   std::filesystem::create_directories("bench_out");
   return "bench_out/" + name + ".csv";
+}
+
+/// Shared telemetry flags for bench binaries (DESIGN.md §12): telemetry=on
+/// enables the wait-free registry for the run; on the sim backend that means
+/// the cumulative Prometheus dump (spans and the interval snapshotter need
+/// real wall-clock time, so they stay off under virtual time).
+inline void apply_telemetry_args(const Config& args, core::ExperimentConfig& cfg) {
+  cfg.telemetry.enabled = args.get_bool("telemetry", false);
+  cfg.telemetry.interval_ms =
+      static_cast<std::uint32_t>(args.get_int("telemetry_interval_ms",
+                                              cfg.telemetry.interval_ms));
+}
+
+/// Write a run's Prometheus dump to bench_out/<name>.prom (no-op when the
+/// run had telemetry off).
+inline void write_prometheus(const core::ExperimentResult& r, const std::string& name) {
+  if (r.prometheus.empty()) return;
+  std::filesystem::create_directories("bench_out");
+  const std::string path = "bench_out/" + name + ".prom";
+  std::ofstream f(path);
+  f << r.prometheus;
+  std::printf("telemetry: wrote %s\n", path.c_str());
 }
 
 inline void print_banner(const char* id, const char* claim) {

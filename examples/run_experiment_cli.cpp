@@ -42,6 +42,10 @@ void print_usage() {
       "  replication: replication={1,2,3,...} failover_detect (crash a chain\n"
       "            head with fault.crash='s0@0.3:inf' — no restart — to\n"
       "            exercise promotion instead of checkpoint restore)\n"
+      "  telemetry: telemetry={0,1,on,off} telemetry_interval_ms telemetry_out\n"
+      "            telemetry_spans={0,1} (wait-free metrics + JSONL time series\n"
+      "            at <telemetry_out>.jsonl + Prometheus dump at <telemetry_out>.prom;\n"
+      "            cross-hop spans render into trace_json on the threads backend)\n"
       "  sparse:   tables='emb:dim=8,rows=512,opt=adagrad,qos=2;ads:dim=4'\n"
       "            sparse_workers sparse_rounds sparse_batch sparse_zipf\n"
       "            sparse_reduce={0,1} sparse_compute (a sparse embedding job\n"
@@ -123,6 +127,12 @@ int main(int argc, char** argv) {
   cfg.replication_factor = static_cast<std::uint32_t>(args.get_int("replication", 1));
   cfg.failover_detect_seconds = args.get_double("failover_detect", cfg.failover_detect_seconds);
 
+  cfg.telemetry.enabled = args.get_bool("telemetry", false);
+  cfg.telemetry.interval_ms = static_cast<std::uint32_t>(args.get_int(
+      "telemetry_interval_ms", static_cast<std::int64_t>(cfg.telemetry.interval_ms)));
+  cfg.telemetry.out_prefix = args.get_string("telemetry_out", cfg.telemetry.out_prefix);
+  cfg.telemetry.trace_spans = args.get_bool("telemetry_spans", cfg.telemetry.trace_spans);
+
   cfg.sparse.tables = embed::parse_tables(args.get_string("tables", ""));
   cfg.sparse.num_workers = static_cast<std::uint32_t>(args.get_int("sparse_workers", 0));
   cfg.sparse.rounds = args.get_int("sparse_rounds", 0);
@@ -176,6 +186,15 @@ int main(int argc, char** argv) {
         extra("ring_depth_high_water"), extra("recv_zero_copy_frames"),
         extra("pinned_threads"));
   }
+  if (cfg.telemetry.enabled) {
+    const auto extra = [&r](const char* k) {
+      const auto it = r.extra.find(k);
+      return it == r.extra.end() ? 0.0 : it->second;
+    };
+    std::printf("telemetry       intervals %lld  spans %.0f  instrument allocs %.0f\n",
+                static_cast<long long>(r.telemetry_intervals), extra("telemetry_spans"),
+                extra("telemetry_instrument_allocs"));
+  }
   if (cfg.replication_factor > 1) {
     std::printf("replication     forwards %lld  failovers %lld (worst %.3f s)  rolled back %lld\n",
                 static_cast<long long>(r.replicated_updates),
@@ -213,7 +232,18 @@ int main(int argc, char** argv) {
   }
   if (const auto path = args.get_string("trace_json"); !path.empty()) {
     std::printf("trace  -> %s (%s)\n", path.c_str(),
-                core::write_chrome_trace(path, r.trace, r.fault_events) ? "ok" : "FAILED");
+                core::write_chrome_trace(path, r.trace, r.fault_events, r.spans) ? "ok"
+                                                                                 : "FAILED");
+  }
+  if (cfg.telemetry.enabled && !r.prometheus.empty()) {
+    const std::string prom_path = cfg.telemetry.out_prefix + ".prom";
+    std::FILE* f = std::fopen(prom_path.c_str(), "w");
+    bool ok = f != nullptr;
+    if (f != nullptr) {
+      ok = std::fwrite(r.prometheus.data(), 1, r.prometheus.size(), f) == r.prometheus.size();
+      std::fclose(f);
+    }
+    std::printf("prom   -> %s (%s)\n", prom_path.c_str(), ok ? "ok" : "FAILED");
   }
   if (const auto path = args.get_string("save"); !path.empty()) {
     std::printf("params -> %s (%s)\n", path.c_str(),

@@ -103,6 +103,84 @@ else
 fi
 echo
 
+# Telemetry case (DESIGN.md §12): the replicated head-kill again with the
+# wait-free telemetry layer on end to end — on the threads backend, since
+# spans and the interval snapshotter need real wall-clock time. The
+# Perfetto/Chrome trace must parse and contain the span tracks for every hop
+# of a replicated push plus the failover-lifecycle instants; the JSONL time
+# series and the Prometheus dump must both parse. Failover semantics must be
+# unchanged by telemetry.
+echo "== chaos: telemetry=on ssp(3) replication=2 drop=$DROP + head kill =="
+TDIR=$(mktemp -d)
+if out=$("$CLI" \
+  workers="$WORKERS" servers="$SERVERS" iters="$ITERS" seed="$SEED" \
+  backend=threads sync=ssp staleness=3 replication=2 \
+  model=softmax dim=64 classes=10 train_n=1024 test_n=256 \
+  compute=lognormal base_seconds=0.01 sigma=0.3 \
+  fault.drop="$DROP" "fault.crash=s0@0.3:inf" \
+  retry.initial_timeout=0.02 retry.max_timeout=0.3 \
+  telemetry=on telemetry_interval_ms=100 telemetry_out="$TDIR/chaos" \
+  trace_json="$TDIR/chaos_trace.json" 2>&1); then
+  echo "$out" | grep -E "final accuracy|telemetry|replication"
+  failovers=$(echo "$out" | sed -n 's/.*failovers \([0-9]*\).*/\1/p')
+  if [ "${failovers:-0}" -lt 1 ]; then
+    echo "!! head kill never promoted a successor under telemetry"
+    fail=1
+  fi
+  if ! python3 - "$TDIR/chaos_trace.json" <<'PY'
+import json, sys
+ev = json.load(open(sys.argv[1]))["traceEvents"]
+names = {e.get("name") for e in ev}
+names |= {(e.get("args") or {}).get("name") for e in ev}
+need = ["telemetry spans", "worker.push", "server.enqueue", "combiner.drain",
+        "stripe.apply", "replicate", "replica.apply", "tail.ack", "worker.ack",
+        "kPromote", "failover_start", "failover_end"]
+missing = [n for n in need if n not in names]
+if missing:
+    sys.exit(f"missing trace tracks/events: {missing}")
+spans = [e for e in ev if e.get("pid") == 1 and e.get("ph") in ("X", "i")]
+ids = {e["args"]["span"] for e in spans}
+dangling = [e["name"] for e in spans
+            if e["args"]["parent"] != 0 and e["args"]["parent"] not in ids]
+if dangling:
+    sys.exit(f"spans with dangling parents: {sorted(set(dangling))}")
+print(f"trace ok: {len(ev)} events, {len(spans)} spans, parents consistent")
+PY
+  then
+    echo "!! Perfetto trace check failed"
+    fail=1
+  fi
+  if ! python3 - "$TDIR/chaos.jsonl" "$TDIR/chaos.prom" <<'PY'
+import json, sys
+lines = [json.loads(l) for l in open(sys.argv[1]) if l.strip()]
+if not lines:
+    sys.exit("telemetry JSONL is empty")
+samples = 0
+for line in open(sys.argv[2]):
+    line = line.strip()
+    if not line or line.startswith("#"):
+        continue
+    name, value = line.rsplit(" ", 1)
+    float(value)  # must parse
+    if not name.startswith("fluentps_"):
+        sys.exit(f"unprefixed metric: {name}")
+    samples += 1
+if samples == 0:
+    sys.exit("Prometheus dump has no samples")
+print(f"timeseries ok: {len(lines)} intervals, {samples} prom samples")
+PY
+  then
+    echo "!! telemetry time-series check failed"
+    fail=1
+  fi
+  rm -rf "$TDIR"
+else
+  echo "$out"
+  echo "!! run failed: telemetry chaos case"
+  fail=1
+fi
+echo
+
 # Sparse embedding cases (DESIGN.md §10). The CLI prints a zero-lost verdict
 # by comparing the summed server digest to the serial reference oracle, so
 # "zero-lost=OK" IS the acceptance check — any lost or double-applied sparse

@@ -3,19 +3,15 @@
 namespace fluentps {
 
 void Metrics::incr(const std::string& name, std::int64_t delta) {
-  std::scoped_lock lock(mu_);
-  counters_[name] += delta;
+  registry_.counter(name).add(delta);
 }
 
 void Metrics::set_gauge(const std::string& name, double value) {
-  std::scoped_lock lock(mu_);
-  gauges_[name] = value;
+  registry_.gauge(name).set(value);
 }
 
 void Metrics::set_gauge_max(const std::string& name, double value) {
-  std::scoped_lock lock(mu_);
-  const auto [it, inserted] = gauges_.try_emplace(name, value);
-  if (!inserted && value > it->second) it->second = value;
+  registry_.gauge(name).set_max(value);
 }
 
 void Metrics::observe(const std::string& name, double value) {
@@ -24,15 +20,13 @@ void Metrics::observe(const std::string& name, double value) {
 }
 
 std::int64_t Metrics::counter(const std::string& name) const {
-  std::scoped_lock lock(mu_);
-  const auto it = counters_.find(name);
-  return it != counters_.end() ? it->second : 0;
+  const obs::Counter* c = registry_.find_counter(name);
+  return c != nullptr ? c->value() : 0;
 }
 
 double Metrics::gauge(const std::string& name) const {
-  std::scoped_lock lock(mu_);
-  const auto it = gauges_.find(name);
-  return it != gauges_.end() ? it->second : 0.0;
+  const obs::Gauge* g = registry_.find_gauge(name);
+  return (g != nullptr && g->seen()) ? g->value() : 0.0;
 }
 
 StreamingStats Metrics::distribution(const std::string& name) const {
@@ -42,29 +36,20 @@ StreamingStats Metrics::distribution(const std::string& name) const {
 }
 
 std::int64_t Metrics::counter_sum_prefix(const std::string& prefix) const {
-  std::scoped_lock lock(mu_);
-  std::int64_t sum = 0;
-  for (auto it = counters_.lower_bound(prefix); it != counters_.end(); ++it) {
-    if (it->first.compare(0, prefix.size(), prefix) != 0) break;
-    sum += it->second;
-  }
-  return sum;
+  return registry_.counter_sum_prefix(prefix);
 }
 
 std::vector<std::pair<std::string, std::int64_t>> Metrics::counters() const {
-  std::scoped_lock lock(mu_);
-  return {counters_.begin(), counters_.end()};
+  return registry_.counters();
 }
 
 std::vector<std::pair<std::string, double>> Metrics::gauges() const {
-  std::scoped_lock lock(mu_);
-  return {gauges_.begin(), gauges_.end()};
+  return registry_.gauges();
 }
 
 void Metrics::reset() {
+  registry_.reset_values();
   std::scoped_lock lock(mu_);
-  counters_.clear();
-  gauges_.clear();
   dists_.clear();
 }
 

@@ -1,6 +1,17 @@
 // Named-metric registry: counters, gauges, and timing accumulators keyed by
 // string. One registry per experiment run; thread-safe so server and worker
 // threads can record concurrently in the thread backend.
+//
+// Since the telemetry rebuild (DESIGN.md §12) this class is a facade over
+// obs::Registry: counters and gauges live in wait-free sharded cells
+// (obs/telemetry.h) instead of a mutex-guarded map, so hot paths that only
+// have a Metrics* still record without contention, and components that want
+// the cheapest possible path cache obs::Counter&/Histogram& handles from
+// registry() directly. The API and its observable semantics are unchanged —
+// a metric appears in counters()/gauges() only once recorded, reset() empties
+// the snapshots, counter_sum_prefix keeps its lower_bound + early-exit scan.
+// Streaming distributions (observe/distribution) stay here under a small
+// mutex: they are not touched from hot paths.
 #pragma once
 
 #include <cstdint>
@@ -10,6 +21,7 @@
 #include <vector>
 
 #include "common/stats.h"
+#include "obs/telemetry.h"
 
 namespace fluentps {
 
@@ -47,10 +59,15 @@ class Metrics {
 
   void reset();
 
+  /// The wait-free registry behind the facade. Components cache instrument
+  /// handles (obs::Counter&, obs::Histogram&) from here at construction and
+  /// record without any name lookup; the snapshotter exports from it.
+  [[nodiscard]] obs::Registry& registry() { return registry_; }
+  [[nodiscard]] const obs::Registry& registry() const { return registry_; }
+
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, std::int64_t> counters_;
-  std::map<std::string, double> gauges_;
+  obs::Registry registry_;
+  mutable std::mutex mu_;  // guards dists_ only
   std::map<std::string, StreamingStats> dists_;
 };
 

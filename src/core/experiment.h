@@ -15,6 +15,8 @@
 #include "ml/dataset.h"
 #include "ml/model.h"
 #include "ml/optimizer.h"
+#include "obs/span.h"
+#include "obs/telemetry.h"
 #include "ps/conditions.h"
 #include "ps/sync_engine.h"
 #include "sim/compute_model.h"
@@ -197,6 +199,16 @@ struct ExperimentConfig {
   /// checkpointed, so crash schedules require replication_factor > 1.
   embed::SparseJobSpec sparse;
 
+  // --- telemetry (src/obs, DESIGN.md §12) -------------------------------
+
+  /// End-to-end telemetry: when enabled the runtime attaches the wait-free
+  /// obs::Registry to every hot-path component, stamps (trace_id, span_id)
+  /// into push frames for cross-hop span tracing (thread backend), runs the
+  /// interval snapshotter (JSONL time series at `out_prefix`.jsonl), and the
+  /// CLI writes a Prometheus text dump at run end. Off by default: every
+  /// recording site then sees a null pointer and costs one predicted branch.
+  obs::TelemetrySpec telemetry;
+
   /// Reliability layer active? (explicitly forced, implied by any fault, or
   /// required by chain replication's deferred-ack protocol.)
   [[nodiscard]] bool reliability_enabled() const noexcept {
@@ -288,6 +300,17 @@ struct ExperimentResult {
   std::vector<std::pair<std::string, std::int64_t>> counters;
   /// Crash/restart/checkpoint timeline (trace_export renders these).
   std::vector<FaultEvent> fault_events;
+  /// Cross-hop spans drained from the SpanRecorder (thread backend with
+  /// config.telemetry.enabled && trace_spans; rendered by trace_export as
+  /// nested per-node tracks). Times are ns relative to the run's epoch.
+  std::vector<obs::SpanRecord> spans;
+  /// Interval lines the telemetry snapshotter wrote (0 when disabled).
+  std::int64_t telemetry_intervals = 0;
+  /// Prometheus text-exposition dump of the run's cumulative metrics with
+  /// run-level labels (arch/backend/sync/seed); empty unless
+  /// config.telemetry.enabled. The registry itself dies with the runtime, so
+  /// the rendered text rides out on the result.
+  std::string prometheus;
 
   /// Free-form extras (per-bench diagnostics).
   std::map<std::string, double> extra;

@@ -18,6 +18,7 @@
 #include "ml/eval.h"
 #include "ml/ops.h"
 #include "net/sim_transport.h"
+#include "obs/snapshot.h"
 #include "ps/scheduler.h"
 #include "ps/server.h"
 #include "ps/slicing.h"
@@ -1068,6 +1069,9 @@ class SimRun {
     if (group_ != nullptr) {
       if (!group_->exhausted(m)) {
         // Failure detector + election latency, then the successor takes over.
+        // The failover bracket (start here, end in do_promote) renders as
+        // instant events on the Chrome trace timeline.
+        fault_events_.push_back(FaultEvent{env_.now(), "failover_start", victim});
         env_.schedule(cfg_.failover_detect_seconds, [this, m] { do_promote(m); });
       } else {
         FPS_LOG(Warn) << "shard " << m << ": replication chain exhausted, no successor "
@@ -1139,6 +1143,9 @@ class SimRun {
       p.server_rank = m;
       bus_->send(std::move(p));
     }
+    fault_events_.push_back(FaultEvent{env_.now(), "kPromote", slot.node});
+    fault_events_.push_back(FaultEvent{env_.now(), "failover_end", slot.node});
+    metrics_.incr("fault.failover_events");
   }
 
   void do_restart(std::uint32_t m) {
@@ -1336,6 +1343,19 @@ class SimRun {
       r.extra["sparse_repl_repairs"] = repairs;
       r.extra["sparse_retries"] = static_cast<double>(sparse_retries);
       r.extra["sparse_parked_pulls"] = static_cast<double>(parked);
+    }
+    // --- telemetry (src/obs, DESIGN.md §12) -------------------------------
+    // The sim backend runs in virtual time, so the wall-clock snapshotter and
+    // span capture stay off; the cumulative Prometheus dump still renders
+    // (the Metrics facade records through the same wait-free registry).
+    if (cfg_.telemetry.enabled) {
+      r.extra["telemetry_instrument_allocs"] =
+          static_cast<double>(metrics_.registry().instrument_allocations());
+      r.prometheus = obs::render_prometheus(
+          metrics_.registry(), {{"arch", to_string(cfg_.arch)},
+                                {"backend", to_string(cfg_.backend)},
+                                {"sync", cfg_.sync.kind},
+                                {"seed", std::to_string(cfg_.seed)}});
     }
     r.counters = metrics_.counters();
     r.fault_events = std::move(fault_events_);

@@ -24,6 +24,8 @@
 #include "ml/eval.h"
 #include "ml/ops.h"
 #include "net/inproc_transport.h"
+#include "obs/snapshot.h"
+#include "obs/span.h"
 #include "ps/scheduler.h"
 #include "ps/server.h"
 #include "ps/slicing.h"
@@ -106,6 +108,11 @@ class ThreadRun {
     } else {
       bus_ = &transport_;
     }
+    if (cfg.telemetry.enabled) {
+      telemetry_handle_.registry = &metrics_.registry();
+      telemetry_handle_.spans = cfg.telemetry.trace_spans ? &span_recorder_ : nullptr;
+      telemetry_ = &telemetry_handle_;
+    }
     build_servers();
     build_replicas();
     build_scheduler();
@@ -115,6 +122,11 @@ class ThreadRun {
 
   ExperimentResult run() {
     Stopwatch total;
+    if (telemetry_ != nullptr && cfg_.telemetry.interval_ms > 0) {
+      snapshotter_ = std::make_unique<obs::Snapshotter>(
+          metrics_.registry(), cfg_.telemetry.interval_ms, cfg_.telemetry.out_prefix + ".jsonl");
+      snapshotter_->start();
+    }
     if (checkpointing_) take_checkpoints();  // a crash before the first interval
                                              // must find something to restore
     std::jthread chaos_thread;
@@ -177,6 +189,7 @@ class ThreadRun {
     spec.apply_threads = cfg_.apply_threads;
     spec.pin_threads = cfg_.pin_threads;
     spec.replica_successor = chain_.replicated() ? chain_.successor_of(m, 0) : 0;
+    spec.telemetry = telemetry_;
     if (reliable_) {
       for (std::uint32_t n = 0; n < cfg_.num_workers; ++n) {
         spec.worker_nodes.push_back(worker_node(cfg_.num_servers, n));
@@ -272,6 +285,7 @@ class ThreadRun {
         sharding_.shards[m].gather(w0_, spec.initial_shard);
         spec.successor = chain_.successor_of(m, pos);
         spec.apply_scale = 1.0f / static_cast<float>(cfg_.num_workers);
+        spec.telemetry = telemetry_;
         slot.replica = std::make_unique<replica::ReplicaNode>(std::move(spec), *bus_);
         if (cfg_.sparse.enabled()) {
           embed::SparseReplicaSpec sspec;
@@ -330,6 +344,7 @@ class ThreadRun {
       spec.reliable = reliable_;
       spec.retry = cfg_.retry;
       spec.seed = cfg_.seed;
+      spec.telemetry = telemetry_;
       auto pw = std::make_unique<PerWorker>();
       pw->client = std::make_unique<ps::WorkerClient>(std::move(spec), *bus_);
       ps::WorkerClient* raw = pw->client.get();
@@ -393,12 +408,27 @@ class ThreadRun {
     ml::Workspace ws;
     std::size_t next_switch = 0;
 
+    // Live per-iteration instruments (wait-free; registered once up front so
+    // the loop never touches the registry map).
+    obs::Histogram* compute_hist = nullptr;
+    obs::Histogram* sync_hist = nullptr;
+    obs::Gauge* progress_gauge = nullptr;
+    if (telemetry_ != nullptr && telemetry_->registry != nullptr) {
+      compute_hist = &telemetry_->registry->histogram("worker.compute_ns");
+      sync_hist = &telemetry_->registry->histogram("worker.sync_ns");
+      progress_gauge = &telemetry_->registry->gauge("worker.progress");
+    }
+
     for (std::int64_t iter = 0; iter < cfg_.max_iters; ++iter) {
       Stopwatch compute;
       const ml::Batch batch = sampler.next();
       pw.last_loss = model_->grad(params, batch, grad, ws);
       opt->compute_update(params, grad, iter, update);
-      pw.compute_seconds += compute.seconds();
+      const double compute_s = compute.seconds();
+      pw.compute_seconds += compute_s;
+      if (compute_hist != nullptr) {
+        compute_hist->record(static_cast<std::uint64_t>(compute_s * 1e9));
+      }
 
       Stopwatch comm;
       if (cfg_.push_significance_threshold > 0.0) {
@@ -430,7 +460,14 @@ class ThreadRun {
       if (cfg_.push_significance_threshold > 0.0 && !pending.empty()) {
         ml::axpy(1.0f, pending, params);  // keep local contribution visible
       }
-      pw.comm_seconds += comm.seconds();
+      const double comm_s = comm.seconds();
+      pw.comm_seconds += comm_s;
+      if (sync_hist != nullptr) {
+        sync_hist->record(static_cast<std::uint64_t>(comm_s * 1e9));
+      }
+      if (progress_gauge != nullptr) {
+        progress_gauge->set_max(static_cast<double>(iter + 1));
+      }
 
       if (rank == 0) {
         while (next_switch < cfg_.sync_schedule.size() &&
@@ -569,6 +606,9 @@ class ThreadRun {
       p.server_rank = m;
       bus_->send(std::move(p));
     }
+    record_event("kPromote", slot.node);
+    record_event("failover_end", slot.node);
+    metrics_.incr("fault.failover_events");
   }
 
   void do_restart(std::uint32_t m) {
@@ -620,6 +660,11 @@ class ThreadRun {
             if (!group_->exhausted(c.spec.server_rank)) {
               c.promote_at = since_start_.seconds() + cfg_.failover_detect_seconds;
               c.phase = 3;
+              // Failover lifecycle bracket: starts at crash detection, ends
+              // when do_promote() finishes the handoff (trace_export renders
+              // both as instant events on the victim/successor tracks).
+              record_event("failover_start", group_ ? group_->head_node(c.spec.server_rank)
+                                                    : server_node(c.spec.server_rank));
             } else {
               c.phase = 2;  // chain exhausted: shard stays down
               FPS_LOG(Warn) << "shard " << c.spec.server_rank
@@ -826,6 +871,31 @@ class ThreadRun {
       r.extra["sparse_retries"] = static_cast<double>(sparse_retries);
       r.extra["sparse_parked_pulls"] = static_cast<double>(parked);
     }
+    // --- telemetry (src/obs, DESIGN.md §12) -------------------------------
+    if (telemetry_ != nullptr) {
+      if (snapshotter_) {
+        snapshotter_->stop();  // final partial interval flushes here
+        r.telemetry_intervals =
+            static_cast<std::int64_t>(snapshotter_->intervals_written());
+      }
+      if (telemetry_->spans != nullptr) {
+        r.spans = telemetry_->spans->drain();
+        const std::uint64_t dropped = telemetry_->spans->dropped();
+        if (dropped > 0) {
+          metrics_.incr("obs.spans_dropped", static_cast<std::int64_t>(dropped));
+        }
+        r.extra["telemetry_spans"] = static_cast<double>(r.spans.size());
+        r.extra["telemetry_span_allocs"] =
+            static_cast<double>(telemetry_->spans->allocations());
+      }
+      r.extra["telemetry_instrument_allocs"] =
+          static_cast<double>(metrics_.registry().instrument_allocations());
+      r.prometheus = obs::render_prometheus(
+          metrics_.registry(), {{"arch", to_string(cfg_.arch)},
+                                {"backend", to_string(cfg_.backend)},
+                                {"sync", cfg_.sync.kind},
+                                {"seed", std::to_string(cfg_.seed)}});
+    }
     r.counters = metrics_.counters();
     {
       std::scoped_lock lock(fault_mu_);
@@ -858,6 +928,14 @@ class ThreadRun {
   std::unique_ptr<fault::FaultyTransport> chaos_;  ///< set iff cfg.faults.any()
   net::Transport* bus_ = nullptr;  ///< the transport everyone actually talks to
   Metrics metrics_;
+  // --- telemetry (src/obs) ----------------------------------------------
+  // Declared before the components so every cached instrument/recorder
+  // pointer they hold outlives them. telemetry_ is null when disabled —
+  // recording sites then cost one predicted branch.
+  obs::SpanRecorder span_recorder_;
+  obs::Telemetry telemetry_handle_;
+  obs::Telemetry* telemetry_ = nullptr;
+  std::unique_ptr<obs::Snapshotter> snapshotter_;
   bool reliable_ = false;
   bool checkpointing_ = false;
   bool ckpt_dir_ready_ = false;

@@ -1,5 +1,7 @@
 #include "core/trace_export.h"
 
+#include <algorithm>
+#include <cstdint>
 #include <fstream>
 #include <sstream>
 
@@ -26,10 +28,51 @@ void append_instant(std::ostringstream& os, bool& first, const FaultEvent& e) {
      << e.node << "}}";
 }
 
+// Telemetry spans live in their own process (pid 1) so the viewer groups
+// them apart from the per-worker iteration timeline. One track per runtime
+// node; parent/child span ids ride in args so the worker→server→replica
+// chain can be followed (and asserted by the CI smoke) hop by hop.
+void append_span(std::ostringstream& os, bool& first, const obs::SpanRecord& s) {
+  if (!first) os << ",\n";
+  first = false;
+  const double ts_us = static_cast<double>(s.start_ns) / 1e3;
+  if (s.end_ns == s.start_ns) {
+    os << R"(  {"name": ")" << s.name << R"(", "cat": "span", "ph": "i", "s": "t", "pid": 1, )"
+       << R"("tid": )" << s.node << R"(, "ts": )" << ts_us << R"(, "args": {"trace": )"
+       << s.trace_id << R"(, "span": )" << s.span_id << R"(, "parent": )" << s.parent_id
+       << "}}";
+    return;
+  }
+  const double dur_us = static_cast<double>(s.end_ns - s.start_ns) / 1e3;
+  os << R"(  {"name": ")" << s.name << R"(", "cat": "span", "ph": "X", "pid": 1, "tid": )"
+     << s.node << R"(, "ts": )" << ts_us << R"(, "dur": )" << dur_us
+     << R"(, "args": {"trace": )" << s.trace_id << R"(, "span": )" << s.span_id
+     << R"(, "parent": )" << s.parent_id << "}}";
+}
+
+void append_span_metadata(std::ostringstream& os, bool& first,
+                          const std::vector<obs::SpanRecord>& spans) {
+  if (spans.empty()) return;
+  if (!first) os << ",\n";
+  first = false;
+  os << R"(  {"name": "process_name", "ph": "M", "pid": 1, )"
+     << R"("args": {"name": "telemetry spans"}})";
+  std::vector<std::uint32_t> nodes;
+  for (const auto& s : spans) nodes.push_back(s.node);
+  std::sort(nodes.begin(), nodes.end());
+  nodes.erase(std::unique(nodes.begin(), nodes.end()), nodes.end());
+  for (const std::uint32_t n : nodes) {
+    os << ",\n"
+       << R"(  {"name": "thread_name", "ph": "M", "pid": 1, "tid": )" << n
+       << R"(, "args": {"name": "node )" << n << R"("}})";
+  }
+}
+
 }  // namespace
 
 std::string to_chrome_trace_json(const std::vector<IterationTrace>& trace,
-                                 const std::vector<FaultEvent>& fault_events) {
+                                 const std::vector<FaultEvent>& fault_events,
+                                 const std::vector<obs::SpanRecord>& spans) {
   std::ostringstream os;
   os << "{\"traceEvents\": [\n";
   bool first = true;
@@ -38,15 +81,18 @@ std::string to_chrome_trace_json(const std::vector<IterationTrace>& trace,
     append_event(os, first, "sync", t.worker, t.compute_end, t.sync_end, t.iter);
   }
   for (const auto& e : fault_events) append_instant(os, first, e);
+  append_span_metadata(os, first, spans);
+  for (const auto& s : spans) append_span(os, first, s);
   os << "\n], \"displayTimeUnit\": \"ms\"}\n";
   return os.str();
 }
 
 bool write_chrome_trace(const std::string& path, const std::vector<IterationTrace>& trace,
-                        const std::vector<FaultEvent>& fault_events) {
+                        const std::vector<FaultEvent>& fault_events,
+                        const std::vector<obs::SpanRecord>& spans) {
   std::ofstream f(path);
   if (!f) return false;
-  f << to_chrome_trace_json(trace, fault_events);
+  f << to_chrome_trace_json(trace, fault_events, spans);
   return static_cast<bool>(f);
 }
 

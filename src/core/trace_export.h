@@ -2,13 +2,18 @@
 // (chrome://tracing / https://ui.perfetto.dev): each worker is a track with
 // alternating "compute" and "sync" spans, giving the paper's Fig 5 timeline
 // as an interactive visualization. Fault-lifecycle events (crash, restart,
-// checkpoint, recovered) overlay the timeline as global instant events.
+// checkpoint, recovered, failover, promote, redial) overlay the timeline as
+// instant events, and cross-hop telemetry spans (DESIGN.md §12) render as a
+// second process ("spans", pid 1) with one track per runtime node — the
+// worker→server→replica round trip nests via parent/child span ids carried
+// in each event's args.
 #pragma once
 
 #include <string>
 #include <vector>
 
 #include "core/experiment.h"
+#include "obs/span.h"
 
 namespace fluentps::core {
 
@@ -16,10 +21,12 @@ namespace fluentps::core {
 /// for compute/sync spans, "i" instant events for faults; timestamps in
 /// microseconds).
 std::string to_chrome_trace_json(const std::vector<IterationTrace>& trace,
-                                 const std::vector<FaultEvent>& fault_events = {});
+                                 const std::vector<FaultEvent>& fault_events = {},
+                                 const std::vector<obs::SpanRecord>& spans = {});
 
 /// Write the JSON to a file; returns false on I/O error.
 bool write_chrome_trace(const std::string& path, const std::vector<IterationTrace>& trace,
-                        const std::vector<FaultEvent>& fault_events = {});
+                        const std::vector<FaultEvent>& fault_events = {},
+                        const std::vector<obs::SpanRecord>& spans = {});
 
 }  // namespace fluentps::core

@@ -229,7 +229,16 @@ net::Message SparseHost::make_replicate(std::uint64_t lsn, std::uint32_t worker_
 void SparseHost::bump_tenant(std::uint32_t table_id, const char* counter,
                              std::int64_t delta) {
   if (metrics_ == nullptr) return;
-  metrics_->incr("tenant." + core_->registry().at(table_id).name + "." + counter, delta);
+  // Callers pass string literals, so the string_view key stays valid; the
+  // name concatenation and registry lookup happen once per (table, counter).
+  const std::pair<std::uint32_t, std::string_view> key{table_id, counter};
+  auto it = tenant_cache_.find(key);
+  if (it == tenant_cache_.end()) {
+    obs::Counter& c = metrics_->registry().counter(
+        "tenant." + core_->registry().at(table_id).name + "." + counter);
+    it = tenant_cache_.emplace(key, &c).first;
+  }
+  it->second->add(delta);
 }
 
 void SparseHost::adopt(SparseReleasedState&& state) {

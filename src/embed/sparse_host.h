@@ -28,6 +28,8 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <string_view>
+#include <utility>
 #include <vector>
 
 #include "common/metrics.h"
@@ -127,6 +129,12 @@ class SparseHost {
   replica::ReplicationLog log_;
   QosArbiter arbiter_;
   std::map<std::uint64_t, ParkedPull> parked_;  ///< ticket-ordered (deterministic)
+
+  /// Cached tenant.<name>.<counter> handles: the "tenant." + name + "." +
+  /// counter concatenation (two heap allocations per bump) runs once per
+  /// (table, counter); after that a bump is one wait-free Counter::add.
+  /// Only touched on the host's serialized dispatch context.
+  std::map<std::pair<std::uint32_t, std::string_view>, obs::Counter*> tenant_cache_;
 
   std::int64_t dedup_hits_ = 0;
   std::int64_t pushes_ingested_ = 0;

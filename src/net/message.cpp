@@ -52,8 +52,6 @@ inline T load(const std::uint8_t* src) noexcept {
 
 void Message::serialize_header(std::uint8_t* dst) const noexcept {
   const std::uint8_t t = static_cast<std::uint8_t>(type);
-  const std::uint32_t zero32 = 0;
-  const std::uint64_t zero64 = 0;
   const std::uint64_t count = values.size();
   dst[0] = t;
   dst[1] = dst[2] = dst[3] = 0;  // padding — keep frames byte-deterministic
@@ -64,9 +62,9 @@ void Message::serialize_header(std::uint8_t* dst) const noexcept {
   store_bytes(dst + 28, &progress, 8);
   store_bytes(dst + 36, &worker_rank, 4);
   store_bytes(dst + 40, &server_rank, 4);
-  store_bytes(dst + 44, &zero32, 4);
+  store_bytes(dst + 44, &span_id, 4);
   store_bytes(dst + 48, &count, 8);
-  store_bytes(dst + 56, &zero64, 8);  // pad to a 64-byte (cache-line) header
+  store_bytes(dst + 56, &trace_id, 8);  // header stays one 64-byte cache line
 }
 
 std::vector<std::uint8_t> Message::serialize() const {
@@ -120,6 +118,8 @@ bool parse_header(const std::uint8_t* data, std::size_t size, Message* m,
   m->progress = load<std::int64_t>(data + 28);
   m->worker_rank = load<std::uint32_t>(data + 36);
   m->server_rank = load<std::uint32_t>(data + 40);
+  m->span_id = load<std::uint32_t>(data + 44);
+  m->trace_id = load<std::uint64_t>(data + 56);
   *value_count = static_cast<std::size_t>(count);
   return true;
 }

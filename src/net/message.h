@@ -19,10 +19,14 @@
 //   [28] progress    i64
 //   [36] worker_rank u32
 //   [40] server_rank u32
-//   [44] (reserved)  u32     zero
+//   [44] span_id     u32     telemetry: parent span for the next hop (0 = none)
 //   [48] value_count u64
-//   [56] (reserved)  u64     zero — pads the header to one cache line
+//   [56] trace_id    u64     telemetry: groups one push round trip (0 = none)
 //   [64] values      f32 × value_count
+//
+// The two telemetry fields live in what used to be reserved zero padding, so
+// the header stays exactly one cache line and frames without tracing are
+// byte-identical to the pre-telemetry layout (both fields default to 0).
 //
 // The header is exactly 64 bytes on purpose: the payload then starts on a
 // cache-line boundary whenever the frame buffer is cache-line aligned, and —
@@ -97,6 +101,8 @@ struct Message {
   std::int64_t progress = 0;     ///< sender worker's iteration (Algorithm 1)
   std::uint32_t worker_rank = 0; ///< logical worker index [0, N)
   std::uint32_t server_rank = 0; ///< logical server index [0, M)
+  std::uint64_t trace_id = 0;    ///< telemetry: one id per traced push round trip
+  std::uint32_t span_id = 0;     ///< telemetry: span the receiving hop parents on
   Payload values;                ///< gradients (kPush) or parameters (kPullResp)
 
   /// Size this message would occupy on the wire: header + payload. Control

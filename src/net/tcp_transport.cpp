@@ -260,6 +260,7 @@ std::shared_ptr<TcpTransport::Peer> TcpTransport::peer_for(const std::string& ho
       return nullptr;
     }
     connect_retries_.fetch_add(1, std::memory_order_relaxed);
+    if (retry_counter_ != nullptr) retry_counter_->add(1);
     std::this_thread::sleep_for(std::chrono::duration<double>(timeout));
   }
   const int one = 1;
@@ -321,6 +322,7 @@ void TcpTransport::redial_loop() {
     for (const auto& [key, endpoint] : batch) {
       if (peer_for(endpoint.first, endpoint.second) != nullptr) {
         reconnects_.fetch_add(1, std::memory_order_relaxed);
+        if (reconnect_counter_ != nullptr) reconnect_counter_->add(1);
         FPS_LOG(Info) << "tcp: background re-dial to " << key << " succeeded";
       } else {
         still_down.emplace(key, endpoint);
@@ -339,6 +341,16 @@ void TcpTransport::redial_loop() {
 void TcpTransport::set_retry_policy(const fault::RetryPolicy& policy) {
   std::scoped_lock lock(mu_);
   retry_ = policy;
+}
+
+void TcpTransport::set_telemetry(obs::Registry* registry) {
+  if (registry == nullptr) {
+    retry_counter_ = nullptr;
+    reconnect_counter_ = nullptr;
+    return;
+  }
+  retry_counter_ = &registry->counter("net.redial_attempts");
+  reconnect_counter_ = &registry->counter("net.reconnects");
 }
 
 void TcpTransport::send_hellos(Peer& peer) {

@@ -37,6 +37,7 @@
 #include "common/rng.h"
 #include "fault/retry_policy.h"
 #include "net/transport.h"
+#include "obs/telemetry.h"
 
 namespace fluentps::net {
 
@@ -81,6 +82,13 @@ class TcpTransport final : public Transport {
   /// attempts, 0.25 s → 1 s). max_timeout doubles as SO_SNDTIMEO on
   /// established connections. Set before the first remote send.
   void set_retry_policy(const fault::RetryPolicy& policy);
+
+  /// Attach a telemetry registry: dial-ladder retries and background re-dial
+  /// successes are additionally recorded as net.redial_attempts /
+  /// net.reconnects counters (connection-lifecycle events on the fault
+  /// timeline). Call before the first remote send; the registry must outlive
+  /// the transport. nullptr detaches.
+  void set_telemetry(obs::Registry* registry);
 
   [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
   [[nodiscard]] std::uint64_t frames_sent() const noexcept;
@@ -159,6 +167,11 @@ class TcpTransport final : public Transport {
   std::atomic<std::uint64_t> recv_bytes_moved_{0};
   std::atomic<std::uint64_t> connect_retries_{0};
   std::atomic<std::uint64_t> reconnects_{0};
+
+  // Optional telemetry handles (set_telemetry before traffic; Counter::add is
+  // wait-free, so the dial ladder and redialer can bump them from any thread).
+  obs::Counter* retry_counter_ = nullptr;      // net.redial_attempts
+  obs::Counter* reconnect_counter_ = nullptr;  // net.reconnects
 };
 
 }  // namespace fluentps::net

@@ -1,0 +1,283 @@
+#include "obs/snapshot.h"
+
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+
+namespace fluentps::obs {
+
+namespace {
+
+void append_double(std::string& out, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  out += buf;
+}
+
+void append_json_string(std::string& out, std::string_view s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  out += '"';
+}
+
+std::string sanitize_prom(std::string_view name) {
+  std::string out;
+  out.reserve(name.size());
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+std::string render_labels(
+    const std::vector<std::pair<std::string, std::string>>& labels) {
+  if (labels.empty()) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += sanitize_prom(k);
+    out += "=\"";
+    out += v;
+    out += '"';
+  }
+  out += '}';
+  return out;
+}
+
+// "tenant.<name>.<rest>" -> {tenant_<rest>, <name>}; otherwise
+// {sanitized original, ""}.
+std::pair<std::string, std::string> split_tenant(std::string_view name) {
+  constexpr std::string_view kPrefix = "tenant.";
+  if (name.size() > kPrefix.size() &&
+      name.substr(0, kPrefix.size()) == kPrefix) {
+    std::string_view rest = name.substr(kPrefix.size());
+    std::size_t dot = rest.find('.');
+    if (dot != std::string_view::npos && dot > 0 && dot + 1 < rest.size()) {
+      return {"tenant_" + sanitize_prom(rest.substr(dot + 1)),
+              std::string(rest.substr(0, dot))};
+    }
+  }
+  return {sanitize_prom(name), ""};
+}
+
+}  // namespace
+
+std::string render_jsonl_interval(
+    std::uint64_t interval_index, double t_s, double dt_s,
+    const std::vector<std::pair<std::string, std::int64_t>>& counter_deltas,
+    const std::vector<std::pair<std::string, double>>& gauges,
+    const std::vector<std::pair<std::string, HistogramSnapshot>>&
+        hist_deltas) {
+  std::string out;
+  out.reserve(256);
+  out += "{\"interval\":";
+  out += std::to_string(interval_index);
+  out += ",\"t_s\":";
+  append_double(out, t_s);
+  out += ",\"dt_s\":";
+  append_double(out, dt_s);
+  out += ",\"counters\":{";
+  bool first = true;
+  for (const auto& [name, delta] : counter_deltas) {
+    if (delta == 0) continue;
+    if (!first) out += ',';
+    first = false;
+    append_json_string(out, name);
+    out += ':';
+    out += std::to_string(delta);
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, v] : gauges) {
+    if (!first) out += ',';
+    first = false;
+    append_json_string(out, name);
+    out += ':';
+    append_double(out, v);
+  }
+  out += "},\"hist\":{";
+  first = true;
+  for (const auto& [name, h] : hist_deltas) {
+    if (h.total() == 0) continue;
+    if (!first) out += ',';
+    first = false;
+    append_json_string(out, name);
+    out += ":{\"n\":";
+    out += std::to_string(h.total());
+    out += ",\"sum\":";
+    out += std::to_string(h.sum);
+    out += ",\"buckets\":{";
+    bool bfirst = true;
+    for (std::size_t b = 0; b < kHistBuckets; ++b) {
+      if (h.counts[b] == 0) continue;
+      if (!bfirst) out += ',';
+      bfirst = false;
+      out += '"';
+      out += std::to_string(b);
+      out += "\":";
+      out += std::to_string(h.counts[b]);
+    }
+    out += "}}";
+  }
+  out += "}}";
+  return out;
+}
+
+std::string render_prometheus(
+    const Registry& reg,
+    const std::vector<std::pair<std::string, std::string>>& run_labels) {
+  std::string out;
+  out += "# fluentps telemetry dump (Prometheus text exposition format)\n";
+  out += "# latency histogram values are nanoseconds\n";
+
+  auto labels_for = [&](const std::string& tenant) {
+    std::vector<std::pair<std::string, std::string>> ls;
+    if (!tenant.empty()) ls.emplace_back("tenant", tenant);
+    for (const auto& l : run_labels) ls.push_back(l);
+    return render_labels(ls);
+  };
+
+  for (const auto& [name, value] : reg.counters()) {
+    auto [metric, tenant] = split_tenant(name);
+    std::string full = "fluentps_" + metric;
+    out += "# TYPE " + full + " counter\n";
+    out += full + labels_for(tenant) + " " + std::to_string(value) + "\n";
+  }
+  for (const auto& [name, value] : reg.gauges()) {
+    auto [metric, tenant] = split_tenant(name);
+    std::string full = "fluentps_" + metric;
+    out += "# TYPE " + full + " gauge\n";
+    out += full + labels_for(tenant) + " ";
+    append_double(out, value);
+    out += "\n";
+  }
+  for (const auto& [name, snap] : reg.histograms()) {
+    auto [metric, tenant] = split_tenant(name);
+    std::string full = "fluentps_" + metric;
+    out += "# TYPE " + full + " histogram\n";
+    std::vector<std::pair<std::string, std::string>> base;
+    if (!tenant.empty()) base.emplace_back("tenant", tenant);
+    for (const auto& l : run_labels) base.push_back(l);
+    std::uint64_t cum = 0;
+    for (std::size_t b = 0; b < kHistBuckets; ++b) {
+      if (snap.counts[b] == 0) continue;
+      cum += snap.counts[b];
+      auto ls = base;
+      ls.emplace_back("le", b + 1 < kHistBuckets
+                                ? std::to_string(Histogram::bucket_hi(
+                                      static_cast<std::uint32_t>(b)))
+                                : "+Inf");
+      out += full + "_bucket" + render_labels(ls) + " " +
+             std::to_string(cum) + "\n";
+    }
+    {
+      auto ls = base;
+      ls.emplace_back("le", "+Inf");
+      out += full + "_bucket" + render_labels(ls) + " " +
+             std::to_string(snap.total()) + "\n";
+    }
+    out += full + "_sum" + labels_for(tenant) + " " +
+           std::to_string(snap.sum) + "\n";
+    out += full + "_count" + labels_for(tenant) + " " +
+           std::to_string(snap.total()) + "\n";
+  }
+  return out;
+}
+
+Snapshotter::Snapshotter(Registry& reg, std::uint32_t interval_ms,
+                         std::string jsonl_path)
+    : reg_(reg),
+      interval_ms_(interval_ms == 0 ? 1 : interval_ms),
+      path_(std::move(jsonl_path)) {}
+
+Snapshotter::~Snapshotter() { stop(); }
+
+void Snapshotter::start() {
+  std::lock_guard lk(mu_);
+  if (started_) return;
+  started_ = true;
+  stop_requested_ = false;
+  out_.open(path_, std::ios::out | std::ios::trunc);
+  start_ns_ = now_ns();
+  last_ns_ = start_ns_;
+  thread_ = std::thread([this] { run_loop(); });
+}
+
+void Snapshotter::stop() {
+  {
+    std::lock_guard lk(mu_);
+    if (!started_) return;
+    stop_requested_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  // Final partial interval so the tail of the run is not lost.
+  tick(now_ns());
+  out_.flush();
+  out_.close();
+  std::lock_guard lk(mu_);
+  started_ = false;
+}
+
+void Snapshotter::run_loop() {
+  std::unique_lock lk(mu_);
+  while (!stop_requested_) {
+    cv_.wait_for(lk, std::chrono::milliseconds(interval_ms_),
+                 [this] { return stop_requested_; });
+    if (stop_requested_) break;
+    lk.unlock();
+    tick(now_ns());
+    lk.lock();
+  }
+}
+
+void Snapshotter::tick(std::uint64_t now_abs_ns) {
+  auto counters = reg_.counters();
+  auto gauges = reg_.gauges();
+  auto hists = reg_.histograms();
+
+  std::vector<std::pair<std::string, std::int64_t>> counter_deltas;
+  counter_deltas.reserve(counters.size());
+  for (auto& [name, v] : counters) {
+    std::int64_t& prev = prev_counters_[name];
+    counter_deltas.emplace_back(name, v - prev);
+    prev = v;
+  }
+  std::vector<std::pair<std::string, HistogramSnapshot>> hist_deltas;
+  hist_deltas.reserve(hists.size());
+  for (auto& [name, snap] : hists) {
+    HistogramSnapshot& prev = prev_hists_[name];
+    HistogramSnapshot d;
+    for (std::size_t b = 0; b < kHistBuckets; ++b) {
+      d.counts[b] = snap.counts[b] - prev.counts[b];
+    }
+    d.sum = snap.sum - prev.sum;
+    hist_deltas.emplace_back(name, d);
+    prev = snap;
+  }
+
+  const double t_s = static_cast<double>(now_abs_ns - start_ns_) * 1e-9;
+  const double dt_s = static_cast<double>(now_abs_ns - last_ns_) * 1e-9;
+  last_ns_ = now_abs_ns;
+  const std::uint64_t idx =
+      intervals_.fetch_add(1, std::memory_order_relaxed);
+  if (out_.is_open()) {
+    out_ << render_jsonl_interval(idx, t_s, dt_s, counter_deltas, gauges,
+                                  hist_deltas)
+         << "\n";
+    out_.flush();
+  }
+}
+
+}  // namespace fluentps::obs

@@ -1,0 +1,94 @@
+#pragma once
+// Time-series export (DESIGN.md §12).
+//
+// The Snapshotter is a background thread that wakes every interval_ms,
+// snapshots the Registry, and appends the *delta* since the previous
+// interval as one JSONL line — so a run produces a small time series
+// (counter rates, gauge values, histogram bucket increments) that can
+// be plotted or diffed without any in-process aggregation windows. At
+// stop() it flushes a final partial interval. A separate one-shot
+// Prometheus text-exposition dump (render_prometheus) serializes the
+// cumulative end-of-run state with run-level labels (sync mode,
+// backend, seed) and per-tenant labels split out of the
+// "tenant.<name>.*" metric namespace.
+//
+// The render functions are free-standing so tests can check the exact
+// schemas without spinning up the thread.
+
+#include <condition_variable>
+#include <cstdint>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "obs/telemetry.h"
+
+namespace fluentps::obs {
+
+// One JSONL interval line. Counter/histogram entries are deltas over
+// the interval (zero deltas omitted); gauges are sampled values.
+std::string render_jsonl_interval(
+    std::uint64_t interval_index, double t_s, double dt_s,
+    const std::vector<std::pair<std::string, std::int64_t>>& counter_deltas,
+    const std::vector<std::pair<std::string, double>>& gauges,
+    const std::vector<std::pair<std::string, HistogramSnapshot>>& hist_deltas);
+
+// Cumulative dump in Prometheus text exposition format. Metric names
+// are sanitized to [a-zA-Z0-9_:] and prefixed "fluentps_";
+// "tenant.<name>.<rest>" counters become fluentps_tenant_<rest> with a
+// tenant="<name>" label; histograms emit the classic cumulative
+// _bucket{le=...}/_sum/_count triple using the log2 bucket upper edges
+// (values in nanoseconds).
+std::string render_prometheus(
+    const Registry& reg,
+    const std::vector<std::pair<std::string, std::string>>& run_labels);
+
+class Snapshotter {
+ public:
+  Snapshotter(Registry& reg, std::uint32_t interval_ms,
+              std::string jsonl_path);
+  ~Snapshotter();
+
+  Snapshotter(const Snapshotter&) = delete;
+  Snapshotter& operator=(const Snapshotter&) = delete;
+
+  void start();
+  void stop();  // idempotent; joins the thread and flushes the tail
+
+  std::uint64_t intervals_written() const noexcept {
+    return intervals_.load(std::memory_order_relaxed);
+  }
+
+  // Interval math: full intervals in run_ms plus the final stop()
+  // flush. Pure so tests can pin it down exactly.
+  static std::uint64_t expected_intervals(std::uint64_t run_ms,
+                                          std::uint32_t interval_ms) noexcept {
+    if (interval_ms == 0) interval_ms = 1;
+    return run_ms / interval_ms + 1;
+  }
+
+ private:
+  void run_loop();
+  void tick(std::uint64_t now_abs_ns);
+
+  Registry& reg_;
+  const std::uint32_t interval_ms_;
+  const std::string path_;
+  std::ofstream out_;
+  std::map<std::string, std::int64_t> prev_counters_;
+  std::map<std::string, HistogramSnapshot> prev_hists_;
+  std::uint64_t start_ns_ = 0;
+  std::uint64_t last_ns_ = 0;
+  std::atomic<std::uint64_t> intervals_{0};
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_requested_ = false;
+  bool started_ = false;
+  std::thread thread_;
+};
+
+}  // namespace fluentps::obs

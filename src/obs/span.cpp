@@ -1,0 +1,83 @@
+#include "obs/span.h"
+
+#include <algorithm>
+
+#include "obs/telemetry.h"
+
+namespace fluentps::obs {
+
+namespace {
+std::atomic<std::uint64_t> g_next_recorder_id{1};
+}  // namespace
+
+SpanRecorder::SpanRecorder(std::size_t capacity_per_thread)
+    : capacity_(capacity_per_thread == 0 ? 1 : capacity_per_thread),
+      epoch_ns_(now_ns()),
+      recorder_id_(g_next_recorder_id.fetch_add(1, std::memory_order_relaxed)) {
+}
+
+SpanRecorder::Buf* SpanRecorder::this_thread_buf() noexcept {
+  // Cache keyed by a monotonically increasing recorder id rather than
+  // `this` — a later recorder could be allocated at the same address,
+  // and a pointer-equality cache would then hand its buffer to the
+  // wrong recorder (classic ABA).
+  struct Slot {
+    std::uint64_t recorder_id = 0;
+    Buf* buf = nullptr;
+  };
+  thread_local Slot slot;
+  if (slot.recorder_id == recorder_id_) return slot.buf;
+
+  auto buf = std::make_unique<Buf>();
+  buf->records.reserve(capacity_);
+  Buf* raw = buf.get();
+  {
+    std::lock_guard lk(mu_);
+    bufs_.push_back(std::move(buf));
+  }
+  allocations_.fetch_add(1, std::memory_order_relaxed);
+  slot.recorder_id = recorder_id_;
+  slot.buf = raw;
+  return raw;
+}
+
+void SpanRecorder::emit(std::uint64_t trace_id, std::uint32_t span_id,
+                        std::uint32_t parent_id, const char* name,
+                        std::uint32_t node, std::uint64_t start_abs_ns,
+                        std::uint64_t end_abs_ns) noexcept {
+  Buf* buf = this_thread_buf();
+  if (buf->records.size() >= capacity_) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  SpanRecord r;
+  r.trace_id = trace_id;
+  r.span_id = span_id;
+  r.parent_id = parent_id;
+  r.name = name;
+  r.node = node;
+  r.start_ns = start_abs_ns > epoch_ns_ ? start_abs_ns - epoch_ns_ : 0;
+  r.end_ns = end_abs_ns > epoch_ns_ ? end_abs_ns - epoch_ns_ : 0;
+  if (r.end_ns < r.start_ns) r.end_ns = r.start_ns;
+  buf->records.push_back(r);
+}
+
+std::vector<SpanRecord> SpanRecorder::drain() {
+  std::lock_guard lk(mu_);
+  std::vector<SpanRecord> out;
+  std::size_t total = 0;
+  for (const auto& b : bufs_) total += b->records.size();
+  out.reserve(total);
+  for (auto& b : bufs_) {
+    out.insert(out.end(), b->records.begin(), b->records.end());
+    b->records.clear();
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SpanRecord& a, const SpanRecord& b) {
+              if (a.start_ns != b.start_ns) return a.start_ns < b.start_ns;
+              return a.span_id < b.span_id;
+            });
+  return out;
+}
+
+}  // namespace fluentps::obs

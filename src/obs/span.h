@@ -1,0 +1,95 @@
+#pragma once
+// Cross-hop span capture (DESIGN.md §12).
+//
+// A (trace_id, span_id) pair rides in the reserved bytes of the 64-byte
+// wire header (net/message.h: span_id at offset 44, trace_id at 56), so
+// one worker push can be followed server-side through ring enqueue,
+// combiner drain, stripe apply, kReplicate, the tail's ack, and finally
+// the worker's ack — each hop emits a SpanRecord whose parent_id is the
+// span it continues. trace_id groups the whole round trip; span ids are
+// unique within a run (a single global allocator).
+//
+// Recording is designed for the same budget as the counters: a thread
+// registers a fixed-capacity buffer once (the only allocation, counted
+// by allocations()), then emit() is push_back into reserved storage —
+// no locks, no allocation, drops counted on overflow. drain() runs
+// after the worker/server threads have joined.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace fluentps::obs {
+
+struct SpanRecord {
+  std::uint64_t trace_id = 0;
+  std::uint32_t span_id = 0;
+  std::uint32_t parent_id = 0;  // 0 = root
+  const char* name = "";        // static string literal only
+  std::uint32_t node = 0;       // runtime node id of the emitting hop
+  std::uint64_t start_ns = 0;   // relative to the recorder's epoch
+  std::uint64_t end_ns = 0;     // == start_ns for instant events
+};
+
+class SpanRecorder {
+ public:
+  explicit SpanRecorder(std::size_t capacity_per_thread = 32768);
+
+  // Id allocators; both start at 1 so 0 stays "no trace"/"no parent".
+  std::uint32_t next_span_id() noexcept {
+    return next_span_.fetch_add(1, std::memory_order_relaxed);
+  }
+  std::uint64_t next_trace_id() noexcept {
+    return next_trace_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  std::uint64_t epoch_ns() const noexcept { return epoch_ns_; }
+
+  // Record a span whose start/end are absolute now_ns() stamps; the
+  // epoch is subtracted here. Wait-free after this thread's first call.
+  void emit(std::uint64_t trace_id, std::uint32_t span_id,
+            std::uint32_t parent_id, const char* name, std::uint32_t node,
+            std::uint64_t start_abs_ns, std::uint64_t end_abs_ns) noexcept;
+
+  // Convenience for zero-duration marks (promotion, acks, faults).
+  void emit_instant(std::uint64_t trace_id, std::uint32_t span_id,
+                    std::uint32_t parent_id, const char* name,
+                    std::uint32_t node, std::uint64_t at_abs_ns) noexcept {
+    emit(trace_id, span_id, parent_id, name, node, at_abs_ns, at_abs_ns);
+  }
+
+  // Concatenate every thread's buffer, sorted by start time. Callers
+  // must have joined all emitting threads first.
+  std::vector<SpanRecord> drain();
+
+  std::uint64_t dropped() const noexcept {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+  // Number of per-thread buffer registrations — the only allocations
+  // this recorder ever performs (the steady-state proof counter).
+  std::uint64_t allocations() const noexcept {
+    return allocations_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Buf {
+    std::vector<SpanRecord> records;  // reserved to capacity up front
+  };
+
+  Buf* this_thread_buf() noexcept;
+
+  const std::size_t capacity_;
+  const std::uint64_t epoch_ns_;
+  const std::uint64_t recorder_id_;  // global monotonic, never reused
+  std::atomic<std::uint32_t> next_span_{1};
+  std::atomic<std::uint64_t> next_trace_{1};
+  std::atomic<std::uint64_t> dropped_{0};
+  std::atomic<std::uint64_t> allocations_{0};
+  std::mutex mu_;  // guards bufs_ (registration + drain only)
+  std::vector<std::unique_ptr<Buf>> bufs_;
+};
+
+}  // namespace fluentps::obs

@@ -1,0 +1,119 @@
+#include "obs/telemetry.h"
+
+#include <chrono>
+#include <mutex>
+
+namespace fluentps::obs {
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+namespace {
+std::atomic<std::uint32_t> g_next_slot{0};
+}  // namespace
+
+std::uint32_t this_thread_slot() noexcept {
+  thread_local std::uint32_t slot =
+      g_next_slot.fetch_add(1, std::memory_order_relaxed);
+  return slot;
+}
+
+template <class T>
+T& Registry::find_or_create(NameMap<T>& map, std::string_view name) {
+  {
+    std::shared_lock lk(mu_);
+    auto it = map.find(name);
+    if (it != map.end()) return *it->second;
+  }
+  std::unique_lock lk(mu_);
+  auto it = map.find(name);
+  if (it != map.end()) return *it->second;
+  auto [pos, inserted] =
+      map.emplace(std::string(name), std::make_unique<T>());
+  if (inserted) allocations_.fetch_add(1, std::memory_order_relaxed);
+  return *pos->second;
+}
+
+template <class T>
+const T* Registry::find_in(const NameMap<T>& map,
+                           std::string_view name) const {
+  std::shared_lock lk(mu_);
+  auto it = map.find(name);
+  return it == map.end() ? nullptr : it->second.get();
+}
+
+Counter& Registry::counter(std::string_view name) {
+  return find_or_create(counters_, name);
+}
+Gauge& Registry::gauge(std::string_view name) {
+  return find_or_create(gauges_, name);
+}
+Histogram& Registry::histogram(std::string_view name) {
+  return find_or_create(histograms_, name);
+}
+
+const Counter* Registry::find_counter(std::string_view name) const {
+  return find_in(counters_, name);
+}
+const Gauge* Registry::find_gauge(std::string_view name) const {
+  return find_in(gauges_, name);
+}
+const Histogram* Registry::find_histogram(std::string_view name) const {
+  return find_in(histograms_, name);
+}
+
+std::vector<std::pair<std::string, std::int64_t>> Registry::counters() const {
+  std::shared_lock lk(mu_);
+  std::vector<std::pair<std::string, std::int64_t>> out;
+  out.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) {
+    if (c->touched()) out.emplace_back(name, c->value());
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, double>> Registry::gauges() const {
+  std::shared_lock lk(mu_);
+  std::vector<std::pair<std::string, double>> out;
+  out.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) {
+    if (g->seen()) out.emplace_back(name, g->value());
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, HistogramSnapshot>> Registry::histograms()
+    const {
+  std::shared_lock lk(mu_);
+  std::vector<std::pair<std::string, HistogramSnapshot>> out;
+  out.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    HistogramSnapshot s = h->snapshot();
+    if (s.total() > 0) out.emplace_back(name, s);
+  }
+  return out;
+}
+
+std::int64_t Registry::counter_sum_prefix(std::string_view prefix) const {
+  std::shared_lock lk(mu_);
+  std::int64_t sum = 0;
+  for (auto it = counters_.lower_bound(prefix); it != counters_.end(); ++it) {
+    const std::string& key = it->first;
+    if (key.compare(0, prefix.size(), prefix) != 0) break;
+    if (it->second->touched()) sum += it->second->value();
+  }
+  return sum;
+}
+
+void Registry::reset_values() {
+  std::unique_lock lk(mu_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+}  // namespace fluentps::obs

@@ -1,0 +1,289 @@
+#pragma once
+// Wait-free telemetry substrate (DESIGN.md §12).
+//
+// The PR-7 ingest path (MPSC ring -> PushCombiner -> StripedShard ->
+// RecvBuffer) is lock-free end to end, so it cannot afford the old
+// mutex-guarded std::map metrics registry on its hot paths. This layer
+// splits telemetry into two phases with very different cost budgets:
+//
+//   * record  — wait-free. Each instrument owns a small fixed array of
+//     cache-line-padded atomic cells; a thread picks its cell once (a
+//     thread-local slot id) and records with a single relaxed RMW. No
+//     locks, no allocation, no shared cache line between concurrent
+//     writers in the common case.
+//   * snapshot — slow-path. Aggregating across cells, name lookup for
+//     *registration*, and export all take a shared_mutex and may
+//     allocate; they run on snapshotter/collect threads, never on the
+//     ingest path.
+//
+// Instruments are registered once (find-or-create under the registry
+// lock) and the returned reference is stable for the registry's
+// lifetime, so components cache `Counter&`/`Histogram&` handles at
+// construction and the per-record cost is independent of the metric
+// name. `Registry::instrument_allocations()` counts registrations so
+// tests can prove steady-state recording allocates nothing (the same
+// proof pattern as PR-7's `recv_allocations`).
+//
+// This header is self-contained (standard library only): common/ links
+// against it, so it must not include anything from common/.
+
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace fluentps::obs {
+
+// Monotonic wall time in nanoseconds (steady_clock). All span/histogram
+// timestamps in this subsystem use this clock.
+std::uint64_t now_ns();
+
+// Stable per-thread slot id, assigned round-robin from a process-global
+// counter on first use. Instruments fold it into their cell count.
+std::uint32_t this_thread_slot() noexcept;
+
+inline constexpr std::size_t kCounterCells = 16;
+
+// Sharded monotonic counter. `add` is wait-free: one relaxed fetch_add
+// on this thread's cell. The `touched` flag preserves the old registry
+// semantics where a counter only shows up in snapshots once someone has
+// actually recorded to it (even with delta 0), and disappears again
+// after reset().
+class Counter {
+ public:
+  void add(std::int64_t delta = 1) noexcept {
+    Cell& c = cells_[this_thread_slot() & (kCounterCells - 1)];
+    c.v.fetch_add(delta, std::memory_order_relaxed);
+    if (!c.touched.load(std::memory_order_relaxed)) {
+      c.touched.store(true, std::memory_order_relaxed);
+    }
+  }
+
+  std::int64_t value() const noexcept {
+    std::int64_t sum = 0;
+    for (const Cell& c : cells_) sum += c.v.load(std::memory_order_relaxed);
+    return sum;
+  }
+
+  bool touched() const noexcept {
+    for (const Cell& c : cells_) {
+      if (c.touched.load(std::memory_order_relaxed)) return true;
+    }
+    return false;
+  }
+
+  void reset() noexcept {
+    for (Cell& c : cells_) {
+      c.v.store(0, std::memory_order_relaxed);
+      c.touched.store(false, std::memory_order_relaxed);
+    }
+  }
+
+ private:
+  struct alignas(64) Cell {
+    std::atomic<std::int64_t> v{0};
+    std::atomic<bool> touched{false};
+  };
+  Cell cells_[kCounterCells];
+};
+
+// Last-writer-wins gauge (double stored as bit-cast u64 so a single
+// atomic word carries it). `set_max` keeps the running maximum via CAS;
+// the initial value is -inf so the first set_max simply installs v,
+// matching the old try_emplace-then-max semantics.
+class Gauge {
+ public:
+  void set(double v) noexcept {
+    bits_.store(std::bit_cast<std::uint64_t>(v), std::memory_order_relaxed);
+    seen_.store(true, std::memory_order_relaxed);
+  }
+
+  void set_max(double v) noexcept {
+    std::uint64_t cur = bits_.load(std::memory_order_relaxed);
+    while (std::bit_cast<double>(cur) < v) {
+      if (bits_.compare_exchange_weak(cur, std::bit_cast<std::uint64_t>(v),
+                                      std::memory_order_relaxed)) {
+        break;
+      }
+    }
+    seen_.store(true, std::memory_order_relaxed);
+  }
+
+  double value() const noexcept {
+    return std::bit_cast<double>(bits_.load(std::memory_order_relaxed));
+  }
+
+  bool seen() const noexcept { return seen_.load(std::memory_order_relaxed); }
+
+  void reset() noexcept {
+    bits_.store(std::bit_cast<std::uint64_t>(
+                    -std::numeric_limits<double>::infinity()),
+                std::memory_order_relaxed);
+    seen_.store(false, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> bits_{std::bit_cast<std::uint64_t>(
+      -std::numeric_limits<double>::infinity())};
+  std::atomic<bool> seen_{false};
+};
+
+// Fixed log2 bucket layout: bucket 0 holds exactly {0}; bucket b in
+// [1, 47] covers [2^(b-1), 2^b - 1]; the last bucket absorbs everything
+// >= 2^47 (~39 hours in ns — nothing we time gets there). 49 buckets
+// cover the full latency range with no configuration and no per-record
+// branching beyond a bit_width.
+inline constexpr std::size_t kHistBuckets = 49;
+inline constexpr std::size_t kHistShards = 8;
+
+struct HistogramSnapshot {
+  std::uint64_t counts[kHistBuckets] = {};
+  std::uint64_t sum = 0;
+
+  std::uint64_t total() const noexcept {
+    std::uint64_t n = 0;
+    for (std::uint64_t c : counts) n += c;
+    return n;
+  }
+
+  void merge(const HistogramSnapshot& o) noexcept {
+    for (std::size_t b = 0; b < kHistBuckets; ++b) counts[b] += o.counts[b];
+    sum += o.sum;
+  }
+};
+
+class Histogram {
+ public:
+  static std::uint32_t bucket_of(std::uint64_t v) noexcept {
+    if (v == 0) return 0;
+    std::uint32_t b = static_cast<std::uint32_t>(std::bit_width(v));
+    return b >= kHistBuckets ? static_cast<std::uint32_t>(kHistBuckets - 1) : b;
+  }
+
+  // Inclusive value range of bucket b.
+  static std::uint64_t bucket_lo(std::uint32_t b) noexcept {
+    return b == 0 ? 0 : (std::uint64_t{1} << (b - 1));
+  }
+  static std::uint64_t bucket_hi(std::uint64_t b) noexcept {
+    if (b == 0) return 0;
+    if (b >= kHistBuckets - 1) {
+      return std::numeric_limits<std::uint64_t>::max();
+    }
+    return (std::uint64_t{1} << b) - 1;
+  }
+
+  void record(std::uint64_t v) noexcept {
+    Shard& s = shards_[this_thread_slot() & (kHistShards - 1)];
+    s.counts[bucket_of(v)].fetch_add(1, std::memory_order_relaxed);
+    s.sum.fetch_add(v, std::memory_order_relaxed);
+  }
+
+  HistogramSnapshot snapshot() const noexcept {
+    HistogramSnapshot out;
+    for (const Shard& s : shards_) {
+      for (std::size_t b = 0; b < kHistBuckets; ++b) {
+        out.counts[b] += s.counts[b].load(std::memory_order_relaxed);
+      }
+      out.sum += s.sum.load(std::memory_order_relaxed);
+    }
+    return out;
+  }
+
+  void reset() noexcept {
+    for (Shard& s : shards_) {
+      for (std::size_t b = 0; b < kHistBuckets; ++b) {
+        s.counts[b].store(0, std::memory_order_relaxed);
+      }
+      s.sum.store(0, std::memory_order_relaxed);
+    }
+  }
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<std::uint64_t> counts[kHistBuckets] = {};
+    std::atomic<std::uint64_t> sum{0};
+  };
+  Shard shards_[kHistShards];
+};
+
+// Name -> instrument registry. Lookup takes the lock in shared mode and
+// compares via the transparent comparator (no temporary std::string);
+// only first-time registration takes it exclusively and allocates.
+// Returned references are stable until the registry is destroyed.
+class Registry {
+ public:
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  // nullptr when the instrument was never registered.
+  const Counter* find_counter(std::string_view name) const;
+  const Gauge* find_gauge(std::string_view name) const;
+  const Histogram* find_histogram(std::string_view name) const;
+
+  // Sorted snapshots; only touched/seen/non-empty instruments appear,
+  // so registration alone does not pollute reports.
+  std::vector<std::pair<std::string, std::int64_t>> counters() const;
+  std::vector<std::pair<std::string, double>> gauges() const;
+  std::vector<std::pair<std::string, HistogramSnapshot>> histograms() const;
+
+  // Sum of all counters whose name starts with `prefix` — lower_bound
+  // into the ordered map plus early-exit when keys stop matching, not a
+  // full-map scan.
+  std::int64_t counter_sum_prefix(std::string_view prefix) const;
+
+  // Zero values and clear touched/seen flags; registrations (and the
+  // handles components cached) stay valid.
+  void reset_values();
+
+  // Number of instrument registrations — each one is the single
+  // allocation an instrument ever performs. Steady-state recording must
+  // leave this unchanged (asserted in tests).
+  std::uint64_t instrument_allocations() const noexcept {
+    return allocations_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  template <class T>
+  using NameMap = std::map<std::string, std::unique_ptr<T>, std::less<>>;
+
+  template <class T>
+  T& find_or_create(NameMap<T>& map, std::string_view name);
+  template <class T>
+  const T* find_in(const NameMap<T>& map, std::string_view name) const;
+
+  mutable std::shared_mutex mu_;
+  NameMap<Counter> counters_;
+  NameMap<Gauge> gauges_;
+  NameMap<Histogram> histograms_;
+  std::atomic<std::uint64_t> allocations_{0};
+};
+
+// Run-level telemetry configuration (parsed by the CLI, threaded down
+// through ExperimentConfig).
+struct TelemetrySpec {
+  bool enabled = false;          // master switch for snapshotter + spans
+  std::uint32_t interval_ms = 250;  // JSONL snapshot cadence
+  std::string out_prefix = "telemetry";  // <prefix>.jsonl / <prefix>.prom
+  bool trace_spans = true;       // cross-hop span capture (threads backend)
+};
+
+class SpanRecorder;
+
+// What components receive: one pointer, nullable. A null Telemetry (or
+// null member) means "record nothing" — every site guards on it, so
+// telemetry=off costs a predicted-not-taken branch.
+struct Telemetry {
+  Registry* registry = nullptr;
+  SpanRecorder* spans = nullptr;
+};
+
+}  // namespace fluentps::obs

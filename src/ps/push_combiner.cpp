@@ -15,6 +15,11 @@ PushCombiner::PushCombiner(StripedShard& shard, PushCombinerSpec spec)
       pin_(spec.pin_threads),
       pin_slot_base_(spec.pin_slot_base),
       ring_(std::max<std::uint32_t>(spec.ring_depth, 2)) {
+  if (spec.telemetry != nullptr && spec.telemetry->registry != nullptr) {
+    batch_hist_ = &spec.telemetry->registry->histogram("server.combiner_batch");
+    stall_counter_ =
+        &spec.telemetry->registry->counter("server.ring_stall_events");
+  }
   if (num_threads_ >= 1) {
     init_remaining_.store(num_threads_, std::memory_order_release);
     pool_.reserve(num_threads_);
@@ -44,17 +49,21 @@ PushCombiner::~PushCombiner() {
   for (std::thread& th : pool_) th.join();
 }
 
-void PushCombiner::apply(std::span<const float> g, float scale) {
+void PushCombiner::apply(std::span<const float> g, float scale, ApplyTiming* timing) {
+  if (timing != nullptr) timing->enqueue_ns = obs::now_ns();
   if (!batch_) {
     // Per-message baseline: one single-entry sweep, no handoff at all.
+    if (timing != nullptr) timing->drained_ns = timing->enqueue_ns;
     const std::span<const float> one[] = {g};
     shard_.apply_batch(one, scale);
     note_sweep(1);
+    if (timing != nullptr) timing->applied_ns = obs::now_ns();
     return;
   }
   Ticket t;
   t.g = g;
   t.scale = scale;
+  t.timing = timing;
   if (!lockfree_) {
     apply_mutex(t);
   } else if (num_threads_ >= 1) {
@@ -62,6 +71,9 @@ void PushCombiner::apply(std::span<const float> g, float scale) {
   } else {
     apply_lockfree(t);
   }
+  // The retiring thread stamped drained_ns before the applied release-store,
+  // so it is visible here; the producer stamps its own completion.
+  if (timing != nullptr) timing->applied_ns = obs::now_ns();
 }
 
 // --- legacy mutex flat combining (A/B baseline, verbatim from PR 2) --------
@@ -83,9 +95,14 @@ void PushCombiner::apply_mutex(Ticket& t) {
     grads.clear();
     grads.reserve(batch.size());
     const float scale = batch.front()->scale;
+    std::uint64_t drained = 0;  // one clock read shared by the whole batch
     for (const Ticket* q : batch) {
       FPS_CHECK(q->scale == scale) << "mixed scales in one combiner batch";
       grads.push_back(q->g);
+      if (q->timing != nullptr) {
+        if (drained == 0) drained = obs::now_ns();
+        q->timing->drained_ns = drained;
+      }
     }
     // One striped sweep applies every coalesced push, in arrival order per
     // element — bit-identical to applying them one by one.
@@ -106,6 +123,7 @@ void PushCombiner::enqueue(Ticket* t) {
     // Without a dedicated drainer the producer helps (takes the combiner role
     // when free) so a full ring always makes forward progress.
     ring_stalls_.fetch_add(1, std::memory_order_relaxed);
+    if (stall_counter_ != nullptr) stall_counter_->add(1);
     do {
       if (num_threads_ == 0 && !combining_.exchange(true, std::memory_order_acquire)) {
         drain_ring();
@@ -170,9 +188,14 @@ void PushCombiner::sweep(std::vector<Ticket*>& batch) {
   sweep_grads_.clear();
   sweep_grads_.reserve(batch.size());
   const float scale = batch.front()->scale;
+  std::uint64_t drained = 0;  // one clock read shared by the whole batch
   for (const Ticket* t : batch) {
     FPS_CHECK(t->scale == scale) << "mixed scales in one combiner batch";
     sweep_grads_.push_back(t->g);
+    if (t->timing != nullptr) {
+      if (drained == 0) drained = obs::now_ns();
+      t->timing->drained_ns = drained;
+    }
   }
   if (num_threads_ >= 2) {
     // Fan the sweep out: helper t applies stripes i % T == t while we take
@@ -199,6 +222,7 @@ void PushCombiner::sweep(std::vector<Ticket*>& batch) {
 
 void PushCombiner::note_sweep(std::size_t batch_size) {
   sweeps_.fetch_add(1, std::memory_order_relaxed);
+  if (batch_hist_ != nullptr) batch_hist_->record(batch_size);
   std::size_t prev = max_batch_.load(std::memory_order_relaxed);
   while (prev < batch_size &&
          !max_batch_.compare_exchange_weak(prev, batch_size, std::memory_order_relaxed)) {

@@ -41,6 +41,7 @@
 #include <vector>
 
 #include "common/mpsc_ring.h"
+#include "obs/telemetry.h"
 #include "ps/striped_shard.h"
 
 namespace fluentps::ps {
@@ -52,6 +53,18 @@ struct PushCombinerSpec {
   std::uint32_t apply_threads = 0;   ///< dedicated drain/apply threads (0 = none)
   bool pin_threads = false;          ///< pin apply threads via common/affinity.h
   unsigned pin_slot_base = 0;        ///< first affinity slot (rank * threads)
+  obs::Telemetry* telemetry = nullptr;  ///< wait-free live metrics (nullable)
+};
+
+/// Per-apply pipeline stamps (obs::now_ns), filled only when the caller asks
+/// for them: enqueue just before the handoff, drained when the consumer
+/// collected the ticket into a sweep batch, applied once the write landed.
+/// The consumer's drained_ns store is published to the producer by the
+/// ticket's applied release/acquire edge.
+struct ApplyTiming {
+  std::uint64_t enqueue_ns = 0;
+  std::uint64_t drained_ns = 0;
+  std::uint64_t applied_ns = 0;
 };
 
 class PushCombiner {
@@ -67,8 +80,11 @@ class PushCombiner {
   PushCombiner& operator=(const PushCombiner&) = delete;
 
   /// Apply w += scale * g, returning once the write landed (possibly as part
-  /// of a coalesced sweep performed by another thread).
-  void apply(std::span<const float> g, float scale);
+  /// of a coalesced sweep performed by another thread). When `timing` is
+  /// non-null the three pipeline stamps are filled before returning (used by
+  /// the server's span tracing; pass nullptr on untraced pushes — the stamps
+  /// then cost nothing).
+  void apply(std::span<const float> g, float scale, ApplyTiming* timing = nullptr);
 
   // --- observability -------------------------------------------------------
 
@@ -97,6 +113,7 @@ class PushCombiner {
   struct Ticket {
     std::span<const float> g;
     float scale = 0.0f;
+    ApplyTiming* timing = nullptr;  ///< optional pipeline stamps (producer-owned)
     std::atomic<bool> applied{false};
   };
 
@@ -154,6 +171,12 @@ class PushCombiner {
   std::atomic<std::int64_t> ring_stalls_{0};
   std::atomic<std::size_t> ring_depth_hw_{0};
   std::atomic<std::uint32_t> pinned_{0};
+
+  // Live wait-free instruments, registered once at construction when a
+  // telemetry registry is attached (nullptr otherwise — recording sites
+  // guard on them, so telemetry=off costs one predicted branch).
+  obs::Histogram* batch_hist_ = nullptr;   // server.combiner_batch
+  obs::Counter* stall_counter_ = nullptr;  // server.ring_stall_events
 };
 
 }  // namespace fluentps::ps

@@ -5,6 +5,7 @@
 
 #include "common/logging.h"
 #include "ml/ops.h"
+#include "obs/span.h"
 
 namespace fluentps::ps {
 namespace {
@@ -45,15 +46,22 @@ Server::Server(ServerSpec spec, net::Transport& transport)
                     .apply_threads = spec.apply_threads,
                     .pin_threads = spec.pin_threads,
                     .pin_slot_base = spec.server_rank * std::max(spec.apply_threads, 1u),
+                    .telemetry = spec.telemetry,
                 }),
       engine_(std::move(spec.engine)),
       push_seen_(spec.num_workers),
       recover_base_(spec.num_workers, -1),
       synth_floor_(spec.num_workers, -1),
       transport_(transport),
-      replica_successor_(spec.replica_successor) {
+      replica_successor_(spec.replica_successor),
+      telemetry_(spec.telemetry) {
   FPS_CHECK(shard_.size() == layout_.total)
       << "initial shard size " << shard_.size() << " != layout total " << layout_.total;
+  if (telemetry_ != nullptr && telemetry_->registry != nullptr) {
+    enqueue_to_drain_hist_ =
+        &telemetry_->registry->histogram("server.enqueue_to_drain_ns");
+    apply_ns_hist_ = &telemetry_->registry->histogram("server.apply_ns");
+  }
   // Skip the two whole-shard norm passes per push unless some condition will
   // actually read SF (DESIGN.md §8).
   need_significance_.store(engine_.uses_significance(), std::memory_order_relaxed);
@@ -99,6 +107,19 @@ void Server::handle(net::Message&& msg) {
 }
 
 void Server::on_push(net::Message&& msg) {
+  // Cross-hop tracing (DESIGN.md §12): ids for the three server-side pipeline
+  // spans are pre-allocated here because the kReplicate forward below happens
+  // *before* the apply, yet its span must parent on the apply span.
+  obs::SpanRecorder* spans =
+      (telemetry_ != nullptr && msg.trace_id != 0) ? telemetry_->spans : nullptr;
+  std::uint32_t enqueue_span = 0, drain_span = 0, apply_span = 0;
+  std::uint64_t t_enter = 0;
+  if (spans != nullptr) {
+    t_enter = obs::now_ns();
+    enqueue_span = spans->next_span_id();
+    drain_span = spans->next_span_id();
+    apply_span = spans->next_span_id();
+  }
   bool defer_ack = false;  // replication: ack withheld until the ack horizon
   if (reliable_) {
     bool fresh = false;
@@ -143,6 +164,19 @@ void Server::on_push(net::Message&& msg) {
             defer_ack = true;
           }
           fwd = make_replicate(e.lsn, msg.worker_rank, msg.seq, msg.progress);
+          if (spans != nullptr) {
+            // Open the "replicate" span now; on_replicate_ack closes it when
+            // the tail's horizon covers this lsn. The successor parents its
+            // own hop on fwd.span_id.
+            ReplSpanCtx ctx;
+            ctx.trace_id = msg.trace_id;
+            ctx.span_id = spans->next_span_id();
+            ctx.parent_id = apply_span;
+            ctx.start_ns = obs::now_ns();
+            fwd.trace_id = ctx.trace_id;
+            fwd.span_id = ctx.span_id;
+            repl_spans_.emplace(e.lsn, ctx);
+          }
           if (transport_.inline_delivery()) {
             // Zero-copy: bytes consumed inside send(); `msg` outlives it.
             fwd.values = net::Payload::borrow(msg.values.span());
@@ -197,6 +231,8 @@ void Server::on_push(net::Message&& msg) {
   // (its update was filtered as insignificant and aggregates locally) and no
   // values are applied.
   double sf = 0.0;
+  ApplyTiming timing;
+  const bool want_timing = spans != nullptr || apply_ns_hist_ != nullptr;
   if (!msg.values.empty()) {
     FPS_CHECK(msg.values.size() == layout_.total)
         << "push size " << msg.values.size() << " != shard size " << layout_.total
@@ -204,8 +240,26 @@ void Server::on_push(net::Message&& msg) {
     // Algorithm 1 line 15: w <- w + g / N. The payload may borrow the
     // transport's frame buffer — safe because apply_push() returns only
     // after the values were applied (we block inside the handler).
-    sf = apply_push(msg.values);
+    sf = apply_push(msg.values, want_timing ? &timing : nullptr);
     pushes_applied_.fetch_add(1, std::memory_order_relaxed);
+    if (apply_ns_hist_ != nullptr) {
+      enqueue_to_drain_hist_->record(timing.drained_ns - timing.enqueue_ns);
+      apply_ns_hist_->record(timing.applied_ns - timing.drained_ns);
+    }
+  }
+  if (spans != nullptr) {
+    // Metadata-only pushes have no apply; collapse the missing stages to
+    // zero-length spans so the parent chain stays intact either way.
+    const std::uint64_t t0 =
+        timing.enqueue_ns != 0 ? timing.enqueue_ns : obs::now_ns();
+    const std::uint64_t t1 = timing.drained_ns != 0 ? timing.drained_ns : t0;
+    const std::uint64_t t2 = timing.applied_ns != 0 ? timing.applied_ns : t1;
+    spans->emit(msg.trace_id, enqueue_span, msg.span_id, "server.enqueue",
+                node_id_, t_enter, t0);
+    spans->emit(msg.trace_id, drain_span, enqueue_span, "combiner.drain",
+                node_id_, t0, t1);
+    spans->emit(msg.trace_id, apply_span, drain_span, "stripe.apply", node_id_,
+                t1, t2);
   }
 
   if (ack_pushes_ && !defer_ack) {
@@ -218,6 +272,12 @@ void Server::on_push(net::Message&& msg) {
     ack.progress = msg.progress;
     ack.server_rank = server_rank_;
     ack.worker_rank = msg.worker_rank;
+    if (spans != nullptr) {
+      // Immediate (unreplicated) ack: the worker's ack mark parents on the
+      // apply span. Deferred acks parent on the replicate span instead.
+      ack.trace_id = msg.trace_id;
+      ack.span_id = apply_span;
+    }
     transport_.send(std::move(ack));
   }
 
@@ -239,16 +299,23 @@ void Server::on_push(net::Message&& msg) {
   for (const auto& [pp, id] : to_respond) respond(pp.src, pp.worker_rank, id);
 }
 
-double Server::apply_push(std::span<const float> g) {
+double Server::apply_push(std::span<const float> g, ApplyTiming* timing) {
   const float scale = 1.0f / static_cast<float>(num_workers_);
   if (need_significance_.load(std::memory_order_relaxed)) {
     // Exact legacy path: SF must be computed against the pre-apply shard of
-    // *this* push, so applies serialize (exclusive whole-shard sweep).
-    return shard_.apply_exclusive_with_significance(g, scale);
+    // *this* push, so applies serialize (exclusive whole-shard sweep). There
+    // is no handoff to time — enqueue and drain collapse onto the start.
+    if (timing != nullptr) {
+      timing->enqueue_ns = obs::now_ns();
+      timing->drained_ns = timing->enqueue_ns;
+    }
+    const double sf = shard_.apply_exclusive_with_significance(g, scale);
+    if (timing != nullptr) timing->applied_ns = obs::now_ns();
+    return sf;
   }
   // Combiner handoff (DESIGN.md §11): blocks until the gradient landed, so
   // borrowed payloads stay valid and apply-before-count ordering holds.
-  combiner_.apply(g, scale);
+  combiner_.apply(g, scale, timing);
   return 0.0;
 }
 
@@ -490,25 +557,47 @@ net::Message Server::make_replicate(std::uint64_t lsn, std::uint32_t worker_rank
 }
 
 void Server::on_replicate_ack(net::Message&& msg) {
-  std::vector<replica::DeferredAck> acks;
+  obs::SpanRecorder* spans = telemetry_ != nullptr ? telemetry_->spans : nullptr;
+  struct OutAck {
+    replica::DeferredAck a;
+    std::uint64_t trace_id = 0;
+    std::uint32_t span_id = 0;
+  };
+  std::vector<OutAck> acks;
   {
     std::scoped_lock lock(engine_mu_);
     // Cumulative horizon: every lsn <= request_id reached the tail. Trimmed
-    // entries release the worker acks deferred onto them.
-    repl_log_.trim_to(msg.request_id, [&acks](replica::LogEntry& e) {
-      for (replica::DeferredAck& a : e.acks) acks.push_back(a);
+    // entries release the worker acks deferred onto them; a traced entry also
+    // closes its "replicate" span here and stamps the released acks so the
+    // worker's ack mark parents on it.
+    repl_log_.trim_to(msg.request_id, [&](replica::LogEntry& e) {
+      std::uint64_t trace = 0;
+      std::uint32_t span = 0;
+      const auto it = repl_spans_.find(e.lsn);
+      if (it != repl_spans_.end()) {
+        trace = it->second.trace_id;
+        span = it->second.span_id;
+        if (spans != nullptr) {
+          spans->emit(trace, span, it->second.parent_id, "replicate", node_id_,
+                      it->second.start_ns, obs::now_ns());
+        }
+        repl_spans_.erase(it);
+      }
+      for (replica::DeferredAck& a : e.acks) acks.push_back({a, trace, span});
     });
   }
-  for (const replica::DeferredAck& a : acks) {
+  for (const OutAck& oa : acks) {
     net::Message ack;
     ack.type = net::MsgType::kPushAck;
     ack.src = node_id_;
-    ack.dst = a.dst;
-    ack.request_id = a.request_id;
-    ack.seq = a.seq;
-    ack.progress = a.progress;
+    ack.dst = oa.a.dst;
+    ack.request_id = oa.a.request_id;
+    ack.seq = oa.a.seq;
+    ack.progress = oa.a.progress;
     ack.server_rank = server_rank_;
-    ack.worker_rank = a.worker_rank;
+    ack.worker_rank = oa.a.worker_rank;
+    ack.trace_id = oa.trace_id;
+    ack.span_id = oa.span_id;
     transport_.send(std::move(ack));
   }
 }
@@ -535,6 +624,9 @@ void Server::adopt_replica_state(replica::ReplicaState&& state) {
   pending_.clear();
   answered_.clear();
   answered_fifo_.clear();
+  // Span contexts belong to the old head's forwards; the adopted log's
+  // entries were never forwarded by *us*, so drop any stale contexts.
+  repl_spans_.clear();
   promoted_ = true;
 }
 

@@ -104,6 +104,9 @@ struct ServerSpec {
   /// covers it — the zero-loss invariant (a worker never holds an ack for an
   /// update a failover could lose). Requires reliable mode. 0 = no chain.
   net::NodeId replica_successor = 0;
+  /// Telemetry (DESIGN.md §12): wait-free live metrics + cross-hop span
+  /// capture. nullptr (or null members) disables recording entirely.
+  obs::Telemetry* telemetry = nullptr;
 };
 
 class Server {
@@ -235,7 +238,7 @@ class Server {
   /// call is what makes borrowed payloads (TCP frame buffers) safe to queue
   /// without copying, and preserves the apply-before-engine-count ordering
   /// per message (see push_combiner.h for the handoff mechanisms).
-  double apply_push(std::span<const float> g);
+  double apply_push(std::span<const float> g, ApplyTiming* timing = nullptr);
   void respond(net::NodeId dst, std::uint32_t worker_rank, std::uint64_t request_id);
   void note_answered(std::uint64_t request_id);
   void send_recover(net::NodeId dst, std::uint32_t worker_rank);
@@ -303,6 +306,23 @@ class Server {
   std::int64_t stale_replicates_ = 0;
   std::int64_t synth_replayed_ = 0;
   bool promoted_ = false;
+
+  // Telemetry (DESIGN.md §12). Instrument handles are cached once at
+  // construction so hot-path recording is a relaxed atomic RMW with no name
+  // lookup; all are nullptr when telemetry is off.
+  obs::Telemetry* telemetry_;
+  obs::Histogram* enqueue_to_drain_hist_ = nullptr;  // server.enqueue_to_drain_ns
+  obs::Histogram* apply_ns_hist_ = nullptr;          // server.apply_ns
+
+  /// Open "replicate" span per pending log entry: started at the kReplicate
+  /// forward, closed when on_replicate_ack trims the lsn (under engine_mu_).
+  struct ReplSpanCtx {
+    std::uint64_t trace_id = 0;
+    std::uint32_t span_id = 0;
+    std::uint32_t parent_id = 0;
+    std::uint64_t start_ns = 0;
+  };
+  std::unordered_map<std::uint64_t, ReplSpanCtx> repl_spans_;  // lsn -> ctx
 };
 
 }  // namespace fluentps::ps

@@ -4,6 +4,7 @@
 
 #include "common/logging.h"
 #include "common/stopwatch.h"
+#include "obs/span.h"
 
 namespace fluentps::ps {
 namespace {
@@ -22,6 +23,7 @@ WorkerClient::WorkerClient(WorkerSpec spec, net::Transport& transport)
       retry_(spec.retry),
       transport_(transport),
       retry_rng_(derive_seed(spec.seed, 0x9E7981 + spec.worker_rank), /*stream=*/0x4E7),
+      telemetry_(spec.telemetry),
       next_ticket_((static_cast<std::uint64_t>(spec.worker_rank) << 40) + 1) {
   FPS_CHECK(sharding_ != nullptr) << "worker needs a sharding";
   FPS_CHECK(server_nodes_.size() == sharding_->num_servers())
@@ -32,6 +34,9 @@ WorkerClient::WorkerClient(WorkerSpec spec, net::Transport& transport)
   pull_received_.assign(m, 0);
   round_seqs_.assign(m, 0);
   round_acked_.assign(m, 1);
+  round_trace_.assign(m, 0);
+  round_span_.assign(m, 0);
+  round_t0_.assign(m, 0);
   next_seq_.assign(m, 1);
   last_acked_progress_.assign(m, -1);
 }
@@ -55,9 +60,10 @@ void WorkerClient::handle(net::Message&& msg) {
       ++shards_received_;
       break;
     }
-    case net::MsgType::kPushAck:
+    case net::MsgType::kPushAck: {
+      const std::uint32_t m = msg.server_rank;
+      bool accepted = false;
       if (reliable_) {
-        const std::uint32_t m = msg.server_rank;
         FPS_CHECK(m < round_acked_.size()) << "bad server rank in ack: " << m;
         // Only the live round's sequence number counts; stale acks (from a
         // superseded retransmit of an earlier round) are ignored.
@@ -66,11 +72,31 @@ void WorkerClient::handle(net::Message&& msg) {
           --round_unacked_;
           last_acked_progress_[m] = std::max(last_acked_progress_[m], round_progress_);
           ++acks_received_;
+          accepted = true;
         }
       } else {
         ++acks_received_;
+        accepted = true;
+      }
+      // Close the round's root span on first acceptance: the ack carries the
+      // server-side span that released it (stripe apply on the immediate
+      // path, replicate on the deferred path), so "worker.ack" pins the
+      // round-trip's tail to the right parent.
+      if (accepted && telemetry_ != nullptr && telemetry_->spans != nullptr &&
+          m < round_trace_.size() && round_trace_[m] != 0) {
+        obs::SpanRecorder& sp = *telemetry_->spans;
+        const std::uint64_t now = obs::now_ns();
+        sp.emit(round_trace_[m], round_span_[m], /*parent=*/0, "worker.push", node_id_,
+                round_t0_[m], now);
+        if (msg.span_id != 0) {
+          sp.emit_instant(round_trace_[m], sp.next_span_id(), msg.span_id, "worker.ack",
+                          node_id_, now);
+        }
+        round_trace_[m] = 0;  // one close per (round, server)
+        round_span_[m] = 0;
       }
       break;
+    }
     case net::MsgType::kPullGrant:
       if (reliable_) {
         if (msg.progress == awaited_grant_progress_) grant_received_ = true;
@@ -132,6 +158,8 @@ void WorkerClient::send_push_locked(std::size_t m) {
   msg.progress = round_progress_;
   msg.worker_rank = worker_rank_;
   msg.server_rank = static_cast<std::uint32_t>(m);
+  msg.trace_id = round_trace_[m];  // 0 when tracing is off (header stays zero)
+  msg.span_id = round_span_[m];
   if (!round_metadata_) {
     const ShardLayout& layout = sharding_->shards[m];
     if (transport_.inline_delivery()) {
@@ -197,6 +225,11 @@ void WorkerClient::push(std::span<const float> update, std::int64_t progress) {
     for (std::size_t m = 0; m < server_nodes_.size(); ++m) {
       round_seqs_[m] = reliable_ ? next_seq_[m]++ : 0;
       round_acked_[m] = 0;
+      if (telemetry_ != nullptr && telemetry_->spans != nullptr) {
+        round_trace_[m] = telemetry_->spans->next_trace_id();
+        round_span_[m] = telemetry_->spans->next_span_id();
+        round_t0_[m] = obs::now_ns();
+      }
       send_push_locked(m);
     }
   }
@@ -215,6 +248,11 @@ void WorkerClient::push_metadata(std::int64_t progress) {
     for (std::size_t m = 0; m < server_nodes_.size(); ++m) {
       round_seqs_[m] = reliable_ ? next_seq_[m]++ : 0;
       round_acked_[m] = 0;
+      if (telemetry_ != nullptr && telemetry_->spans != nullptr) {
+        round_trace_[m] = telemetry_->spans->next_trace_id();
+        round_span_[m] = telemetry_->spans->next_span_id();
+        round_t0_[m] = obs::now_ns();
+      }
       send_push_locked(m);
     }
   }

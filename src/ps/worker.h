@@ -28,6 +28,7 @@
 #include "fault/retry_policy.h"
 #include "net/message.h"
 #include "net/transport.h"
+#include "obs/telemetry.h"
 #include "ps/slicing.h"
 
 namespace fluentps::ps {
@@ -41,6 +42,7 @@ struct WorkerSpec {
   bool reliable = false;                  ///< sequence numbers + retransmit loops
   fault::RetryPolicy retry;               ///< timeout/backoff knobs (reliable mode)
   std::uint64_t seed = 1;                 ///< jitter stream seed (reliable mode)
+  obs::Telemetry* telemetry = nullptr;    ///< span tracing (DESIGN.md §12)
 };
 
 class WorkerClient {
@@ -123,6 +125,15 @@ class WorkerClient {
   std::vector<std::uint64_t> round_seqs_;  // per server
   std::vector<char> round_acked_;          // per server
   std::uint32_t round_unacked_ = 0;
+
+  // Cross-hop tracing (DESIGN.md §12): one root "worker.push" span per
+  // (round, server), assigned when the round first sends — retransmits reuse
+  // the same ids so the whole retry ladder folds into one trace. Closed when
+  // the live round's ack arrives. All zero when tracing is off.
+  obs::Telemetry* telemetry_ = nullptr;
+  std::vector<std::uint64_t> round_trace_;  // per server (0 = untraced)
+  std::vector<std::uint32_t> round_span_;   // per server
+  std::vector<std::uint64_t> round_t0_;     // per server, send stamp (abs ns)
 
   std::vector<std::uint64_t> next_seq_;            // per server, starts at 1
   std::vector<std::int64_t> last_acked_progress_;  // per server, -1 = none

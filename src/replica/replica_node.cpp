@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "obs/span.h"
 
 namespace fluentps::replica {
 
@@ -13,6 +14,7 @@ ReplicaNode::ReplicaNode(ReplicaSpec spec, net::Transport& transport)
       successor_(spec.successor),
       apply_scale_(spec.apply_scale),
       transport_(transport),
+      telemetry_(spec.telemetry),
       shard_(std::move(spec.initial_shard), /*num_stripes=*/1),
       windows_(spec.num_workers),
       last_push_(spec.num_workers, -1) {
@@ -79,6 +81,18 @@ void ReplicaNode::deliver(net::Message&& msg) {
   const std::uint32_t w = msg.worker_rank;
   FPS_CHECK(w < windows_.size()) << "replicate from out-of-range worker " << w;
 
+  // Span tracing: "replica.apply" parents on the upstream hop carried in the
+  // frame (the head's replicate span, or the previous replica's apply span).
+  obs::SpanRecorder* spans = (telemetry_ != nullptr && msg.trace_id != 0)
+                                 ? telemetry_->spans
+                                 : nullptr;
+  std::uint32_t apply_span = 0;
+  std::uint64_t t0 = 0;
+  if (spans != nullptr) {
+    apply_span = spans->next_span_id();
+    t0 = obs::now_ns();
+  }
+
   // Mirror the head's dedup decision. The head only replicates pushes its own
   // window accepted, so `fresh` is true here for everything except entries
   // re-delivered across a promote replay — where skipping is exactly right.
@@ -93,6 +107,10 @@ void ReplicaNode::deliver(net::Message&& msg) {
   }
   if (fresh) last_push_[w] = std::max(last_push_[w], msg.progress);
   next_lsn_ = lsn + 1;
+  if (spans != nullptr) {
+    spans->emit(msg.trace_id, apply_span, msg.span_id, "replica.apply", node_id_, t0,
+                obs::now_ns());
+  }
 
   if (successor_ != 0) {
     LogEntry e;
@@ -102,12 +120,19 @@ void ReplicaNode::deliver(net::Message&& msg) {
     e.progress = msg.progress;
     e.values.assign(msg.values.begin(), msg.values.end());
     e.upstream = msg.src;
+    e.trace_id = spans != nullptr ? msg.trace_id : 0;
+    e.span_id = apply_span;
     forward(log_.insert(std::move(e)));
     ++forwarded_;
   } else {
     // Tail: the lsn stream is contiguous here, so acking this lsn is a valid
-    // cumulative horizon.
+    // cumulative horizon. The "tail.ack" instant marks the moment the update
+    // became durable across the whole chain.
     ack_upstream(msg.src, lsn);
+    if (spans != nullptr) {
+      spans->emit_instant(msg.trace_id, spans->next_span_id(), apply_span, "tail.ack",
+                          node_id_, obs::now_ns());
+    }
   }
 }
 
@@ -121,6 +146,8 @@ void ReplicaNode::forward(const LogEntry& e) {
   fwd.progress = e.progress;
   fwd.worker_rank = e.worker_rank;
   fwd.server_rank = server_rank_;
+  fwd.trace_id = e.trace_id;
+  fwd.span_id = e.span_id;
   if (transport_.inline_delivery()) {
     // Zero-copy: the bytes are consumed inside send(), and the log entry
     // cannot be trimmed before then (trimming requires the tail ack this

@@ -26,6 +26,7 @@
 
 #include "net/message.h"
 #include "net/transport.h"
+#include "obs/telemetry.h"
 #include "ps/seq_window.h"
 #include "ps/striped_shard.h"
 #include "replica/replication_log.h"
@@ -40,6 +41,7 @@ struct ReplicaSpec {
   std::vector<float> initial_shard;  ///< must equal the head's initial shard
   net::NodeId successor = 0;         ///< next chain node; 0 = tail
   float apply_scale = 1.0f;          ///< 1/N, identical to the head's apply
+  obs::Telemetry* telemetry = nullptr;  ///< span tracing (DESIGN.md §12)
 };
 
 class ReplicaNode {
@@ -89,6 +91,7 @@ class ReplicaNode {
   net::NodeId successor_;
   float apply_scale_;
   net::Transport& transport_;
+  obs::Telemetry* telemetry_;
 
   // Single stripe: lsn-ordered applies are already serial, and one stripe
   // guarantees the identical axpy sweep order as the head's (bit-identity).

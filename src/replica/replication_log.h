@@ -47,6 +47,8 @@ struct LogEntry {
   std::vector<float> values;     ///< owned copy; empty = metadata-only push
   net::NodeId upstream = 0;      ///< chain nodes: where to ack once trimmed
   std::vector<DeferredAck> acks; ///< head: worker acks deferred to the horizon
+  std::uint64_t trace_id = 0;    ///< span tracing (DESIGN.md §12); 0 = untraced
+  std::uint32_t span_id = 0;     ///< parent span for the downstream hop
 };
 
 class ReplicationLog {

@@ -1,0 +1,407 @@
+// Telemetry-subsystem tests (DESIGN.md §12): wait-free instrument semantics
+// (bucket boundaries, per-thread cell aggregation under concurrent writers),
+// span recording + cross-hop propagation through a replicated push, and the
+// snapshotter's interval math. The concurrent cases double as the TSan CI
+// workload for the obs layer.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <map>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/fluentps.h"
+#include "obs/snapshot.h"
+#include "obs/span.h"
+#include "obs/telemetry.h"
+
+namespace fluentps {
+namespace {
+
+// --- histogram bucket layout ---------------------------------------------
+
+TEST(ObsHistogram, BucketBoundaries) {
+  // Bucket 0 holds exactly {0}; bucket b in [1, 47] covers [2^(b-1), 2^b-1].
+  EXPECT_EQ(obs::Histogram::bucket_of(0), 0u);
+  EXPECT_EQ(obs::Histogram::bucket_of(1), 1u);
+  EXPECT_EQ(obs::Histogram::bucket_of(2), 2u);
+  EXPECT_EQ(obs::Histogram::bucket_of(3), 2u);
+  EXPECT_EQ(obs::Histogram::bucket_of(4), 3u);
+  for (std::uint32_t b = 0; b < obs::kHistBuckets; ++b) {
+    EXPECT_EQ(obs::Histogram::bucket_of(obs::Histogram::bucket_lo(b)), b);
+    EXPECT_EQ(obs::Histogram::bucket_of(obs::Histogram::bucket_hi(b)), b);
+  }
+  // Every boundary pair is adjacent: hi(b) + 1 == lo(b + 1).
+  for (std::uint32_t b = 0; b + 1 < obs::kHistBuckets; ++b) {
+    EXPECT_EQ(obs::Histogram::bucket_hi(b) + 1, obs::Histogram::bucket_lo(b + 1));
+  }
+  // The last bucket absorbs everything up to u64 max.
+  EXPECT_EQ(obs::Histogram::bucket_of(std::numeric_limits<std::uint64_t>::max()),
+            obs::kHistBuckets - 1);
+  EXPECT_EQ(obs::Histogram::bucket_hi(obs::kHistBuckets - 1),
+            std::numeric_limits<std::uint64_t>::max());
+}
+
+TEST(ObsHistogram, RecordAndSnapshotMerge) {
+  obs::Histogram h;
+  h.record(0);
+  h.record(1);
+  h.record(5);
+  h.record(5);
+  const obs::HistogramSnapshot a = h.snapshot();
+  EXPECT_EQ(a.total(), 4u);
+  EXPECT_EQ(a.sum, 11u);
+  EXPECT_EQ(a.counts[0], 1u);
+  EXPECT_EQ(a.counts[obs::Histogram::bucket_of(5)], 2u);
+
+  obs::HistogramSnapshot b;
+  b.counts[0] = 7;
+  b.sum = 100;
+  obs::HistogramSnapshot m = a;
+  m.merge(b);
+  EXPECT_EQ(m.total(), a.total() + 7u);
+  EXPECT_EQ(m.sum, a.sum + 100u);
+  EXPECT_EQ(m.counts[0], a.counts[0] + 7u);
+
+  h.reset();
+  EXPECT_EQ(h.snapshot().total(), 0u);
+}
+
+// --- per-thread cell aggregation under concurrent writers ----------------
+
+TEST(ObsCounter, ConcurrentWritersAggregate) {
+  obs::Registry reg;
+  obs::Counter& c = reg.counter("obs.test.concurrent");
+  EXPECT_FALSE(c.touched());
+  constexpr int kThreads = 8;
+  constexpr std::int64_t kPerThread = 20000;
+  std::vector<std::jthread> ts;
+  for (int t = 0; t < kThreads; ++t) {
+    ts.emplace_back([&c] {
+      for (std::int64_t i = 0; i < kPerThread; ++i) c.add(1);
+    });
+  }
+  ts.clear();  // join
+  EXPECT_EQ(c.value(), kThreads * kPerThread);
+  EXPECT_TRUE(c.touched());
+  c.reset();
+  EXPECT_EQ(c.value(), 0);
+  EXPECT_FALSE(c.touched());
+}
+
+TEST(ObsHistogram, ConcurrentWritersAggregate) {
+  obs::Histogram h;
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 10000;
+  std::vector<std::jthread> ts;
+  for (int t = 0; t < kThreads; ++t) {
+    ts.emplace_back([&h, t] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        h.record(static_cast<std::uint64_t>(t) + 1);
+      }
+    });
+  }
+  ts.clear();
+  const obs::HistogramSnapshot s = h.snapshot();
+  EXPECT_EQ(s.total(), kThreads * kPerThread);
+  std::uint64_t want_sum = 0;
+  for (int t = 0; t < kThreads; ++t) want_sum += (t + 1) * kPerThread;
+  EXPECT_EQ(s.sum, want_sum);
+}
+
+TEST(ObsGauge, SetAndSetMax) {
+  obs::Gauge g;
+  EXPECT_FALSE(g.seen());
+  g.set_max(3.0);  // first set_max installs v (initial is -inf)
+  EXPECT_DOUBLE_EQ(g.value(), 3.0);
+  g.set_max(1.0);
+  EXPECT_DOUBLE_EQ(g.value(), 3.0);
+  g.set(-5.0);  // plain set is last-writer-wins, may go down
+  EXPECT_DOUBLE_EQ(g.value(), -5.0);
+  EXPECT_TRUE(g.seen());
+  g.reset();
+  EXPECT_FALSE(g.seen());
+}
+
+// --- registry ------------------------------------------------------------
+
+TEST(ObsRegistry, StableHandlesAndAllocationProof) {
+  obs::Registry reg;
+  obs::Counter& a = reg.counter("x.a");
+  obs::Counter& a2 = reg.counter("x.a");
+  EXPECT_EQ(&a, &a2) << "registration is find-or-create";
+  const std::uint64_t allocs = reg.instrument_allocations();
+  // Steady-state recording (and re-lookup) must not register anything new.
+  for (int i = 0; i < 1000; ++i) {
+    a.add(1);
+    reg.counter("x.a").add(1);
+  }
+  reg.histogram("x.h").record(7);
+  reg.gauge("x.g").set(1.0);
+  const std::uint64_t after_new = reg.instrument_allocations();
+  EXPECT_EQ(after_new, allocs + 2) << "one per new instrument, none per record";
+  for (int i = 0; i < 1000; ++i) reg.histogram("x.h").record(7);
+  EXPECT_EQ(reg.instrument_allocations(), after_new);
+  // reset_values keeps the handles valid and the registrations counted.
+  reg.reset_values();
+  EXPECT_EQ(&reg.counter("x.a"), &a);
+  EXPECT_EQ(reg.instrument_allocations(), after_new);
+  EXPECT_EQ(a.value(), 0);
+}
+
+TEST(ObsRegistry, SnapshotsFilterUntouched) {
+  obs::Registry reg;
+  reg.counter("seen").add(0);  // touched even with delta 0
+  reg.counter("unseen");       // registered, never recorded
+  reg.gauge("g.seen").set(2.5);
+  reg.gauge("g.unseen");
+  reg.histogram("h.seen").record(1);
+  reg.histogram("h.unseen");
+  const auto cs = reg.counters();
+  ASSERT_EQ(cs.size(), 1u);
+  EXPECT_EQ(cs[0].first, "seen");
+  const auto gs = reg.gauges();
+  ASSERT_EQ(gs.size(), 1u);
+  EXPECT_EQ(gs[0].first, "g.seen");
+  const auto hs = reg.histograms();
+  ASSERT_EQ(hs.size(), 1u);
+  EXPECT_EQ(hs[0].first, "h.seen");
+  EXPECT_EQ(reg.find_counter("unseen") != nullptr, true);
+  EXPECT_EQ(reg.find_counter("never"), nullptr);
+}
+
+TEST(ObsRegistry, CounterSumPrefix) {
+  obs::Registry reg;
+  reg.counter("fault.drop").add(3);
+  reg.counter("fault.dup").add(4);
+  reg.counter("faults").add(100);  // shares the character prefix "fault"
+  reg.counter("net.sent").add(9);
+  EXPECT_EQ(reg.counter_sum_prefix("fault."), 7);
+  EXPECT_EQ(reg.counter_sum_prefix("fault"), 107);
+  EXPECT_EQ(reg.counter_sum_prefix("zzz"), 0);
+  EXPECT_EQ(reg.counter_sum_prefix(""), 116);
+}
+
+// --- span recorder -------------------------------------------------------
+
+TEST(ObsSpans, ConcurrentEmitDrainSorted) {
+  obs::SpanRecorder rec;
+  EXPECT_EQ(rec.next_span_id(), 1u) << "ids start at 1; 0 means none";
+  EXPECT_EQ(rec.next_trace_id(), 1u);
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 100;
+  std::vector<std::jthread> ts;
+  for (int t = 0; t < kThreads; ++t) {
+    ts.emplace_back([&rec, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        const std::uint64_t now = obs::now_ns();
+        rec.emit(rec.next_trace_id(), rec.next_span_id(), 0, "t", t, now, now + 5);
+      }
+    });
+  }
+  ts.clear();
+  EXPECT_EQ(rec.allocations(), static_cast<std::uint64_t>(kThreads))
+      << "one buffer registration per emitting thread, none per emit";
+  EXPECT_EQ(rec.dropped(), 0u);
+  const std::vector<obs::SpanRecord> all = rec.drain();
+  ASSERT_EQ(all.size(), static_cast<std::size_t>(kThreads * kPerThread));
+  std::set<std::uint32_t> span_ids;
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    span_ids.insert(all[i].span_id);
+    if (i > 0) {
+      EXPECT_GE(all[i].start_ns, all[i - 1].start_ns) << "drain sorts";
+    }
+  }
+  EXPECT_EQ(span_ids.size(), all.size()) << "span ids unique within a run";
+}
+
+TEST(ObsSpans, OverflowCountsDrops) {
+  obs::SpanRecorder rec(/*capacity_per_thread=*/8);
+  for (int i = 0; i < 20; ++i) {
+    const std::uint64_t now = obs::now_ns();
+    rec.emit(1, rec.next_span_id(), 0, "x", 0, now, now);
+  }
+  EXPECT_EQ(rec.drain().size(), 8u);
+  EXPECT_EQ(rec.dropped(), 12u);
+}
+
+TEST(ObsSpans, PreEpochStampsClampToZero) {
+  obs::SpanRecorder rec;
+  rec.emit(1, 1, 0, "pre", 0, /*start_abs=*/0, /*end_abs=*/0);
+  const auto all = rec.drain();
+  ASSERT_EQ(all.size(), 1u);
+  EXPECT_EQ(all[0].start_ns, 0u);
+  EXPECT_EQ(all[0].end_ns, 0u);
+}
+
+// --- snapshotter ---------------------------------------------------------
+
+TEST(ObsSnapshotter, ExpectedIntervalsMath) {
+  // Full intervals in the run plus the final stop() flush.
+  EXPECT_EQ(obs::Snapshotter::expected_intervals(0, 250), 1u);
+  EXPECT_EQ(obs::Snapshotter::expected_intervals(249, 250), 1u);
+  EXPECT_EQ(obs::Snapshotter::expected_intervals(250, 250), 2u);
+  EXPECT_EQ(obs::Snapshotter::expected_intervals(1000, 250), 5u);
+  EXPECT_EQ(obs::Snapshotter::expected_intervals(1000, 0), 1001u)
+      << "interval 0 clamps to 1 ms";
+}
+
+TEST(ObsSnapshotter, WritesIntervalDeltas) {
+  const std::string path = ::testing::TempDir() + "/obs_snap_test.jsonl";
+  std::remove(path.c_str());
+  obs::Registry reg;
+  {
+    obs::Snapshotter snap(reg, /*interval_ms=*/20, path);
+    snap.start();
+    reg.counter("tick").add(5);
+    std::this_thread::sleep_for(std::chrono::milliseconds(70));
+    reg.counter("tick").add(2);
+    snap.stop();
+    EXPECT_GE(snap.intervals_written(), 2u) << "at least one tick + final flush";
+  }
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  std::uint64_t lines = 0;
+  std::int64_t tick_total = 0;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    ++lines;
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+    // Sum the "tick" deltas across intervals — they must add to the total.
+    const auto pos = line.find("\"tick\":");
+    if (pos != std::string::npos) {
+      tick_total += std::stoll(line.substr(pos + 7));
+    }
+  }
+  EXPECT_GE(lines, 2u);
+  EXPECT_EQ(tick_total, 7);
+  std::remove(path.c_str());
+}
+
+TEST(ObsSnapshotter, RenderJsonlOmitsZeroDeltas) {
+  obs::HistogramSnapshot h;
+  h.counts[3] = 2;
+  h.sum = 10;
+  const std::string line = obs::render_jsonl_interval(
+      0, 0.5, 0.5, {{"a", 3}, {"z", 0}}, {{"g", 1.5}}, {{"h", h}});
+  EXPECT_NE(line.find("\"a\":3"), std::string::npos);
+  EXPECT_EQ(line.find("\"z\""), std::string::npos) << "zero deltas omitted";
+  EXPECT_NE(line.find("\"g\":1.5"), std::string::npos);
+  EXPECT_NE(line.find("\"h\""), std::string::npos);
+}
+
+TEST(ObsSnapshotter, RenderPrometheusSchema) {
+  obs::Registry reg;
+  reg.counter("net.sent").add(12);
+  reg.counter("tenant.clicks.pushes").add(5);
+  reg.gauge("worker.progress").set(40);
+  reg.histogram("server.apply_ns").record(100);
+  reg.histogram("server.apply_ns").record(100000);
+  const std::string out =
+      obs::render_prometheus(reg, {{"sync", "bsp"}, {"seed", "1"}});
+  EXPECT_NE(out.find("fluentps_net_sent{sync=\"bsp\",seed=\"1\"} 12"),
+            std::string::npos);
+  EXPECT_NE(out.find("fluentps_tenant_pushes{tenant=\"clicks\",sync=\"bsp\","
+                     "seed=\"1\"} 5"),
+            std::string::npos)
+      << "tenant.<name>.* splits the tenant into a label";
+  EXPECT_NE(out.find("fluentps_worker_progress"), std::string::npos);
+  EXPECT_NE(out.find("fluentps_server_apply_ns_bucket"), std::string::npos);
+  EXPECT_NE(out.find("le=\"+Inf\"} 2"), std::string::npos)
+      << "+Inf bucket is cumulative over all records";
+  EXPECT_NE(out.find("fluentps_server_apply_ns_sum{sync=\"bsp\",seed=\"1\"} 100100"),
+            std::string::npos);
+  EXPECT_NE(out.find("fluentps_server_apply_ns_count{sync=\"bsp\",seed=\"1\"} 2"),
+            std::string::npos);
+}
+
+// --- cross-hop span propagation (3-hop replicated push, thread backend) ---
+
+TEST(ObsSpansE2E, ReplicatedPushTracesHopByHop) {
+  core::ExperimentConfig cfg;
+  cfg.backend = core::Backend::kThreads;
+  cfg.num_workers = 2;
+  cfg.num_servers = 2;
+  cfg.max_iters = 10;
+  cfg.model.kind = "softmax";
+  cfg.data.num_train = 256;
+  cfg.data.num_test = 64;
+  cfg.batch_size = 16;
+  cfg.seed = 3;
+  cfg.sync.kind = "bsp";
+  cfg.replication_factor = 3;  // head + 2 replicas: a 3-hop chain
+  cfg.telemetry.enabled = true;
+  cfg.telemetry.interval_ms = 0;  // spans only; no snapshotter thread
+  const auto r = core::run_experiment(cfg);
+  EXPECT_EQ(r.iterations, cfg.max_iters);
+  ASSERT_FALSE(r.spans.empty());
+
+  // Index every span; group by trace.
+  std::map<std::uint32_t, const obs::SpanRecord*> by_span;
+  std::map<std::uint64_t, std::vector<const obs::SpanRecord*>> by_trace;
+  for (const obs::SpanRecord& s : r.spans) {
+    EXPECT_NE(s.trace_id, 0u);
+    EXPECT_NE(s.span_id, 0u);
+    EXPECT_TRUE(by_span.emplace(s.span_id, &s).second)
+        << "span ids unique across the run";
+    by_trace[s.trace_id].push_back(&s);
+  }
+
+  // Every non-root span's parent must exist in the same trace, and the
+  // chain from any hop must walk back to the worker.push root.
+  std::uint64_t full_chains = 0;
+  for (const auto& [trace, spans] : by_trace) {
+    std::set<std::string> names;
+    for (const obs::SpanRecord* s : spans) {
+      names.insert(s->name);
+      if (s->parent_id == 0) {
+        EXPECT_STREQ(s->name, "worker.push") << "only the worker roots a trace";
+        continue;
+      }
+      const auto it = by_span.find(s->parent_id);
+      ASSERT_NE(it, by_span.end()) << s->name << ": dangling parent";
+      EXPECT_EQ(it->second->trace_id, trace) << "parents never cross traces";
+    }
+    if (names.contains("replica.apply") && names.contains("tail.ack")) {
+      // A fully replicated round trip: all hops present.
+      for (const char* hop :
+           {"worker.push", "server.enqueue", "combiner.drain", "stripe.apply",
+            "replicate", "replica.apply", "tail.ack", "worker.ack"}) {
+        EXPECT_TRUE(names.contains(hop)) << "missing hop " << hop;
+      }
+      // r=3 chain: the push is applied on the head + 2 replicas.
+      std::uint64_t applies = 0;
+      std::set<std::uint32_t> nodes;
+      for (const obs::SpanRecord* s : spans) {
+        if (std::string(s->name) == "replica.apply") {
+          ++applies;
+          nodes.insert(s->node);
+        }
+      }
+      EXPECT_EQ(applies, 2u) << "one replica.apply per non-head chain node";
+      EXPECT_EQ(nodes.size(), 2u) << "each on a distinct replica node";
+      ++full_chains;
+    }
+  }
+  EXPECT_GT(full_chains, 0u) << "at least one fully traced replicated push";
+  // Debug-build proof that hot-path recording never allocates: the only
+  // allocations are per-thread buffer registrations + instrument creation,
+  // both bounded and counted.
+  ASSERT_TRUE(r.extra.contains("telemetry_span_allocs"));
+  ASSERT_TRUE(r.extra.contains("telemetry_instrument_allocs"));
+  EXPECT_GT(r.extra.at("telemetry_span_allocs"), 0.0);
+  EXPECT_LT(r.extra.at("telemetry_span_allocs"), 64.0)
+      << "bounded by thread count, not by span count";
+}
+
+}  // namespace
+}  // namespace fluentps
