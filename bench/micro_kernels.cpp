@@ -19,9 +19,11 @@
 #include "net/message.h"
 #include "obs/telemetry.h"
 #include "ps/push_combiner.h"
+#include "ps/read_options.h"
 #include "ps/slicing.h"
 #include "ps/striped_shard.h"
 #include "ps/sync_engine.h"
+#include "replica/replica_node.h"
 #include "replica/replication_log.h"
 #include "sim/network_model.h"
 #include "sim/sim_env.h"
@@ -326,6 +328,62 @@ void BM_ReplicationLogRetransmitLookup(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 2);
 }
 BENCHMARK(BM_ReplicationLogRetransmitLookup)->Arg(8)->Arg(64)->Arg(256);
+
+void BM_ReplicaRead(benchmark::State& state) {
+  // Bounded-read service on a chain replica (DESIGN.md §13): horizon scan
+  // over the per-worker applied-progress vector, read-window dedup, and the
+  // shard copy-out into the response frame. This is the unit of work the
+  // read-offload ablation spreads across the chain; range(0) = shard floats.
+  struct SinkTransport final : net::Transport {
+    void register_node(net::NodeId, Handler) override {}
+    void send(net::Message msg) override { benchmark::DoNotOptimize(msg); }
+  };
+  const auto n = static_cast<std::size_t>(state.range(0));
+  constexpr std::uint32_t kWorkers = 8;
+  SinkTransport sink;
+  replica::ReplicaSpec spec;
+  spec.node_id = 2;
+  spec.server_rank = 0;
+  spec.chain_pos = 1;
+  spec.num_workers = kWorkers;
+  spec.initial_shard.assign(n, 0.0f);
+  spec.successor = 0;  // tail: no forwarding on the seeding path
+  spec.apply_scale = 1.0f / static_cast<float>(kWorkers);
+  replica::ReplicaNode node(std::move(spec), sink);
+  // Seed the horizon: one applied push per worker puts read_horizon() at 5.
+  for (std::uint32_t w = 0; w < kWorkers; ++w) {
+    net::Message rep;
+    rep.type = net::MsgType::kReplicate;
+    rep.src = 1;
+    rep.dst = 2;
+    rep.request_id = w + 1;  // lsn
+    rep.seq = 1;
+    rep.worker_rank = w;
+    rep.progress = 5;
+    auto vals = rep.values.mutable_span_resized(n);
+    for (auto& x : vals) x = 0.001f;
+    node.handle(std::move(rep));
+  }
+  std::uint64_t ticket = 1;
+  for (auto _ : state) {
+    net::Message pull;
+    pull.type = net::MsgType::kPull;
+    pull.src = 9;
+    pull.dst = 2;
+    pull.request_id = ticket++;
+    pull.worker_rank = kWorkers;  // fleet-style rank outside the training set
+    pull.progress = 5;            // reader clock == horizon: bound-0 satisfiable
+    pull.seq = ps::encode_read_bound(ps::ReadOptions{
+        .clock = 5, .max_staleness_clocks = 0, .consistency = ps::Consistency::kBounded});
+    node.handle(std::move(pull));
+  }
+  if (node.reads_served() != static_cast<std::int64_t>(state.iterations())) {
+    state.SkipWithError("replica fell back instead of serving");
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetBytesProcessed(state.iterations() * static_cast<std::int64_t>(n * sizeof(float)));
+}
+BENCHMARK(BM_ReplicaRead)->Arg(1024)->Arg(65536);
 
 void BM_NetworkModelDeliver(benchmark::State& state) {
   sim::NetworkModel net(sim::NetworkSpec{}, 64);

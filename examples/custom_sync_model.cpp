@@ -84,7 +84,7 @@ struct MiniCluster {
             std::this_thread::sleep_for(std::chrono::milliseconds(3));  // straggler
           }
           clients[n]->push(update, i);
-          const auto t = clients[n]->pull(i);
+          const auto t = clients[n]->pull(ps::KeyRange::all(), ps::ReadOptions{.clock = i});
           clients[n]->wait_pull(t, params);
           const auto spread = servers[0]->engine().fastest() - servers[0]->engine().slowest();
           std::int64_t cur = max_spread.load();

@@ -112,7 +112,7 @@ int run_worker(std::uint32_t rank, std::uint32_t num_workers, std::uint16_t serv
     loss = p.model->grad(params, sampler.next(), grad, ws);
     opt->compute_update(params, grad, i, update);
     client.push(update, i);
-    const auto t = client.pull(i);
+    const auto t = client.pull(ps::KeyRange::all(), ps::ReadOptions{.clock = i});
     client.wait_pull(t, params);
   }
   std::printf("[worker %u pid %d] done: %lld iterations, last minibatch loss %.3f\n", rank,

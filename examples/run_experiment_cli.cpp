@@ -39,9 +39,16 @@ void print_usage() {
       "            fault.crash='s0@1.0:2.0' fault.checkpoint_every fault.seed\n"
       "  retries:  retry.initial_timeout retry.max_timeout retry.backoff\n"
       "            retry.jitter retry.budget force_reliability={0,1}\n"
-      "  replication: replication={1,2,3,...} failover_detect (crash a chain\n"
-      "            head with fault.crash='s0@0.3:inf' — no restart — to\n"
-      "            exercise promotion instead of checkpoint restore)\n"
+      "  replication: replication.factor={1,2,3,...} replication.failover_detect\n"
+      "            (legacy spellings replication= / failover_detect= still\n"
+      "            resolve; crash a chain head with fault.crash='s0@0.3:inf'\n"
+      "            — no restart — to exercise promotion)\n"
+      "  read:     read.staleness read.prefer_replica={0,1} read.fleet\n"
+      "            read.pulls read.think read.serve read.sparse={0,1} (staleness-bounded\n"
+      "            replica read offloading; read.fleet pull-only clients each\n"
+      "            issue read.pulls bounded whole-model pulls alongside\n"
+      "            training, read.sparse routes sparse pulls via bound-0\n"
+      "            replica reads)\n"
       "  telemetry: telemetry={0,1,on,off} telemetry_interval_ms telemetry_out\n"
       "            telemetry_spans={0,1} (wait-free metrics + JSONL time series\n"
       "            at <telemetry_out>.jsonl + Prometheus dump at <telemetry_out>.prom;\n"
@@ -58,7 +65,11 @@ void print_usage() {
 
 int main(int argc, char** argv) {
   using namespace fluentps;
-  const auto args = Config::from_args(argc, argv);
+  auto args = Config::from_args(argc, argv);
+  // Structured sections (DESIGN.md §13): the flat legacy spellings stay alive
+  // as aliases of their sectioned names — scripts using either keep working.
+  args.alias("replication.factor", "replication");
+  args.alias("replication.failover_detect", "failover_detect");
   if (args.has("help")) {
     print_usage();
     return 0;
@@ -124,8 +135,17 @@ int main(int argc, char** argv) {
   cfg.retry = fault::RetryPolicy::from_config(args);
   cfg.force_reliability = args.get_bool("force_reliability", false);
   cfg.checkpoint_dir = args.get_string("checkpoint_dir", "");
-  cfg.replication_factor = static_cast<std::uint32_t>(args.get_int("replication", 1));
-  cfg.failover_detect_seconds = args.get_double("failover_detect", cfg.failover_detect_seconds);
+  cfg.replication_factor = static_cast<std::uint32_t>(args.get_int("replication.factor", 1));
+  cfg.failover_detect_seconds =
+      args.get_double("replication.failover_detect", cfg.failover_detect_seconds);
+
+  cfg.read.fleet = static_cast<std::uint32_t>(args.get_int("read.fleet", 0));
+  cfg.read.pulls = args.get_int("read.pulls", 0);
+  cfg.read.max_staleness_clocks = args.get_int("read.staleness", cfg.read.max_staleness_clocks);
+  cfg.read.prefer_replica = args.get_bool("read.prefer_replica", cfg.read.prefer_replica);
+  cfg.read.think_seconds = args.get_double("read.think", cfg.read.think_seconds);
+  cfg.read.serve_seconds = args.get_double("read.serve", cfg.read.serve_seconds);
+  cfg.read.sparse = args.get_bool("read.sparse", false);
 
   cfg.telemetry.enabled = args.get_bool("telemetry", false);
   cfg.telemetry.interval_ms = static_cast<std::uint32_t>(args.get_int(
@@ -200,6 +220,22 @@ int main(int argc, char** argv) {
                 static_cast<long long>(r.replicated_updates),
                 static_cast<long long>(r.failovers), r.failover_seconds,
                 static_cast<long long>(r.rolled_back_updates));
+  }
+  if (cfg.replication_factor > 1 || cfg.read.fleet_enabled()) {
+    std::printf("reads           replica-served %lld  head-served %lld  fallbacks %lld  "
+                "violations %lld%s\n",
+                static_cast<long long>(r.replica_reads_served),
+                static_cast<long long>(r.head_reads_served),
+                static_cast<long long>(r.replica_read_fallbacks),
+                static_cast<long long>(r.read_violations),
+                r.read_violations == 0 ? " (bound OK)" : " (BOUND VIOLATED)");
+    if (cfg.read.fleet_enabled()) {
+      std::printf("fleet           %u clients x %lld pulls (%lld completed) -> "
+                  "%.0f pulls/s over %.3f s\n",
+                  cfg.read.fleet, static_cast<long long>(cfg.read.pulls),
+                  static_cast<long long>(r.fleet_pulls), r.fleet_throughput,
+                  r.fleet_pull_seconds);
+    }
   }
   if (cfg.sparse.enabled()) {
     const auto extra = [&r](const char* k) {

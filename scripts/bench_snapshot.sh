@@ -14,7 +14,7 @@ cd "$(dirname "$0")/.."
 
 MIN_TIME="${MIN_TIME:-0.5}"
 REPS="${REPS:-3}"
-FILTER="${FILTER:-BM_MessageSerialize|BM_MessageSerializeZeroCopy|BM_ServerBatchedApply|BM_CombinerHandoff|BM_StripedApplyPinned|BM_RecvZeroCopy|BM_Axpy|BM_BiasGrad|BM_GemmNn|BM_GatherScatter|BM_SyncEnginePushPull|BM_ReplicationLogAppendTrim|BM_ReplicationLogRetransmitLookup|BM_EmbeddingRowApply|BM_SparseSerialize|BM_MetricsRecord}"
+FILTER="${FILTER:-BM_MessageSerialize|BM_MessageSerializeZeroCopy|BM_ServerBatchedApply|BM_CombinerHandoff|BM_StripedApplyPinned|BM_RecvZeroCopy|BM_Axpy|BM_BiasGrad|BM_GemmNn|BM_GatherScatter|BM_SyncEnginePushPull|BM_ReplicationLogAppendTrim|BM_ReplicationLogRetransmitLookup|BM_ReplicaRead|BM_EmbeddingRowApply|BM_SparseSerialize|BM_MetricsRecord}"
 BENCH=build/bench/micro_kernels
 OUT="${OUT:-BENCH_micro.json}"
 

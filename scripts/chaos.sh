@@ -69,36 +69,87 @@ for case_spec in "${CASES[@]}"; do
   echo
 done
 
-# Replicated chain case: kill the head of shard 0 with NO restart — recovery
-# must come from chain promotion (failovers >= 1, zero rolled-back updates),
-# not from a checkpoint restore.
-echo "== chaos: sync=ssp(3) replication=2 drop=$DROP + head kill (no restart) =="
+# Replicated chain cases: kill heads of shard 0 with NO restart — recovery
+# must come from chain promotion, not from a checkpoint restore. The kill
+# schedule and the expected failover count are both derived from the chain
+# geometry (r - 1 surviving successors), never hard-coded to one node id:
+# each crash targets the shard's *current* head, so r = 3 survives killing
+# the original head AND the node promoted in its place.
+for R in 2 3; do
+  KILLS=$((R - 1))
+  CRASH="s0@0.3:inf"
+  for ((k = 1; k < KILLS; k++)); do
+    CRASH="$CRASH;s0@0.$((3 + 2 * k)):inf"
+  done
+  echo "== chaos: sync=ssp(3) replication.factor=$R drop=$DROP + $KILLS head kill(s) =="
+  if out=$("$CLI" \
+    workers="$WORKERS" servers="$SERVERS" iters="$ITERS" seed="$SEED" \
+    sync=ssp staleness=3 replication.factor="$R" \
+    model=softmax dim=64 classes=10 train_n=1024 test_n=256 \
+    compute=lognormal base_seconds=0.01 sigma=0.3 \
+    fault.drop="$DROP" "fault.crash=$CRASH" \
+    retry.initial_timeout=0.02 retry.max_timeout=0.3 2>&1); then
+    echo "$out" | grep -E "final accuracy|faults|recovery|replication"
+    acc=$(echo "$out" | sed -n 's/^final accuracy *\([0-9.]*\).*/\1/p')
+    failovers=$(echo "$out" | sed -n 's/.*failovers \([0-9]*\).*/\1/p')
+    rolled=$(echo "$out" | sed -n 's/.*rolled back \([0-9]*\).*/\1/p')
+    if [ -z "$acc" ] || [ "$acc" = "nan" ]; then
+      echo "!! non-finite accuracy: replicated chain r=$R"
+      fail=1
+    fi
+    if [ "${failovers:-0}" -lt "$KILLS" ]; then
+      echo "!! $KILLS head kill(s) promoted only ${failovers:-0} successor(s): r=$R"
+      fail=1
+    fi
+    if [ "${rolled:-1}" -ne 0 ]; then
+      echo "!! chain failover rolled back updates (must be zero-loss): r=$R"
+      fail=1
+    fi
+  else
+    echo "$out"
+    echo "!! run failed: replicated chain r=$R"
+    fail=1
+  fi
+  echo
+done
+
+# Read-offload case (DESIGN.md §13): a pull-only inference fleet round-robins
+# staleness-bounded reads over the r=2 chain while the head of shard 0 is
+# killed mid-run. Every fleet pull must complete (retry -> head, promote
+# rebind), replicas must actually serve a share of them, and the CLI's
+# "(bound OK)" verdict — the fleet's per-response staleness oracle — must
+# hold: zero replica-served responses older than the bound.
+echo "== chaos: read-offload fleet r=2 drop=$DROP + head kill under pull-heavy traffic =="
 if out=$("$CLI" \
   workers="$WORKERS" servers="$SERVERS" iters="$ITERS" seed="$SEED" \
-  sync=ssp staleness=3 replication=2 \
+  sync=ssp staleness=3 replication.factor=2 \
   model=softmax dim=64 classes=10 train_n=1024 test_n=256 \
   compute=lognormal base_seconds=0.01 sigma=0.3 \
+  read.fleet=8 read.pulls=200 read.staleness=3 \
   fault.drop="$DROP" "fault.crash=s0@0.3:inf" \
   retry.initial_timeout=0.02 retry.max_timeout=0.3 2>&1); then
-  echo "$out" | grep -E "final accuracy|faults|recovery|replication"
-  acc=$(echo "$out" | sed -n 's/^final accuracy *\([0-9.]*\).*/\1/p')
+  echo "$out" | grep -E "final accuracy|reads|fleet|replication"
   failovers=$(echo "$out" | sed -n 's/.*failovers \([0-9]*\).*/\1/p')
-  rolled=$(echo "$out" | sed -n 's/.*rolled back \([0-9]*\).*/\1/p')
-  if [ -z "$acc" ] || [ "$acc" = "nan" ]; then
-    echo "!! non-finite accuracy: replicated chain"
+  replica_served=$(echo "$out" | sed -n 's/^reads.*replica-served \([0-9]*\).*/\1/p')
+  if ! echo "$out" | grep -q "(bound OK)"; then
+    echo "!! staleness bound violated under head kill"
     fail=1
   fi
   if [ "${failovers:-0}" -lt 1 ]; then
-    echo "!! head kill never promoted a successor"
+    echo "!! head kill never promoted a successor: read-offload"
     fail=1
   fi
-  if [ "${rolled:-1}" -ne 0 ]; then
-    echo "!! chain failover rolled back updates (must be zero-loss)"
+  if [ "${replica_served:-0}" -lt 1 ]; then
+    echo "!! fleet never offloaded a read to a replica"
+    fail=1
+  fi
+  if ! echo "$out" | grep -qE "fleet +8 clients x 200 pulls \(1600 completed\)"; then
+    echo "!! fleet did not complete all pulls"
     fail=1
   fi
 else
   echo "$out"
-  echo "!! run failed: replicated chain"
+  echo "!! run failed: read-offload fleet"
   fail=1
 fi
 echo
@@ -231,4 +282,4 @@ if [ "$fail" -ne 0 ]; then
   echo "CHAOS: FAILURES (see above)"
   exit 1
 fi
-echo "CHAOS: all ${#CASES[@]} crash-restart cases + the replicated head-kill case + ${#SPARSE_CASES[@]} sparse cases survived ${DROP} loss"
+echo "CHAOS: all ${#CASES[@]} crash-restart cases + 2 replicated head-kill cases + the read-offload fleet case + ${#SPARSE_CASES[@]} sparse cases survived ${DROP} loss"

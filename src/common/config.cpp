@@ -49,30 +49,47 @@ Config Config::from_text(std::string_view text) {
 
 void Config::set(std::string key, std::string value) { kv_[std::move(key)] = std::move(value); }
 
-bool Config::has(const std::string& key) const { return kv_.contains(key); }
+void Config::alias(std::string canonical, std::string legacy) {
+  // Bidirectional: resolve() follows one hop from either spelling, so reads
+  // through the canonical key see a value set under the legacy key and vice
+  // versa. (Exact-key hits always win — a run that sets both gets the
+  // spelling it asked about.)
+  aliases_[legacy] = canonical;
+  aliases_[std::move(canonical)] = std::move(legacy);
+}
+
+const std::string* Config::resolve(const std::string& key) const {
+  const auto it = kv_.find(key);
+  if (it != kv_.end()) return &it->second;
+  const auto alias_it = aliases_.find(key);
+  if (alias_it == aliases_.end()) return nullptr;
+  const auto other = kv_.find(alias_it->second);
+  return other != kv_.end() ? &other->second : nullptr;
+}
+
+bool Config::has(const std::string& key) const { return resolve(key) != nullptr; }
 
 std::string Config::get_string(const std::string& key, std::string fallback) const {
-  const auto it = kv_.find(key);
-  return it != kv_.end() ? it->second : std::move(fallback);
+  const std::string* v = resolve(key);
+  return v != nullptr ? *v : std::move(fallback);
 }
 
 std::int64_t Config::get_int(const std::string& key, std::int64_t fallback) const {
-  const auto it = kv_.find(key);
-  if (it == kv_.end()) return fallback;
-  return std::strtoll(it->second.c_str(), nullptr, 10);
+  const std::string* v = resolve(key);
+  if (v == nullptr) return fallback;
+  return std::strtoll(v->c_str(), nullptr, 10);
 }
 
 double Config::get_double(const std::string& key, double fallback) const {
-  const auto it = kv_.find(key);
-  if (it == kv_.end()) return fallback;
-  return std::strtod(it->second.c_str(), nullptr);
+  const std::string* v = resolve(key);
+  if (v == nullptr) return fallback;
+  return std::strtod(v->c_str(), nullptr);
 }
 
 bool Config::get_bool(const std::string& key, bool fallback) const {
-  const auto it = kv_.find(key);
-  if (it == kv_.end()) return fallback;
-  const std::string& v = it->second;
-  return v == "1" || v == "true" || v == "yes" || v == "on";
+  const std::string* v = resolve(key);
+  if (v == nullptr) return fallback;
+  return *v == "1" || *v == "true" || *v == "yes" || *v == "on";
 }
 
 std::vector<std::pair<std::string, std::string>> Config::entries() const {

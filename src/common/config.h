@@ -1,6 +1,12 @@
 // Minimal key=value configuration store with typed getters; parses
 // command-line style "--key=value" arguments and plain "key=value" lines so
 // examples and benches share one flag mechanism.
+//
+// Structured sections + aliases (DESIGN.md §13): as flat keys grew into
+// sections (`read.*`, `replication.*`, `fault.*`, `retry.*`), older spellings
+// were kept alive via alias(canonical, legacy). An alias makes the two keys
+// one logical setting for every lookup — has()/get_*() on either name
+// resolve to whichever was actually set, canonical spelling first.
 #pragma once
 
 #include <map>
@@ -24,6 +30,11 @@ class Config {
 
   void set(std::string key, std::string value);
 
+  /// Declare `legacy` a backward-compat spelling of `canonical`: lookups on
+  /// either key resolve to whichever is set, preferring the exact key asked
+  /// for, then its counterpart. Aliases apply to has() and every get_*().
+  void alias(std::string canonical, std::string legacy);
+
   [[nodiscard]] bool has(const std::string& key) const;
 
   [[nodiscard]] std::string get_string(const std::string& key, std::string fallback = "") const;
@@ -37,7 +48,12 @@ class Config {
   [[nodiscard]] std::vector<std::pair<std::string, std::string>> entries() const;
 
  private:
+  /// The stored value for `key`, following one alias hop if the exact key is
+  /// absent. nullptr when neither spelling is set.
+  [[nodiscard]] const std::string* resolve(const std::string& key) const;
+
   std::map<std::string, std::string> kv_;
+  std::map<std::string, std::string> aliases_;  ///< both directions
   std::vector<std::string> positional_;
 };
 

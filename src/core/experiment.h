@@ -41,6 +41,42 @@ Backend parse_backend(const std::string& s);
 const char* to_string(Arch a) noexcept;
 const char* to_string(Backend b) noexcept;
 
+/// Read-path configuration (DESIGN.md §13): staleness-bounded replica read
+/// offloading plus an optional read-only "inference fleet" sharing the
+/// cluster with the training job.
+struct ReadSpec {
+  /// Pull-only clients to run alongside training (0 = no fleet). Each fleet
+  /// client issues `pulls` whole-model bounded pulls, using the highest
+  /// horizon it has observed as its clock.
+  std::uint32_t fleet = 0;
+  std::int64_t pulls = 0;
+
+  /// ReadOptions for fleet pulls (and for sparse training pulls when
+  /// `sparse` is set): how many clocks a serving node's horizon may trail
+  /// the reader's clock, and whether reads round-robin across chain
+  /// replicas at all (false = head-only; the A/B baseline for the
+  /// read-offload ablation).
+  std::int64_t max_staleness_clocks = 3;
+  bool prefer_replica = true;
+
+  /// Sim backend: per-pull client think time (seconds) between a response
+  /// and the next request. 0 = closed loop at full speed.
+  double think_seconds = 0.0;
+
+  /// Threads backend: modeled per-read service cost at every serving node
+  /// (head and replicas) — the dispatch thread sleeps this long per bounded
+  /// read, making per-node read service the measured bottleneck the way
+  /// `server_proc_seconds` does on the sim backend. 0 = memcpy speed.
+  double serve_seconds = 0.0;
+
+  /// Route the sparse job's training pulls through the bounded-read path
+  /// with bound 0 (bit-identical responses; offloads pull service to the
+  /// chain). Requires replication_factor > 1 to change anything.
+  bool sparse = false;
+
+  [[nodiscard]] bool fleet_enabled() const noexcept { return fleet > 0 && pulls > 0; }
+};
+
 struct ExperimentConfig {
   // Cluster shape.
   std::uint32_t num_workers = 8;
@@ -190,6 +226,11 @@ struct ExperimentConfig {
   /// promoting its successor (models detector timeout + election).
   double failover_detect_seconds = 0.05;
 
+  // --- read path (DESIGN.md §13) ---------------------------------------
+
+  /// Staleness-bounded replica reads + optional pull-only inference fleet.
+  ReadSpec read;
+
   // --- sparse embedding tables (src/embed, DESIGN.md §10) ---------------
 
   /// Optional sparse embedding job sharing the same server set as the dense
@@ -296,6 +337,16 @@ struct ExperimentResult {
   /// restore rolled them out of the shard — the checkpoint path's lost-update
   /// tally. Chain failover keeps this 0 (nothing acked is ever lost).
   std::int64_t rolled_back_updates = 0;
+  // --- read-path outcomes (DESIGN.md §13) ------------------------------
+  std::int64_t replica_reads_served = 0;   ///< bounded pulls answered by replicas
+  std::int64_t replica_read_fallbacks = 0; ///< kPullRedirect head fallbacks
+  std::int64_t head_reads_served = 0;      ///< bounded pulls answered by heads
+  /// Replica-served responses whose echoed horizon violated the requested
+  /// bound — the staleness oracle. Must be 0 in every mode and backend.
+  std::int64_t read_violations = 0;
+  std::int64_t fleet_pulls = 0;        ///< completed fleet pulls (all clients)
+  double fleet_pull_seconds = 0.0;     ///< first fleet request -> last response
+  double fleet_throughput = 0.0;       ///< fleet_pulls / fleet_pull_seconds
   /// Snapshot of the run's Metrics counters (fault.*, worker.*, server.*).
   std::vector<std::pair<std::string, std::int64_t>> counters;
   /// Crash/restart/checkpoint timeline (trace_export renders these).

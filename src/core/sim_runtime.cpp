@@ -4,6 +4,8 @@
 #include <cmath>
 #include <deque>
 #include <filesystem>
+#include <limits>
+#include <map>
 #include <memory>
 
 #include "baselines/ssptable_cache.h"
@@ -19,6 +21,7 @@
 #include "ml/ops.h"
 #include "net/sim_transport.h"
 #include "obs/snapshot.h"
+#include "ps/read_options.h"
 #include "ps/scheduler.h"
 #include "ps/server.h"
 #include "ps/slicing.h"
@@ -68,7 +71,8 @@ class SimRun {
         env_(),
         chain_{cfg.num_servers, cfg.num_workers, std::max<std::uint32_t>(cfg.replication_factor, 1)},
         network_(cfg.net, chain_.total_nodes() +
-                              (cfg.sparse.enabled() ? cfg.sparse.num_workers : 0)),
+                              (cfg.sparse.enabled() ? cfg.sparse.num_workers : 0) +
+                              (cfg.read.fleet_enabled() ? cfg.read.fleet : 0)),
         transport_(env_, network_),
         data_(ml::Dataset::synthesize(cfg.data)),
         model_(ml::make_model(cfg.model, data_.dim(), data_.num_classes())),
@@ -110,6 +114,7 @@ class SimRun {
     build_scheduler();
     build_workers();
     build_sparse_workers();
+    build_fleet();
   }
 
   ExperimentResult run() {
@@ -121,6 +126,7 @@ class SimRun {
     schedule_crashes();
     for (auto& w : workers_) schedule_compute(*w);
     for (auto& s : sparse_workers_) schedule_sparse_compute(*s);
+    for (auto& c : fleet_) start_fleet_pull(*c);
     env_.run();
     return collect();
   }
@@ -455,6 +461,7 @@ class SimRun {
   struct SparsePull {
     std::uint64_t ticket = 0;
     std::uint32_t server = 0;
+    net::NodeId dst = 0;       ///< current target: RR pick, re-aimed at the head
     std::vector<float> frame;  ///< encoded rows-only request
     embed::SparseBatch resp;
     bool received = false;
@@ -464,6 +471,11 @@ class SimRun {
     std::uint32_t rank = 0;
     net::NodeId node = 0;
     std::vector<net::NodeId> server_nodes;  ///< rebound by kPromote
+    /// Non-head chain members per shard (read.sparse offloading only).
+    std::vector<std::vector<net::NodeId>> read_replicas;
+    std::size_t read_rr = 0;  ///< round-robin cursor over {head} ∪ replicas
+    std::int64_t replica_reads = 0;
+    std::int64_t read_redirects = 0;
     std::int64_t round = 0;
     std::vector<SparsePush> pushes;
     std::vector<SparsePull> pulls;
@@ -490,8 +502,17 @@ class SimRun {
       // replicas, dense workers) — their rank space is their own.
       w->node = chain_.total_nodes() + s;
       w->server_nodes.resize(cfg_.num_servers);
-      for (std::uint32_t m = 0; m < cfg_.num_servers; ++m) w->server_nodes[m] = server_node(m);
+      w->read_replicas.resize(cfg_.num_servers);
+      for (std::uint32_t m = 0; m < cfg_.num_servers; ++m) {
+        w->server_nodes[m] = server_node(m);
+        if (cfg_.read.sparse && chain_.replicated()) {
+          for (std::uint32_t pos = 1; pos < chain_.factor; ++pos) {
+            w->read_replicas[m].push_back(chain_.node_of(m, pos));
+          }
+        }
+      }
       w->next_seq.assign(cfg_.num_servers, 1);
+      w->read_rr = s;  // stagger: in-phase cursors converge on one node
       w->next_ticket = (static_cast<std::uint64_t>(s) << 40) + 1;
       // Same stream labels as embed::SparseWorkerClient's jitter rng.
       w->retry_rng = Rng(derive_seed(cfg_.seed, 0x5B9E81 + s), /*stream=*/0x4E7);
@@ -541,6 +562,12 @@ class SimRun {
         SparsePull p;
         p.ticket = w.next_ticket++;
         p.server = m;
+        p.dst = w.server_nodes[m];
+        if (cfg_.read.sparse && !w.read_replicas[m].empty()) {
+          const std::size_t n = w.read_replicas[m].size() + 1;
+          const std::size_t pick = w.read_rr++ % n;
+          if (pick > 0) p.dst = w.read_replicas[m][pick - 1];
+        }
         embed::SparseBatch req;
         req.table_id = shards[t][m].table_id;
         req.dim = shards[t][m].dim;
@@ -573,9 +600,16 @@ class SimRun {
     net::Message msg;
     msg.type = net::MsgType::kSparsePull;
     msg.src = w.node;
-    msg.dst = w.server_nodes[p.server];
+    msg.dst = p.dst;
     msg.request_id = p.ticket;
-    msg.seq = 0;  // pulls bypass the dedup window; the ticket dedups them
+    // Strong pulls ride seq 0 (the ticket dedups them). With read.sparse the
+    // pull is a bound-0 bounded read — the BSP round clock makes a replica's
+    // answer bit-identical to the head's, so the digest oracle still holds.
+    msg.seq = cfg_.read.sparse ? ps::encode_read_bound(ps::ReadOptions{
+                                     .clock = w.round,
+                                     .max_staleness_clocks = 0,
+                                     .consistency = ps::Consistency::kBounded})
+                               : 0;
     msg.progress = w.round;
     msg.worker_rank = w.rank;
     msg.server_rank = p.server;
@@ -601,8 +635,13 @@ class SimRun {
           if (!p.acked) send_sparse_push(w, p);
         }
       } else {
-        for (const SparsePull& p : w.pulls) {
-          if (!p.received) send_sparse_pull(w, p);
+        // Timed-out bounded pulls re-aim at the head: the chosen replica may
+        // be dead, and the head always serves.
+        for (SparsePull& p : w.pulls) {
+          if (!p.received) {
+            p.dst = w.server_nodes[p.server];
+            send_sparse_pull(w, p);
+          }
         }
       }
       arm_sparse_retry(w);
@@ -628,6 +667,7 @@ class SimRun {
           if (p.ticket == msg.request_id && !p.received) {
             FPS_CHECK(embed::decode_sparse(msg.values.span(), &p.resp))
                 << "sparse worker " << w.rank << ": malformed pull response";
+            if (msg.seq == ps::kReplicaServedSeq) ++w.replica_reads;
             p.received = true;
             FPS_CHECK(w.unanswered > 0) << "unexpected sparse pull response";
             if (--w.unanswered == 0) finish_sparse_round(w);
@@ -636,11 +676,28 @@ class SimRun {
         }
         return;  // stale or duplicate response
       }
+      case net::MsgType::kPullRedirect: {
+        // The chosen replica's round clock could not cover the bound: retry
+        // the same ticket at the shard's head, which always serves.
+        for (SparsePull& p : w.pulls) {
+          if (p.ticket == msg.request_id && !p.received) {
+            ++w.read_redirects;
+            p.dst = w.server_nodes[p.server];
+            send_sparse_pull(w, p);
+            return;
+          }
+        }
+        return;  // stale redirect
+      }
       case net::MsgType::kPromote: {
         const std::uint32_t m = msg.server_rank;
         FPS_CHECK(m < w.server_nodes.size()) << "bad server rank in sparse promote";
         if (w.server_nodes[m] == msg.src) return;  // duplicate promote
         w.server_nodes[m] = msg.src;
+        // The promoted node left the read set; outstanding pulls re-aim at
+        // the new head.
+        auto& replicas = w.read_replicas[m];
+        replicas.erase(std::remove(replicas.begin(), replicas.end(), msg.src), replicas.end());
         // Re-offer what the dead head may have swallowed.
         if (w.unacked > 0) {
           for (const SparsePush& p : w.pushes) {
@@ -648,8 +705,11 @@ class SimRun {
           }
         }
         if (w.unanswered > 0) {
-          for (const SparsePull& p : w.pulls) {
-            if (p.server == m && !p.received) send_sparse_pull(w, p);
+          for (SparsePull& p : w.pulls) {
+            if (p.server == m && !p.received) {
+              p.dst = msg.src;
+              send_sparse_pull(w, p);
+            }
           }
         }
         return;
@@ -685,6 +745,196 @@ class SimRun {
       w.done = true;
       w.finish_time = env_.now();
     }
+  }
+
+  // --- inference fleet: pull-only clients on the bounded-read path --------
+  // The read-mostly scenario from DESIGN.md §13: cfg.read.fleet clients share
+  // the cluster with the training job, each issuing cfg.read.pulls whole-model
+  // bounded pulls in a closed loop. Every pull round-robins across
+  // {head} ∪ replicas per shard; a replica that cannot cover the bound
+  // answers kPullRedirect and the shard retries at the head. A client's clock
+  // is the highest horizon any response has echoed, so the staleness oracle
+  // (`progress + bound >= clock` on every replica-served response) tightens
+  // as training advances.
+
+  struct FleetState {
+    std::uint32_t idx = 0;
+    std::uint32_t rank = 0;  ///< num_workers + idx: unique across read windows
+    net::NodeId node = 0;
+    std::vector<net::NodeId> server_nodes;  ///< rebound by kPromote
+    std::vector<std::vector<net::NodeId>> read_replicas;  ///< per shard
+    std::vector<net::NodeId> dst;  ///< current target per shard
+    std::vector<char> received;    ///< per shard (dedup mask)
+    std::uint32_t pending = 0;
+    std::uint64_t ticket = 0;
+    std::uint64_t next_ticket = 1;
+    std::size_t rr = 0;  ///< round-robin cursor over {head} ∪ replicas
+    std::int64_t clock = 0;  ///< highest horizon observed so far
+    std::int64_t completed = 0;
+    std::int64_t replica_reads = 0;
+    std::int64_t head_reads = 0;
+    std::int64_t redirects = 0;
+    std::int64_t violations = 0;
+    std::uint32_t attempt = 0;
+    bool retry_armed = false;
+    Rng retry_rng{0};
+    std::int64_t retries = 0;
+    double start_time = 0.0;
+    double finish_time = 0.0;
+    bool done = false;
+  };
+
+  void build_fleet() {
+    if (!cfg_.read.fleet_enabled()) return;
+    const std::uint32_t sparse_n = cfg_.sparse.enabled() ? cfg_.sparse.num_workers : 0;
+    fleet_.reserve(cfg_.read.fleet);
+    for (std::uint32_t i = 0; i < cfg_.read.fleet; ++i) {
+      auto c = std::make_unique<FleetState>();
+      c->idx = i;
+      c->rank = cfg_.num_workers + i;
+      // Fleet nodes live past every other rank space (dense layout, then
+      // sparse workers).
+      c->node = chain_.total_nodes() + sparse_n + i;
+      c->server_nodes.resize(cfg_.num_servers);
+      c->read_replicas.resize(cfg_.num_servers);
+      for (std::uint32_t m = 0; m < cfg_.num_servers; ++m) {
+        c->server_nodes[m] = server_node(m);
+        if (chain_.replicated() && cfg_.read.prefer_replica) {
+          for (std::uint32_t pos = 1; pos < chain_.factor; ++pos) {
+            c->read_replicas[m].push_back(chain_.node_of(m, pos));
+          }
+        }
+      }
+      c->dst.assign(cfg_.num_servers, 0);
+      c->received.assign(cfg_.num_servers, 0);
+      c->next_ticket = (static_cast<std::uint64_t>(c->rank) << 40) + 1;
+      c->rr = i;  // stagger so clients don't hit the same chain node in lockstep
+      c->retry_rng = Rng(derive_seed(cfg_.seed, 0xF1EE7 + i), /*stream=*/0x4E7);
+      FleetState* raw = c.get();
+      bus_->register_node(raw->node, [this, raw](net::Message&& msg) {
+        on_fleet_msg(*raw, std::move(msg));
+      });
+      fleet_.push_back(std::move(c));
+    }
+  }
+
+  void start_fleet_pull(FleetState& c) {
+    if (c.completed == 0) c.start_time = env_.now();
+    c.ticket = c.next_ticket++;
+    c.attempt = 0;
+    std::fill(c.received.begin(), c.received.end(), 0);
+    c.pending = cfg_.num_servers;
+    for (std::uint32_t m = 0; m < cfg_.num_servers; ++m) {
+      c.dst[m] = c.server_nodes[m];
+      const auto& replicas = c.read_replicas[m];
+      if (!replicas.empty()) {
+        const std::size_t pick = c.rr++ % (replicas.size() + 1);
+        if (pick > 0) c.dst[m] = replicas[pick - 1];
+      }
+      send_fleet_pull(c, m);
+    }
+    arm_fleet_retry(c);
+  }
+
+  void send_fleet_pull(FleetState& c, std::uint32_t m) {
+    net::Message msg;
+    msg.type = net::MsgType::kPull;
+    msg.src = c.node;
+    msg.dst = c.dst[m];
+    msg.request_id = c.ticket;
+    msg.seq = ps::encode_read_bound(
+        ps::ReadOptions{.clock = c.clock,
+                        .max_staleness_clocks = cfg_.read.max_staleness_clocks,
+                        .consistency = ps::Consistency::kBounded});
+    msg.progress = c.clock;
+    msg.worker_rank = c.rank;
+    msg.server_rank = m;
+    bus_->send(std::move(msg));
+  }
+
+  void on_fleet_msg(FleetState& c, net::Message&& msg) {
+    switch (msg.type) {
+      case net::MsgType::kPullResp: {
+        if (msg.request_id != c.ticket) return;  // response to a superseded pull
+        const std::uint32_t m = msg.server_rank;
+        FPS_CHECK(m < c.received.size()) << "bad server rank in fleet pull response";
+        if (c.received[m]) return;  // duplicate (retransmit raced the original)
+        c.received[m] = 1;
+        if (msg.seq == ps::kReplicaServedSeq) {
+          ++c.replica_reads;
+          // The staleness oracle: a replica may only answer when its horizon
+          // covers the requested bound.
+          if (msg.progress + cfg_.read.max_staleness_clocks < c.clock) ++c.violations;
+        } else {
+          ++c.head_reads;
+        }
+        ++reads_by_node_[msg.src];
+        c.clock = std::max(c.clock, msg.progress);
+        FPS_CHECK(c.pending > 0) << "unexpected fleet pull response";
+        if (--c.pending == 0) finish_fleet_pull(c);
+        return;
+      }
+      case net::MsgType::kPullRedirect: {
+        if (msg.request_id != c.ticket) return;  // stale redirect
+        const std::uint32_t m = msg.server_rank;
+        if (m >= c.received.size() || c.received[m]) return;
+        ++c.redirects;
+        c.dst[m] = c.server_nodes[m];
+        send_fleet_pull(c, m);
+        return;
+      }
+      case net::MsgType::kPromote: {
+        const std::uint32_t m = msg.server_rank;
+        FPS_CHECK(m < c.server_nodes.size()) << "bad server rank in fleet promote";
+        if (c.server_nodes[m] == msg.src) return;  // duplicate promote
+        c.server_nodes[m] = msg.src;
+        auto& replicas = c.read_replicas[m];
+        replicas.erase(std::remove(replicas.begin(), replicas.end(), msg.src),
+                       replicas.end());
+        if (c.pending > 0 && !c.received[m]) {
+          c.dst[m] = msg.src;
+          send_fleet_pull(c, m);
+        }
+        return;
+      }
+      default:
+        FPS_LOG(Warn) << "fleet client " << c.idx << " ignoring " << msg.to_debug_string();
+    }
+  }
+
+  void finish_fleet_pull(FleetState& c) {
+    ++c.completed;
+    if (c.completed >= cfg_.read.pulls) {
+      c.done = true;
+      c.finish_time = env_.now();
+      return;
+    }
+    if (cfg_.read.think_seconds > 0.0) {
+      env_.schedule(cfg_.read.think_seconds, [this, &c] { start_fleet_pull(c); });
+    } else {
+      start_fleet_pull(c);
+    }
+  }
+
+  void arm_fleet_retry(FleetState& c) {
+    // Loss only exists under a fault plan; a clean fabric needs no timers.
+    if (chaos_ == nullptr || c.retry_armed) return;
+    c.retry_armed = true;
+    const double timeout = cfg_.retry.timeout_for(c.attempt, c.retry_rng);
+    env_.schedule(timeout, [this, &c] {
+      c.retry_armed = false;
+      if (c.pending == 0) return;  // pull completed while the timer was armed
+      ++c.retries;
+      if (!cfg_.retry.exhausted(c.attempt)) ++c.attempt;
+      for (std::uint32_t m = 0; m < cfg_.num_servers; ++m) {
+        if (!c.received[m]) {
+          // The chosen replica may be dead; the head always serves.
+          c.dst[m] = c.server_nodes[m];
+          send_fleet_pull(c, m);
+        }
+      }
+      arm_fleet_retry(c);
+    });
   }
 
   void schedule_compute(WorkerState& w) {
@@ -1143,6 +1393,14 @@ class SimRun {
       p.server_rank = m;
       bus_->send(std::move(p));
     }
+    for (const auto& c : fleet_) {
+      net::Message p;
+      p.type = net::MsgType::kPromote;
+      p.src = slot.node;
+      p.dst = c->node;
+      p.server_rank = m;
+      bus_->send(std::move(p));
+    }
     fault_events_.push_back(FaultEvent{env_.now(), "kPromote", slot.node});
     fault_events_.push_back(FaultEvent{env_.now(), "failover_end", slot.node});
     metrics_.incr("fault.failover_events");
@@ -1316,6 +1574,8 @@ class SimRun {
       }
       std::uint64_t pull_digest = 0;
       std::int64_t sparse_retries = 0;
+      std::int64_t sparse_replica_reads = 0;
+      std::int64_t sparse_redirects = 0;
       for (const auto& sw : sparse_workers_) {
         FPS_CHECK(sw->done) << "sparse worker " << sw->rank
                             << " did not finish (deadlock?) at round " << sw->round << "/"
@@ -1323,7 +1583,11 @@ class SimRun {
         r.total_time = std::max(r.total_time, sw->finish_time);
         pull_digest += sw->pull_digest;
         sparse_retries += sw->retries;
+        sparse_replica_reads += sw->replica_reads;
+        sparse_redirects += sw->read_redirects;
       }
+      r.extra["sparse_replica_reads"] = static_cast<double>(sparse_replica_reads);
+      r.extra["sparse_read_redirects"] = static_cast<double>(sparse_redirects);
       put_u64_extra(r, "sparse_state_digest", state_digest);
       put_u64_extra(r, "sparse_pull_digest", pull_digest);
       double dedup = 0, pushes = 0, rows = 0, pulls = 0, fwds = 0, repairs = 0;
@@ -1343,6 +1607,50 @@ class SimRun {
       r.extra["sparse_repl_repairs"] = repairs;
       r.extra["sparse_retries"] = static_cast<double>(sparse_retries);
       r.extra["sparse_parked_pulls"] = static_cast<double>(parked);
+    }
+    // --- read-path outcomes (DESIGN.md §13) -------------------------------
+    for (const ReplicaSlot& slot : replicas_) {
+      r.replica_reads_served += slot.replica->reads_served();
+      r.replica_read_fallbacks += slot.replica->read_fallbacks();
+      if (slot.sparse_replica) {
+        r.replica_reads_served += slot.sparse_replica->reads_served();
+        r.replica_read_fallbacks += slot.sparse_replica->read_fallbacks();
+      }
+    }
+    for_each_server([&r](const ps::Server& s) { r.head_reads_served += s.bounded_reads(); });
+    if (!fleet_.empty()) {
+      double first = std::numeric_limits<double>::max();
+      double last = 0.0;
+      std::int64_t redirects = 0;
+      for (const auto& c : fleet_) {
+        FPS_CHECK(c->done) << "fleet client " << c->idx
+                           << " did not finish (deadlock?) at pull " << c->completed << "/"
+                           << cfg_.read.pulls;
+        r.total_time = std::max(r.total_time, c->finish_time);
+        r.fleet_pulls += c->completed;
+        r.read_violations += c->violations;
+        redirects += c->redirects;
+        r.worker_retries += c->retries;
+        first = std::min(first, c->start_time);
+        last = std::max(last, c->finish_time);
+      }
+      r.fleet_pull_seconds = last - first;
+      r.fleet_throughput = r.fleet_pull_seconds > 0.0
+                               ? static_cast<double>(r.fleet_pulls) / r.fleet_pull_seconds
+                               : 0.0;
+      r.extra["fleet_redirects"] = static_cast<double>(redirects);
+      // Per-node read share: how evenly the fleet's shard requests spread
+      // over each shard's chain.
+      std::int64_t total_reads = 0;
+      for (const auto& [node, n] : reads_by_node_) total_reads += n;
+      for (const auto& [node, n] : reads_by_node_) {
+        r.extra["read_share_node_" + std::to_string(node)] =
+            static_cast<double>(n) / static_cast<double>(std::max<std::int64_t>(total_reads, 1));
+      }
+    }
+    if (r.replica_reads_served > 0) metrics_.incr("replica.reads_served", r.replica_reads_served);
+    if (r.replica_read_fallbacks > 0) {
+      metrics_.incr("replica.read_fallbacks", r.replica_read_fallbacks);
     }
     // --- telemetry (src/obs, DESIGN.md §12) -------------------------------
     // The sim backend runs in virtual time, so the wall-clock snapshotter and
@@ -1405,6 +1713,9 @@ class SimRun {
   std::vector<std::unique_ptr<embed::SparseHost>> sparse_hosts_;
   std::vector<embed::SparseHost*> head_sparse_;  ///< current head per shard
   std::vector<std::unique_ptr<SparseWorkerState>> sparse_workers_;
+  // --- inference fleet (DESIGN.md §13) -----------------------------------
+  std::vector<std::unique_ptr<FleetState>> fleet_;
+  std::map<net::NodeId, std::int64_t> reads_by_node_;  ///< fleet read share
   std::vector<AccuracyPoint> curve_;
   std::vector<IterationTrace> trace_;
   std::vector<FaultEvent> fault_events_;

@@ -118,6 +118,7 @@ class ThreadRun {
     build_scheduler();
     build_clients();
     build_sparse_clients();
+    build_fleet();
   }
 
   ExperimentResult run() {
@@ -135,12 +136,15 @@ class ThreadRun {
     }
     {
       std::vector<std::jthread> threads;
-      threads.reserve(cfg_.num_workers + sparse_clients_.size());
+      threads.reserve(cfg_.num_workers + sparse_clients_.size() + fleet_.size());
       for (std::uint32_t n = 0; n < cfg_.num_workers; ++n) {
         threads.emplace_back([this, n] { worker_loop(n); });
       }
       for (std::uint32_t s = 0; s < sparse_clients_.size(); ++s) {
         threads.emplace_back([this, s] { sparse_worker_loop(s); });
+      }
+      for (std::uint32_t i = 0; i < fleet_.size(); ++i) {
+        threads.emplace_back([this, i] { fleet_loop(i); });
       }
     }  // join all workers
     const double makespan = total.seconds();
@@ -189,6 +193,7 @@ class ThreadRun {
     spec.apply_threads = cfg_.apply_threads;
     spec.pin_threads = cfg_.pin_threads;
     spec.replica_successor = chain_.replicated() ? chain_.successor_of(m, 0) : 0;
+    spec.read_serve_seconds = cfg_.read.serve_seconds;
     spec.telemetry = telemetry_;
     if (reliable_) {
       for (std::uint32_t n = 0; n < cfg_.num_workers; ++n) {
@@ -285,6 +290,7 @@ class ThreadRun {
         sharding_.shards[m].gather(w0_, spec.initial_shard);
         spec.successor = chain_.successor_of(m, pos);
         spec.apply_scale = 1.0f / static_cast<float>(cfg_.num_workers);
+        spec.read_serve_seconds = cfg_.read.serve_seconds;
         spec.telemetry = telemetry_;
         slot.replica = std::make_unique<replica::ReplicaNode>(std::move(spec), *bus_);
         if (cfg_.sparse.enabled()) {
@@ -330,6 +336,19 @@ class ThreadRun {
                         [this](net::Message&& msg) { scheduler_->handle(std::move(msg)); });
   }
 
+  /// Non-head chain members per shard, in chain order — the bounded-read
+  /// serving set handed to every client (empty without replication).
+  [[nodiscard]] std::vector<std::vector<net::NodeId>> make_read_replicas() const {
+    std::vector<std::vector<net::NodeId>> replicas(cfg_.num_servers);
+    if (!chain_.replicated()) return replicas;
+    for (std::uint32_t m = 0; m < cfg_.num_servers; ++m) {
+      for (std::uint32_t pos = 1; pos < chain_.factor; ++pos) {
+        replicas[m].push_back(chain_.node_of(m, pos));
+      }
+    }
+    return replicas;
+  }
+
   void build_clients() {
     workers_.reserve(cfg_.num_workers);
     for (std::uint32_t n = 0; n < cfg_.num_workers; ++n) {
@@ -345,6 +364,7 @@ class ThreadRun {
       spec.retry = cfg_.retry;
       spec.seed = cfg_.seed;
       spec.telemetry = telemetry_;
+      spec.read_replicas = make_read_replicas();
       auto pw = std::make_unique<PerWorker>();
       pw->client = std::make_unique<ps::WorkerClient>(std::move(spec), *bus_);
       ps::WorkerClient* raw = pw->client.get();
@@ -369,12 +389,82 @@ class ThreadRun {
       spec.tables = cfg_.sparse.tables;
       spec.retry = cfg_.retry;
       spec.seed = cfg_.seed;
+      if (cfg_.read.sparse) {
+        // Bound-0 bounded reads: the BSP round clock makes replica answers
+        // bit-identical to the head's, so the digest oracle still holds.
+        spec.read.consistency = ps::Consistency::kBounded;
+        spec.read.max_staleness_clocks = 0;
+        spec.read_replicas = make_read_replicas();
+      }
       auto client = std::make_unique<embed::SparseWorkerClient>(std::move(spec), *bus_);
       embed::SparseWorkerClient* raw = client.get();
       bus_->register_node(raw->node_id(),
                           [raw](net::Message&& msg) { raw->handle(std::move(msg)); });
       sparse_clients_.push_back(std::move(client));
     }
+  }
+
+  /// Pull-only inference client (DESIGN.md §13): a plain ps::WorkerClient
+  /// that never pushes — every pull is bounded, so the client rides the
+  /// replica read path with its own timeout ladder and redirect handling.
+  struct FleetClient {
+    std::unique_ptr<ps::WorkerClient> client;
+    double start = 0.0;
+    double finish = 0.0;
+  };
+
+  void build_fleet() {
+    if (!cfg_.read.fleet_enabled()) return;
+    const std::uint32_t sparse_n = cfg_.sparse.enabled() ? cfg_.sparse.num_workers : 0;
+    fleet_.reserve(cfg_.read.fleet);
+    for (std::uint32_t i = 0; i < cfg_.read.fleet; ++i) {
+      ps::WorkerSpec spec;
+      // Fleet nodes live past every other rank space (dense layout, then
+      // sparse workers); ranks continue past the training workers so tickets
+      // and replica read windows stay cluster-unique.
+      spec.node_id = chain_.total_nodes() + sparse_n + i;
+      spec.worker_rank = cfg_.num_workers + i;
+      for (std::uint32_t m = 0; m < cfg_.num_servers; ++m) {
+        spec.server_nodes.push_back(server_node(m));
+      }
+      spec.sharding = &sharding_;
+      spec.scheduler_node = kSchedulerNode;
+      spec.reliable = false;  // pull-only: the bounded-read ladder retransmits
+      spec.retry = cfg_.retry;
+      spec.seed = cfg_.seed;
+      spec.telemetry = telemetry_;
+      spec.read_replicas = make_read_replicas();
+      auto f = std::make_unique<FleetClient>();
+      f->client = std::make_unique<ps::WorkerClient>(std::move(spec), *bus_);
+      ps::WorkerClient* raw = f->client.get();
+      bus_->register_node(raw->node_id(),
+                          [raw](net::Message&& msg) { raw->handle(std::move(msg)); });
+      fleet_.push_back(std::move(f));
+    }
+  }
+
+  void fleet_loop(std::uint32_t idx) {
+    FleetClient& f = *fleet_[idx];
+    ps::WorkerClient& client = *f.client;
+    std::vector<float> pulled(model_->num_params());
+    f.start = since_start_.seconds();
+    std::int64_t clock = 0;
+    for (std::int64_t p = 0; p < cfg_.read.pulls; ++p) {
+      ps::ReadOptions opts;
+      opts.clock = clock;
+      opts.max_staleness_clocks = cfg_.read.max_staleness_clocks;
+      opts.consistency = ps::Consistency::kBounded;
+      opts.prefer_replica = cfg_.read.prefer_replica;
+      const std::uint64_t ticket = client.pull(ps::KeyRange::all(), opts);
+      client.wait_pull(ticket, pulled);
+      // The highest horizon any response echoed is this client's clock for
+      // the next bounded read.
+      clock = std::max(clock, client.observed_horizon());
+      if (cfg_.read.think_seconds > 0.0) {
+        std::this_thread::sleep_for(std::chrono::duration<double>(cfg_.read.think_seconds));
+      }
+    }
+    f.finish = since_start_.seconds();
   }
 
   void sparse_worker_loop(std::uint32_t rank) {
@@ -450,7 +540,9 @@ class ThreadRun {
         client.wait_push_acks();
         client.report_and_wait_grant(iter);
       }
-      const std::uint64_t ticket = client.pull(iter);
+      ps::ReadOptions read_opts;
+      read_opts.clock = iter;  // strong: the legacy engine-gated pull
+      const std::uint64_t ticket = client.pull(ps::KeyRange::all(), read_opts);
       client.wait_pull(ticket, pulled);
       if (cfg_.arch != Arch::kSspTable || cache.apply_fresh(iter)) {
         params = pulled;
@@ -603,6 +695,14 @@ class ThreadRun {
       p.type = net::MsgType::kPromote;
       p.src = slot.node;
       p.dst = sc->node_id();
+      p.server_rank = m;
+      bus_->send(std::move(p));
+    }
+    for (const auto& f : fleet_) {
+      net::Message p;
+      p.type = net::MsgType::kPromote;
+      p.src = slot.node;
+      p.dst = f->client->node_id();
       p.server_rank = m;
       bus_->send(std::move(p));
     }
@@ -871,6 +971,49 @@ class ThreadRun {
       r.extra["sparse_retries"] = static_cast<double>(sparse_retries);
       r.extra["sparse_parked_pulls"] = static_cast<double>(parked);
     }
+    // --- read-path outcomes (DESIGN.md §13) -------------------------------
+    for (const ReplicaSlot& slot : replicas_) {
+      r.replica_reads_served += slot.replica->reads_served();
+      r.replica_read_fallbacks += slot.replica->read_fallbacks();
+      if (slot.sparse_replica) {
+        r.replica_reads_served += slot.sparse_replica->reads_served();
+        r.replica_read_fallbacks += slot.sparse_replica->read_fallbacks();
+      }
+    }
+    for_each_server([&r](const ps::Server& s) { r.head_reads_served += s.bounded_reads(); });
+    for (const auto& w : workers_) r.read_violations += w->client->read_violations();
+    if (!fleet_.empty()) {
+      double first = std::numeric_limits<double>::max();
+      double last = 0.0;
+      std::int64_t redirects = 0;
+      for (const auto& f : fleet_) {
+        r.fleet_pulls += cfg_.read.pulls;
+        r.read_violations += f->client->read_violations();
+        redirects += f->client->read_redirects();
+        r.worker_retries += f->client->retries();
+        first = std::min(first, f->start);
+        last = std::max(last, f->finish);
+      }
+      r.fleet_pull_seconds = last - first;
+      r.fleet_throughput = r.fleet_pull_seconds > 0.0
+                               ? static_cast<double>(r.fleet_pulls) / r.fleet_pull_seconds
+                               : 0.0;
+      r.extra["fleet_redirects"] = static_cast<double>(redirects);
+    }
+    if (r.replica_reads_served > 0) metrics_.incr("replica.reads_served", r.replica_reads_served);
+    if (r.replica_read_fallbacks > 0) {
+      metrics_.incr("replica.read_fallbacks", r.replica_read_fallbacks);
+    }
+    if (cfg_.read.sparse) {
+      std::int64_t sparse_replica_reads = 0;
+      std::int64_t sparse_redirects = 0;
+      for (const auto& sc : sparse_clients_) {
+        sparse_replica_reads += sc->replica_reads();
+        sparse_redirects += sc->read_redirects();
+      }
+      r.extra["sparse_replica_reads"] = static_cast<double>(sparse_replica_reads);
+      r.extra["sparse_read_redirects"] = static_cast<double>(sparse_redirects);
+    }
     // --- telemetry (src/obs, DESIGN.md §12) -------------------------------
     if (telemetry_ != nullptr) {
       if (snapshotter_) {
@@ -952,6 +1095,8 @@ class ThreadRun {
   std::vector<std::unique_ptr<embed::SparseHost>> sparse_hosts_;
   std::vector<embed::SparseHost*> head_sparse_;  ///< rebinds guarded by head_mu_
   std::vector<std::unique_ptr<embed::SparseWorkerClient>> sparse_clients_;
+  // --- inference fleet (DESIGN.md §13) -----------------------------------
+  std::vector<std::unique_ptr<FleetClient>> fleet_;
   std::vector<double> crash_time_;  ///< last crash wall time per shard
   std::int64_t failovers_ = 0;
   double failover_seconds_ = 0.0;

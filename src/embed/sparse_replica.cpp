@@ -5,6 +5,7 @@
 
 #include "common/logging.h"
 #include "embed/sparse_codec.h"
+#include "ps/read_options.h"
 
 namespace fluentps::embed {
 
@@ -61,6 +62,9 @@ void SparseReplica::handle(net::Message&& msg) {
       for (const auto& [dst, h] : horizons) ack_upstream(dst, h);
       return;
     }
+    case net::MsgType::kSparsePull:
+      on_read(std::move(msg));
+      return;
     case net::MsgType::kShutdown:
       return;
     default:
@@ -68,6 +72,64 @@ void SparseReplica::handle(net::Message&& msg) {
                     << net::to_string(msg.type);
       return;
   }
+}
+
+void SparseReplica::on_read(net::Message&& msg) {
+  SparseBatch req;
+  if (!decode_sparse(msg.values.span(), &req) ||
+      core_->registry().find(req.table_id) == nullptr) {
+    FPS_LOG(Warn) << "sparse replica " << node_id_ << ": dropping malformed pull from "
+                  << msg.src;
+    return;
+  }
+  // The completed-round clock is the sparse staleness horizon: everything up
+  // to and including that round is folded into the replicated table. Strong
+  // pulls (seq == 0) never route here; redirect them defensively — only the
+  // head's service sweep may gate them.
+  const std::int64_t h = core_->completed_round(req.table_id);
+  const bool satisfiable =
+      ps::is_bounded_read(msg.seq) && h + ps::decode_read_bound(msg.seq) >= msg.progress;
+  if (!satisfiable) {
+    ++read_fallbacks_;
+    net::Message rd;
+    rd.type = net::MsgType::kPullRedirect;
+    rd.src = node_id_;
+    rd.dst = msg.src;
+    rd.request_id = msg.request_id;
+    rd.progress = h;
+    rd.worker_rank = msg.worker_rank;
+    rd.server_rank = server_rank_;
+    transport_.send(std::move(rd));
+    return;
+  }
+  if (!read_windows_[msg.worker_rank].accept(msg.request_id)) ++reads_deduped_;
+
+  // Same response shape as SparseHost::answer_pull_locked, from the
+  // replicated tables. The BSP round clock guarantees the table cannot have
+  // advanced past the requested round while its pulls are outstanding, so at
+  // bound 0 these bytes equal the head's answer bit for bit.
+  const std::uint32_t dim = core_->registry().at(req.table_id).dim;
+  SparseBatch resp;
+  resp.table_id = req.table_id;
+  resp.dim = dim;
+  resp.rows = std::move(req.rows);
+  resp.values.resize(resp.rows.size() * dim);
+  EmbeddingTable& table = core_->table(req.table_id);
+  for (std::size_t i = 0; i < resp.rows.size(); ++i) {
+    table.copy_row(resp.rows[i], std::span<float>(resp.values).subspan(i * dim, dim));
+  }
+  net::Message m;
+  m.type = net::MsgType::kSparsePullResp;
+  m.src = node_id_;
+  m.dst = msg.src;
+  m.request_id = msg.request_id;
+  m.seq = ps::kReplicaServedSeq;  // replica-served marker for the client oracle
+  m.progress = msg.progress;
+  m.worker_rank = msg.worker_rank;
+  m.server_rank = server_rank_;
+  encode_sparse(resp, m.values);
+  transport_.send(std::move(m));
+  ++reads_served_;
 }
 
 void SparseReplica::deliver(net::Message&& msg) {

@@ -8,6 +8,14 @@
 // Loss healing mirrors the dense chain: a duplicate lsn re-forwards if still
 // pending below, re-acks if already trimmed.
 //
+// Bounded reads (DESIGN.md §13): the replica also answers kSparsePull
+// requests whose staleness bound (ps/read_options.h, carried in `seq`) is
+// covered by its table's completed-round clock — the sparse analogue of the
+// dense applied horizon. The BSP round clock means a table can never drain
+// past a round with pulls still outstanding, so at bound 0 a replica-served
+// response is bit-identical to the head's. Unsatisfiable bounds get a
+// kPullRedirect so the client retries the same ticket at the head.
+//
 // Threading matches ReplicaNode: handle()/release_state() are serialized by
 // the runtime (per-slot mutex in the thread backend, single context in sim).
 #pragma once
@@ -20,6 +28,7 @@
 #include "embed/sparse_host.h"
 #include "net/message.h"
 #include "net/transport.h"
+#include "ps/seq_window.h"
 #include "replica/replication_log.h"
 
 namespace fluentps::embed {
@@ -55,11 +64,17 @@ class SparseReplica {
   [[nodiscard]] std::uint64_t next_lsn() const noexcept { return next_lsn_; }
   [[nodiscard]] std::size_t stashed() const noexcept { return stash_.size(); }
   [[nodiscard]] std::uint64_t state_digest() const { return core_->digest(); }
+  /// Bounded kSparsePull requests answered here / redirected to the head.
+  [[nodiscard]] std::int64_t reads_served() const noexcept { return reads_served_; }
+  [[nodiscard]] std::int64_t read_fallbacks() const noexcept { return read_fallbacks_; }
+  [[nodiscard]] std::int64_t reads_deduped() const noexcept { return reads_deduped_; }
 
  private:
   void deliver(net::Message&& msg);
   void forward(const replica::LogEntry& e);
   void ack_upstream(net::NodeId dst, std::uint64_t lsn);
+  /// Bounded-read path: serve from the replicated tables or redirect to head.
+  void on_read(net::Message&& msg);
 
   net::NodeId node_id_;
   std::uint32_t server_rank_;
@@ -77,6 +92,12 @@ class SparseReplica {
   std::int64_t forwarded_ = 0;
   std::int64_t dup_drops_ = 0;
   std::int64_t reforwards_ = 0;
+
+  // Bounded-read state (accounting only; duplicate reads are re-answered).
+  std::map<std::uint32_t, ps::SeqWindow> read_windows_;  ///< per requester rank
+  std::int64_t reads_served_ = 0;
+  std::int64_t read_fallbacks_ = 0;
+  std::int64_t reads_deduped_ = 0;
 };
 
 }  // namespace fluentps::embed

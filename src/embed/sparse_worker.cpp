@@ -1,5 +1,6 @@
 #include "embed/sparse_worker.h"
 
+#include <algorithm>
 #include <chrono>
 #include <utility>
 
@@ -20,6 +21,8 @@ SparseWorkerClient::SparseWorkerClient(SparseWorkerSpec spec, net::Transport& tr
       server_nodes_(std::move(spec.server_nodes)),
       tables_(std::move(spec.tables)),
       retry_(spec.retry),
+      read_(spec.read),
+      read_replicas_(std::move(spec.read_replicas)),
       transport_(transport),
       retry_rng_(derive_seed(spec.seed, 0x5B9E81 + spec.worker_rank), /*stream=*/0x4E7),
       next_seq_(server_nodes_.size(), 1),
@@ -27,6 +30,10 @@ SparseWorkerClient::SparseWorkerClient(SparseWorkerSpec spec, net::Transport& tr
       pull_digest_(kFnvBasis) {
   FPS_CHECK(!server_nodes_.empty()) << "sparse worker needs at least one server";
   FPS_CHECK(!tables_.empty()) << "sparse worker needs at least one table";
+  read_replicas_.resize(server_nodes_.size());  // absent/short list: no offloading
+  // Stagger the read round-robin by rank so concurrent clients don't rotate
+  // in phase onto the same chain node (see WorkerClient).
+  read_rr_ = worker_rank_;
 }
 
 void SparseWorkerClient::handle(net::Message&& msg) {
@@ -49,6 +56,7 @@ void SparseWorkerClient::handle(net::Message&& msg) {
         if (p.ticket == msg.request_id && !p.received) {
           FPS_CHECK(decode_sparse(msg.values.span(), &p.resp))
               << "sparse worker " << worker_rank_ << ": malformed pull response";
+          if (msg.seq == ps::kReplicaServedSeq) ++replica_reads_;
           p.received = true;
           --unanswered_;
           cv_.notify_all();
@@ -57,6 +65,19 @@ void SparseWorkerClient::handle(net::Message&& msg) {
       }
       return;  // stale or duplicate response
     }
+    case net::MsgType::kPullRedirect: {
+      // A replica's completed-round clock could not cover the bound: retry
+      // the same ticket at the shard's head, which always serves.
+      for (PendingPull& p : pulls_) {
+        if (p.ticket == msg.request_id && !p.received) {
+          ++read_redirects_;
+          p.dst = server_nodes_[p.server];
+          send_pull_locked(p);
+          return;
+        }
+      }
+      return;  // stale redirect
+    }
     case net::MsgType::kPromote: {
       // Shard server_rank failed over; rebind and re-offer what the dead
       // head may have swallowed rather than waiting out the retry timeout.
@@ -64,11 +85,18 @@ void SparseWorkerClient::handle(net::Message&& msg) {
       FPS_CHECK(m < server_nodes_.size()) << "bad server rank in promote: " << m;
       if (server_nodes_[m] == msg.src) return;
       server_nodes_[m] = msg.src;
+      // The promoted node left the read set; outstanding pulls re-aim at the
+      // new head (whichever chain node they originally targeted).
+      auto& replicas = read_replicas_[m];
+      replicas.erase(std::remove(replicas.begin(), replicas.end(), msg.src), replicas.end());
       for (const PendingPush& p : pushes_) {
         if (p.server == m && !p.acked) send_push_locked(p);
       }
-      for (const PendingPull& p : pulls_) {
-        if (p.server == m && !p.received) send_pull_locked(p);
+      for (PendingPull& p : pulls_) {
+        if (p.server == m && !p.received) {
+          p.dst = msg.src;
+          send_pull_locked(p);
+        }
       }
       return;
     }
@@ -103,9 +131,9 @@ void SparseWorkerClient::send_pull_locked(const PendingPull& p) {
   net::Message msg;
   msg.type = net::MsgType::kSparsePull;
   msg.src = node_id_;
-  msg.dst = server_nodes_[p.server];
+  msg.dst = p.dst;
   msg.request_id = p.ticket;
-  msg.seq = 0;  // pulls bypass the dedup window; the ticket dedups them
+  msg.seq = p.seq;  // 0 = strong (ticket-deduped); s + 1 = bounded read
   msg.progress = p.round;
   msg.worker_rank = worker_rank_;
   msg.server_rank = p.server;
@@ -139,6 +167,12 @@ void SparseWorkerClient::await_locked(std::unique_lock<std::mutex>& lock, Pred d
 
 void SparseWorkerClient::run_round(std::int64_t round,
                                    const std::vector<SparseBatch>& full_batches) {
+  run_round(round, full_batches, read_);
+}
+
+void SparseWorkerClient::run_round(std::int64_t round,
+                                   const std::vector<SparseBatch>& full_batches,
+                                   const ps::ReadOptions& opts) {
   FPS_CHECK(full_batches.size() == tables_.size()) << "one batch per table required";
   const auto num_servers = static_cast<std::uint32_t>(server_nodes_.size());
 
@@ -193,6 +227,16 @@ void SparseWorkerClient::run_round(std::int64_t round,
         p.ticket = next_ticket_++;
         p.server = m;
         p.round = round;
+        p.dst = server_nodes_[m];
+        // The round number IS the sparse clock; opts.clock is ignored.
+        ps::ReadOptions effective = opts;
+        effective.clock = round;
+        p.seq = ps::encode_read_bound(effective);
+        if (effective.bounded() && effective.prefer_replica && !read_replicas_[m].empty()) {
+          const std::size_t n = read_replicas_[m].size() + 1;
+          const std::size_t pick = read_rr_++ % n;
+          if (pick > 0) p.dst = read_replicas_[m][pick - 1];
+        }
         SparseBatch req;
         req.table_id = shards[t][m].table_id;
         req.dim = shards[t][m].dim;
@@ -206,8 +250,13 @@ void SparseWorkerClient::run_round(std::int64_t round,
     await_locked(
         lock, [this] { return unanswered_ == 0; },
         [this] {
-          for (const PendingPull& p : pulls_) {
-            if (!p.received) send_pull_locked(p);
+          // Timed-out bounded pulls re-aim at the head: the chosen replica
+          // may be dead, and the head always serves.
+          for (PendingPull& p : pulls_) {
+            if (!p.received) {
+              p.dst = server_nodes_[p.server];
+              send_pull_locked(p);
+            }
           }
         },
         "pull responses");
@@ -226,6 +275,16 @@ std::uint64_t SparseWorkerClient::pull_digest() const {
 std::int64_t SparseWorkerClient::retries() const {
   std::scoped_lock lock(mu_);
   return retries_;
+}
+
+std::int64_t SparseWorkerClient::replica_reads() const {
+  std::scoped_lock lock(mu_);
+  return replica_reads_;
+}
+
+std::int64_t SparseWorkerClient::read_redirects() const {
+  std::scoped_lock lock(mu_);
+  return read_redirects_;
 }
 
 }  // namespace fluentps::embed

@@ -12,6 +12,14 @@
 // numbers on pushes (pulls ride seq 0 — tickets dedup them server-side),
 // retry-ladder retransmits of whatever is outstanding, and kPromote rebinds
 // a shard to its new head and immediately re-offers outstanding traffic.
+//
+// Reads share the dense client's ps::ReadOptions surface (DESIGN.md §13):
+// with kBounded the round's pulls carry the staleness bound in `seq`
+// (clock = the round number) and round-robin across {head} ∪ read_replicas;
+// a replica whose completed-round clock cannot cover the bound answers
+// kPullRedirect and the pull retries at the head under the same ticket. At
+// bound 0 the BSP round clock makes replica answers bit-identical to the
+// head's, so offloaded training keeps the same pull digest.
 #pragma once
 
 #include <condition_variable>
@@ -25,6 +33,7 @@
 #include "fault/retry_policy.h"
 #include "net/message.h"
 #include "net/transport.h"
+#include "ps/read_options.h"
 
 namespace fluentps::embed {
 
@@ -35,6 +44,11 @@ struct SparseWorkerSpec {
   std::vector<TableSpec> tables;
   fault::RetryPolicy retry;
   std::uint64_t seed = 1;  ///< jitter stream seed
+  /// Read routing (DESIGN.md §13): default ReadOptions for every round's
+  /// pulls (clock is overridden with the round number) and, per server rank,
+  /// the non-head chain members eligible to serve bounded pulls.
+  ps::ReadOptions read;
+  std::vector<std::vector<net::NodeId>> read_replicas;
 };
 
 class SparseWorkerClient {
@@ -49,11 +63,20 @@ class SparseWorkerClient {
 
   /// One BSP round: push `full_batches[t]` (one per table, sharded here),
   /// wait for all acks, pull the pushed rows, wait for all responses, fold
-  /// them into the pull digest. Blocks until the round completes.
+  /// them into the pull digest. Blocks until the round completes. The pulls
+  /// use the spec's ReadOptions (clock = `round`).
   void run_round(std::int64_t round, const std::vector<SparseBatch>& full_batches);
+
+  /// Same, with explicit per-round ReadOptions (opts.clock is ignored — the
+  /// round number is the sparse clock).
+  void run_round(std::int64_t round, const std::vector<SparseBatch>& full_batches,
+                 const ps::ReadOptions& opts);
 
   [[nodiscard]] std::uint64_t pull_digest() const;
   [[nodiscard]] std::int64_t retries() const;
+  /// Bounded-pull shards answered by a replica / redirected to the head.
+  [[nodiscard]] std::int64_t replica_reads() const;
+  [[nodiscard]] std::int64_t read_redirects() const;
   [[nodiscard]] std::uint32_t rank() const noexcept { return worker_rank_; }
   [[nodiscard]] net::NodeId node_id() const noexcept { return node_id_; }
 
@@ -69,6 +92,8 @@ class SparseWorkerClient {
     std::uint64_t ticket = 0;
     std::uint32_t server = 0;
     std::int64_t round = 0;
+    net::NodeId dst = 0;       ///< current target: RR pick, re-aimed at the head
+    std::uint64_t seq = 0;     ///< encoded staleness bound (0 = strong)
     std::vector<float> frame;  ///< encoded rows-only request
     SparseBatch resp;
     bool received = false;
@@ -85,6 +110,8 @@ class SparseWorkerClient {
   std::vector<net::NodeId> server_nodes_;
   std::vector<TableSpec> tables_;
   fault::RetryPolicy retry_;
+  ps::ReadOptions read_;  ///< default ReadOptions for run_round
+  std::vector<std::vector<net::NodeId>> read_replicas_;  ///< per server rank
   net::Transport& transport_;
 
   mutable std::mutex mu_;
@@ -100,6 +127,9 @@ class SparseWorkerClient {
   std::uint64_t pull_digest_;
   std::int64_t retries_ = 0;
   bool budget_warned_ = false;
+  std::size_t read_rr_ = 0;  ///< round-robin cursor over {head} ∪ replicas
+  std::int64_t replica_reads_ = 0;
+  std::int64_t read_redirects_ = 0;
 };
 
 }  // namespace fluentps::embed

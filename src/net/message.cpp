@@ -27,6 +27,7 @@ const char* to_string(MsgType t) noexcept {
     case MsgType::kSparsePullResp: return "SparsePullResp";
     case MsgType::kSparseReplicate: return "SparseReplicate";
     case MsgType::kSparseReplicateAck: return "SparseReplicateAck";
+    case MsgType::kPullRedirect: return "PullRedirect";
   }
   return "Unknown";
 }
@@ -104,7 +105,7 @@ bool parse_header(const std::uint8_t* data, std::size_t size, Message* m,
                   std::size_t* value_count) noexcept {
   if (data == nullptr || size < kFrameHeaderBytes) return false;
   const std::uint8_t t = data[0];
-  if (t > static_cast<std::uint8_t>(MsgType::kSparseReplicateAck)) return false;
+  if (t > static_cast<std::uint8_t>(MsgType::kPullRedirect)) return false;
   const std::uint64_t count = load<std::uint64_t>(data + 48);
   // Reject count values whose payload cannot possibly fit (also guards the
   // multiplication below against overflow) and frames with trailing slack.

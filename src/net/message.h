@@ -82,6 +82,15 @@ enum class MsgType : std::uint8_t {
   kSparsePullResp = 15,      ///< server -> sparse worker: row values
   kSparseReplicate = 16,     ///< chain node -> successor: replicate a sparse push
   kSparseReplicateAck = 17,  ///< chain node -> predecessor: sparse lsn at tail
+  // Staleness-bounded read offloading (ps/read_options.h, DESIGN.md §13).
+  // kPull/kSparsePull never used `seq` (pulls dedup by ticket, and seq 0
+  // bypasses the SeqWindow), so bounded reads encode the staleness bound
+  // there: seq == 0 is a strong/legacy pull, seq == s + 1 allows the serving
+  // node's applied horizon to trail the reader's clock (`progress`) by up to
+  // s clocks. A replica whose horizon cannot satisfy the bound answers with
+  // kPullRedirect (control-sized; `progress` = its horizon) and the client
+  // retries the same ticket at the head, which always serves.
+  kPullRedirect = 18,  ///< replica -> client: bound unsatisfiable, retry at head
 };
 
 /// Returns a printable name for logs.

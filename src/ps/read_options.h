@@ -1,0 +1,101 @@
+// Unified read-path options (DESIGN.md §13): every dense and sparse pull
+// flows through a `pull(KeyRange, ReadOptions)`-shaped entry point.
+//
+// Consistency levels:
+//  * kStrong  — the pull is answered by the shard's head through its
+//    SyncEngine (the legacy semantics: DPR buffering, staleness envelopes,
+//    engine-gated release). This is the default; training workers use it.
+//  * kBounded — the pull may be answered by ANY live chain node (head or
+//    replica) whose applied horizon h satisfies h >= clock - max_staleness.
+//    A replica that cannot satisfy the bound redirects the client to the
+//    head (kPullRedirect), which always serves: the head is the chain's
+//    ground truth, so a head read is the freshest state that exists and
+//    never violates a bound by definition.
+//
+// Wire encoding: kPull/kSparsePull never used the `seq` header field (pulls
+// are deduplicated by their ticket, not by sequence number — see
+// SeqWindow's "seq 0 bypasses dedup" rule), so the staleness bound rides
+// there: seq == 0 is a strong/legacy pull (frames stay byte-identical to
+// every prior release) and seq == s + 1 is a bounded pull with
+// max_staleness_clocks == s. Bounded kPullResp frames echo the serving
+// node's horizon in `progress` and set seq == 1 when a replica (not the
+// head) served, which is what the client-side staleness oracle checks.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace fluentps::ps {
+
+enum class Consistency : std::uint8_t {
+  kStrong = 0,   ///< head-only, engine-gated (legacy pull semantics)
+  kBounded = 1,  ///< any chain node within max_staleness_clocks of the clock
+};
+
+/// Half-open range [begin, end) over the flat global parameter index space.
+/// The default range covers everything — pull(KeyRange::all(), ...) is the
+/// whole-model pull every call site used before this API existed.
+struct KeyRange {
+  std::uint64_t begin = 0;
+  std::uint64_t end = std::numeric_limits<std::uint64_t>::max();
+
+  [[nodiscard]] static constexpr KeyRange all() noexcept { return {}; }
+
+  [[nodiscard]] constexpr bool is_all() const noexcept {
+    return begin == 0 && end == std::numeric_limits<std::uint64_t>::max();
+  }
+
+  /// Does [begin, end) intersect the slice [offset, offset + length)?
+  [[nodiscard]] constexpr bool intersects(std::uint64_t offset,
+                                          std::uint64_t length) const noexcept {
+    return begin < offset + length && offset < end;
+  }
+};
+
+struct ReadOptions {
+  /// The reader's clock: a training worker passes its iteration (exactly the
+  /// `progress` the legacy pull overload carried); a read-only client passes
+  /// the highest horizon it has observed in any response (monotone, so the
+  /// bound below is meaningful without the client participating in training).
+  std::int64_t clock = 0;
+
+  /// kBounded: a serving node's applied horizon may trail `clock` by at most
+  /// this many clocks; further behind, it must redirect to the head.
+  std::int64_t max_staleness_clocks = 0;
+
+  Consistency consistency = Consistency::kStrong;
+
+  /// kBounded: spread reads round-robin across the shard's chain nodes.
+  /// false = send every read to the head (still engine-bypassing).
+  bool prefer_replica = true;
+
+  /// Per-request timeout override in seconds; 0 = the client's RetryPolicy
+  /// ladder (its first-attempt timeout) as before.
+  double timeout = 0.0;
+
+  [[nodiscard]] constexpr bool bounded() const noexcept {
+    return consistency == Consistency::kBounded;
+  }
+};
+
+/// Encode the staleness bound into the pull frame's `seq` field:
+/// 0 = strong/legacy, s + 1 = bounded with max_staleness_clocks == s.
+[[nodiscard]] inline std::uint64_t encode_read_bound(const ReadOptions& opts) noexcept {
+  if (!opts.bounded()) return 0;
+  const std::int64_t s = opts.max_staleness_clocks < 0 ? 0 : opts.max_staleness_clocks;
+  return static_cast<std::uint64_t>(s) + 1;
+}
+
+/// True when a pull frame's seq marks a bounded read.
+[[nodiscard]] inline bool is_bounded_read(std::uint64_t seq) noexcept { return seq != 0; }
+
+/// max_staleness_clocks carried by a bounded pull frame (seq must be != 0).
+[[nodiscard]] inline std::int64_t decode_read_bound(std::uint64_t seq) noexcept {
+  return static_cast<std::int64_t>(seq - 1);
+}
+
+/// seq value of a kPullResp served by a replica (vs 0 for the head); lets
+/// the client-side oracle check the bound only where it applies.
+inline constexpr std::uint64_t kReplicaServedSeq = 1;
+
+}  // namespace fluentps::ps

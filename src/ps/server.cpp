@@ -1,11 +1,16 @@
 #include "ps/server.h"
 
 #include <algorithm>
+#include <chrono>
+#include <thread>
 #include <utility>
+
+#include <limits>
 
 #include "common/logging.h"
 #include "ml/ops.h"
 #include "obs/span.h"
+#include "ps/read_options.h"
 
 namespace fluentps::ps {
 namespace {
@@ -30,6 +35,7 @@ Server::Server(ServerSpec spec, net::Transport& transport)
       ack_pushes_(spec.ack_pushes || spec.reliable),
       respond_unconditionally_(spec.respond_unconditionally),
       reliable_(spec.reliable),
+      read_serve_seconds_(spec.read_serve_seconds),
       worker_nodes_(std::move(spec.worker_nodes)),
       // layout_ (declared earlier) is already initialized here; spec.layout
       // was moved from, so derive stripe boundaries from the member.
@@ -345,7 +351,41 @@ void Server::note_answered(std::uint64_t request_id) {
   }
 }
 
+void Server::on_bounded_read(const net::Message& msg) {
+  // The head always satisfies a bounded read: it *is* the freshest state in
+  // the chain, so no bound check applies (there is nowhere fresher to
+  // redirect to). Idempotent and engine-free, so duplicates need no dedup
+  // and ranks outside the training set (inference fleet) are fine.
+  if (read_serve_seconds_ > 0.0) {
+    std::this_thread::sleep_for(std::chrono::duration<double>(read_serve_seconds_));
+  }
+  std::int64_t h = -1;
+  if (num_workers_ > 0) {
+    std::scoped_lock lock(engine_mu_);
+    h = std::numeric_limits<std::int64_t>::max();
+    for (std::uint32_t w = 0; w < num_workers_; ++w) {
+      h = std::min(h, engine_.last_push_of(w));
+    }
+  }
+  net::Message resp;
+  resp.type = net::MsgType::kPullResp;
+  resp.src = node_id_;
+  resp.dst = msg.src;
+  resp.request_id = msg.request_id;
+  resp.progress = h;  // serving horizon; seq stays 0 = head-served
+  resp.server_rank = server_rank_;
+  resp.worker_rank = msg.worker_rank;
+  shard_.copy_out(resp.values.mutable_span_resized(shard_.size()));
+  bounded_reads_.fetch_add(1, std::memory_order_relaxed);
+  pulls_answered_.fetch_add(1, std::memory_order_relaxed);
+  transport_.send(std::move(resp));
+}
+
 void Server::on_pull(net::Message&& msg) {
+  if (is_bounded_read(msg.seq)) {
+    on_bounded_read(msg);
+    return;
+  }
   if (respond_unconditionally_) {
     // Idempotent by construction: parameters are monotone-fresh, so a
     // retransmitted pull just gets the current shard again.

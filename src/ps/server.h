@@ -90,6 +90,13 @@ struct ServerSpec {
   /// Capacity of the handoff ring; a full ring is backpressure (the producer
   /// spins/helps), never a drop.
   std::uint32_t ring_depth = 1024;
+  /// Modeled per-bounded-read service cost (threads backend): the dispatch
+  /// thread sleeps this long before answering a bounded kPull, standing in
+  /// for real read-serving work (deserialize + snapshot + serialize on a
+  /// loaded node). Serializes reads per node — the quantity chain-replica
+  /// offloading spreads across the chain. 0 = serve at memcpy speed. The
+  /// sim backend models the same cost via server_proc_seconds instead.
+  double read_serve_seconds = 0.0;
   /// Dedicated drain/apply threads. 0 = handler threads combine in place
   /// (the flat-combining model); >= 1 spawns a drain thread plus helpers
   /// that sweep disjoint stripe partitions, each first-touching its own
@@ -136,6 +143,13 @@ class Server {
   }
   [[nodiscard]] std::int64_t pulls_answered() const noexcept {
     return pulls_answered_.load(std::memory_order_relaxed);
+  }
+
+  /// Bounded reads (DESIGN.md §13) answered directly from the shard. The head
+  /// is the chain's ground truth, so it serves every bounded read regardless
+  /// of the requested bound — counted separately from engine-gated pulls.
+  [[nodiscard]] std::int64_t bounded_reads() const noexcept {
+    return bounded_reads_.load(std::memory_order_relaxed);
   }
 
   /// Batched-apply observability: combiner sweeps performed and the largest
@@ -222,6 +236,11 @@ class Server {
  private:
   void on_push(net::Message&& msg);
   void on_pull(net::Message&& msg);
+  /// Bounded read (ps/read_options.h): answer immediately from the shard,
+  /// bypassing the engine, pull dedup and recovery quiescing — reads are
+  /// idempotent snapshots and the requester may not be a training worker the
+  /// engine knows about (inference-fleet ranks live outside its arrays).
+  void on_bounded_read(const net::Message& msg);
   void on_recover_ack(net::Message&& msg);
   /// Cumulative ack from the successor: trim the log to the horizon and
   /// release the worker push acks deferred onto the trimmed entries.
@@ -258,6 +277,7 @@ class Server {
   bool ack_pushes_;
   bool respond_unconditionally_;
   bool reliable_;
+  double read_serve_seconds_;
   std::vector<net::NodeId> worker_nodes_;
 
   // Striped value storage (replaces the old shard_mu_ + vector): pulls and
@@ -293,6 +313,7 @@ class Server {
   // Counters mutated outside any single lock (TCP handlers run concurrently).
   std::atomic<std::int64_t> pushes_applied_{0};
   std::atomic<std::int64_t> pulls_answered_{0};
+  std::atomic<std::int64_t> bounded_reads_{0};
   std::int64_t dedup_hits_ = 0;   // under engine_mu_
   std::int64_t recoveries_ = 0;   // under engine_mu_
 

@@ -1,5 +1,6 @@
 #include "ps/worker.h"
 
+#include <algorithm>
 #include <chrono>
 
 #include "common/logging.h"
@@ -29,8 +30,16 @@ WorkerClient::WorkerClient(WorkerSpec spec, net::Transport& transport)
   FPS_CHECK(server_nodes_.size() == sharding_->num_servers())
       << "server node list does not match sharding";
   const std::size_t m = server_nodes_.size();
+  read_replicas_ = std::move(spec.read_replicas);
+  read_replicas_.resize(m);  // tolerate an absent/short list: no offloading
+  // Stagger the read round-robin by rank: clients launched together would
+  // otherwise rotate in phase and converge on the same chain node each
+  // cycle, serializing the whole fleet on one dispatch queue.
+  read_rr_ = worker_rank_;
   shard_values_.resize(m);
   push_staging_.resize(m);
+  pull_dst_.assign(server_nodes_.begin(), server_nodes_.end());
+  pull_wanted_.assign(m, 1);
   pull_received_.assign(m, 0);
   round_seqs_.assign(m, 0);
   round_acked_.assign(m, 1);
@@ -53,11 +62,37 @@ void WorkerClient::handle(net::Message&& msg) {
       const std::uint32_t m = msg.server_rank;
       FPS_CHECK(m < shard_values_.size()) << "bad server rank in response: " << m;
       if (pull_received_[m]) return;  // duplicate response (retransmit raced the original)
+      if (pull_bounded_) {
+        // Staleness oracle (DESIGN.md §13): a bounded response echoes the
+        // serving horizon in `progress` and marks replica service in `seq`.
+        // Only replica-served responses are subject to the bound — the head
+        // is the freshest state that exists (strong by definition).
+        if (msg.seq == kReplicaServedSeq) {
+          ++replica_reads_;
+          if (msg.progress + pull_bound_ < pull_progress_) ++read_violations_;
+        } else {
+          ++head_reads_;
+        }
+        observed_horizon_ = std::max(observed_horizon_, msg.progress);
+      }
       // take() moves when the payload is owned and copies exactly once when
       // it borrows the transport's frame buffer (zero-copy receive path).
       shard_values_[m] = msg.values.take();
       pull_received_[m] = 1;
       ++shards_received_;
+      break;
+    }
+    case net::MsgType::kPullRedirect: {
+      // A replica could not cover the bound: retry the same ticket at the
+      // head, which always serves. Stale redirects (superseded ticket, shard
+      // already answered) are no-ops.
+      if (msg.request_id != current_ticket_) return;
+      const std::uint32_t m = msg.server_rank;
+      FPS_CHECK(m < pull_received_.size()) << "bad server rank in redirect: " << m;
+      if (pull_received_[m]) return;
+      ++read_redirects_;
+      pull_dst_[m] = server_nodes_[m];
+      send_pull_locked(m);
       break;
     }
     case net::MsgType::kPushAck: {
@@ -129,12 +164,16 @@ void WorkerClient::handle(net::Message&& msg) {
       FPS_CHECK(m < server_nodes_.size()) << "bad server rank in promote: " << m;
       if (server_nodes_[m] == msg.src) return;
       server_nodes_[m] = msg.src;
-      if (reliable_) {
-        if (round_unacked_ > 0 && !round_acked_[m]) send_push_locked(m);
-        if (current_ticket_ != 0 && shards_received_ < pull_received_.size() &&
-            !pull_received_[m]) {
-          send_pull_locked(m);
-        }
+      // The promoted node is the head now, not a read replica; in-flight
+      // bounded reads re-target the head (the crashed head or the promoted
+      // node may have swallowed the original request).
+      auto& replicas = read_replicas_[m];
+      replicas.erase(std::remove(replicas.begin(), replicas.end(), msg.src), replicas.end());
+      pull_dst_[m] = msg.src;
+      if (reliable_ && round_unacked_ > 0 && !round_acked_[m]) send_push_locked(m);
+      if ((reliable_ || pull_bounded_) && current_ticket_ != 0 &&
+          shards_received_ < pull_expected_ && !pull_received_[m]) {
+        send_pull_locked(m);
       }
       break;
     }
@@ -181,8 +220,9 @@ void WorkerClient::send_pull_locked(std::size_t m) {
   net::Message msg;
   msg.type = net::MsgType::kPull;
   msg.src = node_id_;
-  msg.dst = server_nodes_[m];
+  msg.dst = pull_dst_[m];  // head for strong pulls; RR pick for bounded ones
   msg.request_id = current_ticket_;
+  msg.seq = pull_seq_;  // 0 = strong/legacy; s + 1 = bounded (read_options.h)
   msg.progress = pull_progress_;
   msg.worker_rank = worker_rank_;
   msg.server_rank = static_cast<std::uint32_t>(m);
@@ -258,16 +298,44 @@ void WorkerClient::push_metadata(std::int64_t progress) {
   }
 }
 
-std::uint64_t WorkerClient::pull(std::int64_t progress) {
-  std::uint64_t ticket = 0;
+std::uint64_t WorkerClient::pull(KeyRange range, const ReadOptions& opts) {
   std::scoped_lock lock(mu_);
-  ticket = next_ticket_++;
+  const std::uint64_t ticket = next_ticket_++;
   current_ticket_ = ticket;
-  pull_progress_ = progress;
+  pull_progress_ = opts.clock;
+  pull_bounded_ = opts.bounded();
+  pull_bound_ = opts.max_staleness_clocks;
+  pull_seq_ = encode_read_bound(opts);
+  pull_timeout_ = opts.timeout;
   shards_received_ = 0;
+  pull_expected_ = 0;
   for (std::size_t m = 0; m < server_nodes_.size(); ++m) {
     shard_values_[m].clear();
-    pull_received_[m] = 0;
+    // KeyRange selects *which shards* to contact; a wanted shard's response
+    // carries its whole shard (sub-shard slicing is not on the wire).
+    bool wanted = range.is_all();
+    if (!wanted) {
+      for (const ParamSlice& s : sharding_->shards[m].slices) {
+        if (range.intersects(s.offset, s.length)) {
+          wanted = true;
+          break;
+        }
+      }
+    }
+    pull_wanted_[m] = wanted ? 1 : 0;
+    // Out-of-range shards count as received so the wait predicate and the
+    // retransmit sweep skip them uniformly.
+    pull_received_[m] = wanted ? 0 : 1;
+    if (!wanted) continue;
+    ++pull_expected_;
+    pull_dst_[m] = server_nodes_[m];
+    if (pull_bounded_ && opts.prefer_replica && !read_replicas_[m].empty()) {
+      // Round-robin across {head} ∪ replicas: the head stays in rotation so
+      // read load spreads over all r chain members, not just r-1.
+      const std::size_t n = read_replicas_[m].size() + 1;
+      const std::size_t pick = read_rr_++ % n;
+      if (pick > 0) pull_dst_[m] = read_replicas_[m][pick - 1];
+    }
     send_pull_locked(m);
   }
   return ticket;
@@ -278,13 +346,17 @@ void WorkerClient::wait_pull(std::uint64_t ticket, std::span<float> params) {
   Stopwatch timer;
   std::unique_lock lock(mu_);
   FPS_CHECK(ticket == current_ticket_) << "waiting on a superseded pull ticket";
-  const auto done = [this] { return shards_received_ == shard_values_.size(); };
-  if (!reliable_) {
+  const auto done = [this] { return shards_received_ == pull_expected_; };
+  // Bounded pulls keep the timeout ladder even outside reliable mode: the
+  // chosen replica may die mid-request, and only a retransmit re-aimed at the
+  // head can unstick the read.
+  if (!reliable_ && !pull_bounded_) {
     cv_.wait(lock, done);
   } else {
     std::uint32_t attempt = 0;
     while (!done()) {
-      const double timeout = retry_.timeout_for(attempt, retry_rng_);
+      double timeout = retry_.timeout_for(attempt, retry_rng_);
+      if (attempt == 0 && pull_timeout_ > 0.0) timeout = pull_timeout_;
       if (cv_.wait_for(lock, secs(timeout), done)) break;
       ++retries_;
       if (retry_.exhausted(attempt) && !budget_warned_) {
@@ -295,17 +367,23 @@ void WorkerClient::wait_pull(std::uint64_t ticket, std::span<float> params) {
         ++attempt;
       }
       // The pull may be starved because our *push* was lost (a DPR release
-      // waits on it), so retransmit both sides of the protocol.
-      for (std::size_t m = 0; m < round_acked_.size(); ++m) {
+      // waits on it), so retransmit both sides of the protocol. Push
+      // retransmits are reliable-mode only — without sequence numbers the
+      // server would double-apply them. Bounded-read retransmits go to the
+      // head: a timed-out replica may be dead, and the head always serves.
+      for (std::size_t m = 0; reliable_ && m < round_acked_.size(); ++m) {
         if (round_unacked_ > 0 && !round_acked_[m]) send_push_locked(m);
       }
       for (std::size_t m = 0; m < pull_received_.size(); ++m) {
-        if (!pull_received_[m]) send_pull_locked(m);
+        if (!pull_received_[m]) {
+          pull_dst_[m] = server_nodes_[m];
+          send_pull_locked(m);
+        }
       }
     }
   }
   for (std::size_t m = 0; m < shard_values_.size(); ++m) {
-    sharding_->shards[m].scatter(shard_values_[m], params);
+    if (pull_wanted_[m]) sharding_->shards[m].scatter(shard_values_[m], params);
   }
   blocked_seconds_ += timer.seconds();
 }
@@ -373,6 +451,31 @@ double WorkerClient::blocked_seconds() const {
 std::int64_t WorkerClient::retries() const {
   std::scoped_lock lock(mu_);
   return retries_;
+}
+
+std::int64_t WorkerClient::replica_reads() const {
+  std::scoped_lock lock(mu_);
+  return replica_reads_;
+}
+
+std::int64_t WorkerClient::head_reads() const {
+  std::scoped_lock lock(mu_);
+  return head_reads_;
+}
+
+std::int64_t WorkerClient::read_redirects() const {
+  std::scoped_lock lock(mu_);
+  return read_redirects_;
+}
+
+std::int64_t WorkerClient::read_violations() const {
+  std::scoped_lock lock(mu_);
+  return read_violations_;
+}
+
+std::int64_t WorkerClient::observed_horizon() const {
+  std::scoped_lock lock(mu_);
+  return observed_horizon_;
 }
 
 }  // namespace fluentps::ps

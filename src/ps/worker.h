@@ -29,6 +29,7 @@
 #include "net/message.h"
 #include "net/transport.h"
 #include "obs/telemetry.h"
+#include "ps/read_options.h"
 #include "ps/slicing.h"
 
 namespace fluentps::ps {
@@ -43,6 +44,11 @@ struct WorkerSpec {
   fault::RetryPolicy retry;               ///< timeout/backoff knobs (reliable mode)
   std::uint64_t seed = 1;                 ///< jitter stream seed (reliable mode)
   obs::Telemetry* telemetry = nullptr;    ///< span tracing (DESIGN.md §12)
+  /// Bounded-read offloading (DESIGN.md §13): for each server rank m, the
+  /// non-head chain members of shard m's replication chain, in chain order.
+  /// Empty (or empty per rank) = bounded pulls go to the head like strong
+  /// ones. Only consulted when ReadOptions::consistency == kBounded.
+  std::vector<std::vector<net::NodeId>> read_replicas;
 };
 
 class WorkerClient {
@@ -66,8 +72,28 @@ class WorkerClient {
   /// but apply nothing).
   void push_metadata(std::int64_t progress);
 
-  /// sPull: request every shard for iteration progress+1; returns a ticket.
-  std::uint64_t pull(std::int64_t progress);
+  /// sPull — the unified read entry point (DESIGN.md §13). Requests every
+  /// shard whose slices intersect `range` (KeyRange::all() = the whole
+  /// model; range granularity is server selection — responses carry whole
+  /// shards) and returns a ticket for wait_pull.
+  ///
+  /// kStrong (default): the legacy engine-gated pull — frames are
+  /// byte-identical to the old pull(progress) overload with
+  /// opts.clock = progress. kBounded: the read may be served by any chain
+  /// node whose applied horizon trails opts.clock by at most
+  /// opts.max_staleness_clocks; with opts.prefer_replica the worker
+  /// round-robins across {head} ∪ read_replicas[m], and a kPullRedirect
+  /// (bound unsatisfiable at the replica) re-targets that shard to the head
+  /// under the same ticket.
+  std::uint64_t pull(KeyRange range, const ReadOptions& opts);
+
+  /// Deprecated shim for the pre-ReadOptions API; byte-identical to
+  /// pull(KeyRange::all(), ReadOptions{.clock = progress}).
+  [[deprecated("use pull(KeyRange, ReadOptions)")]] std::uint64_t pull(std::int64_t progress) {
+    ReadOptions opts;
+    opts.clock = progress;
+    return pull(KeyRange::all(), opts);
+  }
 
   /// wait (Algorithm 1 line 5): block until all shards for `ticket` arrived,
   /// scattering them into `params` (the full flat vector). Reliable mode
@@ -86,6 +112,20 @@ class WorkerClient {
 
   /// Retransmission rounds triggered by timeouts (reliable mode).
   [[nodiscard]] std::int64_t retries() const;
+
+  // --- bounded-read observability (DESIGN.md §13) ---------------------
+  /// Bounded-pull shards answered by a replica / by the head.
+  [[nodiscard]] std::int64_t replica_reads() const;
+  [[nodiscard]] std::int64_t head_reads() const;
+  /// kPullRedirect fallbacks (replica horizon behind the bound).
+  [[nodiscard]] std::int64_t read_redirects() const;
+  /// Replica-served responses whose echoed horizon violated the requested
+  /// bound — the staleness oracle; must stay 0 (head-served responses are
+  /// strong by definition and exempt).
+  [[nodiscard]] std::int64_t read_violations() const;
+  /// Highest serving horizon observed in any bounded response — a read-only
+  /// client's natural clock for its next ReadOptions.
+  [[nodiscard]] std::int64_t observed_horizon() const;
 
   [[nodiscard]] std::uint32_t rank() const noexcept { return worker_rank_; }
   [[nodiscard]] net::NodeId node_id() const noexcept { return node_id_; }
@@ -140,10 +180,30 @@ class WorkerClient {
 
   // --- outstanding pull
   std::uint64_t current_ticket_ = 0;
-  std::int64_t pull_progress_ = 0;
+  std::int64_t pull_progress_ = 0;                // ReadOptions::clock
   std::vector<std::vector<float>> shard_values_;  // per server rank
   std::vector<char> pull_received_;               // per server rank
   std::uint32_t shards_received_ = 0;
+
+  // Bounded-read routing state (DESIGN.md §13). pull_dst_[m] is where shard
+  // m's in-flight request currently points: the round-robin pick at pull()
+  // time, re-targeted to the head by kPullRedirect, retry timeouts and
+  // kPromote (replica routing is an optimization; the head is the fallback
+  // for every slow path).
+  std::vector<std::vector<net::NodeId>> read_replicas_;  // per server rank
+  std::vector<net::NodeId> pull_dst_;                    // per server rank
+  std::vector<char> pull_wanted_;   // per server rank: shard in the KeyRange
+  std::uint32_t pull_expected_ = 0; // wanted shard count for this ticket
+  std::uint64_t pull_seq_ = 0;      // encoded staleness bound (0 = strong)
+  bool pull_bounded_ = false;
+  std::int64_t pull_bound_ = 0;     // max_staleness_clocks of the live pull
+  double pull_timeout_ = 0.0;       // per-request first-attempt override
+  std::size_t read_rr_ = 0;         // round-robin cursor over {head} ∪ replicas
+  std::int64_t replica_reads_ = 0;
+  std::int64_t head_reads_ = 0;
+  std::int64_t read_redirects_ = 0;
+  std::int64_t read_violations_ = 0;
+  std::int64_t observed_horizon_ = -1;
 
   // --- baseline protocol state
   std::uint32_t acks_received_ = 0;

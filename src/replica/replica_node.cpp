@@ -1,9 +1,14 @@
 #include "replica/replica_node.h"
 
+#include <algorithm>
+#include <chrono>
+#include <limits>
+#include <thread>
 #include <utility>
 
 #include "common/logging.h"
 #include "obs/span.h"
+#include "ps/read_options.h"
 
 namespace fluentps::replica {
 
@@ -13,12 +18,17 @@ ReplicaNode::ReplicaNode(ReplicaSpec spec, net::Transport& transport)
       chain_pos_(spec.chain_pos),
       successor_(spec.successor),
       apply_scale_(spec.apply_scale),
+      read_serve_seconds_(spec.read_serve_seconds),
       transport_(transport),
       telemetry_(spec.telemetry),
       shard_(std::move(spec.initial_shard), /*num_stripes=*/1),
       windows_(spec.num_workers),
       last_push_(spec.num_workers, -1) {
   FPS_CHECK(chain_pos_ >= 1) << "chain position 0 is the head, not a replica";
+  if (telemetry_ != nullptr && telemetry_->registry != nullptr) {
+    reads_served_counter_ = &telemetry_->registry->counter("replica.reads_served");
+    read_fallbacks_counter_ = &telemetry_->registry->counter("replica.read_fallbacks");
+  }
 }
 
 void ReplicaNode::handle(net::Message&& msg) {
@@ -68,11 +78,82 @@ void ReplicaNode::handle(net::Message&& msg) {
       for (const auto& [dst, h] : horizons) ack_upstream(dst, h);
       return;
     }
+    case net::MsgType::kPull:
+      on_read(std::move(msg));
+      return;
     case net::MsgType::kShutdown:
       return;
     default:
       FPS_LOG(Warn) << "replica " << node_id_ << " ignoring " << net::to_string(msg.type);
       return;
+  }
+}
+
+std::int64_t ReplicaNode::read_horizon() const noexcept {
+  // The slowest worker's applied progress: anything at or below it has been
+  // folded into the replicated shard for *every* training stream, so serving
+  // at horizon h is exactly as fresh as a head snapshot taken at clock h.
+  std::int64_t h = std::numeric_limits<std::int64_t>::max();
+  for (const std::int64_t p : last_push_) h = std::min(h, p);
+  return last_push_.empty() ? -1 : h;
+}
+
+void ReplicaNode::on_read(net::Message&& msg) {
+  const std::int64_t h = read_horizon();
+  // Strong reads (seq == 0) never route here; if one arrives anyway the safe
+  // answer is a redirect — only the head's engine may gate strong pulls.
+  const bool satisfiable =
+      ps::is_bounded_read(msg.seq) && h + ps::decode_read_bound(msg.seq) >= msg.progress;
+  if (!satisfiable) {
+    ++read_fallbacks_;
+    if (read_fallbacks_counter_ != nullptr) read_fallbacks_counter_->add();
+    net::Message rd;
+    rd.type = net::MsgType::kPullRedirect;
+    rd.src = node_id_;
+    rd.dst = msg.src;
+    rd.request_id = msg.request_id;
+    rd.progress = h;  // how far behind we were — diagnostic for the client
+    rd.worker_rank = msg.worker_rank;
+    rd.server_rank = server_rank_;
+    transport_.send(std::move(rd));
+    return;
+  }
+
+  // Dedup is accounting-only: a duplicate ticket means our previous response
+  // was lost, so the only useful action is answering again (idempotent).
+  if (!read_windows_[msg.worker_rank].accept(msg.request_id)) ++reads_deduped_;
+
+  if (read_serve_seconds_ > 0.0) {
+    std::this_thread::sleep_for(std::chrono::duration<double>(read_serve_seconds_));
+  }
+
+  obs::SpanRecorder* spans =
+      (telemetry_ != nullptr && msg.trace_id != 0) ? telemetry_->spans : nullptr;
+  std::uint32_t read_span = 0;
+  std::uint64_t t0 = 0;
+  if (spans != nullptr) {
+    read_span = spans->next_span_id();
+    t0 = obs::now_ns();
+  }
+
+  net::Message resp;
+  resp.type = net::MsgType::kPullResp;
+  resp.src = node_id_;
+  resp.dst = msg.src;
+  resp.request_id = msg.request_id;
+  resp.seq = ps::kReplicaServedSeq;  // the client's staleness oracle keys on this
+  resp.progress = h;                 // serving horizon, echoed for the oracle
+  resp.worker_rank = msg.worker_rank;
+  resp.server_rank = server_rank_;
+  shard_.copy_out(resp.values.mutable_span_resized(shard_.size()));
+  resp.trace_id = spans != nullptr ? msg.trace_id : 0;
+  resp.span_id = read_span;
+  transport_.send(std::move(resp));
+  ++reads_served_;
+  if (reads_served_counter_ != nullptr) reads_served_counter_->add();
+  if (spans != nullptr) {
+    spans->emit(msg.trace_id, read_span, msg.span_id, "replica.read", node_id_, t0,
+                obs::now_ns());
   }
 }
 

@@ -14,6 +14,17 @@
 // copy may be the one that was lost) and re-acks upstream once it was
 // trimmed (the upstream ack may be the one that was lost).
 //
+// Bounded reads (DESIGN.md §13): the node also answers kPull requests whose
+// staleness bound (ps/read_options.h, carried in `seq`) is covered by its
+// applied horizon — the minimum over workers of the last progress it has
+// applied, i.e. the oldest state any training stream could still be missing
+// here. Satisfiable reads get a kPullResp marked replica-served (seq == 1,
+// `progress` = the horizon); unsatisfiable ones get a control-sized
+// kPullRedirect so the client retries the same ticket at the head. Reads are
+// idempotent snapshots, so duplicates are *re-answered* (a retransmit means
+// the previous response was lost); the per-requester SeqWindow only counts
+// them for the `reads_deduped` metric.
+//
 // Threading: handle()/release_state() are not internally synchronized — the
 // sim backend is single-context and the thread backend serializes both
 // through the runtime's per-chain-slot mutex (promotion runs on the chaos
@@ -41,6 +52,10 @@ struct ReplicaSpec {
   std::vector<float> initial_shard;  ///< must equal the head's initial shard
   net::NodeId successor = 0;         ///< next chain node; 0 = tail
   float apply_scale = 1.0f;          ///< 1/N, identical to the head's apply
+  /// Modeled per-read service cost (threads backend): sleep this long before
+  /// answering a served bounded read — mirrors ServerSpec::read_serve_seconds
+  /// so head and replicas charge the same per-read cost. 0 = memcpy speed.
+  double read_serve_seconds = 0.0;
   obs::Telemetry* telemetry = nullptr;  ///< span tracing (DESIGN.md §12)
 };
 
@@ -71,6 +86,15 @@ class ReplicaNode {
   [[nodiscard]] std::int64_t dup_drops() const noexcept { return dup_drops_; }
   /// Re-forwards triggered by duplicates of still-pending entries (healing).
   [[nodiscard]] std::int64_t reforwards() const noexcept { return reforwards_; }
+  /// Bounded kPull requests this node answered itself (DESIGN.md §13).
+  [[nodiscard]] std::int64_t reads_served() const noexcept { return reads_served_; }
+  /// Bounded kPull requests redirected to the head (bound unsatisfiable).
+  [[nodiscard]] std::int64_t read_fallbacks() const noexcept { return read_fallbacks_; }
+  /// Duplicate read tickets re-answered (lost-response retransmits).
+  [[nodiscard]] std::int64_t reads_deduped() const noexcept { return reads_deduped_; }
+  /// The applied horizon bounded reads are checked against: min over workers
+  /// of the last progress applied here (-1 until every worker has pushed).
+  [[nodiscard]] std::int64_t read_horizon() const noexcept;
   /// Next lsn this node expects from upstream.
   [[nodiscard]] std::uint64_t next_lsn() const noexcept { return next_lsn_; }
   /// Out-of-order entries currently parked (reordered fabric).
@@ -84,12 +108,15 @@ class ReplicaNode {
   void deliver(net::Message&& msg);
   void forward(const LogEntry& e);
   void ack_upstream(net::NodeId dst, std::uint64_t lsn);
+  /// Bounded-read path: serve from the replicated shard or redirect to head.
+  void on_read(net::Message&& msg);
 
   net::NodeId node_id_;
   std::uint32_t server_rank_;
   std::uint32_t chain_pos_;
   net::NodeId successor_;
   float apply_scale_;
+  double read_serve_seconds_;
   net::Transport& transport_;
   obs::Telemetry* telemetry_;
 
@@ -107,6 +134,15 @@ class ReplicaNode {
   std::int64_t forwarded_ = 0;
   std::int64_t dup_drops_ = 0;
   std::int64_t reforwards_ = 0;
+
+  // Bounded-read state (DESIGN.md §13). The windows only *count* duplicates;
+  // reads are idempotent and always re-answered.
+  std::map<std::uint32_t, ps::SeqWindow> read_windows_;  // per requester rank
+  std::int64_t reads_served_ = 0;
+  std::int64_t read_fallbacks_ = 0;
+  std::int64_t reads_deduped_ = 0;
+  obs::Counter* reads_served_counter_ = nullptr;
+  obs::Counter* read_fallbacks_counter_ = nullptr;
 };
 
 }  // namespace fluentps::replica

@@ -42,7 +42,7 @@ TEST(Message, SerializeRoundTrip) {
 }
 
 TEST(Message, RoundTripAllTypes) {
-  for (std::uint8_t t = 0; t <= static_cast<std::uint8_t>(MsgType::kSparseReplicateAck); ++t) {
+  for (std::uint8_t t = 0; t <= static_cast<std::uint8_t>(MsgType::kPullRedirect); ++t) {
     Message m = sample_message();
     m.type = static_cast<MsgType>(t);
     Message out;
@@ -71,7 +71,7 @@ TEST(Message, ReplicationTypesRoundTripWithLsn) {
 
 TEST(Message, TypePastLastSparseRejected) {
   auto frame = sample_message().serialize();
-  frame[0] = static_cast<std::uint8_t>(MsgType::kSparseReplicateAck) + 1;
+  frame[0] = static_cast<std::uint8_t>(MsgType::kPullRedirect) + 1;
   Message out;
   EXPECT_FALSE(Message::deserialize(frame, &out));
 }

@@ -47,12 +47,12 @@ TEST(ProtocolEdge, StalePullResponseIsDropped) {
   const std::vector<float> u(8, 1.0f);
   std::vector<float> params(8);
   fx.worker->push(u, 0);
-  const auto t1 = fx.worker->pull(0);
+  const auto t1 = fx.worker->pull(KeyRange::all(), ReadOptions{.clock = 0});
   fx.worker->wait_pull(t1, params);
 
   // Forge a response carrying the OLD ticket after a new pull superseded it.
   fx.worker->push(u, 1);
-  const auto t2 = fx.worker->pull(1);
+  const auto t2 = fx.worker->pull(KeyRange::all(), ReadOptions{.clock = 1});
   net::Message stale;
   stale.type = net::MsgType::kPullResp;
   stale.src = 1;
@@ -75,7 +75,7 @@ TEST(ProtocolEdge, WorkerIgnoresUnknownMessageTypes) {
   const std::vector<float> u(8, 1.0f);
   std::vector<float> params(8);
   fx.worker->push(u, 0);
-  const auto t = fx.worker->pull(0);
+  const auto t = fx.worker->pull(KeyRange::all(), ReadOptions{.clock = 0});
   fx.worker->wait_pull(t, params);
   EXPECT_FLOAT_EQ(params[0], 1.0f);
 }
@@ -90,7 +90,7 @@ TEST(ProtocolEdge, ServerIgnoresUnknownMessageTypes) {
   const std::vector<float> u(8, 2.0f);
   std::vector<float> params(8);
   fx.worker->push(u, 0);
-  const auto t = fx.worker->pull(0);
+  const auto t = fx.worker->pull(KeyRange::all(), ReadOptions{.clock = 0});
   fx.worker->wait_pull(t, params);
   EXPECT_FLOAT_EQ(params[3], 2.0f);
 }
@@ -99,7 +99,7 @@ TEST(ProtocolEdge, MetadataOnlyPushCountsProgressWithoutApplying) {
   Fixture fx;
   std::vector<float> params(8, -1.0f);
   fx.worker->push_metadata(0);
-  const auto t = fx.worker->pull(0);
+  const auto t = fx.worker->pull(KeyRange::all(), ReadOptions{.clock = 0});
   fx.worker->wait_pull(t, params);
   for (const float v : params) EXPECT_FLOAT_EQ(v, 0.0f) << "no values applied";
   EXPECT_EQ(fx.server->pushes_applied(), 0);
@@ -119,7 +119,7 @@ TEST(ProtocolEdge, ShutdownMessageIsBenign) {
   const std::vector<float> u(8, 1.0f);
   std::vector<float> params(8);
   fx.worker->push(u, 0);
-  const auto t = fx.worker->pull(0);
+  const auto t = fx.worker->pull(KeyRange::all(), ReadOptions{.clock = 0});
   fx.worker->wait_pull(t, params);
   EXPECT_FLOAT_EQ(params[0], 1.0f);
 }

@@ -1,0 +1,372 @@
+// Staleness-bounded replica read offloading (DESIGN.md §13): wire encoding
+// of the bound, replica serve-vs-redirect decisions exactly at the bound,
+// the head's always-serve rule, the sparse replica's round-clock horizon,
+// config section aliases, and end-to-end fleet runs — including bound
+// enforcement across a mid-run head kill + promotion.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+#include <memory>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/config.h"
+#include "core/fluentps.h"
+#include "embed/sparse_codec.h"
+#include "embed/sparse_replica.h"
+#include "net/transport.h"
+#include "ps/read_options.h"
+#include "ps/server.h"
+#include "ps/slicing.h"
+#include "replica/replica_node.h"
+
+namespace fluentps {
+namespace {
+
+// --- wire encoding ---------------------------------------------------------
+
+TEST(ReadOptions, EncodeDecodeRoundTripsTheBound) {
+  // Strong reads stay byte-identical to the legacy protocol: seq == 0.
+  EXPECT_EQ(ps::encode_read_bound(ps::ReadOptions{}), 0u);
+  EXPECT_FALSE(ps::is_bounded_read(0));
+
+  for (const std::int64_t s : {0, 1, 3, 1000}) {
+    ps::ReadOptions opts;
+    opts.consistency = ps::Consistency::kBounded;
+    opts.max_staleness_clocks = s;
+    const std::uint64_t seq = ps::encode_read_bound(opts);
+    EXPECT_TRUE(ps::is_bounded_read(seq));
+    EXPECT_EQ(ps::decode_read_bound(seq), s);
+  }
+}
+
+TEST(ReadOptions, KeyRangeIntersects) {
+  EXPECT_TRUE(ps::KeyRange::all().is_all());
+  const ps::KeyRange r{10, 20};
+  EXPECT_FALSE(r.is_all());
+  EXPECT_TRUE(r.intersects(0, 11));    // overlaps the left edge
+  EXPECT_TRUE(r.intersects(19, 100));  // overlaps the right edge
+  EXPECT_FALSE(r.intersects(0, 10));   // ends exactly at begin
+  EXPECT_FALSE(r.intersects(20, 5));   // starts exactly at end
+}
+
+// --- replica serve / redirect rig ------------------------------------------
+
+constexpr std::size_t kParams = 8;
+constexpr net::NodeId kHead = 1;
+constexpr net::NodeId kTail = 3;
+constexpr net::NodeId kClient = 9;
+
+struct CaptureTransport final : net::Transport {
+  std::unordered_map<net::NodeId, Handler> handlers;
+  std::deque<net::Message> queue;
+  std::vector<net::Message> client_inbox;  ///< messages to unregistered nodes
+
+  void register_node(net::NodeId n, Handler h) override { handlers[n] = std::move(h); }
+  void send(net::Message msg) override {
+    msg.values.ensure_owned();
+    queue.push_back(std::move(msg));
+  }
+  void pump() {
+    while (!queue.empty()) {
+      net::Message m = std::move(queue.front());
+      queue.pop_front();
+      const auto it = handlers.find(m.dst);
+      if (it != handlers.end()) {
+        it->second(std::move(m));
+      } else {
+        client_inbox.push_back(std::move(m));
+      }
+    }
+  }
+};
+
+struct ReadRig {
+  CaptureTransport net;
+  std::unique_ptr<ps::Server> head;
+  std::unique_ptr<replica::ReplicaNode> tail;
+  ps::Sharding sharding;
+
+  ReadRig() {
+    ps::EpsSlicer slicer(kParams);
+    sharding = slicer.shard({kParams}, 1);
+    ps::ServerSpec hspec;
+    hspec.node_id = kHead;
+    hspec.server_rank = 0;
+    hspec.num_workers = 1;
+    hspec.layout = sharding.shards[0];
+    hspec.initial_shard.assign(kParams, 0.0f);
+    hspec.engine.num_workers = 1;
+    hspec.engine.model = ps::make_sync_model({.kind = "asp"}, 1);
+    hspec.engine.seed = 5;
+    hspec.reliable = true;
+    hspec.worker_nodes = {kClient};
+    hspec.replica_successor = kTail;
+    head = std::make_unique<ps::Server>(std::move(hspec), net);
+    net.register_node(kHead, [this](net::Message&& m) { head->handle(std::move(m)); });
+
+    replica::ReplicaSpec rspec;
+    rspec.node_id = kTail;
+    rspec.server_rank = 0;
+    rspec.chain_pos = 1;
+    rspec.num_workers = 1;
+    rspec.initial_shard.assign(kParams, 0.0f);
+    rspec.successor = 0;
+    rspec.apply_scale = 1.0f;
+    tail = std::make_unique<replica::ReplicaNode>(std::move(rspec), net);
+    net.register_node(kTail, [this](net::Message&& m) { tail->handle(std::move(m)); });
+  }
+
+  /// Worker 0 pushes its iteration-`progress` update through the head; the
+  /// chain replicates it, advancing the tail's horizon to `progress`.
+  void push(std::uint64_t seq, std::int64_t progress) {
+    net::Message m;
+    m.type = net::MsgType::kPush;
+    m.src = kClient;
+    m.dst = kHead;
+    m.worker_rank = 0;
+    m.request_id = 1000 + seq;
+    m.seq = seq;
+    m.progress = progress;
+    m.values.assign(kParams, 0.5f);
+    head->handle(std::move(m));
+    net.pump();
+  }
+
+  /// Bounded read with reader clock `clock` and bound `s` aimed at `dst`.
+  void bounded_read(net::NodeId dst, std::int64_t clock, std::int64_t s,
+                    std::uint64_t ticket) {
+    net::Message m;
+    m.type = net::MsgType::kPull;
+    m.src = kClient;
+    m.dst = dst;
+    m.worker_rank = 7;  // fleet-style rank outside the training set
+    m.request_id = ticket;
+    m.progress = clock;
+    ps::ReadOptions opts;
+    opts.consistency = ps::Consistency::kBounded;
+    opts.max_staleness_clocks = s;
+    m.seq = ps::encode_read_bound(opts);
+    net.handlers.at(dst)(std::move(m));
+    net.pump();
+  }
+
+  [[nodiscard]] const net::Message& last_response() const {
+    EXPECT_FALSE(net.client_inbox.empty());
+    return net.client_inbox.back();
+  }
+};
+
+TEST(ReplicaRead, ServesExactlyAtTheBound) {
+  ReadRig rig;
+  rig.push(1, 0);  // tail horizon -> 0
+  ASSERT_EQ(rig.tail->read_horizon(), 0);
+
+  // horizon + s == clock: the bound is met with nothing to spare.
+  rig.bounded_read(kTail, /*clock=*/3, /*s=*/3, /*ticket=*/1);
+  const auto& resp = rig.last_response();
+  EXPECT_EQ(resp.type, net::MsgType::kPullResp);
+  EXPECT_EQ(resp.seq, ps::kReplicaServedSeq) << "replica-served marker";
+  EXPECT_EQ(resp.progress, 0) << "serving horizon echoed for the client oracle";
+  EXPECT_EQ(rig.tail->reads_served(), 1);
+  EXPECT_EQ(rig.tail->read_fallbacks(), 0);
+}
+
+TEST(ReplicaRead, OneClockBehindRedirectsToHead) {
+  ReadRig rig;
+  rig.push(1, 0);
+  rig.bounded_read(kTail, /*clock=*/4, /*s=*/3, /*ticket=*/1);  // 0 + 3 < 4
+  const auto& resp = rig.last_response();
+  EXPECT_EQ(resp.type, net::MsgType::kPullRedirect);
+  EXPECT_EQ(resp.progress, 0) << "redirect reports how far behind the replica was";
+  EXPECT_EQ(rig.tail->reads_served(), 0);
+  EXPECT_EQ(rig.tail->read_fallbacks(), 1);
+
+  // The push for clock 1 catches the replica up; the same ticket now serves.
+  rig.push(2, 1);
+  rig.bounded_read(kTail, /*clock=*/4, /*s=*/3, /*ticket=*/1);
+  EXPECT_EQ(rig.last_response().type, net::MsgType::kPullResp);
+  EXPECT_EQ(rig.tail->reads_served(), 1);
+}
+
+TEST(ReplicaRead, HeadAlwaysServesBoundedReads) {
+  ReadRig rig;
+  // No pushes at all: the head's horizon is -1, yet it must serve — it IS
+  // the freshest state in the chain, so there is nowhere fresher to redirect.
+  rig.bounded_read(kHead, /*clock=*/100, /*s=*/0, /*ticket=*/1);
+  const auto& resp = rig.last_response();
+  EXPECT_EQ(resp.type, net::MsgType::kPullResp);
+  EXPECT_EQ(resp.seq, 0u) << "head-served responses carry no replica marker";
+  EXPECT_EQ(resp.progress, -1);
+  EXPECT_EQ(rig.head->bounded_reads(), 1);
+}
+
+TEST(ReplicaRead, DuplicateTicketReAnswersIdempotently) {
+  ReadRig rig;
+  rig.push(1, 0);
+  rig.bounded_read(kTail, 0, 0, /*ticket=*/5);
+  rig.bounded_read(kTail, 0, 0, /*ticket=*/5);  // lost-response retransmit
+  EXPECT_EQ(rig.tail->reads_served(), 2) << "duplicates are re-answered";
+  EXPECT_EQ(rig.tail->reads_deduped(), 1) << "...and accounted as duplicates";
+}
+
+// --- sparse replica --------------------------------------------------------
+
+TEST(SparseReplicaRead, ServesWithinRoundClockAndRedirectsBeyond) {
+  CaptureTransport net;
+  embed::SparseReplicaSpec spec;
+  spec.node_id = kTail;
+  spec.chain_pos = 1;
+  spec.core.server_rank = 0;
+  spec.core.num_workers = 1;
+  spec.core.tables.push_back(embed::TableSpec{.name = "emb", .table_id = 0, .dim = 4});
+  spec.successor = 0;
+  embed::SparseReplica rep(std::move(spec), net);
+
+  embed::SparseBatch req;
+  req.table_id = 0;
+  req.dim = 4;
+  req.rows = {1, 2, 3};
+  const auto read = [&](std::int64_t round, std::int64_t s, std::uint64_t ticket) {
+    net::Message m;
+    m.type = net::MsgType::kSparsePull;
+    m.src = kClient;
+    m.dst = kTail;
+    m.worker_rank = 0;
+    m.request_id = ticket;
+    m.progress = round;
+    ps::ReadOptions opts;
+    opts.consistency = ps::Consistency::kBounded;
+    opts.max_staleness_clocks = s;
+    m.seq = ps::encode_read_bound(opts);
+    encode_sparse(req, m.values);
+    rep.handle(std::move(m));
+  };
+
+  // Fresh table: completed round is -1. A round-0 bound-0 pull is one round
+  // ahead of the horizon -> redirect to the head.
+  read(/*round=*/0, /*s=*/0, /*ticket=*/1);
+  ASSERT_EQ(net.queue.size(), 1u);
+  EXPECT_EQ(net.queue.back().type, net::MsgType::kPullRedirect);
+  EXPECT_EQ(rep.read_fallbacks(), 1);
+
+  // Relaxing the bound by one round makes the same state servable.
+  read(/*round=*/0, /*s=*/1, /*ticket=*/2);
+  ASSERT_EQ(net.queue.size(), 2u);
+  const net::Message& resp = net.queue.back();
+  EXPECT_EQ(resp.type, net::MsgType::kSparsePullResp);
+  EXPECT_EQ(resp.seq, ps::kReplicaServedSeq);
+  embed::SparseBatch out;
+  ASSERT_TRUE(embed::decode_sparse(resp.values.span(), &out));
+  EXPECT_EQ(out.rows, req.rows);
+  EXPECT_EQ(out.values.size(), req.rows.size() * 4u);
+  EXPECT_EQ(rep.reads_served(), 1);
+}
+
+// --- config aliases --------------------------------------------------------
+
+TEST(ConfigAlias, SectionKeysRoundTripWithLegacyNames) {
+  // Legacy flat key set, canonical read.
+  Config legacy;
+  legacy.set("replication", "3");
+  legacy.set("failover_detect", "0.25");
+  legacy.alias("replication.factor", "replication");
+  legacy.alias("replication.failover_detect", "failover_detect");
+  EXPECT_TRUE(legacy.has("replication.factor"));
+  EXPECT_EQ(legacy.get_int("replication.factor", 1), 3);
+  EXPECT_DOUBLE_EQ(legacy.get_double("replication.failover_detect", 0.0), 0.25);
+
+  // Canonical key set, legacy read (old scripts keep working).
+  Config canonical;
+  canonical.set("replication.factor", "2");
+  canonical.alias("replication.factor", "replication");
+  EXPECT_TRUE(canonical.has("replication"));
+  EXPECT_EQ(canonical.get_int("replication", 1), 2);
+
+  // An exact hit always beats the alias hop.
+  Config both;
+  both.set("replication", "4");
+  both.set("replication.factor", "2");
+  both.alias("replication.factor", "replication");
+  EXPECT_EQ(both.get_int("replication.factor", 1), 2);
+  EXPECT_EQ(both.get_int("replication", 1), 4);
+}
+
+// --- end-to-end fleet runs -------------------------------------------------
+
+core::ExperimentConfig fleet_cfg() {
+  core::ExperimentConfig cfg;
+  cfg.backend = core::Backend::kSim;
+  cfg.num_workers = 4;
+  cfg.num_servers = 2;
+  cfg.max_iters = 20;
+  cfg.model.kind = "softmax";
+  cfg.data.dim = 16;
+  cfg.data.num_classes = 10;
+  cfg.data.num_train = 256;
+  cfg.data.num_test = 64;
+  cfg.opt.kind = "sgd";
+  cfg.opt.lr.base = 0.4;
+  cfg.batch_size = 16;
+  cfg.sync = {.kind = "ssp", .staleness = 3};
+  cfg.compute.kind = "lognormal";
+  cfg.compute.base_seconds = 0.01;
+  cfg.compute.sigma = 0.2;
+  cfg.seed = 11;
+  cfg.replication_factor = 2;
+  cfg.read.fleet = 4;
+  cfg.read.pulls = 50;
+  cfg.read.max_staleness_clocks = 3;
+  return cfg;
+}
+
+TEST(ReadOffloadE2E, FleetCompletesWithZeroViolationsAndReplicaShare) {
+  auto cfg = fleet_cfg();
+  const auto r = core::run_experiment(cfg);
+  EXPECT_EQ(r.fleet_pulls, 4 * 50);
+  EXPECT_EQ(r.read_violations, 0);
+  EXPECT_GT(r.replica_reads_served, 0) << "offloading must actually hit replicas";
+  EXPECT_GT(r.head_reads_served, 0) << "the head stays in the read rotation";
+  EXPECT_GT(r.fleet_throughput, 0.0);
+}
+
+TEST(ReadOffloadE2E, HeadOnlyBaselineNeverTouchesReplicas) {
+  auto cfg = fleet_cfg();
+  cfg.read.prefer_replica = false;
+  const auto r = core::run_experiment(cfg);
+  EXPECT_EQ(r.fleet_pulls, 4 * 50);
+  EXPECT_EQ(r.read_violations, 0);
+  EXPECT_EQ(r.replica_reads_served, 0);
+}
+
+TEST(ReadOffloadE2E, BoundHoldsAcrossMidRunPromotion) {
+  // Kill shard 0's head mid-run with no restart: reads routed at the dead
+  // node must retry to the (promoted) head, redirects must retarget, and not
+  // one replica-served response may violate its staleness bound.
+  auto cfg = fleet_cfg();
+  cfg.read.pulls = 100;
+  cfg.faults.crashes.push_back(
+      {/*server_rank=*/0, /*crash_time=*/0.2, std::numeric_limits<double>::infinity()});
+  const auto r = core::run_experiment(cfg);
+  EXPECT_GE(r.failovers, 1) << "the head kill must promote a successor";
+  EXPECT_EQ(r.fleet_pulls, 4 * 100) << "every fleet pull completes despite the kill";
+  EXPECT_EQ(r.read_violations, 0);
+  EXPECT_EQ(r.rolled_back_updates, 0);
+}
+
+TEST(ReadOffloadE2E, ThreadBackendFleetMatchesSemantics) {
+  auto cfg = fleet_cfg();
+  cfg.backend = core::Backend::kThreads;
+  cfg.compute.kind = "fixed";
+  cfg.compute.base_seconds = 0.0;
+  const auto r = core::run_experiment(cfg);
+  EXPECT_EQ(r.fleet_pulls, 4 * 50);
+  EXPECT_EQ(r.read_violations, 0);
+  EXPECT_GT(r.replica_reads_served, 0);
+}
+
+}  // namespace
+}  // namespace fluentps

@@ -76,10 +76,28 @@ TEST(ServerWorker, SingleWorkerPushPullRoundTrip) {
   std::iota(update.begin(), update.end(), 1.0f);  // 1..20
   std::vector<float> params(20, -1.0f);
   rig.workers[0]->push(update, 0);
-  const auto t = rig.workers[0]->pull(0);
+  const auto t = rig.workers[0]->pull(KeyRange::all(), ReadOptions{.clock = 0});
   rig.workers[0]->wait_pull(t, params);
   // N = 1: server applies the full update.
   for (std::size_t i = 0; i < 20; ++i) EXPECT_FLOAT_EQ(params[i], update[i]) << i;
+}
+
+TEST(ServerWorker, DeprecatedPullShimMatchesReadOptionsApi) {
+  // The legacy pull(progress) overload must stay byte-compatible with the
+  // strong-consistency ReadOptions path (seq = 0 on the wire).
+  Rig rig(1, 2, 20, {.kind = "bsp"}, DprMode::kLazy);
+  std::vector<float> update(20);
+  std::iota(update.begin(), update.end(), 1.0f);
+  std::vector<float> via_shim(20, -1.0f), via_opts(20, -2.0f);
+  rig.workers[0]->push(update, 0);
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  const auto t_shim = rig.workers[0]->pull(0);
+#pragma GCC diagnostic pop
+  rig.workers[0]->wait_pull(t_shim, via_shim);
+  const auto t_opts = rig.workers[0]->pull(KeyRange::all(), ReadOptions{.clock = 0});
+  rig.workers[0]->wait_pull(t_opts, via_opts);
+  for (std::size_t i = 0; i < 20; ++i) EXPECT_FLOAT_EQ(via_shim[i], via_opts[i]) << i;
 }
 
 TEST(ServerWorker, UpdatesAveragedOverWorkers) {
@@ -91,8 +109,8 @@ TEST(ServerWorker, UpdatesAveragedOverWorkers) {
   // each pull until both pushes land, so spawn threads for the waits.
   rig.workers[0]->push(u0, 0);
   rig.workers[1]->push(u1, 0);
-  const auto t0 = rig.workers[0]->pull(0);
-  const auto t1 = rig.workers[1]->pull(0);
+  const auto t0 = rig.workers[0]->pull(KeyRange::all(), ReadOptions{.clock = 0});
+  const auto t1 = rig.workers[1]->pull(KeyRange::all(), ReadOptions{.clock = 0});
   rig.workers[0]->wait_pull(t0, p0);
   rig.workers[1]->wait_pull(t1, p1);
   for (std::size_t i = 0; i < 4; ++i) {
@@ -106,7 +124,7 @@ TEST(ServerWorker, BspBlocksFastWorkerUntilSlowPushes) {
   const std::vector<float> u(4, 1.0f);
   std::vector<float> params(4);
   rig.workers[0]->push(u, 0);
-  const auto t = rig.workers[0]->pull(0);
+  const auto t = rig.workers[0]->pull(KeyRange::all(), ReadOptions{.clock = 0});
   std::atomic<bool> served{false};
   std::jthread waiter([&] {
     rig.workers[0]->wait_pull(t, params);
@@ -131,7 +149,7 @@ TEST(ServerWorker, MultiIterationTraining) {
     std::vector<float> params(kParams);
     for (std::int64_t i = 0; i < kIters; ++i) {
       rig.workers[rank]->push(ones, i);
-      const auto t = rig.workers[rank]->pull(i);
+      const auto t = rig.workers[rank]->pull(KeyRange::all(), ReadOptions{.clock = i});
       rig.workers[rank]->wait_pull(t, params);
       // A BSP pull at iteration i is answered only after every worker's
       // iteration-i push was applied, so each coordinate is at least i+1.
@@ -162,7 +180,7 @@ TEST(ServerWorker, SspFastWorkerRunsAhead) {
   std::vector<float> params(4);
   for (std::int64_t i = 0; i < 3; ++i) {  // gaps 0,1,2 < 4: never blocks
     rig.workers[0]->push(u, i);
-    const auto t = rig.workers[0]->pull(i);
+    const auto t = rig.workers[0]->pull(KeyRange::all(), ReadOptions{.clock = i});
     rig.workers[0]->wait_pull(t, params);
   }
   EXPECT_EQ(rig.servers[0]->engine().dpr_total(), 0);
@@ -175,7 +193,7 @@ TEST(ServerWorker, ServerCountsPushesAndPulls) {
   std::vector<float> params(4);
   for (std::int64_t i = 0; i < 5; ++i) {
     rig.workers[0]->push(u, i);
-    const auto t = rig.workers[0]->pull(i);
+    const auto t = rig.workers[0]->pull(KeyRange::all(), ReadOptions{.clock = i});
     rig.workers[0]->wait_pull(t, params);
   }
   EXPECT_EQ(rig.servers[0]->pushes_applied(), 5);
@@ -190,7 +208,7 @@ TEST(ServerWorker, RuntimeConditionSwapUnblocksCluster) {
   std::vector<float> params(4);
   rig.workers[0]->push(u, 0);
   rig.servers[0]->set_pull_condition([](const PullCtx&, const SyncView&, Rng&) { return true; });
-  const auto t = rig.workers[0]->pull(0);
+  const auto t = rig.workers[0]->pull(KeyRange::all(), ReadOptions{.clock = 0});
   rig.workers[0]->wait_pull(t, params);  // must not hang
   EXPECT_FLOAT_EQ(params[0], 0.5f);
 }
@@ -208,7 +226,7 @@ TEST(ServerWorker, SnapshotIsThreadSafeDuringTraffic) {
   std::vector<float> params(64);
   for (std::int64_t i = 0; i < 200; ++i) {
     rig.workers[0]->push(u, i);
-    const auto t = rig.workers[0]->pull(i);
+    const auto t = rig.workers[0]->pull(KeyRange::all(), ReadOptions{.clock = i});
     rig.workers[0]->wait_pull(t, params);
   }
   stop = true;

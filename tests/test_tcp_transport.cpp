@@ -386,7 +386,7 @@ TEST(TcpTransport, EndToEndTrainingOverSockets) {
   std::vector<float> params(24);
   for (std::int64_t i = 0; i < 5; ++i) {
     worker.push(ones, i);
-    const auto t = worker.pull(i);
+    const auto t = worker.pull(ps::KeyRange::all(), ps::ReadOptions{.clock = i});
     worker.wait_pull(t, params);
     for (const float v : params) ASSERT_FLOAT_EQ(v, static_cast<float>(i + 1));
   }
