@@ -6,13 +6,16 @@
 //       --prob=0.3 --mode=lazy --iters=1000 --model=resmlp --eval_every=100 \
 //       --curve_csv=curve.csv --trace_json=timeline.json --save=model.ckpt
 //   run_experiment_cli --arch=pslite --sync=bsp --workers=32 --slicer=default
+#include <cstdint>
 #include <cstdio>
+#include <cstring>
 
 #include "common/config.h"
 #include "common/table.h"
 #include "core/checkpoint.h"
 #include "core/fluentps.h"
 #include "core/trace_export.h"
+#include "elastic/membership.h"
 #include "embed/table_spec.h"
 #include "embed/workload.h"
 
@@ -53,6 +56,11 @@ void print_usage() {
       "            telemetry_spans={0,1} (wait-free metrics + JSONL time series\n"
       "            at <telemetry_out>.jsonl + Prometheus dump at <telemetry_out>.prom;\n"
       "            cross-hop spans render into trace_json on the threads backend)\n"
+      "  elastic:  elastic.initial_servers elastic.schedule='add:3@40;drain:1@80'\n"
+      "            elastic.lead_iters (servers= is the fixed slot count; ops\n"
+      "            activate/drain slots mid-run via live shard migration at\n"
+      "            epoch fences; append /ROUND to an op to pin the sparse\n"
+      "            park round)\n"
       "  sparse:   tables='emb:dim=8,rows=512,opt=adagrad,qos=2;ads:dim=4'\n"
       "            sparse_workers sparse_rounds sparse_batch sparse_zipf\n"
       "            sparse_reduce={0,1} sparse_compute (a sparse embedding job\n"
@@ -139,6 +147,17 @@ int main(int argc, char** argv) {
   cfg.failover_detect_seconds =
       args.get_double("replication.failover_detect", cfg.failover_detect_seconds);
 
+  cfg.elastic.initial_servers =
+      static_cast<std::uint32_t>(args.get_int("elastic.initial_servers", 0));
+  cfg.elastic.lead_iters = args.get_int("elastic.lead_iters", cfg.elastic.lead_iters);
+  if (const auto sched = args.get_string("elastic.schedule"); !sched.empty()) {
+    if (!elastic::parse_schedule(sched, &cfg.elastic.schedule)) {
+      std::fprintf(stderr, "bad elastic.schedule '%s' (want add:RANK@ITER,drain:RANK@ITER)\n",
+                   sched.c_str());
+      return 1;
+    }
+  }
+
   cfg.read.fleet = static_cast<std::uint32_t>(args.get_int("read.fleet", 0));
   cfg.read.pulls = args.get_int("read.pulls", 0);
   cfg.read.max_staleness_clocks = args.get_int("read.staleness", cfg.read.max_staleness_clocks);
@@ -175,6 +194,22 @@ int main(int argc, char** argv) {
   std::printf("\ntotal time      %.3f s (compute %.3f + comm/sync %.3f per worker)\n",
               r.total_time, r.compute_time, r.comm_time);
   std::printf("final accuracy  %.4f   loss %.4f\n", r.final_accuracy, r.final_loss);
+  {
+    // Bit-exact digest of the final dense parameters (FNV-1a over the raw
+    // float encodings). Two runs print the same digest iff they produced the
+    // same model to the last bit — scripts/chaos.sh compares this against a
+    // serial single-worker oracle to prove elastic runs lose no updates.
+    std::uint64_t h = 1469598103934665603ull;
+    for (const float v : r.final_params) {
+      std::uint32_t bits = 0;
+      std::memcpy(&bits, &v, sizeof bits);
+      for (int shift = 0; shift < 32; shift += 8) {
+        h = (h ^ ((bits >> shift) & 0xffu)) * 1099511628211ull;
+      }
+    }
+    std::printf("params digest   %016llx (%zu params)\n",
+                static_cast<unsigned long long>(h), r.final_params.size());
+  }
   std::printf("DPRs            %lld total, %.1f per 100 iterations\n",
               static_cast<long long>(r.dpr_total), r.dprs_per_100_iters);
   std::printf("staleness       mean %.2f  p95 %lld\n", r.staleness.mean(),
@@ -220,6 +255,13 @@ int main(int argc, char** argv) {
                 static_cast<long long>(r.replicated_updates),
                 static_cast<long long>(r.failovers), r.failover_seconds,
                 static_cast<long long>(r.rolled_back_updates));
+  }
+  if (cfg.elastic.enabled()) {
+    std::printf("elastic         epoch %lld  %lld slices moved (%.2f MB)  "
+                "fence stall %.3f s  pre-copy %.3f s\n",
+                static_cast<long long>(r.elastic_epoch),
+                static_cast<long long>(r.elastic_migrations), r.elastic_bytes_moved / 1e6,
+                r.elastic_stall_seconds, r.elastic_migrate_seconds);
   }
   if (cfg.replication_factor > 1 || cfg.read.fleet_enabled()) {
     std::printf("reads           replica-served %lld  head-served %lld  fallbacks %lld  "

@@ -278,8 +278,121 @@ for case_spec in "${SPARSE_CASES[@]}"; do
   echo
 done
 
+# Elastic membership cases (DESIGN.md §14): scale-out then drain mid-run on
+# the faulty fabric. Three checks:
+#  (1) soak + determinism — both epochs must commit under loss with a
+#      replicated chain riding along (zero rolled-back updates), and a
+#      re-run with the same seed must print a bit-identical params digest
+#      (the whole fence/pre-copy/commit protocol is inside the sim's
+#      deterministic event loop).
+#  (2) serial oracle — with one worker the total apply order is fixed, so
+#      the elastic run under loss must produce the exact same params digest
+#      as a static fault-free run on the final server set: zero updates
+#      lost or double-applied across both epochs.
+#  (3) sparse tables follow the epoch — embedding rows re-home with their
+#      shard and the summed digest must still equal the serial sparse
+#      oracle ("zero-lost=OK").
+ELASTIC_FLAGS=(
+  servers=4 elastic.initial_servers=3
+  "elastic.schedule=add:3@$((ITERS / 3));drain:1@$((2 * ITERS / 3))" chunk=64
+)
+echo "== chaos: elastic add+drain drop=$DROP replication=2 (soak + determinism) =="
+digests=()
+for rerun in 1 2; do
+  if out=$("$CLI" \
+    workers="$WORKERS" iters="$ITERS" seed="$SEED" \
+    sync=ssp staleness=3 replication.factor=2 "${ELASTIC_FLAGS[@]}" \
+    model=softmax dim=64 classes=10 train_n=1024 test_n=256 \
+    compute=lognormal base_seconds=0.01 sigma=0.3 \
+    fault.drop="$DROP" \
+    retry.initial_timeout=0.02 retry.max_timeout=0.3 2>&1); then
+    [ "$rerun" = 1 ] && echo "$out" | grep -E "final accuracy|elastic|replication"
+    digests+=("$(echo "$out" | sed -n 's/^params digest *\([0-9a-f]*\).*/\1/p')")
+    epoch=$(echo "$out" | sed -n 's/^elastic *epoch \([0-9]*\).*/\1/p')
+    moved=$(echo "$out" | sed -n 's/^elastic.*epoch [0-9]* *\([0-9]*\) slices moved.*/\1/p')
+    rolled=$(echo "$out" | sed -n 's/.*rolled back \([0-9]*\).*/\1/p')
+    acc=$(echo "$out" | sed -n 's/^final accuracy *\([0-9.]*\).*/\1/p')
+    if [ -z "$acc" ] || [ "$acc" = "nan" ]; then
+      echo "!! non-finite accuracy: elastic soak (run $rerun)"
+      fail=1
+    fi
+    if [ "${epoch:-0}" -ne 2 ]; then
+      echo "!! expected both elastic ops committed (epoch 2), got epoch ${epoch:-0}"
+      fail=1
+    fi
+    if [ "${moved:-0}" -lt 1 ]; then
+      echo "!! elastic epochs committed but no slices migrated"
+      fail=1
+    fi
+    if [ "${rolled:-1}" -ne 0 ]; then
+      echo "!! elastic + chain run rolled back updates (must be zero-loss)"
+      fail=1
+    fi
+  else
+    echo "$out"
+    echo "!! run failed: elastic soak (run $rerun)"
+    fail=1
+  fi
+done
+if [ "${digests[0]:-a}" != "${digests[1]:-b}" ]; then
+  echo "!! elastic runs with the same seed diverged: ${digests[0]:-?} vs ${digests[1]:-?}"
+  fail=1
+else
+  echo "determinism: re-run digest matches (${digests[0]:-?})"
+fi
+echo
+
+echo "== chaos: elastic serial-oracle digest (1 worker, faulty vs static clean) =="
+elastic_digest=$("$CLI" \
+  workers=1 iters="$ITERS" seed="$SEED" \
+  sync=bsp "${ELASTIC_FLAGS[@]}" \
+  model=softmax dim=64 classes=10 train_n=1024 test_n=256 \
+  compute=lognormal base_seconds=0.01 sigma=0.3 \
+  fault.drop="$DROP" fault.dup=0.05 \
+  retry.initial_timeout=0.02 retry.max_timeout=0.3 2>&1 |
+  sed -n 's/^params digest *\([0-9a-f]*\).*/\1/p')
+oracle_digest=$("$CLI" \
+  workers=1 iters="$ITERS" seed="$SEED" \
+  sync=bsp servers=4 chunk=64 force_reliability=1 \
+  model=softmax dim=64 classes=10 train_n=1024 test_n=256 \
+  compute=lognormal base_seconds=0.01 sigma=0.3 2>&1 |
+  sed -n 's/^params digest *\([0-9a-f]*\).*/\1/p')
+if [ -z "$elastic_digest" ] || [ "$elastic_digest" != "$oracle_digest" ]; then
+  echo "!! elastic run lost updates: digest ${elastic_digest:-?} != oracle ${oracle_digest:-?}"
+  fail=1
+else
+  echo "zero-lost: elastic digest matches the serial oracle ($elastic_digest)"
+fi
+echo
+
+echo "== chaos: elastic + sparse tables drop=$DROP (rows follow the epoch) =="
+if out=$("$CLI" \
+  workers="$WORKERS" iters="$ITERS" seed="$SEED" \
+  sync=ssp staleness=3 "${ELASTIC_FLAGS[@]}" \
+  model=softmax dim=64 classes=10 train_n=1024 test_n=256 \
+  compute=lognormal base_seconds=0.01 sigma=0.3 \
+  "${SPARSE_FLAGS[@]}" \
+  fault.drop="$DROP" \
+  retry.initial_timeout=0.02 retry.max_timeout=0.3 2>&1); then
+  echo "$out" | grep -E "final accuracy|elastic|sparse"
+  if ! echo "$out" | grep -q "zero-lost=OK"; then
+    echo "!! sparse digest diverged from the serial oracle after elastic epochs"
+    fail=1
+  fi
+  epoch=$(echo "$out" | sed -n 's/^elastic *epoch \([0-9]*\).*/\1/p')
+  if [ "${epoch:-0}" -ne 2 ]; then
+    echo "!! expected epoch 2 in the sparse elastic case, got ${epoch:-0}"
+    fail=1
+  fi
+else
+  echo "$out"
+  echo "!! run failed: elastic + sparse"
+  fail=1
+fi
+echo
+
 if [ "$fail" -ne 0 ]; then
   echo "CHAOS: FAILURES (see above)"
   exit 1
 fi
-echo "CHAOS: all ${#CASES[@]} crash-restart cases + 2 replicated head-kill cases + the read-offload fleet case + ${#SPARSE_CASES[@]} sparse cases survived ${DROP} loss"
+echo "CHAOS: all ${#CASES[@]} crash-restart cases + 2 replicated head-kill cases + the read-offload fleet case + ${#SPARSE_CASES[@]} sparse cases + 3 elastic cases survived ${DROP} loss"

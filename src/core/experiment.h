@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/stats.h"
+#include "elastic/membership.h"
 #include "embed/workload.h"
 #include "fault/fault_plan.h"
 #include "fault/retry_policy.h"
@@ -240,6 +241,16 @@ struct ExperimentConfig {
   /// checkpointed, so crash schedules require replication_factor > 1.
   embed::SparseJobSpec sparse;
 
+  // --- elastic membership (src/elastic, DESIGN.md §14) ------------------
+
+  /// Live scale-out/in: `num_servers` becomes the fixed slot count, the
+  /// schedule activates/drains slots mid-run with live shard migration and an
+  /// epoch-fenced rebind. Requires the FluentPS architecture and the
+  /// reliability layer; incompatible with crash schedules and checkpointing
+  /// (the elastic controller owns the membership authority), and with
+  /// sparse jobs under replication_factor > 1.
+  elastic::ElasticSpec elastic;
+
   // --- telemetry (src/obs, DESIGN.md §12) -------------------------------
 
   /// End-to-end telemetry: when enabled the runtime attaches the wait-free
@@ -250,10 +261,12 @@ struct ExperimentConfig {
   /// recording site then sees a null pointer and costs one predicted branch.
   obs::TelemetrySpec telemetry;
 
-  /// Reliability layer active? (explicitly forced, implied by any fault, or
-  /// required by chain replication's deferred-ack protocol.)
+  /// Reliability layer active? (explicitly forced, implied by any fault,
+  /// required by chain replication's deferred-ack protocol, or by elastic
+  /// membership — migration delta taps ride the SeqWindow accept path.)
   [[nodiscard]] bool reliability_enabled() const noexcept {
-    return force_reliability || faults.any() || replication_factor > 1;
+    return force_reliability || faults.any() || replication_factor > 1 ||
+           elastic.enabled();
   }
 
   /// Short human-readable tag for tables.
@@ -355,6 +368,12 @@ struct ExperimentResult {
   /// config.telemetry.enabled && trace_spans; rendered by trace_export as
   /// nested per-node tracks). Times are ns relative to the run's epoch.
   std::vector<obs::SpanRecord> spans;
+  // --- elastic membership outcomes (DESIGN.md §14) ----------------------
+  std::int64_t elastic_migrations = 0;   ///< dense slices + sparse rows moved
+  std::int64_t elastic_bytes_moved = 0;  ///< snapshot + delta + row bytes shipped
+  std::int64_t elastic_epoch = 0;        ///< final committed membership epoch
+  double elastic_stall_seconds = 0.0;    ///< summed fence (all-parked) windows
+  double elastic_migrate_seconds = 0.0;  ///< summed live pre-copy phases
   /// Interval lines the telemetry snapshotter wrote (0 when disabled).
   std::int64_t telemetry_intervals = 0;
   /// Prometheus text-exposition dump of the run's cumulative metrics with

@@ -12,7 +12,10 @@
 #include "common/logging.h"
 #include "common/metrics.h"
 #include "core/checkpoint.h"
+#include "elastic/membership.h"
+#include "elastic/planner.h"
 #include "embed/embedding_table.h"
+#include "embed/routing.h"
 #include "embed/sparse_host.h"
 #include "embed/sparse_replica.h"
 #include "embed/workload.h"
@@ -63,6 +66,11 @@ void put_u64_extra(ExperimentResult& r, const std::string& key, std::uint64_t v)
 /// completion is driven by message arrivals, so this only affects when the
 /// "recovered" trace event is stamped, not the protocol itself).
 constexpr double kRecoveryWatchSeconds = 0.05;
+
+/// Poll cadence for the elastic fence's quiesce check (migration acks and
+/// replication drains are message-driven; the poll just samples completion,
+/// in virtual time, so runs stay bit-deterministic).
+constexpr double kElasticWatchSeconds = 0.002;
 
 class SimRun {
  public:
@@ -182,6 +190,7 @@ class SimRun {
     double finish_time = 0.0;
     double last_loss = 0.0;
     bool done = false;
+    bool parked = false;  ///< held at an elastic op's pre-declared boundary
   };
 
   void build_parameters() {
@@ -196,7 +205,38 @@ class SimRun {
       model_->init_params(w0_, init_rng);
     }
     const auto slicer = ps::make_slicer(cfg_.slicer, cfg_.eps_chunk);
-    sharding_ = slicer->shard(model_->layer_sizes(), cfg_.num_servers);
+    if (cfg_.elastic.enabled()) {
+      elastic::validate_spec(cfg_.elastic, cfg_.arch == Arch::kFluentPS,
+                             cfg_.faults.crashes.empty() && cfg_.checkpoint_dir.empty(),
+                             cfg_.sparse.enabled(), cfg_.replication_factor, cfg_.max_iters,
+                             cfg_.sparse.rounds);
+      membership_ =
+          std::make_unique<elastic::Membership>(cfg_.num_servers, cfg_.elastic.initial_servers);
+      // Shard over the active set only; inactive slots start with empty
+      // (ranked) shards so workers naturally skip them.
+      const std::uint32_t n_active = membership_->view().num_active();
+      sharding_ = n_active < cfg_.num_servers
+                      ? elastic::expand_to_slots(
+                            slicer->shard(model_->layer_sizes(), n_active), cfg_.num_servers)
+                      : slicer->shard(model_->layer_sizes(), cfg_.num_servers);
+      sparse_active_ = membership_->active();
+    } else {
+      sharding_ = slicer->shard(model_->layer_sizes(), cfg_.num_servers);
+      sparse_active_.assign(cfg_.num_servers, 1);
+    }
+  }
+
+  /// Shard m carries traffic iff its layout is non-empty — inactive elastic
+  /// slots own no slices. Mirrors ps::WorkerClient's skip logic so the two
+  /// backends issue identical seq streams through epoch changes.
+  [[nodiscard]] bool shard_active(std::uint32_t m) const {
+    return !sharding_.shards[m].slices.empty();
+  }
+
+  [[nodiscard]] std::uint32_t active_shards() const {
+    std::uint32_t n = 0;
+    for (std::uint32_t m = 0; m < cfg_.num_servers; ++m) n += shard_active(m) ? 1 : 0;
+    return n;
   }
 
   /// Server spec for shard m — shared between the initial heads and servers
@@ -490,6 +530,7 @@ class SimRun {
     std::int64_t retries = 0;
     double finish_time = 0.0;
     bool done = false;
+    bool parked = false;  ///< held at an elastic op's pre-declared round
   };
 
   void build_sparse_workers() {
@@ -537,15 +578,20 @@ class SimRun {
           embed::sample_batch(cfg_.sparse, cfg_.sparse.tables[t], cfg_.seed, w.rank, w.round);
       shards[t].reserve(num_servers);
       for (std::uint32_t m = 0; m < num_servers; ++m) {
-        shards[t].push_back(embed::shard_of(full, m, num_servers));
+        // shard_of_active == shard_of when every slot is active, so the
+        // non-elastic path is unchanged bit for bit.
+        shards[t].push_back(embed::shard_of_active(full, m, sparse_active_));
       }
     }
-    // Phase 1: push every shard — empty ones included, they are the round
-    // markers. Seq issue order (m outer, t inner) matches the thread client.
+    // Phase 1: push every active shard — empty ones included, they are the
+    // round markers; inactive elastic slots get no marker and no seq (their
+    // round clock is reseeded at the epoch fence when they rejoin). Seq issue
+    // order (m outer, t inner) matches the thread client.
     w.pushes.clear();
     w.pulls.clear();
     w.attempt = 0;
     for (std::uint32_t m = 0; m < num_servers; ++m) {
+      if (sparse_active_[m] == 0) continue;
       for (std::size_t t = 0; t < shards.size(); ++t) {
         SparsePush p;
         p.server = m;
@@ -739,6 +785,13 @@ class SimRun {
     w.pushes.clear();
     w.pulls.clear();
     ++w.round;
+    if (parks_sparse(w.round)) {
+      // BSP round complete (all pushes acked, all pulls answered): the
+      // sparse side of the elastic fence is quiescent by construction.
+      w.parked = true;
+      maybe_commit_elastic();
+      return;
+    }
     if (w.round < cfg_.sparse.rounds) {
       schedule_sparse_compute(w);
     } else {
@@ -989,7 +1042,7 @@ class SimRun {
     if (cfg_.arch == Arch::kPsLite) {
       // Non-overlap protocol: wait for all push acks, then report progress
       // to the scheduler and wait for the pull grant.
-      w.pending_acks = cfg_.num_servers;
+      w.pending_acks = active_shards();
     } else {
       send_pulls(w);
     }
@@ -1000,15 +1053,22 @@ class SimRun {
       w.round_progress = w.iter;
       w.round_metadata = metadata_only;
       w.round_values.assign(values.begin(), values.end());
-      w.push_unacked = cfg_.num_servers;
+      w.push_unacked = 0;
       for (std::uint32_t m = 0; m < cfg_.num_servers; ++m) {
+        if (!shard_active(m)) {
+          w.push_acked[m] = 1;  // no traffic and no seq for empty shards
+          continue;
+        }
         w.push_seqs[m] = w.next_seq[m]++;
         w.push_acked[m] = 0;
+        ++w.push_unacked;
       }
     } else {
       w.round_progress = w.iter;
     }
-    for (std::uint32_t m = 0; m < cfg_.num_servers; ++m) send_push_one(w, m, metadata_only);
+    for (std::uint32_t m = 0; m < cfg_.num_servers; ++m) {
+      if (shard_active(m)) send_push_one(w, m, metadata_only);
+    }
     if (reliable_) arm_retry(w);
   }
 
@@ -1034,9 +1094,15 @@ class SimRun {
 
   void send_pulls(WorkerState& w) {
     w.ticket = w.next_ticket++;
-    w.pending_shards = cfg_.num_servers;
-    if (reliable_) std::fill(w.pull_received.begin(), w.pull_received.end(), 0);
-    for (std::uint32_t m = 0; m < cfg_.num_servers; ++m) send_pull_one(w, m);
+    w.pending_shards = active_shards();
+    if (reliable_) {
+      for (std::uint32_t m = 0; m < cfg_.num_servers; ++m) {
+        w.pull_received[m] = shard_active(m) ? 0 : 1;
+      }
+    }
+    for (std::uint32_t m = 0; m < cfg_.num_servers; ++m) {
+      if (shard_active(m)) send_pull_one(w, m);
+    }
     if (reliable_) arm_retry(w);
   }
 
@@ -1133,6 +1199,10 @@ class SimRun {
               w.report_outstanding = true;
               send_report(w);
               arm_retry(w);
+            } else if (w.parked) {
+              // Last ack of the round the worker parked behind: the elastic
+              // fence may now hold.
+              maybe_commit_elastic();
             }
           }
           break;
@@ -1207,6 +1277,18 @@ class SimRun {
     if (w.rank == 0) {
       maybe_switch_sync(w.iter);
       maybe_eval(w);
+      // Worker 0's progress is the elastic pre-copy trigger (checked before
+      // the park below, so a lead of 0 still migrates before the fence).
+      maybe_start_precopy(w.iter);
+    }
+    if (parks_dense(w.iter)) {
+      // Pre-declared elastic park point: every dense worker pauses before
+      // starting iteration at_iter (an arbitrary per-worker boundary would
+      // deadlock the DPR conditions on a straggler). The fence additionally
+      // waits for this worker's round acks via the kPushAck hook.
+      w.parked = true;
+      maybe_commit_elastic();
+      return;
     }
     if (w.iter < cfg_.max_iters) {
       schedule_compute(w);
@@ -1245,6 +1327,209 @@ class SimRun {
     pt.accuracy = ml::test_accuracy(*model_, params, data_, eval_ws_);
     pt.loss = ml::test_loss(*model_, params, data_, eval_ws_);
     curve_.push_back(pt);
+  }
+
+  // --- elastic membership (src/elastic, DESIGN.md §14) -------------------
+  // Event-driven twin of the thread backend's controller. Ops execute in
+  // schedule order: worker 0's iteration boundary triggers the live pre-copy
+  // (lead_iters early), every client parks at the op's pre-declared boundary,
+  // and once migrations and replication drain, the commit installs the new
+  // view and reschedules the parked workers — all in virtual time, so runs
+  // stay bit-deterministic per seed.
+
+  /// Dense workers park before starting iteration `iter` when the next
+  /// uncommitted op fences there. Ops commit globally in order, so the next
+  /// op's boundary is the only one any worker can be at.
+  [[nodiscard]] bool parks_dense(std::int64_t iter) const {
+    return membership_ && completed_ops_ < cfg_.elastic.schedule.size() &&
+           cfg_.elastic.schedule[completed_ops_].at_iter == iter;
+  }
+
+  [[nodiscard]] bool parks_sparse(std::int64_t round) const {
+    return membership_ && completed_ops_ < cfg_.elastic.schedule.size() &&
+           elastic::park_round_of(cfg_.elastic.schedule[completed_ops_], cfg_.max_iters,
+                                  cfg_.sparse.rounds) == round;
+  }
+
+  /// Phase 1 — live pre-copy: snapshot every moving slice at its source and
+  /// tap subsequently accepted pushes as catch-up deltas (kMigrateSnapshot /
+  /// kMigrateDelta; control-plane frames, never faulted). Training continues.
+  void maybe_start_precopy(std::int64_t w0_iter) {
+    if (!membership_ || precopy_started_ ||
+        completed_ops_ >= cfg_.elastic.schedule.size()) {
+      return;
+    }
+    const elastic::ElasticOp& op = cfg_.elastic.schedule[completed_ops_];
+    if (w0_iter < std::max<std::int64_t>(op.at_iter - cfg_.elastic.lead_iters, 0)) return;
+    precopy_started_ = true;
+    precopy_start_ = env_.now();
+    plan_ = elastic::replan(sharding_, membership_->active_after(op));
+    for (const auto& mv : plan_.moves) {
+      const ps::ShardLayout& lay = sharding_.shards[mv.from_server];
+      std::size_t idx = lay.slices.size();
+      for (std::size_t j = 0; j < lay.slices.size(); ++j) {
+        if (lay.slices[j].offset == mv.slice.offset) {
+          idx = j;
+          break;
+        }
+      }
+      FPS_CHECK(idx < lay.slices.size())
+          << "migration source slice not found (offset " << mv.slice.offset << ")";
+      head_server_[mv.from_server]->migrate_out_begin(
+          next_migration_id_++, idx, head_server_[mv.to_server]->node_id(), mv.to_server);
+    }
+    fault_events_.push_back(FaultEvent{env_.now(), "elastic_precopy", server_node(op.rank)});
+  }
+
+  /// Phases 2+3 — fence and quiesce: commit once every dense worker is parked
+  /// with its round fully acked, every sparse worker is parked (their BSP
+  /// round completion implies quiescence), every tapped delta is staged and
+  /// acked by its target, and every chain entry is acked downstream. Called
+  /// from every event that can flip one of those conditions; the watch timer
+  /// covers the ack horizons, which have no runtime hook.
+  void maybe_commit_elastic() {
+    if (!membership_ || !precopy_started_ ||
+        completed_ops_ >= cfg_.elastic.schedule.size()) {
+      return;
+    }
+    for (const auto& w : workers_) {
+      if (!w->parked || w->push_unacked > 0) return;
+    }
+    for (const auto& sw : sparse_workers_) {
+      if (!sw->parked) return;
+    }
+    if (fence_start_ < 0.0) fence_start_ = env_.now();
+    bool quiet = true;
+    for (const auto& mv : plan_.moves) {
+      if (!head_server_[mv.from_server]->migrations_drained()) quiet = false;
+    }
+    if (chain_.replicated()) {
+      for (const ps::Server* s : head_server_) {
+        if (s->replication_pending() != 0) quiet = false;
+      }
+    }
+    if (!quiet) {
+      if (!elastic_watch_armed_) {
+        elastic_watch_armed_ = true;
+        env_.schedule(kElasticWatchSeconds, [this] {
+          elastic_watch_armed_ = false;
+          maybe_commit_elastic();
+        });
+      }
+      return;
+    }
+    commit_elastic_op();
+  }
+
+  /// Phase 4 — epoch-fenced commit: install the post-epoch layouts, seed the
+  /// joining slot's engine and round clock, reseed changed chains, move
+  /// sparse rows, publish the new sharding, then resume the parked workers
+  /// into the new epoch. Runs inside one event, so no traffic interleaves.
+  void commit_elastic_op() {
+    const elastic::ElasticOp& op = cfg_.elastic.schedule[completed_ops_];
+    std::vector<char> changed(cfg_.num_servers, 0);
+    for (const auto& mv : plan_.moves) {
+      changed[mv.from_server] = 1;
+      changed[mv.to_server] = 1;
+    }
+    for (std::uint32_t m = 0; m < cfg_.num_servers; ++m) {
+      const bool was_empty = sharding_.shards[m].slices.empty();
+      if (changed[m]) head_server_[m]->commit_layout(plan_.sharding.shards[m]);
+      if (changed[m] && was_empty && !plan_.sharding.shards[m].slices.empty()) {
+        // The slot never saw a push while its shard was empty (joining slots,
+        // but also small models where LPT left an active slot bare): seed its
+        // engine with the progress every parked worker actually reached, or
+        // BSP/SSP pull conditions would wait forever on pushes that predate
+        // the epoch.
+        head_server_[m]->seed_engine_progress(
+            std::vector<std::int64_t>(cfg_.num_workers, op.at_iter - 1));
+      }
+    }
+    if (chain_.replicated()) {
+      for (std::uint32_t m = 0; m < cfg_.num_servers; ++m) {
+        if (!changed[m]) continue;
+        const replica::ReplicaState seed = head_server_[m]->export_replica_seed();
+        for (std::uint32_t pos = 1; pos < chain_.factor; ++pos) {
+          slot_of(m, pos).replica->adopt_seed(seed);
+        }
+      }
+    }
+    if (cfg_.sparse.enabled()) move_sparse_rows(op);
+    elastic_stats_.migrations += static_cast<std::int64_t>(plan_.moves.size());
+    metrics_.incr("elastic.migrations", static_cast<std::int64_t>(plan_.moves.size()));
+    sharding_ = plan_.sharding;
+    membership_->commit(op, std::move(plan_.sharding));
+    elastic_stats_.epoch = membership_->epoch();
+    metrics_.set_gauge_max("elastic.epoch", static_cast<double>(membership_->epoch()));
+    elastic_stats_.rebind_stall_seconds += env_.now() - fence_start_;
+    elastic_stats_.migrate_seconds += fence_start_ - precopy_start_;
+    fault_events_.push_back(
+        FaultEvent{env_.now(), op.add ? "elastic_add" : "elastic_drain", server_node(op.rank)});
+    FPS_LOG(Info) << "elastic epoch " << membership_->epoch() << ": "
+                  << (op.add ? "added" : "drained") << " server " << op.rank << " ("
+                  << plan_.moves.size() << " slices moved) at t=" << env_.now();
+    ++completed_ops_;
+    precopy_started_ = false;
+    fence_start_ = -1.0;
+    // Back-to-back ops at the same boundary: start the next pre-copy before
+    // deciding who stays parked.
+    maybe_start_precopy(workers_[0]->iter);
+    for (auto& w : workers_) {
+      if (!w->parked) continue;
+      if (parks_dense(w->iter)) continue;  // next op fences at this boundary too
+      w->parked = false;
+      if (w->iter < cfg_.max_iters) {
+        schedule_compute(*w);
+      } else {
+        w->done = true;
+        w->finish_time = env_.now();
+      }
+    }
+    for (auto& sw : sparse_workers_) {
+      if (!sw->parked) continue;
+      if (parks_sparse(sw->round)) continue;
+      sw->parked = false;
+      if (sw->round < cfg_.sparse.rounds) {
+        schedule_sparse_compute(*sw);
+      } else {
+        sw->done = true;
+        sw->finish_time = env_.now();
+      }
+    }
+    maybe_commit_elastic();  // everyone may already satisfy the next op's fence
+  }
+
+  /// Fence-time sparse rebalance: rows move verbatim (values + optimizer
+  /// state) to their post-epoch route_active() owner, so the state digest is
+  /// placement-invariant and the serial oracle holds across epochs. Every
+  /// sparse worker is parked, so no host dispatch is touching the cores.
+  void move_sparse_rows(const elastic::ElasticOp& op) {
+    const std::vector<char> next = membership_->active_after(op);
+    std::vector<std::vector<embed::SparseCore::MovedRow>> inbound(cfg_.num_servers);
+    for (std::uint32_t m = 0; m < cfg_.num_servers; ++m) {
+      if (!membership_->is_active(m)) continue;  // inactive slots hold no rows
+      auto rows = head_sparse_[m]->core_for_fence().extract_moved_rows(next, m);
+      for (auto& r : rows) {
+        elastic_stats_.bytes_moved +=
+            static_cast<std::int64_t>(r.data.size() * sizeof(float));
+        const std::uint32_t owner = embed::route_active(r.table_id, r.row_id, next);
+        inbound[owner].push_back(std::move(r));
+        ++elastic_rows_;
+      }
+    }
+    for (std::uint32_t m = 0; m < cfg_.num_servers; ++m) {
+      if (!inbound[m].empty()) {
+        head_sparse_[m]->core_for_fence().install_rows(std::move(inbound[m]));
+      }
+    }
+    if (op.add) {
+      // The joining host first sees pushes for the fence round: seed its
+      // round clock so drainable() doesn't wait for rounds that predate it.
+      const std::int64_t park =
+          elastic::park_round_of(op, cfg_.max_iters, cfg_.sparse.rounds);
+      head_sparse_[op.rank]->core_for_fence().seed_round_clock(park - 1);
+    }
+    sparse_active_ = next;
   }
 
   // --- crash-restart lifecycle ------------------------------------------
@@ -1608,6 +1893,30 @@ class SimRun {
       r.extra["sparse_retries"] = static_cast<double>(sparse_retries);
       r.extra["sparse_parked_pulls"] = static_cast<double>(parked);
     }
+    // --- elastic membership outcomes (DESIGN.md §14) ----------------------
+    if (membership_) {
+      FPS_CHECK(completed_ops_ == cfg_.elastic.schedule.size())
+          << "elastic: only " << completed_ops_ << "/" << cfg_.elastic.schedule.size()
+          << " ops committed (fence deadlock?)";
+      std::int64_t bytes = elastic_stats_.bytes_moved;  // sparse row moves
+      std::int64_t deltas = 0;
+      for_each_server([&](const ps::Server& s) {
+        bytes += s.migrate_bytes();
+        deltas += s.migrate_deltas();
+      });
+      r.elastic_migrations = elastic_stats_.migrations;
+      r.elastic_bytes_moved = bytes;
+      r.elastic_epoch = static_cast<std::int64_t>(membership_->epoch());
+      r.elastic_stall_seconds = elastic_stats_.rebind_stall_seconds;
+      r.elastic_migrate_seconds = elastic_stats_.migrate_seconds;
+      if (bytes > 0) metrics_.incr("elastic.bytes_moved", bytes);
+      metrics_.set_gauge_max("elastic.rebind_stall_seconds",
+                             elastic_stats_.rebind_stall_seconds);
+      r.extra["elastic_deltas"] = static_cast<double>(deltas);
+      r.extra["elastic_rows_moved"] = static_cast<double>(elastic_rows_);
+      r.extra["elastic_active_servers"] =
+          static_cast<double>(membership_->view().num_active());
+    }
     // --- read-path outcomes (DESIGN.md §13) -------------------------------
     for (const ReplicaSlot& slot : replicas_) {
       r.replica_reads_served += slot.replica->reads_served();
@@ -1713,6 +2022,18 @@ class SimRun {
   std::vector<std::unique_ptr<embed::SparseHost>> sparse_hosts_;
   std::vector<embed::SparseHost*> head_sparse_;  ///< current head per shard
   std::vector<std::unique_ptr<SparseWorkerState>> sparse_workers_;
+  // --- elastic membership (src/elastic, DESIGN.md §14) -------------------
+  std::unique_ptr<elastic::Membership> membership_;  ///< set iff cfg.elastic.enabled()
+  std::size_t completed_ops_ = 0;    ///< ops committed so far (schedule prefix)
+  bool precopy_started_ = false;     ///< next op's migrations are in flight
+  bool elastic_watch_armed_ = false;
+  double precopy_start_ = 0.0;
+  double fence_start_ = -1.0;        ///< <0 = fence not yet reached
+  elastic::Plan plan_;               ///< live op's replan (moves + new sharding)
+  std::uint64_t next_migration_id_ = 1;
+  elastic::ElasticStats elastic_stats_;
+  std::int64_t elastic_rows_ = 0;
+  std::vector<char> sparse_active_;  ///< sparse routing mask (all-1 when static)
   // --- inference fleet (DESIGN.md §13) -----------------------------------
   std::vector<std::unique_ptr<FleetState>> fleet_;
   std::map<net::NodeId, std::int64_t> reads_by_node_;  ///< fleet read share

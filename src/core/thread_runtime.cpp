@@ -1,8 +1,10 @@
 #include "core/thread_runtime.h"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cmath>
+#include <condition_variable>
 #include <deque>
 #include <filesystem>
 #include <limits>
@@ -12,6 +14,9 @@
 
 #include "baselines/ssptable_cache.h"
 #include "common/logging.h"
+#include "elastic/membership.h"
+#include "elastic/planner.h"
+#include "embed/routing.h"
 #include "common/metrics.h"
 #include "common/stopwatch.h"
 #include "core/checkpoint.h"
@@ -77,7 +82,22 @@ class ThreadRun {
       model_->init_params(w0_, init_rng);
     }
     const auto slicer = ps::make_slicer(cfg.slicer, cfg.eps_chunk);
-    sharding_ = slicer->shard(model_->layer_sizes(), cfg.num_servers);
+    if (cfg.elastic.enabled()) {
+      validate_elastic();
+      membership_ =
+          std::make_unique<elastic::Membership>(cfg.num_servers, cfg.elastic.initial_servers);
+      dense_parked_at_.assign(cfg.elastic.schedule.size(), 0);
+      sparse_parked_at_.assign(cfg.elastic.schedule.size(), 0);
+      // Shard over the active set only; inactive slots start with empty
+      // (ranked) shards so clients naturally skip them.
+      const std::uint32_t n_active = membership_->view().num_active();
+      sharding_ = n_active < cfg.num_servers
+                      ? elastic::expand_to_slots(
+                            slicer->shard(model_->layer_sizes(), n_active), cfg.num_servers)
+                      : slicer->shard(model_->layer_sizes(), cfg.num_servers);
+    } else {
+      sharding_ = slicer->shard(model_->layer_sizes(), cfg.num_servers);
+    }
     reliable_ = cfg.reliability_enabled();
     chain_ = replica::ChainLayout{cfg.num_servers, cfg.num_workers,
                                   std::max<std::uint32_t>(cfg.replication_factor, 1)};
@@ -134,6 +154,10 @@ class ThreadRun {
     if (checkpointing_ || !cfg_.faults.crashes.empty()) {
       chaos_thread = std::jthread([this](const std::stop_token& st) { chaos_loop(st); });
     }
+    std::jthread elastic_thread;
+    if (membership_ && !cfg_.elastic.schedule.empty()) {
+      elastic_thread = std::jthread([this](const std::stop_token& st) { elastic_loop(st); });
+    }
     {
       std::vector<std::jthread> threads;
       threads.reserve(cfg_.num_workers + sparse_clients_.size() + fleet_.size());
@@ -147,6 +171,7 @@ class ThreadRun {
         threads.emplace_back([this, i] { fleet_loop(i); });
       }
     }  // join all workers
+    if (elastic_thread.joinable()) elastic_thread.join();  // all ops committed by now
     const double makespan = total.seconds();
     if (chaos_thread.joinable()) {
       chaos_thread.request_stop();
@@ -450,6 +475,7 @@ class ThreadRun {
     f.start = since_start_.seconds();
     std::int64_t clock = 0;
     for (std::int64_t p = 0; p < cfg_.read.pulls; ++p) {
+      if (membership_) park_fleet();
       ps::ReadOptions opts;
       opts.clock = clock;
       opts.max_staleness_clocks = cfg_.read.max_staleness_clocks;
@@ -465,12 +491,19 @@ class ThreadRun {
       }
     }
     f.finish = since_start_.seconds();
+    if (membership_) {
+      std::scoped_lock lock(gate_mu_);
+      ++fleet_done_;
+      gate_cv_.notify_all();
+    }
   }
 
   void sparse_worker_loop(std::uint32_t rank) {
     embed::SparseWorkerClient& client = *sparse_clients_[rank];
     std::vector<embed::SparseBatch> batches;
+    std::size_t next_op = 0;  // next elastic schedule entry to park at
     for (std::int64_t round = 0; round < cfg_.sparse.rounds; ++round) {
+      if (membership_) park_sparse(round, next_op);
       if (cfg_.sparse.compute_seconds > 0.0) {
         std::this_thread::sleep_for(
             std::chrono::duration<double>(cfg_.sparse.compute_seconds));
@@ -480,6 +513,11 @@ class ThreadRun {
         batches.push_back(embed::sample_batch(cfg_.sparse, t, cfg_.seed, rank, round));
       }
       client.run_round(round, batches);
+    }
+    if (membership_) {
+      std::scoped_lock lock(gate_mu_);
+      ++sparse_done_;
+      gate_cv_.notify_all();
     }
   }
 
@@ -497,6 +535,7 @@ class ThreadRun {
     ml::BatchSampler sampler(data_, rank, cfg_.num_workers, cfg_.batch_size, cfg_.seed);
     ml::Workspace ws;
     std::size_t next_switch = 0;
+    std::size_t next_op = 0;  // next elastic schedule entry to park at
 
     // Live per-iteration instruments (wait-free; registered once up front so
     // the loop never touches the registry map).
@@ -510,6 +549,7 @@ class ThreadRun {
     }
 
     for (std::int64_t iter = 0; iter < cfg_.max_iters; ++iter) {
+      if (membership_) park_dense(client, iter, next_op);
       Stopwatch compute;
       const ml::Batch batch = sampler.next();
       pw.last_loss = model_->grad(params, batch, grad, ws);
@@ -562,6 +602,11 @@ class ThreadRun {
       }
 
       if (rank == 0) {
+        if (membership_) {
+          // The elastic controller keys its live pre-copy lead window on
+          // worker 0's progress, the same clock the sync-mode schedule uses.
+          w0_progress_.store(iter + 1, std::memory_order_relaxed);
+        }
         while (next_switch < cfg_.sync_schedule.size() &&
                iter + 1 >= cfg_.sync_schedule[next_switch].first) {
           const auto& spec = cfg_.sync_schedule[next_switch].second;
@@ -579,6 +624,248 @@ class ThreadRun {
       }
     }
     if (reliable_) client.wait_push_acks();  // the final round is owed to the servers
+    if (membership_) {
+      std::scoped_lock lock(gate_mu_);
+      ++dense_done_;
+      gate_cv_.notify_all();
+    }
+  }
+
+  // --- elastic membership controller (src/elastic, DESIGN.md §14) -------
+
+  void validate_elastic() const {
+    elastic::validate_spec(cfg_.elastic, cfg_.arch == Arch::kFluentPS,
+                           cfg_.faults.crashes.empty() && cfg_.checkpoint_dir.empty(),
+                           cfg_.sparse.enabled(), cfg_.replication_factor, cfg_.max_iters,
+                           cfg_.sparse.rounds);
+  }
+
+  /// Dense elastic park point: before starting iteration `iter`, park at every
+  /// scheduled op with at_iter == iter. The boundary is pre-declared so all
+  /// dense workers park at the *same* iteration — a worker pausing at an
+  /// arbitrary boundary while a straggler still waited on its progress would
+  /// deadlock the DPR conditions. wait_push_acks() first: with rounds
+  /// 0..iter-1 fully pushed, acked and pulled by everyone, no engine work can
+  /// be pending anywhere when the controller commits.
+  void park_dense(ps::WorkerClient& client, std::int64_t iter, std::size_t& next_op) {
+    const auto& ops = cfg_.elastic.schedule;
+    while (next_op < ops.size() && ops[next_op].at_iter == iter) {
+      client.wait_push_acks();
+      std::unique_lock lock(gate_mu_);
+      ++dense_parked_at_[next_op];
+      gate_cv_.notify_all();
+      const std::size_t need = next_op + 1;
+      gate_cv_.wait(lock, [&] { return completed_ops_ >= need; });
+      --dense_parked_at_[next_op];
+      ++next_op;
+    }
+  }
+
+  /// Sparse twin: park before starting the op's pre-declared round (see
+  /// elastic::park_round_of — all sparse workers must agree a priori, or the
+  /// BSP round clock deadlocks). Between rounds the client is quiescent: the
+  /// previous round's pushes are acked and its pulls answered.
+  void park_sparse(std::int64_t round, std::size_t& next_op) {
+    const auto& ops = cfg_.elastic.schedule;
+    while (next_op < ops.size() &&
+           elastic::park_round_of(ops[next_op], cfg_.max_iters, cfg_.sparse.rounds) ==
+               round) {
+      std::unique_lock lock(gate_mu_);
+      ++sparse_parked_at_[next_op];
+      gate_cv_.notify_all();
+      const std::size_t need = next_op + 1;
+      gate_cv_.wait(lock, [&] { return completed_ops_ >= need; });
+      --sparse_parked_at_[next_op];
+      ++next_op;
+    }
+  }
+
+  /// Fleet park point: bounded reads scan the shared `sharding_` without a
+  /// lock, so fleet clients pause between pulls while the controller rewrites
+  /// it at the fence (re-checked on wake — the hold may be re-raised by a
+  /// back-to-back op before this client observed the release).
+  void park_fleet() {
+    std::unique_lock lock(gate_mu_);
+    while (fleet_hold_) {
+      ++fleet_parked_;
+      gate_cv_.notify_all();
+      gate_cv_.wait(lock, [this] { return !fleet_hold_; });
+      --fleet_parked_;
+    }
+  }
+
+  void elastic_loop(const std::stop_token& st) {
+    for (std::size_t i = 0; i < cfg_.elastic.schedule.size(); ++i) {
+      const elastic::ElasticOp& op = cfg_.elastic.schedule[i];
+      // Live pre-copy lead: start migrating while training still runs, so
+      // only the catch-up tail remains when the fence goes up.
+      const std::int64_t start_at =
+          std::max<std::int64_t>(op.at_iter - cfg_.elastic.lead_iters, 0);
+      while (!st.stop_requested() &&
+             w0_progress_.load(std::memory_order_relaxed) < start_at) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+      if (st.stop_requested()) return;
+      execute_elastic_op(i, op);
+    }
+  }
+
+  void execute_elastic_op(std::size_t index, const elastic::ElasticOp& op) {
+    const std::uint64_t t_start = obs::now_ns();
+    Stopwatch live_window;
+    elastic::Plan plan = elastic::replan(sharding_, membership_->active_after(op));
+
+    // Phase 1 — live pre-copy: snapshot every moving slice at its source and
+    // tap subsequently accepted pushes as catch-up deltas (kMigrateSnapshot /
+    // kMigrateDelta; control-plane frames, never faulted). Training continues.
+    {
+      std::scoped_lock lock(head_mu_);
+      for (const auto& mv : plan.moves) {
+        const ps::ShardLayout& lay = sharding_.shards[mv.from_server];
+        std::size_t idx = lay.slices.size();
+        for (std::size_t j = 0; j < lay.slices.size(); ++j) {
+          if (lay.slices[j].offset == mv.slice.offset) {
+            idx = j;
+            break;
+          }
+        }
+        FPS_CHECK(idx < lay.slices.size())
+            << "migration source slice not found (offset " << mv.slice.offset << ")";
+        head_server_[mv.from_server]->migrate_out_begin(
+            next_migration_id_++, idx, head_server_[mv.to_server]->node_id(), mv.to_server);
+      }
+    }
+    record_event("elastic_precopy", server_node(op.rank));
+
+    // Phase 2 — fence: every client parks at its pre-declared boundary (the
+    // fleet parks wherever it is, between two pulls).
+    const std::uint32_t sparse_total =
+        cfg_.sparse.enabled() ? cfg_.sparse.num_workers : 0;
+    {
+      std::unique_lock lock(gate_mu_);
+      fleet_hold_ = true;
+      gate_cv_.wait(lock, [&] {
+        return dense_parked_at_[index] + dense_done_ >= cfg_.num_workers &&
+               sparse_parked_at_[index] + sparse_done_ >= sparse_total &&
+               fleet_parked_ + fleet_done_ >= fleet_.size();
+      });
+    }
+    elastic_stats_.migrate_seconds += live_window.seconds();
+    const std::uint64_t t_fence = obs::now_ns();
+    Stopwatch stall;
+
+    // Phase 3 — quiesce: every tapped delta staged and acked by its target,
+    // every chain entry acked downstream. All pushes are acked (the parked
+    // workers waited on that), so both horizons only need to settle.
+    const auto quiesced = [&] {
+      std::scoped_lock lock(head_mu_);
+      for (const auto& mv : plan.moves) {
+        if (!head_server_[mv.from_server]->migrations_drained()) return false;
+      }
+      for (ps::Server* s : head_server_) {
+        if (s->replication_pending() != 0) return false;
+      }
+      return true;
+    };
+    while (!quiesced()) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+
+    // Phase 4 — epoch-fenced commit: atomically (w.r.t. the parked clients)
+    // install the post-epoch layouts, seed the joining slot's engine and
+    // round clock, reseed changed chains, move sparse rows, and publish the
+    // new sharding to every client through the shared pointer.
+    {
+      std::scoped_lock lock(head_mu_);
+      std::vector<char> changed(cfg_.num_servers, 0);
+      for (const auto& mv : plan.moves) {
+        changed[mv.from_server] = 1;
+        changed[mv.to_server] = 1;
+      }
+      for (std::uint32_t m = 0; m < cfg_.num_servers; ++m) {
+        const bool was_empty = sharding_.shards[m].slices.empty();
+        if (changed[m]) head_server_[m]->commit_layout(plan.sharding.shards[m]);
+        if (changed[m] && was_empty && !plan.sharding.shards[m].slices.empty()) {
+          // The slot never saw a push while its shard was empty (joining
+          // slots, but also small models where LPT left an active slot bare):
+          // seed its engine with the progress every parked worker actually
+          // reached, or BSP/SSP pull conditions would wait forever on pushes
+          // that predate the epoch.
+          head_server_[m]->seed_engine_progress(
+              std::vector<std::int64_t>(cfg_.num_workers, op.at_iter - 1));
+        }
+      }
+      if (chain_.replicated()) {
+        for (std::uint32_t m = 0; m < cfg_.num_servers; ++m) {
+          if (!changed[m]) continue;
+          const replica::ReplicaState seed = head_server_[m]->export_replica_seed();
+          for (std::uint32_t pos = 1; pos < chain_.factor; ++pos) {
+            ReplicaSlot& slot = slot_of(m, pos);
+            std::scoped_lock slock(slot.mu);
+            slot.replica->adopt_seed(seed);
+          }
+        }
+      }
+      if (cfg_.sparse.enabled()) move_sparse_rows(op);
+      sharding_ = plan.sharding;  // clients read via their spec.sharding pointer
+      membership_->commit(op, std::move(plan.sharding));
+    }
+    elastic_stats_.migrations += static_cast<std::int64_t>(plan.moves.size());
+    elastic_stats_.epoch = membership_->epoch();
+    metrics_.incr("elastic.migrations", static_cast<std::int64_t>(plan.moves.size()));
+    metrics_.set_gauge_max("elastic.epoch", static_cast<double>(membership_->epoch()));
+
+    // Release: wake every parked client into the new epoch.
+    {
+      std::scoped_lock lock(gate_mu_);
+      ++completed_ops_;
+      fleet_hold_ = false;
+      gate_cv_.notify_all();
+    }
+    elastic_stats_.rebind_stall_seconds += stall.seconds();
+    record_event(op.add ? "elastic_add" : "elastic_drain", server_node(op.rank));
+    if (telemetry_ != nullptr && telemetry_->spans != nullptr) {
+      const std::uint64_t trace = (0xE1A57ull << 32) | (index + 1);
+      telemetry_->spans->emit(trace, 1, 0, "elastic.precopy", kSchedulerNode, t_start,
+                              t_fence);
+      telemetry_->spans->emit(trace, 2, 1, "elastic.fence", kSchedulerNode, t_fence,
+                              obs::now_ns());
+    }
+    FPS_LOG(Info) << "elastic epoch " << membership_->epoch() << ": "
+                  << (op.add ? "added" : "drained") << " server " << op.rank << " ("
+                  << plan.moves.size() << " slices moved) at t=" << since_start_.seconds();
+  }
+
+  /// Fence-time sparse rebalance: rows move verbatim (values + optimizer
+  /// state) to their post-epoch route_active() owner, so the state digest is
+  /// placement-invariant and the serial oracle holds across epochs. Called
+  /// with head_mu_ held and every sparse worker parked (no host dispatch can
+  /// be touching the cores).
+  void move_sparse_rows(const elastic::ElasticOp& op) {
+    const std::vector<char> next = membership_->active_after(op);
+    std::vector<std::vector<embed::SparseCore::MovedRow>> inbound(cfg_.num_servers);
+    for (std::uint32_t m = 0; m < cfg_.num_servers; ++m) {
+      if (!membership_->is_active(m)) continue;  // inactive slots hold no rows
+      auto rows = head_sparse_[m]->core_for_fence().extract_moved_rows(next, m);
+      for (auto& r : rows) {
+        elastic_stats_.bytes_moved +=
+            static_cast<std::int64_t>(r.data.size() * sizeof(float));
+        const std::uint32_t owner = embed::route_active(r.table_id, r.row_id, next);
+        inbound[owner].push_back(std::move(r));
+        ++elastic_rows_;
+      }
+    }
+    for (std::uint32_t m = 0; m < cfg_.num_servers; ++m) {
+      if (!inbound[m].empty()) {
+        head_sparse_[m]->core_for_fence().install_rows(std::move(inbound[m]));
+      }
+    }
+    if (op.add) {
+      // The joining host first sees pushes for the fence round: seed its
+      // round clock so drainable() doesn't wait for rounds that predate it.
+      const std::int64_t park =
+          elastic::park_round_of(op, cfg_.max_iters, cfg_.sparse.rounds);
+      head_sparse_[op.rank]->core_for_fence().seed_round_clock(park - 1);
+    }
+    for (const auto& sc : sparse_clients_) sc->set_active(next);
   }
 
   // --- crash-restart lifecycle (wall clock) -----------------------------
@@ -971,6 +1258,27 @@ class ThreadRun {
       r.extra["sparse_retries"] = static_cast<double>(sparse_retries);
       r.extra["sparse_parked_pulls"] = static_cast<double>(parked);
     }
+    // --- elastic membership outcomes (DESIGN.md §14) ----------------------
+    if (membership_) {
+      std::int64_t bytes = elastic_stats_.bytes_moved;  // sparse row moves
+      std::int64_t deltas = 0;
+      for_each_server([&](const ps::Server& s) {
+        bytes += s.migrate_bytes();
+        deltas += s.migrate_deltas();
+      });
+      r.elastic_migrations = elastic_stats_.migrations;
+      r.elastic_bytes_moved = bytes;
+      r.elastic_epoch = static_cast<std::int64_t>(membership_->epoch());
+      r.elastic_stall_seconds = elastic_stats_.rebind_stall_seconds;
+      r.elastic_migrate_seconds = elastic_stats_.migrate_seconds;
+      if (bytes > 0) metrics_.incr("elastic.bytes_moved", bytes);
+      metrics_.set_gauge_max("elastic.rebind_stall_seconds",
+                             elastic_stats_.rebind_stall_seconds);
+      r.extra["elastic_deltas"] = static_cast<double>(deltas);
+      r.extra["elastic_rows_moved"] = static_cast<double>(elastic_rows_);
+      r.extra["elastic_active_servers"] =
+          static_cast<double>(membership_->view().num_active());
+    }
     // --- read-path outcomes (DESIGN.md §13) -------------------------------
     for (const ReplicaSlot& slot : replicas_) {
       r.replica_reads_served += slot.replica->reads_served();
@@ -1097,6 +1405,22 @@ class ThreadRun {
   std::vector<std::unique_ptr<embed::SparseWorkerClient>> sparse_clients_;
   // --- inference fleet (DESIGN.md §13) -----------------------------------
   std::vector<std::unique_ptr<FleetClient>> fleet_;
+  // --- elastic membership (src/elastic, DESIGN.md §14) -------------------
+  std::unique_ptr<elastic::Membership> membership_;  ///< set iff cfg.elastic.enabled()
+  std::mutex gate_mu_;  ///< guards every park counter and completed_ops_
+  std::condition_variable gate_cv_;
+  std::size_t completed_ops_ = 0;                 ///< committed elastic ops
+  std::vector<std::uint32_t> dense_parked_at_;    ///< per schedule index
+  std::vector<std::uint32_t> sparse_parked_at_;   ///< per schedule index
+  std::uint32_t dense_done_ = 0;   ///< dense workers past their final iteration
+  std::uint32_t sparse_done_ = 0;  ///< sparse workers past their final round
+  std::uint32_t fleet_done_ = 0;   ///< fleet clients past their final pull
+  std::uint32_t fleet_parked_ = 0;
+  bool fleet_hold_ = false;  ///< parks fleet clients between pulls at the fence
+  std::atomic<std::int64_t> w0_progress_{0};  ///< iterations completed by worker 0
+  std::uint64_t next_migration_id_ = 1;       ///< controller thread only
+  elastic::ElasticStats elastic_stats_;       ///< controller thread, then collect()
+  std::int64_t elastic_rows_ = 0;             ///< sparse rows moved at fences
   std::vector<double> crash_time_;  ///< last crash wall time per shard
   std::int64_t failovers_ = 0;
   double failover_seconds_ = 0.0;

@@ -1,0 +1,232 @@
+// Elastic cluster membership (DESIGN.md §14).
+//
+// The experiment's `num_servers` is the total *slot* count, fixed for the
+// whole run: every server slot gets its node id, engine, chain replicas and
+// transport registration at startup, but only the slots in the active set own
+// parameter slices and receive traffic. `add_server` activates a spare slot,
+// `drain_server` hands a slot's slices off and deactivates it — both are
+// planned, epoch-fenced view changes executed by the runtime's elastic
+// controller against a *running* job (live pre-copy, then a short fence; see
+// ps::Server's migration API and the runtime controllers).
+//
+// Keeping the slot universe fixed is what makes the at-least-once reliability
+// layer survive reconfiguration without renumbering anything: per-
+// (worker,server) sequence streams and their SeqWindows belong to the slot
+// and simply continue when a slot is re-activated, so a delayed duplicate
+// from before a drain is still deduplicated after a later re-add.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "common/logging.h"
+#include "ps/slicing.h"
+
+namespace fluentps::elastic {
+
+/// One planned reconfiguration step. Ops trigger when dense worker 0
+/// completes iteration `at_iter` (the same boundary the sync-mode schedule
+/// keys on, so sim runs stay bit-deterministic). When sparse tables are
+/// enabled, the sparse workers park before starting round `at_round`
+/// (derived from at_iter when < 0: both backends must agree on the round a
+/// priori — a racy "whatever round we happen to be in" choice would deadlock
+/// the BSP round clock, since a round some workers entered must be completed
+/// by all of them).
+struct ElasticOp {
+  std::int64_t at_iter = 0;
+  std::int64_t at_round = -1;
+  bool add = true;  ///< true = add_server (activate `rank`), false = drain_server
+  std::uint32_t rank = 0;
+};
+
+/// Elastic membership config. Disabled (the default) means every slot is
+/// active from the start and no view ever changes — the pre-elastic behavior.
+struct ElasticSpec {
+  std::uint32_t initial_servers = 0;  ///< active slots at start (0 = all)
+  std::vector<ElasticOp> schedule;    ///< ordered by at_iter
+  /// Live pre-copy lead: migrations start when dense worker 0 is this many
+  /// iterations before an op's at_iter, so snapshots stream while training
+  /// continues and only catch-up deltas remain at the fence.
+  std::int64_t lead_iters = 5;
+
+  [[nodiscard]] bool enabled() const noexcept {
+    return initial_servers > 0 || !schedule.empty();
+  }
+};
+
+/// Derived sparse park round for an op: explicit when given, else the round
+/// proportional to the op's position in the dense iteration space. Never 0 —
+/// at least one round runs in the initial view.
+inline std::int64_t park_round_of(const ElasticOp& op, std::int64_t max_iters,
+                                  std::int64_t rounds) {
+  if (op.at_round >= 0) return op.at_round;
+  if (max_iters <= 0) return 1;
+  const std::int64_t r = (op.at_iter + 1) * rounds / std::max<std::int64_t>(max_iters, 1);
+  return std::max<std::int64_t>(r, 1);
+}
+
+/// Parse a CLI elastic schedule: comma- or semicolon-separated ops, each
+/// `add:RANK@ITER` or `drain:RANK@ITER`, optionally `@ITER/ROUND` to pin the
+/// sparse park round explicitly. Example: "add:3@40,drain:1@80". Returns
+/// false (leaving *out in an unspecified state) on malformed input.
+inline bool parse_schedule(std::string_view text, std::vector<ElasticOp>* out) {
+  const auto parse_int = [](std::string_view s, std::int64_t* v) {
+    if (s.empty()) return false;
+    std::int64_t r = 0;
+    for (const char c : s) {
+      if (c < '0' || c > '9') return false;
+      r = r * 10 + (c - '0');
+    }
+    *v = r;
+    return true;
+  };
+  out->clear();
+  std::size_t i = 0;
+  while (i <= text.size()) {
+    std::size_t j = text.find_first_of(",;", i);
+    if (j == std::string_view::npos) j = text.size();
+    const std::string_view tok = text.substr(i, j - i);
+    i = j + 1;
+    if (tok.empty()) {
+      if (i > text.size()) break;
+      continue;
+    }
+    ElasticOp op;
+    const std::size_t colon = tok.find(':');
+    if (colon == std::string_view::npos) return false;
+    const std::string_view kind = tok.substr(0, colon);
+    if (kind == "add") {
+      op.add = true;
+    } else if (kind == "drain") {
+      op.add = false;
+    } else {
+      return false;
+    }
+    const std::size_t at = tok.find('@', colon + 1);
+    if (at == std::string_view::npos) return false;
+    std::int64_t rank = 0;
+    if (!parse_int(tok.substr(colon + 1, at - colon - 1), &rank)) return false;
+    op.rank = static_cast<std::uint32_t>(rank);
+    const std::string_view when = tok.substr(at + 1);
+    const std::size_t slash = when.find('/');
+    std::int64_t iter = 0;
+    if (!parse_int(when.substr(0, slash), &iter)) return false;
+    op.at_iter = iter;
+    if (slash != std::string_view::npos) {
+      std::int64_t round = 0;
+      if (!parse_int(when.substr(slash + 1), &round)) return false;
+      op.at_round = round;
+    }
+    out->push_back(op);
+  }
+  return true;
+}
+
+/// Runtime-side validation shared by both backends. Elastic membership rides
+/// the reliability layer (implied by ExperimentConfig::reliability_enabled),
+/// requires the FluentPS architecture, and is incompatible with crash
+/// schedules / checkpointing (a crash mid-migration is out of scope) and with
+/// replicated sparse jobs.
+inline void validate_spec(const ElasticSpec& spec, bool fluentps_arch, bool crash_free,
+                          bool sparse, std::uint32_t replication_factor,
+                          std::int64_t max_iters, std::int64_t sparse_rounds) {
+  FPS_CHECK(fluentps_arch) << "elastic membership requires the FluentPS architecture";
+  FPS_CHECK(crash_free)
+      << "elastic membership is incompatible with crash schedules and checkpointing";
+  FPS_CHECK(!(sparse && replication_factor > 1))
+      << "elastic sparse jobs do not support replication_factor > 1";
+  FPS_CHECK(spec.lead_iters >= 0) << "elastic.lead_iters must be >= 0";
+  std::int64_t prev_iter = 0;
+  std::int64_t prev_round = 0;
+  for (const ElasticOp& op : spec.schedule) {
+    FPS_CHECK(op.at_iter >= 1 && op.at_iter < max_iters)
+        << "elastic op at_iter " << op.at_iter << " outside [1, " << max_iters << ")";
+    FPS_CHECK(op.at_iter >= prev_iter) << "elastic schedule must be ordered by at_iter";
+    prev_iter = op.at_iter;
+    if (sparse) {
+      const std::int64_t r = park_round_of(op, max_iters, sparse_rounds);
+      FPS_CHECK(r >= prev_round) << "elastic sparse park rounds must be non-decreasing";
+      prev_round = r;
+    }
+  }
+}
+
+/// Epoch-numbered view of the cluster: which slots are active and which
+/// slices each one owns. Epoch 0 is the initial view; every committed
+/// ElasticOp produces epoch+1. The runtime hands copies of this to tests and
+/// the CLI report; the authoritative instance lives in the Membership below.
+struct MembershipView {
+  std::uint64_t epoch = 0;
+  std::vector<char> active;  ///< per slot; inactive slots own no slices
+  ps::Sharding sharding;     ///< slice assignment over all slots
+
+  [[nodiscard]] std::uint32_t num_active() const noexcept {
+    std::uint32_t n = 0;
+    for (const char a : active) n += a != 0;
+    return n;
+  }
+};
+
+/// Aggregate elastic telemetry, collected into the experiment result and the
+/// `elastic.*` metric names (DESIGN.md §14).
+struct ElasticStats {
+  std::int64_t migrations = 0;         ///< slices moved between slots
+  std::int64_t bytes_moved = 0;        ///< snapshot + delta + sparse-row bytes
+  std::uint64_t epoch = 0;             ///< final committed epoch
+  double rebind_stall_seconds = 0.0;   ///< total fence (workers parked) time
+  double migrate_seconds = 0.0;        ///< total live pre-copy time
+};
+
+/// The membership state machine: validates and applies ops, numbering epochs.
+/// Pure bookkeeping — the runtime controllers execute the data movement.
+class Membership {
+ public:
+  Membership(std::uint32_t num_slots, std::uint32_t initial_active)
+      : view_{0, std::vector<char>(num_slots, 0), {}} {
+    const std::uint32_t n =
+        initial_active == 0 ? num_slots : std::min(initial_active, num_slots);
+    FPS_CHECK(n >= 1) << "elastic: need at least one active server slot";
+    for (std::uint32_t m = 0; m < n; ++m) view_.active[m] = 1;
+  }
+
+  [[nodiscard]] const MembershipView& view() const noexcept { return view_; }
+  [[nodiscard]] std::uint64_t epoch() const noexcept { return view_.epoch; }
+  [[nodiscard]] const std::vector<char>& active() const noexcept { return view_.active; }
+  [[nodiscard]] bool is_active(std::uint32_t rank) const noexcept {
+    return rank < view_.active.size() && view_.active[rank] != 0;
+  }
+
+  /// The active set after `op` — what the planner replans onto. Aborts on an
+  /// invalid op (adding an active slot, draining an inactive or last one).
+  [[nodiscard]] std::vector<char> active_after(const ElasticOp& op) const {
+    FPS_CHECK(op.rank < view_.active.size())
+        << "elastic op targets slot " << op.rank << " of " << view_.active.size();
+    std::vector<char> next = view_.active;
+    if (op.add) {
+      FPS_CHECK(next[op.rank] == 0) << "add_server: slot " << op.rank << " already active";
+      next[op.rank] = 1;
+    } else {
+      FPS_CHECK(next[op.rank] != 0) << "drain_server: slot " << op.rank << " not active";
+      next[op.rank] = 0;
+      std::uint32_t remaining = 0;
+      for (const char a : next) remaining += a != 0;
+      FPS_CHECK(remaining >= 1) << "drain_server would leave zero active servers";
+    }
+    return next;
+  }
+
+  /// Commit a view change: install the post-op active set and slice
+  /// assignment, bump the epoch. Called at the fence, after all migrations
+  /// drained and every worker is parked.
+  void commit(const ElasticOp& op, ps::Sharding sharding) {
+    view_.active = active_after(op);
+    view_.sharding = std::move(sharding);
+    ++view_.epoch;
+  }
+
+ private:
+  MembershipView view_;
+};
+
+}  // namespace fluentps::elastic

@@ -1,0 +1,134 @@
+#include "elastic/planner.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/logging.h"
+
+namespace fluentps::elastic {
+namespace {
+
+bool length_desc_key_asc(const ps::ParamSlice& a, const ps::ParamSlice& b) {
+  if (a.length != b.length) return a.length > b.length;
+  return a.key < b.key;
+}
+
+/// Conservation check: every slice of `old` lands in `fresh` exactly once,
+/// and `moves` lists exactly the slices whose owner changed (with the right
+/// endpoints). The migration executor trusts this — a slice moved twice
+/// would double-apply its catch-up deltas, a dropped one would lose updates.
+void check_conservation(const ps::Sharding& old, const Plan& plan) {
+  std::map<std::size_t, std::uint32_t> old_owner;   // slice offset -> rank
+  std::map<std::size_t, std::uint32_t> new_owner;
+  std::size_t old_bytes = 0, new_bytes = 0;
+  for (const auto& sh : old.shards) {
+    for (const auto& s : sh.slices) {
+      old_owner[s.offset] = sh.server_rank;
+      old_bytes += s.length;
+    }
+  }
+  for (const auto& sh : plan.sharding.shards) {
+    for (const auto& s : sh.slices) {
+      FPS_CHECK(new_owner.emplace(s.offset, sh.server_rank).second)
+          << "replan placed slice at offset " << s.offset << " twice";
+      new_bytes += s.length;
+    }
+  }
+  FPS_CHECK(old_bytes == new_bytes)
+      << "replan changed total bytes: " << old_bytes << " -> " << new_bytes;
+  std::map<std::size_t, const ps::EpsSlicer::Migration*> moved;
+  for (const auto& mv : plan.moves) {
+    FPS_CHECK(moved.emplace(mv.slice.offset, &mv).second)
+        << "slice at offset " << mv.slice.offset << " moved twice in one plan";
+  }
+  for (const auto& [off, from] : old_owner) {
+    const auto to = new_owner.find(off);
+    FPS_CHECK(to != new_owner.end()) << "replan dropped slice at offset " << off;
+    const auto mv = moved.find(off);
+    if (to->second == from) {
+      FPS_CHECK(mv == moved.end()) << "plan moves an unmoved slice (offset " << off << ")";
+    } else {
+      FPS_CHECK(mv != moved.end() && mv->second->from_server == from &&
+                mv->second->to_server == to->second)
+          << "plan misses or mislabels the move of slice at offset " << off;
+    }
+  }
+}
+
+}  // namespace
+
+Plan replan(const ps::Sharding& old, const std::vector<char>& active) {
+  FPS_CHECK(active.size() == old.num_servers())
+      << "active mask size " << active.size() << " != slot count " << old.num_servers();
+  std::uint32_t num_active = 0;
+  for (const char a : active) num_active += a != 0;
+  FPS_CHECK(num_active >= 1) << "replan needs at least one active slot";
+
+  const double target = static_cast<double>(old.num_params) / num_active;
+  const std::uint32_t slots = static_cast<std::uint32_t>(old.num_servers());
+
+  Plan plan;
+  plan.sharding.num_params = old.num_params;
+  plan.sharding.shards.resize(slots);
+  for (std::uint32_t m = 0; m < slots; ++m) plan.sharding.shards[m].server_rank = m;
+
+  // Same keep/pool split as EpsSlicer::rebalance, keyed on the mask instead
+  // of the rank-below-count test.
+  struct PoolEntry {
+    ps::ParamSlice slice;
+    std::uint32_t from;
+  };
+  std::vector<PoolEntry> pool;
+  for (const auto& sh : old.shards) {
+    auto slices = sh.slices;
+    std::sort(slices.begin(), slices.end(), length_desc_key_asc);
+    for (const auto& s : slices) {
+      auto& keep = plan.sharding.shards[sh.server_rank];
+      if (active[sh.server_rank] != 0 && static_cast<double>(keep.total) < target) {
+        keep.slices.push_back(s);
+        keep.total += s.length;
+      } else {
+        pool.push_back(PoolEntry{s, sh.server_rank});
+      }
+    }
+  }
+
+  std::sort(pool.begin(), pool.end(), [](const PoolEntry& a, const PoolEntry& b) {
+    return length_desc_key_asc(a.slice, b.slice);
+  });
+  for (const auto& entry : pool) {
+    std::uint32_t best = slots;  // least-loaded active slot, lowest rank on ties
+    for (std::uint32_t m = 0; m < slots; ++m) {
+      if (active[m] == 0) continue;
+      if (best == slots || plan.sharding.shards[m].total < plan.sharding.shards[best].total) {
+        best = m;
+      }
+    }
+    plan.sharding.shards[best].slices.push_back(entry.slice);
+    plan.sharding.shards[best].total += entry.slice.length;
+    if (entry.from != best) {
+      plan.moves.push_back(ps::EpsSlicer::Migration{entry.slice, entry.from, best});
+    }
+  }
+  for (auto& sh : plan.sharding.shards) {
+    std::sort(sh.slices.begin(), sh.slices.end(),
+              [](const ps::ParamSlice& a, const ps::ParamSlice& b) {
+                return a.offset < b.offset;
+              });
+  }
+  plan.sharding.validate();
+  check_conservation(old, plan);
+  return plan;
+}
+
+ps::Sharding expand_to_slots(ps::Sharding base, std::uint32_t num_slots) {
+  FPS_CHECK(base.num_servers() <= num_slots)
+      << "cannot expand " << base.num_servers() << " shards into " << num_slots << " slots";
+  const auto first_spare = static_cast<std::uint32_t>(base.num_servers());
+  base.shards.resize(num_slots);
+  for (std::uint32_t m = first_spare; m < num_slots; ++m) base.shards[m].server_rank = m;
+  base.validate();
+  return base;
+}
+
+}  // namespace fluentps::elastic

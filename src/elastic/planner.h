@@ -1,0 +1,38 @@
+// Active-set-aware slice replanning for elastic membership (DESIGN.md §14).
+//
+// EpsSlicer::rebalance (ps/slicing.cpp) replans for a changed server *count*
+// with survivors packed at the low ranks. Elastic membership needs the same
+// movement-aware algorithm over an arbitrary active *mask* of a fixed slot
+// universe — slot 2 can drain while slots 0,1,3 stay, and a re-added slot
+// keeps its old rank. replan() generalizes rebalance to that shape with the
+// identical keep/pool/LPT structure and tie-breaks, so its plans degenerate
+// to rebalance's on prefix masks.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ps/slicing.h"
+
+namespace fluentps::elastic {
+
+/// A replanned assignment plus the slice movements that realize it.
+struct Plan {
+  ps::Sharding sharding;                        ///< over all slots; inactive = empty
+  std::vector<ps::EpsSlicer::Migration> moves;  ///< every moved slice exactly once
+};
+
+/// Re-place `old` (slice assignment over the full slot universe) onto the
+/// slots of `active`. Surviving active slots keep slices largest-first up to
+/// the per-active-slot byte target; the excess plus everything owned by
+/// deactivated slots is LPT-placed onto the least-loaded active slots.
+/// Deterministic; the result is validated (exact coverage) and the plan is
+/// checked for conservation (each moved slice appears once, bytes preserved).
+[[nodiscard]] Plan replan(const ps::Sharding& old, const std::vector<char>& active);
+
+/// Expand a sharding computed over the first `base.num_servers()` ranks to a
+/// `num_slots`-slot universe by appending empty shards — the initial view
+/// when `elastic.initial_servers` < num_servers.
+[[nodiscard]] ps::Sharding expand_to_slots(ps::Sharding base, std::uint32_t num_slots);
+
+}  // namespace fluentps::elastic

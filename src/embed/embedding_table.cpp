@@ -68,6 +68,30 @@ std::size_t EmbeddingTable::materialized_rows() const {
   return rows_.size();
 }
 
+std::vector<std::pair<std::uint64_t, std::vector<float>>> EmbeddingTable::extract_rows(
+    const std::function<bool(std::uint64_t)>& pred) {
+  std::scoped_lock lock(rows_mu_);
+  std::vector<std::pair<std::uint64_t, std::vector<float>>> out;
+  for (auto it = rows_.begin(); it != rows_.end();) {
+    if (pred(it->first)) {
+      out.emplace_back(it->first, std::move(it->second.data));
+      it = rows_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return out;
+}
+
+void EmbeddingTable::install_row(std::uint64_t row_id, std::vector<float> data) {
+  FPS_CHECK(data.size() == spec_.dim + state_size_)
+      << "installed row width " << data.size() << " != " << spec_.dim + state_size_;
+  std::scoped_lock lock(rows_mu_);
+  auto [it, inserted] = rows_.try_emplace(row_id);
+  FPS_CHECK(inserted) << "install_row over an existing row " << row_id;
+  it->second.data = std::move(data);
+}
+
 std::uint64_t EmbeddingTable::digest() const {
   std::scoped_lock lock(rows_mu_);
   std::uint64_t sum = 0;

@@ -16,9 +16,11 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <mutex>
 #include <span>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "embed/table_spec.h"
@@ -47,6 +49,19 @@ class EmbeddingTable {
 
   /// Rows materialized so far (lazy footprint, not the logical key space).
   [[nodiscard]] std::size_t materialized_rows() const;
+
+  /// Elastic fence (DESIGN.md §14): remove and return every materialized row
+  /// for which `pred(row_id)` is true, as (row_id, raw data — values plus
+  /// optimizer state). Rows MOVE: install_row() on the new owner restores the
+  /// exact bytes, so the summed cross-server digest is unchanged. Lazily
+  /// materialized rows need no move at all — the deterministic initializer is
+  /// keyed by (table seed, row_id), identical on every host. Caller
+  /// guarantees quiescence (all sparse workers parked).
+  [[nodiscard]] std::vector<std::pair<std::uint64_t, std::vector<float>>> extract_rows(
+      const std::function<bool(std::uint64_t)>& pred);
+
+  /// Install a row extracted from another shard, verbatim.
+  void install_row(std::uint64_t row_id, std::vector<float> data);
 
   /// Order-independent digest of the table contents: a wrapping sum over all
   /// materialized rows of hash(table_id, row_id, value bits). Summation makes

@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 namespace fluentps::embed {
 
@@ -27,6 +28,33 @@ namespace fluentps::embed {
 [[nodiscard]] inline std::uint32_t route(std::uint32_t table_id, std::uint64_t row_id,
                                          std::uint32_t num_servers) noexcept {
   return static_cast<std::uint32_t>(mix_key(table_id, row_id) % num_servers);
+}
+
+/// Owner among the *active* subset of a fixed slot space (elastic membership,
+/// DESIGN.md §14). Keys whose base slot (mix % slots) is active stay put, so
+/// activating or draining a slot only re-routes the displaced keys — the
+/// sparse analogue of the dense planner moving whole slices. Displaced keys
+/// pick an active survivor via a second avalanche (not a linear probe), so
+/// they spread evenly instead of piling onto the next rank. With every slot
+/// active this degenerates to route(), bit for bit.
+[[nodiscard]] inline std::uint32_t route_active(std::uint32_t table_id, std::uint64_t row_id,
+                                                const std::vector<char>& active) noexcept {
+  const std::uint64_t h = mix_key(table_id, row_id);
+  const auto base = static_cast<std::uint32_t>(h % active.size());
+  if (active[base] != 0) return base;
+  std::uint32_t n_active = 0;
+  for (const char a : active) n_active += static_cast<std::uint32_t>(a != 0);
+  std::uint64_t x = h + 0x9E3779B97F4A7C15ull;  // re-avalanche the displaced key
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  x ^= x >> 31;
+  auto pick = static_cast<std::uint32_t>(x % n_active);
+  for (std::uint32_t m = 0; m < active.size(); ++m) {
+    if (active[m] == 0) continue;
+    if (pick == 0) return m;
+    --pick;
+  }
+  return base;  // unreachable: n_active > 0 guarantees a hit above
 }
 
 }  // namespace fluentps::embed

@@ -4,6 +4,7 @@
 
 #include "common/logging.h"
 #include "common/rng.h"
+#include "embed/routing.h"
 
 namespace fluentps::embed {
 
@@ -112,6 +113,33 @@ std::uint64_t SparseCore::digest() const {
   std::uint64_t sum = 0;
   for (const TableState& st : tables_) sum += st.table->digest();
   return sum;
+}
+
+std::vector<SparseCore::MovedRow> SparseCore::extract_moved_rows(
+    const std::vector<char>& active, std::uint32_t my_rank) {
+  std::vector<MovedRow> out;
+  for (std::uint32_t id = 0; id < tables_.size(); ++id) {
+    auto extracted = tables_[id].table->extract_rows([&](std::uint64_t row_id) {
+      return route_active(id, row_id, active) != my_rank;
+    });
+    for (auto& [row_id, data] : extracted) {
+      out.push_back(MovedRow{id, row_id, std::move(data)});
+    }
+  }
+  return out;
+}
+
+void SparseCore::install_rows(std::vector<MovedRow> rows) {
+  for (MovedRow& r : rows) {
+    state_of(r.table_id).table->install_row(r.row_id, std::move(r.data));
+  }
+}
+
+void SparseCore::seed_round_clock(std::int64_t round) {
+  for (TableState& st : tables_) {
+    st.completed = round;
+    st.last_round.assign(num_workers_, round);
+  }
 }
 
 std::uint64_t SparseCore::reducer_ring_stalls() const {

@@ -65,6 +65,28 @@ class SparseCore {
   /// Order-independent digest over every table (sums across servers).
   [[nodiscard]] std::uint64_t digest() const;
 
+  /// One migrated embedding row (elastic fence, DESIGN.md §14): raw data is
+  /// values plus optimizer state, moved verbatim between shards.
+  struct MovedRow {
+    std::uint32_t table_id = 0;
+    std::uint64_t row_id = 0;
+    std::vector<float> data;
+  };
+
+  /// Elastic fence export: remove and return every materialized row whose
+  /// route_active() owner under `active` is not `my_rank`. Caller guarantees
+  /// quiescence (workers parked, reducers drained).
+  [[nodiscard]] std::vector<MovedRow> extract_moved_rows(const std::vector<char>& active,
+                                                         std::uint32_t my_rank);
+
+  /// Install rows extracted from other shards, verbatim.
+  void install_rows(std::vector<MovedRow> rows);
+
+  /// Seed every table's round clock to `round` completed by every worker — a
+  /// joining host must start from the fleet's current round or drains would
+  /// wait forever on rounds it never saw.
+  void seed_round_clock(std::int64_t round);
+
   /// Reducer ingest-ring backpressure events, summed over tables.
   [[nodiscard]] std::uint64_t reducer_ring_stalls() const;
   /// Deepest reducer ingest-ring occupancy seen on any table.

@@ -80,6 +80,12 @@ class SparseHost {
   /// Order-independent digest of every table shard (sums across servers).
   [[nodiscard]] std::uint64_t state_digest() const;
 
+  /// Elastic fence access (DESIGN.md §14): the controller mutates the core
+  /// directly (extract_moved_rows / install_rows / seed_round_clock) while
+  /// every sparse worker is parked at the epoch fence — no concurrent
+  /// handle() can run, so no locking is needed or taken.
+  [[nodiscard]] SparseCore& core_for_fence() noexcept { return *core_; }
+
   [[nodiscard]] std::int64_t dedup_hits() const;
   [[nodiscard]] std::int64_t pushes_ingested() const;
   [[nodiscard]] std::int64_t rows_applied() const;

@@ -25,6 +25,7 @@ SparseWorkerClient::SparseWorkerClient(SparseWorkerSpec spec, net::Transport& tr
       read_replicas_(std::move(spec.read_replicas)),
       transport_(transport),
       retry_rng_(derive_seed(spec.seed, 0x5B9E81 + spec.worker_rank), /*stream=*/0x4E7),
+      active_(server_nodes_.size(), 1),
       next_seq_(server_nodes_.size(), 1),
       next_ticket_((static_cast<std::uint64_t>(spec.worker_rank) << 40) + 1),
       pull_digest_(kFnvBasis) {
@@ -175,25 +176,33 @@ void SparseWorkerClient::run_round(std::int64_t round,
                                    const ps::ReadOptions& opts) {
   FPS_CHECK(full_batches.size() == tables_.size()) << "one batch per table required";
   const auto num_servers = static_cast<std::uint32_t>(server_nodes_.size());
+  std::vector<char> active;
+  {
+    std::scoped_lock lock(mu_);
+    active = active_;
+  }
 
   // Shard every table's batch once; pushes reuse the shards, pulls reuse the
-  // row lists.
+  // row lists. route_active == route when every slot is active, so the
+  // non-elastic path is unchanged bit for bit.
   std::vector<std::vector<SparseBatch>> shards(tables_.size());
   for (std::size_t t = 0; t < tables_.size(); ++t) {
     FPS_CHECK(full_batches[t].table_id == tables_[t].table_id) << "batch order mismatch";
     shards[t].reserve(num_servers);
     for (std::uint32_t m = 0; m < num_servers; ++m) {
-      shards[t].push_back(shard_of(full_batches[t], m, num_servers));
+      shards[t].push_back(shard_of_active(full_batches[t], m, active));
     }
   }
 
   // Phase 1: push every shard — empty ones included, they are the round
-  // markers — and wait for every ack.
+  // markers — and wait for every ack. Inactive slots get no marker: their
+  // round clock is reseeded at the epoch fence when they rejoin.
   {
     std::unique_lock lock(mu_);
     pushes_.clear();
     pushes_.reserve(tables_.size() * num_servers);
     for (std::uint32_t m = 0; m < num_servers; ++m) {
+      if (active[m] == 0) continue;
       for (std::size_t t = 0; t < tables_.size(); ++t) {
         PendingPush p;
         p.server = m;
@@ -265,6 +274,13 @@ void SparseWorkerClient::run_round(std::int64_t round,
     }
     pulls_.clear();
   }
+}
+
+void SparseWorkerClient::set_active(std::vector<char> active) {
+  std::scoped_lock lock(mu_);
+  FPS_CHECK(active.size() == server_nodes_.size())
+      << "active vector size " << active.size() << " != slots " << server_nodes_.size();
+  active_ = std::move(active);
 }
 
 std::uint64_t SparseWorkerClient::pull_digest() const {

@@ -72,6 +72,12 @@ class SparseWorkerClient {
   void run_round(std::int64_t round, const std::vector<SparseBatch>& full_batches,
                  const ps::ReadOptions& opts);
 
+  /// Elastic membership (DESIGN.md §14): set the active slot vector used to
+  /// shard subsequent rounds (size == server slot count; all-active initially,
+  /// which routes identically to the static route()). Called at the epoch
+  /// fence while this worker's training thread is parked between rounds.
+  void set_active(std::vector<char> active);
+
   [[nodiscard]] std::uint64_t pull_digest() const;
   [[nodiscard]] std::int64_t retries() const;
   /// Bounded-pull shards answered by a replica / redirected to the head.
@@ -118,6 +124,7 @@ class SparseWorkerClient {
   std::condition_variable cv_;
   Rng retry_rng_;
 
+  std::vector<char> active_;             ///< per server slot; 0 = drained (elastic)
   std::vector<std::uint64_t> next_seq_;  ///< per server, starts at 1; pushes only
   std::uint64_t next_ticket_;            ///< worker rank in the high bits
   std::vector<PendingPush> pushes_;      ///< current round, one per (server, table)

@@ -84,6 +84,22 @@ SparseBatch shard_of(const SparseBatch& full, std::uint32_t server,
   return out;
 }
 
+SparseBatch shard_of_active(const SparseBatch& full, std::uint32_t server,
+                            const std::vector<char>& active) {
+  SparseBatch out;
+  out.table_id = full.table_id;
+  out.dim = full.dim;
+  for (std::size_t i = 0; i < full.rows.size(); ++i) {
+    if (route_active(full.table_id, full.rows[i], active) != server) continue;
+    out.rows.push_back(full.rows[i]);
+    if (full.has_values()) {
+      const float* g = full.values.data() + i * full.dim;
+      out.values.insert(out.values.end(), g, g + full.dim);
+    }
+  }
+  return out;
+}
+
 std::uint64_t reference_state_digest(const SparseJobSpec& job, std::uint64_t job_seed) {
   FPS_CHECK(job.enabled()) << "reference digest of a disabled sparse job";
   SparseCoreSpec spec;

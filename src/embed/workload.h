@@ -48,6 +48,12 @@ struct SparseJobSpec {
 [[nodiscard]] SparseBatch shard_of(const SparseBatch& full, std::uint32_t server,
                                    std::uint32_t num_servers);
 
+/// Elastic variant: rows that route_active() maps to `server` under the
+/// membership's active slot vector. With all slots active this equals
+/// shard_of() exactly (routing.h).
+[[nodiscard]] SparseBatch shard_of_active(const SparseBatch& full, std::uint32_t server,
+                                          const std::vector<char>& active);
+
 /// Serial replay of the whole job on one unsharded core: the digest every
 /// run's servers must sum to (zero-loss check).
 [[nodiscard]] std::uint64_t reference_state_digest(const SparseJobSpec& job,

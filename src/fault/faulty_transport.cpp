@@ -25,10 +25,15 @@ void FaultyTransport::register_node(net::NodeId node, Handler handler) {
 }
 
 void FaultyTransport::send(net::Message msg) {
-  // kShutdown is runtime plumbing; kPromote is the failover view change —
-  // both are control-plane traffic assumed reliable (a real deployment
-  // drives membership through a consensus service, not the lossy data path).
-  if (msg.type == net::MsgType::kShutdown || msg.type == net::MsgType::kPromote) {
+  // kShutdown is runtime plumbing; kPromote is the failover view change; the
+  // three kMigrate* frames are the elastic controller's data plane, driven by
+  // the same membership authority — all control-plane traffic assumed
+  // reliable (a real deployment drives membership through a consensus
+  // service, not the lossy data path). Migration frames carrying no retry
+  // ladder of their own is exactly why they ride this exemption.
+  if (msg.type == net::MsgType::kShutdown || msg.type == net::MsgType::kPromote ||
+      msg.type == net::MsgType::kMigrateSnapshot || msg.type == net::MsgType::kMigrateDelta ||
+      msg.type == net::MsgType::kMigrateAck) {
     inner_.send(std::move(msg));
     return;
   }

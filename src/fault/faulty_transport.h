@@ -13,9 +13,10 @@
 // a crashing server's queued responses die with it.
 //
 // MsgType::kShutdown is never faulted: it is runtime plumbing, not protocol.
-// MsgType::kPromote is never faulted either: the failover view change is
-// control-plane traffic (a real deployment drives membership through a
-// consensus service, not the lossy data path).
+// MsgType::kPromote and the kMigrate* frames are never faulted either: view
+// changes and the elastic controller's migration traffic are control-plane,
+// driven by the membership authority (a real deployment drives both through
+// a consensus service and a TCP side channel, not the lossy data path).
 #pragma once
 
 #include <atomic>

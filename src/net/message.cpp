@@ -28,6 +28,9 @@ const char* to_string(MsgType t) noexcept {
     case MsgType::kSparseReplicate: return "SparseReplicate";
     case MsgType::kSparseReplicateAck: return "SparseReplicateAck";
     case MsgType::kPullRedirect: return "PullRedirect";
+    case MsgType::kMigrateSnapshot: return "MigrateSnapshot";
+    case MsgType::kMigrateDelta: return "MigrateDelta";
+    case MsgType::kMigrateAck: return "MigrateAck";
   }
   return "Unknown";
 }
@@ -105,7 +108,7 @@ bool parse_header(const std::uint8_t* data, std::size_t size, Message* m,
                   std::size_t* value_count) noexcept {
   if (data == nullptr || size < kFrameHeaderBytes) return false;
   const std::uint8_t t = data[0];
-  if (t > static_cast<std::uint8_t>(MsgType::kPullRedirect)) return false;
+  if (t > static_cast<std::uint8_t>(MsgType::kMigrateAck)) return false;
   const std::uint64_t count = load<std::uint64_t>(data + 48);
   // Reject count values whose payload cannot possibly fit (also guards the
   // multiplication below against overflow) and frames with trailing slack.

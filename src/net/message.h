@@ -91,6 +91,15 @@ enum class MsgType : std::uint8_t {
   // kPullRedirect (control-sized; `progress` = its horizon) and the client
   // retries the same ticket at the head, which always serves.
   kPullRedirect = 18,  ///< replica -> client: bound unsatisfiable, retry at head
+  // Elastic live shard migration (src/elastic, DESIGN.md §14). All three ride
+  // the existing fields: `seq` carries the migration id, `request_id` the
+  // per-migration catch-up lsn (0 = the snapshot itself), `server_rank` the
+  // *source* slot. kMigrateSnapshot's payload is the slice values on the
+  // zero-copy Payload path; kMigrateDelta's is the slice-range gradient of
+  // one tapped push; kMigrateAck is control-sized with a cumulative horizon.
+  kMigrateSnapshot = 19,  ///< source -> target: slice snapshot at lsn 0
+  kMigrateDelta = 20,     ///< source -> target: catch-up gradient for one lsn
+  kMigrateAck = 21,       ///< target -> source: snapshot/deltas staged through lsn
 };
 
 /// Returns a printable name for logs.

@@ -105,6 +105,15 @@ void Server::handle(net::Message&& msg) {
       ++stale_replicates_;
       break;
     }
+    case net::MsgType::kMigrateSnapshot:
+      on_migrate_snapshot(std::move(msg));
+      break;
+    case net::MsgType::kMigrateDelta:
+      on_migrate_delta(std::move(msg));
+      break;
+    case net::MsgType::kMigrateAck:
+      on_migrate_ack(std::move(msg));
+      break;
     case net::MsgType::kShutdown:
       break;  // dispatch loop stops via transport shutdown; nothing to do
     default:
@@ -131,6 +140,7 @@ void Server::on_push(net::Message&& msg) {
     bool fresh = false;
     net::Message fwd;  // kReplicate to the successor (fresh or chain repair)
     bool send_fwd = false;
+    std::vector<net::Message> delta_msgs;  // elastic migration taps (sent unlocked)
     {
       std::scoped_lock lock(engine_mu_);
       FPS_CHECK(msg.worker_rank < push_seen_.size()) << "push from unknown worker";
@@ -213,8 +223,18 @@ void Server::on_push(net::Message&& msg) {
           ++repl_repairs_;
         }
       }
+      if (fresh && !msg.values.empty()) {
+        // Closes the snapshot race for migrate_out_begin (which holds
+        // engine_mu_ while waiting the counter down): accepted here means
+        // either applied before a future snapshot or visible to its tap.
+        applies_inflight_.fetch_add(1, std::memory_order_relaxed);
+        if (!migrations_out_.empty() && msg.values.size() == layout_.total) {
+          tap_migrations_locked(msg, delta_msgs);
+        }
+      }
     }
     if (send_fwd) transport_.send(std::move(fwd));
+    for (net::Message& d : delta_msgs) transport_.send(std::move(d));
     if (!fresh) {
       if (defer_ack) return;  // ack released by on_replicate_ack
       // Retransmit of an already-applied push: ack again (the original ack
@@ -247,6 +267,7 @@ void Server::on_push(net::Message&& msg) {
     // transport's frame buffer — safe because apply_push() returns only
     // after the values were applied (we block inside the handler).
     sf = apply_push(msg.values, want_timing ? &timing : nullptr);
+    if (reliable_) applies_inflight_.fetch_sub(1, std::memory_order_release);
     pushes_applied_.fetch_add(1, std::memory_order_relaxed);
     if (apply_ns_hist_ != nullptr) {
       enqueue_to_drain_hist_->record(timing.drained_ns - timing.enqueue_ns);
@@ -718,6 +739,243 @@ std::int64_t Server::synth_replayed() const {
 bool Server::promoted() const {
   std::scoped_lock lock(engine_mu_);
   return promoted_;
+}
+
+// --- elastic live shard migration (DESIGN.md §14) ---------------------------
+
+std::size_t Server::migrate_out_begin(std::uint64_t migration_id, std::size_t slice_index,
+                                      net::NodeId target, std::uint32_t target_rank) {
+  FPS_CHECK(reliable_) << "elastic migration requires the reliability layer";
+  net::Message snap;
+  std::size_t bytes = 0;
+  {
+    std::scoped_lock lock(engine_mu_);
+    FPS_CHECK(slice_index < layout_.slices.size())
+        << "migrate_out_begin: slice " << slice_index << " of " << layout_.slices.size();
+    // Wait out accepted-but-unapplied pushes while holding engine_mu_ (new
+    // accepts block on the lock; appliers never take it, so this terminates).
+    // After the wait, shard ⊇ every accepted push; after the tap below, every
+    // future accept is forwarded — the snapshot/delta partition is exact.
+    while (applies_inflight_.load(std::memory_order_acquire) != 0) {
+      std::this_thread::yield();
+    }
+    MigrationOut mo;
+    mo.id = migration_id;
+    mo.slice = layout_.slices[slice_index];
+    for (std::size_t i = 0; i < slice_index; ++i) mo.pos += layout_.slices[i].length;
+    mo.target = target;
+    mo.target_rank = target_rank;
+    snap.type = net::MsgType::kMigrateSnapshot;
+    snap.src = node_id_;
+    snap.dst = target;
+    snap.seq = migration_id;
+    snap.request_id = 0;  // lsn 0: the snapshot itself
+    snap.progress = static_cast<std::int64_t>(mo.slice.offset);
+    snap.server_rank = server_rank_;
+    std::span<float> out = snap.values.mutable_span_resized(mo.slice.length);
+    const std::size_t pos = mo.pos;
+    const std::size_t len = mo.slice.length;
+    shard_.with_exclusive([&](std::span<const float> values) {
+      ml::copy(values.subspan(pos, len), out);
+    });
+    migrations_out_.push_back(std::move(mo));
+    bytes = len * sizeof(float);
+    migrate_bytes_.fetch_add(static_cast<std::int64_t>(bytes), std::memory_order_relaxed);
+  }
+  transport_.send(std::move(snap));
+  return bytes;
+}
+
+void Server::tap_migrations_locked(const net::Message& msg, std::vector<net::Message>& out) {
+  for (MigrationOut& mo : migrations_out_) {
+    const std::span<const float> g = msg.values.span().subspan(mo.pos, mo.slice.length);
+    const replica::LogEntry& e = mo.log.append(msg.worker_rank, msg.seq, msg.progress, g);
+    net::Message d;
+    d.type = net::MsgType::kMigrateDelta;
+    d.src = node_id_;
+    d.dst = mo.target;
+    d.seq = mo.id;
+    d.request_id = e.lsn;
+    d.progress = static_cast<std::int64_t>(mo.slice.offset);
+    d.server_rank = server_rank_;
+    d.worker_rank = msg.worker_rank;
+    d.values.assign(g.begin(), g.end());
+    out.push_back(std::move(d));
+    ++migrate_deltas_;
+    migrate_bytes_.fetch_add(static_cast<std::int64_t>(g.size() * sizeof(float)),
+                             std::memory_order_relaxed);
+  }
+}
+
+bool Server::migrations_drained() const {
+  std::scoped_lock lock(engine_mu_);
+  for (const MigrationOut& mo : migrations_out_) {
+    if (!mo.snapshot_acked || !mo.log.empty()) return false;
+  }
+  return true;
+}
+
+void Server::on_migrate_snapshot(net::Message&& msg) {
+  std::uint64_t horizon = 0;
+  net::NodeId src = msg.src;
+  const std::uint64_t id = msg.seq;
+  {
+    std::scoped_lock lock(engine_mu_);
+    MigrationIn& mi = migrations_in_[id];
+    mi.source = msg.src;
+    mi.slice_offset = static_cast<std::size_t>(msg.progress);
+    mi.staged.assign(msg.values.begin(), msg.values.end());
+    mi.have_snapshot = true;
+    migrate_bytes_.fetch_add(static_cast<std::int64_t>(mi.staged.size() * sizeof(float)),
+                             std::memory_order_relaxed);
+    // Catch-up deltas that overtook the snapshot (reordered fabric) become
+    // applicable now.
+    const float scale = 1.0f / static_cast<float>(num_workers_);
+    for (auto it = mi.stash.begin();
+         it != mi.stash.end() && it->first == mi.applied_lsn + 1; it = mi.stash.erase(it)) {
+      ml::axpy(scale, it->second, mi.staged);
+      mi.applied_lsn = it->first;
+    }
+    horizon = mi.applied_lsn;
+  }
+  send_migrate_ack(src, id, horizon);
+}
+
+void Server::on_migrate_delta(net::Message&& msg) {
+  std::uint64_t horizon = 0;
+  bool ack = false;
+  net::NodeId src = msg.src;
+  const std::uint64_t id = msg.seq;
+  {
+    std::scoped_lock lock(engine_mu_);
+    MigrationIn& mi = migrations_in_[id];  // may precede the snapshot
+    if (mi.source == 0) mi.source = msg.src;
+    const std::uint64_t lsn = msg.request_id;
+    if (lsn <= mi.applied_lsn) return;  // duplicate (control plane: unexpected)
+    if (!mi.have_snapshot || lsn != mi.applied_lsn + 1) {
+      mi.stash.emplace(lsn, std::vector<float>(msg.values.begin(), msg.values.end()));
+      return;  // acked once it becomes contiguously applicable
+    }
+    // Same arithmetic as the source's apply (w += g / N), restricted to the
+    // migrating slice: the staged buffer ends up holding exactly the updates
+    // the source folded in after the snapshot, each exactly once.
+    const float scale = 1.0f / static_cast<float>(num_workers_);
+    FPS_CHECK(msg.values.size() == mi.staged.size())
+        << "migrate delta size " << msg.values.size() << " != staged " << mi.staged.size();
+    ml::axpy(scale, msg.values.span(), mi.staged);
+    mi.applied_lsn = lsn;
+    migrate_bytes_.fetch_add(static_cast<std::int64_t>(msg.values.size() * sizeof(float)),
+                             std::memory_order_relaxed);
+    for (auto it = mi.stash.begin();
+         it != mi.stash.end() && it->first == mi.applied_lsn + 1; it = mi.stash.erase(it)) {
+      ml::axpy(scale, it->second, mi.staged);
+      mi.applied_lsn = it->first;
+    }
+    horizon = mi.applied_lsn;
+    ack = true;
+  }
+  if (ack) send_migrate_ack(src, id, horizon);
+}
+
+void Server::on_migrate_ack(net::Message&& msg) {
+  std::scoped_lock lock(engine_mu_);
+  for (MigrationOut& mo : migrations_out_) {
+    if (mo.id != msg.seq) continue;
+    // Any ack implies the snapshot is staged (the target only acks after it
+    // has one); request_id is the cumulative delta horizon.
+    mo.snapshot_acked = true;
+    mo.log.trim_to(msg.request_id, [](const replica::LogEntry&) {});
+    return;
+  }
+}
+
+void Server::send_migrate_ack(net::NodeId dst, std::uint64_t migration_id,
+                              std::uint64_t horizon) {
+  net::Message ack;
+  ack.type = net::MsgType::kMigrateAck;
+  ack.src = node_id_;
+  ack.dst = dst;
+  ack.seq = migration_id;
+  ack.request_id = horizon;
+  ack.server_rank = server_rank_;
+  transport_.send(std::move(ack));
+}
+
+void Server::commit_layout(ShardLayout new_layout) {
+  std::scoped_lock lock(engine_mu_);
+  for (const MigrationOut& mo : migrations_out_) {
+    FPS_CHECK(mo.snapshot_acked && mo.log.empty())
+        << "commit_layout with undrained outbound migration " << mo.id;
+  }
+  FPS_CHECK(pending_.empty())
+      << "commit_layout with " << pending_.size() << " pulls still pending (fence broken)";
+  std::vector<float> values(new_layout.total);
+  // Old slices carried over by model offset; new slices come from a staged
+  // inbound migration.
+  shard_.with_exclusive([&](std::span<const float> old_values) {
+    std::size_t pos = 0;
+    for (const ParamSlice& s : new_layout.slices) {
+      std::size_t old_pos = 0;
+      bool found = false;
+      for (const ParamSlice& o : layout_.slices) {
+        if (o.offset == s.offset) {
+          FPS_CHECK(o.length == s.length) << "slice at offset " << s.offset << " resized";
+          ml::copy(old_values.subspan(old_pos, s.length),
+                   std::span<float>(values).subspan(pos, s.length));
+          found = true;
+          break;
+        }
+        old_pos += o.length;
+      }
+      if (!found) {
+        bool staged = false;
+        for (auto& [id, mi] : migrations_in_) {
+          if (mi.slice_offset != s.offset) continue;
+          FPS_CHECK(mi.have_snapshot && mi.stash.empty())
+              << "commit_layout: inbound migration " << id << " not fully staged";
+          FPS_CHECK(mi.staged.size() == s.length)
+              << "staged slice size " << mi.staged.size() << " != " << s.length;
+          ml::copy(std::span<const float>(mi.staged),
+                   std::span<float>(values).subspan(pos, s.length));
+          staged = true;
+          break;
+        }
+        FPS_CHECK(staged) << "commit_layout: no staged values for new slice at offset "
+                          << s.offset;
+      }
+      pos += s.length;
+    }
+  });
+  migrations_out_.clear();
+  migrations_in_.clear();
+  layout_ = std::move(new_layout);
+  shard_.reconfigure(std::move(values), slice_lengths_of(layout_));
+}
+
+void Server::seed_engine_progress(const std::vector<std::int64_t>& last_push) {
+  std::scoped_lock lock(engine_mu_);
+  engine_.reset_progress(last_push);
+}
+
+replica::ReplicaState Server::export_replica_seed() const {
+  std::scoped_lock lock(engine_mu_);
+  replica::ReplicaState s;
+  shard_.with_exclusive(
+      [&](std::span<const float> v) { s.shard.assign(v.begin(), v.end()); });
+  s.windows = push_seen_;
+  s.last_push.resize(num_workers_);
+  for (std::uint32_t w = 0; w < num_workers_; ++w) s.last_push[w] = engine_.last_push_of(w);
+  s.log.set_next_lsn(repl_log_.next_lsn());
+  return s;
+}
+
+std::int64_t Server::migrate_bytes() const {
+  return migrate_bytes_.load(std::memory_order_relaxed);
+}
+
+std::int64_t Server::migrate_deltas() const {
+  std::scoped_lock lock(engine_mu_);
+  return migrate_deltas_;
 }
 
 }  // namespace fluentps::ps

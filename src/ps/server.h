@@ -39,6 +39,7 @@
 #pragma once
 
 #include <atomic>
+#include <map>
 #include <mutex>
 #include <set>
 #include <span>
@@ -233,6 +234,52 @@ class Server {
   /// True once adopt_replica_state() installed failover state.
   [[nodiscard]] bool promoted() const;
 
+  // --- elastic live shard migration (src/elastic, DESIGN.md §14) ------
+
+  /// Source side: begin migrating the slice at `slice_index` of the current
+  /// layout to the server at node `target` (slot `target_rank`). Waits out
+  /// in-flight applies, snapshots the slice push-atomically, sends it as
+  /// kMigrateSnapshot on the zero-copy payload path, and registers a delta
+  /// tap: every subsequently accepted fresh push appends its slice-range
+  /// gradient to a per-migration catch-up log (replica::ReplicationLog) and
+  /// forwards it as kMigrateDelta. The tap registration shares on_push's
+  /// engine_mu_ critical section with the SeqWindow accept, so every push is
+  /// either in the snapshot or tapped — never both, never neither. Requires
+  /// reliable mode. Returns the snapshot size in bytes.
+  std::size_t migrate_out_begin(std::uint64_t migration_id, std::size_t slice_index,
+                                net::NodeId target, std::uint32_t target_rank);
+
+  /// True once every outbound migration's snapshot and tapped deltas were
+  /// acknowledged as staged by the target (cumulative kMigrateAck horizon).
+  /// A moving target while traffic flows — the controller polls it before
+  /// raising the fence, then re-checks it once every worker is parked.
+  [[nodiscard]] bool migrations_drained() const;
+
+  /// Fence-time commit: install the post-epoch layout. Every slice of
+  /// `new_layout` must either exist in the current layout (values carried
+  /// over) or be fully staged by an inbound migration (snapshot + all deltas
+  /// applied). Outbound migrations must be drained. The shard storage is
+  /// reconfigured in place (StripedShard::reconfigure); migration state is
+  /// cleared. Callers must have quiesced all training traffic (every worker
+  /// parked with its push round fully acked).
+  void commit_layout(ShardLayout new_layout);
+
+  /// Seed a newly activated slot's engine with per-worker progress collected
+  /// at the fence (each parked worker's last pushed iteration). Without this
+  /// a worker that already finished training would never push here and
+  /// BSP/SSP conditions would wait on its progress forever.
+  void seed_engine_progress(const std::vector<std::int64_t>& last_push);
+
+  /// Chain reseed at the fence: push-atomic snapshot of shard values, dedup
+  /// windows, per-worker progress and the head's current lsn position, for
+  /// ReplicaNode::adopt_seed on this slot's (resized) replicas.
+  [[nodiscard]] replica::ReplicaState export_replica_seed() const;
+
+  /// Migration observability: payload bytes sent/staged by this server's
+  /// migrations (snapshots + deltas, both directions) and deltas tapped.
+  [[nodiscard]] std::int64_t migrate_bytes() const;
+  [[nodiscard]] std::int64_t migrate_deltas() const;
+
  private:
   void on_push(net::Message&& msg);
   void on_pull(net::Message&& msg);
@@ -260,6 +307,17 @@ class Server {
   double apply_push(std::span<const float> g, ApplyTiming* timing = nullptr);
   void respond(net::NodeId dst, std::uint32_t worker_rank, std::uint64_t request_id);
   void note_answered(std::uint64_t request_id);
+  /// Requires engine_mu_: append `msg`'s slice-range gradients to every
+  /// active outbound migration's catch-up log and build the kMigrateDelta
+  /// frames into `out` (sent by the caller after releasing the lock).
+  void tap_migrations_locked(const net::Message& msg, std::vector<net::Message>& out);
+  /// Target-side handlers: stage the snapshot / apply catch-up deltas in lsn
+  /// order (out-of-order arrivals are stashed), ack the cumulative horizon.
+  void on_migrate_snapshot(net::Message&& msg);
+  void on_migrate_delta(net::Message&& msg);
+  /// Source side: mark the snapshot staged and trim the catch-up log.
+  void on_migrate_ack(net::Message&& msg);
+  void send_migrate_ack(net::NodeId dst, std::uint64_t migration_id, std::uint64_t horizon);
   void send_recover(net::NodeId dst, std::uint32_t worker_rank);
   /// Requires engine_mu_ held: re-send kRecover to every worker still missing
   /// from the post-restart handshake.
@@ -327,6 +385,36 @@ class Server {
   std::int64_t stale_replicates_ = 0;
   std::int64_t synth_replayed_ = 0;
   bool promoted_ = false;
+
+  // Elastic live migration (DESIGN.md §14). Both directions' bookkeeping is
+  // under engine_mu_; applies_inflight_ closes the snapshot-vs-apply race:
+  // on_push increments it inside the engine_mu_ accept section and
+  // decrements after the (lock-free) apply landed, so migrate_out_begin can
+  // hold engine_mu_ (blocking new accepts) and wait for the counter to reach
+  // zero before snapshotting — every accepted-but-unapplied push settles
+  // first, every later push hits the registered tap.
+  struct MigrationOut {
+    std::uint64_t id = 0;
+    ParamSlice slice;
+    std::size_t pos = 0;  ///< offset of the slice within this shard's payload
+    net::NodeId target = 0;
+    std::uint32_t target_rank = 0;
+    replica::ReplicationLog log;  ///< tapped deltas awaiting the ack horizon
+    bool snapshot_acked = false;
+  };
+  struct MigrationIn {
+    net::NodeId source = 0;
+    std::size_t slice_offset = 0;  ///< model offset, matched at commit
+    std::vector<float> staged;     ///< snapshot + contiguously applied deltas
+    std::uint64_t applied_lsn = 0;
+    bool have_snapshot = false;
+    std::map<std::uint64_t, std::vector<float>> stash;  ///< out-of-order deltas
+  };
+  std::vector<MigrationOut> migrations_out_;
+  std::map<std::uint64_t, MigrationIn> migrations_in_;
+  std::atomic<int> applies_inflight_{0};
+  std::atomic<std::int64_t> migrate_bytes_{0};
+  std::int64_t migrate_deltas_ = 0;  // under engine_mu_
 
   // Telemetry (DESIGN.md §12). Instrument handles are cached once at
   // construction so hot-path recording is a relaxed atomic RMW with no name

@@ -28,8 +28,26 @@ float* aligned_floats(std::size_t n) {
 StripedShard::StripedShard(std::vector<float> values, std::uint32_t num_stripes,
                            const std::vector<std::size_t>& slice_lengths,
                            bool defer_first_touch)
-    : data_(aligned_floats(values.size())), size_(values.size()) {
+    : data_(aligned_floats(values.size())),
+      size_(values.size()),
+      requested_stripes_(std::max<std::uint32_t>(num_stripes, 1)) {
   const std::size_t n = size_;
+  const std::size_t max_stripes =
+      slice_lengths.empty() ? std::max<std::size_t>(n, 1) : slice_lengths.size();
+  const std::size_t s =
+      std::clamp<std::size_t>(num_stripes, 1, std::max<std::size_t>(max_stripes, 1));
+  stripes_ = std::vector<Stripe>(s);
+  layout_stripes(n, slice_lengths);
+  if (defer_first_touch) {
+    init_ = std::move(values);
+    untouched_.store(stripes_.size(), std::memory_order_release);
+  } else if (n > 0) {
+    std::memcpy(data_.get(), values.data(), n * sizeof(float));
+  }
+}
+
+void StripedShard::layout_stripes(std::size_t n, const std::vector<std::size_t>& slice_lengths) {
+  const std::size_t s = stripes_.size();
   // Candidate boundaries: slice boundaries when given, else every element.
   std::vector<std::size_t> bounds;  // cumulative prefix ends
   if (!slice_lengths.empty()) {
@@ -41,11 +59,6 @@ StripedShard::StripedShard(std::vector<float> values, std::uint32_t num_stripes,
     }
     FPS_CHECK(acc == n) << "slice lengths sum " << acc << " != shard size " << n;
   }
-  const std::size_t max_stripes =
-      slice_lengths.empty() ? std::max<std::size_t>(n, 1) : slice_lengths.size();
-  const std::size_t s =
-      std::clamp<std::size_t>(num_stripes, 1, std::max<std::size_t>(max_stripes, 1));
-  stripes_ = std::vector<Stripe>(s);
   if (slice_lengths.empty()) {
     // Near-equal contiguous element ranges.
     for (std::size_t i = 0; i < s; ++i) {
@@ -60,7 +73,7 @@ StripedShard::StripedShard(std::vector<float> values, std::uint32_t num_stripes,
     std::size_t begin = 0;
     for (std::size_t b = 0; b < bounds.size(); ++b) {
       const std::size_t remaining_slices = bounds.size() - b - 1;
-      const bool must_cut = remaining_slices < (s - stripe - 1);  // unreachable by clamp
+      const bool must_cut = remaining_slices < (s - stripe - 1);  // fewer slices than stripes
       const std::size_t target = n * (stripe + 1) / s;
       if (stripe + 1 < s && (must_cut || bounds[b] >= target)) {
         stripes_[stripe].begin = begin;
@@ -75,12 +88,24 @@ StripedShard::StripedShard(std::vector<float> values, std::uint32_t num_stripes,
       stripes_[i].begin = stripes_[i].end = n;
     }
   }
-  if (defer_first_touch) {
-    init_ = std::move(values);
-    untouched_.store(stripes_.size(), std::memory_order_release);
-  } else if (n > 0) {
-    std::memcpy(data_.get(), values.data(), n * sizeof(float));
-  }
+}
+
+void StripedShard::reconfigure(std::vector<float> values,
+                               const std::vector<std::size_t>& slice_lengths) {
+  FPS_CHECK(initialized()) << "reconfigure before deferred first-touch completed";
+  const std::size_t n = values.size();
+  const std::size_t max_stripes =
+      slice_lengths.empty() ? std::max<std::size_t>(n, 1) : slice_lengths.size();
+  const std::size_t s =
+      std::clamp<std::size_t>(requested_stripes_, 1, std::max<std::size_t>(max_stripes, 1));
+  data_.reset(aligned_floats(n));
+  size_ = n;
+  // Replacing the vector wholesale (mutexes are not movable) is safe under
+  // the fence's quiescence guarantee: no other thread can be blocked on or
+  // holding a stripe mutex here.
+  stripes_ = std::vector<Stripe>(s);
+  layout_stripes(n, slice_lengths);
+  if (n > 0) std::memcpy(data_.get(), values.data(), n * sizeof(float));
 }
 
 void StripedShard::first_touch(std::size_t part, std::size_t parts) {

@@ -73,6 +73,18 @@ class StripedShard {
     return untouched_.load(std::memory_order_acquire) == 0;
   }
 
+  /// Fence-time relayout (elastic migration, DESIGN.md §14): replace the
+  /// values and recompute stripe boundaries for the new slice lengths. The
+  /// stripe count is re-derived from the construction-time request, so a
+  /// spare slot that started with an empty shard gets full striping once it
+  /// owns slices. Callers must guarantee quiescence — no concurrent apply,
+  /// copy_out or with_exclusive (every worker is parked at the epoch fence);
+  /// deferred first-touch must have completed. The new pages are touched
+  /// here, on the calling thread (the NUMA first-touch nicety is forfeited
+  /// for migrated-in values; correctness is unaffected).
+  void reconfigure(std::vector<float> values,
+                   const std::vector<std::size_t>& slice_lengths);
+
   /// Apply `grads` (each of size()) in order: w += scale * g for each g, one
   /// striped sweep. Entry order is preserved per element (see bit-identity
   /// note above). Every gradient span must stay valid for the call.
@@ -123,8 +135,13 @@ class StripedShard {
     void operator()(float* p) const noexcept { std::free(p); }
   };
 
+  /// Recompute stripe boundaries over [0, n) for the current stripe count;
+  /// trailing stripes beyond the slice count degenerate to empty.
+  void layout_stripes(std::size_t n, const std::vector<std::size_t>& slice_lengths);
+
   std::unique_ptr<float[], FreeDeleter> data_;  ///< 64-byte aligned
   std::size_t size_ = 0;
+  std::uint32_t requested_stripes_ = 1;  ///< construction-time stripe request
   std::vector<Stripe> stripes_;
 
   // Deferred first-touch bookkeeping: parked initial values plus the count of

@@ -216,6 +216,14 @@ void WorkerClient::send_push_locked(std::size_t m) {
   transport_.send(std::move(msg));
 }
 
+std::uint32_t WorkerClient::active_servers_locked() const {
+  std::uint32_t n = 0;
+  for (std::size_t m = 0; m < server_nodes_.size(); ++m) {
+    if (!sharding_->shards[m].slices.empty()) ++n;
+  }
+  return n;
+}
+
 void WorkerClient::send_pull_locked(std::size_t m) {
   net::Message msg;
   msg.type = net::MsgType::kPull;
@@ -257,12 +265,19 @@ void WorkerClient::push(std::span<const float> update, std::int64_t progress) {
   {
     std::scoped_lock lock(mu_);
     acks_received_ = 0;
-    acks_expected_ = static_cast<std::uint32_t>(server_nodes_.size());
+    acks_expected_ = active_servers_locked();
     round_progress_ = progress;
     round_metadata_ = false;
     round_update_.assign(update.begin(), update.end());
-    round_unacked_ = static_cast<std::uint32_t>(server_nodes_.size());
+    round_unacked_ = acks_expected_;
     for (std::size_t m = 0; m < server_nodes_.size(); ++m) {
+      // Inactive slot (elastic): no slices, nothing to push. Pre-acked so the
+      // wait predicate and retransmit sweeps skip it uniformly; its seq stream
+      // is not advanced, so it resumes where it left off if the slot rejoins.
+      if (sharding_->shards[m].slices.empty()) {
+        round_acked_[m] = 1;
+        continue;
+      }
       round_seqs_[m] = reliable_ ? next_seq_[m]++ : 0;
       round_acked_[m] = 0;
       if (telemetry_ != nullptr && telemetry_->spans != nullptr) {
@@ -280,12 +295,16 @@ void WorkerClient::push_metadata(std::int64_t progress) {
   {
     std::scoped_lock lock(mu_);
     acks_received_ = 0;
-    acks_expected_ = static_cast<std::uint32_t>(server_nodes_.size());
+    acks_expected_ = active_servers_locked();
     round_progress_ = progress;
     round_metadata_ = true;
     round_update_.clear();
-    round_unacked_ = static_cast<std::uint32_t>(server_nodes_.size());
+    round_unacked_ = acks_expected_;
     for (std::size_t m = 0; m < server_nodes_.size(); ++m) {
+      if (sharding_->shards[m].slices.empty()) {  // inactive slot (elastic)
+        round_acked_[m] = 1;
+        continue;
+      }
       round_seqs_[m] = reliable_ ? next_seq_[m]++ : 0;
       round_acked_[m] = 0;
       if (telemetry_ != nullptr && telemetry_->spans != nullptr) {
@@ -312,8 +331,11 @@ std::uint64_t WorkerClient::pull(KeyRange range, const ReadOptions& opts) {
   for (std::size_t m = 0; m < server_nodes_.size(); ++m) {
     shard_values_[m].clear();
     // KeyRange selects *which shards* to contact; a wanted shard's response
-    // carries its whole shard (sub-shard slicing is not on the wire).
-    bool wanted = range.is_all();
+    // carries its whole shard (sub-shard slicing is not on the wire). An
+    // empty shard (inactive elastic slot) is never wanted: besides being
+    // useless traffic, a strong pull would park in its DPR forever — no
+    // worker push ever advances an inactive slot's progress.
+    bool wanted = !sharding_->shards[m].slices.empty() && range.is_all();
     if (!wanted) {
       for (const ParamSlice& s : sharding_->shards[m].slices) {
         if (range.intersects(s.offset, s.length)) {

@@ -135,6 +135,9 @@ class WorkerClient {
   void send_push_locked(std::size_t m);
   /// Requires mu_ held. (Re)send the pull for server m with the live ticket.
   void send_pull_locked(std::size_t m);
+  /// Requires mu_ held. Count of servers with a non-empty shard layout —
+  /// inactive elastic slots own no slices and are skipped by pushes/pulls.
+  [[nodiscard]] std::uint32_t active_servers_locked() const;
   void send_progress_report(std::int64_t progress);
   /// Reliable mode: block until the outstanding push round is fully acked,
   /// retransmitting unacked shards per the retry policy.

@@ -263,4 +263,15 @@ ReplicaState ReplicaNode::release_state() {
   return s;
 }
 
+void ReplicaNode::adopt_seed(const ReplicaState& state) {
+  shard_.reconfigure(state.shard, {});
+  windows_ = state.windows;
+  last_push_ = state.last_push;
+  log_.pending().clear();
+  log_.set_next_lsn(state.log.next_lsn());
+  next_lsn_ = state.log.next_lsn();
+  stash_.clear();
+  released_ = false;
+}
+
 }  // namespace fluentps::replica

@@ -74,6 +74,14 @@ class ReplicaNode {
   /// dispatch slot is rebound to the promoted server by the runtime).
   [[nodiscard]] ReplicaState release_state();
 
+  /// Elastic epoch fence (DESIGN.md §14): reseed this replica from its head's
+  /// exported state after a layout commit — the migrated shard values, the
+  /// head's dedup windows and per-worker progress, and the lsn position of
+  /// the head's (empty, drained) log. Clears any stale pending/stashed
+  /// entries and un-releases the node, so a previously drained slot's chain
+  /// comes back live. Caller guarantees fence quiescence.
+  void adopt_seed(const ReplicaState& state);
+
   [[nodiscard]] net::NodeId node_id() const noexcept { return node_id_; }
   [[nodiscard]] std::uint32_t rank() const noexcept { return server_rank_; }
   [[nodiscard]] std::uint32_t chain_pos() const noexcept { return chain_pos_; }

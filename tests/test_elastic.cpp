@@ -1,0 +1,364 @@
+// Elastic membership subsystem tests (DESIGN.md §14): schedule parsing and
+// validation, the Membership epoch state machine, active-set replanning, and
+// end-to-end mid-run scale-out/in on both backends — including the acceptance
+// oracle that an add + drain under a faulty transport loses nothing (final
+// parameters bit-identical to the fault-free static-membership run) and that
+// the sim stays bit-deterministic across epoch changes.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "core/fluentps.h"
+#include "elastic/membership.h"
+#include "elastic/planner.h"
+#include "embed/table_spec.h"
+
+namespace fluentps {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Schedule parsing + derived park rounds.
+// ---------------------------------------------------------------------------
+
+TEST(ElasticParse, AcceptsOpsAndRoundPins) {
+  std::vector<elastic::ElasticOp> ops;
+  ASSERT_TRUE(elastic::parse_schedule("add:3@40,drain:1@80/7;add:1@90", &ops));
+  ASSERT_EQ(ops.size(), 3u);
+  EXPECT_TRUE(ops[0].add);
+  EXPECT_EQ(ops[0].rank, 3u);
+  EXPECT_EQ(ops[0].at_iter, 40);
+  EXPECT_EQ(ops[0].at_round, -1) << "unpinned round stays derived";
+  EXPECT_FALSE(ops[1].add);
+  EXPECT_EQ(ops[1].rank, 1u);
+  EXPECT_EQ(ops[1].at_iter, 80);
+  EXPECT_EQ(ops[1].at_round, 7);
+  EXPECT_TRUE(ops[2].add);
+}
+
+TEST(ElasticParse, EmptyScheduleIsValid) {
+  std::vector<elastic::ElasticOp> ops{elastic::ElasticOp{}};
+  ASSERT_TRUE(elastic::parse_schedule("", &ops));
+  EXPECT_TRUE(ops.empty()) << "parse clears the output vector";
+}
+
+TEST(ElasticParse, RejectsMalformedTokens) {
+  std::vector<elastic::ElasticOp> ops;
+  for (const char* bad : {"add3@40", "grow:3@40", "add:3", "add:x@40", "add:3@",
+                          "add:3@4x", "add:3@40/", "add:3@40/x", ":3@40"}) {
+    EXPECT_FALSE(elastic::parse_schedule(bad, &ops)) << bad;
+  }
+}
+
+TEST(ElasticParse, ParkRoundDerivesProportionally) {
+  elastic::ElasticOp op;
+  op.at_iter = 40;
+  EXPECT_EQ(elastic::park_round_of(op, /*max_iters=*/80, /*rounds=*/10), 5);
+  op.at_iter = 1;
+  EXPECT_EQ(elastic::park_round_of(op, 80, 10), 1) << "never round 0";
+  op.at_round = 7;
+  EXPECT_EQ(elastic::park_round_of(op, 80, 10), 7) << "explicit pin wins";
+}
+
+// ---------------------------------------------------------------------------
+// Membership state machine.
+// ---------------------------------------------------------------------------
+
+TEST(Membership, InitialViewActivatesPrefix) {
+  const elastic::Membership all(4, 0);
+  EXPECT_EQ(all.view().num_active(), 4u);
+  const elastic::Membership some(4, 3);
+  EXPECT_EQ(some.epoch(), 0u);
+  EXPECT_EQ(some.view().num_active(), 3u);
+  EXPECT_TRUE(some.is_active(2));
+  EXPECT_FALSE(some.is_active(3));
+}
+
+TEST(Membership, CommitAppliesOpsAndNumbersEpochs) {
+  elastic::Membership m(4, 3);
+  elastic::ElasticOp add;
+  add.add = true;
+  add.rank = 3;
+  const auto after_add = m.active_after(add);
+  EXPECT_EQ(after_add, (std::vector<char>{1, 1, 1, 1}));
+  m.commit(add, {});
+  EXPECT_EQ(m.epoch(), 1u);
+  EXPECT_TRUE(m.is_active(3));
+
+  elastic::ElasticOp drain;
+  drain.add = false;
+  drain.rank = 1;
+  m.commit(drain, {});
+  EXPECT_EQ(m.epoch(), 2u);
+  EXPECT_FALSE(m.is_active(1));
+  EXPECT_EQ(m.view().num_active(), 3u);
+}
+
+TEST(Membership, RejectsInvalidOps) {
+  elastic::Membership m(2, 1);
+  elastic::ElasticOp bad_add;
+  bad_add.add = true;
+  bad_add.rank = 0;  // already active
+  EXPECT_DEATH((void)m.active_after(bad_add), "already active");
+  elastic::ElasticOp bad_drain;
+  bad_drain.add = false;
+  bad_drain.rank = 1;  // not active
+  EXPECT_DEATH((void)m.active_after(bad_drain), "not active");
+  elastic::ElasticOp last;
+  last.add = false;
+  last.rank = 0;  // would leave zero active
+  EXPECT_DEATH((void)m.active_after(last), "zero active");
+}
+
+TEST(ElasticValidate, RejectsIncompatibleConfigs) {
+  elastic::ElasticSpec spec;
+  spec.initial_servers = 1;
+  EXPECT_DEATH(
+      elastic::validate_spec(spec, /*fluentps_arch=*/false, true, false, 1, 100, 0),
+      "FluentPS architecture");
+  EXPECT_DEATH(elastic::validate_spec(spec, true, /*crash_free=*/false, false, 1, 100, 0),
+               "crash schedules");
+  spec.lead_iters = -1;
+  EXPECT_DEATH(elastic::validate_spec(spec, true, true, false, 1, 100, 0), "lead_iters");
+  spec.lead_iters = 5;
+  elastic::ElasticOp op;
+  op.at_iter = 100;  // outside [1, max_iters)
+  spec.schedule.push_back(op);
+  EXPECT_DEATH(elastic::validate_spec(spec, true, true, false, 1, 100, 0), "outside");
+}
+
+// ---------------------------------------------------------------------------
+// Active-set replanning.
+// ---------------------------------------------------------------------------
+
+/// Multiset of (offset, length) across every shard: replanning must permute
+/// placement, never the slice geometry itself.
+std::map<std::pair<std::size_t, std::size_t>, int> slice_multiset(const ps::Sharding& sh) {
+  std::map<std::pair<std::size_t, std::size_t>, int> out;
+  for (const auto& shard : sh.shards) {
+    for (const auto& s : shard.slices) ++out[{s.offset, s.length}];
+  }
+  return out;
+}
+
+TEST(ElasticPlanner, DrainReplanEmptiesSlotAndConserves) {
+  ps::EpsSlicer slicer(64);
+  const auto old = slicer.shard({400, 120, 30}, 4);
+  const auto plan = elastic::replan(old, {1, 0, 1, 1});  // drain slot 1
+  ASSERT_EQ(plan.sharding.shards.size(), 4u);
+  plan.sharding.validate();
+  EXPECT_TRUE(plan.sharding.shards[1].slices.empty()) << "drained slot owns nothing";
+  EXPECT_EQ(slice_multiset(plan.sharding), slice_multiset(old)) << "slices conserved";
+  // Every slice the drained slot owned appears exactly once in the plan.
+  std::size_t moved_from_1 = 0;
+  for (const auto& mv : plan.moves) {
+    EXPECT_NE(mv.from_server, mv.to_server);
+    EXPECT_NE(mv.to_server, 1u) << "nothing may move onto the drained slot";
+    if (mv.from_server == 1) ++moved_from_1;
+  }
+  EXPECT_EQ(moved_from_1, old.shards[1].slices.size());
+}
+
+TEST(ElasticPlanner, AddReplanPopulatesJoiningSlot) {
+  ps::EpsSlicer slicer(32);
+  const auto seed = slicer.shard({400, 120}, 3);
+  const auto old = elastic::expand_to_slots(seed, 4);
+  ASSERT_EQ(old.shards.size(), 4u);
+  ASSERT_TRUE(old.shards[3].slices.empty());
+  const auto plan = elastic::replan(old, {1, 1, 1, 1});  // add slot 3
+  plan.sharding.validate();
+  EXPECT_FALSE(plan.sharding.shards[3].slices.empty()) << "joining slot takes load";
+  EXPECT_EQ(slice_multiset(plan.sharding), slice_multiset(old));
+  for (const auto& mv : plan.moves) EXPECT_EQ(mv.to_server, 3u);
+  EXPECT_EQ(plan.moves.size(), plan.sharding.shards[3].slices.size());
+}
+
+TEST(ElasticPlanner, MovesReferenceSlicesPresentAtTheirSource) {
+  ps::EpsSlicer slicer(16);
+  const auto old = slicer.shard({300, 50, 20}, 3);
+  const auto plan = elastic::replan(old, {1, 1, 0});
+  for (const auto& mv : plan.moves) {
+    bool found = false;
+    for (const auto& s : old.shards[mv.from_server].slices) {
+      if (s.offset == mv.slice.offset && s.length == mv.slice.length) found = true;
+    }
+    EXPECT_TRUE(found) << "move references a slice its source never owned";
+  }
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end scale-out/in through the runtimes.
+// ---------------------------------------------------------------------------
+
+core::ExperimentConfig elastic_config(core::Backend backend, std::uint32_t workers) {
+  core::ExperimentConfig cfg;
+  cfg.backend = backend;
+  cfg.arch = core::Arch::kFluentPS;
+  cfg.num_workers = workers;
+  cfg.num_servers = 4;
+  cfg.max_iters = 40;
+  cfg.sync.kind = "bsp";
+  cfg.model.kind = "softmax";
+  cfg.data.num_train = 128;
+  cfg.data.num_test = 32;
+  cfg.batch_size = 8;
+  cfg.eps_chunk = 64;  // enough chunks that add AND drain both move slices
+  cfg.compute.kind = "lognormal";
+  cfg.compute.base_seconds = 0.01;
+  cfg.seed = 77;
+  cfg.retry.initial_timeout = 0.02;
+  cfg.retry.max_timeout = 0.3;
+  cfg.elastic.initial_servers = 3;
+  elastic::ElasticOp add;
+  add.at_iter = 15;
+  add.add = true;
+  add.rank = 3;
+  elastic::ElasticOp drain;
+  drain.at_iter = 30;
+  drain.add = false;
+  drain.rank = 1;
+  cfg.elastic.schedule = {add, drain};
+  return cfg;
+}
+
+void add_link_faults(core::ExperimentConfig& cfg) {
+  cfg.faults.link.drop_prob = 0.05;
+  cfg.faults.link.dup_prob = 0.05;
+  cfg.faults.link.delay_prob = 0.1;
+  cfg.faults.link.delay_seconds = 0.004;
+}
+
+void expect_bit_identical(const core::ExperimentResult& a, const core::ExperimentResult& b) {
+  ASSERT_EQ(a.final_params.size(), b.final_params.size());
+  for (std::size_t i = 0; i < a.final_params.size(); ++i) {
+    ASSERT_EQ(a.final_params[i], b.final_params[i]) << "param " << i;
+  }
+}
+
+class ElasticE2E : public ::testing::TestWithParam<core::Backend> {};
+
+TEST_P(ElasticE2E, SerialOracleSurvivesAddAndDrainUnderFaults) {
+  // Acceptance oracle: N = 1 fixes the total apply order, so zero lost
+  // updates means final parameters bit-identical to the static-membership
+  // fault-free run — even though two epochs of migrations and a lossy,
+  // duplicating link sit in between. Element-wise SGD makes the update
+  // arithmetic placement-invariant.
+  auto oracle_cfg = elastic_config(GetParam(), /*workers=*/1);
+  oracle_cfg.elastic = {};
+  oracle_cfg.force_reliability = true;
+  const auto oracle = core::run_experiment(oracle_cfg);
+  EXPECT_EQ(oracle.elastic_epoch, 0);
+
+  auto cfg = elastic_config(GetParam(), /*workers=*/1);
+  add_link_faults(cfg);
+  const auto r = core::run_experiment(cfg);
+  EXPECT_EQ(r.iterations, cfg.max_iters);
+  EXPECT_EQ(r.elastic_epoch, 2);
+  EXPECT_GE(r.elastic_migrations, 1);
+  EXPECT_GT(r.elastic_bytes_moved, 0);
+  expect_bit_identical(oracle, r);
+}
+
+TEST_P(ElasticE2E, MidRunAddDrainCompletesWithFaultyFabric) {
+  auto cfg = elastic_config(GetParam(), /*workers=*/4);
+  add_link_faults(cfg);
+  const auto r = core::run_experiment(cfg);
+  EXPECT_EQ(r.iterations, cfg.max_iters);
+  EXPECT_EQ(r.elastic_epoch, 2);
+  EXPECT_GE(r.elastic_migrations, 1);
+  EXPECT_GT(r.dropped + r.duplicated + r.delayed, 0) << "fault plan must actually fire";
+  for (const float v : r.final_params) ASSERT_TRUE(std::isfinite(v));
+  const auto it = r.extra.find("elastic_active_servers");
+  ASSERT_NE(it, r.extra.end());
+  EXPECT_DOUBLE_EQ(it->second, 3.0) << "add then drain lands on 3 active slots";
+}
+
+TEST_P(ElasticE2E, SparseTablesFollowTheEpoch) {
+  auto cfg = elastic_config(GetParam(), /*workers=*/2);
+  cfg.max_iters = 48;
+  cfg.elastic.schedule[0].at_iter = 16;
+  cfg.elastic.schedule[1].at_iter = 32;
+  cfg.sparse.tables = embed::parse_tables("emb:dim=8,rows=64;ads:dim=4,rows=32");
+  cfg.sparse.num_workers = 2;
+  cfg.sparse.rounds = 12;
+  const auto r = core::run_experiment(cfg);
+  EXPECT_EQ(r.iterations, cfg.max_iters);
+  EXPECT_EQ(r.elastic_epoch, 2);
+  const auto rows = r.extra.find("elastic_rows_moved");
+  ASSERT_NE(rows, r.extra.end());
+  EXPECT_GT(rows->second, 0.0) << "the drained slot's rows must migrate";
+  const auto pushes = r.extra.find("sparse_pushes");
+  ASSERT_NE(pushes, r.extra.end());
+  EXPECT_GT(pushes->second, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothBackends, ElasticE2E,
+                         ::testing::Values(core::Backend::kSim, core::Backend::kThreads),
+                         [](const ::testing::TestParamInfo<core::Backend>& info) {
+                           return info.param == core::Backend::kSim ? "sim" : "threads";
+                         });
+
+TEST(ElasticDeterminism, SimBitIdenticalAcrossEpochChanges) {
+  // Two runs of the same faulty elastic schedule must agree on every number:
+  // the controller keys on virtual time and the global op index only.
+  auto cfg = elastic_config(core::Backend::kSim, /*workers=*/4);
+  add_link_faults(cfg);
+  const auto a = core::run_experiment(cfg);
+  const auto b = core::run_experiment(cfg);
+  EXPECT_DOUBLE_EQ(a.total_time, b.total_time);
+  EXPECT_EQ(a.messages, b.messages);
+  EXPECT_EQ(a.dropped, b.dropped);
+  EXPECT_EQ(a.duplicated, b.duplicated);
+  EXPECT_EQ(a.worker_retries, b.worker_retries);
+  EXPECT_EQ(a.server_dedup_hits, b.server_dedup_hits);
+  EXPECT_EQ(a.elastic_migrations, b.elastic_migrations);
+  EXPECT_EQ(a.elastic_bytes_moved, b.elastic_bytes_moved);
+  EXPECT_DOUBLE_EQ(a.elastic_stall_seconds, b.elastic_stall_seconds);
+  EXPECT_DOUBLE_EQ(a.elastic_migrate_seconds, b.elastic_migrate_seconds);
+  expect_bit_identical(a, b);
+}
+
+TEST(ElasticDeterminism, ReplicatedChainsSurviveTheEpochChange) {
+  // Chain replication + elastic: the changed slots' replicas adopt the
+  // post-epoch state, and the run still matches its own re-execution.
+  auto cfg = elastic_config(core::Backend::kSim, /*workers=*/2);
+  cfg.replication_factor = 2;
+  const auto a = core::run_experiment(cfg);
+  EXPECT_EQ(a.elastic_epoch, 2);
+  EXPECT_GT(a.replicated_updates, 0);
+  EXPECT_EQ(a.rolled_back_updates, 0);
+  const auto b = core::run_experiment(cfg);
+  expect_bit_identical(a, b);
+}
+
+TEST(ElasticE2E, TinyModelDrainOntoColdSlot) {
+  // Regression: with a model so small that LPT leaves active slots with
+  // empty shards, draining onto such a cold slot must seed its engine
+  // progress or the post-epoch pulls deadlock.
+  core::ExperimentConfig cfg;
+  cfg.backend = core::Backend::kSim;
+  cfg.num_workers = 2;
+  cfg.num_servers = 4;
+  cfg.max_iters = 20;
+  cfg.model.kind = "softmax";
+  cfg.data.dim = 8;
+  cfg.data.num_classes = 4;
+  cfg.data.num_train = 64;
+  cfg.data.num_test = 32;
+  cfg.batch_size = 8;
+  cfg.seed = 5;
+  elastic::ElasticOp drain;
+  drain.at_iter = 10;
+  drain.add = false;
+  drain.rank = 1;
+  cfg.elastic.schedule = {drain};
+  const auto r = core::run_experiment(cfg);
+  EXPECT_EQ(r.iterations, 20);
+  EXPECT_EQ(r.elastic_epoch, 1);
+  for (const float v : r.final_params) ASSERT_TRUE(std::isfinite(v));
+}
+
+}  // namespace
+}  // namespace fluentps

@@ -71,9 +71,23 @@ TEST(Message, ReplicationTypesRoundTripWithLsn) {
 
 TEST(Message, TypePastLastSparseRejected) {
   auto frame = sample_message().serialize();
-  frame[0] = static_cast<std::uint8_t>(MsgType::kPullRedirect) + 1;
+  frame[0] = static_cast<std::uint8_t>(MsgType::kMigrateAck) + 1;
   Message out;
   EXPECT_FALSE(Message::deserialize(frame, &out));
+}
+
+TEST(Message, MigrateTypesRoundTrip) {
+  for (const MsgType t :
+       {MsgType::kMigrateSnapshot, MsgType::kMigrateDelta, MsgType::kMigrateAck}) {
+    Message msg = sample_message();
+    msg.type = t;
+    auto frame = msg.serialize();
+    Message out;
+    ASSERT_TRUE(Message::deserialize(frame, &out));
+    EXPECT_EQ(out.type, t);
+    EXPECT_EQ(out.seq, msg.seq);
+    EXPECT_EQ(out.request_id, msg.request_id);
+  }
 }
 
 TEST(Message, SparseTypesRoundTripWithCodecFrame) {

@@ -1,7 +1,10 @@
 // Slicing tests: PS-Lite default vs EPS balance, chunking, rebalancing.
 #include <gtest/gtest.h>
 
+#include <map>
 #include <numeric>
+#include <set>
+#include <utility>
 
 #include "ml/models/resmlp.h"
 #include "ml/models/softmax_net.h"
@@ -100,6 +103,95 @@ TEST(EpsSlicer, RebalanceOnServerLoss) {
   std::size_t moved_bytes = 0;
   for (const auto& m : plan) moved_bytes += m.slice.length;
   EXPECT_GE(moved_bytes, old.shards[3].total);
+}
+
+TEST(EpsSlicer, RebalanceGrowByManyKeepsBalance) {
+  // Grow M -> M+k for several k: the fresh plan stays balanced and the
+  // migration plan only ever moves slices onto the new ranks or between
+  // survivors — never onto a rank that does not exist in the new plan.
+  EpsSlicer slicer(16);
+  const auto old = slicer.shard({640, 96, 48}, 2);
+  for (const std::uint32_t grown : {3u, 4u, 8u}) {
+    std::vector<EpsSlicer::Migration> plan;
+    const auto fresh = slicer.rebalance(old, grown, &plan);
+    fresh.validate();
+    ASSERT_EQ(fresh.num_servers(), grown);
+    EXPECT_LT(fresh.imbalance(), 1.6) << "M=" << grown;
+    for (const auto& m : plan) EXPECT_LT(m.to_server, grown);
+  }
+}
+
+TEST(EpsSlicer, RebalanceShrinkToOneAbsorbsEverything) {
+  EpsSlicer slicer(16);
+  const auto old = slicer.shard({400, 30}, 4);
+  std::vector<EpsSlicer::Migration> plan;
+  const auto fresh = slicer.rebalance(old, 1, &plan);
+  fresh.validate();
+  ASSERT_EQ(fresh.num_servers(), 1u);
+  EXPECT_EQ(fresh.shards[0].total, old.num_params);
+  // Every slice not already on server 0 moves there, exactly once.
+  std::size_t expect_moves = 0;
+  for (std::size_t m = 1; m < old.shards.size(); ++m) {
+    expect_moves += old.shards[m].slices.size();
+  }
+  EXPECT_EQ(plan.size(), expect_moves);
+  for (const auto& m : plan) EXPECT_EQ(m.to_server, 0u);
+}
+
+TEST(EpsSlicer, RebalanceKeepsChunkBoundarySlicesIntact) {
+  // Layer sizes that are exact chunk multiples: every slice is a full chunk,
+  // and rebalancing must move whole chunks without splitting or merging.
+  EpsSlicer slicer(32);
+  const auto old = slicer.shard({128, 64}, 2);
+  for (const auto& shard : old.shards) {
+    for (const auto& s : shard.slices) ASSERT_EQ(s.length, 32u);
+  }
+  std::vector<EpsSlicer::Migration> plan;
+  const auto fresh = slicer.rebalance(old, 3, &plan);
+  fresh.validate();
+  for (const auto& shard : fresh.shards) {
+    for (const auto& s : shard.slices) {
+      EXPECT_EQ(s.length, 32u);
+      EXPECT_EQ(s.offset % 32u, 0u) << "slices stay chunk-aligned";
+    }
+  }
+  for (const auto& m : plan) EXPECT_EQ(m.slice.length, 32u);
+}
+
+TEST(EpsSlicer, RebalancePlanConservation) {
+  // The invariant the migration executor depends on: applying the plan's
+  // moves to the old placement yields exactly the fresh placement — every
+  // moved slice appears exactly once, nothing is created or destroyed, and
+  // total bytes are preserved.
+  EpsSlicer slicer(16);
+  const auto old = slicer.shard({400, 96, 30}, 3);
+  std::vector<EpsSlicer::Migration> plan;
+  const auto fresh = slicer.rebalance(old, 5, &plan);
+  fresh.validate();
+  EXPECT_EQ(fresh.num_params, old.num_params);
+
+  // Simulate the plan: multiset of (offset, length, server) assignments.
+  std::map<std::pair<std::size_t, std::size_t>, std::uint32_t> place;
+  for (std::uint32_t m = 0; m < old.num_servers(); ++m) {
+    for (const auto& s : old.shards[m].slices) {
+      ASSERT_EQ(place.count(std::make_pair(s.offset, s.length)), 0u) << "old plan has duplicates";
+      place[std::make_pair(s.offset, s.length)] = m;
+    }
+  }
+  std::set<std::pair<std::size_t, std::size_t>> moved;
+  for (const auto& mv : plan) {
+    const auto key = std::make_pair(mv.slice.offset, mv.slice.length);
+    EXPECT_TRUE(moved.insert(key).second) << "slice moved twice";
+    ASSERT_EQ(place.count(key), 1u);
+    EXPECT_EQ(place[key], mv.from_server);
+    place[key] = mv.to_server;
+  }
+  for (std::uint32_t m = 0; m < fresh.num_servers(); ++m) {
+    for (const auto& s : fresh.shards[m].slices) {
+      ASSERT_EQ(place.count(std::make_pair(s.offset, s.length)), 1u);
+      EXPECT_EQ(place[std::make_pair(s.offset, s.length)], m) << "plan does not realize the fresh layout";
+    }
+  }
 }
 
 TEST(EpsSlicer, RebalancePreservesChunking) {

@@ -6,11 +6,16 @@
 #include <condition_variable>
 #include <mutex>
 
+#include <functional>
+#include <memory>
+#include <thread>
+
 #include "fault/retry_policy.h"
 #include "net/tcp_transport.h"
 #include "ps/server.h"
 #include "ps/slicing.h"
 #include "ps/worker.h"
+#include "replica/replica_node.h"
 
 namespace fluentps::net {
 namespace {
@@ -392,6 +397,143 @@ TEST(TcpTransport, EndToEndTrainingOverSockets) {
   }
   EXPECT_EQ(server.pushes_applied(), 5);
   EXPECT_GE(worker_side.frames_sent(), 10u);  // 5 pushes + 5 pulls
+}
+
+TEST(TcpChain, HeadKillPromoteAndRebindOverSockets) {
+  // Chain replication over real loopback sockets: a reliable head in one
+  // transport instance replicates to a ReplicaNode in another, a WorkerClient
+  // trains from a third. The head "process" is killed mid-run (its transport
+  // shut down, the object destroyed), the replica is promoted in place, a
+  // kPromote frame rebinds the worker over its socket — and the unacked push
+  // that died with the head is recovered by the worker's retry ladder with
+  // exactly-once application.
+  constexpr std::size_t kN = 24;
+  constexpr NodeId kHead = 1, kWorker = 2, kTail = 10;
+  ps::EpsSlicer slicer(8);
+  const auto sharding = slicer.shard({kN}, 1);
+
+  TcpTransport head_t, tail_t, worker_t;
+
+  const auto make_head_spec = [&sharding](NodeId node, NodeId successor) {
+    ps::ServerSpec spec;
+    spec.node_id = node;
+    spec.server_rank = 0;
+    spec.num_workers = 1;
+    spec.layout = sharding.shards[0];
+    spec.initial_shard.assign(kN, 0.0f);
+    spec.engine.num_workers = 1;
+    spec.engine.model = ps::make_sync_model({.kind = "bsp"}, 1);
+    spec.engine.seed = 1;
+    spec.reliable = true;
+    spec.worker_nodes = {kWorker};
+    spec.replica_successor = successor;
+    return spec;
+  };
+  auto head = std::make_unique<ps::Server>(make_head_spec(kHead, kTail), head_t);
+  head_t.register_node(kHead, [&head](Message&& m) { head->handle(std::move(m)); });
+
+  replica::ReplicaSpec rspec;
+  rspec.node_id = kTail;
+  rspec.server_rank = 0;
+  rspec.chain_pos = 1;
+  rspec.num_workers = 1;
+  rspec.initial_shard.assign(kN, 0.0f);
+  rspec.successor = 0;
+  rspec.apply_scale = 1.0f;  // N = 1
+  auto tail = std::make_unique<replica::ReplicaNode>(std::move(rspec), tail_t);
+  // The promotion swaps who answers at node kTail; register_node is
+  // once-only, so route through a swappable handler (what a real process
+  // does implicitly by replacing its dispatch object).
+  std::mutex tail_mu;
+  std::function<void(Message &&)> tail_handler = [&tail](Message&& m) {
+    tail->handle(std::move(m));
+  };
+  tail_t.register_node(kTail, [&tail_mu, &tail_handler](Message&& m) {
+    std::function<void(Message &&)> h;
+    {
+      std::scoped_lock lock(tail_mu);
+      h = tail_handler;
+    }
+    h(std::move(m));
+  });
+
+  ps::WorkerSpec wspec;
+  wspec.node_id = kWorker;
+  wspec.worker_rank = 0;
+  wspec.server_nodes = {kHead};
+  wspec.sharding = &sharding;
+  wspec.reliable = true;
+  wspec.retry.initial_timeout = 0.02;
+  wspec.retry.max_timeout = 0.1;
+  ps::WorkerClient worker(std::move(wspec), worker_t);
+  worker_t.register_node(kWorker, [&worker](Message&& m) { worker.handle(std::move(m)); });
+
+  const auto hport = head_t.listen();
+  const auto tport = tail_t.listen();
+  const auto wport = worker_t.listen();
+  worker_t.add_route(kHead, "127.0.0.1", hport);
+  worker_t.add_route(kTail, "127.0.0.1", tport);
+  head_t.add_route(kWorker, "127.0.0.1", wport);
+  head_t.add_route(kTail, "127.0.0.1", tport);
+  tail_t.add_route(kHead, "127.0.0.1", hport);
+  tail_t.add_route(kWorker, "127.0.0.1", wport);
+
+  // Phase 1 — steady state: 3 BSP iterations. The deferred-ack protocol
+  // means push() returning implies the tail already acked the entry.
+  const std::vector<float> ones(kN, 1.0f);
+  std::vector<float> params(kN);
+  for (std::int64_t i = 0; i < 3; ++i) {
+    worker.push(ones, i);
+    const auto t = worker.pull(ps::KeyRange::all(), ps::ReadOptions{.clock = i});
+    worker.wait_pull(t, params);
+    for (const float v : params) ASSERT_FLOAT_EQ(v, static_cast<float>(i + 1));
+  }
+  // The 3rd round's chain ack may still be in flight; the next push blocks
+  // until it lands, so poll the replica rather than sleeping.
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (tail->applied() < 3 && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ASSERT_EQ(tail->applied(), 3);
+
+  // Phase 2 — kill the head process: sockets die, the object goes away.
+  head_t.shutdown();
+  head.reset();
+
+  // Phase 3 — the worker keeps training into the void: its push retransmits
+  // on the retry ladder until a new head answers. Run it on its own thread
+  // (push/wait_pull block by design).
+  std::vector<float> after(kN);
+  std::thread trainer([&worker, &ones, &after] {
+    worker.push(ones, 3);
+    const auto t = worker.pull(ps::KeyRange::all(), ps::ReadOptions{.clock = 3});
+    worker.wait_pull(t, after);
+  });
+
+  // Phase 4 — failover: promote the replica in place (same node id, same
+  // port), then rebind the worker with a kPromote frame over its socket.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  ps::Server promoted(make_head_spec(kTail, /*successor=*/0), tail_t);
+  promoted.adopt_replica_state(tail->release_state());
+  promoted.replay_replication_log();
+  EXPECT_TRUE(promoted.promoted());
+  {
+    std::scoped_lock lock(tail_mu);
+    tail_handler = [&promoted](Message&& m) { promoted.handle(std::move(m)); };
+  }
+  Message promote;
+  promote.type = MsgType::kPromote;
+  promote.src = kTail;
+  promote.dst = kWorker;
+  promote.server_rank = 0;
+  tail_t.send(std::move(promote));
+
+  trainer.join();
+  for (const float v : after) EXPECT_FLOAT_EQ(v, 4.0f) << "post-failover round applied once";
+  EXPECT_EQ(promoted.pushes_applied(), 1) << "only the recovered round applies at the new head";
+  EXPECT_EQ(promoted.synth_replayed(), 0) << "nothing was rolled back";
+  worker_t.shutdown();
+  tail_t.shutdown();
 }
 
 }  // namespace
